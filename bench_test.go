@@ -1,0 +1,184 @@
+// Benchmarks regenerating the paper's evaluation (Sec. VII), one per
+// table/figure. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-iteration benchmarks time the online operation the figure
+// measures; the corresponding cmd/benchmark subcommands print the full
+// paper-shaped tables.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/scoring"
+)
+
+const (
+	benchPubs = 5000
+	benchSeed = 1
+)
+
+var benchEnv *bench.Env
+
+func env(b *testing.B) *bench.Env {
+	b.Helper()
+	if benchEnv == nil {
+		benchEnv = bench.NewDBLPEnv(benchPubs, benchSeed)
+		benchEnv.Engine(scoring.Matching) // force one-time index build
+	}
+	return benchEnv
+}
+
+// BenchmarkFig4_MRRScoringFunctions regenerates the effectiveness study:
+// one iteration evaluates the full 30-query DBLP workload under C1, C2,
+// and C3 and computes the per-scheme MRR.
+func BenchmarkFig4_MRRScoringFunctions(b *testing.B) {
+	e := env(b)
+	workload := bench.DBLPWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := bench.RunFig4(e, workload, 10)
+		if res.MRR[scoring.Matching] == 0 {
+			b.Fatal("C3 MRR is zero")
+		}
+	}
+}
+
+// BenchmarkFig5_OurSolution times the paper's protocol for "Our Solution"
+// on the Q1–Q10 workload: top-10 query computation plus processing the
+// top queries until 10 answers are found.
+func BenchmarkFig5_OurSolution(b *testing.B) {
+	e := env(b)
+	eng := e.Engine(scoring.Matching)
+	workload := bench.PerfWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range workload {
+			cands, _, err := eng.SearchK(q.Keywords, 10)
+			if err != nil {
+				continue
+			}
+			if _, _, err := eng.AnswersForTop(cands, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig5_Bidirect times the bidirectional-search baseline on the
+// same workload (top-10 answer trees).
+func BenchmarkFig5_Bidirect(b *testing.B) {
+	e := env(b)
+	bl := bench.Fig5BaselineRunner(e, bench.SysBidirect)
+	workload := bench.PerfWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range workload {
+			bl(q.Keywords, 10)
+		}
+	}
+}
+
+// BenchmarkFig5_BLINKS300METIS and friends time the block-index baseline
+// configurations of Fig. 5 (index construction excluded).
+func BenchmarkFig5_BLINKS300METIS(b *testing.B) { benchBlinks(b, bench.Sys300METIS) }
+
+// BenchmarkFig5_BLINKS300BFS times the 300-block BFS configuration.
+func BenchmarkFig5_BLINKS300BFS(b *testing.B) { benchBlinks(b, bench.Sys300BFS) }
+
+// BenchmarkFig5_BLINKS1000METIS times the 1000-block METIS configuration.
+func BenchmarkFig5_BLINKS1000METIS(b *testing.B) { benchBlinks(b, bench.Sys1000METIS) }
+
+// BenchmarkFig5_BLINKS1000BFS times the 1000-block BFS configuration.
+func BenchmarkFig5_BLINKS1000BFS(b *testing.B) { benchBlinks(b, bench.Sys1000BFS) }
+
+func benchBlinks(b *testing.B, sys bench.Fig5System) {
+	e := env(b)
+	bl := bench.Fig5BaselineRunner(e, sys)
+	workload := bench.PerfWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range workload {
+			bl(q.Keywords, 10)
+		}
+	}
+}
+
+// BenchmarkFig6a_TopK times top-k computation as k grows (the linear-in-k
+// curve of Fig. 6a), on the length-2 queries of the workload.
+func BenchmarkFig6a_TopK(b *testing.B) {
+	e := env(b)
+	eng := e.Engine(scoring.Matching)
+	var short [][]string
+	for _, wq := range bench.DBLPWorkload() {
+		if len(wq.Keywords) == 2 {
+			short = append(short, wq.Keywords)
+		}
+	}
+	for _, k := range []int{1, 10, 100} {
+		b.Run(benchName("k", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, kws := range short {
+					_, _, _ = eng.SearchK(kws, k)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig6b_Indexing times the off-line preprocessing (keyword index
+// + graph index construction) per dataset.
+func BenchmarkFig6b_Indexing(b *testing.B) {
+	datasets := map[string]*bench.Env{
+		"DBLP": bench.NewDBLPEnv(benchPubs, benchSeed),
+		"LUBM": bench.NewLUBMEnv(1, benchSeed),
+		"TAP":  bench.NewTAPEnv(25, benchSeed),
+	}
+	for name, e := range datasets {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.BuildIndexesOnce(e)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_SummaryVsData regenerates the summarization ablation:
+// exploration over the class-level summary versus a degenerate
+// per-entity-class graph.
+func BenchmarkAblation_SummaryVsData(b *testing.B) {
+	e := bench.NewDBLPEnv(1000, benchSeed)
+	workload := bench.DBLPWorkload()[:6]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bench.RunAblationSummary(e, workload)
+	}
+}
+
+// BenchmarkAblation_Dmax sweeps the exploration depth bound.
+func BenchmarkAblation_Dmax(b *testing.B) {
+	e := env(b)
+	workload := bench.DBLPWorkload()[:8]
+	for _, dmax := range []int{6, 12} {
+		b.Run(benchName("dmax", dmax), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bench.RunAblationDmax(e, workload, []int{dmax})
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "=0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{digits[v%10]}, buf...)
+		v /= 10
+	}
+	return prefix + "=" + string(buf)
+}

@@ -1,0 +1,212 @@
+// Command searchwebdb is the interactive face of the system (the role of
+// the paper's SearchWebDB demo): it loads RDF data — from a file or a
+// generated dataset — and answers keyword queries with ranked conjunctive
+// queries, shown as natural-language descriptions and SPARQL, optionally
+// executing them.
+//
+// Usage:
+//
+//	searchwebdb -data dblp.nt -query "cimiano publication 2006"
+//	searchwebdb -gen dblp -scale 2000            # interactive REPL
+//
+// REPL commands:
+//
+//	<keywords...>    search (filters like "before 2005" are recognized)
+//	!exec <rank>     execute the query at the given rank of the last search
+//	!explain <rank>  show the evaluation plan for a candidate
+//	!k <n>           change k
+//	!quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	repro "repro"
+	"repro/internal/datagen"
+	"repro/internal/scoring"
+)
+
+func main() {
+	data := flag.String("data", "", "RDF input file (N-Triples)")
+	turtle := flag.String("turtle", "", "RDF input file (Turtle)")
+	gen := flag.String("gen", "", "generate a dataset instead: dblp | lubm | tap")
+	scale := flag.Int("scale", 1000, "scale for -gen")
+	k := flag.Int("k", 5, "number of query candidates")
+	scheme := flag.String("scoring", "c3", "scoring function: c1 | c2 | c3")
+	oneshot := flag.String("query", "", "run one keyword query and exit")
+	execTop := flag.Bool("exec", false, "with -query: execute the top query")
+	flag.Parse()
+
+	cfg := repro.Config{K: *k}
+	switch strings.ToLower(*scheme) {
+	case "c1":
+		cfg.Scoring = scoring.PathLength
+	case "c2":
+		cfg.Scoring = scoring.Popularity
+	case "c3", "":
+		cfg.Scoring = scoring.Matching
+	default:
+		log.Fatalf("unknown scoring %q", *scheme)
+	}
+	e := repro.New(cfg)
+
+	switch {
+	case *data != "":
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := e.LoadNTriples(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d triples from %s\n", n, *data)
+	case *turtle != "":
+		f, err := os.Open(*turtle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := e.LoadTurtle(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d triples from %s\n", n, *turtle)
+	case *gen != "":
+		var n int
+		switch *gen {
+		case "dblp":
+			ts := datagen.DBLPTriples(datagen.DBLPConfig{Publications: *scale})
+			n = len(ts)
+			e.AddTriples(ts)
+		case "lubm":
+			ts := datagen.LUBMTriples(datagen.LUBMConfig{Universities: *scale})
+			n = len(ts)
+			e.AddTriples(ts)
+		case "tap":
+			ts := datagen.TAPTriples(datagen.TAPConfig{InstancesPerClass: *scale})
+			n = len(ts)
+			e.AddTriples(ts)
+		default:
+			log.Fatalf("unknown dataset %q", *gen)
+		}
+		fmt.Printf("generated %d triples (%s)\n", n, *gen)
+	default:
+		log.Fatal("provide -data, -turtle, or -gen")
+	}
+
+	e.Build()
+	fmt.Printf("indexes built in %v (summary graph: %d elements)\n",
+		e.BuildTime, e.Summary().NumElements())
+
+	var last []*repro.QueryCandidate
+	search := func(keywords []string) {
+		cands, info, err := e.Search(keywords)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		last = cands
+		fmt.Printf("%d candidates in %v:\n", len(cands), info.Elapsed)
+		for i, c := range cands {
+			fmt.Printf("  #%d  cost=%.3f  %s\n", i+1, c.Cost, c.Describe())
+		}
+	}
+	executeRank := func(rank int) {
+		if rank < 1 || rank > len(last) {
+			fmt.Println("no such candidate; search first")
+			return
+		}
+		c := last[rank-1]
+		fmt.Println(c.SPARQL())
+		rs, err := e.Execute(c)
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		rs.SortRows()
+		fmt.Printf("%d answers:\n%s", rs.Len(), rs)
+	}
+	explainRank := func(rank int) {
+		if rank < 1 || rank > len(last) {
+			fmt.Println("no such candidate; search first")
+			return
+		}
+		plan, err := e.Explain(last[rank-1])
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			return
+		}
+		fmt.Print(plan)
+	}
+
+	if *oneshot != "" {
+		search(strings.Fields(*oneshot))
+		if *execTop && len(last) > 0 {
+			executeRank(1)
+		}
+		return
+	}
+
+	fmt.Println("enter keywords (or !exec <rank>, !k <n>, !quit):")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "!quit":
+			return
+		case strings.HasPrefix(line, "!explain"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "!explain"))
+			rank, err := strconv.Atoi(arg)
+			if err != nil {
+				fmt.Println("usage: !explain <rank>")
+				continue
+			}
+			explainRank(rank)
+		case strings.HasPrefix(line, "!exec"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "!exec"))
+			rank, err := strconv.Atoi(arg)
+			if err != nil {
+				fmt.Println("usage: !exec <rank>")
+				continue
+			}
+			executeRank(rank)
+		case strings.HasPrefix(line, "!k"):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "!k"))
+			n, err := strconv.Atoi(arg)
+			if err != nil || n < 1 {
+				fmt.Println("usage: !k <n>")
+				continue
+			}
+			*k = n
+			fmt.Printf("k = %d (applies to new searches via SearchK)\n", n)
+		default:
+			if *k != e.Config().K {
+				cands, info, err := e.SearchK(strings.Fields(line), *k)
+				if err != nil {
+					fmt.Printf("error: %v\n", err)
+					continue
+				}
+				last = cands
+				fmt.Printf("%d candidates in %v:\n", len(cands), info.Elapsed)
+				for i, c := range cands {
+					fmt.Printf("  #%d  cost=%.3f  %s\n", i+1, c.Cost, c.Describe())
+				}
+			} else {
+				search(strings.Fields(line))
+			}
+		}
+	}
+}

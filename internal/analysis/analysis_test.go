@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestStemVectors(t *testing.T) {
+	// Classic vectors from Porter's paper plus domain vocabulary.
+	cases := map[string]string{
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		// Domain terms used by the evaluation datasets.
+		"publications": "public",
+		"publication":  "public",
+		"researchers":  "research",
+		"universities": "univers",
+		"university":   "univers",
+		"databases":    "databas",
+		"algorithms":   "algorithm",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "go"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonVocabulary(t *testing.T) {
+	// Stemming is not idempotent in general, but for our dataset labels a
+	// second application of the pipeline must not panic or empty a term.
+	words := []string{"publication", "author", "advisor", "professor",
+		"student", "course", "department", "institute", "organization",
+		"proceedings", "journal", "conference", "teaching", "works"}
+	for _, w := range words {
+		s := Stem(w)
+		if s == "" {
+			t.Errorf("Stem(%q) produced empty string", w)
+		}
+	}
+}
+
+func TestSplitWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"worksAt", []string{"works", "at"}},
+		{"ResearchAssistant", []string{"research", "assistant"}},
+		{"HTTPServer", []string{"http", "server"}},
+		{"P. Cimiano", []string{"p", "cimiano"}},
+		{"X-Media", []string{"x", "media"}},
+		{"year2006", []string{"year", "2006"}},
+		{"2006", []string{"2006"}},
+		{"", nil},
+		{"  --  ", nil},
+		{"Top-k Exploration", []string{"top", "k", "exploration"}},
+	}
+	for _, c := range cases {
+		if got := SplitWords(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("SplitWords(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAnalyzeDropsStopwords(t *testing.T) {
+	got := Analyze("The Institute of Technology")
+	want := []string{"institut", "technolog"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Analyze = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeKeywordKeepsPureStopwords(t *testing.T) {
+	if got := AnalyzeKeyword("the"); len(got) != 1 || got[0] != "the" {
+		t.Errorf("AnalyzeKeyword(\"the\") = %v", got)
+	}
+}
+
+func TestLevenshteinBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"cimiano", "cimiano", 0},
+		{"cimiano", "cimano", 1},
+		{"publication", "publicaton", 1},
+		{"aifb", "aifa", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBoundedLevenshteinCapsEarly(t *testing.T) {
+	if got := BoundedLevenshtein("completely", "different!", 2); got != 3 {
+		t.Errorf("bounded distance = %d, want cap 3", got)
+	}
+	if got := BoundedLevenshtein("abc", "abd", 2); got != 1 {
+		t.Errorf("bounded distance below cap = %d, want 1", got)
+	}
+	// Length difference alone can exceed the bound.
+	if got := BoundedLevenshtein("ab", "abcdef", 2); got != 3 {
+		t.Errorf("length-gap shortcut = %d, want 3", got)
+	}
+}
+
+// Metric axioms on random inputs: identity, symmetry, triangle inequality.
+func TestLevenshteinMetricAxioms(t *testing.T) {
+	short := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	f := func(a, b, c string) bool {
+		a, b, c = short(a), short(b), short(c)
+		dab := Levenshtein(a, b)
+		dba := Levenshtein(b, a)
+		dac := Levenshtein(a, c)
+		dcb := Levenshtein(c, b)
+		if dab != dba {
+			return false
+		}
+		if (a == b) != (dab == 0) {
+			return false
+		}
+		return dab <= dac+dcb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBKTreeFindsAllWithinDistance(t *testing.T) {
+	vocab := []string{"publication", "publisher", "public", "author",
+		"authority", "year", "years", "institute", "institution",
+		"researcher", "research", "cimiano", "tran", "rudolph"}
+	tree := &BKTree{}
+	for _, v := range vocab {
+		tree.Add(v)
+	}
+	if tree.Len() != len(vocab) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(vocab))
+	}
+	for _, q := range []string{"publcation", "autor", "cimano", "reserch", "yaer"} {
+		for max := 0; max <= 3; max++ {
+			got := tree.Search(q, max)
+			sort.Slice(got, func(i, j int) bool { return got[i].Term < got[j].Term })
+			var want []FuzzyMatch
+			for _, v := range vocab {
+				if d := Levenshtein(q, v); d <= max {
+					want = append(want, FuzzyMatch{Term: v, Dist: d})
+				}
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i].Term < want[j].Term })
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("Search(%q,%d) = %v, want %v", q, max, got, want)
+			}
+		}
+	}
+}
+
+func TestBKTreeDuplicatesIgnored(t *testing.T) {
+	tree := &BKTree{}
+	tree.Add("x")
+	tree.Add("x")
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tree.Len())
+	}
+}
+
+func TestBKTreeRandomizedAgainstScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "abcd"
+	randWord := func() string {
+		n := 1 + rng.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	tree := &BKTree{}
+	seen := map[string]bool{}
+	var vocab []string
+	for i := 0; i < 300; i++ {
+		w := randWord()
+		tree.Add(w)
+		if !seen[w] {
+			seen[w] = true
+			vocab = append(vocab, w)
+		}
+	}
+	if tree.Len() != len(vocab) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(vocab))
+	}
+	for probe := 0; probe < 100; probe++ {
+		q := randWord()
+		max := rng.Intn(3)
+		got := map[string]bool{}
+		for _, m := range tree.Search(q, max) {
+			got[m.Term] = true
+		}
+		for _, v := range vocab {
+			want := Levenshtein(q, v) <= max
+			if got[v] != want {
+				t.Fatalf("Search(%q,%d): term %q presence = %v, want %v", q, max, v, got[v], want)
+			}
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"publications", "exploration", "relational",
+		"effectiveness", "universities", "bidirectional", "keyword"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	labels := []string{
+		"Top-k Exploration of Query Candidates for Keyword Search",
+		"worksAt", "International Conference on Data Engineering",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(labels[i%len(labels)])
+	}
+}
+
+func BenchmarkBKTreeSearch(b *testing.B) {
+	tree := &BKTree{}
+	rng := rand.New(rand.NewSource(3))
+	alphabet := "abcdefghij"
+	for i := 0; i < 5000; i++ {
+		w := make([]byte, 3+rng.Intn(8))
+		for j := range w {
+			w[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		tree.Add(string(w))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Search("abcdefg", 2)
+	}
+}

@@ -1,0 +1,153 @@
+package analysis
+
+// Levenshtein computes the edit distance (insertions, deletions,
+// substitutions, unit cost) between two strings, operating on bytes,
+// which is exact for the ASCII vocabulary the indexes hold.
+func Levenshtein(a, b string) int {
+	return BoundedLevenshtein(a, b, -1)
+}
+
+// BoundedLevenshtein computes the edit distance but gives up early and
+// returns max+1 as soon as the distance provably exceeds max (max < 0
+// disables the bound). The early exit makes fuzzy index probes cheap.
+func BoundedLevenshtein(a, b string, max int) int {
+	if a == b {
+		return 0
+	}
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return capAt(lb, max)
+	}
+	if lb == 0 {
+		return capAt(la, max)
+	}
+	if max >= 0 && abs(la-lb) > max {
+		return max + 1
+	}
+	// Keep the shorter string in b to bound row width.
+	if la < lb {
+		a, b = b, a
+		la, lb = lb, la
+	}
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost // substitute
+			if d := prev[j] + 1; d < m {
+				m = d // delete from a
+			}
+			if d := cur[j-1] + 1; d < m {
+				m = d // insert into a
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if max >= 0 && rowMin > max {
+			return max + 1
+		}
+		prev, cur = cur, prev
+	}
+	return capAt(prev[lb], max)
+}
+
+func capAt(d, max int) int {
+	if max >= 0 && d > max {
+		return max + 1
+	}
+	return d
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BKTree is a Burkhard–Keller tree over a string vocabulary with the
+// Levenshtein metric, answering "all terms within distance d of q" probes
+// without scanning the whole vocabulary.
+type BKTree struct {
+	root *bkNode
+	size int
+}
+
+type bkNode struct {
+	term     string
+	children map[int]*bkNode
+}
+
+// Add inserts a term. Duplicate terms are ignored.
+func (t *BKTree) Add(term string) {
+	if t.root == nil {
+		t.root = &bkNode{term: term}
+		t.size = 1
+		return
+	}
+	n := t.root
+	for {
+		d := Levenshtein(term, n.term)
+		if d == 0 {
+			return
+		}
+		if n.children == nil {
+			n.children = make(map[int]*bkNode)
+		}
+		child, ok := n.children[d]
+		if !ok {
+			n.children[d] = &bkNode{term: term}
+			t.size++
+			return
+		}
+		n = child
+	}
+}
+
+// Len returns the number of distinct terms in the tree.
+func (t *BKTree) Len() int { return t.size }
+
+// FuzzyMatch is one result of a Search: a vocabulary term and its edit
+// distance to the query.
+type FuzzyMatch struct {
+	Term string
+	Dist int
+}
+
+// Search returns all terms within edit distance max of q, in no
+// particular order.
+func (t *BKTree) Search(q string, max int) []FuzzyMatch {
+	if t.root == nil || max < 0 {
+		return nil
+	}
+	var out []FuzzyMatch
+	stack := []*bkNode{t.root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// The exact distance is needed for sound child-interval pruning.
+		d := Levenshtein(q, n.term)
+		if d <= max {
+			out = append(out, FuzzyMatch{Term: n.term, Dist: d})
+		}
+		// Triangle inequality: children at distance c can contain matches
+		// only if |c - d| <= max.
+		for c, child := range n.children {
+			if c >= d-max && c <= d+max {
+				stack = append(stack, child)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,371 @@
+// Package analysis provides the lexical analysis the paper delegates to a
+// standard IR engine (Sec. IV-A, "stemming, removal of stopwords ... c.f.
+// Lucene"): a label tokenizer, the Porter stemming algorithm, an English
+// stopword list, Levenshtein edit distance for imprecise matching, and a
+// BK-tree for fuzzy vocabulary lookup.
+package analysis
+
+// Stem applies the Porter stemming algorithm (M.F. Porter, "An algorithm
+// for suffix stripping", 1980) to a lowercase word. Words of length ≤ 2
+// are returned unchanged, as in the original algorithm.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	s := &stemmer{b: []byte(word)}
+	s.step1ab()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5()
+	return string(s.b)
+}
+
+// stemmer holds the working buffer. Offsets follow Porter's exposition:
+// k is the index of the last letter of the current word.
+type stemmer struct {
+	b []byte
+	j int // auxiliary offset set by ends
+}
+
+func (s *stemmer) k() int { return len(s.b) - 1 }
+
+// cons reports whether b[i] is a consonant.
+func (s *stemmer) cons(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.cons(i - 1)
+	default:
+		return true
+	}
+}
+
+// m measures the number of consonant sequences in b[0..j].
+func (s *stemmer) m() int {
+	n, i := 0, 0
+	j := s.j
+	for {
+		if i > j {
+			return n
+		}
+		if !s.cons(i) {
+			break
+		}
+		i++
+	}
+	i++
+	for {
+		for {
+			if i > j {
+				return n
+			}
+			if s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+		n++
+		for {
+			if i > j {
+				return n
+			}
+			if !s.cons(i) {
+				break
+			}
+			i++
+		}
+		i++
+	}
+}
+
+// vowelInStem reports whether b[0..j] contains a vowel.
+func (s *stemmer) vowelInStem() bool {
+	for i := 0; i <= s.j; i++ {
+		if !s.cons(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// doublec reports whether b[i-1..i] is a double consonant.
+func (s *stemmer) doublec(i int) bool {
+	if i < 1 {
+		return false
+	}
+	if s.b[i] != s.b[i-1] {
+		return false
+	}
+	return s.cons(i)
+}
+
+// cvc reports whether b[i-2..i] is consonant-vowel-consonant where the
+// final consonant is not w, x, or y (used to restore a trailing e).
+func (s *stemmer) cvc(i int) bool {
+	if i < 2 || !s.cons(i) || s.cons(i-1) || !s.cons(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// ends reports whether the word ends with suffix; on success it sets j to
+// the offset just before the suffix.
+func (s *stemmer) ends(suffix string) bool {
+	n := len(suffix)
+	k := s.k()
+	if n > k+1 {
+		return false
+	}
+	if string(s.b[k+1-n:]) != suffix {
+		return false
+	}
+	s.j = k - n
+	return true
+}
+
+// setto replaces the suffix after j with t.
+func (s *stemmer) setto(t string) {
+	s.b = append(s.b[:s.j+1], t...)
+}
+
+// r replaces the suffix with t when m() > 0.
+func (s *stemmer) r(t string) {
+	if s.m() > 0 {
+		s.setto(t)
+	}
+}
+
+// step1ab removes plurals and -ed / -ing.
+func (s *stemmer) step1ab() {
+	if s.b[s.k()] == 's' {
+		switch {
+		case s.ends("sses"):
+			s.b = s.b[:len(s.b)-2]
+		case s.ends("ies"):
+			s.setto("i")
+		case s.b[s.k()-1] != 's':
+			s.b = s.b[:len(s.b)-1]
+		}
+	}
+	if s.ends("eed") {
+		if s.m() > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+	} else if (s.ends("ed") || s.ends("ing")) && s.vowelInStem() {
+		s.b = s.b[:s.j+1]
+		switch {
+		case s.ends("at"):
+			s.setto("ate")
+		case s.ends("bl"):
+			s.setto("ble")
+		case s.ends("iz"):
+			s.setto("ize")
+		case s.doublec(s.k()):
+			c := s.b[s.k()]
+			if c != 'l' && c != 's' && c != 'z' {
+				s.b = s.b[:len(s.b)-1]
+			}
+		default:
+			s.j = s.k()
+			if s.m() == 1 && s.cvc(s.k()) {
+				s.setto("e")
+				s.b = append(s.b, 'e')
+				s.b = s.b[:s.j+2]
+			}
+		}
+	}
+}
+
+// step1c turns terminal y to i when there is another vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.ends("y") && s.vowelInStem() {
+		s.b[s.k()] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m() > 0.
+func (s *stemmer) step2() {
+	if s.k() < 1 {
+		return
+	}
+	switch s.b[s.k()-1] {
+	case 'a':
+		if s.ends("ational") {
+			s.r("ate")
+		} else if s.ends("tional") {
+			s.r("tion")
+		}
+	case 'c':
+		if s.ends("enci") {
+			s.r("ence")
+		} else if s.ends("anci") {
+			s.r("ance")
+		}
+	case 'e':
+		if s.ends("izer") {
+			s.r("ize")
+		}
+	case 'l':
+		if s.ends("bli") {
+			s.r("ble")
+		} else if s.ends("alli") {
+			s.r("al")
+		} else if s.ends("entli") {
+			s.r("ent")
+		} else if s.ends("eli") {
+			s.r("e")
+		} else if s.ends("ousli") {
+			s.r("ous")
+		}
+	case 'o':
+		if s.ends("ization") {
+			s.r("ize")
+		} else if s.ends("ation") {
+			s.r("ate")
+		} else if s.ends("ator") {
+			s.r("ate")
+		}
+	case 's':
+		if s.ends("alism") {
+			s.r("al")
+		} else if s.ends("iveness") {
+			s.r("ive")
+		} else if s.ends("fulness") {
+			s.r("ful")
+		} else if s.ends("ousness") {
+			s.r("ous")
+		}
+	case 't':
+		if s.ends("aliti") {
+			s.r("al")
+		} else if s.ends("iviti") {
+			s.r("ive")
+		} else if s.ends("biliti") {
+			s.r("ble")
+		}
+	case 'g':
+		if s.ends("logi") {
+			s.r("log")
+		}
+	}
+}
+
+// step3 deals with -ic-, -full, -ness etc.
+func (s *stemmer) step3() {
+	switch s.b[s.k()] {
+	case 'e':
+		if s.ends("icate") {
+			s.r("ic")
+		} else if s.ends("ative") {
+			s.r("")
+		} else if s.ends("alize") {
+			s.r("al")
+		}
+	case 'i':
+		if s.ends("iciti") {
+			s.r("ic")
+		}
+	case 'l':
+		if s.ends("ical") {
+			s.r("ic")
+		} else if s.ends("ful") {
+			s.r("")
+		}
+	case 's':
+		if s.ends("ness") {
+			s.r("")
+		}
+	}
+}
+
+// step4 removes -ant, -ence etc. in context <c>vcvc<v>.
+func (s *stemmer) step4() {
+	if s.k() < 1 {
+		return
+	}
+	switch s.b[s.k()-1] {
+	case 'a':
+		if !s.ends("al") {
+			return
+		}
+	case 'c':
+		if !s.ends("ance") && !s.ends("ence") {
+			return
+		}
+	case 'e':
+		if !s.ends("er") {
+			return
+		}
+	case 'i':
+		if !s.ends("ic") {
+			return
+		}
+	case 'l':
+		if !s.ends("able") && !s.ends("ible") {
+			return
+		}
+	case 'n':
+		if !s.ends("ant") && !s.ends("ement") && !s.ends("ment") && !s.ends("ent") {
+			return
+		}
+	case 'o':
+		if s.ends("ion") {
+			if s.j < 0 || (s.b[s.j] != 's' && s.b[s.j] != 't') {
+				return
+			}
+		} else if !s.ends("ou") {
+			return
+		}
+	case 's':
+		if !s.ends("ism") {
+			return
+		}
+	case 't':
+		if !s.ends("ate") && !s.ends("iti") {
+			return
+		}
+	case 'u':
+		if !s.ends("ous") {
+			return
+		}
+	case 'v':
+		if !s.ends("ive") {
+			return
+		}
+	case 'z':
+		if !s.ends("ize") {
+			return
+		}
+	default:
+		return
+	}
+	if s.m() > 1 {
+		s.b = s.b[:s.j+1]
+	}
+}
+
+// step5 removes a final -e and reduces -ll in long words.
+func (s *stemmer) step5() {
+	s.j = s.k()
+	if s.b[s.k()] == 'e' {
+		a := s.m()
+		if a > 1 || a == 1 && !s.cvc(s.k()-1) {
+			s.b = s.b[:len(s.b)-1]
+		}
+	}
+	s.j = s.k()
+	if s.b[s.k()] == 'l' && s.doublec(s.k()) && s.m() > 1 {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

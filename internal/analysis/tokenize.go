@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// stopwords is a standard English stopword list; tokens in it are removed
+// during analysis (Sec. IV-A).
+var stopwords = map[string]bool{
+	"a": true, "about": true, "above": true, "after": true, "again": true,
+	"against": true, "all": true, "am": true, "an": true, "and": true,
+	"any": true, "are": true, "as": true, "at": true, "be": true,
+	"because": true, "been": true, "before": true, "being": true,
+	"below": true, "between": true, "both": true, "but": true, "by": true,
+	"can": true, "cannot": true, "could": true, "did": true, "do": true,
+	"does": true, "doing": true, "down": true, "during": true, "each": true,
+	"few": true, "for": true, "from": true, "further": true, "had": true,
+	"has": true, "have": true, "having": true, "he": true, "her": true,
+	"here": true, "hers": true, "him": true, "his": true, "how": true,
+	"i": true, "if": true, "in": true, "into": true, "is": true, "it": true,
+	"its": true, "itself": true, "me": true, "more": true, "most": true,
+	"my": true, "no": true, "nor": true, "not": true, "of": true,
+	"off": true, "on": true, "once": true, "only": true, "or": true,
+	"other": true, "our": true, "ours": true, "out": true, "over": true,
+	"own": true, "same": true, "she": true, "should": true, "so": true,
+	"some": true, "such": true, "than": true, "that": true, "the": true,
+	"their": true, "theirs": true, "them": true, "then": true,
+	"there": true, "these": true, "they": true, "this": true,
+	"those": true, "through": true, "to": true, "too": true, "under": true,
+	"until": true, "up": true, "very": true, "was": true, "we": true,
+	"were": true, "what": true, "when": true, "where": true, "which": true,
+	"while": true, "who": true, "whom": true, "why": true, "with": true,
+	"would": true, "you": true, "your": true, "yours": true,
+}
+
+// IsStopword reports whether a lowercase token is an English stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// SplitWords breaks a label into lowercase word tokens. It splits on
+// non-alphanumeric runes and additionally at camelCase boundaries, so that
+// IRI local names such as "worksAt" or "ResearchAssistant" yield their
+// constituent words. Pure digit runs are kept as tokens (years such as
+// "2006" are meaningful values).
+func SplitWords(label string) []string {
+	var out []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, strings.ToLower(string(cur)))
+			cur = cur[:0]
+		}
+	}
+	runes := []rune(label)
+	for i, r := range runes {
+		switch {
+		case unicode.IsLetter(r):
+			if len(cur) > 0 && unicode.IsUpper(r) {
+				// camelCase boundary: lower→Upper, or Upper followed by
+				// lower after an Upper run (e.g. "HTTPServer" → http server).
+				prev := cur[len(cur)-1]
+				nextLower := i+1 < len(runes) && unicode.IsLower(runes[i+1])
+				if unicode.IsLower(prev) || unicode.IsDigit(prev) || (unicode.IsUpper(prev) && nextLower) {
+					flush()
+				}
+			}
+			cur = append(cur, r)
+		case unicode.IsDigit(r):
+			if len(cur) > 0 && !unicode.IsDigit(cur[len(cur)-1]) {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Analyze runs the full lexical analysis pipeline on a label: word
+// splitting, stopword removal, and Porter stemming. The result is the
+// term list indexed by the keyword index.
+func Analyze(label string) []string {
+	words := SplitWords(label)
+	terms := words[:0]
+	for _, w := range words {
+		if IsStopword(w) {
+			continue
+		}
+		terms = append(terms, Stem(w))
+	}
+	return terms
+}
+
+// AnalyzeKeyword analyzes a user-entered keyword. It is identical to
+// Analyze except that a keyword consisting solely of stopwords is kept
+// (the user typed it deliberately).
+func AnalyzeKeyword(keyword string) []string {
+	terms := Analyze(keyword)
+	if len(terms) == 0 {
+		for _, w := range SplitWords(keyword) {
+			terms = append(terms, Stem(w))
+		}
+	}
+	return terms
+}

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"container/heap"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// BackwardOptions tune the BANKS-style backward search.
+type BackwardOptions struct {
+	// K is the number of answer trees (default 10).
+	K int
+	// MaxDist bounds path lengths in edges (default 8).
+	MaxDist float64
+	// MaxPops is a safety valve (default 5,000,000).
+	MaxPops int
+}
+
+func (o BackwardOptions) withDefaults() BackwardOptions {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.MaxDist <= 0 {
+		o.MaxDist = 8
+	}
+	if o.MaxPops <= 0 {
+		o.MaxPops = 5_000_000
+	}
+	return o
+}
+
+// Backward runs the BANKS backward search [1]: from every keyword vertex,
+// expand along incoming R-edges in ascending distance order (concurrent
+// single-source shortest paths); a vertex settled by every keyword is an
+// answer root. Top-k termination uses the BANKS bound — stop when the
+// k-th best tree costs no more than the cheapest outstanding expansion —
+// which, as Sec. VI-C notes, is only approximate for tree costs that sum
+// several paths.
+func Backward(g *graph.Graph, keywordSets [][]store.ID, opt BackwardOptions) *Result {
+	opt = opt.withDefaults()
+	res := &Result{}
+	m := len(keywordSets)
+	if m == 0 {
+		return res
+	}
+	for _, ks := range keywordSets {
+		if len(ks) == 0 {
+			return res
+		}
+	}
+
+	states := make([]*perKeywordState, m)
+	h := &itemHeap{}
+	for i, ks := range keywordSets {
+		states[i] = newPerKeywordState()
+		for _, v := range ks {
+			heap.Push(h, searchItem{v: v, keyword: i, cost: 0})
+		}
+	}
+
+	cands := newTopkTrees(opt.K)
+	for h.Len() > 0 {
+		if res.Stats.Popped >= opt.MaxPops {
+			break
+		}
+		it := heap.Pop(h).(searchItem)
+		res.Stats.Popped++
+		st := states[it.keyword]
+		if _, settled := st.dist[it.v]; settled {
+			continue
+		}
+		st.dist[it.v] = it.cost
+		if it.parent != 0 {
+			st.parent[it.v] = it.parent
+		}
+
+		if tree, ok := collectRoot(states, it.v); ok {
+			cands.add(tree)
+		}
+
+		if it.cost < opt.MaxDist {
+			for _, e := range g.In(it.v) {
+				res.Stats.EdgesSeen++
+				if e.Kind != graph.REdge {
+					continue
+				}
+				if _, settled := st.dist[e.Other]; settled {
+					continue
+				}
+				heap.Push(h, searchItem{v: e.Other, parent: it.v, keyword: it.keyword, cost: it.cost + 1})
+			}
+		}
+
+		// BANKS-style early termination.
+		if kth, ok := cands.kth(); ok && h.Len() > 0 && kth <= h.items[0].cost {
+			break
+		}
+	}
+	res.Trees = cands.results()
+	return res
+}

@@ -1,0 +1,301 @@
+// Package baseline implements the three keyword-search families the paper
+// compares against in Fig. 5, all operating directly on the *data graph*
+// (not the summary graph):
+//
+//   - backward search (BANKS [1]): multi-origin Dijkstra from the keyword
+//     vertices along incoming edges; a vertex reached from every keyword
+//     is an answer root (distinct-root answer trees);
+//   - bidirectional search (BANKS-II [14]): expansion along both edge
+//     directions with spreading-activation prioritization — no top-k
+//     guarantee, as the paper notes;
+//   - BLINKS-style search [2]: backward search over a two-level block
+//     index (partitioned graph + keyword→block index); see blinks.go.
+//
+// Following the relational lineage of these systems ("tuples correspond to
+// vertices and foreign relationships to edges"), the traversal graph is
+// the entity graph: E-vertices connected by R-edges. Keywords are mapped
+// to entity vertices through their attribute values and labels by a
+// VertexIndex (exact stemmed matching, as in [1], [14]).
+package baseline
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// VertexIndex maps stemmed terms to the E-vertices whose attribute values
+// or labels contain them — the keyword-to-vertex mapping used by all
+// baseline searchers.
+type VertexIndex struct {
+	g        *graph.Graph
+	postings map[string][]store.ID
+}
+
+// BuildVertexIndex scans the data graph's A-edges and entity labels.
+func BuildVertexIndex(g *graph.Graph) *VertexIndex {
+	ix := &VertexIndex{g: g, postings: make(map[string][]store.ID)}
+	add := func(term string, v store.ID) {
+		list := ix.postings[term]
+		if n := len(list); n > 0 && list[n-1] == v {
+			return // consecutive duplicate (same label term twice)
+		}
+		ix.postings[term] = append(list, v)
+	}
+	st := g.Store()
+	st.ForEach(func(t store.IDTriple) {
+		if g.Kind(t.O) != graph.VVertex {
+			return
+		}
+		for _, term := range analysis.Analyze(g.Label(t.O)) {
+			add(term, t.S)
+		}
+	})
+	g.ForEachVertex(func(id store.ID, kind graph.VertexKind) {
+		if kind != graph.EVertex {
+			return
+		}
+		for _, term := range analysis.Analyze(g.Label(id)) {
+			add(term, id)
+		}
+	})
+	// Deduplicate postings.
+	for term, list := range ix.postings {
+		seen := map[store.ID]bool{}
+		out := list[:0]
+		for _, v := range list {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		ix.postings[term] = out
+	}
+	return ix
+}
+
+// Match returns the entity vertices matching a keyword (every token of the
+// keyword must match some term of the vertex's values/labels).
+func (ix *VertexIndex) Match(keyword string) []store.ID {
+	toks := analysis.AnalyzeKeyword(keyword)
+	if len(toks) == 0 {
+		return nil
+	}
+	result := ix.postings[toks[0]]
+	for _, tok := range toks[1:] {
+		set := map[store.ID]bool{}
+		for _, v := range ix.postings[tok] {
+			set[v] = true
+		}
+		var inter []store.ID
+		for _, v := range result {
+			if set[v] {
+				inter = append(inter, v)
+			}
+		}
+		result = inter
+	}
+	return result
+}
+
+// MatchAll maps every keyword; ok is false if some keyword has no match.
+func (ix *VertexIndex) MatchAll(keywords []string) (sets [][]store.ID, ok bool) {
+	sets = make([][]store.ID, len(keywords))
+	ok = true
+	for i, kw := range keywords {
+		sets[i] = ix.Match(kw)
+		if len(sets[i]) == 0 {
+			ok = false
+		}
+	}
+	return sets, ok
+}
+
+// AnswerTree is a distinct-root answer: a root vertex with one shortest
+// path to a matching vertex per keyword.
+type AnswerTree struct {
+	Root store.ID
+	// Paths[i] runs from Root to the keyword-i vertex.
+	Paths [][]store.ID
+	// Cost is the sum of the paths' edge counts (the C1-equivalent tree
+	// cost these systems rank by).
+	Cost float64
+}
+
+// SearchStats counts traversal work for the performance comparison.
+type SearchStats struct {
+	Popped     int // priority-queue pops
+	EdgesSeen  int // adjacency entries scanned
+	BlockLoads int // BLINKS only: block expansions
+}
+
+// Result is the outcome of a baseline search.
+type Result struct {
+	Trees []*AnswerTree
+	Stats SearchStats
+}
+
+// searchItem is a PQ entry shared by the searchers. parent is the vertex
+// the expansion came from (0 at origins); it becomes the settled parent
+// pointer when the item wins the pop, which keeps parent chains consistent
+// with the shortest distances.
+type searchItem struct {
+	v       store.ID
+	parent  store.ID
+	keyword int
+	cost    float64
+	act     float64 // bidirectional only: activation
+}
+
+type itemHeap struct {
+	items []searchItem
+	byAct bool // order by descending activation instead of ascending cost
+}
+
+func (h itemHeap) Len() int { return len(h.items) }
+func (h itemHeap) Less(i, j int) bool {
+	if h.byAct {
+		return h.items[i].act > h.items[j].act
+	}
+	return h.items[i].cost < h.items[j].cost
+}
+func (h itemHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *itemHeap) Push(x interface{}) { h.items = append(h.items, x.(searchItem)) }
+func (h *itemHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// perKeywordState tracks settled distances and parents for one keyword.
+type perKeywordState struct {
+	dist   map[store.ID]float64
+	parent map[store.ID]store.ID
+}
+
+func newPerKeywordState() *perKeywordState {
+	return &perKeywordState{
+		dist:   make(map[store.ID]float64),
+		parent: make(map[store.ID]store.ID),
+	}
+}
+
+// pathTo reconstructs root→keyword-vertex order (the parent chain runs
+// from the root back toward the origin, so the walk itself is the path).
+func (s *perKeywordState) pathTo(v store.ID) []store.ID {
+	var path []store.ID
+	cur := v
+	for {
+		path = append(path, cur)
+		next, ok := s.parent[cur]
+		if !ok {
+			break
+		}
+		cur = next
+	}
+	return path
+}
+
+// collectRoot builds an answer tree at root v if v has been settled by
+// every keyword.
+func collectRoot(states []*perKeywordState, v store.ID) (*AnswerTree, bool) {
+	tree := &AnswerTree{Root: v, Paths: make([][]store.ID, len(states))}
+	for i, st := range states {
+		d, ok := st.dist[v]
+		if !ok {
+			return nil, false
+		}
+		tree.Cost += d
+		tree.Paths[i] = st.pathTo(v)
+	}
+	return tree, true
+}
+
+// topkTrees maintains the k best distinct-root trees.
+type topkTrees struct {
+	k      int
+	byRoot map[store.ID]*AnswerTree
+}
+
+func newTopkTrees(k int) *topkTrees {
+	return &topkTrees{k: k, byRoot: make(map[store.ID]*AnswerTree)}
+}
+
+func (t *topkTrees) add(tree *AnswerTree) {
+	if prev, ok := t.byRoot[tree.Root]; ok && prev.Cost <= tree.Cost {
+		return
+	}
+	t.byRoot[tree.Root] = tree
+}
+
+// kth returns the cost of the k-th best tree (ok=false with fewer than k).
+func (t *topkTrees) kth() (float64, bool) {
+	if len(t.byRoot) < t.k {
+		return 0, false
+	}
+	costs := make([]float64, 0, len(t.byRoot))
+	for _, tr := range t.byRoot {
+		costs = append(costs, tr.Cost)
+	}
+	quickSelect(costs, t.k-1)
+	return costs[t.k-1], true
+}
+
+func (t *topkTrees) results() []*AnswerTree {
+	out := make([]*AnswerTree, 0, len(t.byRoot))
+	for _, tr := range t.byRoot {
+		out = append(out, tr)
+	}
+	sortTrees(out)
+	if len(out) > t.k {
+		out = out[:t.k]
+	}
+	return out
+}
+
+func sortTrees(ts []*AnswerTree) {
+	// insertion sort: lists are k-sized
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && less(ts[j], ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func less(a, b *AnswerTree) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	return a.Root < b.Root
+}
+
+// quickSelect partially sorts costs so costs[k] is the k-th smallest.
+func quickSelect(costs []float64, k int) {
+	lo, hi := 0, len(costs)-1
+	for lo < hi {
+		pivot := costs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for costs[i] < pivot {
+				i++
+			}
+			for costs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				costs[i], costs[j] = costs[j], costs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// BidirectionalOptions tune the BANKS-II-style bidirectional search.
+type BidirectionalOptions struct {
+	// K is the number of answer trees (default 10).
+	K int
+	// MaxDist bounds path lengths in edges (default 8).
+	MaxDist float64
+	// Mu is the per-hop activation decay of the spreading-activation
+	// prioritization (default 0.7).
+	Mu float64
+	// MaxPops is a safety valve (default 5,000,000).
+	MaxPops int
+}
+
+func (o BidirectionalOptions) withDefaults() BidirectionalOptions {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.MaxDist <= 0 {
+		o.MaxDist = 8
+	}
+	if o.Mu <= 0 || o.Mu >= 1 {
+		o.Mu = 0.7
+	}
+	if o.MaxPops <= 0 {
+		o.MaxPops = 5_000_000
+	}
+	return o
+}
+
+// Bidirectional runs the BANKS-II search [14]: expansion proceeds along
+// both incoming and outgoing edges ("from some vertices the answer root
+// can be reached faster by following outgoing rather than incoming
+// edges"), prioritized by spreading activation — each keyword origin
+// starts with activation 1/|K_i| which decays by Mu per hop, and the most
+// activated frontier vertex is expanded first. As in the original, this
+// heuristic provides no top-k guarantee; termination is by activation
+// exhaustion against the current k-th tree cost.
+func Bidirectional(g *graph.Graph, keywordSets [][]store.ID, opt BidirectionalOptions) *Result {
+	opt = opt.withDefaults()
+	res := &Result{}
+	m := len(keywordSets)
+	if m == 0 {
+		return res
+	}
+	for _, ks := range keywordSets {
+		if len(ks) == 0 {
+			return res
+		}
+	}
+
+	states := make([]*perKeywordState, m)
+	h := &itemHeap{byAct: true}
+	for i, ks := range keywordSets {
+		states[i] = newPerKeywordState()
+		act := 1 / float64(len(ks))
+		for _, v := range ks {
+			heap.Push(h, searchItem{v: v, keyword: i, cost: 0, act: act})
+		}
+	}
+
+	cands := newTopkTrees(opt.K)
+	for h.Len() > 0 {
+		if res.Stats.Popped >= opt.MaxPops {
+			break
+		}
+		it := heap.Pop(h).(searchItem)
+		res.Stats.Popped++
+		st := states[it.keyword]
+		if prev, settled := st.dist[it.v]; settled && prev <= it.cost {
+			continue
+		}
+		st.dist[it.v] = it.cost
+		if it.parent != 0 {
+			st.parent[it.v] = it.parent
+		}
+
+		if tree, ok := collectRoot(states, it.v); ok {
+			cands.add(tree)
+		}
+
+		if it.cost < opt.MaxDist {
+			childAct := it.act * opt.Mu
+			expand := func(other store.ID, kind graph.EdgeKind) {
+				res.Stats.EdgesSeen++
+				if kind != graph.REdge {
+					return
+				}
+				if prev, settled := st.dist[other]; settled && prev <= it.cost+1 {
+					return
+				}
+				heap.Push(h, searchItem{
+					v: other, parent: it.v, keyword: it.keyword,
+					cost: it.cost + 1, act: childAct,
+				})
+			}
+			for _, e := range g.In(it.v) {
+				expand(e.Other, e.Kind)
+			}
+			for _, e := range g.Out(it.v) {
+				expand(e.Other, e.Kind)
+			}
+		}
+
+		// Heuristic termination: the highest remaining activation implies
+		// a minimum depth; when even that depth cannot beat the k-th tree,
+		// stop. (No guarantee — activation is not a cost bound.)
+		if kth, ok := cands.kth(); ok && h.Len() > 0 {
+			top := h.items[0]
+			impliedDepth := math.Log(top.act*float64(m)) / math.Log(opt.Mu)
+			if impliedDepth > kth {
+				break
+			}
+		}
+	}
+	res.Trees = cands.results()
+	return res
+}

@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/scoring"
+)
+
+// AblationSummaryResult quantifies the paper's central efficiency claim
+// (Sec. IV-B): exploring a class-level summary instead of the data graph
+// shrinks the search space by orders of magnitude.
+type AblationSummaryResult struct {
+	Dataset string
+	// SummaryElems vs DegenerateElems: graph-index sizes with real
+	// classes vs one-entity-per-class (≈ no summarization).
+	SummaryElems, DegenerateElems int
+	// Per-query mean exploration work and time.
+	SummaryPops, DegeneratePops int
+	SummaryMs, DegenerateMs     float64
+}
+
+// RunAblationSummary compares normal summary-graph exploration against a
+// degenerate configuration where every entity is given a unique class, so
+// the "summary" is as large as the data graph itself — simulating
+// exploration without graph summarization.
+func RunAblationSummary(env *Env, workload []EffectivenessQuery) *AblationSummaryResult {
+	res := &AblationSummaryResult{Dataset: env.Name}
+
+	normal := env.Engine(scoring.Matching)
+	res.SummaryElems = normal.Summary().NumElements()
+
+	// Degenerate dataset: retype every entity with a unique class.
+	typePred := rdf.NewIRI(rdf.RDFType)
+	var degenerate []rdf.Triple
+	for _, t := range env.Triples {
+		if t.P == typePred {
+			degenerate = append(degenerate, rdf.NewTriple(
+				t.S, typePred, rdf.NewIRI(t.S.Value+"/class")))
+			continue
+		}
+		degenerate = append(degenerate, t)
+	}
+	deg := engine.New(engine.Config{Scoring: scoring.Matching})
+	deg.AddTriples(degenerate)
+	deg.Build()
+	res.DegenerateElems = deg.Summary().NumElements()
+
+	run := func(eng *engine.Engine) (int, float64) {
+		pops, n := 0, 0
+		var total time.Duration
+		for _, wq := range workload {
+			start := time.Now()
+			_, info, err := eng.SearchK(wq.Keywords, 10)
+			if err != nil {
+				continue
+			}
+			total += time.Since(start)
+			pops += info.Exploration.CursorsPopped
+			n++
+		}
+		if n == 0 {
+			return 0, 0
+		}
+		return pops / n, float64(total.Microseconds()) / float64(n) / 1000
+	}
+	res.SummaryPops, res.SummaryMs = run(normal)
+	res.DegeneratePops, res.DegenerateMs = run(deg)
+	return res
+}
+
+// String renders the summarization ablation.
+func (r *AblationSummaryResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — summary graph vs degenerate (per-entity classes) on %s\n", r.Dataset)
+	fmt.Fprintf(&b, "%-28s %14s %14s\n", "", "summary", "no summary")
+	fmt.Fprintf(&b, "%-28s %14d %14d\n", "graph index elements", r.SummaryElems, r.DegenerateElems)
+	fmt.Fprintf(&b, "%-28s %14d %14d\n", "mean cursors popped/query", r.SummaryPops, r.DegeneratePops)
+	fmt.Fprintf(&b, "%-28s %14.3f %14.3f\n", "mean search time (ms)", r.SummaryMs, r.DegenerateMs)
+	return b.String()
+}
+
+// AblationDmaxResult sweeps the exploration depth bound.
+type AblationDmaxResult struct {
+	Dataset string
+	DMaxes  []int
+	// MeanMs and MeanCands are per-dmax averages over the workload.
+	MeanMs    []float64
+	MeanCands []float64
+	Guarantee []float64 // fraction of queries with the top-k guarantee
+}
+
+// RunAblationDmax measures how the depth bound trades completeness
+// against work: small dmax misses interpretations, large dmax explores
+// more cursors.
+func RunAblationDmax(env *Env, workload []EffectivenessQuery, dmaxes []int) *AblationDmaxResult {
+	res := &AblationDmaxResult{Dataset: env.Name, DMaxes: dmaxes}
+	for _, dmax := range dmaxes {
+		eng := engine.New(engine.Config{Scoring: scoring.Matching, DMax: dmax})
+		eng.AddTriples(env.Triples)
+		eng.Build()
+		var total time.Duration
+		cands, guar, n := 0, 0, 0
+		for _, wq := range workload {
+			start := time.Now()
+			cs, info, err := eng.SearchK(wq.Keywords, 10)
+			if err != nil {
+				continue
+			}
+			total += time.Since(start)
+			cands += len(cs)
+			if info.Guaranteed {
+				guar++
+			}
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		res.MeanMs = append(res.MeanMs, float64(total.Microseconds())/float64(n)/1000)
+		res.MeanCands = append(res.MeanCands, float64(cands)/float64(n))
+		res.Guarantee = append(res.Guarantee, float64(guar)/float64(n))
+	}
+	return res
+}
+
+// String renders the dmax ablation.
+func (r *AblationDmaxResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — dmax sweep on %s\n", r.Dataset)
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s\n", "dmax", "ms/query", "cands/query", "guaranteed")
+	for i, d := range r.DMaxes {
+		fmt.Fprintf(&b, "%-6d %12.3f %12.1f %11.0f%%\n", d, r.MeanMs[i], r.MeanCands[i], r.Guarantee[i]*100)
+	}
+	return b.String()
+}
+
+// AblationOracleResult compares exploration with and without the Sec. IX
+// connectivity/score oracle.
+type AblationOracleResult struct {
+	Dataset               string
+	PlainMs, OracleMs     float64
+	PlainPops, OraclePops int
+}
+
+// RunAblationOracle measures the oracle's pruning effect over a workload.
+func RunAblationOracle(env *Env, workload []EffectivenessQuery) *AblationOracleResult {
+	res := &AblationOracleResult{Dataset: env.Name}
+	run := func(useOracle bool) (float64, int) {
+		eng := engine.New(engine.Config{Scoring: scoring.Matching, UseOracle: useOracle})
+		eng.AddTriples(env.Triples)
+		eng.Build()
+		var total time.Duration
+		pops, n := 0, 0
+		for _, wq := range workload {
+			start := time.Now()
+			_, info, err := eng.SearchK(wq.Keywords, 10)
+			if err != nil {
+				continue
+			}
+			total += time.Since(start)
+			pops += info.Exploration.CursorsPopped
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		return float64(total.Microseconds()) / float64(n) / 1000, pops / n
+	}
+	res.PlainMs, res.PlainPops = run(false)
+	res.OracleMs, res.OraclePops = run(true)
+	return res
+}
+
+// String renders the oracle ablation.
+func (r *AblationOracleResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — connectivity/score oracle on %s\n", r.Dataset)
+	fmt.Fprintf(&b, "%-18s %12s %12s\n", "", "plain", "with oracle")
+	fmt.Fprintf(&b, "%-18s %12.3f %12.3f\n", "ms/query", r.PlainMs, r.OracleMs)
+	fmt.Fprintf(&b, "%-18s %12d %12d\n", "pops/query", r.PlainPops, r.OraclePops)
+	return b.String()
+}
+
+// ScalingResult shows how query-computation time scales with data size
+// against a data-graph baseline — the mechanism behind Fig. 5: our
+// exploration runs on the summary graph, whose size depends on the schema
+// rather than the data, while the baselines traverse the data itself.
+type ScalingResult struct {
+	Sizes       []int // publications
+	Triples     []int
+	SummarySize []int
+	OursMs      []float64 // mean top-10 query computation
+	BidirectMs  []float64 // mean top-10 answer-tree search
+}
+
+// RunScaling measures mean query-computation time (ours) and answer
+// search time (bidirectional) over the first queries of the performance
+// workload at increasing DBLP scales.
+func RunScaling(sizes []int, seed int64) *ScalingResult {
+	res := &ScalingResult{Sizes: sizes}
+	queries := PerfWorkload()[:4]
+	for _, size := range sizes {
+		env := NewDBLPEnv(size, seed)
+		eng := env.Engine(scoring.Matching)
+		res.Triples = append(res.Triples, len(env.Triples))
+		res.SummarySize = append(res.SummarySize, eng.Summary().NumElements())
+
+		var ours time.Duration
+		n := 0
+		for _, q := range queries {
+			start := time.Now()
+			if _, _, err := eng.SearchK(q.Keywords, 10); err == nil {
+				ours += time.Since(start)
+				n++
+			}
+		}
+		if n == 0 {
+			n = 1
+		}
+		res.OursMs = append(res.OursMs, float64(ours.Microseconds())/float64(n)/1000)
+
+		vix := env.VertexIndex()
+		var bidi time.Duration
+		n = 0
+		for _, q := range queries {
+			sets, ok := vix.MatchAll(q.Keywords)
+			if !ok {
+				continue
+			}
+			start := time.Now()
+			runBidirectional(eng, sets)
+			bidi += time.Since(start)
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		res.BidirectMs = append(res.BidirectMs, float64(bidi.Microseconds())/float64(n)/1000)
+	}
+	return res
+}
+
+// String renders the scaling table.
+func (r *ScalingResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — scaling: query computation vs data-graph search\n")
+	fmt.Fprintf(&b, "%-8s %10s %10s %14s %14s\n", "pubs", "triples", "summary", "ours (ms)", "bidirect (ms)")
+	for i, s := range r.Sizes {
+		fmt.Fprintf(&b, "%-8d %10d %10d %14.2f %14.2f\n",
+			s, r.Triples[i], r.SummarySize[i], r.OursMs[i], r.BidirectMs[i])
+	}
+	return b.String()
+}
+
+// AblationCapResult sweeps MaxCursorsPerElement (the paper's per-element
+// space bound k) to show its effect on work and result quality.
+type AblationCapResult struct {
+	Dataset string
+	Caps    []int
+	MeanMs  []float64
+	Pops    []int
+}
+
+// RunAblationCap sweeps the per-(element, keyword) cursor cap of
+// Algorithm 1's bookkeeping structure.
+func RunAblationCap(env *Env, workload []EffectivenessQuery, caps []int) *AblationCapResult {
+	res := &AblationCapResult{Dataset: env.Name, Caps: caps}
+	eng := env.Engine(scoring.Matching)
+	for _, cap := range caps {
+		var total time.Duration
+		pops, n := 0, 0
+		for _, wq := range workload {
+			// Drive core directly to vary the cap.
+			matches := eng.KeywordIndex().LookupAll(wq.Keywords, keywordOpts())
+			ok := true
+			for _, m := range matches {
+				if len(m) == 0 {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			ag := eng.Summary().Augment(matches)
+			scorer := scoring.New(scoring.Matching, ag)
+			start := time.Now()
+			r := core.Explore(ag, scorer.ElementCost, core.Options{K: 10, MaxCursorsPerElement: cap})
+			total += time.Since(start)
+			pops += r.Stats.CursorsPopped
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		res.MeanMs = append(res.MeanMs, float64(total.Microseconds())/float64(n)/1000)
+		res.Pops = append(res.Pops, pops/n)
+	}
+	return res
+}
+
+// String renders the cursor-cap ablation.
+func (r *AblationCapResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation — per-element cursor cap on %s\n", r.Dataset)
+	fmt.Fprintf(&b, "%-6s %12s %12s\n", "cap", "ms/query", "pops/query")
+	for i, c := range r.Caps {
+		fmt.Fprintf(&b, "%-6d %12.3f %12d\n", c, r.MeanMs[i], r.Pops[i])
+	}
+	return b.String()
+}

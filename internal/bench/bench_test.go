@@ -1,0 +1,166 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/scoring"
+)
+
+// smallDBLP returns a shared small environment for harness tests.
+var sharedEnv *Env
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		sharedEnv = NewDBLPEnv(800, 1)
+	}
+	return sharedEnv
+}
+
+func TestFig4RunsAndC3Wins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	res := RunFig4(env, DBLPWorkload(), 10)
+	if len(res.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(res.Rows))
+	}
+	c1, c2, c3 := res.MRR[scoring.PathLength], res.MRR[scoring.Popularity], res.MRR[scoring.Matching]
+	t.Logf("MRR: C1=%.3f C2=%.3f C3=%.3f", c1, c2, c3)
+	// The paper's qualitative claims: C3 is superior, and a meaningful
+	// fraction of information needs is answered at rank 1.
+	if c3 < 0.5 {
+		t.Errorf("C3 MRR = %.3f, expected ≥ 0.5 — gold queries may be misaligned:\n%s", c3, res)
+	}
+	if c3+1e-9 < c1 || c3+1e-9 < c2 {
+		t.Errorf("C3 (%.3f) should dominate C1 (%.3f) and C2 (%.3f)\n%s", c3, c1, c2, res)
+	}
+	if !strings.Contains(res.String(), "MRR") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig4TAP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := NewTAPEnv(25, 1)
+	res := RunFig4(env, TAPWorkload(), 10)
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(res.Rows))
+	}
+	c3 := res.MRR[scoring.Matching]
+	t.Logf("TAP MRR: C1=%.3f C2=%.3f C3=%.3f",
+		res.MRR[scoring.PathLength], res.MRR[scoring.Popularity], c3)
+	if c3 < 0.4 {
+		t.Errorf("TAP C3 MRR = %.3f too low:\n%s", c3, res)
+	}
+}
+
+func TestFig5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	res := RunFig5(env, PerfWorkload(), 10)
+	if len(res.Cells) != 10 {
+		t.Fatalf("cells for %d queries, want 10", len(res.Cells))
+	}
+	// Our system must produce answers for the sentinel-based queries.
+	ours := 0
+	for _, q := range res.Queries {
+		if res.Cells[q.ID][SysOurs].Outputs > 0 {
+			ours++
+		}
+	}
+	if ours < 6 {
+		t.Errorf("our system produced answers for only %d/10 queries:\n%s", ours, res)
+	}
+	if !strings.Contains(res.String(), "Q10") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig6aRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	res := RunFig6a(env, DBLPWorkload(), []int{1, 10, 50})
+	if len(res.Lengths) == 0 {
+		t.Fatal("no query lengths measured")
+	}
+	if !strings.Contains(res.String(), "len=") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestFig6bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := RunFig6b([]*Env{NewDBLPEnv(800, 1), NewLUBMEnv(1, 1), NewTAPEnv(15, 1)})
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]Fig6bRow{}
+	for _, r := range res.Rows {
+		byName[r.Dataset] = r
+	}
+	// The paper's Fig. 6b observations.
+	if byName["TAP"].GraphElems <= byName["DBLP"].GraphElems {
+		t.Errorf("TAP graph index (%d) should exceed DBLP's (%d)\n%s",
+			byName["TAP"].GraphElems, byName["DBLP"].GraphElems, res)
+	}
+	if byName["DBLP"].KeywordRefs <= byName["TAP"].KeywordRefs {
+		t.Errorf("DBLP keyword index (%d refs) should exceed TAP's (%d)\n%s",
+			byName["DBLP"].KeywordRefs, byName["TAP"].KeywordRefs, res)
+	}
+}
+
+func TestAblationSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := NewDBLPEnv(400, 1)
+	res := RunAblationSummary(env, DBLPWorkload()[:6])
+	if res.DegenerateElems <= res.SummaryElems {
+		t.Errorf("degenerate graph index (%d) should dwarf the summary (%d)",
+			res.DegenerateElems, res.SummaryElems)
+	}
+	t.Logf("\n%s", res)
+}
+
+func TestAblationDmaxAndCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	d := RunAblationDmax(env, DBLPWorkload()[:8], []int{4, 8, 12})
+	if len(d.MeanMs) != 3 {
+		t.Fatal("dmax sweep incomplete")
+	}
+	c := RunAblationCap(env, DBLPWorkload()[:8], []int{1, 10, 100})
+	if len(c.MeanMs) != 3 {
+		t.Fatal("cap sweep incomplete")
+	}
+	t.Logf("\n%s\n%s", d, c)
+}
+
+func TestBlinksBlockCountsDiffer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := testEnv(t)
+	a := env.Blinks(300, baseline.PartitionBFS).Stats()
+	b := env.Blinks(1000, baseline.PartitionBFS).Stats()
+	if a.Blocks == b.Blocks {
+		t.Fatal("block configurations identical")
+	}
+	if b.EdgeCut <= a.EdgeCut {
+		t.Errorf("more blocks should cut more edges: 300→%d, 1000→%d", a.EdgeCut, b.EdgeCut)
+	}
+}

@@ -1,0 +1,106 @@
+// Package bench is the evaluation harness: it regenerates every table and
+// figure of the paper's Sec. VII on the synthetic datasets — Fig. 4
+// (effectiveness of the scoring functions), Fig. 5 (query performance
+// against the baselines), Fig. 6a (impact of k and query length), and
+// Fig. 6b (index sizes and build times) — plus the ablations called out
+// in DESIGN.md. Each runner returns a result struct whose String method
+// prints a table shaped like the paper's figure.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/keywordindex"
+	"repro/internal/rdf"
+	"repro/internal/scoring"
+	"repro/internal/store"
+)
+
+// keywordOpts are the keyword-index lookup options used when the harness
+// drives the pipeline stages directly (matching the engine defaults).
+func keywordOpts() keywordindex.LookupOptions {
+	return keywordindex.LookupOptions{MaxMatches: 8}
+}
+
+// engineNew builds an engine with default configuration (fresh, uncached).
+func engineNew() *engine.Engine {
+	return engine.New(engine.Config{})
+}
+
+// runBidirectional runs the bidirectional baseline over the engine's data
+// graph (shared by the scaling ablation).
+func runBidirectional(eng *engine.Engine, sets [][]store.ID) {
+	baseline.Bidirectional(eng.Graph(), sets, baseline.BidirectionalOptions{K: 10})
+}
+
+// Env bundles a dataset with the engines and baseline indexes built on
+// it. Construction is deterministic per config.
+type Env struct {
+	Name    string
+	Triples []rdf.Triple
+
+	engines map[scoring.Scheme]*engine.Engine
+
+	vix    *baseline.VertexIndex
+	blinks map[string]*baseline.BlinksIndex
+}
+
+// NewDBLPEnv builds the DBLP evaluation environment.
+func NewDBLPEnv(publications int, seed int64) *Env {
+	return newEnv("DBLP", datagen.DBLPTriples(datagen.DBLPConfig{Publications: publications, Seed: seed}))
+}
+
+// NewLUBMEnv builds the LUBM evaluation environment.
+func NewLUBMEnv(universities int, seed int64) *Env {
+	return newEnv("LUBM", datagen.LUBMTriples(datagen.LUBMConfig{Universities: universities, Seed: seed}))
+}
+
+// NewTAPEnv builds the TAP evaluation environment.
+func NewTAPEnv(instancesPerClass int, seed int64) *Env {
+	return newEnv("TAP", datagen.TAPTriples(datagen.TAPConfig{InstancesPerClass: instancesPerClass, Seed: seed}))
+}
+
+func newEnv(name string, ts []rdf.Triple) *Env {
+	return &Env{
+		Name:    name,
+		Triples: ts,
+		engines: map[scoring.Scheme]*engine.Engine{},
+		blinks:  map[string]*baseline.BlinksIndex{},
+	}
+}
+
+// Engine returns (building on first use) an engine with the given scoring
+// scheme over the environment's dataset.
+func (e *Env) Engine(s scoring.Scheme) *engine.Engine {
+	if eng, ok := e.engines[s]; ok {
+		return eng
+	}
+	eng := engine.New(engine.Config{Scoring: s})
+	eng.AddTriples(e.Triples)
+	eng.Build()
+	e.engines[s] = eng
+	return eng
+}
+
+// VertexIndex returns the baseline keyword-to-vertex index.
+func (e *Env) VertexIndex() *baseline.VertexIndex {
+	if e.vix == nil {
+		e.vix = baseline.BuildVertexIndex(e.Engine(scoring.Matching).Graph())
+	}
+	return e.vix
+}
+
+// Blinks returns (building on first use) a BLINKS index with the given
+// block count and partitioning scheme.
+func (e *Env) Blinks(blocks int, scheme baseline.PartitionScheme) *baseline.BlinksIndex {
+	key := fmt.Sprintf("%s-%d", scheme, blocks)
+	if ix, ok := e.blinks[key]; ok {
+		return ix
+	}
+	ix := baseline.BuildBlinks(e.Engine(scoring.Matching).Graph(), blocks, scheme)
+	e.blinks[key] = ix
+	return ix
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/scoring"
+)
+
+// Fig4Row is one query's reciprocal ranks under the three scoring
+// functions.
+type Fig4Row struct {
+	ID       string
+	Keywords []string
+	RR       map[scoring.Scheme]float64
+	// TopUnderC3 is the top candidate's description under C3, kept for
+	// qualitative inspection of mismatches.
+	TopUnderC3 string
+}
+
+// Fig4Result is the effectiveness study of Fig. 4.
+type Fig4Result struct {
+	Dataset string
+	Rows    []Fig4Row
+	MRR     map[scoring.Scheme]float64
+}
+
+var schemes = []scoring.Scheme{scoring.PathLength, scoring.Popularity, scoring.Matching}
+
+// RunFig4 evaluates the effectiveness workload on env with k candidates
+// per query: for every query and scoring function it computes the
+// reciprocal rank of the first candidate equivalent to an accepted gold
+// query, and aggregates MRR per scheme.
+func RunFig4(env *Env, workload []EffectivenessQuery, k int) *Fig4Result {
+	res := &Fig4Result{Dataset: env.Name, MRR: map[scoring.Scheme]float64{}}
+	perScheme := map[scoring.Scheme][]float64{}
+	for _, wq := range workload {
+		row := Fig4Row{ID: wq.ID, Keywords: wq.Keywords, RR: map[scoring.Scheme]float64{}}
+		for _, s := range schemes {
+			eng := env.Engine(s)
+			cands, _, err := eng.SearchK(wq.Keywords, k)
+			rr := 0.0
+			if err == nil {
+				rr = metrics.ReciprocalRank(len(cands), func(i int) bool {
+					for _, g := range wq.Gold {
+						if query.Equivalent(cands[i].Query, g) {
+							return true
+						}
+					}
+					return false
+				})
+				if s == scoring.Matching && len(cands) > 0 {
+					row.TopUnderC3 = cands[0].Describe()
+				}
+			}
+			row.RR[s] = rr
+			perScheme[s] = append(perScheme[s], rr)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	for _, s := range schemes {
+		res.MRR[s] = metrics.Mean(perScheme[s])
+	}
+	return res
+}
+
+// String renders the Fig. 4 table: per-query RR under C1/C2/C3 and the
+// MRR summary the figure plots.
+func (r *Fig4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4 — MRR of the scoring functions on %s\n", r.Dataset)
+	fmt.Fprintf(&b, "%-5s %-42s %6s %6s %6s\n", "query", "keywords", "C1", "C2", "C3")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-5s %-42s %6.3f %6.3f %6.3f\n",
+			row.ID, strings.Join(row.Keywords, " "),
+			row.RR[scoring.PathLength], row.RR[scoring.Popularity], row.RR[scoring.Matching])
+	}
+	fmt.Fprintf(&b, "%-5s %-42s %6.3f %6.3f %6.3f\n", "MRR", "",
+		r.MRR[scoring.PathLength], r.MRR[scoring.Popularity], r.MRR[scoring.Matching])
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/scoring"
+)
+
+// Fig5System identifies one competitor of the Fig. 5 comparison.
+type Fig5System string
+
+// The systems of Fig. 5, labelled as in the paper.
+const (
+	SysOurs      Fig5System = "Our Solution"
+	SysBidirect  Fig5System = "Bidirect"
+	Sys1000BFS   Fig5System = "1000 BFS"
+	Sys1000METIS Fig5System = "1000 METIS"
+	Sys300BFS    Fig5System = "300 BFS"
+	Sys300METIS  Fig5System = "300 METIS"
+)
+
+// Fig5Systems lists the systems in the paper's legend order.
+var Fig5Systems = []Fig5System{SysOurs, SysBidirect, Sys1000BFS, Sys1000METIS, Sys300BFS, Sys300METIS}
+
+// Fig5Cell is one (query, system) measurement.
+type Fig5Cell struct {
+	Elapsed time.Duration
+	// Outputs is the number of results produced: answers for our system
+	// (top-10 queries processed until ≥10 answers), answer trees for the
+	// baselines.
+	Outputs int
+}
+
+// Fig5Result is the query-performance comparison of Fig. 5.
+type Fig5Result struct {
+	Dataset string
+	Queries []PerfQuery
+	Cells   map[string]map[Fig5System]Fig5Cell
+}
+
+// RunFig5 measures, per workload query:
+//
+//   - Our Solution: top-10 query computation plus processing the top
+//     queries until at least 10 answers are found (the paper's protocol);
+//   - Bidirect: bidirectional search for the top-10 answer trees;
+//   - 300/1000 × BFS/METIS: BLINKS-style block-index search for the
+//     top-10 answer trees.
+//
+// Index construction (offline in all systems) is excluded from timings.
+func RunFig5(env *Env, workload []PerfQuery, k int) *Fig5Result {
+	res := &Fig5Result{Dataset: env.Name, Queries: workload,
+		Cells: map[string]map[Fig5System]Fig5Cell{}}
+
+	eng := env.Engine(scoring.Matching)
+	vix := env.VertexIndex()
+	blinks := map[Fig5System]*baseline.BlinksIndex{
+		Sys1000BFS:   env.Blinks(1000, baseline.PartitionBFS),
+		Sys1000METIS: env.Blinks(1000, baseline.PartitionMetis),
+		Sys300BFS:    env.Blinks(300, baseline.PartitionBFS),
+		Sys300METIS:  env.Blinks(300, baseline.PartitionMetis),
+	}
+
+	for _, q := range workload {
+		cells := map[Fig5System]Fig5Cell{}
+
+		// Our Solution: query computation + processing until k answers.
+		start := time.Now()
+		cands, _, err := eng.SearchK(q.Keywords, k)
+		outputs := 0
+		if err == nil {
+			rs, _, execErr := eng.AnswersForTop(cands, k)
+			if execErr == nil {
+				outputs = rs.Len()
+			}
+		}
+		cells[SysOurs] = Fig5Cell{Elapsed: time.Since(start), Outputs: outputs}
+
+		// Baselines share the keyword→vertex mapping.
+		sets, _ := vix.MatchAll(q.Keywords)
+
+		start = time.Now()
+		bidi := baseline.Bidirectional(eng.Graph(), sets, baseline.BidirectionalOptions{K: k})
+		cells[SysBidirect] = Fig5Cell{Elapsed: time.Since(start), Outputs: len(bidi.Trees)}
+
+		for sys, ix := range blinks {
+			start = time.Now()
+			bl := ix.Search(sets, baseline.BackwardOptions{K: k})
+			cells[sys] = Fig5Cell{Elapsed: time.Since(start), Outputs: len(bl.Trees)}
+		}
+		res.Cells[q.ID] = cells
+	}
+	return res
+}
+
+// Fig5BaselineRunner returns a closure that runs one baseline system for
+// a keyword query and returns its output count — the per-system unit the
+// root-level benchmarks time. Index construction happens before the
+// closure is returned (it is an off-line cost in all systems).
+func Fig5BaselineRunner(env *Env, sys Fig5System) func(keywords []string, k int) int {
+	g := env.Engine(scoring.Matching).Graph()
+	vix := env.VertexIndex()
+	switch sys {
+	case SysBidirect:
+		return func(keywords []string, k int) int {
+			sets, ok := vix.MatchAll(keywords)
+			if !ok {
+				return 0
+			}
+			return len(baseline.Bidirectional(g, sets, baseline.BidirectionalOptions{K: k}).Trees)
+		}
+	case SysOurs:
+		eng := env.Engine(scoring.Matching)
+		return func(keywords []string, k int) int {
+			cands, _, err := eng.SearchK(keywords, k)
+			if err != nil {
+				return 0
+			}
+			rs, _, err := eng.AnswersForTop(cands, k)
+			if err != nil {
+				return 0
+			}
+			return rs.Len()
+		}
+	default:
+		blocks := 1000
+		scheme := baseline.PartitionBFS
+		switch sys {
+		case Sys1000METIS:
+			scheme = baseline.PartitionMetis
+		case Sys300BFS:
+			blocks = 300
+		case Sys300METIS:
+			blocks, scheme = 300, baseline.PartitionMetis
+		}
+		ix := env.Blinks(blocks, scheme)
+		return func(keywords []string, k int) int {
+			sets, ok := ix.MatchAll(keywords)
+			if !ok {
+				return 0
+			}
+			return len(ix.Search(sets, baseline.BackwardOptions{K: k}).Trees)
+		}
+	}
+}
+
+// BuildIndexesOnce builds a fresh engine over the environment's triples —
+// the unit of work the Fig. 6b indexing benchmark times.
+func BuildIndexesOnce(env *Env) {
+	eng := engineNew()
+	eng.AddTriples(env.Triples)
+	eng.Build()
+}
+
+// String renders the Fig. 5 table (milliseconds per query and system; the
+// paper plots the same numbers on a log scale).
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5 — query performance on %s (ms; outputs in parentheses)\n", r.Dataset)
+	fmt.Fprintf(&b, "%-5s", "query")
+	for _, sys := range Fig5Systems {
+		fmt.Fprintf(&b, " %16s", string(sys))
+	}
+	b.WriteByte('\n')
+	for _, q := range r.Queries {
+		fmt.Fprintf(&b, "%-5s", q.ID)
+		for _, sys := range Fig5Systems {
+			c := r.Cells[q.ID][sys]
+			fmt.Fprintf(&b, " %11.2f (%2d)", float64(c.Elapsed.Microseconds())/1000, c.Outputs)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/scoring"
+)
+
+// Fig6aResult is the search-performance study of Fig. 6a: average query
+// computation time as a function of k and of query length.
+type Fig6aResult struct {
+	Dataset string
+	Ks      []int
+	Lengths []int
+	// AvgMs[k][length] is the mean search time in milliseconds.
+	AvgMs map[int]map[int]float64
+}
+
+// RunFig6a measures average top-k computation time over the workload,
+// grouped by query length (number of keywords), for each k. The paper
+// reports linear growth in k and little length impact at k = 10.
+func RunFig6a(env *Env, workload []EffectivenessQuery, ks []int) *Fig6aResult {
+	eng := env.Engine(scoring.Matching)
+	byLen := map[int][][]string{}
+	for _, wq := range workload {
+		l := len(wq.Keywords)
+		byLen[l] = append(byLen[l], wq.Keywords)
+	}
+	var lengths []int
+	for l := 2; l <= 6; l++ {
+		if len(byLen[l]) > 0 {
+			lengths = append(lengths, l)
+		}
+	}
+	res := &Fig6aResult{Dataset: env.Name, Ks: ks, Lengths: lengths, AvgMs: map[int]map[int]float64{}}
+	for _, k := range ks {
+		res.AvgMs[k] = map[int]float64{}
+		for _, l := range lengths {
+			var total time.Duration
+			n := 0
+			for _, kws := range byLen[l] {
+				start := time.Now()
+				_, _, err := eng.SearchK(kws, k)
+				if err != nil {
+					continue
+				}
+				total += time.Since(start)
+				n++
+			}
+			if n > 0 {
+				res.AvgMs[k][l] = float64(total.Microseconds()) / float64(n) / 1000
+			}
+		}
+	}
+	return res
+}
+
+// String renders the Fig. 6a table: rows are k, columns query lengths.
+func (r *Fig6aResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6a — average search time on %s (ms)\n", r.Dataset)
+	fmt.Fprintf(&b, "%-6s", "k")
+	for _, l := range r.Lengths {
+		fmt.Fprintf(&b, " %10s", fmt.Sprintf("len=%d", l))
+	}
+	b.WriteByte('\n')
+	for _, k := range r.Ks {
+		fmt.Fprintf(&b, "%-6d", k)
+		for _, l := range r.Lengths {
+			fmt.Fprintf(&b, " %10.3f", r.AvgMs[k][l])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig6bRow is one dataset's index statistics.
+type Fig6bRow struct {
+	Dataset      string
+	Triples      int
+	VVertices    int
+	Classes      int
+	KeywordRefs  int
+	KeywordKB    int
+	GraphElems   int
+	IndexingTime time.Duration
+}
+
+// Fig6bResult is the index-performance study of Fig. 6b.
+type Fig6bResult struct {
+	Rows []Fig6bRow
+}
+
+// RunFig6b builds the indexes of all three datasets and reports their
+// sizes and construction times. The paper's observations to reproduce:
+// the keyword index is largest for DBLP (driven by V-vertices), the graph
+// index is largest for TAP (driven by the number of classes), and
+// indexing time is practical.
+func RunFig6b(envs []*Env) *Fig6bResult {
+	res := &Fig6bResult{}
+	for _, env := range envs {
+		eng := engine.New(engine.Config{})
+		eng.AddTriples(env.Triples)
+		eng.Build()
+		g := eng.Graph().Stats()
+		k := eng.KeywordIndex().Stats()
+		res.Rows = append(res.Rows, Fig6bRow{
+			Dataset:      env.Name,
+			Triples:      g.Triples(),
+			VVertices:    g.VVertices,
+			Classes:      g.CVertices,
+			KeywordRefs:  k.Refs,
+			KeywordKB:    k.EstimatedBytes() / 1024,
+			GraphElems:   eng.Summary().NumElements(),
+			IndexingTime: eng.BuildTime,
+		})
+	}
+	return res
+}
+
+// String renders the Fig. 6b table.
+func (r *Fig6bResult) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 6b — index performance\n")
+	fmt.Fprintf(&b, "%-6s %9s %9s %8s %12s %10s %11s %12s\n",
+		"data", "triples", "V-verts", "classes", "kw refs", "kw size", "graph elems", "index time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6s %9d %9d %8d %12d %8dKB %11d %12v\n",
+			row.Dataset, row.Triples, row.VVertices, row.Classes,
+			row.KeywordRefs, row.KeywordKB, row.GraphElems, row.IndexingTime.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's primary contribution: the top-k
+// exploration of query candidates over the augmented summary graph —
+// Algorithm 1 (search for minimal matching subgraphs, Sec. VI-B) and
+// Algorithm 2 (Threshold-Algorithm-style top-k computation, Sec. VI-C).
+//
+// Exploration starts one cursor per keyword element and repeatedly expands
+// the globally cheapest cursor to the neighbors of its element. Because
+// element costs are strictly positive and the aggregation is monotonic,
+// cursors are created and popped in ascending order of path cost
+// (Theorem 1), which is what makes the TA-style termination condition
+// sound: once the k-th best candidate subgraph costs less than the
+// cheapest outstanding cursor, no better subgraph can still appear.
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/summary"
+)
+
+// Cursor is the c(n, k, p, d, w) record of Algorithm 1: it represents one
+// distinct path from a keyword element to the element just visited.
+type Cursor struct {
+	// Elem is n: the graph element this cursor just visited.
+	Elem summary.ElemID
+	// Keyword is the index i of the keyword set K_i the path originates from.
+	Keyword int
+	// Origin is k: the keyword element at the start of the path.
+	Origin summary.ElemID
+	// Parent is p: the cursor this one was expanded from (nil at origins).
+	Parent *Cursor
+	// Dist is d: the number of elements on the path after the origin.
+	Dist int
+	// Cost is w: the accumulated cost of the path, including both the
+	// origin element and Elem.
+	Cost float64
+	// seq is a creation sequence number used to break cost ties FIFO, so
+	// exploration order (and thus the order of equal-cost candidates) is
+	// deterministic and favors earlier-created cursors — whose origins are
+	// the better-ranked keyword matches.
+	seq int
+}
+
+// Path materializes the cursor's path from the origin to Elem.
+func (c *Cursor) Path() []summary.ElemID {
+	var rev []summary.ElemID
+	for cur := c; cur != nil; cur = cur.Parent {
+		rev = append(rev, cur.Elem)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// onPath reports whether e lies on the cursor's path (the parents(c) check
+// of Algorithm 1 line 17, preventing cyclic expansion).
+func (c *Cursor) onPath(e summary.ElemID) bool {
+	for cur := c; cur != nil; cur = cur.Parent {
+		if cur.Elem == e {
+			return true
+		}
+	}
+	return false
+}
+
+// cursorQueue is a min-heap over cursor cost. The paper keeps one sorted
+// queue per keyword and pops the global minimum; a single heap over all
+// cursors selects exactly the same cursor at every step.
+type cursorQueue []*Cursor
+
+func (q cursorQueue) Len() int { return len(q) }
+func (q cursorQueue) Less(i, j int) bool {
+	if q[i].Cost != q[j].Cost {
+		return q[i].Cost < q[j].Cost
+	}
+	return q[i].seq < q[j].seq
+}
+func (q cursorQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *cursorQueue) Push(x interface{}) { *q = append(*q, x.(*Cursor)) }
+func (q *cursorQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return c
+}
+
+func (q *cursorQueue) push(c *Cursor) { heap.Push(q, c) }
+func (q *cursorQueue) pop() *Cursor   { return heap.Pop(q).(*Cursor) }
+
+// min returns the cheapest outstanding cursor cost, or ok=false if empty.
+func (q cursorQueue) min() (float64, bool) {
+	if len(q) == 0 {
+		return 0, false
+	}
+	return q[0].Cost, true
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"repro/internal/summary"
+)
+
+// CostFunc returns the strictly positive cost c(n) of a summary-graph
+// element (package scoring provides the paper's C1/C2/C3).
+type CostFunc func(summary.ElemID) float64
+
+// Options tune the exploration.
+type Options struct {
+	// K is the number of query candidates to compute (default 10).
+	K int
+	// DMax bounds the path length: a path may contain at most DMax
+	// elements after its origin (default 12 — six vertex/edge hops).
+	DMax int
+	// MaxCursorsPerElement caps the cursors kept per (element, keyword),
+	// the k of the paper's space bound k·|K|·|G| (default: K). Expansion
+	// continues through saturated elements; only candidate generation at
+	// them is capped.
+	MaxCursorsPerElement int
+	// MaxPops hard-bounds exploration steps as a safety valve against
+	// adversarially dense graphs (default 2_000_000).
+	MaxPops int
+
+	// UseOracle enables the Sec. IX connectivity/score oracle: one
+	// multi-source Dijkstra per keyword before exploration. Cursors in
+	// components unreachable by some keyword are discarded outright, and
+	// path registration is gated by the admissible completion bound
+	// cost + Σ_{j≠i} d_j(n) against the current k-th candidate. Results
+	// are identical; exploration work shrinks, most visibly when a
+	// keyword's matches sit in a different component.
+	UseOracle bool
+
+	// testOnPop, when set by tests, observes every popped cursor (used to
+	// verify the ascending-cost pop order of Theorem 1).
+	testOnPop func(*Cursor)
+}
+
+func (o Options) withDefaults() Options {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.DMax <= 0 {
+		o.DMax = 12
+	}
+	if o.MaxCursorsPerElement <= 0 {
+		o.MaxCursorsPerElement = o.K
+	}
+	if o.MaxPops <= 0 {
+		o.MaxPops = 2_000_000
+	}
+	return o
+}
+
+// Stats counts exploration work, reported by the benchmark harness.
+type Stats struct {
+	CursorsCreated  int
+	CursorsPopped   int
+	ElementsVisited int // distinct elements with at least one registered path
+	Candidates      int // subgraphs generated (before de-duplication)
+	Terminated      TerminationReason
+}
+
+// TerminationReason says why the exploration stopped.
+type TerminationReason uint8
+
+const (
+	// Exhausted: all distinct paths within DMax were explored (conditions
+	// a/b of Sec. VI-B).
+	Exhausted TerminationReason = iota
+	// TopKReached: the TA bound of Algorithm 2 proved the top-k complete
+	// (condition c).
+	TopKReached
+	// Aborted: the MaxPops safety valve fired.
+	Aborted
+)
+
+// String names the reason.
+func (r TerminationReason) String() string {
+	switch r {
+	case Exhausted:
+		return "exhausted"
+	case TopKReached:
+		return "top-k reached"
+	default:
+		return "aborted"
+	}
+}
+
+// Result is the outcome of an exploration.
+type Result struct {
+	// Subgraphs holds up to K minimal matching subgraphs in ascending
+	// cost order.
+	Subgraphs []*Subgraph
+	// Stats describes the exploration effort.
+	Stats Stats
+	// Guaranteed is true when the result provably contains the k minimal
+	// subgraphs (termination by TA bound or by exhaustion).
+	Guaranteed bool
+}
+
+// elemState is the n(w, (C1..Cm)) bookkeeping of Algorithm 1: the paths
+// registered at element n, one list per keyword, each in ascending cost
+// order (a consequence of Theorem 1's pop order).
+type elemState struct {
+	lists [][]*Cursor
+}
+
+// Explore runs Algorithms 1 and 2 over an augmented summary graph: it
+// searches for the K cheapest K-matching subgraphs connecting the keyword
+// element sets ag.Seeds() under the given cost function.
+//
+// If any keyword has no elements, no matching subgraph exists and an empty
+// guaranteed result is returned.
+func Explore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
+	opt = opt.withDefaults()
+	seeds := ag.Seeds()
+	m := len(seeds)
+	res := &Result{}
+	if m == 0 {
+		res.Guaranteed = true
+		res.Stats.Terminated = Exhausted
+		return res
+	}
+	for _, ki := range seeds {
+		if len(ki) == 0 {
+			res.Guaranteed = true
+			res.Stats.Terminated = Exhausted
+			return res
+		}
+	}
+
+	var queue cursorQueue
+	states := make(map[summary.ElemID]*elemState)
+	candidates := newCandidateList(opt.K)
+	var oracle *DistanceOracle
+	if opt.UseOracle {
+		oracle = NewDistanceOracle(ag, cost, seeds)
+	}
+
+	// Algorithm 1 lines 1–6: one cursor per keyword element. Seeds keep
+	// the keyword index's ranking order via their sequence numbers.
+	for i, ki := range seeds {
+		for _, k := range ki {
+			queue.push(&Cursor{Elem: k, Keyword: i, Origin: k, Dist: 0, Cost: cost(k), seq: res.Stats.CursorsCreated})
+			res.Stats.CursorsCreated++
+		}
+	}
+
+	for queue.Len() > 0 {
+		if res.Stats.CursorsPopped >= opt.MaxPops {
+			res.Stats.Terminated = Aborted
+			res.Subgraphs = candidates.results()
+			return res
+		}
+		c := queue.pop() // minCostCursor(LQ)
+		res.Stats.CursorsPopped++
+		if opt.testOnPop != nil {
+			opt.testOnPop(c)
+		}
+		n := c.Elem
+
+		// Cost-bound pruning: once k candidates exist, a cursor whose path
+		// already costs at least the k-th candidate's cost can never
+		// participate in a strictly better subgraph (any subgraph
+		// containing it costs at least the path's cost, and element costs
+		// are strictly positive), so it is discarded without registration
+		// or expansion. This preserves the top-k guarantee and caps the
+		// combinatorial tail on dense summary graphs.
+		if kth, full := candidates.kthCost(); full && c.Cost >= kth {
+			continue
+		}
+		// Oracle pruning (sound): an element some keyword cannot reach
+		// lies in a component where no connecting element can ever form —
+		// neither can any of the cursor's descendants (adjacency keeps
+		// components).
+		if oracle != nil && !oracle.Reachable(n) {
+			continue
+		}
+
+		if c.Dist < opt.DMax {
+			// Register the path at n (line 11) and generate the new
+			// candidate subgraphs it completes (Algorithm 2).
+			st := states[n]
+			if st == nil {
+				st = &elemState{lists: make([][]*Cursor, m)}
+				states[n] = st
+				res.Stats.ElementsVisited++
+			}
+			registered := false
+			if len(st.lists[c.Keyword]) < opt.MaxCursorsPerElement {
+				// Oracle gating (sound): candidates formed at n with this
+				// path cost at least c.Cost + Σ_{j≠i} d_j(n); if that
+				// bound already exceeds the k-th candidate it can be
+				// skipped — the bound only loosens as kth shrinks, never
+				// the other way.
+				if oracle == nil {
+					st.lists[c.Keyword] = append(st.lists[c.Keyword], c)
+					registered = true
+				} else if kth, full := candidates.kthCost(); !full || c.Cost+oracle.Remaining(c.Keyword, n) <= kth {
+					st.lists[c.Keyword] = append(st.lists[c.Keyword], c)
+					registered = true
+				}
+			}
+
+			if registered {
+				generateCandidates(st, c, candidates, &res.Stats)
+			}
+
+			// Expand to neighbors (lines 13–23). Children at distance
+			// DMax could never be registered (line 10 requires d < dmax),
+			// so they are not enqueued at all.
+			if c.Dist+1 < opt.DMax {
+				parentElem := summary.NoElem
+				if c.Parent != nil {
+					parentElem = c.Parent.Elem
+				}
+				for _, nb := range ag.Neighbors(n) {
+					if nb == parentElem {
+						continue // line 13: skip the element just visited
+					}
+					if c.onPath(nb) {
+						continue // line 17: no cyclic paths
+					}
+					child := &Cursor{
+						Elem:    nb,
+						Keyword: c.Keyword,
+						Origin:  c.Origin,
+						Parent:  c,
+						Dist:    c.Dist + 1,
+						Cost:    c.Cost + cost(nb),
+						seq:     res.Stats.CursorsCreated,
+					}
+					queue.push(child)
+					res.Stats.CursorsCreated++
+				}
+			}
+		}
+
+		// Algorithm 2 termination test: k candidates exist and the k-th
+		// costs less than any possible future subgraph.
+		if kth, ok := candidates.kthCost(); ok {
+			if lowest, any := queue.min(); !any || kth < lowest {
+				res.Stats.Terminated = TopKReached
+				res.Subgraphs = candidates.results()
+				res.Guaranteed = true
+				return res
+			}
+		}
+	}
+
+	res.Stats.Terminated = Exhausted
+	res.Subgraphs = candidates.results()
+	res.Guaranteed = true
+	return res
+}
+
+// generateCandidates implements the cursorCombinations step of Algorithm 2
+// for a newly registered cursor c at element n: if every other keyword
+// already has at least one path to n, each combination of c with one
+// cursor per other keyword yields a candidate subgraph. Generating
+// combinations only for the new cursor produces every combination exactly
+// once over the run.
+//
+// The enumeration is cost-bounded: per-keyword cursor lists are in
+// ascending cost order (Theorem 1), so as soon as the partial sum plus
+// the cheapest possible completion exceeds the current k-th candidate,
+// the remaining combinations of that branch are skipped — they could only
+// produce candidates the list would immediately discard.
+func generateCandidates(st *elemState, c *Cursor, out *candidateList, stats *Stats) {
+	m := len(st.lists)
+	for i := 0; i < m; i++ {
+		if i != c.Keyword && len(st.lists[i]) == 0 {
+			return // n is not (yet) a connecting element
+		}
+	}
+	// minTail[i] = sum of the cheapest cursor costs of keywords i..m-1
+	// (with c's own cost fixed for its keyword).
+	minTail := make([]float64, m+1)
+	for i := m - 1; i >= 0; i-- {
+		if i == c.Keyword {
+			minTail[i] = minTail[i+1] + c.Cost
+		} else {
+			minTail[i] = minTail[i+1] + st.lists[i][0].Cost
+		}
+	}
+	bound := func() (float64, bool) { return out.kthCost() }
+
+	combo := make([]*Cursor, m)
+	combo[c.Keyword] = c
+	var rec func(i int, partial float64)
+	rec = func(i int, partial float64) {
+		if i == m {
+			out.add(mergeCursorPaths(combo))
+			stats.Candidates++
+			return
+		}
+		if i == c.Keyword {
+			rec(i+1, partial+c.Cost)
+			return
+		}
+		for _, other := range st.lists[i] {
+			if kth, full := bound(); full && partial+other.Cost+minTail[i+1] > kth {
+				break // ascending list: no further combination can improve
+			}
+			combo[i] = other
+			rec(i+1, partial+other.Cost)
+		}
+	}
+	rec(0, 0)
+}

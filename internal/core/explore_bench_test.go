@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/keywordindex"
+	"repro/internal/scoring"
+	"repro/internal/store"
+	"repro/internal/summary"
+	"repro/internal/thesaurus"
+)
+
+// benchSetup prepares the DBLP summary graph and keyword index once.
+func benchSetup(b *testing.B) (*summary.Graph, *keywordindex.Index) {
+	b.Helper()
+	st := store.New()
+	st.AddAll(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 2000, Seed: 1}))
+	g := graph.Build(st)
+	return summary.Build(g), keywordindex.Build(g, thesaurus.Default())
+}
+
+// BenchmarkExplore measures Algorithm 1+2 alone (mapping excluded) for a
+// two-keyword query.
+func BenchmarkExplore(b *testing.B) {
+	sg, kwix := benchSetup(b)
+	matches := kwix.LookupAll([]string{"thanh tran", "publication"}, keywordindex.LookupOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ag := sg.Augment(matches)
+		scorer := scoring.New(scoring.Matching, ag)
+		res := Explore(ag, scorer.ElementCost, Options{K: 10})
+		if len(res.Subgraphs) == 0 {
+			b.Fatal("no subgraphs")
+		}
+	}
+}
+
+// BenchmarkExploreManyKeywords stresses the combination machinery with a
+// five-keyword query.
+func BenchmarkExploreManyKeywords(b *testing.B) {
+	sg, kwix := benchSetup(b)
+	matches := kwix.LookupAll(
+		[]string{"thanh tran", "aifb", "publication", "2005", "conference"},
+		keywordindex.LookupOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ag := sg.Augment(matches)
+		scorer := scoring.New(scoring.Matching, ag)
+		Explore(ag, scorer.ElementCost, Options{K: 10})
+	}
+}
+
+// BenchmarkAugment measures query-time graph-index augmentation alone.
+func BenchmarkAugment(b *testing.B) {
+	sg, kwix := benchSetup(b)
+	matches := kwix.LookupAll([]string{"thanh tran", "publication"}, keywordindex.LookupOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sg.Augment(matches)
+	}
+}

@@ -1,0 +1,509 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/scoring"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+// fig1Aug builds the augmented summary graph of the paper's running
+// example with the three keyword element sets of Sec. III:
+// {2006}, {P. Cimiano}, {AIFB}.
+func fig1Aug(t *testing.T) (*summary.Augmented, *store.Store) {
+	t.Helper()
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	sg := summary.Build(graph.Build(st))
+
+	id := func(term rdf.Term) store.ID {
+		v, ok := st.Lookup(term)
+		if !ok {
+			t.Fatalf("missing term %v", term)
+		}
+		return v
+	}
+	exTerm := func(l string) store.ID { return id(rdf.NewIRI(rdf.ExampleNS + l)) }
+	lit := func(l string) store.ID { return id(rdf.NewLiteral(l)) }
+
+	ag := sg.Augment([][]summary.Match{
+		{{Kind: summary.MatchValue, Score: 1, Value: lit("2006"), Pred: exTerm("year"), Classes: []store.ID{exTerm("Publication")}}},
+		{{Kind: summary.MatchValue, Score: 1, Value: lit("P. Cimiano"), Pred: exTerm("name"), Classes: []store.ID{exTerm("Researcher")}}},
+		{{Kind: summary.MatchValue, Score: 1, Value: lit("AIFB"), Pred: exTerm("name"), Classes: []store.ID{exTerm("Institute")}}},
+	})
+	return ag, st
+}
+
+func c1(ag *summary.Augmented) CostFunc {
+	return scoring.New(scoring.PathLength, ag).ElementCost
+}
+
+func TestRunningExampleTopQuery(t *testing.T) {
+	ag, st := fig1Aug(t)
+	res := Explore(ag, c1(ag), Options{K: 5})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("no subgraphs found for the running example")
+	}
+	if !res.Guaranteed {
+		t.Error("result should carry the top-k guarantee")
+	}
+	best := res.Subgraphs[0]
+	// The Fig. 1c interpretation: paths from the three value vertices meet
+	// at the Researcher class — total path cost 5 + 3 + 5 = 13 under C1.
+	if best.Cost != 13 {
+		t.Errorf("best cost = %v, want 13", best.Cost)
+	}
+	// It must contain the classes and predicates of the Fig. 1c query.
+	wantLabels := map[string]bool{
+		"Publication": false, "Researcher": false, "Institute": false,
+		"author": false, "worksAt": false, "year": false, "name": false,
+	}
+	for _, e := range best.Elements {
+		l := ag.Label(e)
+		if _, ok := wantLabels[l]; ok {
+			wantLabels[l] = true
+		}
+	}
+	for l, seen := range wantLabels {
+		if !seen {
+			t.Errorf("best subgraph missing element %q", l)
+		}
+	}
+	// Ascending cost order of results.
+	for i := 1; i < len(res.Subgraphs); i++ {
+		if res.Subgraphs[i].Cost < res.Subgraphs[i-1].Cost {
+			t.Fatal("subgraphs not in ascending cost order")
+		}
+	}
+	_ = st
+}
+
+func TestSubgraphsAreValidMatches(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	res := Explore(ag, c1(ag), Options{K: 10})
+	seeds := ag.Seeds()
+	for _, g := range res.Subgraphs {
+		// Every keyword must be represented by its path origin.
+		for i, p := range g.Paths {
+			if len(p) == 0 {
+				t.Fatalf("keyword %d has empty path", i)
+			}
+			found := false
+			for _, s := range seeds[i] {
+				if p[0] == s {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("path %d does not start at a keyword element", i)
+			}
+			if p[len(p)-1] != g.Connector {
+				t.Fatalf("path %d does not end at the connector", i)
+			}
+			// Path must follow adjacency and be simple.
+			seen := map[summary.ElemID]bool{p[0]: true}
+			for j := 1; j < len(p); j++ {
+				if seen[p[j]] {
+					t.Fatal("path revisits an element")
+				}
+				seen[p[j]] = true
+				adj := false
+				for _, nb := range ag.Neighbors(p[j-1]) {
+					if nb == p[j] {
+						adj = true
+					}
+				}
+				if !adj {
+					t.Fatalf("path step %v → %v not adjacent", p[j-1], p[j])
+				}
+			}
+		}
+		// Connectivity: the element set must be connected in the
+		// augmented graph restricted to the subgraph.
+		if !connectedWithin(ag, g.Elements) {
+			t.Fatal("subgraph not connected")
+		}
+		// Cost must equal the sum of its paths' element costs.
+		cost := 0.0
+		cf := c1(ag)
+		for _, p := range g.Paths {
+			for _, e := range p {
+				cost += cf(e)
+			}
+		}
+		if !almostEq(cost, g.Cost) {
+			t.Fatalf("cost mismatch: stored %v, recomputed %v", g.Cost, cost)
+		}
+	}
+}
+
+func connectedWithin(ag *summary.Augmented, elems []summary.ElemID) bool {
+	if len(elems) == 0 {
+		return false
+	}
+	in := map[summary.ElemID]bool{}
+	for _, e := range elems {
+		in[e] = true
+	}
+	seen := map[summary.ElemID]bool{elems[0]: true}
+	stack := []summary.ElemID{elems[0]}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, nb := range ag.Neighbors(e) {
+			if in[nb] && !seen[nb] {
+				seen[nb] = true
+				stack = append(stack, nb)
+			}
+		}
+	}
+	return len(seen) == len(elems)
+}
+
+func TestTheorem1AscendingPopOrder(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	last := -1.0
+	opt := Options{K: 10}
+	opt.testOnPop = func(c *Cursor) {
+		if c.Cost < last-1e-12 {
+			t.Fatalf("pop order violated: %v after %v", c.Cost, last)
+		}
+		last = c.Cost
+	}
+	Explore(ag, c1(ag), opt)
+}
+
+func TestSingleKeyword(t *testing.T) {
+	ag, st := fig1Aug(t)
+	pubID, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "Publication"))
+	sg := ag.Base
+	ag2 := sg.Augment([][]summary.Match{{{Kind: summary.MatchClass, Score: 1, Class: pubID}}})
+	res := Explore(ag2, c1(ag2), Options{K: 3})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("single keyword should yield its element as a subgraph")
+	}
+	best := res.Subgraphs[0]
+	if len(best.Elements) != 1 || best.Cost != 1 {
+		t.Fatalf("single-keyword best should be the seed itself: %+v", best)
+	}
+}
+
+func TestEmptyKeywordSet(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	ag2 := ag.Base.Augment([][]summary.Match{{}, {}})
+	res := Explore(ag2, c1(ag2), Options{})
+	if len(res.Subgraphs) != 0 || !res.Guaranteed {
+		t.Fatal("empty keyword set must produce an empty guaranteed result")
+	}
+}
+
+func TestNoKeywords(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	ag2 := ag.Base.Augment(nil)
+	res := Explore(ag2, c1(ag2), Options{})
+	if len(res.Subgraphs) != 0 {
+		t.Fatal("no keywords must produce no subgraphs")
+	}
+}
+
+func TestDMaxLimitsPaths(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	// The running example needs paths of 5 elements (dist 4). With DMax 2
+	// no connector can collect all three keywords.
+	res := Explore(ag, c1(ag), Options{K: 5, DMax: 2})
+	if len(res.Subgraphs) != 0 {
+		t.Fatalf("DMax=2 should find nothing, got %d", len(res.Subgraphs))
+	}
+	res = Explore(ag, c1(ag), Options{K: 5, DMax: 6})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("DMax=6 should find the Fig. 1c subgraph")
+	}
+}
+
+func TestMaxPopsAborts(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	res := Explore(ag, c1(ag), Options{K: 5, MaxPops: 3})
+	if res.Stats.Terminated != Aborted {
+		t.Fatalf("termination = %v, want aborted", res.Stats.Terminated)
+	}
+	if res.Guaranteed {
+		t.Fatal("aborted exploration must not claim a guarantee")
+	}
+}
+
+func TestKeywordOnEdgeElement(t *testing.T) {
+	// Keywords mapped to edges: 'author' (R-edge) and 'aifb' (value).
+	ag, st := fig1Aug(t)
+	author, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "author"))
+	aifb, _ := st.Lookup(rdf.NewLiteral("AIFB"))
+	name, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "name"))
+	instID, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "Institute"))
+	ag2 := ag.Base.Augment([][]summary.Match{
+		{{Kind: summary.MatchRelEdge, Score: 1, Pred: author}},
+		{{Kind: summary.MatchValue, Score: 1, Value: aifb, Pred: name, Classes: []store.ID{instID}}},
+	})
+	res := Explore(ag2, c1(ag2), Options{K: 3})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("edge keyword exploration found nothing")
+	}
+	// The best subgraph must contain the author edge element.
+	best := res.Subgraphs[0]
+	hasAuthor := false
+	for _, e := range best.Elements {
+		el := ag2.Element(e)
+		if el.Kind == summary.RelEdge && el.Term == author {
+			hasAuthor = true
+		}
+	}
+	if !hasAuthor {
+		t.Fatal("subgraph missing the author edge keyword element")
+	}
+}
+
+func TestCyclicSubgraphSupport(t *testing.T) {
+	// Build a data graph whose summary contains a cycle:
+	// A --p--> B, B --q--> A. Keywords on p and q force a cyclic matching
+	// subgraph (4 elements: classes A, B and both edges).
+	st := store.New()
+	ns := "http://cyc/"
+	tri := func(s, p, o string) {
+		st.Add(rdf.NewTriple(rdf.NewIRI(ns+s), rdf.NewIRI(ns+p), rdf.NewIRI(ns+o)))
+	}
+	typ := func(s, c string) {
+		st.Add(rdf.NewTriple(rdf.NewIRI(ns+s), rdf.NewIRI(rdf.RDFType), rdf.NewIRI(ns+c)))
+	}
+	typ("a1", "A")
+	typ("b1", "B")
+	tri("a1", "p", "b1")
+	tri("b1", "q", "a1")
+	sg := summary.Build(graph.Build(st))
+	p, _ := st.Lookup(rdf.NewIRI(ns + "p"))
+	q, _ := st.Lookup(rdf.NewIRI(ns + "q"))
+	ag := sg.Augment([][]summary.Match{
+		{{Kind: summary.MatchRelEdge, Score: 1, Pred: p}},
+		{{Kind: summary.MatchRelEdge, Score: 1, Pred: q}},
+	})
+	res := Explore(ag, c1(ag), Options{K: 3})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("cyclic exploration found nothing")
+	}
+	best := res.Subgraphs[0]
+	// Minimal connection: p-edge → class → q-edge (3 elements, cost 2+2=4
+	// via connector being either class vertex... path p→A→q and q alone).
+	kinds := map[summary.ElemKind]int{}
+	for _, e := range best.Elements {
+		kinds[ag.Element(e).Kind]++
+	}
+	if kinds[summary.RelEdge] != 2 {
+		t.Fatalf("expected both keyword edges in subgraph, got %+v", kinds)
+	}
+}
+
+// TestTopKMatchesBruteForce cross-checks Explore against an exhaustive
+// enumeration of all candidate subgraphs (every combination of simple
+// paths from one element per keyword meeting at a common connector) on
+// random small graphs.
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 30; round++ {
+		st := store.New()
+		ns := "http://r/"
+		nClasses := 3 + rng.Intn(3)
+		nEnts := 6 + rng.Intn(8)
+		classes := make([]rdf.Term, nClasses)
+		for i := range classes {
+			classes[i] = rdf.NewIRI(ns + "C" + string(rune('A'+i)))
+		}
+		preds := []rdf.Term{rdf.NewIRI(ns + "p0"), rdf.NewIRI(ns + "p1"), rdf.NewIRI(ns + "p2")}
+		ents := make([]rdf.Term, nEnts)
+		for i := range ents {
+			ents[i] = rdf.NewIRI(ns + "e" + string(rune('0'+i)))
+			st.Add(rdf.NewTriple(ents[i], rdf.NewIRI(rdf.RDFType), classes[rng.Intn(nClasses)]))
+		}
+		nEdges := 5 + rng.Intn(15)
+		for i := 0; i < nEdges; i++ {
+			st.Add(rdf.NewTriple(ents[rng.Intn(nEnts)], preds[rng.Intn(len(preds))], ents[rng.Intn(nEnts)]))
+		}
+		sg := summary.Build(graph.Build(st))
+
+		// Random keyword sets: classes and rel-edge predicates.
+		m := 2 + rng.Intn(2)
+		var perKw [][]summary.Match
+		ok := true
+		for i := 0; i < m; i++ {
+			if rng.Intn(2) == 0 {
+				cid, found := st.Lookup(classes[rng.Intn(nClasses)])
+				if !found {
+					ok = false
+					break
+				}
+				perKw = append(perKw, []summary.Match{{Kind: summary.MatchClass, Score: 1, Class: cid}})
+			} else {
+				pid, found := st.Lookup(preds[rng.Intn(len(preds))])
+				if !found {
+					ok = false
+					break
+				}
+				perKw = append(perKw, []summary.Match{{Kind: summary.MatchRelEdge, Score: 1, Pred: pid}})
+			}
+		}
+		if !ok {
+			continue
+		}
+		ag := sg.Augment(perKw)
+		for _, s := range ag.Seeds() {
+			if len(s) == 0 {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+
+		const k, dmax = 4, 6
+		cf := c1(ag)
+		got := Explore(ag, cf, Options{K: k, DMax: dmax, MaxCursorsPerElement: 64})
+		want := bruteForceTopK(ag, cf, k, dmax)
+
+		if len(got.Subgraphs) != len(want) {
+			t.Fatalf("round %d: got %d subgraphs, want %d", round, len(got.Subgraphs), len(want))
+		}
+		for i := range want {
+			if !almostEq(got.Subgraphs[i].Cost, want[i]) {
+				t.Fatalf("round %d: cost[%d] = %v, want %v\nall got: %v\nall want: %v",
+					round, i, got.Subgraphs[i].Cost, want[i], costsOf(got.Subgraphs), want)
+			}
+		}
+	}
+}
+
+func costsOf(gs []*Subgraph) []float64 {
+	out := make([]float64, len(gs))
+	for i, g := range gs {
+		out[i] = g.Cost
+	}
+	return out
+}
+
+// bruteForceTopK enumerates every candidate subgraph by DFS over simple
+// paths and returns the k smallest costs after de-duplicating element sets
+// (keeping the cheapest decomposition), mirroring Definition 6 + Sec. V.
+func bruteForceTopK(ag *summary.Augmented, cf CostFunc, k, dmax int) []float64 {
+	seeds := ag.Seeds()
+	m := len(seeds)
+	// paths[n][i] = all simple paths (as cost + element set) from any seed
+	// of keyword i to element n.
+	type pathInfo struct {
+		cost  float64
+		elems map[summary.ElemID]bool
+	}
+	pathsTo := map[summary.ElemID][][]pathInfo{}
+	ensure := func(n summary.ElemID) [][]pathInfo {
+		if pathsTo[n] == nil {
+			pathsTo[n] = make([][]pathInfo, m)
+		}
+		return pathsTo[n]
+	}
+	var dfs func(i int, cur []summary.ElemID, cost float64)
+	dfs = func(i int, cur []summary.ElemID, cost float64) {
+		n := cur[len(cur)-1]
+		set := map[summary.ElemID]bool{}
+		for _, e := range cur {
+			set[e] = true
+		}
+		lists := ensure(n)
+		lists[i] = append(lists[i], pathInfo{cost: cost, elems: set})
+		pathsTo[n] = lists
+		if len(cur)-1 >= dmax-1 { // mirror Explore: register needs d < dmax
+			return
+		}
+		for _, nb := range ag.Neighbors(n) {
+			if set[nb] {
+				continue
+			}
+			dfs(i, append(cur, nb), cost+cf(nb))
+		}
+	}
+	for i, ki := range seeds {
+		for _, s := range ki {
+			dfs(i, []summary.ElemID{s}, cf(s))
+		}
+	}
+	// Combine per connector.
+	bestBySig := map[string]float64{}
+	var sigOf func(sets []map[summary.ElemID]bool) string
+	sigOf = func(sets []map[summary.ElemID]bool) string {
+		all := map[summary.ElemID]bool{}
+		for _, s := range sets {
+			for e := range s {
+				all[e] = true
+			}
+		}
+		ids := make([]summary.ElemID, 0, len(all))
+		for e := range all {
+			ids = append(ids, e)
+		}
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+		buf := make([]byte, 0, len(ids)*4)
+		for _, e := range ids {
+			buf = append(buf, byte(e), byte(e>>8), byte(e>>16), byte(e>>24))
+		}
+		return string(buf)
+	}
+	for _, lists := range pathsTo {
+		full := true
+		for i := 0; i < m; i++ {
+			if len(lists[i]) == 0 {
+				full = false
+				break
+			}
+		}
+		if !full {
+			continue
+		}
+		combo := make([]pathInfo, m)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == m {
+				cost := 0.0
+				sets := make([]map[summary.ElemID]bool, m)
+				for j, p := range combo {
+					cost += p.cost
+					sets[j] = p.elems
+				}
+				sig := sigOf(sets)
+				if prev, ok := bestBySig[sig]; !ok || cost < prev {
+					bestBySig[sig] = cost
+				}
+				return
+			}
+			for _, p := range lists[i] {
+				combo[i] = p
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+	costs := make([]float64, 0, len(bestBySig))
+	for _, c := range bestBySig {
+		costs = append(costs, c)
+	}
+	sort.Float64s(costs)
+	if len(costs) > k {
+		costs = costs[:k]
+	}
+	return costs
+}
+
+func almostEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/summary"
+)
+
+// DistanceOracle implements the paper's Sec. IX future-work item
+// ("techniques for indexing connectivity and scores ... for further speed
+// up"): for every keyword i and every element n of the augmented summary
+// graph it holds d_i(n), the minimal cost of any path from an element of
+// K_i to n (both endpoints included), computed by one multi-source
+// Dijkstra per keyword at query time.
+//
+// The oracle yields an admissible completion bound: any matching subgraph
+// that uses a path of cost w from keyword i ending at n costs at least
+// w + Σ_{j≠i} d_j(n). Exploration can therefore discard cursors whose
+// bound already exceeds the current k-th candidate — a much tighter test
+// than comparing the path cost alone — without losing the top-k
+// guarantee.
+//
+// Because query-specific costs (the matching scores of C3) are only known
+// at query time, the oracle is built per query rather than off-line; on
+// summary graphs this costs m Dijkstra runs over a few hundred elements.
+type DistanceOracle struct {
+	dist [][]float64 // [keyword][element] → minimal path cost, +Inf unreachable
+}
+
+// NewDistanceOracle runs the per-keyword multi-source Dijkstra.
+func NewDistanceOracle(ag *summary.Augmented, cost CostFunc, seeds [][]summary.ElemID) *DistanceOracle {
+	n := ag.NumElements()
+	o := &DistanceOracle{dist: make([][]float64, len(seeds))}
+	for i, ki := range seeds {
+		d := make([]float64, n)
+		for j := range d {
+			d[j] = math.Inf(1)
+		}
+		h := &oracleHeap{}
+		for _, s := range ki {
+			c := cost(s)
+			if c < d[s] {
+				d[s] = c
+				heap.Push(h, oracleItem{elem: s, cost: c})
+			}
+		}
+		for h.Len() > 0 {
+			it := heap.Pop(h).(oracleItem)
+			if it.cost > d[it.elem] {
+				continue // stale entry
+			}
+			for _, nb := range ag.Neighbors(it.elem) {
+				nc := it.cost + cost(nb)
+				if nc < d[nb] {
+					d[nb] = nc
+					heap.Push(h, oracleItem{elem: nb, cost: nc})
+				}
+			}
+		}
+		o.dist[i] = d
+	}
+	return o
+}
+
+// Remaining returns Σ_{j≠except} d_j(elem): the minimal total cost of the
+// other keywords' paths if elem were the connecting element. +Inf means
+// some keyword cannot reach elem at all.
+func (o *DistanceOracle) Remaining(except int, elem summary.ElemID) float64 {
+	total := 0.0
+	for j, d := range o.dist {
+		if j == except {
+			continue
+		}
+		total += d[elem]
+	}
+	return total
+}
+
+// Reachable reports whether every keyword can reach elem.
+func (o *DistanceOracle) Reachable(elem summary.ElemID) bool {
+	for _, d := range o.dist {
+		if math.IsInf(d[elem], 1) {
+			return false
+		}
+	}
+	return true
+}
+
+type oracleItem struct {
+	elem summary.ElemID
+	cost float64
+}
+
+type oracleHeap []oracleItem
+
+func (h oracleHeap) Len() int            { return len(h) }
+func (h oracleHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h oracleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *oracleHeap) Push(x interface{}) { *h = append(*h, x.(oracleItem)) }
+func (h *oracleHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+func TestOracleDistances(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	cf := c1(ag)
+	oracle := NewDistanceOracle(ag, cf, ag.Seeds())
+	// Every seed's own distance is its element cost (1 under C1).
+	for i, ki := range ag.Seeds() {
+		for _, s := range ki {
+			if d := oracle.dist[i][s]; d != 1 {
+				t.Fatalf("seed distance = %v, want 1", d)
+			}
+		}
+	}
+	// Under C1 the connecting Researcher class is at distance 3 from the
+	// cimiano value (value → attr → class) and 5 from the year value.
+	for i := 0; i < ag.NumElements(); i++ {
+		el := summary.ElemID(i)
+		if !oracle.Reachable(el) {
+			continue
+		}
+		// Distances satisfy the triangle property along adjacency.
+		for _, nb := range ag.Neighbors(el) {
+			for k := range oracle.dist {
+				if oracle.dist[k][nb] > oracle.dist[k][el]+cf(nb)+1e-9 {
+					t.Fatalf("triangle violated: d[%d]=%v, via %d = %v",
+						nb, oracle.dist[k][nb], el, oracle.dist[k][el]+cf(nb))
+				}
+			}
+		}
+	}
+}
+
+func TestOracleSameResults(t *testing.T) {
+	// With and without the oracle, exploration must return identical
+	// cost sequences on the running example and on random graphs.
+	ag, _ := fig1Aug(t)
+	base := Explore(ag, c1(ag), Options{K: 10})
+	withOracle := Explore(ag, c1(ag), Options{K: 10, UseOracle: true})
+	if len(base.Subgraphs) != len(withOracle.Subgraphs) {
+		t.Fatalf("result counts differ: %d vs %d", len(base.Subgraphs), len(withOracle.Subgraphs))
+	}
+	for i := range base.Subgraphs {
+		if !almostEq(base.Subgraphs[i].Cost, withOracle.Subgraphs[i].Cost) {
+			t.Fatalf("cost %d differs: %v vs %v", i,
+				base.Subgraphs[i].Cost, withOracle.Subgraphs[i].Cost)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(123))
+	ns := "http://o/"
+	for round := 0; round < 20; round++ {
+		st := store.New()
+		nCls, nEnt := 3+rng.Intn(3), 8+rng.Intn(10)
+		var ents []rdf.Term
+		for i := 0; i < nEnt; i++ {
+			e := rdf.NewIRI(ns + "e" + itoaTest(i))
+			ents = append(ents, e)
+			st.Add(rdf.NewTriple(e, rdf.NewIRI(rdf.RDFType),
+				rdf.NewIRI(ns+"C"+itoaTest(rng.Intn(nCls)))))
+		}
+		for i := 0; i < nEnt*2; i++ {
+			st.Add(rdf.NewTriple(ents[rng.Intn(nEnt)],
+				rdf.NewIRI(ns+"p"+itoaTest(rng.Intn(3))), ents[rng.Intn(nEnt)]))
+		}
+		sg := summary.Build(graph.Build(st))
+		var perKw [][]summary.Match
+		for i := 0; i < 2+rng.Intn(2); i++ {
+			cid, ok := st.Lookup(rdf.NewIRI(ns + "C" + itoaTest(rng.Intn(nCls))))
+			if !ok {
+				continue
+			}
+			perKw = append(perKw, []summary.Match{{Kind: summary.MatchClass, Score: 1, Class: cid}})
+		}
+		if len(perKw) < 2 {
+			continue
+		}
+		agr := sg.Augment(perKw)
+		cf := c1(agr)
+		a := Explore(agr, cf, Options{K: 5})
+		b := Explore(agr, cf, Options{K: 5, UseOracle: true})
+		if len(a.Subgraphs) != len(b.Subgraphs) {
+			t.Fatalf("round %d: counts differ %d vs %d", round, len(a.Subgraphs), len(b.Subgraphs))
+		}
+		for i := range a.Subgraphs {
+			if !almostEq(a.Subgraphs[i].Cost, b.Subgraphs[i].Cost) {
+				t.Fatalf("round %d: cost %d differs: %v vs %v",
+					round, i, a.Subgraphs[i].Cost, b.Subgraphs[i].Cost)
+			}
+		}
+	}
+}
+
+func TestOraclePrunesDisconnectedComponents(t *testing.T) {
+	// Two disconnected islands; keyword 2 matches only island B. Cursors
+	// of keyword 1 exploring island A are discarded immediately with the
+	// oracle, so exploration does strictly less work.
+	st := store.New()
+	ns := "http://isl/"
+	tri := func(s, p, o string) {
+		st.Add(rdf.NewTriple(rdf.NewIRI(ns+s), rdf.NewIRI(ns+p), rdf.NewIRI(ns+o)))
+	}
+	typ := func(s, c string) {
+		st.Add(rdf.NewTriple(rdf.NewIRI(ns+s), rdf.NewIRI(rdf.RDFType), rdf.NewIRI(ns+c)))
+	}
+	// Island A: a chain of classes A0..A5.
+	for i := 0; i < 6; i++ {
+		typ("a"+itoaTest(i), "A"+itoaTest(i))
+		if i > 0 {
+			tri("a"+itoaTest(i-1), "pa", "a"+itoaTest(i))
+		}
+	}
+	// Island B: two classes.
+	typ("b0", "B0")
+	typ("b1", "B1")
+	tri("b0", "pb", "b1")
+
+	sg := summary.Build(graph.Build(st))
+	id := func(l string) store.ID {
+		v, _ := st.Lookup(rdf.NewIRI(ns + l))
+		return v
+	}
+	// Keyword 1 matches both islands (class A0 and B0); keyword 2 only B1.
+	perKw := [][]summary.Match{
+		{{Kind: summary.MatchClass, Score: 1, Class: id("A0")},
+			{Kind: summary.MatchClass, Score: 1, Class: id("B0")}},
+		{{Kind: summary.MatchClass, Score: 1, Class: id("B1")}},
+	}
+	ag := sg.Augment(perKw)
+	cf := c1(ag)
+	plain := Explore(ag, cf, Options{K: 3})
+	pruned := Explore(ag, cf, Options{K: 3, UseOracle: true})
+	if len(plain.Subgraphs) != len(pruned.Subgraphs) {
+		t.Fatalf("results differ: %d vs %d", len(plain.Subgraphs), len(pruned.Subgraphs))
+	}
+	if pruned.Stats.CursorsPopped >= plain.Stats.CursorsPopped {
+		t.Fatalf("oracle should cut pops: %d vs %d",
+			pruned.Stats.CursorsPopped, plain.Stats.CursorsPopped)
+	}
+}
+
+func TestOracleUnreachable(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	oracle := NewDistanceOracle(ag, c1(ag), [][]summary.ElemID{{ag.Seeds()[0][0]}})
+	if !oracle.Reachable(ag.Seeds()[0][0]) {
+		t.Fatal("seed must be reachable from itself")
+	}
+	if r := oracle.Remaining(0, ag.Seeds()[0][0]); r != 0 {
+		t.Fatalf("Remaining excluding the only keyword = %v, want 0", r)
+	}
+}
+
+func itoaTest(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('a'+i/10)) + string(rune('0'+i%10))
+}

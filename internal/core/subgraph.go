@@ -1,0 +1,122 @@
+package core
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/summary"
+)
+
+// Subgraph is a K-matching subgraph (Definition 6): the merge of one path
+// per keyword, all meeting at a connecting element. Unlike the answer
+// trees of prior work it may be an arbitrary graph — keyword elements can
+// be edges, and merged paths may close cycles.
+type Subgraph struct {
+	// Elements is the sorted, de-duplicated set of summary-graph elements.
+	Elements []summary.ElemID
+	// Paths holds one path per keyword, each running from that keyword's
+	// element (Paths[i][0]) to the connecting element.
+	Paths [][]summary.ElemID
+	// Connector is the element all paths meet at.
+	Connector summary.ElemID
+	// Cost is the monotonic aggregation of the paths' costs (Sec. V);
+	// elements shared by several paths are charged once per path.
+	Cost float64
+}
+
+// signature is a canonical byte-string key over the element set, used to
+// de-duplicate structurally identical candidates.
+func (g *Subgraph) signature() string {
+	buf := make([]byte, 4*len(g.Elements))
+	for i, e := range g.Elements {
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(e))
+	}
+	return string(buf)
+}
+
+// Contains reports whether the subgraph includes element e.
+func (g *Subgraph) Contains(e summary.ElemID) bool {
+	i := sort.Search(len(g.Elements), func(i int) bool { return g.Elements[i] >= e })
+	return i < len(g.Elements) && g.Elements[i] == e
+}
+
+// mergeCursorPaths builds a Subgraph from one cursor per keyword
+// (Algorithm 2 line 5). The cursors must share the same final element.
+func mergeCursorPaths(cursors []*Cursor) *Subgraph {
+	g := &Subgraph{
+		Paths:     make([][]summary.ElemID, len(cursors)),
+		Connector: cursors[0].Elem,
+	}
+	set := map[summary.ElemID]bool{}
+	for i, c := range cursors {
+		g.Paths[i] = c.Path()
+		g.Cost += c.Cost
+		for _, e := range g.Paths[i] {
+			set[e] = true
+		}
+	}
+	g.Elements = make([]summary.ElemID, 0, len(set))
+	for e := range set {
+		g.Elements = append(g.Elements, e)
+	}
+	sort.Slice(g.Elements, func(i, j int) bool { return g.Elements[i] < g.Elements[j] })
+	return g
+}
+
+// candidateList is LG′ of Algorithm 2: the best candidate subgraphs found
+// so far, de-duplicated by element-set signature (keeping the cheapest
+// path decomposition) and truncated to the k best after every insertion.
+type candidateList struct {
+	k     int
+	items []*Subgraph
+	bySig map[string]*Subgraph
+}
+
+func newCandidateList(k int) *candidateList {
+	return &candidateList{k: k, bySig: make(map[string]*Subgraph)}
+}
+
+// add inserts a candidate; returns true if the list changed.
+func (l *candidateList) add(g *Subgraph) bool {
+	sig := g.signature()
+	if prev, ok := l.bySig[sig]; ok {
+		if prev.Cost <= g.Cost {
+			return false
+		}
+		// Cheaper decomposition of the same element set: replace.
+		for i, it := range l.items {
+			if it == prev {
+				l.items[i] = g
+				break
+			}
+		}
+		l.bySig[sig] = g
+		l.sortAndTrim()
+		return true
+	}
+	l.bySig[sig] = g
+	l.items = append(l.items, g)
+	l.sortAndTrim()
+	return true
+}
+
+func (l *candidateList) sortAndTrim() {
+	sort.SliceStable(l.items, func(i, j int) bool { return l.items[i].Cost < l.items[j].Cost })
+	// k-best(LG′): drop everything beyond the k-th.
+	for len(l.items) > l.k {
+		last := l.items[len(l.items)-1]
+		delete(l.bySig, last.signature())
+		l.items = l.items[:len(l.items)-1]
+	}
+}
+
+// kthCost returns the cost of the k-ranked candidate ("highest cost" of
+// Algorithm 2), with ok=false while fewer than k candidates exist.
+func (l *candidateList) kthCost() (float64, bool) {
+	if len(l.items) < l.k {
+		return 0, false
+	}
+	return l.items[l.k-1].Cost, true
+}
+
+func (l *candidateList) results() []*Subgraph { return l.items }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/summary"
+)
+
+func sg(cost float64, elems ...summary.ElemID) *Subgraph {
+	g := &Subgraph{Cost: cost, Elements: elems}
+	return g
+}
+
+func TestCandidateListKBest(t *testing.T) {
+	l := newCandidateList(2)
+	if _, ok := l.kthCost(); ok {
+		t.Fatal("kth should be unavailable while underfull")
+	}
+	l.add(sg(5, 1, 2))
+	l.add(sg(3, 3, 4))
+	l.add(sg(4, 5, 6))
+	kth, ok := l.kthCost()
+	if !ok || kth != 4 {
+		t.Fatalf("kth = %v,%v want 4,true", kth, ok)
+	}
+	res := l.results()
+	if len(res) != 2 || res[0].Cost != 3 || res[1].Cost != 4 {
+		t.Fatalf("results wrong: %v", costsOf(res))
+	}
+}
+
+func TestCandidateListDedupKeepsCheaper(t *testing.T) {
+	l := newCandidateList(5)
+	l.add(sg(5, 1, 2, 3))
+	// Same element set, cheaper decomposition: replaces.
+	if !l.add(sg(4, 1, 2, 3)) {
+		t.Fatal("cheaper duplicate should be accepted")
+	}
+	// Same element set, more expensive: rejected.
+	if l.add(sg(6, 1, 2, 3)) {
+		t.Fatal("more expensive duplicate should be rejected")
+	}
+	res := l.results()
+	if len(res) != 1 || res[0].Cost != 4 {
+		t.Fatalf("dedup failed: %v", costsOf(res))
+	}
+}
+
+func TestCandidateListTrimEvictsSignature(t *testing.T) {
+	l := newCandidateList(1)
+	l.add(sg(1, 1))
+	l.add(sg(2, 2)) // trimmed away immediately
+	// The trimmed signature must be insertable again (no stale entry).
+	if !l.add(sg(0.5, 2)) {
+		t.Fatal("evicted signature should be addable again")
+	}
+	res := l.results()
+	if len(res) != 1 || res[0].Cost != 0.5 {
+		t.Fatalf("results: %v", costsOf(res))
+	}
+}
+
+func TestSubgraphContains(t *testing.T) {
+	g := sg(1, 2, 5, 9)
+	for _, e := range []summary.ElemID{2, 5, 9} {
+		if !g.Contains(e) {
+			t.Errorf("Contains(%d) = false", e)
+		}
+	}
+	for _, e := range []summary.ElemID{1, 3, 10} {
+		if g.Contains(e) {
+			t.Errorf("Contains(%d) = true", e)
+		}
+	}
+}
+
+func TestSignatureDistinguishesSets(t *testing.T) {
+	a := sg(1, 1, 2)
+	b := sg(1, 1, 3)
+	c := sg(9, 1, 2)
+	if a.signature() == b.signature() {
+		t.Fatal("different sets share a signature")
+	}
+	if a.signature() != c.signature() {
+		t.Fatal("same set must share a signature regardless of cost")
+	}
+}
+
+func TestMergeCursorPaths(t *testing.T) {
+	// Two cursors meeting at element 7.
+	c1 := &Cursor{Elem: 7, Keyword: 0, Origin: 1, Cost: 3,
+		Parent: &Cursor{Elem: 4, Keyword: 0, Origin: 1, Cost: 2,
+			Parent: &Cursor{Elem: 1, Keyword: 0, Origin: 1, Cost: 1}}}
+	c2 := &Cursor{Elem: 7, Keyword: 1, Origin: 2, Cost: 2,
+		Parent: &Cursor{Elem: 2, Keyword: 1, Origin: 2, Cost: 1}}
+	g := mergeCursorPaths([]*Cursor{c1, c2})
+	if g.Cost != 5 {
+		t.Fatalf("cost = %v, want 5", g.Cost)
+	}
+	if g.Connector != 7 {
+		t.Fatalf("connector = %v", g.Connector)
+	}
+	if len(g.Elements) != 4 { // {1,4,7,2}
+		t.Fatalf("elements = %v", g.Elements)
+	}
+	if g.Paths[0][0] != 1 || g.Paths[1][0] != 2 {
+		t.Fatalf("paths do not start at origins: %v", g.Paths)
+	}
+}

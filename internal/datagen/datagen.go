@@ -1,0 +1,91 @@
+// Package datagen generates the three evaluation datasets of Sec. VII as
+// synthetic RDF, deterministic per seed:
+//
+//   - DBLP-shaped bibliographic data (few classes, very many V-vertices —
+//     the shape that makes DBLP's keyword index large, Fig. 6b);
+//   - LUBM university data generated from the published univ-bench schema
+//     (class hierarchy, 14 classes, the standard joins);
+//   - TAP-shaped broad-ontology data (many classes across sports,
+//     geography, music, … — the shape that makes TAP's graph index the
+//     largest, Fig. 6b).
+//
+// Substitution note (DESIGN.md): the original datasets (26M-triple DBLP
+// dump, Stanford TAP, LUBM(50)) are not available offline; the generators
+// reproduce their structural shape at configurable scale. Fixed sentinel
+// entities (well-known authors, titles, venues) are embedded so the
+// effectiveness workload has stable gold queries.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Namespaces of the generated datasets.
+const (
+	DBLPNS = "http://dblp.example.org/"
+	LUBMNS = "http://lubm.example.org/"
+	TAPNS  = "http://tap.example.org/"
+)
+
+// Emit receives generated triples one at a time.
+type Emit func(rdf.Triple)
+
+// collect is a convenience adapter gathering triples into a slice.
+func collect(gen func(Emit)) []rdf.Triple {
+	var out []rdf.Triple
+	gen(func(t rdf.Triple) { out = append(out, t) })
+	return out
+}
+
+// builder bundles the namespace, the rng and the emit target shared by
+// the generators.
+type builder struct {
+	ns   string
+	rng  *rand.Rand
+	emit Emit
+}
+
+func (b *builder) iri(local string) rdf.Term  { return rdf.NewIRI(b.ns + local) }
+func (b *builder) class(name string) rdf.Term { return rdf.NewIRI(b.ns + name) }
+
+func (b *builder) triple(s, p, o rdf.Term) { b.emit(rdf.Triple{S: s, P: p, O: o}) }
+
+func (b *builder) typed(s rdf.Term, class string) {
+	b.triple(s, rdf.NewIRI(rdf.RDFType), b.class(class))
+}
+
+func (b *builder) subclass(sub, super string) {
+	b.triple(b.class(sub), rdf.NewIRI(rdf.RDFSSubClass), b.class(super))
+}
+
+func (b *builder) attr(s rdf.Term, pred, value string) {
+	b.triple(s, b.iri(pred), rdf.NewLiteral(value))
+}
+
+func (b *builder) rel(s rdf.Term, pred string, o rdf.Term) {
+	b.triple(s, b.iri(pred), o)
+}
+
+// pick returns a random element of words.
+func (b *builder) pick(words []string) string {
+	return words[b.rng.Intn(len(words))]
+}
+
+// phrase builds an n-word title-case phrase from the vocabulary.
+func (b *builder) phrase(words []string, n int) string {
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += b.pick(words)
+	}
+	return out
+}
+
+func (b *builder) id(prefix string, n int) rdf.Term {
+	return b.iri(fmt.Sprintf("%s%d", prefix, n))
+}

@@ -1,0 +1,157 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+func buildGraph(ts []rdf.Triple) *graph.Graph {
+	st := store.New()
+	st.AddAll(ts)
+	return graph.Build(st)
+}
+
+func TestDBLPDeterministic(t *testing.T) {
+	a := DBLPTriples(DBLPConfig{Publications: 200, Seed: 7})
+	b := DBLPTriples(DBLPConfig{Publications: 200, Seed: 7})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must give identical datasets")
+	}
+	c := DBLPTriples(DBLPConfig{Publications: 200, Seed: 8})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestDBLPShape(t *testing.T) {
+	g := buildGraph(DBLPTriples(DBLPConfig{Publications: 500, Seed: 1}))
+	s := g.Stats()
+	// DBLP shape: few classes, many values.
+	if s.CVertices > 10 {
+		t.Errorf("DBLP should have few classes, got %d", s.CVertices)
+	}
+	if s.VVertices < s.CVertices*10 {
+		t.Errorf("DBLP should be value-heavy: %d values vs %d classes", s.VVertices, s.CVertices)
+	}
+	if s.SubEdges != 4 {
+		t.Errorf("DBLP subclass edges = %d, want 4", s.SubEdges)
+	}
+	if s.Triples() < 3000 {
+		t.Errorf("DBLP(500) too small: %d triples", s.Triples())
+	}
+}
+
+func TestDBLPSentinelsPresent(t *testing.T) {
+	st := store.New()
+	st.AddAll(DBLPTriples(DBLPConfig{Publications: 100, Seed: 3}))
+	for _, name := range dblpSentinelAuthors {
+		if _, ok := st.Lookup(rdf.NewLiteral(name)); !ok {
+			t.Errorf("sentinel author %q missing", name)
+		}
+	}
+	if _, ok := st.Lookup(rdf.NewLiteral(dblpSentinelTitles[0])); !ok {
+		t.Error("sentinel title missing")
+	}
+}
+
+func TestLUBMShape(t *testing.T) {
+	g := buildGraph(LUBMTriples(LUBMConfig{Universities: 1, Seed: 1, Compact: true}))
+	s := g.Stats()
+	// LUBM: 15 schema classes used (14 subclass pairs → up to 19 class
+	// vertices counting superclasses).
+	if s.CVertices < 15 {
+		t.Errorf("LUBM classes = %d, want ≥ 15", s.CVertices)
+	}
+	if s.SubEdges != 14 {
+		t.Errorf("LUBM subclass edges = %d, want 14", s.SubEdges)
+	}
+	if s.REdges == 0 || s.AEdges == 0 {
+		t.Error("LUBM missing relation or attribute edges")
+	}
+	// Summary graph must contain the advisor join: GraduateStudent
+	// --advisor--> some Professor subclass.
+	st := g.Store()
+	sg := summary.Build(g)
+	advisor, ok := st.Lookup(rdf.NewIRI(LUBMNS + "advisor"))
+	if !ok {
+		t.Fatal("advisor predicate missing")
+	}
+	if len(sg.RelEdgesWithPredicate(advisor)) == 0 {
+		t.Error("advisor edge missing from summary graph")
+	}
+}
+
+func TestLUBMScalesWithUniversities(t *testing.T) {
+	n1 := len(LUBMTriples(LUBMConfig{Universities: 1, Seed: 1, Compact: true}))
+	n2 := len(LUBMTriples(LUBMConfig{Universities: 2, Seed: 1, Compact: true}))
+	if n2 < n1*3/2 {
+		t.Errorf("LUBM(2)=%d should be substantially larger than LUBM(1)=%d", n2, n1)
+	}
+}
+
+func TestTAPShape(t *testing.T) {
+	g := buildGraph(TAPTriples(TAPConfig{InstancesPerClass: 10, Seed: 1}))
+	s := g.Stats()
+	// TAP: many classes relative to data size.
+	if s.CVertices < 50 {
+		t.Errorf("TAP classes = %d, want ≥ 50", s.CVertices)
+	}
+	if s.EVertices < s.CVertices {
+		t.Errorf("TAP should still have more instances (%d) than classes (%d)", s.EVertices, s.CVertices)
+	}
+}
+
+func TestTAPSummaryLargerThanDBLP(t *testing.T) {
+	// The Fig. 6b claim: TAP's graph index is much larger than DBLP's even
+	// though its data is smaller.
+	dblp := summary.Build(buildGraph(DBLPTriples(DBLPConfig{Publications: 500, Seed: 1})))
+	tap := summary.Build(buildGraph(TAPTriples(TAPConfig{InstancesPerClass: 10, Seed: 1})))
+	if tap.NumElements() <= dblp.NumElements() {
+		t.Errorf("TAP summary (%d elements) should exceed DBLP summary (%d)",
+			tap.NumElements(), dblp.NumElements())
+	}
+}
+
+func TestGeneratorsProduceValidRDF(t *testing.T) {
+	for name, ts := range map[string][]rdf.Triple{
+		"dblp": DBLPTriples(DBLPConfig{Publications: 50, Seed: 2}),
+		"lubm": LUBMTriples(LUBMConfig{Universities: 1, Seed: 2, Compact: true}),
+		"tap":  TAPTriples(TAPConfig{InstancesPerClass: 5, Seed: 2}),
+	} {
+		for _, tr := range ts {
+			if !tr.S.IsIRI() && !tr.S.IsBlank() {
+				t.Errorf("%s: invalid subject %v", name, tr.S)
+			}
+			if !tr.P.IsIRI() {
+				t.Errorf("%s: invalid predicate %v", name, tr.P)
+			}
+		}
+		// Every entity with a type must have a name attribute somewhere
+		// reachable — spot check: dataset has A-edges at all.
+		g := buildGraph(ts)
+		if g.Stats().AEdges == 0 {
+			t.Errorf("%s: no attribute values generated", name)
+		}
+	}
+}
+
+func TestLUBMDeterministic(t *testing.T) {
+	a := LUBMTriples(LUBMConfig{Universities: 1, Seed: 9, Compact: true})
+	b := LUBMTriples(LUBMConfig{Universities: 1, Seed: 9, Compact: true})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("LUBM must be deterministic per seed")
+	}
+}
+
+func TestTAPDeterministic(t *testing.T) {
+	a := TAPTriples(TAPConfig{InstancesPerClass: 8, Seed: 4})
+	b := TAPTriples(TAPConfig{InstancesPerClass: 8, Seed: 4})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("TAP must be deterministic per seed")
+	}
+}

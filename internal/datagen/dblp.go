@@ -1,0 +1,181 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// DBLPConfig scales the DBLP-shaped generator.
+type DBLPConfig struct {
+	// Publications is the number of publications (default 1000). Authors,
+	// venues, institutes and citations are derived from it.
+	Publications int
+	// Seed makes the dataset deterministic (default 1).
+	Seed int64
+}
+
+func (c DBLPConfig) withDefaults() DBLPConfig {
+	if c.Publications <= 0 {
+		c.Publications = 1000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Sentinel entities embedded at fixed positions so the effectiveness
+// workload (Fig. 4) has stable gold targets regardless of scale.
+var dblpSentinelAuthors = []string{
+	"Thanh Tran", "Philipp Cimiano", "Haofen Wang", "Sebastian Rudolph",
+}
+
+var dblpSentinelTitles = []string{
+	"Top-k Exploration of Query Candidates for Keyword Search",
+	"Bidirectional Expansion for Keyword Search on Graph Databases",
+	"Ranked Keyword Searches on Graphs",
+	"Keyword Searching and Browsing in Databases",
+}
+
+// dblpSentinelYears pins the years of the sentinel publications so that
+// the effectiveness workload can reference (title, year) combinations.
+var dblpSentinelYears = []string{"2006", "2005", "2007", "2002"}
+
+// DBLP generates the bibliographic dataset into emit:
+//
+//	classes    Article ⊑ Publication, Inproceedings ⊑ Publication,
+//	           Journal ⊑ Venue, Conference ⊑ Venue, Author, Institute
+//	relations  author, cites, publishedIn, worksAt
+//	attributes title, year, name
+//
+// The shape matches the paper's discussion of DBLP: a handful of classes
+// and relations (tiny summary graph) with a huge number of attribute
+// values (large keyword index).
+func DBLP(cfg DBLPConfig, emit Emit) {
+	cfg = cfg.withDefaults()
+	b := &builder{ns: DBLPNS, rng: rand.New(rand.NewSource(cfg.Seed)), emit: emit}
+
+	// Schema.
+	b.subclass("Article", "Publication")
+	b.subclass("Inproceedings", "Publication")
+	b.subclass("Journal", "Venue")
+	b.subclass("Conference", "Venue")
+
+	nPubs := cfg.Publications
+	nAuthors := nPubs*3/5 + 1
+	nVenues := nPubs/40 + 2
+	nInstitutes := nVenues/2 + 2
+
+	// Institutes.
+	institutes := make([]rdf.Term, nInstitutes)
+	for i := range institutes {
+		institutes[i] = b.id("inst", i)
+		b.typed(institutes[i], "Institute")
+		if i < len(instituteNames) {
+			b.attr(institutes[i], "name", instituteNames[i])
+		} else {
+			b.attr(institutes[i], "name", fmt.Sprintf("%s Institute %d", b.pick(venueTopics), i))
+		}
+	}
+
+	// Authors; the sentinels come first.
+	authors := make([]rdf.Term, nAuthors)
+	for i := range authors {
+		authors[i] = b.id("author", i)
+		b.typed(authors[i], "Author")
+		var name string
+		if i < len(dblpSentinelAuthors) {
+			name = dblpSentinelAuthors[i]
+		} else {
+			name = b.pick(firstNames) + " " + b.pick(lastNames)
+		}
+		b.attr(authors[i], "name", name)
+		if i < len(dblpSentinelAuthors) {
+			// Sentinel authors work at the sentinel institute (AIFB), so
+			// workload queries joining author and institute have answers.
+			b.rel(authors[i], "worksAt", institutes[0])
+		} else {
+			b.rel(authors[i], "worksAt", institutes[b.rng.Intn(nInstitutes)])
+		}
+	}
+
+	// Venues.
+	venues := make([]rdf.Term, nVenues)
+	for i := range venues {
+		venues[i] = b.id("venue", i)
+		// Subtype plus materialized superclass type, as RDF stores with
+		// RDFS inference expose it.
+		b.typed(venues[i], "Venue")
+		if i%2 == 0 {
+			b.typed(venues[i], "Conference")
+			b.attr(venues[i], "name", "International Conference on "+venueTopics[i%len(venueTopics)])
+		} else {
+			b.typed(venues[i], "Journal")
+			b.attr(venues[i], "name", "Journal of "+venueTopics[i%len(venueTopics)])
+		}
+	}
+
+	// Publications with power-law-ish authorship (1–4 authors, popular
+	// authors preferred by squaring the random index).
+	pubs := make([]rdf.Term, nPubs)
+	for i := range pubs {
+		pubs[i] = b.id("pub", i)
+		b.typed(pubs[i], "Publication")
+		if b.rng.Intn(3) == 0 {
+			b.typed(pubs[i], "Article")
+		} else {
+			b.typed(pubs[i], "Inproceedings")
+		}
+		var title string
+		if i < len(dblpSentinelTitles) {
+			title = dblpSentinelTitles[i]
+		} else {
+			title = b.phrase(titleWords, 3+b.rng.Intn(4))
+		}
+		b.attr(pubs[i], "title", title)
+		if i < len(dblpSentinelYears) {
+			b.attr(pubs[i], "year", dblpSentinelYears[i])
+		} else {
+			b.attr(pubs[i], "year", fmt.Sprintf("%d", 1970+b.rng.Intn(39)))
+		}
+		b.rel(pubs[i], "publishedIn", venues[b.rng.Intn(nVenues)])
+		if i < len(dblpSentinelTitles) {
+			// Sentinel publications get fixed author pairs so workload
+			// queries joining author, year, and title have answers:
+			// pub0 {Tran, Cimiano}, pub1 {Cimiano, Wang},
+			// pub2 {Wang, Rudolph}, pub3 {Rudolph, Tran}.
+			b.rel(pubs[i], "author", authors[i%len(dblpSentinelAuthors)])
+			b.rel(pubs[i], "author", authors[(i+1)%len(dblpSentinelAuthors)])
+			continue
+		}
+		nAuth := 1 + b.rng.Intn(4)
+		seen := map[int]bool{}
+		for a := 0; a < nAuth; a++ {
+			// Quadratic skew: low author indices are more prolific.
+			idx := int(float64(nAuthors-1) * b.rng.Float64() * b.rng.Float64())
+			if !seen[idx] {
+				seen[idx] = true
+				b.rel(pubs[i], "author", authors[idx])
+			}
+		}
+	}
+
+	// Citations among publications (2 per publication on average,
+	// pointing backwards to simulate time order).
+	for i := 1; i < nPubs; i++ {
+		nCites := b.rng.Intn(4)
+		for c := 0; c < nCites; c++ {
+			target := b.rng.Intn(i)
+			if target != i {
+				b.rel(pubs[i], "cites", pubs[target])
+			}
+		}
+	}
+}
+
+// DBLPTriples generates the dataset into a slice.
+func DBLPTriples(cfg DBLPConfig) []rdf.Triple {
+	return collect(func(e Emit) { DBLP(cfg, e) })
+}

@@ -1,0 +1,195 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// LUBMConfig scales the LUBM-style generator.
+type LUBMConfig struct {
+	// Universities is the scale factor (LUBM(n)); default 1.
+	Universities int
+	// Seed makes the dataset deterministic (default 1).
+	Seed int64
+	// Compact shrinks per-department populations (~5× fewer students)
+	// for fast unit tests; benchmarks use the full shape.
+	Compact bool
+}
+
+func (c LUBMConfig) withDefaults() LUBMConfig {
+	if c.Universities <= 0 {
+		c.Universities = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LUBM generates university data following the univ-bench schema: the
+// class hierarchy
+//
+//	FullProfessor, AssociateProfessor, AssistantProfessor ⊑ Professor
+//	Professor, Lecturer ⊑ Faculty ⊑ Employee ⊑ Person
+//	GraduateStudent, UndergraduateStudent ⊑ Student ⊑ Person
+//	University, Department, ResearchGroup ⊑ Organization
+//	GraduateCourse ⊑ Course
+//
+// and the standard properties (worksFor, memberOf, subOrganizationOf,
+// headOf, advisor, teacherOf, takesCourse, publicationAuthor,
+// undergraduateDegreeFrom, doctoralDegreeFrom, researchInterest, name,
+// emailAddress). Cardinalities follow the published generator profile,
+// scaled down by Compact for tests.
+func LUBM(cfg LUBMConfig, emit Emit) {
+	cfg = cfg.withDefaults()
+	b := &builder{ns: LUBMNS, rng: rand.New(rand.NewSource(cfg.Seed)), emit: emit}
+
+	// Schema.
+	for _, sc := range [][2]string{
+		{"FullProfessor", "Professor"},
+		{"AssociateProfessor", "Professor"},
+		{"AssistantProfessor", "Professor"},
+		{"Professor", "Faculty"},
+		{"Lecturer", "Faculty"},
+		{"Faculty", "Employee"},
+		{"Employee", "Person"},
+		{"GraduateStudent", "Student"},
+		{"UndergraduateStudent", "Student"},
+		{"Student", "Person"},
+		{"University", "Organization"},
+		{"Department", "Organization"},
+		{"ResearchGroup", "Organization"},
+		{"GraduateCourse", "Course"},
+	} {
+		b.subclass(sc[0], sc[1])
+	}
+
+	div := 1
+	if cfg.Compact {
+		div = 5
+	}
+	randRange := func(lo, hi int) int { return lo + b.rng.Intn(hi-lo+1) }
+
+	personSeq, courseSeq, pubSeq, groupSeq := 0, 0, 0, 0
+	var allUniversities []rdf.Term
+
+	for u := 0; u < cfg.Universities; u++ {
+		univ := b.id("University", u)
+		allUniversities = append(allUniversities, univ)
+		b.typed(univ, "University")
+		b.attr(univ, "name", fmt.Sprintf("University%d", u))
+
+		nDepts := randRange(15, 25) / div
+		if nDepts < 2 {
+			nDepts = 2
+		}
+		for d := 0; d < nDepts; d++ {
+			dept := b.iri(fmt.Sprintf("University%d/Department%d", u, d))
+			b.typed(dept, "Department")
+			b.attr(dept, "name", fmt.Sprintf("Department%d of %s", d, researchAreas[d%len(researchAreas)]))
+			b.rel(dept, "subOrganizationOf", univ)
+
+			nGroups := randRange(10, 20) / div
+			for g := 0; g < nGroups; g++ {
+				grp := b.id("ResearchGroup", groupSeq)
+				groupSeq++
+				b.typed(grp, "ResearchGroup")
+				b.attr(grp, "name", b.pick(researchAreas)+" Group")
+				b.rel(grp, "subOrganizationOf", dept)
+			}
+
+			newPerson := func(class, namePrefix string) rdf.Term {
+				p := b.id("Person", personSeq)
+				personSeq++
+				b.typed(p, class)
+				name := b.pick(firstNames) + " " + b.pick(lastNames)
+				b.attr(p, "name", name)
+				b.attr(p, "emailAddress", fmt.Sprintf("%s%d@univ%d.edu", namePrefix, personSeq, u))
+				return p
+			}
+			newCourse := func(grad bool) rdf.Term {
+				c := b.id("Course", courseSeq)
+				courseSeq++
+				if grad {
+					b.typed(c, "GraduateCourse")
+					b.attr(c, "name", "Graduate "+b.pick(courseTopics))
+				} else {
+					b.typed(c, "Course")
+					b.attr(c, "name", b.pick(courseTopics))
+				}
+				return c
+			}
+
+			var faculty []rdf.Term
+			var professors []rdf.Term
+			var courses []rdf.Term
+			addFaculty := func(class string, n int) {
+				for i := 0; i < n; i++ {
+					p := newPerson(class, "fac")
+					faculty = append(faculty, p)
+					if class != "Lecturer" {
+						professors = append(professors, p)
+					}
+					b.rel(p, "worksFor", dept)
+					b.attr(p, "researchInterest", b.pick(researchAreas))
+					b.rel(p, "undergraduateDegreeFrom", univ)
+					// 1–2 courses per faculty member.
+					for c := 0; c < 1+b.rng.Intn(2); c++ {
+						crs := newCourse(b.rng.Intn(3) == 0)
+						courses = append(courses, crs)
+						b.rel(p, "teacherOf", crs)
+					}
+					// Publications.
+					for pb := 0; pb < b.rng.Intn(5); pb++ {
+						pub := b.id("Publication", pubSeq)
+						pubSeq++
+						b.typed(pub, "Publication")
+						b.attr(pub, "name", b.phrase(titleWords, 3+b.rng.Intn(3)))
+						b.rel(pub, "publicationAuthor", p)
+					}
+				}
+			}
+			addFaculty("FullProfessor", max1(randRange(7, 10)/div))
+			addFaculty("AssociateProfessor", max1(randRange(10, 14)/div))
+			addFaculty("AssistantProfessor", max1(randRange(8, 11)/div))
+			addFaculty("Lecturer", max1(randRange(5, 7)/div))
+
+			// The department head is a full professor.
+			b.rel(professors[0], "headOf", dept)
+
+			// Students.
+			nUG := len(faculty) * randRange(8, 14) / div
+			for s := 0; s < nUG; s++ {
+				st := newPerson("UndergraduateStudent", "ug")
+				b.rel(st, "memberOf", dept)
+				for c := 0; c < 2+b.rng.Intn(3); c++ {
+					b.rel(st, "takesCourse", courses[b.rng.Intn(len(courses))])
+				}
+			}
+			nGrad := len(faculty) * randRange(3, 4) / div
+			for s := 0; s < nGrad; s++ {
+				st := newPerson("GraduateStudent", "grad")
+				b.rel(st, "memberOf", dept)
+				b.rel(st, "advisor", professors[b.rng.Intn(len(professors))])
+				b.rel(st, "undergraduateDegreeFrom", allUniversities[b.rng.Intn(len(allUniversities))])
+				for c := 0; c < 1+b.rng.Intn(3); c++ {
+					b.rel(st, "takesCourse", courses[b.rng.Intn(len(courses))])
+				}
+			}
+		}
+	}
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// LUBMTriples generates the dataset into a slice.
+func LUBMTriples(cfg LUBMConfig) []rdf.Triple {
+	return collect(func(e Emit) { LUBM(cfg, e) })
+}

@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// TAPConfig scales the TAP-shaped generator.
+type TAPConfig struct {
+	// InstancesPerClass is the average population of each class
+	// (default 25). TAP is schema-heavy: many classes, few instances.
+	InstancesPerClass int
+	// Seed makes the dataset deterministic (default 1).
+	Seed int64
+}
+
+func (c TAPConfig) withDefaults() TAPConfig {
+	if c.InstancesPerClass <= 0 {
+		c.InstancesPerClass = 25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// tapDomain describes one knowledge domain of the broad ontology.
+type tapDomain struct {
+	root    string
+	classes []string // all ⊑ root
+}
+
+// tapDomains spans sports, geography, music, movies, companies, and books
+// — the "knowledge about sports, geography, music and many other fields"
+// of Sec. VII. Together with shared superclasses this yields ~60 classes,
+// giving TAP the largest graph index of the three datasets (Fig. 6b).
+var tapDomains = []tapDomain{
+	{root: "Sport", classes: []string{"TeamSport", "RacketSport", "WaterSport", "WinterSport"}},
+	{root: "SportsTeam", classes: []string{"BasketballTeam", "FootballTeam", "BaseballTeam", "HockeyTeam"}},
+	{root: "Athlete", classes: []string{"BasketballPlayer", "FootballPlayer", "TennisPlayer", "Swimmer"}},
+	{root: "Location", classes: []string{"City", "Country", "River", "Mountain", "Lake", "Island", "Continent"}},
+	{root: "Musician", classes: []string{"Singer", "Guitarist", "Pianist", "Composer", "Drummer"}},
+	{root: "MusicalWork", classes: []string{"Album", "Song", "Symphony", "Opera"}},
+	{root: "Band", classes: []string{"RockBand", "JazzEnsemble", "Orchestra"}},
+	{root: "Movie", classes: []string{"ActionMovie", "ComedyMovie", "DramaMovie", "Documentary"}},
+	{root: "MoviePerson", classes: []string{"Actor", "Director", "Producer"}},
+	{root: "Company", classes: []string{"TechCompany", "CarMaker", "Airline", "Bank"}},
+	{root: "Product", classes: []string{"Vehicle", "Gadget", "SoftwareProduct"}},
+	{root: "WrittenWork", classes: []string{"Book", "Magazine", "Comic"}},
+	{root: "Writer", classes: []string{"Novelist", "Poet", "Journalist"}},
+}
+
+// TAP generates the broad-ontology dataset: a deep-ish class tree with
+// modest instance populations and cross-domain relations (plays, memberOf,
+// locatedIn, performedBy, directedBy, actedIn, madeBy, authorOf,
+// basedIn), plus name/population/founded attributes.
+func TAP(cfg TAPConfig, emit Emit) {
+	cfg = cfg.withDefaults()
+	b := &builder{ns: TAPNS, rng: rand.New(rand.NewSource(cfg.Seed)), emit: emit}
+
+	// Schema: domain roots under Thing-like top classes.
+	b.subclass("Athlete", "Person")
+	b.subclass("Musician", "Person")
+	b.subclass("MoviePerson", "Person")
+	b.subclass("Writer", "Person")
+	b.subclass("SportsTeam", "Organization")
+	b.subclass("Company", "Organization")
+	b.subclass("Band", "Organization")
+	for _, dom := range tapDomains {
+		for _, c := range dom.classes {
+			b.subclass(c, dom.root)
+		}
+	}
+
+	n := cfg.InstancesPerClass
+	randName := func(class string) string {
+		switch class {
+		case "City":
+			return b.pick(cityNames)
+		case "Country", "Continent":
+			return b.pick(countryNames)
+		case "River":
+			return b.pick(cityNames) + " River"
+		case "Mountain":
+			return "Mount " + b.pick(lastNames)
+		case "Lake":
+			return "Lake " + b.pick(cityNames)
+		case "Island":
+			return b.pick(cityNames) + " Island"
+		default:
+			switch {
+			case contains(class, "Team"):
+				return b.pick(cityNames) + " " + b.pick(teamWords)
+			case contains(class, "Band"), class == "Orchestra", class == "JazzEnsemble":
+				return "The " + b.pick(bandWords) + " " + b.pick(teamWords)
+			case contains(class, "Movie"), class == "Documentary":
+				return "The " + b.pick(bandWords) + " " + b.pick(titleWords)
+			case class == "Album", class == "Song", class == "Symphony", class == "Opera":
+				return b.pick(bandWords) + " " + b.pick(genreNames)
+			case contains(class, "Sport"):
+				return b.pick(sportNames)
+			case contains(class, "Company"), class == "CarMaker", class == "Airline", class == "Bank":
+				return b.pick(bandWords) + " " + b.pick(productWords) + " Corp"
+			case class == "Vehicle", class == "Gadget", class == "SoftwareProduct":
+				return b.pick(bandWords) + " " + b.pick(productWords)
+			case class == "Book", class == "Magazine", class == "Comic":
+				return "The " + b.pick(titleWords) + " " + b.pick(titleWords)
+			default: // people
+				return b.pick(firstNames) + " " + b.pick(lastNames)
+			}
+		}
+	}
+
+	instances := map[string][]rdf.Term{}
+	seq := 0
+	for _, dom := range tapDomains {
+		for _, class := range dom.classes {
+			cnt := max1(n/2 + b.rng.Intn(n))
+			for i := 0; i < cnt; i++ {
+				inst := b.id("res", seq)
+				seq++
+				b.typed(inst, class)
+				b.attr(inst, "name", randName(class))
+				instances[class] = append(instances[class], inst)
+				instances[dom.root] = append(instances[dom.root], inst)
+			}
+		}
+	}
+
+	// Attributes on selected classes.
+	for _, city := range instances["City"] {
+		b.attr(city, "population", fmt.Sprintf("%d", 10000+b.rng.Intn(5000000)))
+	}
+	for _, c := range instances["Company"] {
+		b.attr(c, "founded", fmt.Sprintf("%d", 1900+b.rng.Intn(108)))
+	}
+
+	relate := func(from, pred, to string, avg float64) {
+		src, dst := instances[from], instances[to]
+		if len(src) == 0 || len(dst) == 0 {
+			return
+		}
+		for _, s := range src {
+			cnt := int(avg)
+			if b.rng.Float64() < avg-float64(cnt) {
+				cnt++
+			}
+			for i := 0; i < cnt; i++ {
+				b.rel(s, pred, dst[b.rng.Intn(len(dst))])
+			}
+		}
+	}
+	relate("Athlete", "plays", "Sport", 1)
+	relate("Athlete", "memberOf", "SportsTeam", 1)
+	relate("SportsTeam", "basedIn", "City", 1)
+	relate("City", "locatedIn", "Country", 1)
+	relate("River", "locatedIn", "Country", 1)
+	relate("Mountain", "locatedIn", "Country", 1)
+	relate("MusicalWork", "performedBy", "Musician", 1.3)
+	relate("Musician", "memberOf", "Band", 0.6)
+	relate("Band", "basedIn", "City", 1)
+	relate("Movie", "directedBy", "MoviePerson", 1)
+	relate("MoviePerson", "actedIn", "Movie", 1.5)
+	relate("Product", "madeBy", "Company", 1)
+	relate("Company", "basedIn", "City", 1)
+	relate("Writer", "authorOf", "WrittenWork", 1.4)
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TAPTriples generates the dataset into a slice.
+func TAPTriples(cfg TAPConfig) []rdf.Triple {
+	return collect(func(e Emit) { TAP(cfg, e) })
+}

@@ -1,0 +1,94 @@
+package datagen
+
+// Vocabulary for generated labels. Title words skew toward the database /
+// information-retrieval vocabulary the paper's example queries use.
+var titleWords = []string{
+	"Efficient", "Keyword", "Search", "Graph", "Database", "Query",
+	"Algorithm", "Semantic", "Index", "Ranking", "Distributed", "Parallel",
+	"Adaptive", "Scalable", "Incremental", "Optimization", "Processing",
+	"Structured", "Relational", "Stream", "Mining", "Learning", "Web",
+	"Data", "Knowledge", "Ontology", "Schema", "Integration", "Retrieval",
+	"Analysis", "Clustering", "Classification", "Exploration", "Top-k",
+	"Approximate", "Probabilistic", "Temporal", "Spatial", "Caching",
+	"Transaction", "Storage", "Partitioning", "Sampling", "Compression",
+}
+
+var firstNames = []string{
+	"Thanh", "Haofen", "Sebastian", "Philipp", "Anna", "Boris", "Carla",
+	"David", "Elena", "Frank", "Grace", "Henry", "Irene", "Jonas", "Karin",
+	"Lukas", "Maria", "Nils", "Olga", "Peter", "Qing", "Rita", "Stefan",
+	"Tanja", "Ulrich", "Vera", "Wei", "Xin", "Yuki", "Zoltan",
+}
+
+var lastNames = []string{
+	"Tran", "Wang", "Rudolph", "Cimiano", "Abadi", "Berg", "Chen",
+	"Dietrich", "Engel", "Fischer", "Gupta", "Hoffmann", "Ivanov", "Jansen",
+	"Keller", "Lehmann", "Meyer", "Novak", "Olsen", "Petrov", "Quast",
+	"Richter", "Schmidt", "Thomas", "Ulrich", "Vogel", "Weber", "Xu",
+	"Yamada", "Zimmermann",
+}
+
+var venueTopics = []string{
+	"Data Engineering", "Database Systems", "Information Systems",
+	"Knowledge Management", "Semantic Web", "Web Search", "Data Mining",
+	"Information Retrieval", "Artificial Intelligence", "Logic Programming",
+}
+
+var instituteNames = []string{
+	"AIFB", "MIT CSAIL", "Stanford InfoLab", "Max Planck Institute",
+	"Bell Labs", "IBM Research", "Microsoft Research", "INRIA",
+	"ETH Systems Group", "Oxford DB Group", "Karlsruhe Institute",
+	"Shanghai Jiao Tong Lab",
+}
+
+// LUBM-flavored vocabulary.
+var researchAreas = []string{
+	"Databases", "Artificial Intelligence", "Systems", "Theory",
+	"Graphics", "Networks", "Security", "Bioinformatics", "Compilers",
+	"Architecture", "Robotics", "Vision",
+}
+
+var courseTopics = []string{
+	"Algorithms", "Databases", "Operating Systems", "Compilers",
+	"Machine Learning", "Computer Networks", "Software Engineering",
+	"Computational Logic", "Information Retrieval", "Distributed Systems",
+	"Cryptography", "Computer Graphics",
+}
+
+// TAP-flavored vocabulary.
+var cityNames = []string{
+	"Karlsruhe", "Shanghai", "Delft", "Berlin", "Paris", "London", "Rome",
+	"Madrid", "Vienna", "Prague", "Athens", "Oslo", "Helsinki", "Dublin",
+	"Lisbon", "Warsaw", "Budapest", "Zurich", "Amsterdam", "Brussels",
+}
+
+var countryNames = []string{
+	"Germany", "China", "Netherlands", "France", "England", "Italy",
+	"Spain", "Austria", "Greece", "Norway", "Finland", "Ireland",
+	"Portugal", "Poland", "Hungary", "Switzerland",
+}
+
+var teamWords = []string{
+	"Lions", "Eagles", "Sharks", "Wolves", "Tigers", "Falcons", "Bears",
+	"Dragons", "Hawks", "Panthers", "Royals", "Rangers", "United", "City",
+}
+
+var genreNames = []string{
+	"Jazz", "Rock", "Opera", "Blues", "Folk", "Electronic", "Classical",
+	"Hip Hop", "Soul", "Funk",
+}
+
+var sportNames = []string{
+	"Basketball", "Football", "Baseball", "Tennis", "Hockey", "Cricket",
+	"Rugby", "Volleyball", "Handball", "Golf",
+}
+
+var productWords = []string{
+	"Engine", "Server", "Console", "Tablet", "Router", "Drive", "Sensor",
+	"Display", "Battery", "Camera",
+}
+
+var bandWords = []string{
+	"Velvet", "Midnight", "Electric", "Golden", "Silent", "Crimson",
+	"Neon", "Lunar", "Atomic", "Wild",
+}

@@ -1,0 +1,381 @@
+// Package engine wires the paper's full pipeline (Fig. 2) behind one
+// facade: data loading, off-line preprocessing (data-graph classification,
+// summary-graph construction, keyword-index building), and the on-line
+// query computation — keyword-to-element mapping, summary-graph
+// augmentation, top-k subgraph exploration, query mapping — plus query
+// processing through the execution engine.
+//
+// The root package of this repository re-exports this facade as the
+// public API; command-line tools and the benchmark harness use it
+// directly.
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/graph"
+	"repro/internal/keywordindex"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/scoring"
+	"repro/internal/store"
+	"repro/internal/summary"
+	"repro/internal/thesaurus"
+)
+
+// Config tunes an Engine. The zero value gives the paper's defaults:
+// C3 scoring, k = 10, dmax = 12 elements (6 vertex/edge hops).
+type Config struct {
+	// Scoring selects the cost function (default scoring.Matching = C3).
+	Scoring scoring.Scheme
+	// K is the number of query candidates to compute (default 10).
+	K int
+	// DMax bounds exploration path length in summary-graph elements
+	// (default 10 — enough for value→attr→class→rel→class→rel→class→
+	// attr→value interpretations with one hop of slack).
+	DMax int
+	// MaxMatchesPerKeyword caps the keyword-to-element mapping fan-out
+	// (default 8).
+	MaxMatchesPerKeyword int
+	// DisableFuzzy and DisableSemantic switch off the imprecise matching
+	// components of the keyword index.
+	DisableFuzzy    bool
+	DisableSemantic bool
+	// UseOracle enables the connectivity/score oracle of Sec. IX (one
+	// Dijkstra per keyword before exploration) for additional sound
+	// pruning; results are identical.
+	UseOracle bool
+	// Thesaurus overrides the semantic-similarity source (default: the
+	// embedded thesaurus; ignored when DisableSemantic is set).
+	Thesaurus *thesaurus.Thesaurus
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.DMax <= 0 {
+		c.DMax = 10
+	}
+	if c.MaxMatchesPerKeyword <= 0 {
+		c.MaxMatchesPerKeyword = 8
+	}
+	if c.Scoring == 0 {
+		c.Scoring = scoring.Matching
+	}
+	if c.Thesaurus == nil {
+		c.Thesaurus = thesaurus.Default()
+	}
+	return c
+}
+
+// Engine is the SearchWebDB-style keyword search system.
+type Engine struct {
+	cfg Config
+
+	st    *store.Store
+	g     *graph.Graph
+	sum   *summary.Graph
+	kwix  *keywordindex.Index
+	exec  *exec.Engine
+	built bool
+
+	// BuildTime records the duration of the last Build (Fig. 6b).
+	BuildTime time.Duration
+}
+
+// New creates an empty engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults(), st: store.New()}
+}
+
+// Store exposes the underlying triple store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Graph exposes the classified data graph (nil before Build).
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Summary exposes the summary graph (nil before Build).
+func (e *Engine) Summary() *summary.Graph { return e.sum }
+
+// KeywordIndex exposes the keyword index (nil before Build).
+func (e *Engine) KeywordIndex() *keywordindex.Index { return e.kwix }
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// AddTriples appends triples; the engine rebuilds its indexes on the next
+// Build or Search.
+func (e *Engine) AddTriples(ts []rdf.Triple) {
+	e.st.AddAll(ts)
+	e.built = false
+}
+
+// AddTriple appends one triple.
+func (e *Engine) AddTriple(t rdf.Triple) {
+	e.st.Add(t)
+	e.built = false
+}
+
+// LoadNTriples reads N-Triples data.
+func (e *Engine) LoadNTriples(r io.Reader) (int, error) {
+	nr := rdf.NewNTriplesReader(r)
+	n := 0
+	for {
+		t, err := nr.Read()
+		if err == io.EOF {
+			e.built = false
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		e.st.Add(t)
+		n++
+	}
+}
+
+// SaveSnapshot writes the store's binary snapshot (see store.WriteTo):
+// the parsed, deduplicated triples with their dictionary. Derived indexes
+// are rebuilt on load, which is far cheaper than re-parsing RDF text.
+func (e *Engine) SaveSnapshot(w io.Writer) (int64, error) {
+	return e.st.WriteTo(w)
+}
+
+// LoadSnapshot replaces the engine's data with a snapshot previously
+// written by SaveSnapshot and returns the number of triples loaded.
+func (e *Engine) LoadSnapshot(r io.Reader) (int, error) {
+	st, err := store.ReadSnapshot(r)
+	if err != nil {
+		return 0, err
+	}
+	e.st = st
+	e.built = false
+	return st.Len(), nil
+}
+
+// LoadTurtle reads Turtle data.
+func (e *Engine) LoadTurtle(r io.Reader) (int, error) {
+	p, err := rdf.NewTurtleParser(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	err = p.Parse(func(t rdf.Triple) error {
+		e.st.Add(t)
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	e.built = false
+	return n, nil
+}
+
+// Build runs the off-line preprocessing of Fig. 2: store indexes, data
+// graph classification, summary graph, and keyword index. It is invoked
+// lazily by Search; calling it explicitly makes the cost observable.
+func (e *Engine) Build() {
+	if e.built {
+		return
+	}
+	start := time.Now()
+	e.st.Build()
+	e.g = graph.Build(e.st)
+	e.sum = summary.Build(e.g)
+	th := e.cfg.Thesaurus
+	if e.cfg.DisableSemantic {
+		th = nil
+	}
+	e.kwix = keywordindex.Build(e.g, th)
+	e.exec = exec.New(e.st)
+	e.BuildTime = time.Since(start)
+	e.built = true
+}
+
+// QueryCandidate is one computed query: the conjunctive query, its cost,
+// and the matching subgraph it was derived from.
+type QueryCandidate struct {
+	Query *query.ConjunctiveQuery
+	Cost  float64
+}
+
+// SPARQL renders the candidate as SPARQL.
+func (c *QueryCandidate) SPARQL() string { return c.Query.SPARQL() }
+
+// Describe renders the candidate as a natural-language-style description.
+func (c *QueryCandidate) Describe() string { return c.Query.Describe() }
+
+// SearchInfo reports how a search went, for diagnostics and benchmarks.
+type SearchInfo struct {
+	// MatchCounts is the number of keyword elements per keyword.
+	MatchCounts []int
+	// Exploration holds the Algorithm 1/2 work counters.
+	Exploration core.Stats
+	// Guaranteed is true when the top-k guarantee held (Sec. VI-C).
+	Guaranteed bool
+	// Elapsed is the total query-computation time.
+	Elapsed time.Duration
+}
+
+// UnmatchedKeywordsError reports keywords the index could not map to any
+// graph element.
+type UnmatchedKeywordsError struct {
+	Keywords []string
+}
+
+// Error implements the error interface.
+func (e *UnmatchedKeywordsError) Error() string {
+	return fmt.Sprintf("engine: no graph elements match keyword(s): %s",
+		strings.Join(e.Keywords, ", "))
+}
+
+// Search runs the full on-line query computation for a keyword query and
+// returns the top-k query candidates in ascending cost order.
+func (e *Engine) Search(keywords []string) ([]*QueryCandidate, *SearchInfo, error) {
+	return e.SearchK(keywords, e.cfg.K)
+}
+
+// SearchK is Search with a per-call k.
+func (e *Engine) SearchK(keywords []string, k int) ([]*QueryCandidate, *SearchInfo, error) {
+	if len(keywords) == 0 {
+		return nil, nil, fmt.Errorf("engine: empty keyword query")
+	}
+	e.Build()
+	start := time.Now()
+
+	// 1. Keyword-to-element mapping. Filter keywords ("before 2005",
+	// ">= 10") map to the numeric attribute edges of the graph — the
+	// filter-operator extension the paper sketches in Sec. IX.
+	opts := keywordindex.LookupOptions{
+		MaxMatches:      e.cfg.MaxMatchesPerKeyword,
+		DisableFuzzy:    e.cfg.DisableFuzzy,
+		DisableSemantic: e.cfg.DisableSemantic,
+	}
+	matches := make([][]summary.Match, len(keywords))
+	filterSpecs := make([]*filterSpec, len(keywords))
+	for i, kw := range keywords {
+		if spec, ok := parseFilterKeyword(kw); ok {
+			specCopy := spec
+			filterSpecs[i] = &specCopy
+			matches[i] = e.kwix.NumericAttrMatches()
+			continue
+		}
+		matches[i] = e.kwix.LookupOpts(kw, opts)
+	}
+	info := &SearchInfo{MatchCounts: make([]int, len(matches))}
+	var unmatched []string
+	for i, ms := range matches {
+		info.MatchCounts[i] = len(ms)
+		if len(ms) == 0 {
+			unmatched = append(unmatched, keywords[i])
+		}
+	}
+	if len(unmatched) > 0 {
+		return nil, info, &UnmatchedKeywordsError{Keywords: unmatched}
+	}
+
+	// 2. Augmentation of the graph index.
+	ag := e.sum.Augment(matches)
+
+	// 3. Top-k graph exploration.
+	scorer := scoring.New(e.cfg.Scoring, ag)
+	res := core.Explore(ag, scorer.ElementCost, core.Options{K: k, DMax: e.cfg.DMax, UseOracle: e.cfg.UseOracle})
+	info.Exploration = res.Stats
+	info.Guaranteed = res.Guaranteed
+
+	// 4. Element-to-query mapping, attaching filters to the variables of
+	// the matched attribute edges' artificial value nodes, then
+	// de-duplicating equivalent queries.
+	seeds := ag.Seeds()
+	var cands []*QueryCandidate
+	for _, g := range res.Subgraphs {
+		q, vars := query.FromSubgraphVars(ag, g)
+		if len(q.Atoms) == 0 {
+			continue // e.g. several keywords matching one isolated value
+		}
+		for i, spec := range filterSpecs {
+			if spec == nil {
+				continue
+			}
+			for _, seed := range seeds[i] {
+				if !g.Contains(seed) {
+					continue
+				}
+				el := ag.Element(seed)
+				if el.Kind != summary.AttrEdge {
+					continue
+				}
+				if v, ok := vars[el.To]; ok {
+					q.AddFilter(query.Filter{Var: v, Op: spec.op, Value: spec.value})
+				}
+			}
+		}
+		dup := false
+		for _, prev := range cands {
+			if query.Equivalent(prev.Query, q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			cands = append(cands, &QueryCandidate{Query: q, Cost: q.Cost})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Cost < cands[j].Cost })
+	info.Elapsed = time.Since(start)
+	return cands, info, nil
+}
+
+// Execute evaluates a query candidate on the underlying database engine
+// and returns all its answers.
+func (e *Engine) Execute(c *QueryCandidate) (*exec.ResultSet, error) {
+	e.Build()
+	return e.exec.Execute(c.Query)
+}
+
+// ExecuteLimit evaluates a candidate, stopping at limit distinct answers.
+func (e *Engine) ExecuteLimit(c *QueryCandidate, limit int) (*exec.ResultSet, error) {
+	e.Build()
+	return e.exec.ExecuteLimit(c.Query, limit)
+}
+
+// Explain returns the database engine's evaluation plan for a candidate
+// without executing it.
+func (e *Engine) Explain(c *QueryCandidate) (*exec.Plan, error) {
+	e.Build()
+	return e.exec.Explain(c.Query)
+}
+
+// AnswersForTop processes candidates in rank order until at least
+// minAnswers answers are collected (the user-facing operation timed in
+// Fig. 5: compute top queries, then evaluate the best ones until 10
+// answers exist). It returns the answers found and the number of queries
+// processed.
+func (e *Engine) AnswersForTop(cands []*QueryCandidate, minAnswers int) (*exec.ResultSet, int, error) {
+	e.Build()
+	combined := &exec.ResultSet{}
+	processed := 0
+	for _, c := range cands {
+		rs, err := e.exec.ExecuteLimit(c.Query, minAnswers-combined.Len())
+		if err != nil {
+			return combined, processed, err
+		}
+		processed++
+		if combined.Len() == 0 {
+			combined.Vars = rs.Vars
+		}
+		combined.Rows = append(combined.Rows, rs.Rows...)
+		if combined.Len() >= minAnswers {
+			break
+		}
+	}
+	return combined, processed, nil
+}

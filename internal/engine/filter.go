@@ -1,0 +1,53 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// filterSpec is a parsed filter keyword (the Sec. IX filter-operator
+// extension): "before 2005", "after 1998", "<= 10", "> 3.5", ….
+type filterSpec struct {
+	op    query.FilterOp
+	value float64
+}
+
+// filterWords maps natural-language comparators to operators.
+var filterWords = map[string]query.FilterOp{
+	"before": query.OpLT,
+	"until":  query.OpLE,
+	"after":  query.OpGT,
+	"since":  query.OpGE,
+	"<":      query.OpLT,
+	"<=":     query.OpLE,
+	">":      query.OpGT,
+	">=":     query.OpGE,
+}
+
+// parseFilterKeyword recognizes a filter keyword: an operator word or
+// symbol followed by a number ("before 2005", ">= 1998"), or a compact
+// symbol form ("<2005").
+func parseFilterKeyword(kw string) (filterSpec, bool) {
+	s := strings.TrimSpace(strings.ToLower(kw))
+	fields := strings.Fields(s)
+	if len(fields) == 2 {
+		if op, ok := filterWords[fields[0]]; ok {
+			if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
+				return filterSpec{op: op, value: v}, true
+			}
+		}
+		return filterSpec{}, false
+	}
+	if len(fields) == 1 {
+		for _, sym := range []string{"<=", ">=", "<", ">"} {
+			if strings.HasPrefix(s, sym) {
+				if v, err := strconv.ParseFloat(strings.TrimSpace(s[len(sym):]), 64); err == nil {
+					return filterSpec{op: filterWords[sym], value: v}, true
+				}
+			}
+		}
+	}
+	return filterSpec{}, false
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/query"
+)
+
+func TestParseFilterKeyword(t *testing.T) {
+	cases := []struct {
+		kw    string
+		ok    bool
+		op    query.FilterOp
+		value float64
+	}{
+		{"before 2005", true, query.OpLT, 2005},
+		{"after 1998", true, query.OpGT, 1998},
+		{"since 2000", true, query.OpGE, 2000},
+		{"until 1990", true, query.OpLE, 1990},
+		{"<= 10", true, query.OpLE, 10},
+		{"> 3.5", true, query.OpGT, 3.5},
+		{"<2005", true, query.OpLT, 2005},
+		{">=1998", true, query.OpGE, 1998},
+		{"Before 2005", true, query.OpLT, 2005}, // case-insensitive
+		{"before", false, "", 0},
+		{"before noon", false, "", 0},
+		{"2005", false, "", 0},
+		{"cimiano", false, "", 0},
+		{"less than 5", false, "", 0},
+	}
+	for _, c := range cases {
+		spec, ok := parseFilterKeyword(c.kw)
+		if ok != c.ok {
+			t.Errorf("parseFilterKeyword(%q) ok = %v, want %v", c.kw, ok, c.ok)
+			continue
+		}
+		if ok && (spec.op != c.op || spec.value != c.value) {
+			t.Errorf("parseFilterKeyword(%q) = %+v, want {%v %v}", c.kw, spec, c.op, c.value)
+		}
+	}
+}
+
+// TestFilterSearchEndToEnd: "publications by Thanh Tran before 2005" as a
+// keyword query with a filter operator.
+func TestFilterSearchEndToEnd(t *testing.T) {
+	e := New(Config{K: 5})
+	e.AddTriples(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 1000, Seed: 1}))
+
+	cands, _, err := e.Search([]string{"thanh tran", "before 2005"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates for filter query")
+	}
+	// The top candidates must carry a filter.
+	top := cands[0]
+	if len(top.Query.Filters) == 0 {
+		t.Fatalf("top candidate has no filter: %s", top.Query)
+	}
+	f := top.Query.Filters[0]
+	if f.Op != query.OpLT || f.Value != 2005 {
+		t.Fatalf("filter = %+v", f)
+	}
+	if !strings.Contains(top.SPARQL(), "FILTER(?") {
+		t.Errorf("SPARQL missing FILTER:\n%s", top.SPARQL())
+	}
+
+	// Execution: every answer's filtered variable must be < 2005.
+	rs, err := e.Execute(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Fatalf("filter query returned no answers:\n%s", top.Query)
+	}
+	// Find the filtered variable's column.
+	col := -1
+	for i, v := range rs.Vars {
+		if v == f.Var {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("filtered var %s not projected (vars %v)", f.Var, rs.Vars)
+	}
+	for _, row := range rs.Rows {
+		if !f.Eval(row[col].Value) {
+			t.Fatalf("answer violates filter: %v", row[col])
+		}
+	}
+	// Cross-check: the unfiltered variant must have at least as many rows.
+	unfiltered := *top.Query
+	unfiltered.Filters = nil
+	rs2, err := e.Execute(&QueryCandidate{Query: &unfiltered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Len() < rs.Len() {
+		t.Fatalf("unfiltered (%d) < filtered (%d)", rs2.Len(), rs.Len())
+	}
+}
+
+func TestFilterKeywordUnmatchedWithoutNumericAttrs(t *testing.T) {
+	// A graph with no numeric attributes cannot interpret filter keywords.
+	e := New(Config{})
+	e.AddTriple(tripleIRI("a", "knows", "b"))
+	_, _, err := e.Search([]string{"before 2000"})
+	if _, ok := err.(*UnmatchedKeywordsError); !ok {
+		t.Fatalf("want UnmatchedKeywordsError, got %v", err)
+	}
+}
+
+func TestFilterEquivalenceDistinguishes(t *testing.T) {
+	e := New(Config{K: 8})
+	e.AddTriples(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 500, Seed: 1}))
+	before, _, err := e.Search([]string{"thanh tran", "before 2005"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := e.Search([]string{"thanh tran", "after 2005"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 || len(after) == 0 {
+		t.Fatal("missing candidates")
+	}
+	if query.Equivalent(before[0].Query, after[0].Query) {
+		t.Fatal("queries with different filters must not be equivalent")
+	}
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// TestUntypedDataPipeline runs the full pipeline on a graph with no type
+// or subclass statements at all: every entity aggregates into the
+// synthetic Thing vertex (Definition 4), keywords still map to values and
+// predicates, and generated queries carry no type atoms.
+func TestUntypedDataPipeline(t *testing.T) {
+	doc := `
+@prefix ex: <http://untyped.example/> .
+ex:alice ex:name "Alice Untyped" .
+ex:alice ex:knows ex:bob .
+ex:bob   ex:name "Bob Untyped" .
+ex:bob   ex:worksAt ex:acme .
+ex:acme  ex:name "Acme Corp" .
+`
+	e := New(Config{K: 5})
+	if _, err := e.LoadTurtle(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	// Single-value information needs work: the value and its attribute
+	// edge hang off Thing, and the query binds one variable.
+	cands, info, err := e.Search([]string{"alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates on untyped data")
+	}
+	if !info.Guaranteed {
+		t.Error("guarantee should hold")
+	}
+	top := cands[0]
+	for _, at := range top.Query.Atoms {
+		if at.Pred.Value == rdf.RDFType {
+			t.Fatalf("untyped data must yield no type atoms: %s", top.Query)
+		}
+	}
+	rs, err := e.Execute(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("single-value query answers = %d, want 1 (%s)", rs.Len(), top.Query)
+	}
+
+	// Multi-entity needs degenerate by design: with every entity
+	// aggregated into the single Thing vertex (Definition 4), all
+	// relation edges become loops and generated queries bind one
+	// variable — "alice acme" maps to one entity carrying both names.
+	// This documents the inherent limit of summarization on untyped
+	// data (the paper's data model assumes typed entities).
+	cands, _, err = e.Search([]string{"alice", "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates for two-keyword query")
+	}
+	if nv := len(cands[0].Query.Vars()); nv != 1 {
+		t.Fatalf("untyped two-keyword query should collapse to 1 variable, got %d (%s)",
+			nv, cands[0].Query)
+	}
+
+	// The summary graph collapses to Thing plus its loops/attributes.
+	if e.Summary().Element(e.Summary().Thing()).Agg != 3 {
+		t.Errorf("Thing should aggregate 3 entities, got %d",
+			e.Summary().Element(e.Summary().Thing()).Agg)
+	}
+}
+
+// TestMixedTypedUntyped: typed and untyped entities coexist; paths may
+// cross between class vertices and Thing.
+func TestMixedTypedUntyped(t *testing.T) {
+	doc := `
+@prefix ex: <http://mixed.example/> .
+ex:p1 a ex:Publication ;
+      ex:title "Graph Paper" ;
+      ex:author ex:ghost .
+ex:ghost ex:name "Ghost Writer" .
+`
+	e := New(Config{K: 5})
+	if _, err := e.LoadTurtle(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	cands, _, err := e.Search([]string{"ghost writer", "publication"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	rs, err := e.Execute(cands[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() == 0 {
+		t.Fatalf("no answers for %s", cands[0].Query)
+	}
+}

@@ -1,0 +1,370 @@
+package exec
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func ex(l string) rdf.Term { return rdf.NewIRI(rdf.ExampleNS + l) }
+
+func fig1Engine(t *testing.T) (*Engine, *store.Store) {
+	t.Helper()
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	return New(st), st
+}
+
+// fig1cQuery is the paper's example conjunctive query (Fig. 1c).
+func fig1cQuery() *query.ConjunctiveQuery {
+	typ := rdf.NewIRI(rdf.RDFType)
+	return &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: typ, S: query.Variable("x"), O: query.Constant(ex("Publication"))},
+			{Pred: ex("year"), S: query.Variable("x"), O: query.Constant(rdf.NewLiteral("2006"))},
+			{Pred: ex("author"), S: query.Variable("x"), O: query.Variable("y")},
+			{Pred: ex("name"), S: query.Variable("y"), O: query.Constant(rdf.NewLiteral("P. Cimiano"))},
+			{Pred: ex("worksAt"), S: query.Variable("y"), O: query.Variable("z")},
+			{Pred: ex("name"), S: query.Variable("z"), O: query.Constant(rdf.NewLiteral("AIFB"))},
+		},
+		Distinguished: []string{"x", "y", "z"},
+	}
+}
+
+func TestFig1cQueryAnswers(t *testing.T) {
+	e, _ := fig1Engine(t)
+	rs, err := e.Execute(fig1cQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("Fig. 1c query should have exactly one answer, got %d:\n%s", rs.Len(), rs)
+	}
+	row := rs.Rows[0]
+	want := []rdf.Term{ex("pub1"), ex("re2"), ex("inst1")}
+	if !reflect.DeepEqual(row, want) {
+		t.Fatalf("answer = %v, want %v", row, want)
+	}
+}
+
+func TestExecuteProjection(t *testing.T) {
+	e, _ := fig1Engine(t)
+	q := fig1cQuery()
+	q.Distinguished = []string{"z"}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 || rs.Rows[0][0] != ex("inst1") {
+		t.Fatalf("projection wrong: %v", rs.Rows)
+	}
+	if len(rs.Vars) != 1 || rs.Vars[0] != "z" {
+		t.Fatalf("vars = %v", rs.Vars)
+	}
+}
+
+func TestProjectionDeduplicates(t *testing.T) {
+	e, _ := fig1Engine(t)
+	// Both authors of pub1 yield the same projected publication.
+	typ := rdf.NewIRI(rdf.RDFType)
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: typ, S: query.Variable("x"), O: query.Constant(ex("Publication"))},
+			{Pred: ex("author"), S: query.Variable("x"), O: query.Variable("y")},
+		},
+		Distinguished: []string{"x"},
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("distinct projection: got %d rows, want 1\n%s", rs.Len(), rs)
+	}
+}
+
+func TestExecuteLimit(t *testing.T) {
+	e, _ := fig1Engine(t)
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: rdf.NewIRI(rdf.RDFType), S: query.Variable("x"), O: query.Variable("c")},
+		},
+		Distinguished: []string{"x"},
+	}
+	rs, err := e.ExecuteLimit(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 3 || !rs.Truncated {
+		t.Fatalf("limit: got %d rows, truncated=%v", rs.Len(), rs.Truncated)
+	}
+	full, _ := e.Execute(q)
+	if full.Truncated || full.Len() != 8 {
+		t.Fatalf("full run: %d rows, truncated=%v (want 8, false)", full.Len(), full.Truncated)
+	}
+}
+
+func TestUnknownConstantYieldsEmpty(t *testing.T) {
+	e, _ := fig1Engine(t)
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: ex("nosuchpred"), S: query.Variable("x"), O: query.Variable("y")},
+		},
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Fatal("unknown predicate should produce no answers")
+	}
+}
+
+func TestConstantOnlyAtom(t *testing.T) {
+	e, _ := fig1Engine(t)
+	typ := rdf.NewIRI(rdf.RDFType)
+	sub := rdf.NewIRI(rdf.RDFSSubClass)
+	// subClassOf(Researcher, Person) holds; the query reduces to type(x, Researcher).
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: typ, S: query.Variable("x"), O: query.Constant(ex("Researcher"))},
+			{Pred: sub, S: query.Constant(ex("Researcher")), O: query.Constant(ex("Person"))},
+		},
+		Distinguished: []string{"x"},
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 {
+		t.Fatalf("got %d researchers, want 2", rs.Len())
+	}
+	// A false schema atom prunes everything.
+	q.Atoms[1].O = query.Constant(ex("Project"))
+	rs, _ = e.Execute(q)
+	if rs.Len() != 0 {
+		t.Fatal("false constant atom should produce no answers")
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	st := store.New()
+	ns := "http://l/"
+	st.Add(rdf.NewTriple(rdf.NewIRI(ns+"a"), rdf.NewIRI(ns+"rel"), rdf.NewIRI(ns+"a"))) // self-loop
+	st.Add(rdf.NewTriple(rdf.NewIRI(ns+"a"), rdf.NewIRI(ns+"rel"), rdf.NewIRI(ns+"b")))
+	e := New(st)
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: rdf.NewIRI(ns + "rel"), S: query.Variable("x"), O: query.Variable("x")},
+		},
+		Distinguished: []string{"x"},
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 || rs.Rows[0][0] != rdf.NewIRI(ns+"a") {
+		t.Fatalf("self-loop query: %v", rs.Rows)
+	}
+}
+
+func TestEmptyQueryRejected(t *testing.T) {
+	e, _ := fig1Engine(t)
+	if _, err := e.Execute(&query.ConjunctiveQuery{}); err == nil {
+		t.Fatal("empty query should error")
+	}
+}
+
+func TestUnknownDistinguishedVarRejected(t *testing.T) {
+	e, _ := fig1Engine(t)
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: rdf.NewIRI(rdf.RDFType), S: query.Variable("x"), O: query.Variable("c")},
+		},
+		Distinguished: []string{"nope"},
+	}
+	if _, err := e.Execute(q); err == nil {
+		t.Fatal("unknown distinguished variable should error")
+	}
+}
+
+func TestResultSetString(t *testing.T) {
+	e, _ := fig1Engine(t)
+	rs, _ := e.Execute(fig1cQuery())
+	s := rs.String()
+	if !strings.Contains(s, "pub1") || !strings.Contains(s, "x\ty\tz") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// naiveExecute evaluates by unconstrained backtracking over all triples —
+// the reference semantics of Definition 3.
+func naiveExecute(st *store.Store, q *query.ConjunctiveQuery) [][]rdf.Term {
+	vars := q.Vars()
+	slot := map[string]int{}
+	for i, v := range vars {
+		slot[v] = i
+	}
+	binding := make([]rdf.Term, len(vars))
+	bound := make([]bool, len(vars))
+	var rows [][]rdf.Term
+	seen := map[string]bool{}
+	var triples []rdf.Triple
+	st.ForEach(func(t store.IDTriple) { triples = append(triples, st.Decode(t)) })
+
+	matchArg := func(a query.Arg, t rdf.Term) (ok, fresh bool, idx int) {
+		if !a.IsVar() {
+			return a.Term == t, false, -1
+		}
+		i := slot[a.Var]
+		if bound[i] {
+			return binding[i] == t, false, i
+		}
+		binding[i] = t
+		bound[i] = true
+		return true, true, i
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(q.Atoms) {
+			dist := q.Distinguished
+			if len(dist) == 0 {
+				dist = vars
+			}
+			row := make([]rdf.Term, len(dist))
+			var key strings.Builder
+			for j, v := range dist {
+				row[j] = binding[slot[v]]
+				key.WriteString(row[j].String())
+				key.WriteByte('|')
+			}
+			if !seen[key.String()] {
+				seen[key.String()] = true
+				rows = append(rows, row)
+			}
+			return
+		}
+		at := q.Atoms[i]
+		for _, t := range triples {
+			if t.P != at.Pred {
+				continue
+			}
+			okS, freshS, idxS := matchArg(at.S, t.S)
+			if !okS {
+				continue
+			}
+			okO, freshO, idxO := matchArg(at.O, t.O)
+			if okO {
+				rec(i + 1)
+			}
+			if freshO {
+				bound[idxO] = false
+			}
+			if freshS {
+				bound[idxS] = false
+			}
+		}
+	}
+	rec(0)
+	return rows
+}
+
+// TestExecuteAgainstNaive cross-checks the planner+joins against the naive
+// evaluator on random data and random queries.
+func TestExecuteAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	ns := "http://r/"
+	for round := 0; round < 25; round++ {
+		st := store.New()
+		nEnt, nPred := 8, 3
+		for i := 0; i < 40; i++ {
+			s := rdf.NewIRI(ns + "e" + string(rune('0'+rng.Intn(nEnt))))
+			p := rdf.NewIRI(ns + "p" + string(rune('0'+rng.Intn(nPred))))
+			o := rdf.NewIRI(ns + "e" + string(rune('0'+rng.Intn(nEnt))))
+			st.Add(rdf.NewTriple(s, p, o))
+		}
+		e := New(st)
+		// Random chain query of 1–3 atoms.
+		nAtoms := 1 + rng.Intn(3)
+		vars := []string{"a", "b", "c", "d"}
+		q := &query.ConjunctiveQuery{}
+		for i := 0; i < nAtoms; i++ {
+			var sArg, oArg query.Arg
+			if rng.Intn(4) == 0 {
+				sArg = query.Constant(rdf.NewIRI(ns + "e" + string(rune('0'+rng.Intn(nEnt)))))
+			} else {
+				sArg = query.Variable(vars[i])
+			}
+			if rng.Intn(4) == 0 {
+				oArg = query.Constant(rdf.NewIRI(ns + "e" + string(rune('0'+rng.Intn(nEnt)))))
+			} else {
+				oArg = query.Variable(vars[i+1])
+			}
+			q.Atoms = append(q.Atoms, query.Atom{
+				Pred: rdf.NewIRI(ns + "p" + string(rune('0'+rng.Intn(nPred)))),
+				S:    sArg, O: oArg,
+			})
+		}
+		if len(q.Vars()) == 0 {
+			continue
+		}
+		q.Distinguished = q.Vars()
+
+		rs, err := e.Execute(q)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		want := naiveExecute(st, q)
+		if len(rs.Rows) != len(want) {
+			t.Fatalf("round %d: got %d rows, want %d\nquery: %s", round, len(rs.Rows), len(want), q)
+		}
+		if !sameRowSet(rs.Rows, want) {
+			t.Fatalf("round %d: row sets differ\nquery: %s", round, q)
+		}
+	}
+}
+
+func sameRowSet(a, b [][]rdf.Term) bool {
+	key := func(r []rdf.Term) string {
+		var s strings.Builder
+		for _, t := range r {
+			s.WriteString(t.String())
+			s.WriteByte('|')
+		}
+		return s.String()
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i, r := range a {
+		ka[i] = key(r)
+	}
+	for i, r := range b {
+		kb[i] = key(r)
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	return reflect.DeepEqual(ka, kb)
+}
+
+func TestSortRowsDeterministic(t *testing.T) {
+	e, _ := fig1Engine(t)
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: rdf.NewIRI(rdf.RDFType), S: query.Variable("x"), O: query.Variable("c")},
+		},
+		Distinguished: []string{"x", "c"},
+	}
+	rs, _ := e.Execute(q)
+	rs.SortRows()
+	for i := 1; i < len(rs.Rows); i++ {
+		if rs.Rows[i-1][0].Compare(rs.Rows[i][0]) > 0 {
+			t.Fatal("rows not sorted")
+		}
+	}
+}

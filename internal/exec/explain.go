@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/query"
+)
+
+// PlanStep describes one step of the join order chosen for a query.
+type PlanStep struct {
+	// Atom is the query atom evaluated at this step.
+	Atom query.Atom
+	// Tier is the execution class: 2 = existence check (all positions
+	// bound), 1 = index probe on a bound variable, 0 = constant scan.
+	Tier int
+	// EstMatches is the exact match count of the atom's constant
+	// positions — the planner's selectivity signal.
+	EstMatches int
+}
+
+// String renders the step compactly.
+func (s PlanStep) String() string {
+	names := [3]string{"scan", "probe", "check"}
+	return fmt.Sprintf("%-5s %7d  %s", names[s.Tier], s.EstMatches, s.Atom)
+}
+
+// Plan is the ordered evaluation plan of a query.
+type Plan struct {
+	Steps []PlanStep
+	// Empty reports that a constant of the query is absent from the data,
+	// so evaluation would return no answers without any joins.
+	Empty bool
+}
+
+// String renders the plan, one step per line.
+func (p *Plan) String() string {
+	if p.Empty {
+		return "empty result (constant absent from data)"
+	}
+	var b strings.Builder
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "%2d. %s\n", i+1, s)
+	}
+	return b.String()
+}
+
+// Explain returns the evaluation plan the engine would use for q, without
+// executing it — the join order, each step's execution tier, and the
+// selectivity estimates that drove the ordering.
+func (e *Engine) Explain(q *query.ConjunctiveQuery) (*Plan, error) {
+	pats, _, empty, err := e.compile(q)
+	if err != nil {
+		return nil, err
+	}
+	if empty {
+		return &Plan{Empty: true}, nil
+	}
+	order := e.planOrder(pats)
+	plan := &Plan{}
+	boundVar := map[int]bool{}
+	for _, idx := range order {
+		p := pats[idx]
+		// Recompute the tier as the planner saw it at selection time.
+		positions, bound := 1, 1
+		hasBoundVar := false
+		for _, v := range [2]int{p.sv, p.ov} {
+			positions++
+			if v < 0 {
+				bound++
+			} else if boundVar[v] {
+				bound++
+				hasBoundVar = true
+			}
+		}
+		tier := 0
+		switch {
+		case bound == positions:
+			tier = 2
+		case hasBoundVar:
+			tier = 1
+		}
+		plan.Steps = append(plan.Steps, PlanStep{
+			Atom:       q.Atoms[idx],
+			Tier:       tier,
+			EstMatches: e.st.Count(p.s, p.p, p.o),
+		})
+		if p.sv >= 0 {
+			boundVar[p.sv] = true
+		}
+		if p.ov >= 0 {
+			boundVar[p.ov] = true
+		}
+	}
+	return plan, nil
+}

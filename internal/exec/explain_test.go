@@ -1,0 +1,66 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+func TestExplainOrderAndTiers(t *testing.T) {
+	e, _ := fig1Engine(t)
+	q := fig1cQuery()
+	plan, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Empty || len(plan.Steps) != len(q.Atoms) {
+		t.Fatalf("plan: %+v", plan)
+	}
+	// The first step must be a scan (nothing bound yet) of the most
+	// selective atom; with Fig. 1 data, a name or year lookup with one
+	// match beats the type scans.
+	if plan.Steps[0].Tier != 0 {
+		t.Fatalf("first step must be a scan: %v", plan.Steps[0])
+	}
+	if plan.Steps[0].EstMatches != 1 {
+		t.Fatalf("first step should pick a 1-match anchor: %v", plan.Steps[0])
+	}
+	// After the anchor binds a variable, every later step is a probe or a
+	// check — never another blind scan (the query is connected).
+	for _, s := range plan.Steps[1:] {
+		if s.Tier == 0 {
+			t.Fatalf("connected query should not re-scan: %v\n%s", s, plan)
+		}
+	}
+	if !strings.Contains(plan.String(), "probe") && !strings.Contains(plan.String(), "check") {
+		t.Errorf("rendering:\n%s", plan)
+	}
+}
+
+func TestExplainEmptyForUnknownConstant(t *testing.T) {
+	e, _ := fig1Engine(t)
+	q := &query.ConjunctiveQuery{Atoms: []query.Atom{{
+		Pred: rdf.NewIRI("http://nowhere/p"),
+		S:    query.Variable("x"),
+		O:    query.Variable("y"),
+	}}}
+	plan, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Empty {
+		t.Fatal("plan should be marked empty")
+	}
+	if !strings.Contains(plan.String(), "empty") {
+		t.Errorf("rendering: %s", plan)
+	}
+}
+
+func TestExplainRejectsEmptyQuery(t *testing.T) {
+	e, _ := fig1Engine(t)
+	if _, err := e.Explain(&query.ConjunctiveQuery{}); err == nil {
+		t.Fatal("empty query should error")
+	}
+}

@@ -1,0 +1,115 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func TestExecuteWithFilter(t *testing.T) {
+	st := store.New()
+	ns := "http://f/"
+	year := rdf.NewIRI(ns + "year")
+	for i, y := range []string{"1999", "2004", "2005", "2010"} {
+		pub := rdf.NewIRI(ns + "p" + string(rune('0'+i)))
+		st.Add(rdf.NewTriple(pub, year, rdf.NewLiteral(y)))
+	}
+	e := New(st)
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: year, S: query.Variable("p"), O: query.Variable("y")},
+		},
+		Filters:       []query.Filter{{Var: "y", Op: query.OpLT, Value: 2005}},
+		Distinguished: []string{"p", "y"},
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 2 { // 1999, 2004
+		t.Fatalf("filtered rows = %d, want 2:\n%s", rs.Len(), rs)
+	}
+	// Boundary: <= includes 2005.
+	q.Filters[0].Op = query.OpLE
+	rs, _ = e.Execute(q)
+	if rs.Len() != 3 {
+		t.Fatalf("<= filter rows = %d, want 3", rs.Len())
+	}
+	// > excludes everything up to 2005.
+	q.Filters[0].Op = query.OpGT
+	rs, _ = e.Execute(q)
+	if rs.Len() != 1 {
+		t.Fatalf("> filter rows = %d, want 1", rs.Len())
+	}
+}
+
+func TestFilterOnNonNumericValueRejects(t *testing.T) {
+	st := store.New()
+	ns := "http://f/"
+	p := rdf.NewIRI(ns + "attr")
+	st.Add(rdf.NewTriple(rdf.NewIRI(ns+"e"), p, rdf.NewLiteral("not-a-number")))
+	e := New(st)
+	q := &query.ConjunctiveQuery{
+		Atoms:         []query.Atom{{Pred: p, S: query.Variable("x"), O: query.Variable("v")}},
+		Filters:       []query.Filter{{Var: "v", Op: query.OpGT, Value: 0}},
+		Distinguished: []string{"x"},
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 0 {
+		t.Fatal("non-numeric value must not satisfy a numeric filter")
+	}
+}
+
+func TestFilterUnknownVariableRejected(t *testing.T) {
+	st := store.New()
+	p := rdf.NewIRI("http://f/p")
+	st.Add(rdf.NewTriple(rdf.NewIRI("http://f/a"), p, rdf.NewIRI("http://f/b")))
+	e := New(st)
+	q := &query.ConjunctiveQuery{
+		Atoms:   []query.Atom{{Pred: p, S: query.Variable("x"), O: query.Variable("y")}},
+		Filters: []query.Filter{{Var: "nope", Op: query.OpLT, Value: 1}},
+	}
+	if _, err := e.Execute(q); err == nil {
+		t.Fatal("filter on unknown variable should error")
+	}
+}
+
+func TestMaxStepsTruncates(t *testing.T) {
+	st := store.New()
+	ns := "http://m/"
+	p := rdf.NewIRI(ns + "p")
+	// A 3-pattern chain over a dense relation forces many join steps.
+	for i := 0; i < 40; i++ {
+		for j := 0; j < 40; j++ {
+			st.Add(rdf.NewTriple(rdf.NewIRI(ns+"a"+itoa(i)), p, rdf.NewIRI(ns+"a"+itoa(j))))
+		}
+	}
+	e := New(st)
+	e.MaxSteps = 100
+	q := &query.ConjunctiveQuery{
+		Atoms: []query.Atom{
+			{Pred: p, S: query.Variable("x"), O: query.Variable("y")},
+			{Pred: p, S: query.Variable("y"), O: query.Variable("z")},
+		},
+		Distinguished: []string{"x", "z"},
+	}
+	rs, err := e.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs.Truncated {
+		t.Fatal("step budget exceeded but result not marked truncated")
+	}
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

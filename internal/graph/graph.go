@@ -1,0 +1,315 @@
+// Package graph implements the paper's data-graph model (Definition 1) on
+// top of the triple store: vertices are classified into E-vertices
+// (entities), C-vertices (classes), and V-vertices (data values), and edges
+// into R-edges (entity–entity), A-edges (entity–attribute value), type
+// edges, and subclass edges.
+//
+// The graph exposes compressed-sparse-row adjacency in both directions,
+// which the baseline search algorithms (backward, bidirectional, BLINKS)
+// traverse directly, and from which package summary derives the summary
+// graph (Definition 4).
+package graph
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// VertexKind classifies a vertex per Definition 1.
+type VertexKind uint8
+
+const (
+	// NotVertex marks dictionary terms that never occur in a vertex
+	// position (e.g. predicates).
+	NotVertex VertexKind = iota
+	// EVertex is an entity vertex.
+	EVertex
+	// CVertex is a class vertex.
+	CVertex
+	// VVertex is a data-value vertex (a literal).
+	VVertex
+)
+
+// String returns the Definition 1 name of the kind.
+func (k VertexKind) String() string {
+	switch k {
+	case EVertex:
+		return "E-vertex"
+	case CVertex:
+		return "C-vertex"
+	case VVertex:
+		return "V-vertex"
+	default:
+		return "not-a-vertex"
+	}
+}
+
+// EdgeKind classifies an edge per Definition 1.
+type EdgeKind uint8
+
+const (
+	// REdge connects two E-vertices (an inter-entity relation).
+	REdge EdgeKind = iota
+	// AEdge connects an E-vertex to a V-vertex (an attribute).
+	AEdge
+	// TypeEdge is the predefined type edge (rdf:type).
+	TypeEdge
+	// SubclassEdge is the predefined subclass edge (rdfs:subClassOf).
+	SubclassEdge
+)
+
+// String returns the Definition 1 name of the kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case REdge:
+		return "R-edge"
+	case AEdge:
+		return "A-edge"
+	case TypeEdge:
+		return "type"
+	case SubclassEdge:
+		return "subclass"
+	default:
+		return "edge"
+	}
+}
+
+// HalfEdge is one directed adjacency entry. For out-edges of v, Other is
+// the object of the triple (v, P, Other); for in-edges of v, Other is the
+// subject of (Other, P, v).
+type HalfEdge struct {
+	P     store.ID
+	Other store.ID
+	Kind  EdgeKind
+}
+
+// Stats summarizes the composition of a data graph; Fig. 6b's analysis
+// (keyword index size driven by #V-vertices, graph index size driven by
+// #classes) is phrased in these terms.
+type Stats struct {
+	EVertices, CVertices, VVertices     int
+	REdges, AEdges, TypeEdges, SubEdges int
+	RLabels, ALabels                    int // distinct relation / attribute predicates
+}
+
+// Triples returns the total edge count.
+func (s Stats) Triples() int { return s.REdges + s.AEdges + s.TypeEdges + s.SubEdges }
+
+// Graph is the classified data graph. It is immutable after Build and safe
+// for concurrent reads.
+type Graph struct {
+	st    *store.Store
+	kinds []VertexKind // indexed by store.ID
+
+	typeID store.ID // ID of rdf:type (0 if absent from the data)
+	subID  store.ID // ID of rdfs:subClassOf (0 if absent)
+
+	outOff  []int32
+	outEdge []HalfEdge
+	inOff   []int32
+	inEdge  []HalfEdge
+
+	stats Stats
+}
+
+// Build classifies the store's triples into a data graph. The store must
+// not be modified afterwards.
+func Build(st *store.Store) *Graph {
+	st.Build()
+	g := &Graph{st: st}
+	g.typeID, _ = st.Lookup(rdf.NewIRI(rdf.RDFType))
+	g.subID, _ = st.Lookup(rdf.NewIRI(rdf.RDFSSubClass))
+
+	n := st.NumTerms() + 1
+	g.kinds = make([]VertexKind, n)
+
+	// Pass 1: class vertices are objects of type edges and both ends of
+	// subclass edges. Classifying them first lets them win over any later
+	// entity-position occurrence.
+	st.ForEach(func(t store.IDTriple) {
+		switch t.P {
+		case g.typeID:
+			if g.typeID != 0 {
+				g.kinds[t.O] = CVertex
+			}
+		case g.subID:
+			if g.subID != 0 {
+				g.kinds[t.S] = CVertex
+				g.kinds[t.O] = CVertex
+			}
+		}
+	})
+
+	// Pass 2: classify remaining vertices and count edge kinds/degrees.
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	rLabels := map[store.ID]bool{}
+	aLabels := map[store.ID]bool{}
+	st.ForEach(func(t store.IDTriple) {
+		kind := g.classifyEdge(t)
+		switch kind {
+		case TypeEdge:
+			g.stats.TypeEdges++
+			g.markVertex(t.S, EVertex)
+		case SubclassEdge:
+			g.stats.SubEdges++
+		case AEdge:
+			g.stats.AEdges++
+			g.markVertex(t.S, EVertex)
+			g.markVertex(t.O, VVertex)
+			aLabels[t.P] = true
+		case REdge:
+			g.stats.REdges++
+			g.markVertex(t.S, EVertex)
+			g.markVertex(t.O, EVertex)
+			rLabels[t.P] = true
+		}
+		outDeg[t.S]++
+		inDeg[t.O]++
+	})
+	g.stats.RLabels = len(rLabels)
+	g.stats.ALabels = len(aLabels)
+	for _, k := range g.kinds {
+		switch k {
+		case EVertex:
+			g.stats.EVertices++
+		case CVertex:
+			g.stats.CVertices++
+		case VVertex:
+			g.stats.VVertices++
+		}
+	}
+
+	// Build CSR adjacency.
+	g.outOff = prefixSum(outDeg)
+	g.inOff = prefixSum(inDeg)
+	g.outEdge = make([]HalfEdge, g.outOff[n])
+	g.inEdge = make([]HalfEdge, g.inOff[n])
+	outCur := make([]int32, n)
+	inCur := make([]int32, n)
+	copy(outCur, g.outOff[:n])
+	copy(inCur, g.inOff[:n])
+	st.ForEach(func(t store.IDTriple) {
+		kind := g.classifyEdge(t)
+		g.outEdge[outCur[t.S]] = HalfEdge{P: t.P, Other: t.O, Kind: kind}
+		outCur[t.S]++
+		g.inEdge[inCur[t.O]] = HalfEdge{P: t.P, Other: t.S, Kind: kind}
+		inCur[t.O]++
+	})
+	return g
+}
+
+// prefixSum converts per-ID degrees to CSR offsets (length n+1).
+func prefixSum(deg []int32) []int32 {
+	off := make([]int32, len(deg)+1)
+	var sum int32
+	for i, d := range deg {
+		off[i] = sum
+		sum += d
+	}
+	off[len(deg)] = sum
+	return off
+}
+
+// markVertex sets the kind of a vertex unless it was already classified as
+// a class (class classification is sticky per Definition 1's disjointness).
+func (g *Graph) markVertex(id store.ID, k VertexKind) {
+	if g.kinds[id] == NotVertex {
+		g.kinds[id] = k
+	}
+}
+
+// classifyEdge determines the Definition 1 kind of one triple.
+func (g *Graph) classifyEdge(t store.IDTriple) EdgeKind {
+	switch {
+	case g.typeID != 0 && t.P == g.typeID:
+		return TypeEdge
+	case g.subID != 0 && t.P == g.subID:
+		return SubclassEdge
+	case g.st.Term(t.O).IsLiteral():
+		return AEdge
+	default:
+		return REdge
+	}
+}
+
+// Store returns the underlying triple store.
+func (g *Graph) Store() *store.Store { return g.st }
+
+// Stats returns the graph composition statistics.
+func (g *Graph) Stats() Stats { return g.stats }
+
+// Kind returns the vertex classification of a dictionary ID.
+func (g *Graph) Kind(id store.ID) VertexKind {
+	if int(id) >= len(g.kinds) {
+		return NotVertex
+	}
+	return g.kinds[id]
+}
+
+// TypeID returns the dictionary ID of rdf:type, or 0 if absent.
+func (g *Graph) TypeID() store.ID { return g.typeID }
+
+// SubclassID returns the dictionary ID of rdfs:subClassOf, or 0 if absent.
+func (g *Graph) SubclassID() store.ID { return g.subID }
+
+// Out returns the out-edges of v. The slice is owned by the graph.
+func (g *Graph) Out(v store.ID) []HalfEdge {
+	if int(v)+1 >= len(g.outOff) {
+		return nil
+	}
+	return g.outEdge[g.outOff[v]:g.outOff[v+1]]
+}
+
+// In returns the in-edges of v. The slice is owned by the graph.
+func (g *Graph) In(v store.ID) []HalfEdge {
+	if int(v)+1 >= len(g.inOff) {
+		return nil
+	}
+	return g.inEdge[g.inOff[v]:g.inOff[v+1]]
+}
+
+// Degree returns the total degree (in + out) of v.
+func (g *Graph) Degree(v store.ID) int { return len(g.Out(v)) + len(g.In(v)) }
+
+// Classes returns the C-vertices that entity e has a type edge to. An
+// empty result means e is untyped and belongs to the synthetic Thing class
+// of the summary graph.
+func (g *Graph) Classes(e store.ID) []store.ID {
+	var cs []store.ID
+	for _, h := range g.Out(e) {
+		if h.Kind == TypeEdge {
+			cs = append(cs, h.Other)
+		}
+	}
+	return cs
+}
+
+// ForEachVertex invokes f for every classified vertex.
+func (g *Graph) ForEachVertex(f func(id store.ID, kind VertexKind)) {
+	for id := 1; id < len(g.kinds); id++ {
+		if g.kinds[id] != NotVertex {
+			f(store.ID(id), g.kinds[id])
+		}
+	}
+}
+
+// Label returns the human-readable label of a graph element (vertex or
+// predicate): literals yield their lexical form, IRIs their rdfs:label if
+// present, otherwise the IRI local name.
+func (g *Graph) Label(id store.ID) string {
+	t := g.st.Term(id)
+	if t.IsLiteral() {
+		return t.Value
+	}
+	if lblID, ok := g.st.Lookup(rdf.NewIRI(rdf.RDFSLabel)); ok {
+		it := g.st.Match(id, lblID, store.Wildcard)
+		for it.Next() {
+			o := g.st.Term(it.Triple().O)
+			if o.IsLiteral() {
+				return o.Value
+			}
+		}
+	}
+	return t.LocalName()
+}

@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func buildFig1(t *testing.T) (*Graph, *store.Store) {
+	t.Helper()
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	return Build(st), st
+}
+
+func lookup(t *testing.T, st *store.Store, term rdf.Term) store.ID {
+	t.Helper()
+	id, ok := st.Lookup(term)
+	if !ok {
+		t.Fatalf("term %v not in store", term)
+	}
+	return id
+}
+
+func ex(local string) rdf.Term { return rdf.NewIRI(rdf.ExampleNS + local) }
+
+func TestVertexClassification(t *testing.T) {
+	g, st := buildFig1(t)
+	cases := []struct {
+		term rdf.Term
+		want VertexKind
+	}{
+		{ex("pub1"), EVertex},
+		{ex("re1"), EVertex},
+		{ex("inst1"), EVertex},
+		{ex("Publication"), CVertex},
+		{ex("Researcher"), CVertex},
+		{ex("Person"), CVertex},
+		{ex("Agent"), CVertex},
+		{ex("Thing"), CVertex},
+		{rdf.NewLiteral("AIFB"), VVertex},
+		{rdf.NewLiteral("2006"), VVertex},
+		{ex("author"), NotVertex},  // predicate only
+		{ex("worksAt"), NotVertex}, // predicate only
+	}
+	for _, c := range cases {
+		id := lookup(t, st, c.term)
+		if got := g.Kind(id); got != c.want {
+			t.Errorf("Kind(%v) = %v, want %v", c.term, got, c.want)
+		}
+	}
+}
+
+func TestEdgeClassification(t *testing.T) {
+	g, st := buildFig1(t)
+	pub1 := lookup(t, st, ex("pub1"))
+	kinds := map[string]EdgeKind{}
+	for _, h := range g.Out(pub1) {
+		kinds[st.Term(h.P).LocalName()] = h.Kind
+	}
+	if kinds["type"] != TypeEdge {
+		t.Errorf("type edge misclassified: %v", kinds["type"])
+	}
+	if kinds["author"] != REdge {
+		t.Errorf("author should be R-edge: %v", kinds["author"])
+	}
+	if kinds["year"] != AEdge {
+		t.Errorf("year should be A-edge: %v", kinds["year"])
+	}
+	// subclass edges
+	inst := lookup(t, st, ex("Institute"))
+	outs := g.Out(inst)
+	if len(outs) != 1 || outs[0].Kind != SubclassEdge {
+		t.Errorf("Institute out-edges: %+v", outs)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g, _ := buildFig1(t)
+	s := g.Stats()
+	// Entities: pro1, pro2, pub1, pub2, re1, re2, inst1, inst2.
+	if s.EVertices != 8 {
+		t.Errorf("EVertices = %d, want 8", s.EVertices)
+	}
+	// Classes: Project, Publication, Researcher, Institute, Person, Agent, Thing.
+	if s.CVertices != 7 {
+		t.Errorf("CVertices = %d, want 7", s.CVertices)
+	}
+	// Values: X-Media, 2006, Thanh Tran, P. Cimiano, AIFB.
+	if s.VVertices != 5 {
+		t.Errorf("VVertices = %d, want 5", s.VVertices)
+	}
+	if s.TypeEdges != 8 {
+		t.Errorf("TypeEdges = %d, want 8", s.TypeEdges)
+	}
+	if s.SubEdges != 4 {
+		t.Errorf("SubEdges = %d, want 4", s.SubEdges)
+	}
+	// R-edges: author×2, worksAt×2, hasProject.
+	if s.REdges != 5 {
+		t.Errorf("REdges = %d, want 5", s.REdges)
+	}
+	// A-edges: name×4 (pro1, re1, re2, inst1), year.
+	if s.AEdges != 5 {
+		t.Errorf("AEdges = %d, want 5", s.AEdges)
+	}
+	if s.Triples() != 22 {
+		t.Errorf("Triples() = %d, want 22", s.Triples())
+	}
+	if s.RLabels != 3 { // author, worksAt, hasProject
+		t.Errorf("RLabels = %d, want 3", s.RLabels)
+	}
+	if s.ALabels != 2 { // name, year
+		t.Errorf("ALabels = %d, want 2", s.ALabels)
+	}
+}
+
+func TestAdjacencySymmetry(t *testing.T) {
+	g, st := buildFig1(t)
+	// Every out-edge (v → o) must appear as an in-edge at o, and vice versa.
+	type edge struct {
+		s, p, o store.ID
+	}
+	outSet := map[edge]int{}
+	inSet := map[edge]int{}
+	g.ForEachVertex(func(id store.ID, _ VertexKind) {
+		for _, h := range g.Out(id) {
+			outSet[edge{id, h.P, h.Other}]++
+		}
+		for _, h := range g.In(id) {
+			inSet[edge{h.Other, h.P, id}]++
+		}
+	})
+	if len(outSet) != len(inSet) {
+		t.Fatalf("out edges %d != in edges %d", len(outSet), len(inSet))
+	}
+	for e, n := range outSet {
+		if inSet[e] != n {
+			t.Errorf("edge %+v: out count %d, in count %d (%s-%s-%s)",
+				e, n, inSet[e], st.Term(e.s), st.Term(e.p), st.Term(e.o))
+		}
+	}
+}
+
+func TestClasses(t *testing.T) {
+	g, st := buildFig1(t)
+	re1 := lookup(t, st, ex("re1"))
+	cs := g.Classes(re1)
+	if len(cs) != 1 || st.Term(cs[0]) != ex("Researcher") {
+		t.Fatalf("Classes(re1) wrong: %v", cs)
+	}
+}
+
+func TestUntypedEntity(t *testing.T) {
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	// An untyped entity connected by an R-edge.
+	st.Add(rdf.NewTriple(ex("mystery"), ex("worksAt"), ex("inst1")))
+	g := Build(st)
+	my := lookup(t, st, ex("mystery"))
+	if g.Kind(my) != EVertex {
+		t.Fatalf("untyped subject should be E-vertex, got %v", g.Kind(my))
+	}
+	if len(g.Classes(my)) != 0 {
+		t.Fatal("untyped entity should have no classes")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	g, st := buildFig1(t)
+	if got := g.Label(lookup(t, st, ex("Publication"))); got != "Publication" {
+		t.Errorf("class label = %q", got)
+	}
+	if got := g.Label(lookup(t, st, rdf.NewLiteral("Thanh Tran"))); got != "Thanh Tran" {
+		t.Errorf("literal label = %q", got)
+	}
+	// rdfs:label should override the local name.
+	st2 := store.New()
+	st2.Add(rdf.NewTriple(ex("x1"), rdf.NewIRI(rdf.RDFType), ex("C")))
+	st2.Add(rdf.NewTriple(ex("x1"), rdf.NewIRI(rdf.RDFSLabel), rdf.NewLiteral("Pretty Name")))
+	g2 := Build(st2)
+	id, _ := st2.Lookup(ex("x1"))
+	if got := g2.Label(id); got != "Pretty Name" {
+		t.Errorf("rdfs:label not used: %q", got)
+	}
+}
+
+func TestClassReferencedAsObjectStaysClass(t *testing.T) {
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	// A triple pointing an R-edge at a class must not demote it to E-vertex.
+	st.Add(rdf.NewTriple(ex("re1"), ex("favorite"), ex("Publication")))
+	g := Build(st)
+	id, _ := st.Lookup(ex("Publication"))
+	if g.Kind(id) != CVertex {
+		t.Fatalf("class demoted to %v", g.Kind(id))
+	}
+}
+
+func TestDegreeAndEmpty(t *testing.T) {
+	g, st := buildFig1(t)
+	pub1 := lookup(t, st, ex("pub1"))
+	if g.Degree(pub1) != 5 { // out: type, author×2, year, hasProject; in: none
+		t.Errorf("Degree(pub1) = %d, want 5", g.Degree(pub1))
+	}
+	if g.Out(store.ID(99999)) != nil || g.In(store.ID(99999)) != nil {
+		t.Error("out-of-range adjacency should be nil")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := Build(store.New())
+	if s := g.Stats(); s != (Stats{}) {
+		t.Fatalf("empty graph stats: %+v", s)
+	}
+}

@@ -1,0 +1,276 @@
+package keywordindex
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/summary"
+	"repro/internal/thesaurus"
+)
+
+func buildFig1(t *testing.T) (*Index, *store.Store) {
+	t.Helper()
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	g := graph.Build(st)
+	return Build(g, thesaurus.Default()), st
+}
+
+func ex(local string) rdf.Term { return rdf.NewIRI(rdf.ExampleNS + local) }
+
+func topMatch(t *testing.T, ix *Index, kw string) summary.Match {
+	t.Helper()
+	ms := ix.Lookup(kw)
+	if len(ms) == 0 {
+		t.Fatalf("Lookup(%q) returned no matches", kw)
+	}
+	return ms[0]
+}
+
+func TestLookupClassExact(t *testing.T) {
+	ix, st := buildFig1(t)
+	m := topMatch(t, ix, "publication")
+	pubID, _ := st.Lookup(ex("Publication"))
+	if m.Kind != summary.MatchClass || m.Class != pubID {
+		t.Fatalf("top match for publication: %+v", m)
+	}
+	if m.Score != 1.0 {
+		t.Errorf("exact class match score = %v, want 1.0", m.Score)
+	}
+}
+
+func TestLookupValue(t *testing.T) {
+	ix, st := buildFig1(t)
+	m := topMatch(t, ix, "aifb")
+	aifb, _ := st.Lookup(rdf.NewLiteral("AIFB"))
+	name, _ := st.Lookup(ex("name"))
+	instID, _ := st.Lookup(ex("Institute"))
+	if m.Kind != summary.MatchValue || m.Value != aifb || m.Pred != name {
+		t.Fatalf("top match for aifb: %+v", m)
+	}
+	if len(m.Classes) != 1 || m.Classes[0] != instID {
+		t.Fatalf("owner classes: %v, want [Institute]", m.Classes)
+	}
+}
+
+func TestLookupValueSubToken(t *testing.T) {
+	ix, st := buildFig1(t)
+	// "cimiano" is one term of the two-term label "P. Cimiano".
+	m := topMatch(t, ix, "cimiano")
+	cim, _ := st.Lookup(rdf.NewLiteral("P. Cimiano"))
+	if m.Kind != summary.MatchValue || m.Value != cim {
+		t.Fatalf("top match for cimiano: %+v", m)
+	}
+	if m.Score >= 1.0 || m.Score <= 0 {
+		t.Errorf("partial label coverage should score in (0,1): %v", m.Score)
+	}
+}
+
+func TestLookupPhraseBeatsSingleToken(t *testing.T) {
+	ix, _ := buildFig1(t)
+	single := topMatch(t, ix, "tran").Score
+	phrase := topMatch(t, ix, "thanh tran").Score
+	if phrase <= single {
+		t.Errorf("full-phrase score %v should exceed single-token %v", phrase, single)
+	}
+}
+
+func TestLookupAttrEdge(t *testing.T) {
+	ix, st := buildFig1(t)
+	m := topMatch(t, ix, "year")
+	year, _ := st.Lookup(ex("year"))
+	pubID, _ := st.Lookup(ex("Publication"))
+	if m.Kind != summary.MatchAttrEdge || m.Pred != year {
+		t.Fatalf("top match for year: %+v", m)
+	}
+	if len(m.Classes) != 1 || m.Classes[0] != pubID {
+		t.Fatalf("attr edge classes: %v, want [Publication]", m.Classes)
+	}
+}
+
+func TestLookupRelEdge(t *testing.T) {
+	ix, st := buildFig1(t)
+	m := topMatch(t, ix, "author")
+	author, _ := st.Lookup(ex("author"))
+	if m.Kind != summary.MatchRelEdge || m.Pred != author {
+		t.Fatalf("top match for author: %+v", m)
+	}
+}
+
+func TestLookupSemantic(t *testing.T) {
+	ix, st := buildFig1(t)
+	// "paper" is a thesaurus synonym of "publication".
+	ms := ix.Lookup("paper")
+	pubID, _ := st.Lookup(ex("Publication"))
+	found := false
+	for _, m := range ms {
+		if m.Kind == summary.MatchClass && m.Class == pubID {
+			found = true
+			if m.Score != thesaurus.SynonymScore {
+				t.Errorf("synonym score = %v, want %v", m.Score, thesaurus.SynonymScore)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("synonym lookup failed: %+v", ms)
+	}
+	// Semantic expansion can be disabled.
+	ms = ix.LookupOpts("paper", LookupOptions{DisableSemantic: true, DisableFuzzy: true})
+	for _, m := range ms {
+		if m.Kind == summary.MatchClass && m.Class == pubID {
+			t.Fatal("semantic match returned despite DisableSemantic")
+		}
+	}
+}
+
+func TestLookupFuzzy(t *testing.T) {
+	ix, st := buildFig1(t)
+	// One typo: "cimano" → "cimiano".
+	ms := ix.Lookup("cimano")
+	cim, _ := st.Lookup(rdf.NewLiteral("P. Cimiano"))
+	found := false
+	for _, m := range ms {
+		if m.Kind == summary.MatchValue && m.Value == cim {
+			found = true
+			if m.Score >= 1.0 {
+				t.Errorf("fuzzy match must score below exact: %v", m.Score)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("fuzzy lookup failed: %+v", ms)
+	}
+	if ms2 := ix.LookupOpts("cimano", LookupOptions{DisableFuzzy: true, DisableSemantic: true}); len(ms2) != 0 {
+		t.Fatalf("DisableFuzzy should kill the match: %+v", ms2)
+	}
+}
+
+func TestLookupDigitsNeverFuzzy(t *testing.T) {
+	ix, st := buildFig1(t)
+	ms := ix.Lookup("2007") // data contains only 2006
+	y2006, _ := st.Lookup(rdf.NewLiteral("2006"))
+	for _, m := range ms {
+		if m.Kind == summary.MatchValue && m.Value == y2006 {
+			t.Fatal("numeric token must not fuzzy-match a different year")
+		}
+	}
+}
+
+func TestLookupExactOutranksApproximate(t *testing.T) {
+	ix, _ := buildFig1(t)
+	ms := ix.Lookup("2006")
+	if len(ms) == 0 {
+		t.Fatal("no match for 2006")
+	}
+	if ms[0].Score != 1.0 {
+		t.Errorf("exact value match score = %v, want 1.0", ms[0].Score)
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Score > ms[0].Score {
+			t.Error("matches not sorted by score")
+		}
+	}
+}
+
+func TestLookupMaxMatches(t *testing.T) {
+	ix, _ := buildFig1(t)
+	ms := ix.LookupOpts("name", LookupOptions{MaxMatches: 1})
+	if len(ms) > 1 {
+		t.Fatalf("MaxMatches ignored: %d results", len(ms))
+	}
+}
+
+func TestLookupUnknownKeyword(t *testing.T) {
+	ix, _ := buildFig1(t)
+	if ms := ix.LookupOpts("qqqqzzzz", LookupOptions{}); len(ms) != 0 {
+		t.Fatalf("unknown keyword matched: %+v", ms)
+	}
+}
+
+func TestLookupAllPreservesOrder(t *testing.T) {
+	ix, _ := buildFig1(t)
+	all := ix.LookupAll([]string{"2006", "cimiano", "aifb"}, LookupOptions{})
+	if len(all) != 3 {
+		t.Fatalf("LookupAll returned %d sets", len(all))
+	}
+	for i, ms := range all {
+		if len(ms) == 0 {
+			t.Errorf("keyword %d returned no matches", i)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix, _ := buildFig1(t)
+	s := ix.Stats()
+	if s.ClassRefs != 7 {
+		t.Errorf("ClassRefs = %d, want 7", s.ClassRefs)
+	}
+	if s.RelRefs != 3 { // author, worksAt, hasProject
+		t.Errorf("RelRefs = %d, want 3", s.RelRefs)
+	}
+	if s.AttrRefs != 2 { // name, year
+		t.Errorf("AttrRefs = %d, want 2", s.AttrRefs)
+	}
+	if s.ValueRefs != 5 { // X-Media, 2006, Thanh Tran, P. Cimiano, AIFB (each one pred)
+		t.Errorf("ValueRefs = %d, want 5", s.ValueRefs)
+	}
+	if s.Refs != s.ClassRefs+s.RelRefs+s.AttrRefs+s.ValueRefs {
+		t.Error("Refs should equal the sum of per-kind counts")
+	}
+	if s.Terms == 0 || s.Postings == 0 || s.EstimatedBytes() == 0 {
+		t.Error("vocabulary stats empty")
+	}
+}
+
+func TestLookupIsDeterministic(t *testing.T) {
+	ix, _ := buildFig1(t)
+	a := ix.Lookup("name")
+	for i := 0; i < 5; i++ {
+		b := ix.Lookup("name")
+		if len(a) != len(b) {
+			t.Fatal("nondeterministic result size")
+		}
+		for j := range a {
+			if a[j].Kind != b[j].Kind || a[j].Value != b[j].Value ||
+				a[j].Pred != b[j].Pred || a[j].Class != b[j].Class {
+				t.Fatalf("nondeterministic order at %d: %+v vs %+v", j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestNumericAttrMatches(t *testing.T) {
+	ix, st := buildFig1(t)
+	ms := ix.NumericAttrMatches()
+	// Fig. 1 has exactly one all-numeric attribute: year.
+	year, _ := st.Lookup(ex("year"))
+	if len(ms) != 1 || ms[0].Pred != year {
+		t.Fatalf("NumericAttrMatches = %+v, want the year predicate", ms)
+	}
+	if ms[0].Kind != summary.MatchAttrEdge {
+		t.Fatalf("kind = %v", ms[0].Kind)
+	}
+	if len(ms[0].Classes) != 1 {
+		t.Fatalf("classes = %v", ms[0].Classes)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the index.
+	ms[0].Pred = 0
+	if again := ix.NumericAttrMatches(); again[0].Pred != year {
+		t.Fatal("NumericAttrMatches exposed internal state")
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	for s, want := range map[string]bool{
+		"2006": true, "3.5": true, "-7": true, "+10": true, "0": true,
+		"": false, "12a": false, "a12": false, "1.2.3": false, ".5": false,
+		"-": false, "Thanh": false,
+	} {
+		if got := isNumeric(s); got != want {
+			t.Errorf("isNumeric(%q) = %v, want %v", s, got, want)
+		}
+	}
+}

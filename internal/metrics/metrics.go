@@ -1,0 +1,27 @@
+// Package metrics implements the effectiveness measures of Sec. VII-A:
+// reciprocal rank (RR = 1/r of the first correct result, 0 if absent) and
+// mean reciprocal rank over a query workload.
+package metrics
+
+// ReciprocalRank returns 1/(index+1) for the first position where correct
+// reports true, and 0 when no result is correct.
+func ReciprocalRank(n int, correct func(i int) bool) float64 {
+	for i := 0; i < n; i++ {
+		if correct(i) {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

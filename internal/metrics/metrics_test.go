@@ -1,0 +1,29 @@
+package metrics
+
+import "testing"
+
+func TestReciprocalRank(t *testing.T) {
+	ranked := []string{"b", "a", "c"}
+	rr := ReciprocalRank(len(ranked), func(i int) bool { return ranked[i] == "a" })
+	if rr != 0.5 {
+		t.Fatalf("RR = %v, want 0.5", rr)
+	}
+	if rr := ReciprocalRank(len(ranked), func(i int) bool { return ranked[i] == "b" }); rr != 1 {
+		t.Fatalf("RR = %v, want 1", rr)
+	}
+	if rr := ReciprocalRank(len(ranked), func(i int) bool { return false }); rr != 0 {
+		t.Fatalf("RR = %v, want 0 when absent", rr)
+	}
+	if rr := ReciprocalRank(0, func(i int) bool { return true }); rr != 0 {
+		t.Fatalf("RR over empty list = %v, want 0", rr)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 0.5, 0}); m != 0.5 {
+		t.Fatalf("Mean = %v, want 0.5", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", m)
+	}
+}

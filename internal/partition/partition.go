@@ -1,0 +1,363 @@
+// Package partition provides the graph partitioners behind the BLINKS
+// baseline of the paper's Fig. 5 comparison ("300 BFS", "1000 METIS",
+// ...): a seeded BFS block-grower and a METIS-style multilevel partitioner
+// (heavy-edge-matching coarsening, greedy initial partitioning, and
+// boundary refinement).
+//
+// Substitution note (see DESIGN.md): the METIS binary is not available;
+// the multilevel partitioner here produces the same artifact class —
+// balanced blocks with a minimized edge cut — which is all the BLINKS
+// block index depends on.
+package partition
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Graph is an undirected multigraph on vertices 0..N-1 with weighted
+// edges, the input to the partitioners.
+type Graph struct {
+	n   int
+	adj [][]Edge
+}
+
+// Edge is one adjacency entry.
+type Edge struct {
+	To int32
+	W  int32
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts an undirected edge of weight w. Self-loops are ignored
+// (they never affect a cut).
+func (g *Graph) AddEdge(u, v int, w int32) {
+	if u == v {
+		return
+	}
+	g.adj[u] = append(g.adj[u], Edge{To: int32(v), W: w})
+	g.adj[v] = append(g.adj[v], Edge{To: int32(u), W: w})
+}
+
+// Adj returns the adjacency of u (owned by the graph).
+func (g *Graph) Adj(u int) []Edge { return g.adj[u] }
+
+// Degree returns the number of incident edge entries of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Assignment maps each vertex to its block in [0, k).
+type Assignment []int32
+
+// EdgeCut returns the total weight of edges whose endpoints lie in
+// different blocks.
+func EdgeCut(g *Graph, parts Assignment) int64 {
+	var cut int64
+	for u := 0; u < g.n; u++ {
+		for _, e := range g.adj[u] {
+			if int32(u) < e.To && parts[u] != parts[e.To] {
+				cut += int64(e.W)
+			}
+		}
+	}
+	return cut
+}
+
+// Imbalance returns max block size divided by the ideal size n/k (1.0 is
+// perfectly balanced).
+func Imbalance(parts Assignment, k int) float64 {
+	if k <= 0 || len(parts) == 0 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, p := range parts {
+		sizes[p]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return float64(max) * float64(k) / float64(len(parts))
+}
+
+// BFS partitions by growing blocks breadth-first from arbitrary seeds
+// until each reaches the target size n/k — the cheap, locality-agnostic
+// scheme of the BLINKS evaluation's "BFS" configurations.
+func BFS(g *Graph, k int) Assignment {
+	if k < 1 {
+		k = 1
+	}
+	parts := make(Assignment, g.n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	target := (g.n + k - 1) / k
+	block := int32(0)
+	size := 0
+	var queue []int32
+	assign := func(v int32) {
+		parts[v] = block
+		size++
+		if size >= target && int(block) < k-1 {
+			block++
+			size = 0
+		}
+	}
+	for seed := 0; seed < g.n; seed++ {
+		if parts[seed] != -1 {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, int32(seed))
+		assign(int32(seed))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, e := range g.adj[u] {
+				if parts[e.To] == -1 {
+					assign(e.To)
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	return parts
+}
+
+// Metis partitions with the multilevel scheme: coarsen by heavy-edge
+// matching to ≈ coarseTarget vertices, partition the coarse graph with
+// greedy growth, project back, and refine each level with one pass of
+// gain-ordered boundary moves under a balance constraint.
+func Metis(g *Graph, k int) Assignment {
+	if k < 1 {
+		k = 1
+	}
+	if g.n <= k {
+		parts := make(Assignment, g.n)
+		for i := range parts {
+			parts[i] = int32(i % k)
+		}
+		return parts
+	}
+	coarseTarget := 8 * k
+	if coarseTarget < 64 {
+		coarseTarget = 64
+	}
+
+	// Coarsening phase.
+	type level struct {
+		g    *Graph
+		map_ []int32 // vertex of this level → vertex of coarser level
+	}
+	var levels []level
+	cur := g
+	for cur.n > coarseTarget {
+		coarse, mapping := coarsen(cur)
+		if coarse.n >= cur.n { // matching made no progress
+			break
+		}
+		levels = append(levels, level{g: cur, map_: mapping})
+		cur = coarse
+	}
+
+	// Initial partitioning on the coarsest graph.
+	parts := greedyGrow(cur, k)
+	refine(cur, parts, k)
+
+	// Uncoarsening with refinement.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lv := levels[i]
+		fine := make(Assignment, lv.g.n)
+		for v := 0; v < lv.g.n; v++ {
+			fine[v] = parts[lv.map_[v]]
+		}
+		parts = fine
+		refine(lv.g, parts, k)
+	}
+	return parts
+}
+
+// coarsen contracts a heavy-edge matching: every vertex is matched with
+// its heaviest unmatched neighbor, and matched pairs merge into one coarse
+// vertex. Edge weights between coarse vertices accumulate.
+func coarsen(g *Graph) (*Graph, []int32) {
+	match := make([]int32, g.n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Visit vertices in ascending degree order — a common heuristic that
+	// matches low-degree fringe vertices before hubs swallow everything.
+	order := make([]int32, g.n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return len(g.adj[order[a]]) < len(g.adj[order[b]]) })
+
+	for _, u := range order {
+		if match[u] != -1 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int32 = -1
+		for _, e := range g.adj[u] {
+			if match[e.To] == -1 && e.To != u && e.W > bestW {
+				best, bestW = e.To, e.W
+			}
+		}
+		if best == -1 {
+			match[u] = u // matched with itself
+		} else {
+			match[u] = best
+			match[best] = u
+		}
+	}
+	// Number coarse vertices.
+	mapping := make([]int32, g.n)
+	for i := range mapping {
+		mapping[i] = -1
+	}
+	next := int32(0)
+	for u := 0; u < g.n; u++ {
+		if mapping[u] != -1 {
+			continue
+		}
+		mapping[u] = next
+		if m := match[u]; m != int32(u) && m >= 0 {
+			mapping[m] = next
+		}
+		next++
+	}
+	coarse := NewGraph(int(next))
+	// Accumulate parallel edges.
+	acc := map[int64]int32{}
+	for u := 0; u < g.n; u++ {
+		cu := mapping[u]
+		for _, e := range g.adj[u] {
+			if int32(u) >= e.To {
+				continue
+			}
+			cv := mapping[e.To]
+			if cu == cv {
+				continue
+			}
+			a, b := cu, cv
+			if a > b {
+				a, b = b, a
+			}
+			acc[int64(a)<<32|int64(b)] += e.W
+		}
+	}
+	for key, w := range acc {
+		coarse.AddEdge(int(key>>32), int(int32(key)), w)
+	}
+	return coarse, mapping
+}
+
+// greedyGrow produces an initial k-way partition by repeatedly growing a
+// block from the highest-degree unassigned seed, preferring frontier
+// vertices with the strongest connection to the growing block.
+func greedyGrow(g *Graph, k int) Assignment {
+	parts := make(Assignment, g.n)
+	for i := range parts {
+		parts[i] = -1
+	}
+	target := (g.n + k - 1) / k
+	seeds := make([]int32, g.n)
+	for i := range seeds {
+		seeds[i] = int32(i)
+	}
+	sort.Slice(seeds, func(a, b int) bool { return len(g.adj[seeds[a]]) > len(g.adj[seeds[b]]) })
+
+	block := int32(0)
+	for _, seed := range seeds {
+		if parts[seed] != -1 {
+			continue
+		}
+		if int(block) >= k {
+			block = int32(k - 1)
+		}
+		// Grow this block with a max-gain frontier heap.
+		h := &gainHeap{}
+		heap.Push(h, gainItem{v: seed, gain: 0})
+		size := 0
+		for h.Len() > 0 && size < target {
+			it := heap.Pop(h).(gainItem)
+			if parts[it.v] != -1 {
+				continue
+			}
+			parts[it.v] = block
+			size++
+			for _, e := range g.adj[it.v] {
+				if parts[e.To] == -1 {
+					heap.Push(h, gainItem{v: e.To, gain: e.W})
+				}
+			}
+		}
+		if int(block) < k-1 {
+			block++
+		}
+	}
+	return parts
+}
+
+// refine performs one pass of gain-ordered boundary moves: a vertex moves
+// to the neighboring block it is most connected to when that strictly
+// reduces the cut and keeps both blocks within the balance bound.
+func refine(g *Graph, parts Assignment, k int) {
+	sizes := make([]int, k)
+	for _, p := range parts {
+		sizes[p]++
+	}
+	maxSize := (g.n+k-1)/k + g.n/(10*k) + 1 // ≤ ~10% over the ideal
+
+	for u := 0; u < g.n; u++ {
+		home := parts[u]
+		// Connection weight per neighboring block.
+		conn := map[int32]int64{}
+		for _, e := range g.adj[u] {
+			conn[parts[e.To]] += int64(e.W)
+		}
+		bestBlock, bestGain := home, int64(0)
+		for b, w := range conn {
+			if b == home {
+				continue
+			}
+			gain := w - conn[home]
+			if gain > bestGain && sizes[b] < maxSize && sizes[home] > 1 {
+				bestBlock, bestGain = b, gain
+			}
+		}
+		if bestBlock != home {
+			sizes[home]--
+			sizes[bestBlock]++
+			parts[u] = bestBlock
+		}
+	}
+}
+
+type gainItem struct {
+	v    int32
+	gain int32
+}
+
+type gainHeap []gainItem
+
+func (h gainHeap) Len() int            { return len(h) }
+func (h gainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainItem)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

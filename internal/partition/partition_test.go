@@ -1,0 +1,175 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// gridGraph builds an r×c grid — a graph with obvious good partitions.
+func gridGraph(r, c int) *Graph {
+	g := NewGraph(r * c)
+	id := func(i, j int) int { return i*c + j }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				g.AddEdge(id(i, j), id(i, j+1), 1)
+			}
+			if i+1 < r {
+				g.AddEdge(id(i, j), id(i+1, j), 1)
+			}
+		}
+	}
+	return g
+}
+
+// clusterGraph builds k dense clusters joined by single bridge edges.
+func clusterGraph(k, size int, rng *rand.Rand) *Graph {
+	g := NewGraph(k * size)
+	for c := 0; c < k; c++ {
+		base := c * size
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(base+i, base+j, 1)
+				}
+			}
+		}
+		// chain to keep each cluster connected
+		for i := 1; i < size; i++ {
+			g.AddEdge(base+i-1, base+i, 1)
+		}
+	}
+	for c := 1; c < k; c++ {
+		g.AddEdge((c-1)*size, c*size, 1)
+	}
+	return g
+}
+
+func assertValid(t *testing.T, g *Graph, parts Assignment, k int) {
+	t.Helper()
+	if len(parts) != g.N() {
+		t.Fatalf("assignment length %d, want %d", len(parts), g.N())
+	}
+	for v, p := range parts {
+		if p < 0 || int(p) >= k {
+			t.Fatalf("vertex %d assigned to invalid block %d", v, p)
+		}
+	}
+}
+
+func TestBFSCoversAllVertices(t *testing.T) {
+	g := gridGraph(10, 10)
+	for _, k := range []int{1, 2, 4, 10} {
+		parts := BFS(g, k)
+		assertValid(t, g, parts, k)
+		if im := Imbalance(parts, k); im > 2.0 {
+			t.Errorf("k=%d: BFS imbalance %.2f too high", k, im)
+		}
+	}
+}
+
+func TestBFSDisconnectedGraph(t *testing.T) {
+	g := NewGraph(10) // no edges at all
+	parts := BFS(g, 3)
+	assertValid(t, g, parts, 3)
+}
+
+func TestMetisValidAndBalanced(t *testing.T) {
+	g := gridGraph(16, 16)
+	for _, k := range []int{2, 4, 8} {
+		parts := Metis(g, k)
+		assertValid(t, g, parts, k)
+		if im := Imbalance(parts, k); im > 1.7 {
+			t.Errorf("k=%d: Metis imbalance %.2f too high", k, im)
+		}
+	}
+}
+
+func TestMetisFindsClusterStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const k, size = 4, 30
+	g := clusterGraph(k, size, rng)
+	parts := Metis(g, k)
+	assertValid(t, g, parts, k)
+	cut := EdgeCut(g, parts)
+	// The natural partition cuts exactly k-1 bridge edges; allow slack but
+	// require far better than random. A random assignment cuts ~3/4 of
+	// all edges.
+	var total int64
+	for u := 0; u < g.N(); u++ {
+		total += int64(len(g.Adj(u)))
+	}
+	total /= 2
+	if cut > total/4 {
+		t.Errorf("Metis cut %d of %d edges; expected strong cluster recovery", cut, total)
+	}
+}
+
+func TestMetisBeatsBFSOnClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := clusterGraph(5, 40, rng)
+	bfsCut := EdgeCut(g, BFS(g, 5))
+	metisCut := EdgeCut(g, Metis(g, 5))
+	// The multilevel partitioner should not be (much) worse than naive
+	// BFS growth on cluster-structured graphs.
+	if metisCut > bfsCut*2 {
+		t.Errorf("Metis cut %d much worse than BFS cut %d", metisCut, bfsCut)
+	}
+}
+
+func TestEdgeCutAndImbalance(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(1, 2, 5)
+	parts := Assignment{0, 0, 1, 1}
+	if cut := EdgeCut(g, parts); cut != 5 {
+		t.Fatalf("EdgeCut = %d, want 5", cut)
+	}
+	if im := Imbalance(parts, 2); im != 1.0 {
+		t.Fatalf("Imbalance = %v, want 1.0", im)
+	}
+	if im := Imbalance(Assignment{0, 0, 0, 1}, 2); im != 1.5 {
+		t.Fatalf("Imbalance = %v, want 1.5", im)
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 0, 10)
+	g.AddEdge(0, 1, 1)
+	if g.Degree(0) != 1 {
+		t.Fatalf("self-loop should be dropped, degree = %d", g.Degree(0))
+	}
+}
+
+func TestTinyGraphs(t *testing.T) {
+	// n <= k: everyone gets a block; no panic.
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	parts := Metis(g, 5)
+	assertValid(t, g, parts, 5)
+	parts = BFS(g, 5)
+	assertValid(t, g, parts, 5)
+	// Empty graph.
+	empty := NewGraph(0)
+	if got := Metis(empty, 4); len(got) != 0 {
+		t.Fatal("empty graph should give empty assignment")
+	}
+}
+
+func TestMetisRandomGraphsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for round := 0; round < 10; round++ {
+		n := 20 + rng.Intn(200)
+		g := NewGraph(n)
+		for i := 0; i < n*3; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), int32(1+rng.Intn(4)))
+		}
+		k := 2 + rng.Intn(6)
+		parts := Metis(g, k)
+		assertValid(t, g, parts, k)
+		bfs := BFS(g, k)
+		assertValid(t, g, bfs, k)
+	}
+}

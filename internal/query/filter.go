@@ -1,0 +1,64 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FilterOp is a comparison operator of a value filter.
+type FilterOp string
+
+// The supported comparison operators.
+const (
+	OpLT FilterOp = "<"
+	OpLE FilterOp = "<="
+	OpGT FilterOp = ">"
+	OpGE FilterOp = ">="
+)
+
+// Filter is a numeric restriction on a query variable — the paper's
+// future-work extension ("keywords that correspond to special query
+// operators such as filters", Sec. IX): a keyword like "before 2005"
+// maps to an attribute edge whose artificial value node becomes a
+// filtered variable.
+type Filter struct {
+	Var   string
+	Op    FilterOp
+	Value float64
+}
+
+// String renders the filter in the paper's notation.
+func (f Filter) String() string {
+	return fmt.Sprintf("?%s %s %v", f.Var, f.Op, f.Value)
+}
+
+// Eval applies the filter to a literal lexical form; non-numeric values
+// never satisfy a numeric filter.
+func (f Filter) Eval(lexical string) bool {
+	v, err := strconv.ParseFloat(lexical, 64)
+	if err != nil {
+		return false
+	}
+	switch f.Op {
+	case OpLT:
+		return v < f.Value
+	case OpLE:
+		return v <= f.Value
+	case OpGT:
+		return v > f.Value
+	case OpGE:
+		return v >= f.Value
+	default:
+		return false
+	}
+}
+
+// AddFilter appends a filter to the query unless an identical one exists.
+func (q *ConjunctiveQuery) AddFilter(f Filter) {
+	for _, ex := range q.Filters {
+		if ex == f {
+			return
+		}
+	}
+	q.Filters = append(q.Filters, f)
+}

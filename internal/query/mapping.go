@@ -1,0 +1,206 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rdf"
+	"repro/internal/summary"
+)
+
+// FromSubgraph maps a matching subgraph over the augmented summary graph
+// to a conjunctive query by exhaustive application of the mapping rules of
+// Sec. VI-D:
+//
+//   - every vertex is associated with a variable var(v) and its label
+//     constant(v); class vertices contribute type atoms, value vertices
+//     contribute constants (real V-vertices) or variables (the artificial
+//     "value" node);
+//   - an A-edge e(v1, v2) maps to type(var(v1), constant(v1)) and
+//     e(var(v1), constant(v2)) — or e(var(v1), var(value)) for the
+//     artificial node;
+//   - an R-edge e(v1, v2) maps to type atoms for both endpoints plus
+//     e(var(v1), var(v2));
+//   - a subclass edge maps to the schema atom
+//     subClassOf(constant(v1), constant(v2)) plus the type atom of its
+//     subclass endpoint.
+//
+// The synthetic Thing class yields no type atom (it is unconstrained).
+// All variables are treated as distinguished (Sec. VI-D: "a reasonable
+// choice" absent further information).
+func FromSubgraph(ag *summary.Augmented, g *core.Subgraph) *ConjunctiveQuery {
+	q, _ := FromSubgraphVars(ag, g)
+	return q
+}
+
+// FromSubgraphVars is FromSubgraph exposing additionally the variable
+// assigned to each vertex element of the (endpoint-closed) subgraph.
+// Elements mapped to constants are absent from the map. Callers use it to
+// attach per-element information — e.g. the filter-operator extension
+// restricts the variable of a filter keyword's artificial value node.
+func FromSubgraphVars(ag *summary.Augmented, g *core.Subgraph) (*ConjunctiveQuery, map[summary.ElemID]string) {
+	q := &ConjunctiveQuery{Cost: g.Cost}
+	st := ag.Base.Data().Store()
+	typeTerm := rdf.NewIRI(rdf.RDFType)
+
+	// Close the vertex set: an edge element implies its endpoints (the
+	// mapping rules reference var(v1)/var(v2) of every edge, and a seed
+	// path may end on an edge without traversing both endpoints).
+	vertSet := map[summary.ElemID]bool{}
+	for _, id := range g.Elements {
+		el := ag.Element(id)
+		if el.Kind.IsVertex() {
+			vertSet[id] = true
+		} else {
+			vertSet[el.From] = true
+			vertSet[el.To] = true
+		}
+	}
+	verts := make([]summary.ElemID, 0, len(vertSet))
+	for id := range vertSet {
+		verts = append(verts, id)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+
+	// Classes joined by a subclass edge within the subgraph share one
+	// variable: an entity of the subclass is an entity of the superclass
+	// (RDFS), so the path through the hierarchy constrains a single
+	// entity, not two independent ones. Union-find over subclass edges.
+	rep := map[summary.ElemID]summary.ElemID{}
+	var find func(summary.ElemID) summary.ElemID
+	find = func(x summary.ElemID) summary.ElemID {
+		r, ok := rep[x]
+		if !ok || r == x {
+			rep[x] = x
+			return x
+		}
+		root := find(r)
+		rep[x] = root
+		return root
+	}
+	for _, id := range g.Elements {
+		el := ag.Element(id)
+		if el.Kind == summary.SubclassEdge {
+			ra, rb := find(el.From), find(el.To)
+			if ra != rb {
+				if ra > rb { // keep the smallest element as representative
+					ra, rb = rb, ra
+				}
+				rep[rb] = ra
+			}
+		}
+	}
+
+	// Deterministic variable naming: class vars x1, x2, ... and value vars
+	// v1, v2, ... in element-ID order; subclass-connected classes map to
+	// their representative's variable.
+	vars := map[summary.ElemID]string{}
+	nx, nv := 0, 0
+	for _, id := range verts {
+		el := ag.Element(id)
+		switch el.Kind {
+		case summary.ClassVertex:
+			r := find(id)
+			if rv, ok := vars[r]; ok {
+				vars[id] = rv
+				continue
+			}
+			nx++
+			vars[r] = fmt.Sprintf("x%d", nx)
+			vars[id] = vars[r]
+		case summary.ValueVertex:
+			if el.Term == 0 { // artificial value node → variable
+				nv++
+				vars[id] = fmt.Sprintf("v%d", nv)
+			}
+		}
+	}
+
+	classArg := func(id summary.ElemID) (Arg, bool) {
+		el := ag.Element(id)
+		if el.Term == 0 {
+			return Arg{}, false // Thing: unconstrained
+		}
+		return Constant(st.Term(el.Term)), true
+	}
+	addTypeAtom := func(id summary.ElemID) {
+		if c, ok := classArg(id); ok {
+			q.AddAtom(Atom{Pred: typeTerm, S: Variable(vars[id]), O: c})
+		}
+	}
+
+	edgeSeen := false
+	for _, id := range g.Elements {
+		el := ag.Element(id)
+		switch el.Kind {
+		case summary.AttrEdge:
+			edgeSeen = true
+			addTypeAtom(el.From)
+			pred := st.Term(el.Term)
+			to := ag.Element(el.To)
+			var obj Arg
+			if to.Term == 0 {
+				obj = Variable(vars[el.To])
+			} else {
+				obj = Constant(st.Term(to.Term))
+			}
+			q.AddAtom(Atom{Pred: pred, S: Variable(vars[el.From]), O: obj})
+		case summary.RelEdge:
+			edgeSeen = true
+			addTypeAtom(el.From)
+			addTypeAtom(el.To)
+			q.AddAtom(Atom{
+				Pred: st.Term(el.Term),
+				S:    Variable(vars[el.From]),
+				O:    Variable(vars[el.To]),
+			})
+		case summary.SubclassEdge:
+			edgeSeen = true
+			addTypeAtom(el.From)
+			from, okF := classArg(el.From)
+			to, okT := classArg(el.To)
+			if okF && okT {
+				q.AddAtom(Atom{Pred: st.Term(el.Term), S: from, O: to})
+			}
+		}
+	}
+	// A subgraph consisting of isolated vertices (single-keyword queries)
+	// still needs type atoms for its class vertices.
+	if !edgeSeen {
+		for _, id := range verts {
+			if ag.Element(id).Kind == summary.ClassVertex {
+				addTypeAtom(id)
+			}
+		}
+	}
+
+	q.Distinguished = q.Vars()
+	return q, vars
+}
+
+// FromSubgraphs maps every subgraph of an exploration result, preserving
+// order and de-duplicating equivalent queries (distinct subgraphs can map
+// to the same query, e.g. when they differ only in Thing vertices).
+// Subgraphs that map to no atoms — e.g. several keywords matching one
+// isolated value vertex — are dropped: they carry no query semantics.
+func FromSubgraphs(ag *summary.Augmented, gs []*core.Subgraph) []*ConjunctiveQuery {
+	var out []*ConjunctiveQuery
+	for _, g := range gs {
+		q := FromSubgraph(ag, g)
+		if len(q.Atoms) == 0 {
+			continue
+		}
+		dup := false
+		for _, prev := range out {
+			if Equivalent(prev, q) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, q)
+		}
+	}
+	return out
+}

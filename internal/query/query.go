@@ -1,0 +1,341 @@
+// Package query implements conjunctive queries (Definition 2), the
+// subgraph-to-query mapping of Sec. VI-D, and renderings of queries as
+// SPARQL text and as simple natural-language-style descriptions (the form
+// the SearchWebDB demo presents to users).
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Arg is one argument of a query atom: either a variable (Var != "") or a
+// constant RDF term.
+type Arg struct {
+	Var  string
+	Term rdf.Term
+}
+
+// IsVar reports whether the argument is a variable.
+func (a Arg) IsVar() bool { return a.Var != "" }
+
+// String renders the argument in SPARQL-ish syntax.
+func (a Arg) String() string {
+	if a.IsVar() {
+		return "?" + a.Var
+	}
+	if a.Term.IsLiteral() {
+		return a.Term.String()
+	}
+	return a.Term.LocalName()
+}
+
+// Variable builds a variable argument.
+func Variable(name string) Arg { return Arg{Var: name} }
+
+// Constant builds a constant argument.
+func Constant(t rdf.Term) Arg { return Arg{Term: t} }
+
+// Atom is a query atom P(v1, v2) (Definition 2).
+type Atom struct {
+	Pred rdf.Term
+	S, O Arg
+}
+
+// String renders the atom as predicate(subject, object).
+func (at Atom) String() string {
+	return fmt.Sprintf("%s(%s, %s)", at.Pred.LocalName(), at.S, at.O)
+}
+
+// ConjunctiveQuery is a conjunction of atoms with distinguished variables.
+// With no further information all variables are treated as distinguished
+// (Sec. VI-D).
+type ConjunctiveQuery struct {
+	Atoms         []Atom
+	Distinguished []string
+	// Filters are numeric restrictions on variables (the filter-operator
+	// extension of Sec. IX).
+	Filters []Filter
+	// Cost is the cost of the subgraph the query was derived from.
+	Cost float64
+}
+
+// Vars returns all distinct variable names in order of first appearance.
+func (q *ConjunctiveQuery) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(a Arg) {
+		if a.IsVar() && !seen[a.Var] {
+			seen[a.Var] = true
+			out = append(out, a.Var)
+		}
+	}
+	for _, at := range q.Atoms {
+		add(at.S)
+		add(at.O)
+	}
+	return out
+}
+
+// AddAtom appends an atom unless an identical one is already present (the
+// exhaustive mapping rules of Sec. VI-D generate duplicate type atoms).
+func (q *ConjunctiveQuery) AddAtom(at Atom) {
+	for _, ex := range q.Atoms {
+		if ex == at {
+			return
+		}
+	}
+	q.Atoms = append(q.Atoms, at)
+}
+
+// String renders the query in the paper's notation:
+// (x, y).type(x, C) ∧ p(x, y).
+func (q *ConjunctiveQuery) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range q.Distinguished {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('?')
+		b.WriteString(v)
+	}
+	b.WriteString(").")
+	for i, at := range q.Atoms {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteString(at.String())
+	}
+	for _, f := range q.Filters {
+		b.WriteString(" ∧ ")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
+
+// SPARQL renders the query as an executable SPARQL SELECT.
+func (q *ConjunctiveQuery) SPARQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT")
+	if len(q.Distinguished) == 0 {
+		b.WriteString(" *")
+	}
+	for _, v := range q.Distinguished {
+		b.WriteString(" ?")
+		b.WriteString(v)
+	}
+	b.WriteString(" WHERE {\n")
+	for _, at := range q.Atoms {
+		b.WriteString("  ")
+		writeSPARQLArg(&b, at.S)
+		b.WriteByte(' ')
+		b.WriteString("<" + at.Pred.Value + ">")
+		b.WriteByte(' ')
+		writeSPARQLArg(&b, at.O)
+		b.WriteString(" .\n")
+	}
+	for _, f := range q.Filters {
+		fmt.Fprintf(&b, "  FILTER(?%s %s %v)\n", f.Var, f.Op, f.Value)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func writeSPARQLArg(b *strings.Builder, a Arg) {
+	if a.IsVar() {
+		b.WriteString("?" + a.Var)
+		return
+	}
+	b.WriteString(a.Term.String())
+}
+
+// Describe renders the query as a compact natural-language-style
+// description, the presentation format of the SearchWebDB demo: one clause
+// per entity variable listing its type and constraints.
+func (q *ConjunctiveQuery) Describe() string {
+	type varInfo struct {
+		class   string
+		clauses []string
+	}
+	infos := map[string]*varInfo{}
+	order := []string{}
+	var schemaClauses []string
+	info := func(v string) *varInfo {
+		vi, ok := infos[v]
+		if !ok {
+			vi = &varInfo{}
+			infos[v] = vi
+			order = append(order, v)
+		}
+		return vi
+	}
+	for _, at := range q.Atoms {
+		switch {
+		case !at.S.IsVar() && !at.O.IsVar():
+			// Constant-only schema atoms (e.g. subClassOf(C1, C2)).
+			schemaClauses = append(schemaClauses,
+				fmt.Sprintf("%s %s %s", at.S.Term.LocalName(), at.Pred.LocalName(), at.O.Term.LocalName()))
+		case at.Pred.Value == rdf.RDFType && at.S.IsVar() && !at.O.IsVar():
+			info(at.S.Var).class = at.O.Term.LocalName()
+		case at.S.IsVar() && at.O.IsVar():
+			info(at.S.Var).clauses = append(info(at.S.Var).clauses,
+				fmt.Sprintf("whose %s is ?%s", at.Pred.LocalName(), at.O.Var))
+		case at.S.IsVar():
+			info(at.S.Var).clauses = append(info(at.S.Var).clauses,
+				fmt.Sprintf("whose %s is %q", at.Pred.LocalName(), at.O.Term.Value))
+		case at.O.IsVar():
+			info(at.O.Var).clauses = append(info(at.O.Var).clauses,
+				fmt.Sprintf("that is the %s of %s", at.Pred.LocalName(), at.S))
+		}
+	}
+	var parts []string
+	for _, v := range order {
+		vi := infos[v]
+		head := "?" + v
+		if vi.class != "" {
+			head = vi.class + " ?" + v
+		}
+		if len(vi.clauses) == 0 {
+			parts = append(parts, head)
+			continue
+		}
+		parts = append(parts, head+" "+strings.Join(vi.clauses, " and "))
+	}
+	parts = append(parts, schemaClauses...)
+	for _, f := range q.Filters {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// canonical returns a variable-renaming-invariant string used as a cheap
+// pre-filter for equivalence (equal canonical strings are necessary but
+// not sufficient for equivalence).
+func (q *ConjunctiveQuery) canonical() string {
+	parts := make([]string, 0, len(q.Atoms)+len(q.Filters))
+	for _, at := range q.Atoms {
+		s, o := "?", "?"
+		if !at.S.IsVar() {
+			s = at.S.Term.String()
+		}
+		if !at.O.IsVar() {
+			o = at.O.Term.String()
+		}
+		parts = append(parts, at.Pred.Value+"("+s+","+o+")")
+	}
+	for _, f := range q.Filters {
+		parts = append(parts, fmt.Sprintf("?%s%v", f.Op, f.Value))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "∧")
+}
+
+// Equivalent reports whether two conjunctive queries are identical up to
+// variable renaming (a bijection between variables mapping one atom set
+// onto the other). It is the correctness criterion of the effectiveness
+// study: a generated query "matches" the gold query iff Equivalent.
+func Equivalent(a, b *ConjunctiveQuery) bool {
+	if len(a.Atoms) != len(b.Atoms) {
+		return false
+	}
+	if a.canonical() != b.canonical() {
+		return false
+	}
+	// Backtracking search for a variable bijection.
+	aVars := a.Vars()
+	bVars := b.Vars()
+	if len(aVars) != len(bVars) {
+		return false
+	}
+	mapping := map[string]string{}
+	used := map[string]bool{}
+	var match func(i int) bool
+	argsUnify := func(x, y Arg) bool {
+		if x.IsVar() != y.IsVar() {
+			return false
+		}
+		if !x.IsVar() {
+			return x.Term == y.Term
+		}
+		if m, ok := mapping[x.Var]; ok {
+			return m == y.Var
+		}
+		return !used[y.Var]
+	}
+	bindArgs := func(x, y Arg) (added []string) {
+		if x.IsVar() {
+			if _, ok := mapping[x.Var]; !ok {
+				mapping[x.Var] = y.Var
+				used[y.Var] = true
+				added = append(added, x.Var)
+			}
+		}
+		return
+	}
+	unbind := func(vars []string) {
+		for _, v := range vars {
+			used[mapping[v]] = false
+			delete(mapping, v)
+		}
+	}
+	// filtersMatch verifies the filter sets correspond under the current
+	// variable mapping.
+	filtersMatch := func() bool {
+		if len(a.Filters) != len(b.Filters) {
+			return false
+		}
+		used := make([]bool, len(b.Filters))
+		for _, fa := range a.Filters {
+			found := false
+			for j, fb := range b.Filters {
+				if used[j] || fa.Op != fb.Op || fa.Value != fb.Value {
+					continue
+				}
+				if mapping[fa.Var] == fb.Var {
+					used[j] = true
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+
+	usedAtom := make([]bool, len(b.Atoms))
+	match = func(i int) bool {
+		if i == len(a.Atoms) {
+			return filtersMatch()
+		}
+		at := a.Atoms[i]
+		for j, bt := range b.Atoms {
+			if usedAtom[j] || at.Pred != bt.Pred {
+				continue
+			}
+			if !argsUnify(at.S, bt.S) {
+				continue
+			}
+			addedS := bindArgs(at.S, bt.S)
+			if !argsUnify(at.O, bt.O) {
+				unbind(addedS)
+				continue
+			}
+			addedO := bindArgs(at.O, bt.O)
+			usedAtom[j] = true
+			if match(i + 1) {
+				return true
+			}
+			usedAtom[j] = false
+			unbind(addedO)
+			unbind(addedS)
+		}
+		return false
+	}
+	return match(0)
+}

@@ -1,0 +1,269 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/scoring"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+func ex(l string) rdf.Term { return rdf.NewIRI(rdf.ExampleNS + l) }
+
+func typeAtom(v, class string) Atom {
+	return Atom{Pred: rdf.NewIRI(rdf.RDFType), S: Variable(v), O: Constant(ex(class))}
+}
+
+func TestQueryStringForms(t *testing.T) {
+	q := &ConjunctiveQuery{
+		Atoms: []Atom{
+			typeAtom("x", "Publication"),
+			{Pred: ex("year"), S: Variable("x"), O: Constant(rdf.NewLiteral("2006"))},
+			{Pred: ex("author"), S: Variable("x"), O: Variable("y")},
+		},
+		Distinguished: []string{"x", "y"},
+	}
+	s := q.String()
+	if !strings.Contains(s, "type(?x, Publication)") || !strings.Contains(s, "∧") {
+		t.Errorf("String() = %q", s)
+	}
+	sp := q.SPARQL()
+	for _, want := range []string{"SELECT ?x ?y", "?x <" + rdf.RDFType + "> <" + rdf.ExampleNS + "Publication>", `"2006"`, "?x <" + rdf.ExampleNS + "author"} {
+		if !strings.Contains(sp, want) {
+			t.Errorf("SPARQL missing %q:\n%s", want, sp)
+		}
+	}
+	d := q.Describe()
+	if !strings.Contains(d, "Publication ?x") || !strings.Contains(d, `"2006"`) {
+		t.Errorf("Describe() = %q", d)
+	}
+}
+
+func TestAddAtomDeduplicates(t *testing.T) {
+	q := &ConjunctiveQuery{}
+	q.AddAtom(typeAtom("x", "A"))
+	q.AddAtom(typeAtom("x", "A"))
+	if len(q.Atoms) != 1 {
+		t.Fatalf("duplicate atom kept: %d", len(q.Atoms))
+	}
+}
+
+func TestVarsOrder(t *testing.T) {
+	q := &ConjunctiveQuery{Atoms: []Atom{
+		{Pred: ex("p"), S: Variable("b"), O: Variable("a")},
+		{Pred: ex("p"), S: Variable("a"), O: Variable("c")},
+	}}
+	vs := q.Vars()
+	if len(vs) != 3 || vs[0] != "b" || vs[1] != "a" || vs[2] != "c" {
+		t.Fatalf("Vars = %v", vs)
+	}
+}
+
+func TestEquivalentRenaming(t *testing.T) {
+	a := &ConjunctiveQuery{Atoms: []Atom{
+		typeAtom("x", "Publication"),
+		{Pred: ex("author"), S: Variable("x"), O: Variable("y")},
+		typeAtom("y", "Researcher"),
+	}}
+	b := &ConjunctiveQuery{Atoms: []Atom{
+		typeAtom("q", "Researcher"),
+		typeAtom("p", "Publication"),
+		{Pred: ex("author"), S: Variable("p"), O: Variable("q")},
+	}}
+	if !Equivalent(a, b) {
+		t.Fatal("renamed queries should be equivalent")
+	}
+}
+
+func TestNotEquivalentDifferentStructure(t *testing.T) {
+	a := &ConjunctiveQuery{Atoms: []Atom{
+		{Pred: ex("author"), S: Variable("x"), O: Variable("y")},
+		{Pred: ex("worksAt"), S: Variable("y"), O: Variable("z")},
+	}}
+	// Same atoms but chained through a single shared variable differently.
+	b := &ConjunctiveQuery{Atoms: []Atom{
+		{Pred: ex("author"), S: Variable("x"), O: Variable("y")},
+		{Pred: ex("worksAt"), S: Variable("x"), O: Variable("z")},
+	}}
+	if Equivalent(a, b) {
+		t.Fatal("structurally different queries reported equivalent")
+	}
+	// Different constants.
+	c := &ConjunctiveQuery{Atoms: []Atom{typeAtom("x", "A")}}
+	d := &ConjunctiveQuery{Atoms: []Atom{typeAtom("x", "B")}}
+	if Equivalent(c, d) {
+		t.Fatal("different constants reported equivalent")
+	}
+	// Different sizes.
+	if Equivalent(a, c) {
+		t.Fatal("different sizes reported equivalent")
+	}
+}
+
+func TestEquivalentVariableBijection(t *testing.T) {
+	// x↦a, y↦a is not a bijection: ?x and ?y must stay distinct.
+	a := &ConjunctiveQuery{Atoms: []Atom{
+		{Pred: ex("p"), S: Variable("x"), O: Variable("y")},
+	}}
+	b := &ConjunctiveQuery{Atoms: []Atom{
+		{Pred: ex("p"), S: Variable("a"), O: Variable("a")},
+	}}
+	if Equivalent(a, b) {
+		t.Fatal("non-bijective mapping accepted")
+	}
+	if Equivalent(b, a) {
+		t.Fatal("non-bijective mapping accepted (reversed)")
+	}
+}
+
+// buildRunningExample explores Fig. 1 and returns the mapped top query.
+func buildRunningExample(t *testing.T) (*ConjunctiveQuery, *summary.Augmented) {
+	t.Helper()
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	sg := summary.Build(graph.Build(st))
+	id := func(term rdf.Term) store.ID {
+		v, ok := st.Lookup(term)
+		if !ok {
+			t.Fatalf("missing %v", term)
+		}
+		return v
+	}
+	ag := sg.Augment([][]summary.Match{
+		{{Kind: summary.MatchValue, Score: 1, Value: id(rdf.NewLiteral("2006")), Pred: id(ex("year")), Classes: []store.ID{id(ex("Publication"))}}},
+		{{Kind: summary.MatchValue, Score: 1, Value: id(rdf.NewLiteral("P. Cimiano")), Pred: id(ex("name")), Classes: []store.ID{id(ex("Researcher"))}}},
+		{{Kind: summary.MatchValue, Score: 1, Value: id(rdf.NewLiteral("AIFB")), Pred: id(ex("name")), Classes: []store.ID{id(ex("Institute"))}}},
+	})
+	scorer := scoring.New(scoring.PathLength, ag)
+	res := core.Explore(ag, scorer.ElementCost, core.Options{K: 5})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("exploration found nothing")
+	}
+	return FromSubgraph(ag, res.Subgraphs[0]), ag
+}
+
+// TestRunningExampleMapsToFig1cQuery is the paper's end-to-end example:
+// keywords {2006, cimiano, aifb} must map to the conjunctive query of
+// Fig. 1c (modulo variable renaming).
+func TestRunningExampleMapsToFig1cQuery(t *testing.T) {
+	got, _ := buildRunningExample(t)
+	want := &ConjunctiveQuery{Atoms: []Atom{
+		typeAtom("x", "Publication"),
+		{Pred: ex("year"), S: Variable("x"), O: Constant(rdf.NewLiteral("2006"))},
+		{Pred: ex("author"), S: Variable("x"), O: Variable("y")},
+		typeAtom("y", "Researcher"),
+		{Pred: ex("name"), S: Variable("y"), O: Constant(rdf.NewLiteral("P. Cimiano"))},
+		{Pred: ex("worksAt"), S: Variable("y"), O: Variable("z")},
+		typeAtom("z", "Institute"),
+		{Pred: ex("name"), S: Variable("z"), O: Constant(rdf.NewLiteral("AIFB"))},
+	}}
+	if !Equivalent(got, want) {
+		t.Fatalf("top query does not match Fig. 1c:\ngot:  %s\nwant: %s", got, want)
+	}
+	if len(got.Distinguished) != len(got.Vars()) {
+		t.Error("all variables should be distinguished by default")
+	}
+}
+
+func TestFromSubgraphsDeduplicates(t *testing.T) {
+	_, ag := buildRunningExample(t)
+	scorer := scoring.New(scoring.PathLength, ag)
+	res := core.Explore(ag, scorer.ElementCost, core.Options{K: 10})
+	qs := FromSubgraphs(ag, res.Subgraphs)
+	for i := 0; i < len(qs); i++ {
+		for j := i + 1; j < len(qs); j++ {
+			if Equivalent(qs[i], qs[j]) {
+				t.Fatalf("queries %d and %d are equivalent duplicates", i, j)
+			}
+		}
+	}
+	if len(qs) == 0 || len(qs) > len(res.Subgraphs) {
+		t.Fatalf("unexpected query count %d (subgraphs %d)", len(qs), len(res.Subgraphs))
+	}
+}
+
+func TestSubclassEdgeMapping(t *testing.T) {
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	sg := summary.Build(graph.Build(st))
+	id := func(term rdf.Term) store.ID {
+		v, _ := st.Lookup(term)
+		return v
+	}
+	// Keywords on two classes linked by a subclass edge.
+	ag := sg.Augment([][]summary.Match{
+		{{Kind: summary.MatchClass, Score: 1, Class: id(ex("Researcher"))}},
+		{{Kind: summary.MatchClass, Score: 1, Class: id(ex("Person"))}},
+	})
+	scorer := scoring.New(scoring.PathLength, ag)
+	res := core.Explore(ag, scorer.ElementCost, core.Options{K: 3})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("no subgraphs")
+	}
+	q := FromSubgraph(ag, res.Subgraphs[0])
+	found := false
+	for _, at := range q.Atoms {
+		if at.Pred.Value == rdf.RDFSSubClass && !at.S.IsVar() && !at.O.IsVar() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("subclass schema atom missing: %s", q)
+	}
+}
+
+func TestThingYieldsNoTypeAtom(t *testing.T) {
+	st := store.New()
+	ns := "http://u/"
+	st.Add(rdf.NewTriple(rdf.NewIRI(ns+"a"), rdf.NewIRI(ns+"knows"), rdf.NewIRI(ns+"b")))
+	sg := summary.Build(graph.Build(st))
+	knows, _ := st.Lookup(rdf.NewIRI(ns + "knows"))
+	ag := sg.Augment([][]summary.Match{
+		{{Kind: summary.MatchRelEdge, Score: 1, Pred: knows}},
+	})
+	scorer := scoring.New(scoring.PathLength, ag)
+	res := core.Explore(ag, scorer.ElementCost, core.Options{K: 1})
+	if len(res.Subgraphs) == 0 {
+		t.Fatal("no subgraphs")
+	}
+	q := FromSubgraph(ag, res.Subgraphs[0])
+	for _, at := range q.Atoms {
+		if at.Pred.Value == rdf.RDFType {
+			t.Fatalf("Thing endpoint produced a type atom: %s", q)
+		}
+	}
+	// knows(x1, x1): the untyped loop collapses to one variable on Thing.
+	if len(q.Atoms) != 1 {
+		t.Fatalf("query = %s, want single knows atom", q)
+	}
+}
+
+func TestArtificialValueNodeMapsToVariable(t *testing.T) {
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	sg := summary.Build(graph.Build(st))
+	id := func(term rdf.Term) store.ID {
+		v, _ := st.Lookup(term)
+		return v
+	}
+	ag := sg.Augment([][]summary.Match{
+		{{Kind: summary.MatchAttrEdge, Score: 1, Pred: id(ex("year")), Classes: []store.ID{id(ex("Publication"))}}},
+	})
+	scorer := scoring.New(scoring.PathLength, ag)
+	res := core.Explore(ag, scorer.ElementCost, core.Options{K: 1})
+	q := FromSubgraph(ag, res.Subgraphs[0])
+	// Expect type(x1, Publication) ∧ year(x1, v1).
+	hasYearVar := false
+	for _, at := range q.Atoms {
+		if at.Pred == ex("year") && at.O.IsVar() {
+			hasYearVar = true
+		}
+	}
+	if !hasYearVar {
+		t.Fatalf("artificial value should map to a variable: %s", q)
+	}
+}

@@ -1,0 +1,50 @@
+package rdf
+
+// ExampleNS is the namespace used by the paper's Fig. 1 running example.
+const ExampleNS = "http://example.org/"
+
+// Fig1ExampleTurtle is the RDF data graph of Fig. 1a in the paper
+// (publications, researchers, projects, institutes), extended with the
+// hasProject edge that the running keyword query
+// "X-Media Philipp Cimiano publications" relies on (Sec. III).
+//
+// It is used by tests and examples throughout the repository as the
+// canonical tiny dataset: the expected top query for the keywords
+// {2006, cimiano, aifb} is the conjunctive query of Fig. 1c.
+const Fig1ExampleTurtle = `
+@prefix ex: <http://example.org/> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+
+ex:pro2 a ex:Project .
+ex:pro1 a ex:Project ;
+        ex:name "X-Media" .
+ex:pub1 a ex:Publication ;
+        ex:author ex:re1 , ex:re2 ;
+        ex:year "2006" ;
+        ex:hasProject ex:pro1 .
+ex:pub2 a ex:Publication .
+ex:re1  a ex:Researcher ;
+        ex:name "Thanh Tran" ;
+        ex:worksAt ex:inst1 .
+ex:re2  a ex:Researcher ;
+        ex:name "P. Cimiano" ;
+        ex:worksAt ex:inst1 .
+ex:inst1 a ex:Institute ;
+        ex:name "AIFB" .
+ex:inst2 a ex:Institute .
+
+ex:Institute  rdfs:subClassOf ex:Agent .
+ex:Researcher rdfs:subClassOf ex:Person .
+ex:Person     rdfs:subClassOf ex:Agent .
+ex:Agent      rdfs:subClassOf ex:Thing .
+`
+
+// MustParseFig1 parses Fig1ExampleTurtle; it panics on error and is meant
+// for tests and examples.
+func MustParseFig1() []Triple {
+	ts, err := ParseTurtle(Fig1ExampleTurtle)
+	if err != nil {
+		panic("rdf: Fig1ExampleTurtle does not parse: " + err.Error())
+	}
+	return ts
+}

@@ -1,0 +1,385 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// ParseError reports a syntax error with its position in the input.
+type ParseError struct {
+	Line int    // 1-based line number
+	Col  int    // 1-based byte column
+	Msg  string // description of the problem
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: parse error at line %d, col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// NTriplesReader parses the N-Triples line-based format. It tolerates
+// comment lines (#...), blank lines, and surrounding whitespace.
+type NTriplesReader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewNTriplesReader wraps r for triple-at-a-time reading.
+func NewNTriplesReader(r io.Reader) *NTriplesReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &NTriplesReader{sc: sc}
+}
+
+// Read returns the next triple, or io.EOF when the input is exhausted.
+func (nr *NTriplesReader) Read() (Triple, error) {
+	for nr.sc.Scan() {
+		nr.line++
+		line := strings.TrimSpace(nr.sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		t, err := parseNTriplesLine(line, nr.line)
+		if err != nil {
+			return Triple{}, err
+		}
+		return t, nil
+	}
+	if err := nr.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll consumes the remaining input and returns all triples.
+func (nr *NTriplesReader) ReadAll() ([]Triple, error) {
+	var ts []Triple
+	for {
+		t, err := nr.Read()
+		if err == io.EOF {
+			return ts, nil
+		}
+		if err != nil {
+			return ts, err
+		}
+		ts = append(ts, t)
+	}
+}
+
+// ParseNTriples parses a complete N-Triples document held in a string.
+func ParseNTriples(s string) ([]Triple, error) {
+	return NewNTriplesReader(strings.NewReader(s)).ReadAll()
+}
+
+type lineParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *lineParser) err(msg string) error {
+	return &ParseError{Line: p.line, Col: p.pos + 1, Msg: msg}
+}
+
+func (p *lineParser) skipWS() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) eof() bool { return p.pos >= len(p.s) }
+
+func parseNTriplesLine(line string, lineNo int) (Triple, error) {
+	p := &lineParser{s: line, line: lineNo}
+	s, err := p.parseTerm(true)
+	if err != nil {
+		return Triple{}, err
+	}
+	if s.Kind == Literal {
+		return Triple{}, p.err("subject must be an IRI or blank node")
+	}
+	p.skipWS()
+	pr, err := p.parseTerm(false)
+	if err != nil {
+		return Triple{}, err
+	}
+	if pr.Kind != IRI {
+		return Triple{}, p.err("predicate must be an IRI")
+	}
+	p.skipWS()
+	o, err := p.parseTerm(true)
+	if err != nil {
+		return Triple{}, err
+	}
+	p.skipWS()
+	if p.eof() || p.s[p.pos] != '.' {
+		return Triple{}, p.err("expected terminating '.'")
+	}
+	p.pos++
+	p.skipWS()
+	if !p.eof() && p.s[p.pos] != '#' {
+		return Triple{}, p.err("unexpected trailing content after '.'")
+	}
+	return Triple{S: s, P: pr, O: o}, nil
+}
+
+// parseTerm parses one term. allowNonIRI permits literals and blank nodes.
+func (p *lineParser) parseTerm(allowNonIRI bool) (Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return Term{}, p.err("unexpected end of line, expected a term")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.parseIRIRef()
+	case '_':
+		if !allowNonIRI {
+			return Term{}, p.err("blank node not allowed here")
+		}
+		return p.parseBlank()
+	case '"':
+		if !allowNonIRI {
+			return Term{}, p.err("literal not allowed here")
+		}
+		return p.parseLiteral()
+	default:
+		return Term{}, p.err(fmt.Sprintf("unexpected character %q at start of term", p.s[p.pos]))
+	}
+}
+
+func (p *lineParser) parseIRIRef() (Term, error) {
+	p.pos++ // consume '<'
+	start := p.pos
+	var b strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '>':
+			var v string
+			if b.Len() == 0 {
+				v = p.s[start:p.pos]
+			} else {
+				b.WriteString(p.s[start:p.pos])
+				v = b.String()
+			}
+			p.pos++
+			if v == "" {
+				return Term{}, p.err("empty IRI")
+			}
+			return NewIRI(v), nil
+		case '\\':
+			b.WriteString(p.s[start:p.pos])
+			r, err := p.parseEscape()
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+			start = p.pos
+		default:
+			p.pos++
+		}
+	}
+	return Term{}, p.err("unterminated IRI (missing '>')")
+}
+
+func (p *lineParser) parseBlank() (Term, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return Term{}, p.err("malformed blank node label (expected '_:')")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.s) && isBlankLabelChar(p.s[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, p.err("empty blank node label")
+	}
+	return NewBlank(p.s[start:p.pos]), nil
+}
+
+func isBlankLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.'
+}
+
+func (p *lineParser) parseLiteral() (Term, error) {
+	p.pos++ // consume opening quote
+	var b strings.Builder
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '"':
+			var lex string
+			if b.Len() == 0 {
+				lex = p.s[start:p.pos]
+			} else {
+				b.WriteString(p.s[start:p.pos])
+				lex = b.String()
+			}
+			p.pos++
+			return p.parseLiteralSuffix(lex)
+		case '\\':
+			b.WriteString(p.s[start:p.pos])
+			r, err := p.parseEscape()
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+			start = p.pos
+		default:
+			p.pos++
+		}
+	}
+	return Term{}, p.err("unterminated literal (missing '\"')")
+}
+
+func (p *lineParser) parseLiteralSuffix(lex string) (Term, error) {
+	if p.eof() {
+		return NewLiteral(lex), nil
+	}
+	switch p.s[p.pos] {
+	case '@':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && isLangChar(p.s[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return Term{}, p.err("empty language tag")
+		}
+		return NewLangLiteral(lex, p.s[start:p.pos]), nil
+	case '^':
+		if p.pos+1 >= len(p.s) || p.s[p.pos+1] != '^' {
+			return Term{}, p.err("malformed datatype marker (expected '^^')")
+		}
+		p.pos += 2
+		if p.eof() || p.s[p.pos] != '<' {
+			return Term{}, p.err("expected datatype IRI after '^^'")
+		}
+		dt, err := p.parseIRIRef()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	default:
+		return NewLiteral(lex), nil
+	}
+}
+
+func isLangChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '-'
+}
+
+// parseEscape parses the escape sequence starting at the backslash under
+// the cursor and returns the decoded rune; the cursor ends one past it.
+func (p *lineParser) parseEscape() (rune, error) {
+	p.pos++ // consume '\\'
+	if p.eof() {
+		return 0, p.err("dangling escape at end of line")
+	}
+	c := p.s[p.pos]
+	p.pos++
+	switch c {
+	case 't':
+		return '\t', nil
+	case 'b':
+		return '\b', nil
+	case 'n':
+		return '\n', nil
+	case 'r':
+		return '\r', nil
+	case 'f':
+		return '\f', nil
+	case '"':
+		return '"', nil
+	case '\'':
+		return '\'', nil
+	case '\\':
+		return '\\', nil
+	case 'u':
+		return p.parseHexEscape(4)
+	case 'U':
+		return p.parseHexEscape(8)
+	default:
+		return 0, p.err(fmt.Sprintf("invalid escape sequence \\%c", c))
+	}
+}
+
+func (p *lineParser) parseHexEscape(n int) (rune, error) {
+	if p.pos+n > len(p.s) {
+		return 0, p.err("truncated unicode escape")
+	}
+	var v rune
+	for i := 0; i < n; i++ {
+		c := p.s[p.pos+i]
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, p.err(fmt.Sprintf("invalid hex digit %q in unicode escape", c))
+		}
+		v = v<<4 | d
+	}
+	p.pos += n
+	if !utf8.ValidRune(v) {
+		return 0, p.err("unicode escape encodes an invalid rune")
+	}
+	return v, nil
+}
+
+// NTriplesWriter serializes triples one per line.
+type NTriplesWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewNTriplesWriter wraps w for buffered triple output.
+func NewNTriplesWriter(w io.Writer) *NTriplesWriter {
+	return &NTriplesWriter{w: bufio.NewWriter(w)}
+}
+
+// Write emits one triple. After the first error, subsequent writes are
+// no-ops returning the same error.
+func (nw *NTriplesWriter) Write(t Triple) error {
+	if nw.err != nil {
+		return nw.err
+	}
+	if _, err := nw.w.WriteString(t.String()); err != nil {
+		nw.err = err
+		return err
+	}
+	if err := nw.w.WriteByte('\n'); err != nil {
+		nw.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush flushes buffered output to the underlying writer.
+func (nw *NTriplesWriter) Flush() error {
+	if nw.err != nil {
+		return nw.err
+	}
+	return nw.w.Flush()
+}
+
+// WriteNTriples serializes all triples to w in N-Triples format.
+func WriteNTriples(w io.Writer, triples []Triple) error {
+	nw := NewNTriplesWriter(w)
+	for _, t := range triples {
+		if err := nw.Write(t); err != nil {
+			return err
+		}
+	}
+	return nw.Flush()
+}

@@ -1,0 +1,176 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	doc := `
+# a comment
+<http://x/s> <http://x/p> <http://x/o> .
+<http://x/s> <http://x/name> "Thanh Tran" .
+<http://x/s> <http://x/year> "2006"^^<` + XSDInteger + `> .
+<http://x/s> <http://x/label> "Institut"@de .
+_:b1 <http://x/p> _:b2 .
+`
+	ts, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("got %d triples, want 5", len(ts))
+	}
+	if ts[1].O != NewLiteral("Thanh Tran") {
+		t.Errorf("literal object wrong: %+v", ts[1].O)
+	}
+	if ts[2].O.Datatype != XSDInteger {
+		t.Errorf("datatype lost: %+v", ts[2].O)
+	}
+	if ts[3].O.Lang != "de" {
+		t.Errorf("lang tag lost: %+v", ts[3].O)
+	}
+	if !ts[4].S.IsBlank() || !ts[4].O.IsBlank() {
+		t.Errorf("blank nodes lost: %+v", ts[4])
+	}
+}
+
+func TestParseNTriplesEscapes(t *testing.T) {
+	doc := `<http://x/s> <http://x/p> "a\tb\nc\"d\\eé\U0001F600" .`
+	ts, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\nc\"d\\eé\U0001F600"
+	if ts[0].O.Value != want {
+		t.Fatalf("escape decoding: got %q, want %q", ts[0].O.Value, want)
+	}
+}
+
+func TestParseNTriplesTrailingComment(t *testing.T) {
+	ts, err := ParseNTriples(`<http://x/s> <http://x/p> <http://x/o> . # trailing`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples, want 1", len(ts))
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"missing dot", `<http://x/s> <http://x/p> <http://x/o>`},
+		{"literal subject", `"lit" <http://x/p> <http://x/o> .`},
+		{"literal predicate", `<http://x/s> "p" <http://x/o> .`},
+		{"blank predicate", `<http://x/s> _:b <http://x/o> .`},
+		{"unterminated iri", `<http://x/s <http://x/p> <http://x/o> .`},
+		{"unterminated literal", `<http://x/s> <http://x/p> "open .`},
+		{"bad escape", `<http://x/s> <http://x/p> "a\qb" .`},
+		{"truncated unicode", `<http://x/s> <http://x/p> "\u00" .`},
+		{"trailing garbage", `<http://x/s> <http://x/p> <http://x/o> . extra`},
+		{"empty iri", `<> <http://x/p> <http://x/o> .`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseNTriples(c.doc); err == nil {
+				t.Fatalf("expected parse error for %q", c.doc)
+			} else if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("expected *ParseError, got %T: %v", err, err)
+			}
+		})
+	}
+}
+
+func TestParseErrorMessageHasPosition(t *testing.T) {
+	_, err := ParseNTriples("\n\n<http://x/s> <http://x/p> bad .")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("error line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Fatalf("error string should mention line: %q", pe.Error())
+	}
+}
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	orig := []Triple{
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewIRI("http://x/o")),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/name"), NewLiteral("weird \"chars\"\t\n\\")),
+		NewTriple(NewBlank("b0"), NewIRI("http://x/p"), NewLangLiteral("hé", "fr")),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/y"), NewTypedLiteral("2006", XSDGYear)),
+	}
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNTriples(buf.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\ndoc:\n%s", err, buf.String())
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip count: got %d, want %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Errorf("triple %d: got %+v, want %+v", i, back[i], orig[i])
+		}
+	}
+}
+
+// TestNTriplesRoundTripProperty checks serialize→parse identity for
+// arbitrary literal contents (the hardest part of the grammar).
+func TestNTriplesRoundTripProperty(t *testing.T) {
+	f := func(lex string, lang bool) bool {
+		if !isValidUTF8(lex) {
+			return true // skip invalid encodings; writer assumes UTF-8 input
+		}
+		var o Term
+		if lang {
+			o = NewLangLiteral(lex, "en")
+		} else {
+			o = NewLiteral(lex)
+		}
+		tr := NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), o)
+		back, err := ParseNTriples(tr.String())
+		if err != nil {
+			return false
+		}
+		return len(back) == 1 && back[0] == tr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isValidUTF8(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNTriplesReaderStreams(t *testing.T) {
+	doc := strings.Repeat("<http://x/s> <http://x/p> <http://x/o> .\n", 1000)
+	r := NewNTriplesReader(strings.NewReader(doc))
+	n := 0
+	for {
+		_, err := r.Read()
+		if err != nil {
+			break
+		}
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("streamed %d triples, want 1000", n)
+	}
+}

@@ -1,0 +1,227 @@
+// Package rdf provides the RDF data model used throughout the repository:
+// terms (IRIs, literals, blank nodes), triples, and parsers/serializers for
+// the N-Triples format and a practical subset of Turtle.
+//
+// The model follows the paper's Definition 1: a data graph is a set of
+// triples whose subjects are entities or classes, whose predicates are edge
+// labels, and whose objects are entities, classes, or data values. Vertex
+// and edge classification on top of triples lives in package graph.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Well-known vocabulary IRIs. The paper's two predefined edge labels, type
+// and subclass, correspond to rdf:type and rdfs:subClassOf.
+const (
+	RDFType      = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSSubClass = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+	RDFSLabel    = "http://www.w3.org/2000/01/rdf-schema#label"
+	XSDString    = "http://www.w3.org/2001/XMLSchema#string"
+	XSDInteger   = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDecimal   = "http://www.w3.org/2001/XMLSchema#decimal"
+	XSDDouble    = "http://www.w3.org/2001/XMLSchema#double"
+	XSDBoolean   = "http://www.w3.org/2001/XMLSchema#boolean"
+	XSDDate      = "http://www.w3.org/2001/XMLSchema#date"
+	XSDGYear     = "http://www.w3.org/2001/XMLSchema#gYear"
+)
+
+// Kind discriminates the three syntactic categories of RDF terms.
+type Kind uint8
+
+const (
+	// IRI identifies a resource (entity, class, or property).
+	IRI Kind = iota
+	// Literal is a data value with an optional datatype or language tag.
+	Literal
+	// Blank is a blank node with a document-scoped label.
+	Blank
+)
+
+// String returns a human-readable name for the kind.
+func (k Kind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	case Blank:
+		return "Blank"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term. The zero value is an IRI with an empty value, which
+// is never produced by the parsers and can serve as a sentinel.
+type Term struct {
+	// Kind selects which syntactic category the term belongs to.
+	Kind Kind
+	// Value holds the IRI string, the literal lexical form, or the blank
+	// node label (without the "_:" prefix), depending on Kind.
+	Value string
+	// Datatype is the datatype IRI for typed literals. Empty means
+	// xsd:string (or a language-tagged string when Lang is set).
+	Datatype string
+	// Lang is the language tag for language-tagged literals.
+	Lang string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain string literal.
+func NewLiteral(lex string) Term { return Term{Kind: Literal, Value: lex} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	if datatype == XSDString {
+		datatype = ""
+	}
+	return Term{Kind: Literal, Value: lex, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged string literal.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: Literal, Value: lex, Lang: strings.ToLower(lang)}
+}
+
+// NewBlank returns a blank node with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == Blank }
+
+// IsZero reports whether the term is the zero value (empty IRI).
+func (t Term) IsZero() bool { return t.Kind == IRI && t.Value == "" }
+
+// Equal reports whether two terms are identical.
+func (t Term) Equal(o Term) bool { return t == o }
+
+// Compare orders terms: IRIs < Literals < Blanks, then by value, datatype,
+// and language. It returns -1, 0, or +1.
+func (t Term) Compare(o Term) int {
+	if t.Kind != o.Kind {
+		if t.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	if c := strings.Compare(t.Value, o.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, o.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Lang, o.Lang)
+}
+
+// LocalName returns the fragment or last path segment of an IRI, which is
+// the human-readable portion used for labels when no rdfs:label is present.
+// For non-IRI terms it returns the value unchanged.
+func (t Term) LocalName() string {
+	if t.Kind != IRI {
+		return t.Value
+	}
+	v := t.Value
+	if i := strings.LastIndexByte(v, '#'); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	if i := strings.LastIndexByte(v, '/'); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	if i := strings.LastIndexByte(v, ':'); i >= 0 && i+1 < len(v) {
+		return v[i+1:]
+	}
+	return v
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	var b strings.Builder
+	t.write(&b)
+	return b.String()
+}
+
+func (t Term) write(b *strings.Builder) {
+	switch t.Kind {
+	case IRI:
+		b.WriteByte('<')
+		b.WriteString(t.Value)
+		b.WriteByte('>')
+	case Blank:
+		b.WriteString("_:")
+		b.WriteString(t.Value)
+	case Literal:
+		b.WriteByte('"')
+		escapeLiteral(b, t.Value)
+		b.WriteByte('"')
+		switch {
+		case t.Lang != "":
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		case t.Datatype != "":
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+	}
+}
+
+func escapeLiteral(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple from its three terms.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple as one N-Triples line (including the dot).
+func (t Triple) String() string {
+	var b strings.Builder
+	t.S.write(&b)
+	b.WriteByte(' ')
+	t.P.write(&b)
+	b.WriteByte(' ')
+	t.O.write(&b)
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Compare orders triples lexicographically by subject, predicate, object.
+func (t Triple) Compare(o Triple) int {
+	if c := t.S.Compare(o.S); c != 0 {
+		return c
+	}
+	if c := t.P.Compare(o.P); c != 0 {
+		return c
+	}
+	return t.O.Compare(o.O)
+}

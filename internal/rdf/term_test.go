@@ -1,0 +1,124 @@
+package rdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	iri := NewIRI("http://example.org/a")
+	if !iri.IsIRI() || iri.IsLiteral() || iri.IsBlank() {
+		t.Fatalf("IRI kind predicates wrong: %+v", iri)
+	}
+	lit := NewLiteral("hello")
+	if !lit.IsLiteral() {
+		t.Fatalf("literal kind predicate wrong: %+v", lit)
+	}
+	if lit.Datatype != "" || lit.Lang != "" {
+		t.Fatalf("plain literal should have no datatype/lang: %+v", lit)
+	}
+	bl := NewBlank("b1")
+	if !bl.IsBlank() {
+		t.Fatalf("blank kind predicate wrong: %+v", bl)
+	}
+}
+
+func TestTypedLiteralNormalizesXSDString(t *testing.T) {
+	lit := NewTypedLiteral("x", XSDString)
+	if lit.Datatype != "" {
+		t.Fatalf("xsd:string datatype should normalize to empty, got %q", lit.Datatype)
+	}
+	lit2 := NewTypedLiteral("5", XSDInteger)
+	if lit2.Datatype != XSDInteger {
+		t.Fatalf("integer datatype lost: %+v", lit2)
+	}
+}
+
+func TestLangLiteralLowercasesTag(t *testing.T) {
+	lit := NewLangLiteral("Hallo", "DE")
+	if lit.Lang != "de" {
+		t.Fatalf("lang tag not lowercased: %q", lit.Lang)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://x/y"), "<http://x/y>"},
+		{NewLiteral("plain"), `"plain"`},
+		{NewLiteral(`quo"te`), `"quo\"te"`},
+		{NewLiteral("tab\there"), `"tab\there"`},
+		{NewLiteral("new\nline"), `"new\nline"`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewTypedLiteral("5", XSDInteger), `"5"^^<` + XSDInteger + `>`},
+		{NewBlank("n1"), "_:n1"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct{ iri, want string }{
+		{"http://example.org/ns#Person", "Person"},
+		{"http://example.org/people/alice", "alice"},
+		{"urn:isbn:12345", "12345"},
+		{"noseparator", "noseparator"},
+	}
+	for _, c := range cases {
+		if got := NewIRI(c.iri).LocalName(); got != c.want {
+			t.Errorf("LocalName(%q) = %q, want %q", c.iri, got, c.want)
+		}
+	}
+	if got := NewLiteral("value").LocalName(); got != "value" {
+		t.Errorf("LocalName on literal = %q, want value", got)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	a := NewIRI("a")
+	b := NewIRI("b")
+	l := NewLiteral("a")
+	bl := NewBlank("a")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Fatal("IRI comparison broken")
+	}
+	if a.Compare(l) >= 0 {
+		t.Fatal("IRIs must sort before literals")
+	}
+	if l.Compare(bl) >= 0 {
+		t.Fatal("literals must sort before blanks")
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(av, bv string, ak, bk uint8) bool {
+		a := Term{Kind: Kind(ak % 3), Value: av}
+		b := Term{Kind: Kind(bk % 3), Value: bv}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTripleString(t *testing.T) {
+	tr := NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral("o"))
+	want := `<http://x/s> <http://x/p> "o" .`
+	if got := tr.String(); got != want {
+		t.Fatalf("Triple.String() = %q, want %q", got, want)
+	}
+}
+
+func TestTripleCompare(t *testing.T) {
+	t1 := NewTriple(NewIRI("a"), NewIRI("p"), NewIRI("x"))
+	t2 := NewTriple(NewIRI("a"), NewIRI("p"), NewIRI("y"))
+	t3 := NewTriple(NewIRI("b"), NewIRI("p"), NewIRI("x"))
+	if t1.Compare(t2) >= 0 || t1.Compare(t3) >= 0 || t1.Compare(t1) != 0 {
+		t.Fatal("triple ordering broken")
+	}
+}

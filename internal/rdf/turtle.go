@@ -1,0 +1,718 @@
+package rdf
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// TurtleParser parses a practical subset of the Turtle language:
+//
+//   - @prefix / PREFIX and @base / BASE directives
+//   - IRIs, prefixed names, and the "a" keyword
+//   - predicate-object lists (";") and object lists (",")
+//   - blank node labels (_:x) and anonymous blank nodes ("[ ... ]")
+//   - string literals (single/double quoted, long triple-quoted forms),
+//     language tags and datatype annotations
+//   - numeric literals (integer, decimal, double) and booleans
+//
+// RDF collections "( ... )" are expanded to the standard
+// rdf:first/rdf:rest/rdf:nil list encoding.
+type TurtleParser struct {
+	src      string
+	pos      int
+	line     int
+	col      int
+	base     string
+	prefixes map[string]string
+	bnodeSeq int
+}
+
+const (
+	rdfFirst = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first"
+	rdfRest  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest"
+	rdfNil   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil"
+)
+
+// NewTurtleParser reads all of r and prepares a parser over its contents.
+func NewTurtleParser(r io.Reader) (*TurtleParser, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return &TurtleParser{src: string(data), line: 1, col: 1, prefixes: map[string]string{}}, nil
+}
+
+// ParseTurtle parses a Turtle document held in a string.
+func ParseTurtle(s string) ([]Triple, error) {
+	p := &TurtleParser{src: s, line: 1, col: 1, prefixes: map[string]string{}}
+	return p.ParseAll()
+}
+
+// ParseAll parses the whole document and returns its triples.
+func (p *TurtleParser) ParseAll() ([]Triple, error) {
+	var out []Triple
+	err := p.Parse(func(t Triple) error {
+		out = append(out, t)
+		return nil
+	})
+	return out, err
+}
+
+// Parse parses the document, invoking emit for every triple produced.
+func (p *TurtleParser) Parse(emit func(Triple) error) error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		if err := p.parseStatement(emit); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *TurtleParser) errf(format string, args ...interface{}) error {
+	return &ParseError{Line: p.line, Col: p.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *TurtleParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *TurtleParser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *TurtleParser) peekAt(off int) byte {
+	if p.pos+off >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos+off]
+}
+
+func (p *TurtleParser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+		p.col = 1
+	} else {
+		p.col++
+	}
+	return c
+}
+
+func (p *TurtleParser) skipWS() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			p.advance()
+		case c == '#':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *TurtleParser) hasKeyword(kw string) bool {
+	if p.pos+len(kw) > len(p.src) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	// Keyword must be followed by whitespace or a term opener.
+	c := p.peekAt(len(kw))
+	return c == 0 || c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '<'
+}
+
+func (p *TurtleParser) consume(n int) {
+	for i := 0; i < n; i++ {
+		p.advance()
+	}
+}
+
+func (p *TurtleParser) expect(c byte) error {
+	if p.eof() || p.peek() != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.advance()
+	return nil
+}
+
+func (p *TurtleParser) parseStatement(emit func(Triple) error) error {
+	switch {
+	case p.peek() == '@':
+		return p.parseAtDirective()
+	case p.hasKeyword("PREFIX"):
+		p.consume(len("PREFIX"))
+		return p.parsePrefixBody(false)
+	case p.hasKeyword("BASE"):
+		p.consume(len("BASE"))
+		return p.parseBaseBody(false)
+	default:
+		return p.parseTriples(emit)
+	}
+}
+
+func (p *TurtleParser) parseAtDirective() error {
+	p.advance() // '@'
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "prefix"):
+		p.consume(len("prefix"))
+		return p.parsePrefixBody(true)
+	case strings.HasPrefix(p.src[p.pos:], "base"):
+		p.consume(len("base"))
+		return p.parseBaseBody(true)
+	default:
+		return p.errf("unknown directive")
+	}
+}
+
+func (p *TurtleParser) parsePrefixBody(dotTerminated bool) error {
+	p.skipWS()
+	start := p.pos
+	for !p.eof() && p.peek() != ':' {
+		if c := p.peek(); c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			return p.errf("malformed prefix name")
+		}
+		p.advance()
+	}
+	name := p.src[start:p.pos]
+	if err := p.expect(':'); err != nil {
+		return err
+	}
+	p.skipWS()
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = iri.Value
+	if dotTerminated {
+		p.skipWS()
+		return p.expect('.')
+	}
+	return nil
+}
+
+func (p *TurtleParser) parseBaseBody(dotTerminated bool) error {
+	p.skipWS()
+	iri, err := p.parseIRIRef()
+	if err != nil {
+		return err
+	}
+	p.base = iri.Value
+	if dotTerminated {
+		p.skipWS()
+		return p.expect('.')
+	}
+	return nil
+}
+
+func (p *TurtleParser) parseTriples(emit func(Triple) error) error {
+	var subj Term
+	var err error
+	if p.peek() == '[' {
+		subj, err = p.parseBlankNodePropertyList(emit)
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		// A bare "[ ... ] ." statement is legal; a predicate list may follow.
+		if p.peek() == '.' {
+			p.advance()
+			return nil
+		}
+	} else {
+		subj, err = p.parseSubject(emit)
+		if err != nil {
+			return err
+		}
+	}
+	if err := p.parsePredicateObjectList(subj, emit); err != nil {
+		return err
+	}
+	p.skipWS()
+	return p.expect('.')
+}
+
+func (p *TurtleParser) parseSubject(emit func(Triple) error) (Term, error) {
+	p.skipWS()
+	switch {
+	case p.eof():
+		return Term{}, p.errf("unexpected end of input, expected subject")
+	case p.peek() == '<':
+		return p.parseIRIRef()
+	case p.peek() == '_':
+		return p.parseBlankLabel()
+	case p.peek() == '(':
+		return p.parseCollection(emit)
+	default:
+		return p.parsePrefixedName()
+	}
+}
+
+func (p *TurtleParser) parsePredicateObjectList(subj Term, emit func(Triple) error) error {
+	for {
+		p.skipWS()
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return err
+		}
+		if err := p.parseObjectList(subj, pred, emit); err != nil {
+			return err
+		}
+		p.skipWS()
+		if p.peek() != ';' {
+			return nil
+		}
+		p.advance()
+		p.skipWS()
+		// Turtle allows trailing semicolons before '.' or ']'.
+		if c := p.peek(); c == '.' || c == ']' {
+			return nil
+		}
+	}
+}
+
+func (p *TurtleParser) parsePredicate() (Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return Term{}, p.errf("unexpected end of input, expected predicate")
+	}
+	if p.peek() == 'a' {
+		c := p.peekAt(1)
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '<' || c == '[' || c == '_' || c == '"' {
+			p.advance()
+			return NewIRI(RDFType), nil
+		}
+	}
+	if p.peek() == '<' {
+		return p.parseIRIRef()
+	}
+	return p.parsePrefixedName()
+}
+
+func (p *TurtleParser) parseObjectList(subj, pred Term, emit func(Triple) error) error {
+	for {
+		obj, err := p.parseObject(emit)
+		if err != nil {
+			return err
+		}
+		if err := emit(Triple{S: subj, P: pred, O: obj}); err != nil {
+			return err
+		}
+		p.skipWS()
+		if p.peek() != ',' {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *TurtleParser) parseObject(emit func(Triple) error) (Term, error) {
+	p.skipWS()
+	if p.eof() {
+		return Term{}, p.errf("unexpected end of input, expected object")
+	}
+	c := p.peek()
+	switch {
+	case c == '<':
+		return p.parseIRIRef()
+	case c == '_':
+		return p.parseBlankLabel()
+	case c == '[':
+		return p.parseBlankNodePropertyList(emit)
+	case c == '(':
+		return p.parseCollection(emit)
+	case c == '"' || c == '\'':
+		return p.parseString()
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		return p.parseNumber()
+	case p.hasWord("true"):
+		p.consume(4)
+		return NewTypedLiteral("true", XSDBoolean), nil
+	case p.hasWord("false"):
+		p.consume(5)
+		return NewTypedLiteral("false", XSDBoolean), nil
+	default:
+		return p.parsePrefixedName()
+	}
+}
+
+func (p *TurtleParser) hasWord(w string) bool {
+	if !strings.HasPrefix(p.src[p.pos:], w) {
+		return false
+	}
+	c := p.peekAt(len(w))
+	return !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':')
+}
+
+func (p *TurtleParser) freshBlank() Term {
+	p.bnodeSeq++
+	return NewBlank(fmt.Sprintf("genid%d", p.bnodeSeq))
+}
+
+func (p *TurtleParser) parseBlankNodePropertyList(emit func(Triple) error) (Term, error) {
+	if err := p.expect('['); err != nil {
+		return Term{}, err
+	}
+	node := p.freshBlank()
+	p.skipWS()
+	if p.peek() == ']' {
+		p.advance()
+		return node, nil
+	}
+	if err := p.parsePredicateObjectList(node, emit); err != nil {
+		return Term{}, err
+	}
+	p.skipWS()
+	if err := p.expect(']'); err != nil {
+		return Term{}, err
+	}
+	return node, nil
+}
+
+func (p *TurtleParser) parseCollection(emit func(Triple) error) (Term, error) {
+	if err := p.expect('('); err != nil {
+		return Term{}, err
+	}
+	var head, tail Term
+	headSet := false
+	for {
+		p.skipWS()
+		if p.eof() {
+			return Term{}, p.errf("unterminated collection")
+		}
+		if p.peek() == ')' {
+			p.advance()
+			if !headSet {
+				return NewIRI(rdfNil), nil
+			}
+			if err := emit(Triple{S: tail, P: NewIRI(rdfRest), O: NewIRI(rdfNil)}); err != nil {
+				return Term{}, err
+			}
+			return head, nil
+		}
+		obj, err := p.parseObject(emit)
+		if err != nil {
+			return Term{}, err
+		}
+		cell := p.freshBlank()
+		if !headSet {
+			head = cell
+			headSet = true
+		} else {
+			if err := emit(Triple{S: tail, P: NewIRI(rdfRest), O: cell}); err != nil {
+				return Term{}, err
+			}
+		}
+		if err := emit(Triple{S: cell, P: NewIRI(rdfFirst), O: obj}); err != nil {
+			return Term{}, err
+		}
+		tail = cell
+	}
+}
+
+func (p *TurtleParser) parseIRIRef() (Term, error) {
+	if err := p.expect('<'); err != nil {
+		return Term{}, err
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return Term{}, p.errf("unterminated IRI")
+		}
+		c := p.advance()
+		switch c {
+		case '>':
+			return NewIRI(p.resolveIRI(b.String())), nil
+		case '\\':
+			r, err := p.parseUnicodeEscape()
+			if err != nil {
+				return Term{}, err
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func (p *TurtleParser) parseUnicodeEscape() (rune, error) {
+	if p.eof() {
+		return 0, p.errf("dangling escape")
+	}
+	kind := p.advance()
+	var n int
+	switch kind {
+	case 'u':
+		n = 4
+	case 'U':
+		n = 8
+	default:
+		return 0, p.errf("invalid IRI escape \\%c", kind)
+	}
+	var v rune
+	for i := 0; i < n; i++ {
+		if p.eof() {
+			return 0, p.errf("truncated unicode escape")
+		}
+		c := p.advance()
+		var d rune
+		switch {
+		case c >= '0' && c <= '9':
+			d = rune(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = rune(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = rune(c-'A') + 10
+		default:
+			return 0, p.errf("invalid hex digit %q", c)
+		}
+		v = v<<4 | d
+	}
+	if !utf8.ValidRune(v) {
+		return 0, p.errf("unicode escape encodes an invalid rune")
+	}
+	return v, nil
+}
+
+func (p *TurtleParser) resolveIRI(iri string) string {
+	if p.base == "" || strings.Contains(iri, "://") || strings.HasPrefix(iri, "urn:") {
+		return iri
+	}
+	return p.base + iri
+}
+
+func (p *TurtleParser) parseBlankLabel() (Term, error) {
+	if p.peekAt(1) != ':' {
+		return Term{}, p.errf("malformed blank node (expected '_:')")
+	}
+	p.consume(2)
+	start := p.pos
+	for !p.eof() && isBlankLabelChar(p.peek()) {
+		p.advance()
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	label := p.src[start:p.pos]
+	// A trailing '.' belongs to the statement terminator, not the label.
+	label = strings.TrimRight(label, ".")
+	if label == "" {
+		return Term{}, p.errf("empty blank node label")
+	}
+	trimmed := (p.pos - start) - len(label)
+	p.pos -= trimmed // unread the trimmed dots; they terminate the statement
+	p.col -= trimmed
+	return NewBlank(label), nil
+}
+
+func (p *TurtleParser) parsePrefixedName() (Term, error) {
+	start := p.pos
+	for !p.eof() && isPNPrefixChar(p.peek()) {
+		p.advance()
+	}
+	if p.eof() || p.peek() != ':' {
+		return Term{}, p.errf("expected prefixed name")
+	}
+	prefix := p.src[start:p.pos]
+	p.advance() // ':'
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return Term{}, p.errf("undefined prefix %q", prefix)
+	}
+	var local strings.Builder
+	for !p.eof() {
+		c := p.peek()
+		if c == '\\' {
+			// PN_LOCAL_ESC: backslash-escaped punctuation.
+			p.advance()
+			if p.eof() {
+				return Term{}, p.errf("dangling escape in local name")
+			}
+			local.WriteByte(p.advance())
+			continue
+		}
+		if !isPNLocalChar(c) {
+			break
+		}
+		// A '.' ends the local name if it is followed by whitespace or
+		// end-of-input (statement terminator).
+		if c == '.' {
+			nxt := p.peekAt(1)
+			if nxt == 0 || nxt == ' ' || nxt == '\t' || nxt == '\n' || nxt == '\r' {
+				break
+			}
+		}
+		local.WriteByte(p.advance())
+	}
+	return NewIRI(ns + local.String()), nil
+}
+
+func isPNPrefixChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c >= 0x80
+}
+
+func isPNLocalChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.' || c == '%' || c >= 0x80
+}
+
+func (p *TurtleParser) parseString() (Term, error) {
+	quote := p.advance() // '"' or '\''
+	long := false
+	if p.peek() == quote && p.peekAt(1) == quote {
+		p.consume(2)
+		long = true
+	}
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return Term{}, p.errf("unterminated string literal")
+		}
+		c := p.advance()
+		if c == quote {
+			if !long {
+				break
+			}
+			if p.peek() == quote && p.peekAt(1) == quote {
+				p.consume(2)
+				break
+			}
+			b.WriteByte(c)
+			continue
+		}
+		if c == '\\' {
+			if p.eof() {
+				return Term{}, p.errf("dangling escape in string")
+			}
+			e := p.advance()
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+			case 'b':
+				b.WriteByte('\b')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 'f':
+				b.WriteByte('\f')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u', 'U':
+				p.pos-- // rewind so parseUnicodeEscape sees the marker
+				p.col--
+				r, err := p.parseUnicodeEscape()
+				if err != nil {
+					return Term{}, err
+				}
+				b.WriteRune(r)
+			default:
+				return Term{}, p.errf("invalid string escape \\%c", e)
+			}
+			continue
+		}
+		if !long && (c == '\n' || c == '\r') {
+			return Term{}, p.errf("newline in short string literal")
+		}
+		b.WriteByte(c)
+	}
+	lex := b.String()
+	// Optional language tag or datatype.
+	if !p.eof() && p.peek() == '@' {
+		p.advance()
+		start := p.pos
+		for !p.eof() && isLangChar(p.peek()) {
+			p.advance()
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if !p.eof() && p.peek() == '^' && p.peekAt(1) == '^' {
+		p.consume(2)
+		p.skipWS()
+		var dt Term
+		var err error
+		if p.peek() == '<' {
+			dt, err = p.parseIRIRef()
+		} else {
+			dt, err = p.parsePrefixedName()
+		}
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func (p *TurtleParser) parseNumber() (Term, error) {
+	start := p.pos
+	if c := p.peek(); c == '+' || c == '-' {
+		p.advance()
+	}
+	digits := 0
+	for !p.eof() && unicode.IsDigit(rune(p.peek())) {
+		p.advance()
+		digits++
+	}
+	isDecimal := false
+	if !p.eof() && p.peek() == '.' {
+		// Only a decimal if a digit follows; otherwise the dot terminates
+		// the statement.
+		if d := p.peekAt(1); d >= '0' && d <= '9' {
+			isDecimal = true
+			p.advance()
+			for !p.eof() && unicode.IsDigit(rune(p.peek())) {
+				p.advance()
+				digits++
+			}
+		}
+	}
+	isDouble := false
+	if c := p.peek(); c == 'e' || c == 'E' {
+		isDouble = true
+		p.advance()
+		if c := p.peek(); c == '+' || c == '-' {
+			p.advance()
+		}
+		expDigits := 0
+		for !p.eof() && unicode.IsDigit(rune(p.peek())) {
+			p.advance()
+			expDigits++
+		}
+		if expDigits == 0 {
+			return Term{}, p.errf("malformed double literal (empty exponent)")
+		}
+	}
+	if digits == 0 {
+		return Term{}, p.errf("malformed numeric literal")
+	}
+	lex := p.src[start:p.pos]
+	switch {
+	case isDouble:
+		return NewTypedLiteral(lex, XSDDouble), nil
+	case isDecimal:
+		return NewTypedLiteral(lex, XSDDecimal), nil
+	default:
+		return NewTypedLiteral(lex, XSDInteger), nil
+	}
+}

@@ -1,0 +1,249 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func mustParseTurtle(t *testing.T, doc string) []Triple {
+	t.Helper()
+	ts, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatalf("ParseTurtle: %v\ndoc:\n%s", err, doc)
+	}
+	return ts
+}
+
+func TestTurtlePrefixAndA(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+@prefix rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+ex:alice a ex:Person .
+ex:alice rdf:type ex:Agent .
+`
+	ts := mustParseTurtle(t, doc)
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2", len(ts))
+	}
+	for _, tr := range ts {
+		if tr.P.Value != RDFType {
+			t.Errorf("predicate should be rdf:type, got %s", tr.P.Value)
+		}
+	}
+	if ts[0].O.Value != "http://example.org/Person" {
+		t.Errorf("prefixed name expansion broken: %s", ts[0].O.Value)
+	}
+}
+
+func TestTurtleSPARQLStyleDirectives(t *testing.T) {
+	doc := `
+PREFIX ex: <http://example.org/>
+BASE <http://base.org/>
+ex:a ex:knows <rel> .
+`
+	ts := mustParseTurtle(t, doc)
+	if len(ts) != 1 {
+		t.Fatalf("got %d triples, want 1", len(ts))
+	}
+	if ts[0].O.Value != "http://base.org/rel" {
+		t.Errorf("base resolution broken: %s", ts[0].O.Value)
+	}
+}
+
+func TestTurtlePredicateObjectLists(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+ex:pub1 a ex:Publication ;
+    ex:year 2006 ;
+    ex:author ex:tran , ex:cimiano .
+`
+	ts := mustParseTurtle(t, doc)
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples, want 4", len(ts))
+	}
+	authors := 0
+	for _, tr := range ts {
+		if tr.P.Value == "http://example.org/author" {
+			authors++
+		}
+		if tr.P.Value == "http://example.org/year" {
+			if tr.O.Datatype != XSDInteger || tr.O.Value != "2006" {
+				t.Errorf("integer literal wrong: %+v", tr.O)
+			}
+		}
+	}
+	if authors != 2 {
+		t.Errorf("object list expansion: got %d author triples, want 2", authors)
+	}
+}
+
+func TestTurtleLiteralForms(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:x ex:p "plain" .
+ex:x ex:p 'single' .
+ex:x ex:p """long
+with newline""" .
+ex:x ex:p "tagged"@en-US .
+ex:x ex:p "typed"^^xsd:token .
+ex:x ex:p 3.25 .
+ex:x ex:p -7 .
+ex:x ex:p 1.0e6 .
+ex:x ex:p true .
+ex:x ex:p false .
+`
+	ts := mustParseTurtle(t, doc)
+	if len(ts) != 10 {
+		t.Fatalf("got %d triples, want 10", len(ts))
+	}
+	byVal := map[string]Term{}
+	for _, tr := range ts {
+		byVal[tr.O.Value] = tr.O
+	}
+	if byVal["long\nwith newline"].Value == "" {
+		t.Error("long literal lost")
+	}
+	if byVal["tagged"].Lang != "en-us" {
+		t.Errorf("lang tag: %+v", byVal["tagged"])
+	}
+	if byVal["typed"].Datatype != "http://www.w3.org/2001/XMLSchema#token" {
+		t.Errorf("prefixed datatype: %+v", byVal["typed"])
+	}
+	if byVal["3.25"].Datatype != XSDDecimal {
+		t.Errorf("decimal: %+v", byVal["3.25"])
+	}
+	if byVal["-7"].Datatype != XSDInteger {
+		t.Errorf("negative integer: %+v", byVal["-7"])
+	}
+	if byVal["1.0e6"].Datatype != XSDDouble {
+		t.Errorf("double: %+v", byVal["1.0e6"])
+	}
+	if byVal["true"].Datatype != XSDBoolean || byVal["false"].Datatype != XSDBoolean {
+		t.Error("boolean literals wrong")
+	}
+}
+
+func TestTurtleBlankNodes(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+_:a ex:knows _:b .
+ex:x ex:address [ ex:city "Karlsruhe" ; ex:zip "76131" ] .
+`
+	ts := mustParseTurtle(t, doc)
+	if len(ts) != 4 {
+		t.Fatalf("got %d triples, want 4", len(ts))
+	}
+	var addrObj Term
+	for _, tr := range ts {
+		if tr.P.Value == "http://example.org/address" {
+			addrObj = tr.O
+		}
+	}
+	if !addrObj.IsBlank() {
+		t.Fatalf("anonymous blank node not generated: %+v", addrObj)
+	}
+	cityFound := false
+	for _, tr := range ts {
+		if tr.S == addrObj && tr.P.Value == "http://example.org/city" {
+			cityFound = true
+		}
+	}
+	if !cityFound {
+		t.Error("nested property list triples not attached to generated node")
+	}
+}
+
+func TestTurtleBareBlankSubject(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+[ ex:p ex:o ] .
+[ ex:p ex:o2 ] ex:q ex:r .
+`
+	ts := mustParseTurtle(t, doc)
+	if len(ts) != 3 {
+		t.Fatalf("got %d triples, want 3", len(ts))
+	}
+}
+
+func TestTurtleCollections(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+ex:x ex:list (ex:a ex:b) .
+ex:y ex:list () .
+`
+	ts := mustParseTurtle(t, doc)
+	// (ex:a ex:b) → 2 first + 2 rest + the ex:list triple; () → rdf:nil object.
+	preds := map[string]int{}
+	for _, tr := range ts {
+		preds[tr.P.Value]++
+	}
+	if preds[rdfFirst] != 2 || preds[rdfRest] != 2 {
+		t.Fatalf("collection encoding wrong: %v", preds)
+	}
+	nilSeen := false
+	for _, tr := range ts {
+		if tr.P.Value == "http://example.org/list" && tr.O.Value == rdfNil {
+			nilSeen = true
+		}
+	}
+	if !nilSeen {
+		t.Error("empty collection should produce rdf:nil object")
+	}
+}
+
+func TestTurtleRunningExample(t *testing.T) {
+	// The paper's Fig. 1a example data, written in Turtle.
+	ts := mustParseTurtle(t, Fig1ExampleTurtle)
+	if len(ts) != 22 {
+		t.Fatalf("Fig.1 example should yield 22 triples, got %d", len(ts))
+	}
+	var subs []string
+	for _, tr := range ts {
+		if tr.P.Value == RDFSSubClass {
+			subs = append(subs, tr.S.LocalName()+"<"+tr.O.LocalName())
+		}
+	}
+	sort.Strings(subs)
+	want := []string{"Institute<Agent", "Person<Agent", "Agent<Thing", "Researcher<Person"}
+	sort.Strings(want)
+	if strings.Join(subs, ",") != strings.Join(want, ",") {
+		t.Errorf("subclass edges: got %v, want %v", subs, want)
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"undefined prefix", `ex:a ex:b ex:c .`},
+		{"missing dot", `@prefix ex: <http://e/> . ex:a ex:b ex:c`},
+		{"unterminated string", `@prefix ex: <http://e/> . ex:a ex:b "open .`},
+		{"unterminated iri", `<http://e/a <http://e/b> <http://e/c> .`},
+		{"bad directive", `@prefiks ex: <http://e/> .`},
+		{"newline in short string", "@prefix ex: <http://e/> . ex:a ex:b \"a\nb\" ."},
+		{"empty exponent", `@prefix ex: <http://e/> . ex:a ex:b 1e .`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseTurtle(c.doc); err == nil {
+				t.Fatalf("expected error for %q", c.doc)
+			}
+		})
+	}
+}
+
+func TestTurtleTrailingSemicolon(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b ;
+     ex:q ex:c ;
+     .
+`
+	ts := mustParseTurtle(t, doc)
+	if len(ts) != 2 {
+		t.Fatalf("got %d triples, want 2", len(ts))
+	}
+}

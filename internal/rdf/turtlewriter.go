@@ -1,0 +1,146 @@
+package rdf
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TurtleWriter serializes triples as Turtle, grouping consecutive triples
+// with the same subject into predicate lists and abbreviating IRIs with
+// registered prefixes. rdf:type is written as "a".
+type TurtleWriter struct {
+	w        *bufio.Writer
+	prefixes []prefixDef // longest-namespace-first
+	wrote    bool        // directives emitted
+	subject  Term        // subject of the open predicate list
+	open     bool
+	err      error
+}
+
+type prefixDef struct {
+	prefix, ns string
+}
+
+// NewTurtleWriter wraps w. Register prefixes before the first Write.
+func NewTurtleWriter(w io.Writer) *TurtleWriter {
+	return &TurtleWriter{w: bufio.NewWriter(w)}
+}
+
+// SetPrefix registers a namespace abbreviation (e.g. "ex" for
+// "http://example.org/"). Must be called before the first Write.
+func (tw *TurtleWriter) SetPrefix(prefix, ns string) {
+	tw.prefixes = append(tw.prefixes, prefixDef{prefix: prefix, ns: ns})
+	sort.SliceStable(tw.prefixes, func(i, j int) bool {
+		return len(tw.prefixes[i].ns) > len(tw.prefixes[j].ns)
+	})
+}
+
+// Write emits one triple. Triples should arrive grouped by subject for
+// the most compact output; any order is valid.
+func (tw *TurtleWriter) Write(t Triple) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if !tw.wrote {
+		tw.wrote = true
+		for _, p := range tw.prefixes {
+			tw.print("@prefix " + p.prefix + ": <" + p.ns + "> .\n")
+		}
+		if len(tw.prefixes) > 0 {
+			tw.print("\n")
+		}
+	}
+	if tw.open && tw.subject == t.S {
+		tw.print(" ;\n    ")
+	} else {
+		if tw.open {
+			tw.print(" .\n")
+		}
+		tw.printTerm(t.S)
+		tw.print(" ")
+		tw.subject = t.S
+		tw.open = true
+	}
+	if t.P.Value == RDFType {
+		tw.print("a")
+	} else {
+		tw.printTerm(t.P)
+	}
+	tw.print(" ")
+	tw.printTerm(t.O)
+	return tw.err
+}
+
+// Close terminates the final statement and flushes. The writer must not
+// be used afterwards.
+func (tw *TurtleWriter) Close() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if tw.open {
+		tw.print(" .\n")
+		tw.open = false
+	}
+	if err := tw.w.Flush(); err != nil && tw.err == nil {
+		tw.err = err
+	}
+	return tw.err
+}
+
+func (tw *TurtleWriter) print(s string) {
+	if tw.err != nil {
+		return
+	}
+	if _, err := tw.w.WriteString(s); err != nil {
+		tw.err = err
+	}
+}
+
+func (tw *TurtleWriter) printTerm(t Term) {
+	if t.Kind == IRI {
+		for _, p := range tw.prefixes {
+			if local, ok := strings.CutPrefix(t.Value, p.ns); ok && isSafeLocal(local) {
+				tw.print(p.prefix + ":" + local)
+				return
+			}
+		}
+	}
+	tw.print(t.String()) // N-Triples form is valid Turtle
+}
+
+// isSafeLocal reports whether a local name can appear in a prefixed name
+// without escaping (conservative subset of PN_LOCAL).
+func isSafeLocal(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9' || c == '_' || c == '-'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteTurtle serializes triples (sorted by subject for compact grouping)
+// with the given prefix map.
+func WriteTurtle(w io.Writer, triples []Triple, prefixes map[string]string) error {
+	tw := NewTurtleWriter(w)
+	for prefix, ns := range prefixes {
+		tw.SetPrefix(prefix, ns)
+	}
+	sorted := make([]Triple, len(triples))
+	copy(sorted, triples)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].S.Compare(sorted[j].S) < 0 })
+	for _, t := range sorted {
+		if err := tw.Write(t); err != nil {
+			return err
+		}
+	}
+	return tw.Close()
+}

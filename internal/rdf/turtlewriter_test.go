@@ -1,0 +1,117 @@
+package rdf
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestTurtleWriterRoundTrip(t *testing.T) {
+	orig := MustParseFig1()
+	var buf bytes.Buffer
+	err := WriteTurtle(&buf, orig, map[string]string{
+		"ex":   ExampleNS,
+		"rdfs": "http://www.w3.org/2000/01/rdf-schema#",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTurtle(buf.String())
+	if err != nil {
+		t.Fatalf("reparse failed: %v\ndoc:\n%s", err, buf.String())
+	}
+	if !sameTripleSet(orig, back) {
+		t.Fatalf("round trip changed the triple set:\n%s", buf.String())
+	}
+}
+
+func TestTurtleWriterUsesAbbreviations(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTurtle(&buf, MustParseFig1(), map[string]string{"ex": ExampleNS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	if !strings.Contains(doc, "@prefix ex: <"+ExampleNS+"> .") {
+		t.Error("missing @prefix directive")
+	}
+	if !strings.Contains(doc, "ex:pub1 a ex:Publication") {
+		t.Errorf("expected 'a' keyword and prefixed names:\n%s", doc)
+	}
+	if !strings.Contains(doc, " ;\n") {
+		t.Error("expected predicate-list grouping")
+	}
+	if strings.Contains(doc, "<"+ExampleNS+"pub1>") {
+		t.Error("subject not abbreviated")
+	}
+}
+
+func TestTurtleWriterEscapesAndLiterals(t *testing.T) {
+	ts := []Triple{
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLiteral("line\nbreak \"q\"")),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewLangLiteral("hé", "fr")),
+		NewTriple(NewIRI("http://x/s"), NewIRI("http://x/p"), NewTypedLiteral("3", XSDInteger)),
+		NewTriple(NewBlank("n0"), NewIRI("http://x/p"), NewIRI("http://x/o")),
+	}
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, ts, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTurtle(buf.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if !sameTripleSet(ts, back) {
+		t.Fatalf("round trip mismatch:\n%s", buf.String())
+	}
+}
+
+func TestTurtleWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, nil, map[string]string{"ex": ExampleNS}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTurtle(buf.String()); err != nil {
+		t.Fatalf("empty document should parse: %v", err)
+	}
+}
+
+func TestTurtleWriterUnsafeLocalFallsBack(t *testing.T) {
+	ts := []Triple{
+		// Local name with a slash cannot be a safe prefixed name.
+		NewTriple(NewIRI(ExampleNS+"a/b"), NewIRI(ExampleNS+"p"), NewIRI(ExampleNS+"o")),
+	}
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, ts, map[string]string{"ex": ExampleNS}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<"+ExampleNS+"a/b>") {
+		t.Errorf("unsafe local should use full IRI:\n%s", buf.String())
+	}
+	back, err := ParseTurtle(buf.String())
+	if err != nil || !sameTripleSet(ts, back) {
+		t.Fatalf("round trip: %v\n%s", err, buf.String())
+	}
+}
+
+func sameTripleSet(a, b []Triple) bool {
+	key := func(ts []Triple) []string {
+		out := make([]string, len(ts))
+		for i, t := range ts {
+			out[i] = t.String()
+		}
+		sort.Strings(out)
+		return out
+	}
+	ka, kb := key(a), key(b)
+	if len(ka) != len(kb) {
+		return false
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

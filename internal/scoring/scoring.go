@@ -1,0 +1,107 @@
+// Package scoring implements the paper's cost functions (Sec. V). Costs
+// attach to summary-graph elements; the cost of a path is the sum of its
+// elements' costs, and the cost of a matching subgraph is the sum of its
+// paths' costs (shared elements counted once per path, which keeps path
+// costs locally computable — the property Algorithm 1's cursors rely on).
+//
+//	C1 (path length):  c(n) = 1
+//	C2 (popularity):   c(v) = 1 − |vagg|/|V|,  c(e) = 1 − |eagg|/|E|
+//	C3 (matching):     c3(n) = c2(n) / sm(n)
+//
+// |V| is interpreted as the number of E-vertices and |E| as the number of
+// R-edges of the data graph (see the note in package summary), keeping
+// every cost in (0, 1] for C1/C2 — strictly positive costs are required
+// for the ascending-cost exploration order of Theorem 1.
+package scoring
+
+import (
+	"fmt"
+
+	"repro/internal/summary"
+)
+
+// Scheme selects one of the paper's scoring functions.
+type Scheme uint8
+
+const (
+	// PathLength is C1: every element costs 1. (Constants start at 1 so
+	// that a zero Scheme means "unset" in configuration structs.)
+	PathLength Scheme = iota + 1
+	// Popularity is C2: popular (highly aggregating) elements cost less.
+	Popularity
+	// Matching is C3: popularity cost divided by the keyword matching
+	// score sm(n), prioritizing elements that match the query well.
+	Matching
+)
+
+// String names the scheme as in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case PathLength:
+		return "C1"
+	case Popularity:
+		return "C2"
+	case Matching:
+		return "C3"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// MinCost is the floor applied to popularity costs so that an element
+// aggregating every entity still has a strictly positive cost.
+const MinCost = 1e-3
+
+// Scorer computes element costs for one augmented summary graph.
+type Scorer struct {
+	scheme Scheme
+	ag     *summary.Augmented
+}
+
+// New builds a scorer for the given scheme over an augmented graph.
+func New(scheme Scheme, ag *summary.Augmented) *Scorer {
+	return &Scorer{scheme: scheme, ag: ag}
+}
+
+// Scheme returns the scorer's scheme.
+func (s *Scorer) Scheme() Scheme { return s.scheme }
+
+// ElementCost returns c(n) for a summary-graph element under the scheme.
+// It is always strictly positive.
+func (s *Scorer) ElementCost(id summary.ElemID) float64 {
+	if s.scheme == PathLength {
+		return 1
+	}
+	c := s.popularityCost(id)
+	if s.scheme == Matching {
+		c /= s.ag.MatchScore(id) // sm ∈ (0,1], so this only increases cost
+	}
+	return c
+}
+
+func (s *Scorer) popularityCost(id summary.ElemID) float64 {
+	el := s.ag.Element(id)
+	var total int
+	if el.Kind.IsVertex() {
+		total = s.ag.Base.EntityTotal()
+	} else {
+		total = s.ag.Base.RelEdgeTotal()
+	}
+	if total <= 0 {
+		return 1
+	}
+	c := 1 - float64(el.Agg)/float64(total+1)
+	if c < MinCost {
+		return MinCost
+	}
+	return c
+}
+
+// PathCost sums element costs along a path of element IDs.
+func (s *Scorer) PathCost(path []summary.ElemID) float64 {
+	var c float64
+	for _, id := range path {
+		c += s.ElementCost(id)
+	}
+	return c
+}

@@ -1,0 +1,120 @@
+package scoring
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+func buildAug(t *testing.T) (*summary.Augmented, *store.Store) {
+	t.Helper()
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	sg := summary.Build(graph.Build(st))
+	pubID, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "Publication"))
+	ag := sg.Augment([][]summary.Match{{
+		{Kind: summary.MatchClass, Score: 0.5, Class: pubID},
+	}})
+	return ag, st
+}
+
+func classElem(t *testing.T, ag *summary.Augmented, st *store.Store, local string) summary.ElemID {
+	t.Helper()
+	id, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + local))
+	el, ok := ag.Base.ClassElem(id)
+	if !ok {
+		t.Fatalf("no class elem for %s", local)
+	}
+	return el
+}
+
+func TestC1AllOnes(t *testing.T) {
+	ag, st := buildAug(t)
+	s := New(PathLength, ag)
+	for i := 0; i < ag.NumElements(); i++ {
+		if c := s.ElementCost(summary.ElemID(i)); c != 1 {
+			t.Fatalf("C1 cost of element %d = %v, want 1", i, c)
+		}
+	}
+	_ = st
+}
+
+func TestC2PopularCostsLess(t *testing.T) {
+	ag, st := buildAug(t)
+	s := New(Popularity, ag)
+	pub := classElem(t, ag, st, "Publication") // aggregates 2 entities
+	thing := ag.Base.Thing()                   // aggregates 0
+	if !(s.ElementCost(pub) < s.ElementCost(thing)) {
+		t.Fatalf("popular class should cost less: pub=%v thing=%v",
+			s.ElementCost(pub), s.ElementCost(thing))
+	}
+}
+
+func TestCostsStrictlyPositive(t *testing.T) {
+	ag, _ := buildAug(t)
+	for _, scheme := range []Scheme{PathLength, Popularity, Matching} {
+		s := New(scheme, ag)
+		for i := 0; i < ag.NumElements(); i++ {
+			if c := s.ElementCost(summary.ElemID(i)); c <= 0 {
+				t.Fatalf("%v cost of element %d = %v, must be > 0", scheme, i, c)
+			}
+		}
+	}
+}
+
+func TestC3DividesByMatchScore(t *testing.T) {
+	ag, _ := buildAug(t)
+	seed := ag.Seeds()[0][0] // Publication class, sm = 0.5
+	c2 := New(Popularity, ag).ElementCost(seed)
+	c3 := New(Matching, ag).ElementCost(seed)
+	if got, want := c3, c2/0.5; !almost(got, want) {
+		t.Fatalf("C3 = %v, want c2/sm = %v", got, want)
+	}
+	// Non-keyword elements: sm = 1, so C3 == C2.
+	other := ag.Base.Thing()
+	if !almost(New(Matching, ag).ElementCost(other), New(Popularity, ag).ElementCost(other)) {
+		t.Fatal("C3 should equal C2 for non-keyword elements")
+	}
+}
+
+func TestC3NeverBelowC2(t *testing.T) {
+	ag, _ := buildAug(t)
+	c2 := New(Popularity, ag)
+	c3 := New(Matching, ag)
+	for i := 0; i < ag.NumElements(); i++ {
+		id := summary.ElemID(i)
+		if c3.ElementCost(id) < c2.ElementCost(id)-1e-12 {
+			t.Fatalf("C3 < C2 at element %d", i)
+		}
+	}
+}
+
+func TestPathCost(t *testing.T) {
+	ag, st := buildAug(t)
+	s := New(PathLength, ag)
+	pub := classElem(t, ag, st, "Publication")
+	path := []summary.ElemID{pub, ag.Base.Thing()}
+	if got := s.PathCost(path); got != 2 {
+		t.Fatalf("PathCost = %v, want 2", got)
+	}
+	if got := s.PathCost(nil); got != 0 {
+		t.Fatalf("empty PathCost = %v, want 0", got)
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if PathLength.String() != "C1" || Popularity.String() != "C2" || Matching.String() != "C3" {
+		t.Fatal("scheme names must match the paper")
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,193 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/rdf"
+)
+
+// Snapshot format: a compact binary serialization of the dictionary and
+// the deduplicated triples. It exists so the expensive part of the
+// off-line phase — parsing millions of triples of RDF text — happens
+// once; the derived indexes (permutations, summary graph, keyword index)
+// rebuild quickly on load.
+//
+//	magic   "RDFSNAP1"              8 bytes (not checksummed)
+//	terms   uvarint count, then per term:
+//	          kind                  1 byte
+//	          value, datatype, lang length-prefixed (uvarint) strings
+//	triples uvarint count, then per triple S,P,O as uvarint IDs
+//	crc32   IEEE checksum of the payload (terms + triples), 4 bytes
+const snapshotMagic = "RDFSNAP1"
+
+// WriteTo serializes the store. It implements io.WriterTo.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.ensure()
+	var total int64
+	n, err := io.WriteString(w, snapshotMagic)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+
+	crc := crc32.NewIEEE()
+	cw := &countingWriter{w: io.MultiWriter(w, crc)}
+	bw := bufio.NewWriter(cw)
+
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		k := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:k])
+		return err
+	}
+	writeString := func(str string) error {
+		if err := writeUvarint(uint64(len(str))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(str)
+		return err
+	}
+
+	if err := writeUvarint(uint64(len(s.terms))); err != nil {
+		return total + cw.n, err
+	}
+	for _, t := range s.terms {
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			return total + cw.n, err
+		}
+		for _, str := range [3]string{t.Value, t.Datatype, t.Lang} {
+			if err := writeString(str); err != nil {
+				return total + cw.n, err
+			}
+		}
+	}
+	if err := writeUvarint(uint64(len(s.triples))); err != nil {
+		return total + cw.n, err
+	}
+	for _, tr := range s.triples {
+		for _, id := range [3]ID{tr.S, tr.P, tr.O} {
+			if err := writeUvarint(uint64(id)); err != nil {
+				return total + cw.n, err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return total + cw.n, err
+	}
+	total += cw.n
+
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	n, err = w.Write(sum[:])
+	return total + int64(n), err
+}
+
+// ReadSnapshot deserializes a store written by WriteTo. The checksum and
+// all structural invariants (ID ranges, term kinds) are verified before
+// any data is trusted.
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	if len(data) < len(snapshotMagic)+4 {
+		return nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("store: not a snapshot file (magic %q)", data[:len(snapshotMagic)])
+	}
+	payload := data[len(snapshotMagic) : len(data)-4]
+	wantSum := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if got := crc32.ChecksumIEEE(payload); got != wantSum {
+		return nil, fmt.Errorf("store: snapshot checksum mismatch (file %08x, computed %08x)", wantSum, got)
+	}
+
+	br := bytes.NewReader(payload)
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(br.Len()) {
+			return "", fmt.Errorf("store: string length %d exceeds remaining payload", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+
+	st := New()
+	nTerms, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading term count: %w", err)
+	}
+	if nTerms > uint64(len(payload)) {
+		return nil, fmt.Errorf("store: unreasonable term count %d", nTerms)
+	}
+	st.terms = make([]rdf.Term, 0, nTerms)
+	for i := uint64(0); i < nTerms; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading term %d: %w", i, err)
+		}
+		if rdf.Kind(kind) > rdf.Blank {
+			return nil, fmt.Errorf("store: term %d has invalid kind %d", i, kind)
+		}
+		var fields [3]string
+		for f := range fields {
+			fields[f], err = readString()
+			if err != nil {
+				return nil, fmt.Errorf("store: reading term %d: %w", i, err)
+			}
+		}
+		t := rdf.Term{Kind: rdf.Kind(kind), Value: fields[0], Datatype: fields[1], Lang: fields[2]}
+		st.terms = append(st.terms, t)
+		st.byTerm[t] = ID(len(st.terms))
+	}
+
+	nTriples, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading triple count: %w", err)
+	}
+	if nTriples > uint64(len(payload)) {
+		return nil, fmt.Errorf("store: unreasonable triple count %d", nTriples)
+	}
+	st.triples = make([]IDTriple, 0, nTriples)
+	for i := uint64(0); i < nTriples; i++ {
+		var ids [3]ID
+		for f := range ids {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
+			}
+			if v == 0 || v > nTerms {
+				return nil, fmt.Errorf("store: triple %d references invalid term %d", i, v)
+			}
+			ids[f] = ID(v)
+		}
+		st.triples = append(st.triples, IDTriple{S: ids[0], P: ids[1], O: ids[2]})
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after snapshot payload", br.Len())
+	}
+	st.dirty = true // rebuild permutation indexes on first use
+	return st, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func roundTrip(t *testing.T, st *Store) *Store {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := st.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := New()
+	st.AddAll(rdf.MustParseFig1())
+	st.Add(rdf.NewTriple(
+		rdf.NewIRI("http://x/s"),
+		rdf.NewIRI("http://x/p"),
+		rdf.NewLangLiteral("héllo\nworld", "de")))
+	st.Add(rdf.NewTriple(
+		rdf.NewBlank("b1"),
+		rdf.NewIRI("http://x/p"),
+		rdf.NewTypedLiteral("42", rdf.XSDInteger)))
+
+	back := roundTrip(t, st)
+	if back.Len() != st.Len() {
+		t.Fatalf("triples: got %d, want %d", back.Len(), st.Len())
+	}
+	if back.NumTerms() != st.NumTerms() {
+		t.Fatalf("terms: got %d, want %d", back.NumTerms(), st.NumTerms())
+	}
+	// Every original triple must be present and decodable.
+	st.ForEach(func(tr IDTriple) {
+		orig := st.Decode(tr)
+		s, ok1 := back.Lookup(orig.S)
+		p, ok2 := back.Lookup(orig.P)
+		o, ok3 := back.Lookup(orig.O)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("terms of %v missing after round trip", orig)
+		}
+		if back.Count(s, p, o) != 1 {
+			t.Fatalf("triple %v missing after round trip", orig)
+		}
+	})
+	// The loaded store must serve queries (indexes rebuilt lazily).
+	typ, _ := back.Lookup(rdf.NewIRI(rdf.RDFType))
+	if back.Count(Wildcard, typ, Wildcard) != 8 {
+		t.Fatal("loaded store query results differ")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	back := roundTrip(t, New())
+	if back.Len() != 0 || back.NumTerms() != 0 {
+		t.Fatal("empty store round trip should stay empty")
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	st := New()
+	st.AddAll(rdf.MustParseFig1())
+	var buf bytes.Buffer
+	if _, err := st.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"payload flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0xFF
+			return c
+		}},
+		{"checksum flip", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0xFF
+			return c
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"trailing garbage detected via checksum", func(b []byte) []byte {
+			return append(append([]byte(nil), b...), 0xAB, 0xCD)
+		}},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadSnapshot(bytes.NewReader(c.mutate(good))); err == nil {
+				t.Fatal("corrupted snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsNonSnapshot(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("<a> <b> <c> .\n")); err == nil {
+		t.Fatal("N-Triples accepted as snapshot")
+	}
+}
+
+func TestSnapshotLargeStore(t *testing.T) {
+	st := New()
+	ns := "http://big/"
+	for i := 0; i < 5000; i++ {
+		st.Add(rdf.NewTriple(
+			rdf.NewIRI(ns+"s"+string(rune('a'+i%26))+string(rune('a'+(i/26)%26))),
+			rdf.NewIRI(ns+"p"+string(rune('a'+i%7))),
+			rdf.NewLiteral("value with some text "+string(rune('a'+i%26))),
+		))
+	}
+	back := roundTrip(t, st)
+	if back.Len() != st.Len() {
+		t.Fatalf("got %d triples, want %d", back.Len(), st.Len())
+	}
+}

@@ -1,0 +1,308 @@
+// Package store implements an in-memory, dictionary-encoded RDF triple
+// store with SPO/POS/OSP indexes. It plays the role of the "underlying
+// database engine" storage layer in the paper (Jena/Sesame/Oracle single
+// triple table, Sec. II): terms are interned to dense integer IDs, and
+// triple-pattern lookups with any combination of bound positions are served
+// from sorted permutation indexes by binary search.
+//
+// Writes (Add/Intern) are not safe for concurrent use; after the indexes
+// are built (first Match/Count call, or an explicit Build), any number of
+// goroutines may read concurrently as long as no further writes occur.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// ID is a dense dictionary identifier for an interned term. 0 is invalid
+// and doubles as the wildcard in triple patterns.
+type ID uint32
+
+// Wildcard matches any term in a position of Match/Count patterns.
+const Wildcard ID = 0
+
+// IDTriple is a dictionary-encoded triple.
+type IDTriple struct {
+	S, P, O ID
+}
+
+// Store is the triple store. The zero value is not usable; call New.
+type Store struct {
+	mu     sync.RWMutex
+	terms  []rdf.Term      // terms[id-1] is the term for id
+	byTerm map[rdf.Term]ID // interning map
+
+	triples []IDTriple // unique triples, in SPO order after Build
+	spo     []int32    // permutation: triples sorted by (S,P,O) — identity after Build
+	pos     []int32    // permutation: triples sorted by (P,O,S)
+	osp     []int32    // permutation: triples sorted by (O,S,P)
+	dirty   bool
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byTerm: make(map[rdf.Term]ID)}
+}
+
+// Intern returns the ID for term t, assigning a new one if necessary.
+func (s *Store) Intern(t rdf.Term) ID {
+	if id, ok := s.byTerm[t]; ok {
+		return id
+	}
+	s.terms = append(s.terms, t)
+	id := ID(len(s.terms))
+	s.byTerm[t] = id
+	return id
+}
+
+// Lookup returns the ID of t without interning it.
+func (s *Store) Lookup(t rdf.Term) (ID, bool) {
+	id, ok := s.byTerm[t]
+	return id, ok
+}
+
+// Term returns the term for a valid ID. It panics on 0 or out-of-range IDs,
+// which always indicate a programming error.
+func (s *Store) Term(id ID) rdf.Term {
+	if id == 0 || int(id) > len(s.terms) {
+		panic(fmt.Sprintf("store: invalid term ID %d (dictionary size %d)", id, len(s.terms)))
+	}
+	return s.terms[id-1]
+}
+
+// NumTerms returns the dictionary size.
+func (s *Store) NumTerms() int { return len(s.terms) }
+
+// Add interns the triple's terms and appends the triple.
+func (s *Store) Add(t rdf.Triple) IDTriple {
+	it := IDTriple{S: s.Intern(t.S), P: s.Intern(t.P), O: s.Intern(t.O)}
+	s.triples = append(s.triples, it)
+	s.dirty = true
+	return it
+}
+
+// AddAll adds every triple in ts.
+func (s *Store) AddAll(ts []rdf.Triple) {
+	for _, t := range ts {
+		s.Add(t)
+	}
+}
+
+// AddID appends an already-encoded triple. All three IDs must have been
+// produced by Intern on this store.
+func (s *Store) AddID(t IDTriple) {
+	s.triples = append(s.triples, t)
+	s.dirty = true
+}
+
+// Len returns the number of distinct triples (after deduplication).
+func (s *Store) Len() int {
+	s.ensure()
+	return len(s.triples)
+}
+
+// Decode converts an encoded triple back to terms.
+func (s *Store) Decode(t IDTriple) rdf.Triple {
+	return rdf.Triple{S: s.Term(t.S), P: s.Term(t.P), O: s.Term(t.O)}
+}
+
+// Build sorts the permutation indexes and deduplicates triples. It is
+// called implicitly by the first read; calling it explicitly makes the
+// cost visible (e.g. when measuring index build time).
+func (s *Store) Build() {
+	s.ensure()
+}
+
+func (s *Store) ensure() {
+	s.mu.RLock()
+	dirty := s.dirty
+	s.mu.RUnlock()
+	if !dirty {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.dirty {
+		return
+	}
+	s.rebuild()
+	s.dirty = false
+}
+
+func (s *Store) rebuild() {
+	// Sort by SPO and deduplicate in place.
+	sort.Slice(s.triples, func(i, j int) bool { return lessSPO(s.triples[i], s.triples[j]) })
+	uniq := s.triples[:0]
+	var prev IDTriple
+	for i, t := range s.triples {
+		if i > 0 && t == prev {
+			continue
+		}
+		uniq = append(uniq, t)
+		prev = t
+	}
+	s.triples = uniq
+
+	n := len(s.triples)
+	s.spo = make([]int32, n)
+	s.pos = make([]int32, n)
+	s.osp = make([]int32, n)
+	for i := range s.spo {
+		s.spo[i] = int32(i)
+		s.pos[i] = int32(i)
+		s.osp[i] = int32(i)
+	}
+	sort.Slice(s.pos, func(i, j int) bool { return lessPOS(s.triples[s.pos[i]], s.triples[s.pos[j]]) })
+	sort.Slice(s.osp, func(i, j int) bool { return lessOSP(s.triples[s.osp[i]], s.triples[s.osp[j]]) })
+}
+
+func lessSPO(a, b IDTriple) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	return a.O < b.O
+}
+
+func lessPOS(a, b IDTriple) bool {
+	if a.P != b.P {
+		return a.P < b.P
+	}
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	return a.S < b.S
+}
+
+func lessOSP(a, b IDTriple) bool {
+	if a.O != b.O {
+		return a.O < b.O
+	}
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.P < b.P
+}
+
+// keyOf projects t onto the component order of the given index.
+func keySPO(t IDTriple) [3]ID { return [3]ID{t.S, t.P, t.O} }
+func keyPOS(t IDTriple) [3]ID { return [3]ID{t.P, t.O, t.S} }
+func keyOSP(t IDTriple) [3]ID { return [3]ID{t.O, t.S, t.P} }
+
+// Iterator walks the triples matched by a pattern. It is positioned before
+// the first result; call Next until it returns false.
+type Iterator struct {
+	st     *Store
+	perm   []int32
+	lo, hi int
+	cur    IDTriple
+}
+
+// Next advances to the next matching triple.
+func (it *Iterator) Next() bool {
+	if it.lo >= it.hi {
+		return false
+	}
+	it.cur = it.st.triples[it.perm[it.lo]]
+	it.lo++
+	return true
+}
+
+// Triple returns the triple at the current position.
+func (it *Iterator) Triple() IDTriple { return it.cur }
+
+// Match returns an iterator over all triples matching the pattern; each
+// position is either a concrete ID or Wildcard. The most selective
+// available index is chosen:
+//
+//	S bound           → SPO
+//	P bound (S free)  → POS
+//	O bound only      → OSP
+//	S+O bound, P free → OSP range on (O,S) with no extra filtering needed
+func (s *Store) Match(sp, pp, op ID) *Iterator {
+	s.ensure()
+	perm, keyFn, pfx := s.plan(sp, pp, op)
+	lo, hi := s.searchRange(perm, keyFn, pfx)
+	return &Iterator{st: s, perm: perm, lo: lo, hi: hi}
+}
+
+// plan selects the permutation index, its key projection, and the bound
+// key prefix for a pattern.
+func (s *Store) plan(sp, pp, op ID) ([]int32, func(IDTriple) [3]ID, []ID) {
+	switch {
+	case sp != Wildcard && pp != Wildcard && op != Wildcard:
+		return s.spo, keySPO, []ID{sp, pp, op}
+	case sp != Wildcard && pp != Wildcard:
+		return s.spo, keySPO, []ID{sp, pp}
+	case sp != Wildcard && op != Wildcard:
+		return s.osp, keyOSP, []ID{op, sp}
+	case sp != Wildcard:
+		return s.spo, keySPO, []ID{sp}
+	case pp != Wildcard && op != Wildcard:
+		return s.pos, keyPOS, []ID{pp, op}
+	case pp != Wildcard:
+		return s.pos, keyPOS, []ID{pp}
+	case op != Wildcard:
+		return s.osp, keyOSP, []ID{op}
+	default:
+		return s.spo, keySPO, nil
+	}
+}
+
+// searchRange finds [lo,hi) of entries in perm whose key starts with pfx.
+func (s *Store) searchRange(perm []int32, keyFn func(IDTriple) [3]ID, pfx []ID) (int, int) {
+	if len(pfx) == 0 {
+		return 0, len(perm)
+	}
+	lo := sort.Search(len(perm), func(i int) bool {
+		return cmpPrefix(keyFn(s.triples[perm[i]]), pfx) >= 0
+	})
+	hi := sort.Search(len(perm), func(i int) bool {
+		return cmpPrefix(keyFn(s.triples[perm[i]]), pfx) > 0
+	})
+	return lo, hi
+}
+
+// cmpPrefix compares the first len(pfx) components of key to pfx.
+func cmpPrefix(key [3]ID, pfx []ID) int {
+	for i, p := range pfx {
+		if key[i] != p {
+			if key[i] < p {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Count returns the exact number of triples matching the pattern in
+// O(log n): every bound-position combination maps to a contiguous range of
+// one of the three permutation indexes.
+func (s *Store) Count(sp, pp, op ID) int {
+	s.ensure()
+	perm, keyFn, pfx := s.plan(sp, pp, op)
+	lo, hi := s.searchRange(perm, keyFn, pfx)
+	return hi - lo
+}
+
+// ForEach invokes f for every distinct triple in SPO order.
+func (s *Store) ForEach(f func(IDTriple)) {
+	s.ensure()
+	for _, t := range s.triples {
+		f(t)
+	}
+}
+
+// Triples returns the deduplicated triples in SPO order. The returned
+// slice is owned by the store and must not be modified.
+func (s *Store) Triples() []IDTriple {
+	s.ensure()
+	return s.triples
+}

@@ -1,0 +1,249 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://x/" + s) }
+
+func buildExample(t *testing.T) *Store {
+	t.Helper()
+	st := New()
+	st.AddAll(rdf.MustParseFig1())
+	return st
+}
+
+func TestInternIsIdempotent(t *testing.T) {
+	st := New()
+	a := st.Intern(iri("a"))
+	b := st.Intern(iri("b"))
+	if a == b {
+		t.Fatal("distinct terms share an ID")
+	}
+	if st.Intern(iri("a")) != a {
+		t.Fatal("re-interning changed the ID")
+	}
+	if got := st.Term(a); got != iri("a") {
+		t.Fatalf("Term(%d) = %v, want %v", a, got, iri("a"))
+	}
+	if _, ok := st.Lookup(iri("missing")); ok {
+		t.Fatal("Lookup of unknown term should fail")
+	}
+	if st.NumTerms() != 2 {
+		t.Fatalf("NumTerms = %d, want 2", st.NumTerms())
+	}
+}
+
+func TestTermPanicsOnInvalidID(t *testing.T) {
+	st := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Term(0) should panic")
+		}
+	}()
+	st.Term(0)
+}
+
+func TestAddDeduplicates(t *testing.T) {
+	st := New()
+	tr := rdf.NewTriple(iri("s"), iri("p"), iri("o"))
+	st.Add(tr)
+	st.Add(tr)
+	st.Add(tr)
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after duplicate adds", st.Len())
+	}
+}
+
+func TestMatchAllPatternShapes(t *testing.T) {
+	st := buildExample(t)
+	s, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "pub1"))
+	p, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "author"))
+	o, _ := st.Lookup(rdf.NewIRI(rdf.ExampleNS + "re1"))
+	typ, _ := st.Lookup(rdf.NewIRI(rdf.RDFType))
+
+	cases := []struct {
+		name    string
+		s, p, o ID
+		want    int
+	}{
+		{"fully bound", s, p, o, 1},
+		{"s+p", s, p, Wildcard, 2}, // pub1 has two authors
+		{"s+o", s, Wildcard, o, 1},
+		{"s only", s, Wildcard, Wildcard, 5},   // type, author×2, year, hasProject
+		{"p+o", p, Wildcard, Wildcard, 2},      // placeholder, fixed below
+		{"p only", Wildcard, typ, Wildcard, 8}, // 8 typed entities in Fig. 1
+		{"o only", Wildcard, Wildcard, o, 2},   // pub1 author re1, re1 is also subject of type... no: object only
+		{"unbound", Wildcard, Wildcard, Wildcard, st.Len()},
+	}
+	// fix the p+o case properly: author edges to re1
+	cases[4] = struct {
+		name    string
+		s, p, o ID
+		want    int
+	}{"p+o", Wildcard, p, o, 1}
+	// o-only: triples with object re1: pub1-author-re1 only.
+	cases[6].want = 1
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			n := 0
+			it := st.Match(c.s, c.p, c.o)
+			for it.Next() {
+				tr := it.Triple()
+				if c.s != Wildcard && tr.S != c.s {
+					t.Errorf("S mismatch: %+v", tr)
+				}
+				if c.p != Wildcard && tr.P != c.p {
+					t.Errorf("P mismatch: %+v", tr)
+				}
+				if c.o != Wildcard && tr.O != c.o {
+					t.Errorf("O mismatch: %+v", tr)
+				}
+				n++
+			}
+			if n != c.want {
+				t.Errorf("matched %d triples, want %d", n, c.want)
+			}
+			if cnt := st.Count(c.s, c.p, c.o); cnt != c.want {
+				t.Errorf("Count = %d, want %d", cnt, c.want)
+			}
+		})
+	}
+}
+
+func TestMatchEmptyStore(t *testing.T) {
+	st := New()
+	it := st.Match(Wildcard, Wildcard, Wildcard)
+	if it.Next() {
+		t.Fatal("empty store should match nothing")
+	}
+	if st.Count(1, 2, 3) != 0 {
+		t.Fatal("Count on empty store should be 0")
+	}
+}
+
+func TestAddAfterBuildRebuilds(t *testing.T) {
+	st := New()
+	st.Add(rdf.NewTriple(iri("a"), iri("p"), iri("b")))
+	if st.Len() != 1 {
+		t.Fatal("first build wrong")
+	}
+	st.Add(rdf.NewTriple(iri("a"), iri("p"), iri("c")))
+	if st.Len() != 2 {
+		t.Fatal("store did not rebuild after post-build add")
+	}
+	p, _ := st.Lookup(iri("p"))
+	if st.Count(Wildcard, p, Wildcard) != 2 {
+		t.Fatal("index stale after rebuild")
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	st := New()
+	tr := rdf.NewTriple(iri("s"), iri("p"), rdf.NewLiteral("v"))
+	enc := st.Add(tr)
+	if st.Decode(enc) != tr {
+		t.Fatalf("Decode(%+v) != original", enc)
+	}
+}
+
+// TestMatchAgainstNaive cross-checks index lookups against a linear scan
+// on randomly generated triple sets, over all 8 pattern shapes.
+func TestMatchAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		st := New()
+		var all []IDTriple
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			tr := rdf.NewTriple(
+				iri(string(rune('a'+rng.Intn(8)))),
+				iri("p"+string(rune('0'+rng.Intn(4)))),
+				iri(string(rune('n'+rng.Intn(8)))),
+			)
+			st.Add(tr)
+		}
+		seen := map[IDTriple]bool{}
+		st.ForEach(func(tr IDTriple) {
+			if seen[tr] {
+				t.Fatal("duplicate triple after dedup")
+			}
+			seen[tr] = true
+			all = append(all, tr)
+		})
+		// Probe random patterns.
+		for probe := 0; probe < 50; probe++ {
+			var pat IDTriple
+			if len(all) > 0 {
+				pat = all[rng.Intn(len(all))]
+			}
+			sp, pp, op := pat.S, pat.P, pat.O
+			if rng.Intn(2) == 0 {
+				sp = Wildcard
+			}
+			if rng.Intn(2) == 0 {
+				pp = Wildcard
+			}
+			if rng.Intn(2) == 0 {
+				op = Wildcard
+			}
+			want := 0
+			for _, tr := range all {
+				if (sp == Wildcard || tr.S == sp) && (pp == Wildcard || tr.P == pp) && (op == Wildcard || tr.O == op) {
+					want++
+				}
+			}
+			got := 0
+			it := st.Match(sp, pp, op)
+			for it.Next() {
+				got++
+			}
+			if got != want {
+				t.Fatalf("pattern (%d,%d,%d): got %d, want %d", sp, pp, op, got, want)
+			}
+			if c := st.Count(sp, pp, op); c != want {
+				t.Fatalf("Count(%d,%d,%d) = %d, want %d", sp, pp, op, c, want)
+			}
+		}
+	}
+}
+
+// TestInternLookupProperty: Intern then Lookup returns the same ID, and
+// Term inverts Intern.
+func TestInternLookupProperty(t *testing.T) {
+	st := New()
+	f := func(v string, kind uint8) bool {
+		var tm rdf.Term
+		switch kind % 3 {
+		case 0:
+			tm = rdf.NewIRI("http://x/" + v)
+		case 1:
+			tm = rdf.NewLiteral(v)
+		default:
+			tm = rdf.NewBlank("b" + v)
+		}
+		id := st.Intern(tm)
+		id2, ok := st.Lookup(tm)
+		return ok && id == id2 && st.Term(id) == tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriplesSortedSPO(t *testing.T) {
+	st := buildExample(t)
+	ts := st.Triples()
+	for i := 1; i < len(ts); i++ {
+		if !lessSPO(ts[i-1], ts[i]) && ts[i-1] != ts[i] {
+			if lessSPO(ts[i], ts[i-1]) {
+				t.Fatalf("triples not in SPO order at %d", i)
+			}
+		}
+	}
+}

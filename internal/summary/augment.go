@@ -1,0 +1,225 @@
+package summary
+
+import "repro/internal/store"
+
+// MatchKind says which category of graph element a keyword was mapped to
+// by the keyword index (Sec. IV-A: keywords may refer to C-vertices,
+// V-vertices, or edges — E-vertices are deliberately not indexed).
+type MatchKind uint8
+
+const (
+	// MatchClass maps a keyword to a class (C-vertex).
+	MatchClass MatchKind = iota
+	// MatchValue maps a keyword to an attribute value (V-vertex); the
+	// keyword index supplies the data structure
+	// [V-vertex, A-edge, (C-vertex1..n)] of Sec. IV-A.
+	MatchValue
+	// MatchAttrEdge maps a keyword to an attribute predicate (A-edge);
+	// the index supplies [A-edge, (C-vertex1..n)].
+	MatchAttrEdge
+	// MatchRelEdge maps a keyword to a relation predicate (R-edge).
+	MatchRelEdge
+)
+
+// Match is one keyword-to-element mapping result, the unit the augmented
+// summary graph is built from (Definition 5).
+type Match struct {
+	Kind MatchKind
+	// Score is the matching score sm(n) ∈ (0,1] of Sec. V.
+	Score float64
+	// Value is the literal's dictionary ID (MatchValue only).
+	Value store.ID
+	// Pred is the predicate ID (MatchValue: the A-edge to the value;
+	// MatchAttrEdge/MatchRelEdge: the matched predicate itself).
+	Pred store.ID
+	// Class is the class ID (MatchClass only).
+	Class store.ID
+	// Classes are the classes of the entities owning the matched value or
+	// attribute (MatchValue/MatchAttrEdge); empty means untyped → Thing.
+	Classes []store.ID
+}
+
+// Augmented is the query-time summary graph G'_K of Definition 5: the base
+// graph plus value vertices and attribute edges for keyword matches, plus
+// per-element matching scores. It is cheap to construct (the base graph is
+// shared, not copied) and discarded after query computation.
+type Augmented struct {
+	Base *Graph
+
+	extra     []Element           // augmentation elements; ID = base count + index
+	extraNbrs [][]ElemID          // adjacency of extra elements
+	bonusNbrs map[ElemID][]ElemID // additional neighbors of base elements
+	scores    map[ElemID]float64  // sm(n) for keyword-matching elements
+
+	// seeds[i] holds the keyword elements K_i for keyword i.
+	seeds [][]ElemID
+}
+
+// Augment builds the augmented summary graph for one query: perKeyword
+// holds, for each query keyword, the element matches produced by the
+// keyword index. The per-keyword seed sets K_i preserve input order.
+func (sg *Graph) Augment(perKeyword [][]Match) *Augmented {
+	ag := &Augmented{
+		Base:      sg,
+		bonusNbrs: make(map[ElemID][]ElemID),
+		scores:    make(map[ElemID]float64),
+		seeds:     make([][]ElemID, len(perKeyword)),
+	}
+	// Dedup maps for augmentation elements.
+	valueVerts := map[store.ID]ElemID{} // literal ID → value vertex
+	artificial := map[store.ID]ElemID{} // A-edge predicate → artificial value vertex
+	type aeKey struct {
+		pred  store.ID
+		class ElemID
+		value ElemID
+	}
+	attrEdges := map[aeKey]ElemID{}
+
+	addAttrEdge := func(pred store.ID, class, value ElemID) ElemID {
+		k := aeKey{pred, class, value}
+		if e, ok := attrEdges[k]; ok {
+			return e
+		}
+		e := ag.addExtra(Element{Kind: AttrEdge, Term: pred, From: class, To: value, Agg: 1})
+		attrEdges[k] = e
+		ag.connect(e, class)
+		ag.connect(e, value)
+		return e
+	}
+
+	for i, matches := range perKeyword {
+		for _, m := range matches {
+			switch m.Kind {
+			case MatchClass:
+				if el, ok := sg.ClassElem(m.Class); ok {
+					ag.addSeed(i, el, m.Score)
+				}
+			case MatchRelEdge:
+				for _, el := range sg.RelEdgesWithPredicate(m.Pred) {
+					ag.addSeed(i, el, m.Score)
+				}
+			case MatchValue:
+				v, ok := valueVerts[m.Value]
+				if !ok {
+					v = ag.addExtra(Element{Kind: ValueVertex, Term: m.Value, From: NoElem, To: NoElem, Agg: 1})
+					valueVerts[m.Value] = v
+				}
+				for _, c := range ag.classElems(m.Classes) {
+					addAttrEdge(m.Pred, c, v)
+				}
+				ag.addSeed(i, v, m.Score)
+			case MatchAttrEdge:
+				v, ok := artificial[m.Pred]
+				if !ok {
+					v = ag.addExtra(Element{Kind: ValueVertex, Term: 0, From: NoElem, To: NoElem, Agg: 1})
+					artificial[m.Pred] = v
+				}
+				for _, c := range ag.classElems(m.Classes) {
+					e := addAttrEdge(m.Pred, c, v)
+					ag.addSeed(i, e, m.Score)
+				}
+			}
+		}
+	}
+	return ag
+}
+
+// classElems resolves class terms to vertex elements, defaulting to Thing.
+func (ag *Augmented) classElems(classes []store.ID) []ElemID {
+	if len(classes) == 0 {
+		return []ElemID{ag.Base.Thing()}
+	}
+	var out []ElemID
+	for _, c := range classes {
+		if el, ok := ag.Base.ClassElem(c); ok {
+			out = append(out, el)
+		}
+	}
+	if len(out) == 0 {
+		return []ElemID{ag.Base.Thing()}
+	}
+	return out
+}
+
+func (ag *Augmented) addExtra(el Element) ElemID {
+	id := ElemID(len(ag.Base.elems) + len(ag.extra))
+	ag.extra = append(ag.extra, el)
+	ag.extraNbrs = append(ag.extraNbrs, nil)
+	return id
+}
+
+// connect adds an undirected adjacency between an extra element and any
+// element (base or extra).
+func (ag *Augmented) connect(extra, other ElemID) {
+	ag.extraNbrs[ag.extraIdx(extra)] = append(ag.extraNbrs[ag.extraIdx(extra)], other)
+	if ag.isExtra(other) {
+		ag.extraNbrs[ag.extraIdx(other)] = append(ag.extraNbrs[ag.extraIdx(other)], extra)
+	} else {
+		ag.bonusNbrs[other] = append(ag.bonusNbrs[other], extra)
+	}
+}
+
+func (ag *Augmented) isExtra(id ElemID) bool { return int(id) >= len(ag.Base.elems) }
+func (ag *Augmented) extraIdx(id ElemID) int { return int(id) - len(ag.Base.elems) }
+
+// addSeed records element el as a keyword element for keyword i with
+// matching score sm. If the element matched before with a lower score,
+// the higher score wins.
+func (ag *Augmented) addSeed(i int, el ElemID, sm float64) {
+	for _, s := range ag.seeds[i] {
+		if s == el {
+			if sm > ag.scores[el] {
+				ag.scores[el] = sm
+			}
+			return
+		}
+	}
+	ag.seeds[i] = append(ag.seeds[i], el)
+	if sm > ag.scores[el] {
+		ag.scores[el] = sm
+	}
+}
+
+// NumElements returns the element count of the augmented graph (base plus
+// augmentation).
+func (ag *Augmented) NumElements() int { return len(ag.Base.elems) + len(ag.extra) }
+
+// Element returns any element by ID (base or augmentation).
+func (ag *Augmented) Element(id ElemID) Element {
+	if ag.isExtra(id) {
+		return ag.extra[ag.extraIdx(id)]
+	}
+	return ag.Base.elems[id]
+}
+
+// Neighbors returns the adjacency of id in the augmented graph.
+// The returned slice must not be modified.
+func (ag *Augmented) Neighbors(id ElemID) []ElemID {
+	if ag.isExtra(id) {
+		return ag.extraNbrs[ag.extraIdx(id)]
+	}
+	base := ag.Base.nbrs[id]
+	bonus := ag.bonusNbrs[id]
+	if len(bonus) == 0 {
+		return base
+	}
+	out := make([]ElemID, 0, len(base)+len(bonus))
+	out = append(out, base...)
+	out = append(out, bonus...)
+	return out
+}
+
+// Seeds returns the per-keyword element sets K_1..K_m.
+func (ag *Augmented) Seeds() [][]ElemID { return ag.seeds }
+
+// MatchScore returns sm(n): the matching score for keyword elements and
+// 1 for all other elements (Sec. V).
+func (ag *Augmented) MatchScore(id ElemID) float64 {
+	if s, ok := ag.scores[id]; ok && s > 0 {
+		return s
+	}
+	return 1
+}
+
+// Label renders an element's label (delegates to the base graph).
+func (ag *Augmented) Label(id ElemID) string { return ag.Base.Label(ag.Element(id)) }

@@ -1,0 +1,280 @@
+// Package summary implements the paper's graph index: the summary graph of
+// Definition 4 (a class-level aggregation of the data graph) and its
+// query-time augmentation with keyword-matching elements of Definition 5.
+//
+// The summary graph is an *element* graph: both vertices and edges are
+// addressable elements, because keywords may map to edges (Sec. IV-A) and
+// the exploration of Algorithm 1 traverses elements, not just vertices.
+// The neighbors of a vertex element are its incident edge elements (in
+// both directions — forward search is as important as backward search,
+// Sec. VI-A); the neighbors of an edge element are its two endpoints.
+package summary
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// ElemID addresses an element of a (possibly augmented) summary graph.
+// IDs are dense: base-graph elements first, augmentation elements after.
+type ElemID int32
+
+// NoElem is the invalid element ID.
+const NoElem ElemID = -1
+
+// ElemKind discriminates summary-graph elements.
+type ElemKind uint8
+
+const (
+	// ClassVertex aggregates all entities of one class ([[v']], Def. 4);
+	// Term is the class's dictionary ID, or 0 for the synthetic Thing.
+	ClassVertex ElemKind = iota
+	// ValueVertex is an augmentation vertex for a keyword-matching
+	// V-vertex (Term = literal ID) or the artificial "value" node of
+	// Def. 5 (Term = 0).
+	ValueVertex
+	// RelEdge aggregates data R-edges with one predicate between two
+	// classes; Term is the predicate ID.
+	RelEdge
+	// AttrEdge is an augmentation edge from a class to a ValueVertex;
+	// Term is the attribute predicate ID.
+	AttrEdge
+	// SubclassEdge connects a class to its superclass.
+	SubclassEdge
+)
+
+// String names the element kind.
+func (k ElemKind) String() string {
+	switch k {
+	case ClassVertex:
+		return "class"
+	case ValueVertex:
+		return "value"
+	case RelEdge:
+		return "rel-edge"
+	case AttrEdge:
+		return "attr-edge"
+	case SubclassEdge:
+		return "subclass-edge"
+	default:
+		return fmt.Sprintf("ElemKind(%d)", uint8(k))
+	}
+}
+
+// IsVertex reports whether the kind is a vertex kind.
+func (k ElemKind) IsVertex() bool { return k == ClassVertex || k == ValueVertex }
+
+// Element is one summary-graph element.
+type Element struct {
+	Kind ElemKind
+	// Term is the dictionary ID behind the element: class ID, literal ID,
+	// or predicate ID depending on Kind. 0 means Thing (ClassVertex) or
+	// the artificial value node (ValueVertex).
+	Term store.ID
+	// From and To are the endpoints of edge elements (NoElem for vertices).
+	From, To ElemID
+	// Agg is the aggregation count: |vagg| for class vertices (number of
+	// entities in the class) and |eagg| for relation edges (number of
+	// data R-edges collapsed into this summary edge). 1 for augmentation
+	// elements and subclass edges.
+	Agg int
+}
+
+// Graph is the base summary graph built off-line from a data graph. It is
+// immutable after Build; query-time state lives in Augmented.
+type Graph struct {
+	data     *graph.Graph
+	elems    []Element
+	nbrs     [][]ElemID
+	classOf  map[store.ID]ElemID // class term → vertex element
+	thing    ElemID              // the Thing vertex
+	relEdges map[store.ID][]ElemID
+
+	// Totals of the underlying data graph used by the popularity cost
+	// (Sec. V): entityTotal = |V| interpreted as the number of E-vertices,
+	// redgeTotal = |E| as the number of data R-edges. The paper's wording
+	// ("vertices in the summary graph") would allow |vagg| > |V|, driving
+	// costs negative; interpreting the totals over the data graph keeps
+	// c(n) ∈ (0,1], which the monotonicity of Theorem 1 requires.
+	entityTotal int
+	redgeTotal  int
+}
+
+// Build derives the summary graph of Definition 4 from a data graph:
+// one vertex per class plus Thing, one relation edge per
+// (predicate, source class, target class) combination present in the
+// data, and subclass edges between class vertices.
+func Build(g *graph.Graph) *Graph {
+	sg := &Graph{
+		data:     g,
+		classOf:  make(map[store.ID]ElemID),
+		relEdges: make(map[store.ID][]ElemID),
+	}
+
+	// Vertices: all C-vertices plus Thing.
+	g.ForEachVertex(func(id store.ID, kind graph.VertexKind) {
+		if kind == graph.CVertex {
+			sg.classOf[id] = sg.addElement(Element{Kind: ClassVertex, Term: id, From: NoElem, To: NoElem})
+		}
+	})
+	sg.thing = sg.addElement(Element{Kind: ClassVertex, Term: 0, From: NoElem, To: NoElem})
+
+	// Aggregate entities into classes ([[v']]) and count |vagg|.
+	st := g.Store()
+	g.ForEachVertex(func(id store.ID, kind graph.VertexKind) {
+		if kind != graph.EVertex {
+			return
+		}
+		sg.entityTotal++
+		for _, c := range sg.classesOrThing(id) {
+			sg.elems[c].Agg++
+		}
+	})
+
+	// Aggregate R-edges and subclass edges.
+	type edgeKey struct {
+		p        store.ID
+		from, to ElemID
+	}
+	edgeAt := make(map[edgeKey]ElemID)
+	st.ForEach(func(t store.IDTriple) {
+		switch {
+		case g.TypeID() != 0 && t.P == g.TypeID():
+			return
+		case g.SubclassID() != 0 && t.P == g.SubclassID():
+			from, okF := sg.classOf[t.S]
+			to, okT := sg.classOf[t.O]
+			if !okF || !okT {
+				return
+			}
+			k := edgeKey{t.P, from, to}
+			if _, dup := edgeAt[k]; !dup {
+				edgeAt[k] = sg.addElement(Element{Kind: SubclassEdge, Term: t.P, From: from, To: to, Agg: 1})
+			}
+		default:
+			if g.Kind(t.O) != graph.EVertex || g.Kind(t.S) != graph.EVertex {
+				return // A-edges and irregular edges are not part of Def. 4
+			}
+			sg.redgeTotal++
+			for _, from := range sg.classesOrThing(t.S) {
+				for _, to := range sg.classesOrThing(t.O) {
+					k := edgeKey{t.P, from, to}
+					if e, dup := edgeAt[k]; dup {
+						sg.elems[e].Agg++
+					} else {
+						e = sg.addElement(Element{Kind: RelEdge, Term: t.P, From: from, To: to, Agg: 1})
+						edgeAt[k] = e
+						sg.relEdges[t.P] = append(sg.relEdges[t.P], e)
+					}
+				}
+			}
+		}
+	})
+
+	// Adjacency: vertex ↔ incident edges, edge ↔ endpoints.
+	sg.nbrs = make([][]ElemID, len(sg.elems))
+	for id, el := range sg.elems {
+		if el.Kind.IsVertex() {
+			continue
+		}
+		e := ElemID(id)
+		sg.nbrs[e] = appendUnique(sg.nbrs[e], el.From)
+		sg.nbrs[e] = appendUnique(sg.nbrs[e], el.To)
+		sg.nbrs[el.From] = append(sg.nbrs[el.From], e)
+		if el.To != el.From {
+			sg.nbrs[el.To] = append(sg.nbrs[el.To], e)
+		}
+	}
+	return sg
+}
+
+// classesOrThing maps an entity to its class vertex elements, or to the
+// Thing vertex when untyped.
+func (sg *Graph) classesOrThing(e store.ID) []ElemID {
+	cs := sg.data.Classes(e)
+	if len(cs) == 0 {
+		return []ElemID{sg.thing}
+	}
+	out := make([]ElemID, 0, len(cs))
+	for _, c := range cs {
+		if el, ok := sg.classOf[c]; ok {
+			out = append(out, el)
+		}
+	}
+	if len(out) == 0 {
+		return []ElemID{sg.thing}
+	}
+	return out
+}
+
+func (sg *Graph) addElement(el Element) ElemID {
+	sg.elems = append(sg.elems, el)
+	return ElemID(len(sg.elems) - 1)
+}
+
+func appendUnique(s []ElemID, v ElemID) []ElemID {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Data returns the underlying data graph.
+func (sg *Graph) Data() *graph.Graph { return sg.data }
+
+// NumElements returns the number of base elements.
+func (sg *Graph) NumElements() int { return len(sg.elems) }
+
+// NumVertices returns the number of base vertex elements.
+func (sg *Graph) NumVertices() int {
+	n := 0
+	for _, el := range sg.elems {
+		if el.Kind.IsVertex() {
+			n++
+		}
+	}
+	return n
+}
+
+// Element returns a base element by ID.
+func (sg *Graph) Element(id ElemID) Element { return sg.elems[id] }
+
+// Neighbors returns the base adjacency of id.
+func (sg *Graph) Neighbors(id ElemID) []ElemID { return sg.nbrs[id] }
+
+// ClassElem returns the vertex element of a class term (ok=false if the
+// term is not a class in this graph).
+func (sg *Graph) ClassElem(c store.ID) (ElemID, bool) {
+	el, ok := sg.classOf[c]
+	return el, ok
+}
+
+// Thing returns the synthetic Thing vertex element.
+func (sg *Graph) Thing() ElemID { return sg.thing }
+
+// RelEdgesWithPredicate returns all relation-edge elements labelled p.
+func (sg *Graph) RelEdgesWithPredicate(p store.ID) []ElemID { return sg.relEdges[p] }
+
+// EntityTotal returns |V| of the popularity cost: the number of E-vertices
+// in the data graph.
+func (sg *Graph) EntityTotal() int { return sg.entityTotal }
+
+// RelEdgeTotal returns |E| of the popularity cost: the number of R-edges
+// in the data graph.
+func (sg *Graph) RelEdgeTotal() int { return sg.redgeTotal }
+
+// Label renders an element's human-readable label (class name, predicate
+// name, literal value, "Thing" or "value" for synthetic nodes).
+func (sg *Graph) Label(el Element) string {
+	if el.Term == 0 {
+		if el.Kind == ClassVertex {
+			return "Thing"
+		}
+		return "value"
+	}
+	return sg.data.Label(el.Term)
+}

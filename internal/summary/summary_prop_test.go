@@ -1,0 +1,139 @@
+package summary
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// randomDataGraph builds a random typed RDF graph for property tests.
+func randomDataGraph(rng *rand.Rand) *graph.Graph {
+	st := store.New()
+	ns := "http://prop/"
+	nClasses := 2 + rng.Intn(5)
+	nEnts := 5 + rng.Intn(30)
+	nPreds := 1 + rng.Intn(4)
+	ents := make([]rdf.Term, nEnts)
+	for i := range ents {
+		ents[i] = rdf.NewIRI(ns + "e" + itoa(i))
+		// Some entities stay untyped; some get multiple classes.
+		for c := 0; c < rng.Intn(3); c++ {
+			st.Add(rdf.NewTriple(ents[i], rdf.NewIRI(rdf.RDFType),
+				rdf.NewIRI(ns+"C"+itoa(rng.Intn(nClasses)))))
+		}
+	}
+	for i := 0; i < nEnts*2; i++ {
+		a, b := rng.Intn(nEnts), rng.Intn(nEnts)
+		st.Add(rdf.NewTriple(ents[a], rdf.NewIRI(ns+"p"+itoa(rng.Intn(nPreds))), ents[b]))
+	}
+	// Attributes.
+	for i := 0; i < nEnts; i++ {
+		if rng.Intn(2) == 0 {
+			st.Add(rdf.NewTriple(ents[i], rdf.NewIRI(ns+"name"),
+				rdf.NewLiteral("label "+itoa(i))))
+		}
+	}
+	return graph.Build(st)
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// TestSummaryInvariantsOnRandomGraphs checks Definition 4 invariants over
+// random graphs: adjacency symmetry, vertex/edge alternation, aggregate
+// accounting, and path soundness for every data R-edge.
+func TestSummaryInvariantsOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for round := 0; round < 25; round++ {
+		g := randomDataGraph(rng)
+		sg := Build(g)
+
+		// 1. Aggregates: class vertex counts sum to Σ|classes(e)| with
+		// untyped entities counted once under Thing.
+		wantAgg := 0
+		g.ForEachVertex(func(id store.ID, kind graph.VertexKind) {
+			if kind != graph.EVertex {
+				return
+			}
+			if n := len(g.Classes(id)); n == 0 {
+				wantAgg++
+			} else {
+				wantAgg += n
+			}
+		})
+		gotAgg := 0
+		for i := 0; i < sg.NumElements(); i++ {
+			el := sg.Element(ElemID(i))
+			if el.Kind == ClassVertex {
+				gotAgg += el.Agg
+			}
+		}
+		if gotAgg != wantAgg {
+			t.Fatalf("round %d: class aggregates %d, want %d", round, gotAgg, wantAgg)
+		}
+
+		// 2. Edge aggregates: rel-edge Agg sums to Σ over data R-edges of
+		// |classes(s)|·|classes(o)| (Thing counting as one class).
+		wantEdgeAgg := 0
+		st := g.Store()
+		st.ForEach(func(tr store.IDTriple) {
+			if g.TypeID() != 0 && tr.P == g.TypeID() {
+				return
+			}
+			if g.Kind(tr.S) != graph.EVertex || g.Kind(tr.O) != graph.EVertex {
+				return
+			}
+			cs, co := len(g.Classes(tr.S)), len(g.Classes(tr.O))
+			if cs == 0 {
+				cs = 1
+			}
+			if co == 0 {
+				co = 1
+			}
+			wantEdgeAgg += cs * co
+		})
+		gotEdgeAgg := 0
+		for i := 0; i < sg.NumElements(); i++ {
+			el := sg.Element(ElemID(i))
+			if el.Kind == RelEdge {
+				gotEdgeAgg += el.Agg
+			}
+		}
+		if gotEdgeAgg != wantEdgeAgg {
+			t.Fatalf("round %d: edge aggregates %d, want %d", round, gotEdgeAgg, wantEdgeAgg)
+		}
+
+		// 3. Structural invariants.
+		for i := 0; i < sg.NumElements(); i++ {
+			id := ElemID(i)
+			el := sg.Element(id)
+			for _, nb := range sg.Neighbors(id) {
+				nbEl := sg.Element(nb)
+				if el.Kind.IsVertex() == nbEl.Kind.IsVertex() {
+					t.Fatalf("round %d: adjacency does not alternate vertex/edge", round)
+				}
+				back := false
+				for _, nb2 := range sg.Neighbors(nb) {
+					if nb2 == id {
+						back = true
+					}
+				}
+				if !back {
+					t.Fatalf("round %d: asymmetric adjacency", round)
+				}
+			}
+			if !el.Kind.IsVertex() {
+				if el.From == NoElem || el.To == NoElem {
+					t.Fatalf("round %d: edge with missing endpoint", round)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package summary
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func buildFig1(t *testing.T) (*Graph, *store.Store) {
+	t.Helper()
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	return Build(graph.Build(st)), st
+}
+
+func ex(local string) rdf.Term { return rdf.NewIRI(rdf.ExampleNS + local) }
+
+func elemByClass(t *testing.T, sg *Graph, st *store.Store, local string) ElemID {
+	t.Helper()
+	id, ok := st.Lookup(ex(local))
+	if !ok {
+		t.Fatalf("class %s not interned", local)
+	}
+	el, ok := sg.ClassElem(id)
+	if !ok {
+		t.Fatalf("class %s has no summary vertex", local)
+	}
+	return el
+}
+
+func TestSummaryVertices(t *testing.T) {
+	sg, st := buildFig1(t)
+	// 7 classes + Thing.
+	if sg.NumVertices() != 8 {
+		t.Fatalf("NumVertices = %d, want 8", sg.NumVertices())
+	}
+	pub := elemByClass(t, sg, st, "Publication")
+	if sg.Element(pub).Agg != 2 { // pub1, pub2
+		t.Errorf("|vagg| of Publication = %d, want 2", sg.Element(pub).Agg)
+	}
+	res := elemByClass(t, sg, st, "Researcher")
+	if sg.Element(res).Agg != 2 { // re1, re2
+		t.Errorf("|vagg| of Researcher = %d, want 2", sg.Element(res).Agg)
+	}
+	if sg.Element(sg.Thing()).Agg != 0 {
+		t.Errorf("Thing should aggregate no entities in Fig. 1, got %d", sg.Element(sg.Thing()).Agg)
+	}
+	if sg.EntityTotal() != 8 {
+		t.Errorf("EntityTotal = %d, want 8", sg.EntityTotal())
+	}
+}
+
+func TestSummaryRelEdges(t *testing.T) {
+	sg, st := buildFig1(t)
+	author, _ := st.Lookup(ex("author"))
+	edges := sg.RelEdgesWithPredicate(author)
+	// Both author edges go Publication → Researcher, so one summary edge.
+	if len(edges) != 1 {
+		t.Fatalf("author summary edges = %d, want 1", len(edges))
+	}
+	e := sg.Element(edges[0])
+	if e.Agg != 2 {
+		t.Errorf("|eagg| of author edge = %d, want 2", e.Agg)
+	}
+	if sg.Element(e.From).Term == 0 || sg.Label(sg.Element(e.From)) != "Publication" {
+		t.Errorf("author edge From = %q, want Publication", sg.Label(sg.Element(e.From)))
+	}
+	if sg.Label(sg.Element(e.To)) != "Researcher" {
+		t.Errorf("author edge To = %q, want Researcher", sg.Label(sg.Element(e.To)))
+	}
+	if sg.RelEdgeTotal() != 5 {
+		t.Errorf("RelEdgeTotal = %d, want 5", sg.RelEdgeTotal())
+	}
+}
+
+func TestSummarySubclassEdges(t *testing.T) {
+	sg, st := buildFig1(t)
+	n := 0
+	for i := 0; i < sg.NumElements(); i++ {
+		if sg.Element(ElemID(i)).Kind == SubclassEdge {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Fatalf("subclass edges = %d, want 4", n)
+	}
+	// Researcher --subclass--> Person must exist and be adjacent to both.
+	res := elemByClass(t, sg, st, "Researcher")
+	per := elemByClass(t, sg, st, "Person")
+	found := false
+	for _, nb := range sg.Neighbors(res) {
+		el := sg.Element(nb)
+		if el.Kind == SubclassEdge && el.From == res && el.To == per {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Researcher↦Person subclass edge not adjacent to Researcher")
+	}
+}
+
+// Every data-graph R-edge path must have an image in the summary graph
+// (the paper: "for every path in the data graph, there is at least one
+// path in the summary graph").
+func TestSummaryPathSoundness(t *testing.T) {
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	g := graph.Build(st)
+	sg := Build(g)
+	st.ForEach(func(tr store.IDTriple) {
+		if g.TypeID() != 0 && tr.P == g.TypeID() {
+			return
+		}
+		if g.SubclassID() != 0 && tr.P == g.SubclassID() {
+			return
+		}
+		if g.Kind(tr.S) != graph.EVertex || g.Kind(tr.O) != graph.EVertex {
+			return
+		}
+		// There must be a summary edge with this predicate connecting a
+		// class of S to a class of O.
+		found := false
+		for _, e := range sg.RelEdgesWithPredicate(tr.P) {
+			el := sg.Element(e)
+			if classHas(g, sg, el.From, tr.S) && classHas(g, sg, el.To, tr.O) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("R-edge %v has no summary image", st.Decode(tr))
+		}
+	})
+}
+
+func classHas(g *graph.Graph, sg *Graph, classElem ElemID, entity store.ID) bool {
+	term := sg.Element(classElem).Term
+	if term == 0 {
+		return len(g.Classes(entity)) == 0
+	}
+	for _, c := range g.Classes(entity) {
+		if c == term {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUntypedEntitiesAggregateToThing(t *testing.T) {
+	st := store.New()
+	st.AddAll(rdf.MustParseFig1())
+	st.Add(rdf.NewTriple(ex("ghost1"), ex("knows"), ex("ghost2")))
+	sg := Build(graph.Build(st))
+	if sg.Element(sg.Thing()).Agg != 2 {
+		t.Fatalf("Thing |vagg| = %d, want 2", sg.Element(sg.Thing()).Agg)
+	}
+	knows, _ := sg.Data().Store().Lookup(ex("knows"))
+	edges := sg.RelEdgesWithPredicate(knows)
+	if len(edges) != 1 {
+		t.Fatalf("knows edges = %d, want 1", len(edges))
+	}
+	e := sg.Element(edges[0])
+	if e.From != sg.Thing() || e.To != sg.Thing() {
+		t.Error("knows edge should loop on Thing")
+	}
+	// Loop adjacency: the edge must list Thing once, Thing must list the edge once.
+	cnt := 0
+	for _, nb := range sg.Neighbors(edges[0]) {
+		if nb == sg.Thing() {
+			cnt++
+		}
+	}
+	if cnt != 1 {
+		t.Errorf("loop edge lists Thing %d times, want 1", cnt)
+	}
+}
+
+func TestAdjacencyIsSymmetric(t *testing.T) {
+	sg, _ := buildFig1(t)
+	for i := 0; i < sg.NumElements(); i++ {
+		id := ElemID(i)
+		for _, nb := range sg.Neighbors(id) {
+			back := false
+			for _, nb2 := range sg.Neighbors(nb) {
+				if nb2 == id {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("adjacency not symmetric: %d → %d", id, nb)
+			}
+		}
+	}
+}
+
+func TestVertexNeighborsAreEdges(t *testing.T) {
+	sg, _ := buildFig1(t)
+	for i := 0; i < sg.NumElements(); i++ {
+		el := sg.Element(ElemID(i))
+		for _, nb := range sg.Neighbors(ElemID(i)) {
+			nbEl := sg.Element(nb)
+			if el.Kind.IsVertex() && nbEl.Kind.IsVertex() {
+				t.Fatalf("vertex %d adjacent to vertex %d", i, nb)
+			}
+			if !el.Kind.IsVertex() && !nbEl.Kind.IsVertex() {
+				t.Fatalf("edge %d adjacent to edge %d", i, nb)
+			}
+		}
+	}
+}
+
+func TestAugmentValueMatch(t *testing.T) {
+	sg, st := buildFig1(t)
+	name, _ := st.Lookup(ex("name"))
+	aifb, _ := st.Lookup(rdf.NewLiteral("AIFB"))
+	instID, _ := st.Lookup(ex("Institute"))
+
+	ag := sg.Augment([][]Match{{
+		{Kind: MatchValue, Score: 0.9, Value: aifb, Pred: name, Classes: []store.ID{instID}},
+	}})
+	if len(ag.Seeds()) != 1 || len(ag.Seeds()[0]) != 1 {
+		t.Fatalf("seeds: %+v", ag.Seeds())
+	}
+	seed := ag.Seeds()[0][0]
+	if el := ag.Element(seed); el.Kind != ValueVertex || el.Term != aifb {
+		t.Fatalf("seed element wrong: %+v", el)
+	}
+	if ag.MatchScore(seed) != 0.9 {
+		t.Errorf("MatchScore = %v, want 0.9", ag.MatchScore(seed))
+	}
+	// The value vertex must be reachable from the Institute class via a
+	// fresh attribute edge.
+	inst := elemByClass(t, sg, st, "Institute")
+	var attr ElemID = NoElem
+	for _, nb := range ag.Neighbors(inst) {
+		if ag.Element(nb).Kind == AttrEdge && ag.Element(nb).Term == name {
+			attr = nb
+		}
+	}
+	if attr == NoElem {
+		t.Fatal("attribute edge not attached to Institute")
+	}
+	found := false
+	for _, nb := range ag.Neighbors(attr) {
+		if nb == seed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("attribute edge not connected to value vertex")
+	}
+}
+
+func TestAugmentAttrEdgeMatch(t *testing.T) {
+	sg, st := buildFig1(t)
+	year, _ := st.Lookup(ex("year"))
+	pubID, _ := st.Lookup(ex("Publication"))
+	ag := sg.Augment([][]Match{{
+		{Kind: MatchAttrEdge, Score: 1, Pred: year, Classes: []store.ID{pubID}},
+	}})
+	seeds := ag.Seeds()[0]
+	if len(seeds) != 1 {
+		t.Fatalf("seeds = %v, want one attr-edge", seeds)
+	}
+	el := ag.Element(seeds[0])
+	if el.Kind != AttrEdge || el.Term != year {
+		t.Fatalf("seed should be the year attr-edge: %+v", el)
+	}
+	// Its To must be an artificial value node (Term 0).
+	if v := ag.Element(el.To); v.Kind != ValueVertex || v.Term != 0 {
+		t.Fatalf("attr edge target should be artificial value node: %+v", v)
+	}
+}
+
+func TestAugmentClassAndRelEdgeMatch(t *testing.T) {
+	sg, st := buildFig1(t)
+	pubID, _ := st.Lookup(ex("Publication"))
+	author, _ := st.Lookup(ex("author"))
+	ag := sg.Augment([][]Match{
+		{{Kind: MatchClass, Score: 1, Class: pubID}},
+		{{Kind: MatchRelEdge, Score: 0.8, Pred: author}},
+	})
+	if len(ag.Seeds()[0]) != 1 {
+		t.Fatalf("class seeds: %v", ag.Seeds()[0])
+	}
+	if got := ag.Element(ag.Seeds()[0][0]).Kind; got != ClassVertex {
+		t.Fatalf("class seed kind = %v", got)
+	}
+	if len(ag.Seeds()[1]) != 1 {
+		t.Fatalf("rel-edge seeds: %v", ag.Seeds()[1])
+	}
+	if got := ag.Element(ag.Seeds()[1][0]).Kind; got != RelEdge {
+		t.Fatalf("rel seed kind = %v", got)
+	}
+}
+
+func TestAugmentDeduplicatesSharedValueVertex(t *testing.T) {
+	sg, st := buildFig1(t)
+	name, _ := st.Lookup(ex("name"))
+	aifb, _ := st.Lookup(rdf.NewLiteral("AIFB"))
+	instID, _ := st.Lookup(ex("Institute"))
+	m := Match{Kind: MatchValue, Score: 0.5, Value: aifb, Pred: name, Classes: []store.ID{instID}}
+	// The same literal matched by two keywords must reuse one value vertex.
+	ag := sg.Augment([][]Match{{m}, {m}})
+	if ag.NumElements() != sg.NumElements()+2 { // 1 value vertex + 1 attr edge
+		t.Fatalf("extra elements = %d, want 2", ag.NumElements()-sg.NumElements())
+	}
+	if ag.Seeds()[0][0] != ag.Seeds()[1][0] {
+		t.Error("shared literal should map both keywords to the same element")
+	}
+}
+
+func TestAugmentScoreKeepsMax(t *testing.T) {
+	sg, st := buildFig1(t)
+	pubID, _ := st.Lookup(ex("Publication"))
+	ag := sg.Augment([][]Match{{
+		{Kind: MatchClass, Score: 0.4, Class: pubID},
+		{Kind: MatchClass, Score: 0.7, Class: pubID},
+	}})
+	if len(ag.Seeds()[0]) != 1 {
+		t.Fatalf("duplicate seeds not merged: %v", ag.Seeds()[0])
+	}
+	if got := ag.MatchScore(ag.Seeds()[0][0]); got != 0.7 {
+		t.Fatalf("MatchScore = %v, want max 0.7", got)
+	}
+}
+
+func TestAugmentUnknownClassFallsBackToThing(t *testing.T) {
+	sg, st := buildFig1(t)
+	name, _ := st.Lookup(ex("name"))
+	aifb, _ := st.Lookup(rdf.NewLiteral("AIFB"))
+	ag := sg.Augment([][]Match{{
+		{Kind: MatchValue, Score: 1, Value: aifb, Pred: name, Classes: nil},
+	}})
+	seed := ag.Seeds()[0][0]
+	// The attr edge must hang off Thing.
+	attr := ag.Neighbors(seed)[0]
+	if ag.Element(attr).From != sg.Thing() {
+		t.Fatal("untyped value match should attach to Thing")
+	}
+}

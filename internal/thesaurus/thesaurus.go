@@ -1,0 +1,234 @@
+// Package thesaurus is the repository's stand-in for WordNet [20]: it maps
+// a word to semantically related words (synonyms, hypernyms, hyponyms)
+// with a relatedness score in (0,1). The keyword index uses it to return
+// graph elements whose labels are semantically similar to a query keyword
+// (Sec. IV-A), so the user "does not need to know the labels of the data
+// elements".
+//
+// Substitution note (see DESIGN.md): the full WordNet database is not
+// available offline; the embedded tables cover the vocabulary of the three
+// evaluation datasets (DBLP-, LUBM-, and TAP-shaped) plus common academic
+// terms. The lookup semantics — word → scored related words, with distinct
+// relations for synonymy and hyper/hyponymy — match what the paper needs
+// from WordNet, and callers can extend instances with their own entries.
+package thesaurus
+
+import "strings"
+
+// Relation classifies how a related word connects to the query word.
+type Relation uint8
+
+const (
+	// Synonym: same meaning (same synset).
+	Synonym Relation = iota
+	// Hypernym: more general concept.
+	Hypernym
+	// Hyponym: more specific concept.
+	Hyponym
+)
+
+// String names the relation.
+func (r Relation) String() string {
+	switch r {
+	case Synonym:
+		return "synonym"
+	case Hypernym:
+		return "hypernym"
+	default:
+		return "hyponym"
+	}
+}
+
+// Default relatedness scores per relation; synonyms are closest.
+const (
+	SynonymScore  = 0.90
+	HypernymScore = 0.75
+	HyponymScore  = 0.70
+)
+
+// Entry is one related word.
+type Entry struct {
+	Term  string
+	Rel   Relation
+	Score float64
+}
+
+// Thesaurus holds synonym sets and a hypernym hierarchy. The zero value
+// is unusable; construct with New or Default.
+type Thesaurus struct {
+	syn   map[string][]string // word → other members of its synsets
+	hyper map[string][]string // word → parents
+	hypo  map[string][]string // word → children
+}
+
+// New returns an empty thesaurus.
+func New() *Thesaurus {
+	return &Thesaurus{
+		syn:   make(map[string][]string),
+		hyper: make(map[string][]string),
+		hypo:  make(map[string][]string),
+	}
+}
+
+// AddSynset records that all words share one meaning; every member
+// becomes a synonym of every other member.
+func (t *Thesaurus) AddSynset(words ...string) {
+	for i, w := range words {
+		w = strings.ToLower(w)
+		for j, v := range words {
+			if i == j {
+				continue
+			}
+			t.syn[w] = appendUniq(t.syn[w], strings.ToLower(v))
+		}
+	}
+}
+
+// AddHypernym records that parent is a more general concept than child.
+func (t *Thesaurus) AddHypernym(child, parent string) {
+	child, parent = strings.ToLower(child), strings.ToLower(parent)
+	t.hyper[child] = appendUniq(t.hyper[child], parent)
+	t.hypo[parent] = appendUniq(t.hypo[parent], child)
+}
+
+func appendUniq(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Lookup returns all words related to the (case-insensitive) query word,
+// synonyms first.
+func (t *Thesaurus) Lookup(word string) []Entry {
+	w := strings.ToLower(word)
+	var out []Entry
+	for _, s := range t.syn[w] {
+		out = append(out, Entry{Term: s, Rel: Synonym, Score: SynonymScore})
+	}
+	for _, s := range t.hyper[w] {
+		out = append(out, Entry{Term: s, Rel: Hypernym, Score: HypernymScore})
+	}
+	for _, s := range t.hypo[w] {
+		out = append(out, Entry{Term: s, Rel: Hyponym, Score: HyponymScore})
+	}
+	return out
+}
+
+// Default returns a thesaurus preloaded with the embedded vocabulary.
+func Default() *Thesaurus {
+	t := New()
+	for _, set := range defaultSynsets {
+		t.AddSynset(set...)
+	}
+	for _, p := range defaultHypernyms {
+		t.AddHypernym(p[0], p[1])
+	}
+	return t
+}
+
+// defaultSynsets covers the labels of the evaluation datasets (Sec. VII:
+// DBLP, LUBM, TAP) and general academic vocabulary.
+var defaultSynsets = [][]string{
+	// Academic / DBLP-shaped vocabulary.
+	{"publication", "paper", "article"},
+	{"author", "writer", "creator"},
+	{"researcher", "scientist", "scholar"},
+	{"institute", "institution"},
+	{"organization", "organisation"},
+	{"journal", "periodical"},
+	{"conference", "meeting", "symposium"},
+	{"proceedings", "transactions"},
+	{"cites", "references", "quotes"},
+	{"title", "name", "label"},
+	{"year", "date"},
+	{"topic", "subject", "theme"},
+	{"keyword", "term"},
+	{"venue", "forum"},
+	{"editor", "redactor"},
+	{"abstract", "summary"},
+	// LUBM-shaped vocabulary.
+	{"university", "college"},
+	{"professor", "prof"},
+	{"teacher", "instructor", "educator"},
+	{"student", "pupil"},
+	{"course", "class", "lecture"},
+	{"department", "division"},
+	{"advisor", "adviser", "mentor", "supervisor"},
+	{"degree", "diploma"},
+	{"research", "investigation", "inquiry"},
+	{"group", "team"},
+	{"works", "employed"},
+	{"teaches", "instructs"},
+	{"takes", "attends", "enrolled"},
+	{"member", "affiliate"},
+	{"head", "chief", "leader", "chair"},
+	{"assistant", "aide", "helper"},
+	{"graduate", "postgraduate"},
+	{"undergraduate", "bachelor"},
+	{"faculty", "staff"},
+	{"email", "mail"},
+	{"telephone", "phone"},
+	// TAP-shaped vocabulary (broad ontology).
+	{"sport", "athletics"},
+	{"music", "melody"},
+	{"movie", "film", "picture"},
+	{"city", "town", "municipality"},
+	{"country", "nation", "state"},
+	{"company", "firm", "corporation", "business"},
+	{"player", "competitor", "contestant"},
+	{"athlete", "sportsperson"},
+	{"musician", "artist", "performer"},
+	{"album", "record"},
+	{"song", "track", "tune"},
+	{"book", "volume"},
+	{"mountain", "peak"},
+	{"river", "stream"},
+	{"team", "squad", "club"},
+	{"game", "match", "contest"},
+	{"actor", "performer"},
+	{"genre", "category", "kind"},
+	{"capital", "metropolis"},
+	{"population", "inhabitants"},
+	{"location", "place", "site"},
+	{"person", "individual", "human"},
+}
+
+// defaultHypernyms encodes {child, parent} pairs.
+var defaultHypernyms = [][2]string{
+	{"professor", "faculty"},
+	{"lecturer", "faculty"},
+	{"faculty", "employee"},
+	{"employee", "person"},
+	{"student", "person"},
+	{"researcher", "person"},
+	{"author", "person"},
+	{"musician", "artist"},
+	{"artist", "person"},
+	{"athlete", "person"},
+	{"actor", "person"},
+	{"university", "organization"},
+	{"institute", "organization"},
+	{"company", "organization"},
+	{"department", "organization"},
+	{"journal", "publication"},
+	{"article", "publication"},
+	{"book", "publication"},
+	{"proceedings", "publication"},
+	{"thesis", "publication"},
+	{"city", "location"},
+	{"country", "location"},
+	{"mountain", "location"},
+	{"river", "location"},
+	{"basketball", "sport"},
+	{"football", "sport"},
+	{"baseball", "sport"},
+	{"tennis", "sport"},
+	{"jazz", "music"},
+	{"rock", "music"},
+	{"opera", "music"},
+	{"course", "activity"},
+	{"research", "activity"},
+}

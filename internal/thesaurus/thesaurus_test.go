@@ -1,0 +1,128 @@
+package thesaurus
+
+import "testing"
+
+func TestSynsetSymmetry(t *testing.T) {
+	th := New()
+	th.AddSynset("publication", "paper", "article")
+	check := func(w, syn string) {
+		t.Helper()
+		for _, e := range th.Lookup(w) {
+			if e.Term == syn && e.Rel == Synonym {
+				return
+			}
+		}
+		t.Errorf("Lookup(%q) missing synonym %q", w, syn)
+	}
+	check("publication", "paper")
+	check("paper", "publication")
+	check("paper", "article")
+	check("article", "paper")
+}
+
+func TestSelfNotSynonym(t *testing.T) {
+	th := New()
+	th.AddSynset("a", "b")
+	for _, e := range th.Lookup("a") {
+		if e.Term == "a" {
+			t.Fatal("word should not be its own synonym")
+		}
+	}
+}
+
+func TestHypernymDirection(t *testing.T) {
+	th := New()
+	th.AddHypernym("professor", "faculty")
+	gotHyper := false
+	for _, e := range th.Lookup("professor") {
+		if e.Term == "faculty" && e.Rel == Hypernym {
+			gotHyper = true
+		}
+	}
+	if !gotHyper {
+		t.Error("professor should have hypernym faculty")
+	}
+	gotHypo := false
+	for _, e := range th.Lookup("faculty") {
+		if e.Term == "professor" && e.Rel == Hyponym {
+			gotHypo = true
+		}
+	}
+	if !gotHypo {
+		t.Error("faculty should have hyponym professor")
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	th := New()
+	th.AddSynset("Publication", "Paper")
+	if len(th.Lookup("PUBLICATION")) == 0 {
+		t.Error("lookup should be case-insensitive")
+	}
+}
+
+func TestScoresOrdered(t *testing.T) {
+	if !(SynonymScore > HypernymScore && HypernymScore > HyponymScore) {
+		t.Fatal("relation scores must be ordered synonym > hypernym > hyponym")
+	}
+	th := Default()
+	for _, e := range th.Lookup("professor") {
+		var want float64
+		switch e.Rel {
+		case Synonym:
+			want = SynonymScore
+		case Hypernym:
+			want = HypernymScore
+		default:
+			want = HyponymScore
+		}
+		if e.Score != want {
+			t.Errorf("entry %+v has score %v, want %v", e, e.Score, want)
+		}
+	}
+}
+
+func TestDefaultCoversEvaluationVocabulary(t *testing.T) {
+	th := Default()
+	// Keywords the paper's running example and workloads rely on.
+	mustHave := map[string]string{
+		"paper":      "publication", // synonym → matches Publication class
+		"college":    "university",
+		"prof":       "professor",
+		"scientist":  "researcher",
+		"film":       "movie",
+		"firm":       "company",
+		"supervisor": "advisor",
+	}
+	for q, want := range mustHave {
+		found := false
+		for _, e := range th.Lookup(q) {
+			if e.Term == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Default().Lookup(%q) missing %q", q, want)
+		}
+	}
+}
+
+func TestDuplicateEntriesCollapse(t *testing.T) {
+	th := New()
+	th.AddSynset("a", "b")
+	th.AddSynset("a", "b")
+	if n := len(th.Lookup("a")); n != 1 {
+		t.Fatalf("duplicate synset produced %d entries, want 1", n)
+	}
+	th.AddHypernym("x", "y")
+	th.AddHypernym("x", "y")
+	if n := len(th.Lookup("x")); n != 1 {
+		t.Fatalf("duplicate hypernym produced %d entries, want 1", n)
+	}
+}
+
+func TestLookupUnknownWordEmpty(t *testing.T) {
+	if got := Default().Lookup("zzzznonexistent"); len(got) != 0 {
+		t.Fatalf("unknown word returned %v", got)
+	}
+}

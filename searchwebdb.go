@@ -1,0 +1,58 @@
+// Package repro is a from-scratch Go implementation of
+//
+//	Tran, Wang, Rudolph, Cimiano:
+//	"Top-k Exploration of Query Candidates for Efficient Keyword Search
+//	 on Graph-Shaped (RDF) Data", ICDE 2009
+//
+// — the SearchWebDB system. Instead of computing answers directly,
+// keyword queries are translated into the top-k conjunctive queries whose
+// matching subgraphs connect the keywords on a summary of the data graph;
+// a chosen query is then processed by the built-in database engine.
+//
+// Quickstart:
+//
+//	e := repro.New(repro.Config{})
+//	e.AddTriples(triples)
+//	cands, _, err := e.Search([]string{"2006", "cimiano", "aifb"})
+//	answers, err := e.Execute(cands[0])
+//
+// See examples/ for runnable programs and DESIGN.md for the system
+// inventory. The heavy lifting lives in internal/: package core holds the
+// paper's primary contribution (Algorithms 1 and 2), and the surrounding
+// packages implement every substrate the paper depends on (RDF parsing
+// and storage, the summary graph, the IR keyword index, the conjunctive
+// query engine, and the BANKS/bidirectional/BLINKS baselines used by the
+// evaluation).
+package repro
+
+import (
+	"repro/internal/engine"
+	"repro/internal/scoring"
+)
+
+// Config tunes the engine; see the field documentation in
+// internal/engine. The zero value gives the paper's defaults (C3 scoring,
+// k = 10, dmax = 12).
+type Config = engine.Config
+
+// Engine is the keyword-search engine facade.
+type Engine = engine.Engine
+
+// QueryCandidate is one computed top-k query.
+type QueryCandidate = engine.QueryCandidate
+
+// SearchInfo reports diagnostics about one search.
+type SearchInfo = engine.SearchInfo
+
+// UnmatchedKeywordsError is returned when keywords match no element.
+type UnmatchedKeywordsError = engine.UnmatchedKeywordsError
+
+// Scoring schemes (Sec. V of the paper).
+const (
+	ScoringPathLength = scoring.PathLength // C1
+	ScoringPopularity = scoring.Popularity // C2
+	ScoringMatching   = scoring.Matching   // C3
+)
+
+// New creates an empty engine with the given configuration.
+func New(cfg Config) *Engine { return engine.New(cfg) }

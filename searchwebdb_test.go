@@ -1,0 +1,52 @@
+package repro_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	repro "repro"
+	"repro/internal/rdf"
+)
+
+// TestPublicAPI exercises the re-exported facade exactly as the README's
+// quickstart does.
+func TestPublicAPI(t *testing.T) {
+	e := repro.New(repro.Config{K: 5, Scoring: repro.ScoringMatching})
+	if _, err := e.LoadTurtle(strings.NewReader(rdf.Fig1ExampleTurtle)); err != nil {
+		t.Fatal(err)
+	}
+	cands, info, err := e.Search([]string{"2006", "cimiano", "aifb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 || !info.Guaranteed {
+		t.Fatalf("candidates=%d guaranteed=%v", len(cands), info.Guaranteed)
+	}
+	rs, err := e.Execute(cands[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Fatalf("answers = %d, want 1", rs.Len())
+	}
+}
+
+func TestPublicAPIUnmatchedError(t *testing.T) {
+	e := repro.New(repro.Config{})
+	if _, err := e.LoadTurtle(strings.NewReader(rdf.Fig1ExampleTurtle)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := e.Search([]string{"zzzzqqqq"})
+	var ue *repro.UnmatchedKeywordsError
+	if !errors.As(err, &ue) {
+		t.Fatalf("want UnmatchedKeywordsError, got %v", err)
+	}
+}
+
+func TestScoringConstantsDistinct(t *testing.T) {
+	if repro.ScoringPathLength == repro.ScoringPopularity ||
+		repro.ScoringPopularity == repro.ScoringMatching {
+		t.Fatal("scoring constants must be distinct")
+	}
+}
