@@ -1,0 +1,158 @@
+// Command serverd serves keyword search over RDF data as an HTTP/JSON
+// API — the production face of the SearchWebDB reproduction. It loads a
+// dataset (from a file, a snapshot, or the built-in generators), builds
+// the indexes once, seals the engine read-only, and serves concurrent
+// search/execute/explain traffic with a result cache, request deadlines,
+// and Prometheus metrics.
+//
+// Usage:
+//
+//	serverd -data dblp.nt -addr :8080
+//	serverd -gen dblp -scale 2000 -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/search   {"keywords": ["cimiano", "2006"], "k": 5}
+//	POST /v1/execute  {"id": "<candidate id>"} | {"keywords": [...], "rank": 0} | {"query": {...}}
+//	POST /v1/explain  same request shape as /v1/execute
+//	GET  /healthz     liveness and dataset size
+//	GET  /stats       cache, pool, and traffic statistics (JSON)
+//	GET  /metrics     Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	repro "repro"
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+	"repro/internal/scoring"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "RDF input file (N-Triples)")
+	turtle := flag.String("turtle", "", "RDF input file (Turtle)")
+	snapshot := flag.String("snapshot", "", "binary store snapshot (see buildindex)")
+	gen := flag.String("gen", "", "generate a dataset instead: dblp | lubm | tap")
+	scale := flag.Int("scale", 1000, "scale for -gen")
+	k := flag.Int("k", 10, "default number of query candidates")
+	scheme := flag.String("scoring", "c3", "scoring function: c1 | c2 | c3")
+	workers := flag.Int("workers", 0, "max concurrent query computations (default 2×GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 1024, "search-result cache entries")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	flag.Parse()
+
+	cfg := repro.Config{K: *k}
+	switch strings.ToLower(*scheme) {
+	case "c1":
+		cfg.Scoring = scoring.PathLength
+	case "c2":
+		cfg.Scoring = scoring.Popularity
+	case "c3", "":
+		cfg.Scoring = scoring.Matching
+	default:
+		log.Fatalf("unknown scoring %q", *scheme)
+	}
+	eng := repro.New(cfg)
+
+	loadStart := time.Now()
+	switch {
+	case *data != "":
+		f, err := os.Open(*data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := eng.LoadNTriples(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d triples from %s in %v", n, *data, time.Since(loadStart).Round(time.Millisecond))
+	case *turtle != "":
+		f, err := os.Open(*turtle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := eng.LoadTurtle(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d triples from %s in %v", n, *turtle, time.Since(loadStart).Round(time.Millisecond))
+	case *snapshot != "":
+		f, err := os.Open(*snapshot)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := eng.LoadSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d triples from snapshot %s in %v", n, *snapshot, time.Since(loadStart).Round(time.Millisecond))
+	case *gen != "":
+		var triples int
+		emit := func(t rdf.Triple) { eng.AddTriple(t); triples++ }
+		switch *gen {
+		case "dblp":
+			datagen.DBLP(datagen.DBLPConfig{Publications: *scale, Seed: 1}, emit)
+		case "lubm":
+			datagen.LUBM(datagen.LUBMConfig{Universities: *scale, Seed: 1}, emit)
+		case "tap":
+			datagen.TAP(datagen.TAPConfig{InstancesPerClass: *scale, Seed: 1}, emit)
+		default:
+			log.Fatalf("unknown dataset %q (want dblp, lubm, or tap)", *gen)
+		}
+		log.Printf("generated %d %s triples (scale %d) in %v", triples, *gen, *scale, time.Since(loadStart).Round(time.Millisecond))
+	default:
+		fmt.Fprintln(os.Stderr, "serverd: need one of -data, -turtle, -snapshot, or -gen")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	buildStart := time.Now()
+	srv := server.New(eng, server.Config{
+		Workers:         *workers,
+		SearchCacheSize: *cacheSize,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+	}, runtime.GOMAXPROCS(0))
+	log.Printf("indexes built in %v; engine sealed", time.Since(buildStart).Round(time.Millisecond))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		log.Printf("serving on %s", *addr)
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	<-done
+	log.Print("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}

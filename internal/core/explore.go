@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/summary"
 )
 
@@ -75,6 +77,9 @@ const (
 	TopKReached
 	// Aborted: the MaxPops safety valve fired.
 	Aborted
+	// Cancelled: the caller's context was cancelled (deadline or
+	// explicit cancel); the result holds whatever candidates existed.
+	Cancelled
 )
 
 // String names the reason.
@@ -84,10 +89,18 @@ func (r TerminationReason) String() string {
 		return "exhausted"
 	case TopKReached:
 		return "top-k reached"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return "aborted"
 	}
 }
+
+// cancelCheckInterval is how many popped cursors go by between context
+// polls: frequent enough that a deadline cuts exploration off within
+// microseconds of work, rare enough to keep the per-pop overhead at a
+// single counter decrement.
+const cancelCheckInterval = 1024
 
 // Result is the outcome of an exploration.
 type Result struct {
@@ -115,6 +128,15 @@ type elemState struct {
 // If any keyword has no elements, no matching subgraph exists and an empty
 // guaranteed result is returned.
 func Explore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
+	return ExploreContext(context.Background(), ag, cost, opt)
+}
+
+// ExploreContext is Explore under a context: the exploration loop polls
+// ctx every cancelCheckInterval pops and, on cancellation, stops with
+// Terminated = Cancelled, returning the candidates found so far (not
+// guaranteed to be the true top-k). This is what lets a serving layer
+// impose per-request deadlines on slow keyword queries.
+func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 	opt = opt.withDefaults()
 	seeds := ag.Seeds()
 	m := len(seeds)
@@ -135,6 +157,10 @@ func Explore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 	var queue cursorQueue
 	states := make(map[summary.ElemID]*elemState)
 	candidates := newCandidateList(opt.K)
+	if ctx.Err() != nil {
+		res.Stats.Terminated = Cancelled
+		return res
+	}
 	var oracle *DistanceOracle
 	if opt.UseOracle {
 		oracle = NewDistanceOracle(ag, cost, seeds)
@@ -149,11 +175,21 @@ func Explore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 		}
 	}
 
+	cancelCountdown := cancelCheckInterval
 	for queue.Len() > 0 {
 		if res.Stats.CursorsPopped >= opt.MaxPops {
 			res.Stats.Terminated = Aborted
 			res.Subgraphs = candidates.results()
 			return res
+		}
+		cancelCountdown--
+		if cancelCountdown <= 0 {
+			cancelCountdown = cancelCheckInterval
+			if ctx.Err() != nil {
+				res.Stats.Terminated = Cancelled
+				res.Subgraphs = candidates.results()
+				return res
+			}
 		}
 		c := queue.pop() // minCostCursor(LQ)
 		res.Stats.CursorsPopped++

@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/rdf"
+)
+
+// TestParallelSearchExecute hammers one loaded engine with concurrent
+// Search and Execute calls; run under -race it proves the online path is
+// safe for parallel readers.
+func TestParallelSearchExecute(t *testing.T) {
+	e := New(Config{K: 5})
+	datagen.DBLP(datagen.DBLPConfig{Publications: 300, Seed: 1}, func(tr rdf.Triple) {
+		e.AddTriple(tr)
+	})
+	e.Seal()
+	if !e.Sealed() {
+		t.Fatal("engine should report sealed")
+	}
+
+	queries := [][]string{
+		{"publication", "2004"},
+		{"author", "journal"},
+		{"publication", "author"},
+		{"proceedings", "2005"},
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				kws := queries[(g+i)%len(queries)]
+				cands, _, err := e.Search(kws)
+				if err != nil {
+					var unmatched *UnmatchedKeywordsError
+					if errors.As(err, &unmatched) {
+						continue
+					}
+					errs <- err
+					return
+				}
+				if len(cands) == 0 {
+					continue
+				}
+				if _, err := e.ExecuteLimit(cands[0], 10); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSealRejectsWrites verifies the read-only mode: every mutator fails
+// after Seal.
+func TestSealRejectsWrites(t *testing.T) {
+	e := fig1Engine(t)
+	e.Seal()
+	if _, err := e.LoadTurtle(strings.NewReader(rdf.Fig1ExampleTurtle)); !errors.Is(err, ErrSealed) {
+		t.Errorf("LoadTurtle on sealed engine: err = %v, want ErrSealed", err)
+	}
+	if _, err := e.LoadNTriples(strings.NewReader("")); !errors.Is(err, ErrSealed) {
+		t.Errorf("LoadNTriples on sealed engine: err = %v, want ErrSealed", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddTriple on sealed engine should panic")
+			}
+		}()
+		e.AddTriple(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("b"), O: rdf.NewIRI("c")})
+	}()
+	// Reads still work.
+	if _, _, err := e.Search([]string{"cimiano"}); err != nil {
+		t.Errorf("Search on sealed engine: %v", err)
+	}
+}
+
+// TestSearchContextCancelled verifies an already-cancelled context stops
+// the search before exploration.
+func TestSearchContextCancelled(t *testing.T) {
+	e := fig1Engine(t)
+	e.Build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := e.SearchContext(ctx, []string{"2006", "cimiano", "aifb"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestExecuteContextDeadline verifies a tiny deadline cuts execution off
+// with DeadlineExceeded.
+func TestExecuteContextDeadline(t *testing.T) {
+	e := New(Config{K: 3})
+	datagen.DBLP(datagen.DBLPConfig{Publications: 500, Seed: 1}, func(tr rdf.Triple) {
+		e.AddTriple(tr)
+	})
+	e.Build()
+	cands, _, err := e.Search([]string{"publication", "author"})
+	if err != nil || len(cands) == 0 {
+		t.Skipf("no candidates to execute (err=%v)", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // guarantee the deadline has passed
+	_, err = e.ExecuteContext(ctx, cands[0])
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+// TestMutateThenSearchRaces interleaves writers and readers on an
+// unsealed engine: correctness means no data race (under -race) and no
+// panic; results may lag the newest writes.
+func TestMutateThenSearchRaces(t *testing.T) {
+	e := fig1Engine(t)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.AddTriple(rdf.Triple{
+				S: rdf.NewIRI(rdf.ExampleNS + "extra"),
+				P: rdf.NewIRI(rdf.ExampleNS + "tag"),
+				O: rdf.NewLiteral("x" + string(rune('a'+i%26))),
+			})
+			i++
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		if _, _, err := e.Search([]string{"cimiano"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -11,10 +11,13 @@
 package engine
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -76,8 +79,22 @@ func (c Config) withDefaults() Config {
 }
 
 // Engine is the SearchWebDB-style keyword search system.
+//
+// Concurrency: the engine's own operations are safe for concurrent use.
+// Mutating operations (AddTriples, the Load* family) and Build take an
+// exclusive lock; the online operations (Search, Execute, Explain and
+// their context variants) run under a shared lock, so any number of them
+// proceed in parallel once the indexes are built. The raw accessors
+// (Store, Graph, Summary, KeywordIndex) return structures shared with
+// the engine: using them while another goroutine mutates the engine is a
+// data race — on an unsealed engine, synchronize externally. A serving
+// deployment should load data once and call Seal, after which the engine
+// is permanently read-only, readers can never be blocked by a writer,
+// and the accessor caveat is moot.
 type Engine struct {
-	cfg Config
+	mu     sync.RWMutex // guards every field below
+	cfg    Config
+	sealed bool
 
 	st    *store.Store
 	g     *graph.Graph
@@ -86,45 +103,89 @@ type Engine struct {
 	exec  *exec.Engine
 	built bool
 
-	// BuildTime records the duration of the last Build (Fig. 6b).
+	// BuildTime records the duration of the last Build (Fig. 6b). Read it
+	// after Build (or Seal) returns, not concurrently with loading.
 	BuildTime time.Duration
 }
+
+// ErrSealed is returned (or panicked, for mutators without an error
+// return) when data is added to an engine after Seal.
+var ErrSealed = errors.New("engine: sealed (read-only); no further data can be added")
 
 // New creates an empty engine.
 func New(cfg Config) *Engine {
 	return &Engine{cfg: cfg.withDefaults(), st: store.New()}
 }
 
-// Store exposes the underlying triple store.
-func (e *Engine) Store() *store.Store { return e.st }
+// Store exposes the underlying triple store. The returned store is
+// shared, not a snapshot: do not add triples to it directly on a shared
+// engine (use the engine's mutators, which lock), and do not read it
+// concurrently with engine mutation unless the engine is sealed.
+func (e *Engine) Store() *store.Store {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.st
+}
 
 // Graph exposes the classified data graph (nil before Build).
-func (e *Engine) Graph() *graph.Graph { return e.g }
+func (e *Engine) Graph() *graph.Graph {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.g
+}
 
 // Summary exposes the summary graph (nil before Build).
-func (e *Engine) Summary() *summary.Graph { return e.sum }
+func (e *Engine) Summary() *summary.Graph {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sum
+}
 
 // KeywordIndex exposes the keyword index (nil before Build).
-func (e *Engine) KeywordIndex() *keywordindex.Index { return e.kwix }
+func (e *Engine) KeywordIndex() *keywordindex.Index {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.kwix
+}
 
 // Config returns the engine configuration.
-func (e *Engine) Config() Config { return e.cfg }
+func (e *Engine) Config() Config {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.cfg
+}
 
 // AddTriples appends triples; the engine rebuilds its indexes on the next
-// Build or Search.
+// Build or Search. It panics with ErrSealed on a sealed engine.
 func (e *Engine) AddTriples(ts []rdf.Triple) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		panic(ErrSealed)
+	}
 	e.st.AddAll(ts)
 	e.built = false
 }
 
-// AddTriple appends one triple.
+// AddTriple appends one triple. It panics with ErrSealed on a sealed
+// engine.
 func (e *Engine) AddTriple(t rdf.Triple) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		panic(ErrSealed)
+	}
 	e.st.Add(t)
 	e.built = false
 }
 
 // LoadNTriples reads N-Triples data.
 func (e *Engine) LoadNTriples(r io.Reader) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		return 0, ErrSealed
+	}
 	nr := rdf.NewNTriplesReader(r)
 	n := 0
 	for {
@@ -145,6 +206,8 @@ func (e *Engine) LoadNTriples(r io.Reader) (int, error) {
 // the parsed, deduplicated triples with their dictionary. Derived indexes
 // are rebuilt on load, which is far cheaper than re-parsing RDF text.
 func (e *Engine) SaveSnapshot(w io.Writer) (int64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.st.WriteTo(w)
 }
 
@@ -155,6 +218,11 @@ func (e *Engine) LoadSnapshot(r io.Reader) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		return 0, ErrSealed
+	}
 	e.st = st
 	e.built = false
 	return st.Len(), nil
@@ -162,6 +230,11 @@ func (e *Engine) LoadSnapshot(r io.Reader) (int, error) {
 
 // LoadTurtle reads Turtle data.
 func (e *Engine) LoadTurtle(r io.Reader) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sealed {
+		return 0, ErrSealed
+	}
 	p, err := rdf.NewTurtleParser(r)
 	if err != nil {
 		return 0, err
@@ -183,6 +256,12 @@ func (e *Engine) LoadTurtle(r io.Reader) (int, error) {
 // graph classification, summary graph, and keyword index. It is invoked
 // lazily by Search; calling it explicitly makes the cost observable.
 func (e *Engine) Build() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.buildLocked()
+}
+
+func (e *Engine) buildLocked() {
 	if e.built {
 		return
 	}
@@ -198,6 +277,43 @@ func (e *Engine) Build() {
 	e.exec = exec.New(e.st)
 	e.BuildTime = time.Since(start)
 	e.built = true
+}
+
+// Seal builds the indexes and flips the engine into read-only mode: any
+// later attempt to add data fails with ErrSealed. Sealing is what a
+// serving deployment wants — once sealed, the online path never takes the
+// exclusive lock, so no reader is ever blocked by a writer and the
+// data structures are provably immutable for the server's lifetime.
+// Sealing is irreversible.
+func (e *Engine) Seal() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.buildLocked()
+	e.sealed = true
+}
+
+// Sealed reports whether Seal has been called.
+func (e *Engine) Sealed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.sealed
+}
+
+// acquireRead builds the indexes if necessary and returns with the shared
+// lock held and every derived structure consistent with the store. The
+// loop handles the race where a writer slips in between the build and the
+// read-lock acquisition: built can only change under the exclusive lock,
+// so observing built == true under the shared lock proves the indexes are
+// current — and they stay current for as long as the lock is held.
+func (e *Engine) acquireRead() {
+	for {
+		e.mu.RLock()
+		if e.built {
+			return
+		}
+		e.mu.RUnlock()
+		e.Build()
+	}
 }
 
 // QueryCandidate is one computed query: the conjunctive query, its cost,
@@ -240,15 +356,37 @@ func (e *UnmatchedKeywordsError) Error() string {
 // Search runs the full on-line query computation for a keyword query and
 // returns the top-k query candidates in ascending cost order.
 func (e *Engine) Search(keywords []string) ([]*QueryCandidate, *SearchInfo, error) {
-	return e.SearchK(keywords, e.cfg.K)
+	return e.SearchKContext(context.Background(), keywords, 0)
+}
+
+// SearchContext is Search under a context: exploration and execution stop
+// promptly when ctx is cancelled or its deadline passes, returning
+// ctx.Err().
+func (e *Engine) SearchContext(ctx context.Context, keywords []string) ([]*QueryCandidate, *SearchInfo, error) {
+	return e.SearchKContext(ctx, keywords, 0)
 }
 
 // SearchK is Search with a per-call k.
 func (e *Engine) SearchK(keywords []string, k int) ([]*QueryCandidate, *SearchInfo, error) {
+	return e.SearchKContext(context.Background(), keywords, k)
+}
+
+// SearchKContext is Search with a per-call k (k ≤ 0 means the configured
+// default) under a context.
+func (e *Engine) SearchKContext(ctx context.Context, keywords []string, k int) ([]*QueryCandidate, *SearchInfo, error) {
 	if len(keywords) == 0 {
 		return nil, nil, fmt.Errorf("engine: empty keyword query")
 	}
-	e.Build()
+	e.acquireRead()
+	defer e.mu.RUnlock()
+	if k <= 0 {
+		k = e.cfg.K
+	}
+	// The lazy Build above can be long on a first call; don't start the
+	// per-keyword index lookups for a request that has already expired.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	start := time.Now()
 
 	// 1. Keyword-to-element mapping. Filter keywords ("before 2005",
@@ -281,15 +419,23 @@ func (e *Engine) SearchK(keywords []string, k int) ([]*QueryCandidate, *SearchIn
 	if len(unmatched) > 0 {
 		return nil, info, &UnmatchedKeywordsError{Keywords: unmatched}
 	}
+	// Keyword mapping (fuzzy + semantic lookups) is the other potentially
+	// expensive pre-exploration stage; re-check before augmenting.
+	if err := ctx.Err(); err != nil {
+		return nil, info, err
+	}
 
 	// 2. Augmentation of the graph index.
 	ag := e.sum.Augment(matches)
 
 	// 3. Top-k graph exploration.
 	scorer := scoring.New(e.cfg.Scoring, ag)
-	res := core.Explore(ag, scorer.ElementCost, core.Options{K: k, DMax: e.cfg.DMax, UseOracle: e.cfg.UseOracle})
+	res := core.ExploreContext(ctx, ag, scorer.ElementCost, core.Options{K: k, DMax: e.cfg.DMax, UseOracle: e.cfg.UseOracle})
 	info.Exploration = res.Stats
 	info.Guaranteed = res.Guaranteed
+	if res.Stats.Terminated == core.Cancelled {
+		return nil, info, ctx.Err()
+	}
 
 	// 4. Element-to-query mapping, attaching filters to the variables of
 	// the matched attribute edges' artificial value nodes, then
@@ -337,20 +483,32 @@ func (e *Engine) SearchK(keywords []string, k int) ([]*QueryCandidate, *SearchIn
 // Execute evaluates a query candidate on the underlying database engine
 // and returns all its answers.
 func (e *Engine) Execute(c *QueryCandidate) (*exec.ResultSet, error) {
-	e.Build()
-	return e.exec.Execute(c.Query)
+	return e.ExecuteLimitContext(context.Background(), c, 0)
+}
+
+// ExecuteContext is Execute under a context; evaluation stops with
+// ctx.Err() when the context is cancelled.
+func (e *Engine) ExecuteContext(ctx context.Context, c *QueryCandidate) (*exec.ResultSet, error) {
+	return e.ExecuteLimitContext(ctx, c, 0)
 }
 
 // ExecuteLimit evaluates a candidate, stopping at limit distinct answers.
 func (e *Engine) ExecuteLimit(c *QueryCandidate, limit int) (*exec.ResultSet, error) {
-	e.Build()
-	return e.exec.ExecuteLimit(c.Query, limit)
+	return e.ExecuteLimitContext(context.Background(), c, limit)
+}
+
+// ExecuteLimitContext is ExecuteLimit under a context.
+func (e *Engine) ExecuteLimitContext(ctx context.Context, c *QueryCandidate, limit int) (*exec.ResultSet, error) {
+	e.acquireRead()
+	defer e.mu.RUnlock()
+	return e.exec.ExecuteLimitContext(ctx, c.Query, limit)
 }
 
 // Explain returns the database engine's evaluation plan for a candidate
 // without executing it.
 func (e *Engine) Explain(c *QueryCandidate) (*exec.Plan, error) {
-	e.Build()
+	e.acquireRead()
+	defer e.mu.RUnlock()
 	return e.exec.Explain(c.Query)
 }
 
@@ -360,11 +518,17 @@ func (e *Engine) Explain(c *QueryCandidate) (*exec.Plan, error) {
 // answers exist). It returns the answers found and the number of queries
 // processed.
 func (e *Engine) AnswersForTop(cands []*QueryCandidate, minAnswers int) (*exec.ResultSet, int, error) {
-	e.Build()
+	return e.AnswersForTopContext(context.Background(), cands, minAnswers)
+}
+
+// AnswersForTopContext is AnswersForTop under a context.
+func (e *Engine) AnswersForTopContext(ctx context.Context, cands []*QueryCandidate, minAnswers int) (*exec.ResultSet, int, error) {
+	e.acquireRead()
+	defer e.mu.RUnlock()
 	combined := &exec.ResultSet{}
 	processed := 0
 	for _, c := range cands {
-		rs, err := e.exec.ExecuteLimit(c.Query, minAnswers-combined.Len())
+		rs, err := e.exec.ExecuteLimitContext(ctx, c.Query, minAnswers-combined.Len())
 		if err != nil {
 			return combined, processed, err
 		}

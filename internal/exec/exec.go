@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -84,6 +85,11 @@ func (e *Engine) Execute(q *query.ConjunctiveQuery) (*ResultSet, error) {
 	return e.ExecuteLimit(q, 0)
 }
 
+// ExecuteContext evaluates q under a context; see ExecuteLimitContext.
+func (e *Engine) ExecuteContext(ctx context.Context, q *query.ConjunctiveQuery) (*ResultSet, error) {
+	return e.ExecuteLimitContext(ctx, q, 0)
+}
+
 // compile resolves a query's atoms to dictionary-encoded patterns and
 // variable slots. empty reports that some constant is absent from the
 // dictionary, making the query trivially unsatisfiable.
@@ -137,6 +143,21 @@ func (e *Engine) compile(q *query.ConjunctiveQuery) (pats []pattern, slots map[s
 // (limit ≤ 0 means no limit). This is the "process queries until at least
 // 10 answers are found" operation of the Fig. 5 experiment.
 func (e *Engine) ExecuteLimit(q *query.ConjunctiveQuery, limit int) (*ResultSet, error) {
+	return e.ExecuteLimitContext(context.Background(), q, limit)
+}
+
+// ctxCheckInterval is how many join iterations go by between context
+// polls inside the nested-loop walk.
+const ctxCheckInterval = 8192
+
+// ExecuteLimitContext is ExecuteLimit under a context: the join loop
+// polls ctx every ctxCheckInterval iterations and returns ctx.Err() when
+// the context is cancelled or its deadline passes, so a slow query stops
+// burning CPU promptly instead of running to completion.
+func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQuery, limit int) (*ResultSet, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pats, slots, empty, err := e.compile(q)
 	if err != nil {
 		return nil, err
@@ -181,6 +202,8 @@ func (e *Engine) ExecuteLimit(q *query.ConjunctiveQuery, limit int) (*ResultSet,
 	if budget <= 0 {
 		budget = DefaultMaxSteps
 	}
+	ctxCountdown := ctxCheckInterval
+	var ctxErr error
 
 	var walk func(step int) bool // returns false to stop early
 	walk = func(step int) bool {
@@ -230,6 +253,13 @@ func (e *Engine) ExecuteLimit(q *query.ConjunctiveQuery, limit int) (*ResultSet,
 				rs.Truncated = true
 				return false
 			}
+			ctxCountdown--
+			if ctxCountdown <= 0 {
+				ctxCountdown = ctxCheckInterval
+				if ctxErr = ctx.Err(); ctxErr != nil {
+					return false
+				}
+			}
 			t := it.Triple()
 			var newS, newO bool
 			if p.sv >= 0 && !bound[p.sv] {
@@ -267,6 +297,9 @@ func (e *Engine) ExecuteLimit(q *query.ConjunctiveQuery, limit int) (*ResultSet,
 		return true
 	}
 	walk(0)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	return rs, nil
 }
 

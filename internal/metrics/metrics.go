@@ -1,6 +1,9 @@
-// Package metrics implements the effectiveness measures of Sec. VII-A:
-// reciprocal rank (RR = 1/r of the first correct result, 0 if absent) and
-// mean reciprocal rank over a query workload.
+// Package metrics has two halves. This file implements the effectiveness
+// measures of Sec. VII-A: reciprocal rank (RR = 1/r of the first correct
+// result, 0 if absent) and mean reciprocal rank over a query workload.
+// registry.go adds the operational side — atomic counters, gauges, and
+// summaries in a Registry that renders the Prometheus text exposition
+// format for the serving subsystem's /metrics endpoint.
 package metrics
 
 // ReciprocalRank returns 1/(index+1) for the first position where correct

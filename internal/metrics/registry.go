@@ -1,0 +1,295 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the serving-side half of the package: lock-free counters,
+// gauges, and summaries collected into a Registry that renders itself in
+// the Prometheus text exposition format (version 0.0.4). It is
+// deliberately dependency-free — the server must not pull a metrics
+// client library into a reproduction repository — and implements just the
+// subset the /metrics endpoint needs: counter, gauge, and summary
+// (count + sum, no quantiles), plus a single optional label dimension.
+
+// Counter is a monotonically increasing counter, safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative to keep the counter monotone).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Summary accumulates observations as a running count and sum (the
+// Prometheus summary type without quantiles), safe for concurrent use.
+// The sum is stored as float64 bits updated by compare-and-swap.
+type Summary struct {
+	count atomic.Uint64
+	sum   atomic.Uint64 // math.Float64bits
+}
+
+// Observe records one observation.
+func (s *Summary) Observe(v float64) {
+	s.count.Add(1)
+	for {
+		old := s.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 { return s.count.Load() }
+
+// Sum returns the sum of all observations.
+func (s *Summary) Sum() float64 { return math.Float64frombits(s.sum.Load()) }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindSummary
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "summary"
+	}
+}
+
+// family is one registered metric name: either a single unlabeled series
+// or a set of series distinguished by one label.
+type family struct {
+	name  string
+	help  string
+	kind  metricKind
+	label string // label dimension name; empty for unlabeled families
+
+	mu     sync.Mutex
+	series map[string]any // label value ("" for unlabeled) → *Counter etc.
+	order  []string       // label values in first-use order
+}
+
+func (f *family) get(labelValue string, make func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[labelValue]; ok {
+		return m
+	}
+	m := make()
+	f.series[labelValue] = m
+	f.order = append(f.order, labelValue)
+	return m
+}
+
+// Registry is a set of metric families rendered by WritePrometheus.
+// Registration methods panic on a duplicate or malformed name, which is
+// always a programming error caught at startup.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help string, kind metricKind, label string) *family {
+	if name == "" {
+		panic("metrics: empty metric name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric %q", name))
+	}
+	f := &family{name: name, help: help, kind: kind, label: label,
+		series: make(map[string]any)}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter, "")
+	return f.get("", func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge, "")
+	return f.get("", func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Summary registers and returns an unlabeled summary.
+func (r *Registry) Summary(name, help string) *Summary {
+	f := r.register(name, help, kindSummary, "")
+	return f.get("", func() any { return new(Summary) }).(*Summary)
+}
+
+// CounterVec is a counter family with one label dimension.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if label == "" {
+		panic("metrics: CounterVec needs a label name")
+	}
+	return &CounterVec{f: r.register(name, help, kindCounter, label)}
+}
+
+// With returns the counter for one label value, creating it on first use.
+func (v *CounterVec) With(labelValue string) *Counter {
+	return v.f.get(labelValue, func() any { return new(Counter) }).(*Counter)
+}
+
+// SummaryVec is a summary family with one label dimension.
+type SummaryVec struct{ f *family }
+
+// SummaryVec registers a labeled summary family.
+func (r *Registry) SummaryVec(name, help, label string) *SummaryVec {
+	if label == "" {
+		panic("metrics: SummaryVec needs a label name")
+	}
+	return &SummaryVec{f: r.register(name, help, kindSummary, label)}
+}
+
+// With returns the summary for one label value, creating it on first use.
+func (v *SummaryVec) With(labelValue string) *Summary {
+	return v.f.get(labelValue, func() any { return new(Summary) }).(*Summary)
+}
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format, families in registration order, series in first-use
+// order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+
+	for _, f := range families {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		order := make([]string, len(f.order))
+		copy(order, f.order)
+		series := make(map[string]any, len(f.series))
+		for k, v := range f.series {
+			series[k] = v
+		}
+		f.mu.Unlock()
+		for _, lv := range order {
+			suffix := ""
+			if f.label != "" {
+				suffix = fmt.Sprintf("{%s=%q}", f.label, lv)
+			}
+			var err error
+			switch m := series[lv].(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, suffix, m.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, suffix, m.Value())
+			case *Summary:
+				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, suffix, m.Count())
+				if err == nil {
+					_, err = fmt.Fprintf(w, "%s_sum%s %g\n", f.name, suffix, m.Sum())
+				}
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot flattens the registry into a name (plus {label="value"} for
+// labeled series, _count/_sum for summaries) → value map, sorted access
+// left to the caller; handy for JSON status endpoints and tests.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	r.mu.Lock()
+	families := make([]*family, len(r.families))
+	copy(families, r.families)
+	r.mu.Unlock()
+	for _, f := range families {
+		f.mu.Lock()
+		for lv, m := range f.series {
+			suffix := ""
+			if f.label != "" {
+				suffix = fmt.Sprintf("{%s=%q}", f.label, lv)
+			}
+			switch m := m.(type) {
+			case *Counter:
+				out[f.name+suffix] = float64(m.Value())
+			case *Gauge:
+				out[f.name+suffix] = float64(m.Value())
+			case *Summary:
+				out[f.name+"_count"+suffix] = float64(m.Count())
+				out[f.name+"_sum"+suffix] = m.Sum()
+			}
+		}
+		f.mu.Unlock()
+	}
+	return out
+}
+
+// SortedKeys returns the snapshot keys in lexicographic order, for
+// deterministic rendering in tests and tools.
+func SortedKeys(snap map[string]float64) []string {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests.")
+	g := r.Gauge("test_inflight", "In flight.")
+	sm := r.Summary("test_latency_seconds", "Latency.")
+	vec := r.CounterVec("test_by_endpoint_total", "Per endpoint.", "endpoint")
+
+	c.Add(3)
+	g.Set(7)
+	g.Dec()
+	sm.Observe(0.5)
+	sm.Observe(1.5)
+	vec.With("search").Inc()
+	vec.With("execute").Add(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests.",
+		"# TYPE test_requests_total counter",
+		"test_requests_total 3",
+		"# TYPE test_inflight gauge",
+		"test_inflight 6",
+		"# TYPE test_latency_seconds summary",
+		"test_latency_seconds_count 2",
+		"test_latency_seconds_sum 2",
+		`test_by_endpoint_total{endpoint="search"} 1`,
+		`test_by_endpoint_total{endpoint="execute"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(5)
+	r.SummaryVec("lat", "", "ep").With("x").Observe(2)
+	snap := r.Snapshot()
+	if snap["a_total"] != 5 {
+		t.Errorf("a_total = %v", snap["a_total"])
+	}
+	if snap[`lat_count{ep="x"}`] != 1 || snap[`lat_sum{ep="x"}`] != 2 {
+		t.Errorf("summary snapshot = %v", snap)
+	}
+	keys := SortedKeys(snap)
+	if len(keys) != 3 {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	r.Gauge("dup", "")
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	s := r.Summary("s", "")
+	vec := r.CounterVec("v", "", "l")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				s.Observe(1)
+				vec.With("x").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || s.Count() != 8000 || s.Sum() != 8000 || vec.With("x").Value() != 8000 {
+		t.Errorf("c=%d s.count=%d s.sum=%g v=%d, want 8000 each",
+			c.Value(), s.Count(), s.Sum(), vec.With("x").Value())
+	}
+}

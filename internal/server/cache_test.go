@@ -1,0 +1,159 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be present")
+	}
+	c.Put("c", 3) // evicts b (a was refreshed by the Get)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be present", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	// Replacing a key must not grow the cache.
+	c.Put("a", 99)
+	if v, _ := c.Get("a"); v != 99 {
+		t.Errorf("a = %v, want 99", v)
+	}
+	if c.Len() != 2 {
+		t.Errorf("len after replace = %d, want 2", c.Len())
+	}
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	g := newFlightGroup()
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	sharedCount := atomic.Int32{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do(context.Background(), "k", func() (any, error) {
+				calls.Add(1)
+				<-release
+				return "value", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let followers pile up behind the leader, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Errorf("fn ran %d times, want 1", got)
+	}
+	if got := sharedCount.Load(); got != n-1 {
+		t.Errorf("%d callers shared, want %d", got, n-1)
+	}
+	for i, v := range results {
+		if v != "value" {
+			t.Errorf("result %d = %v", i, v)
+		}
+	}
+}
+
+func TestFlightGroupWaiterTimeout(t *testing.T) {
+	g := newFlightGroup()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (any, error) {
+		close(leaderIn)
+		<-release
+		return nil, nil
+	})
+	<-leaderIn
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err, shared := g.Do(ctx, "k", func() (any, error) {
+		t.Error("follower must not run fn")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
+	}
+	if !shared {
+		t.Error("follower should report shared")
+	}
+	close(release)
+}
+
+func TestWorkerPoolBlocksAtCapacity(t *testing.T) {
+	p := newWorkerPool(1)
+	if err := p.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := p.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("second acquire: err = %v, want DeadlineExceeded", err)
+	}
+	p.release()
+	if err := p.acquire(context.Background()); err != nil {
+		t.Errorf("acquire after release: %v", err)
+	}
+	if p.inUse() != 1 || p.capacity() != 1 {
+		t.Errorf("inUse/capacity = %d/%d, want 1/1", p.inUse(), p.capacity())
+	}
+}
+
+func TestFlightGroupLeaderPanicDoesNotPoisonKey(t *testing.T) {
+	g := newFlightGroup()
+	func() {
+		defer func() { recover() }() // the leader's panic propagates; swallow it here
+		g.Do(context.Background(), "k", func() (any, error) { panic("boom") })
+	}()
+	// The key must be free again: a new call runs fn rather than hanging.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, err, _ := g.Do(context.Background(), "k", func() (any, error) { return 42, nil })
+		if err != nil || v != 42 {
+			t.Errorf("after panic: v=%v err=%v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("key still poisoned after leader panic")
+	}
+}
+
+func TestSearchKeyNoSeparatorCollision(t *testing.T) {
+	a := searchKey([]string{"a\x1fb"}, 5)
+	b := searchKey([]string{"a", "b"}, 5)
+	if a == b {
+		t.Fatalf("distinct keyword lists collide: %q", a)
+	}
+	if searchKey([]string{"ab", "c"}, 5) == searchKey([]string{"a", "bc"}, 5) {
+		t.Fatal("length-prefix boundary collision")
+	}
+}

@@ -1,0 +1,697 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/rdf"
+)
+
+// maxBodyBytes bounds request bodies; keyword queries and inline
+// conjunctive queries are tiny, so 1 MiB is generous.
+const maxBodyBytes = 1 << 20
+
+// ---------------------------------------------------------------------------
+// Wire types
+
+type searchRequest struct {
+	Keywords []string `json:"keywords"`
+	// K overrides the number of candidates (≤ 0: server default, capped
+	// at Config.MaxK).
+	K int `json:"k,omitempty"`
+	// TimeoutMS overrides the request deadline (≤ 0: server default,
+	// capped at Config.MaxTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type candidateJSON struct {
+	ID          string  `json:"id"`
+	Rank        int     `json:"rank"`
+	Cost        float64 `json:"cost"`
+	Description string  `json:"description"`
+	SPARQL      string  `json:"sparql"`
+}
+
+type searchResponse struct {
+	QueryID     string          `json:"query_id"`
+	Keywords    []string        `json:"keywords"`
+	K           int             `json:"k"`
+	Candidates  []candidateJSON `json:"candidates"`
+	Unmatched   []string        `json:"unmatched,omitempty"`
+	MatchCounts []int           `json:"match_counts,omitempty"`
+	Guaranteed  bool            `json:"guaranteed"`
+	Cached      bool            `json:"cached"`
+	Shared      bool            `json:"shared,omitempty"`
+	ElapsedMS   float64         `json:"elapsed_ms"`
+}
+
+// candidateRef selects a query to execute or explain: by candidate id
+// from an earlier search, by keywords + rank (re-using the search cache),
+// or as an inline conjunctive query.
+type candidateRef struct {
+	ID       string     `json:"id,omitempty"`
+	Keywords []string   `json:"keywords,omitempty"`
+	K        int        `json:"k,omitempty"`
+	Rank     int        `json:"rank,omitempty"`
+	Query    *queryJSON `json:"query,omitempty"`
+}
+
+type executeRequest struct {
+	candidateRef
+	// Limit caps distinct answers (≤ 0: server default; capped at
+	// Config.MaxLimit).
+	Limit     int `json:"limit,omitempty"`
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+type termJSON struct {
+	Kind     string `json:"kind"` // "iri" | "literal" | "blank"
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"lang,omitempty"`
+}
+
+type executeResponse struct {
+	ID        string       `json:"id,omitempty"`
+	SPARQL    string       `json:"sparql"`
+	Vars      []string     `json:"vars"`
+	Rows      [][]termJSON `json:"rows"`
+	Count     int          `json:"count"`
+	Truncated bool         `json:"truncated"`
+	ElapsedMS float64      `json:"elapsed_ms"`
+}
+
+type planStepJSON struct {
+	Atom       string `json:"atom"`
+	Tier       int    `json:"tier"`
+	EstMatches int    `json:"est_matches"`
+}
+
+type explainResponse struct {
+	ID     string         `json:"id,omitempty"`
+	SPARQL string         `json:"sparql"`
+	Empty  bool           `json:"empty"`
+	Steps  []planStepJSON `json:"steps"`
+	Text   string         `json:"text"`
+}
+
+// queryJSON is an inline conjunctive query. Each argument is exactly one
+// of a variable, an IRI, or a literal.
+type queryJSON struct {
+	Atoms         []atomJSON   `json:"atoms"`
+	Distinguished []string     `json:"distinguished,omitempty"`
+	Filters       []filterJSON `json:"filters,omitempty"`
+}
+
+type atomJSON struct {
+	S argJSON `json:"s"`
+	P argJSON `json:"p"`
+	O argJSON `json:"o"`
+}
+
+type argJSON struct {
+	Var      string  `json:"var,omitempty"`
+	IRI      string  `json:"iri,omitempty"`
+	Literal  *string `json:"literal,omitempty"`
+	Datatype string  `json:"datatype,omitempty"`
+	Lang     string  `json:"lang,omitempty"`
+}
+
+type filterJSON struct {
+	Var   string  `json:"var"`
+	Op    string  `json:"op"`
+	Value float64 `json:"value"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// ---------------------------------------------------------------------------
+// Routing and instrumentation
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.instrument("search", s.handleSearch))
+	mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
+	mux.HandleFunc("POST /v1/explain", s.instrument("explain", s.handleExplain))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	// The catch-all sees every request no more specific pattern took —
+	// including known paths hit with the wrong method, which the mux
+	// would otherwise route here as plain 404s.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/search", "/v1/execute", "/v1/explain":
+			w.Header().Set("Allow", http.MethodPost)
+			writeJSON(w, http.StatusMethodNotAllowed,
+				errorResponse{Error: r.URL.Path + " requires POST", Code: "method_not_allowed"})
+		case "/healthz", "/stats", "/metrics":
+			w.Header().Set("Allow", http.MethodGet)
+			writeJSON(w, http.StatusMethodNotAllowed,
+				errorResponse{Error: r.URL.Path + " requires GET", Code: "method_not_allowed"})
+		default:
+			writeJSON(w, http.StatusNotFound,
+				errorResponse{Error: "no such endpoint: " + r.URL.Path, Code: "not_found"})
+		}
+	})
+	return mux
+}
+
+// statusWriter captures the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mRequests.With(endpoint).Inc()
+		s.mInflight.Inc()
+		defer s.mInflight.Dec()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		r.Body = http.MaxBytesReader(sw, r.Body, maxBodyBytes)
+		h(sw, r)
+		s.mLatency.With(endpoint).Observe(time.Since(start).Seconds())
+		if sw.status >= 400 {
+			s.mErrors.With(endpoint).Inc()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+// requestContext derives the per-request deadline from the optional
+// client override, clamped to [0, MaxTimeout], defaulting to
+// DefaultTimeout.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// isDeadline reports whether err is a context cancellation or deadline.
+func isDeadline(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// writeTimeout answers a request whose work was cut off at the deadline.
+func (s *Server) writeTimeout(w http.ResponseWriter, what string) {
+	s.mTimeouts.Inc()
+	writeJSON(w, http.StatusGatewayTimeout,
+		errorResponse{Error: what + " timed out", Code: "timeout"})
+}
+
+// errNoWorker marks a pool-acquisition failure so handlers can answer
+// 503 (the server never started the work) rather than 504 (the work was
+// cut off). The caller's context error is joined in so doSearch's
+// follower-retry logic still recognizes an inherited deadline.
+var errNoWorker = errors.New("no worker available before the deadline")
+
+// acquireWorker blocks for a pool slot until ctx is done.
+func (s *Server) acquireWorker(ctx context.Context) error {
+	if err := s.pool.acquire(ctx); err != nil {
+		return errors.Join(errNoWorker, err)
+	}
+	return nil
+}
+
+// writeOverloaded answers a request that never got a worker slot.
+func (s *Server) writeOverloaded(w http.ResponseWriter) {
+	s.mRejected.Inc()
+	writeJSON(w, http.StatusServiceUnavailable,
+		errorResponse{Error: errNoWorker.Error(), Code: "overloaded"})
+}
+
+// ---------------------------------------------------------------------------
+// Search
+
+// searchEntry is one cached search: the executable candidates plus the
+// pre-rendered response template (Cached/Shared cleared).
+type searchEntry struct {
+	cands []*engine.QueryCandidate
+	resp  searchResponse
+}
+
+// doSearch runs the cached, deduplicated search pipeline for normalized
+// keywords. Only the singleflight leader — the one caller that actually
+// computes — takes a worker slot; cache hits and followers waiting on an
+// in-flight computation hold none, so a pile-up on one hot query cannot
+// starve unrelated requests of slots. hit and shared report how the
+// result was obtained (cache, another request's in-flight computation,
+// or computed here).
+func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *searchEntry, hit, shared bool, err error) {
+	key := searchKey(norm, k)
+	for {
+		if v, ok := s.searchCache.Get(key); ok {
+			e := v.(*searchEntry)
+			// Re-register the candidate ids: they may have been LRU-evicted
+			// from the (separate) candidate cache while the search entry
+			// survived, and clients holding ids from this response will
+			// execute them next.
+			for i, c := range e.cands {
+				s.candidates.Put(e.resp.Candidates[i].ID, c)
+			}
+			s.mCacheHits.Inc()
+			return e, true, false, nil
+		}
+		v, err, wasShared := s.flight.Do(ctx, key, func() (any, error) {
+			if err := s.acquireWorker(ctx); err != nil {
+				return nil, err
+			}
+			defer s.pool.release()
+			s.mCacheMisses.Inc()
+			start := time.Now()
+			cands, info, err := s.eng.SearchKContext(ctx, norm, k)
+			var unmatched *engine.UnmatchedKeywordsError
+			if errors.As(err, &unmatched) {
+				// Not a failure, and deterministic on a sealed engine:
+				// cache the no-match outcome so a hot misspelled query
+				// doesn't recompute the full pipeline on every repeat.
+				e := &searchEntry{resp: searchResponse{
+					QueryID:    queryIDFor(key),
+					Keywords:   norm,
+					K:          k,
+					Candidates: []candidateJSON{}, // render [] rather than null
+					Unmatched:  unmatched.Keywords,
+					ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+				}}
+				if info != nil {
+					e.resp.MatchCounts = info.MatchCounts
+				}
+				s.searchCache.Put(key, e)
+				return e, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			e := &searchEntry{
+				cands: cands,
+				resp: searchResponse{
+					QueryID:     queryIDFor(key),
+					Keywords:    norm,
+					K:           k,
+					Candidates:  make([]candidateJSON, len(cands)),
+					MatchCounts: info.MatchCounts,
+					Guaranteed:  info.Guaranteed,
+					ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+				},
+			}
+			for i, c := range cands {
+				e.resp.Candidates[i] = candidateJSON{
+					ID:          fmt.Sprintf("%s-%d", e.resp.QueryID, i),
+					Rank:        i,
+					Cost:        c.Cost,
+					Description: c.Describe(),
+					SPARQL:      c.SPARQL(),
+				}
+				s.candidates.Put(e.resp.Candidates[i].ID, c)
+			}
+			s.searchCache.Put(key, e)
+			return e, nil
+		})
+		if err != nil {
+			// A follower that inherited the leader's cancellation while
+			// still having time on its own clock retries as a new leader.
+			if wasShared && isDeadline(err) && ctx.Err() == nil {
+				continue
+			}
+			return nil, false, wasShared, err
+		}
+		if wasShared {
+			s.mFlightShared.Inc()
+		}
+		return v.(*searchEntry), false, wasShared, nil
+	}
+}
+
+// clampK resolves a per-request k against the engine default and MaxK.
+func (s *Server) clampK(k int) int {
+	if k <= 0 {
+		k = s.eng.Config().K
+	}
+	if k > s.cfg.MaxK {
+		k = s.cfg.MaxK
+	}
+	return k
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	norm := normalizeKeywords(req.Keywords)
+	if len(norm) == 0 {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "keywords must contain at least one non-empty term", Code: "bad_request"})
+		return
+	}
+	if len(norm) > s.cfg.MaxKeywords {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: fmt.Sprintf("at most %d keywords are allowed", s.cfg.MaxKeywords), Code: "bad_request"})
+		return
+	}
+	k := s.clampK(req.K)
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	entry, hit, shared, err := s.doSearch(ctx, norm, k)
+	if err != nil {
+		switch {
+		case errors.Is(err, errNoWorker):
+			s.writeOverloaded(w)
+		case isDeadline(err):
+			s.writeTimeout(w, "search")
+		default:
+			writeJSON(w, http.StatusInternalServerError,
+				errorResponse{Error: err.Error(), Code: "internal"})
+		}
+		return
+	}
+	resp := entry.resp
+	resp.Cached = hit
+	resp.Shared = shared
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// Execute and explain
+
+// resolveCandidate turns a candidateRef into an executable candidate. On
+// failure it answers the request and returns nil.
+func (s *Server) resolveCandidate(ctx context.Context, w http.ResponseWriter, ref candidateRef) (*engine.QueryCandidate, string) {
+	switch {
+	case ref.ID != "":
+		if v, ok := s.candidates.Get(ref.ID); ok {
+			return v.(*engine.QueryCandidate), ref.ID
+		}
+		writeJSON(w, http.StatusNotFound, errorResponse{
+			Error: "unknown candidate id " + ref.ID + " (expired from the cache? re-run the search)",
+			Code:  "unknown_candidate"})
+		return nil, ""
+	case ref.Query != nil:
+		q, err := ref.Query.toQuery()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: err.Error(), Code: "bad_query"})
+			return nil, ""
+		}
+		return &engine.QueryCandidate{Query: q}, ""
+	case len(ref.Keywords) > 0:
+		norm := normalizeKeywords(ref.Keywords)
+		if len(norm) == 0 {
+			writeJSON(w, http.StatusBadRequest,
+				errorResponse{Error: "keywords must contain at least one non-empty term", Code: "bad_request"})
+			return nil, ""
+		}
+		k := s.clampK(ref.K)
+		entry, _, _, err := s.doSearch(ctx, norm, k)
+		if err != nil {
+			switch {
+			case errors.Is(err, errNoWorker):
+				s.writeOverloaded(w)
+			case isDeadline(err):
+				s.writeTimeout(w, "search")
+			default:
+				writeJSON(w, http.StatusInternalServerError,
+					errorResponse{Error: err.Error(), Code: "internal"})
+			}
+			return nil, ""
+		}
+		if len(entry.resp.Unmatched) > 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: (&engine.UnmatchedKeywordsError{Keywords: entry.resp.Unmatched}).Error(),
+				Code:  "unmatched_keywords"})
+			return nil, ""
+		}
+		if ref.Rank < 0 || ref.Rank >= len(entry.cands) {
+			writeJSON(w, http.StatusNotFound, errorResponse{
+				Error: fmt.Sprintf("no candidate at rank %d (search produced %d)", ref.Rank, len(entry.cands)),
+				Code:  "no_such_rank"})
+			return nil, ""
+		}
+		return entry.cands[ref.Rank], entry.resp.Candidates[ref.Rank].ID
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: "request must name a candidate id, keywords, or an inline query",
+			Code:  "bad_request"})
+		return nil, ""
+	}
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	var req executeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = s.cfg.DefaultLimit
+	}
+	if limit > s.cfg.MaxLimit {
+		limit = s.cfg.MaxLimit
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// Resolution manages its own worker slot (only when it has to run a
+	// search); the execution below takes one of its own. Acquiring here
+	// and again inside doSearch would self-deadlock on a size-1 pool.
+	cand, id := s.resolveCandidate(ctx, w, req.candidateRef)
+	if cand == nil {
+		return
+	}
+	if err := s.acquireWorker(ctx); err != nil {
+		s.writeOverloaded(w)
+		return
+	}
+	defer s.pool.release()
+	start := time.Now()
+	rs, err := s.eng.ExecuteLimitContext(ctx, cand, limit)
+	if err != nil {
+		if isDeadline(err) {
+			s.writeTimeout(w, "execution")
+			return
+		}
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: err.Error(), Code: "bad_query"})
+		return
+	}
+	resp := executeResponse{
+		ID:        id,
+		SPARQL:    cand.SPARQL(),
+		Vars:      rs.Vars,
+		Rows:      make([][]termJSON, len(rs.Rows)),
+		Count:     rs.Len(),
+		Truncated: rs.Truncated,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, row := range rs.Rows {
+		out := make([]termJSON, len(row))
+		for j, t := range row {
+			out[j] = toTermJSON(t)
+		}
+		resp.Rows[i] = out
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req executeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// Explain is pure planning (compile + join ordering, no joins), too
+	// cheap to be worth a worker slot; resolution takes one internally
+	// only if it must run a search.
+	cand, id := s.resolveCandidate(ctx, w, req.candidateRef)
+	if cand == nil {
+		return
+	}
+	plan, err := s.eng.Explain(cand)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			errorResponse{Error: err.Error(), Code: "bad_query"})
+		return
+	}
+	resp := explainResponse{
+		ID:     id,
+		SPARQL: cand.SPARQL(),
+		Empty:  plan.Empty,
+		Steps:  make([]planStepJSON, len(plan.Steps)),
+		Text:   plan.String(),
+	}
+	for i, st := range plan.Steps {
+		resp.Steps[i] = planStepJSON{Atom: st.Atom.String(), Tier: st.Tier, EstMatches: st.EstMatches}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"sealed":         s.eng.Sealed(),
+		"triples":        s.eng.Store().Len(),
+		"uptime_seconds": s.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": s.Uptime().Seconds(),
+		"triples":        s.eng.Store().Len(),
+		"build_seconds":  s.eng.BuildTime.Seconds(),
+		"workers": map[string]any{
+			"capacity": s.pool.capacity(),
+			"in_use":   s.pool.inUse(),
+		},
+		"search_cache": map[string]any{
+			"capacity": s.cfg.SearchCacheSize,
+			"entries":  s.searchCache.Len(),
+			"hits":     s.mCacheHits.Value(),
+			"misses":   s.mCacheMisses.Value(),
+		},
+		"candidate_cache": map[string]any{
+			"capacity": s.cfg.CandidateCacheSize,
+			"entries":  s.candidates.Len(),
+		},
+		"singleflight_shared_total": s.mFlightShared.Value(),
+		"timeouts_total":            s.mTimeouts.Value(),
+		"rejected_total":            s.mRejected.Value(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// ---------------------------------------------------------------------------
+// Inline query construction
+
+func (a argJSON) toArg(predicate bool) (query.Arg, error) {
+	set := 0
+	if a.Var != "" {
+		set++
+	}
+	if a.IRI != "" {
+		set++
+	}
+	if a.Literal != nil {
+		set++
+	}
+	if set != 1 {
+		return query.Arg{}, fmt.Errorf("argument must set exactly one of var, iri, literal")
+	}
+	switch {
+	case a.Var != "":
+		if predicate {
+			return query.Arg{}, fmt.Errorf("predicate must be an iri, not a variable")
+		}
+		return query.Variable(a.Var), nil
+	case a.IRI != "":
+		return query.Constant(rdf.NewIRI(a.IRI)), nil
+	default:
+		if predicate {
+			return query.Arg{}, fmt.Errorf("predicate must be an iri, not a literal")
+		}
+		switch {
+		case a.Lang != "":
+			return query.Constant(rdf.NewLangLiteral(*a.Literal, a.Lang)), nil
+		case a.Datatype != "":
+			return query.Constant(rdf.NewTypedLiteral(*a.Literal, a.Datatype)), nil
+		default:
+			return query.Constant(rdf.NewLiteral(*a.Literal)), nil
+		}
+	}
+}
+
+func (qj *queryJSON) toQuery() (*query.ConjunctiveQuery, error) {
+	if len(qj.Atoms) == 0 {
+		return nil, fmt.Errorf("inline query has no atoms")
+	}
+	q := &query.ConjunctiveQuery{Distinguished: qj.Distinguished}
+	for i, at := range qj.Atoms {
+		s, err := at.S.toArg(false)
+		if err != nil {
+			return nil, fmt.Errorf("atom %d subject: %w", i, err)
+		}
+		p, err := at.P.toArg(true)
+		if err != nil {
+			return nil, fmt.Errorf("atom %d predicate: %w", i, err)
+		}
+		o, err := at.O.toArg(false)
+		if err != nil {
+			return nil, fmt.Errorf("atom %d object: %w", i, err)
+		}
+		q.AddAtom(query.Atom{Pred: p.Term, S: s, O: o})
+	}
+	for i, f := range qj.Filters {
+		op := query.FilterOp(f.Op)
+		switch op {
+		case query.OpLT, query.OpLE, query.OpGT, query.OpGE:
+		default:
+			return nil, fmt.Errorf("filter %d: unknown operator %q (want <, <=, >, >=)", i, f.Op)
+		}
+		if f.Var == "" {
+			return nil, fmt.Errorf("filter %d: missing var", i)
+		}
+		q.AddFilter(query.Filter{Var: f.Var, Op: op, Value: f.Value})
+	}
+	return q, nil
+}
+
+// toTermJSON renders an RDF term for the wire.
+func toTermJSON(t rdf.Term) termJSON {
+	out := termJSON{Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	switch {
+	case t.IsLiteral():
+		out.Kind = "literal"
+	case t.IsBlank():
+		out.Kind = "blank"
+	default:
+		out.Kind = "iri"
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package server
+
+import "context"
+
+// workerPool bounds the number of query computations running at once: a
+// counting semaphore sized to the configured worker count. Requests over
+// the limit queue in acquire until a slot frees or their deadline passes,
+// so a burst degrades into bounded latency instead of unbounded goroutine
+// and CPU pile-up. (Goroutines are cheap; concurrent graph explorations
+// are not.)
+type workerPool struct {
+	slots chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	return &workerPool{slots: make(chan struct{}, n)}
+}
+
+// acquire blocks until a worker slot is free or ctx is done, returning
+// ctx.Err() in the latter case.
+func (p *workerPool) acquire(ctx context.Context) error {
+	select {
+	case p.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot taken by acquire.
+func (p *workerPool) release() { <-p.slots }
+
+// inUse returns the number of occupied slots (approximate under
+// concurrency, for stats reporting).
+func (p *workerPool) inUse() int { return len(p.slots) }
+
+// capacity returns the pool size.
+func (p *workerPool) capacity() int { return cap(p.slots) }

@@ -1,0 +1,203 @@
+// Package server is the online serving subsystem: an HTTP/JSON front end
+// over engine.Engine that plays the role of the paper's SearchWebDB demo
+// endpoint at service scale. It exposes keyword search (top-k query
+// candidates with NL descriptions and SPARQL), candidate execution and
+// explanation, and operational introspection (health, stats, Prometheus
+// metrics).
+//
+// The serving model: the engine is sealed (read-only) at construction, so
+// any number of requests proceed in parallel without locking; a bounded
+// worker pool caps concurrent query computations; every request runs
+// under a deadline threaded as context.Context down through exploration
+// and join execution; an LRU cache short-circuits repeated searches and a
+// single-flight group collapses identical in-flight ones.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// Config tunes the server. The zero value gives sensible defaults.
+type Config struct {
+	// Workers caps concurrent query computations (default 2×GOMAXPROCS,
+	// set in New via runtime; see withDefaults).
+	Workers int
+	// SearchCacheSize is the entry capacity of the search-result LRU
+	// (default 1024).
+	SearchCacheSize int
+	// CandidateCacheSize is the entry capacity of the candidate-id LRU
+	// (default 16× SearchCacheSize, at least 4096: every cached search
+	// contributes up to k candidates).
+	CandidateCacheSize int
+	// DefaultTimeout applies when a request names none (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts (default 60s).
+	MaxTimeout time.Duration
+	// MaxK caps the per-request number of candidates (default 50).
+	MaxK int
+	// MaxKeywords caps keywords per search (default 10).
+	MaxKeywords int
+	// DefaultLimit is the execute-row limit when a request names none
+	// (default 100).
+	DefaultLimit int
+	// MaxLimit caps client-requested execute-row limits (default 10000).
+	MaxLimit int
+}
+
+func (c Config) withDefaults(procs int) Config {
+	if c.Workers <= 0 {
+		c.Workers = 2 * procs
+	}
+	if c.SearchCacheSize <= 0 {
+		c.SearchCacheSize = 1024
+	}
+	if c.CandidateCacheSize <= 0 {
+		c.CandidateCacheSize = 16 * c.SearchCacheSize
+		if c.CandidateCacheSize < 4096 {
+			c.CandidateCacheSize = 4096
+		}
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	// An operator raising the default deadline means it: don't let the
+	// client-override cap silently clamp it back down.
+	if c.MaxTimeout < c.DefaultTimeout {
+		c.MaxTimeout = c.DefaultTimeout
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 50
+	}
+	if c.MaxKeywords <= 0 {
+		c.MaxKeywords = 10
+	}
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 100
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 10000
+	}
+	return c
+}
+
+// Server serves one sealed engine over HTTP. Create it with New, mount
+// Handler on an http.Server.
+type Server struct {
+	eng   *engine.Engine
+	cfg   Config
+	start time.Time
+
+	searchCache *lruCache // normalized keywords+k → *searchEntry
+	candidates  *lruCache // candidate id → *engine.QueryCandidate
+	flight      *flightGroup
+	pool        *workerPool
+
+	reg           *metrics.Registry
+	mRequests     *metrics.CounterVec
+	mErrors       *metrics.CounterVec
+	mLatency      *metrics.SummaryVec
+	mInflight     *metrics.Gauge
+	mCacheHits    *metrics.Counter
+	mCacheMisses  *metrics.Counter
+	mFlightShared *metrics.Counter
+	mTimeouts     *metrics.Counter
+	mRejected     *metrics.Counter
+	mTriples      *metrics.Gauge
+}
+
+// New builds a server over eng, sealing it: the engine's indexes are
+// built here (so the first request doesn't pay for them) and the engine
+// becomes permanently read-only. procsHint sizes the default worker pool;
+// pass runtime.GOMAXPROCS(0) (cmd/serverd does) or any positive count.
+func New(eng *engine.Engine, cfg Config, procsHint int) *Server {
+	if procsHint <= 0 {
+		procsHint = 1
+	}
+	cfg = cfg.withDefaults(procsHint)
+	eng.Seal()
+	s := &Server{
+		eng:         eng,
+		cfg:         cfg,
+		start:       time.Now(),
+		searchCache: newLRUCache(cfg.SearchCacheSize),
+		candidates:  newLRUCache(cfg.CandidateCacheSize),
+		flight:      newFlightGroup(),
+		pool:        newWorkerPool(cfg.Workers),
+		reg:         metrics.NewRegistry(),
+	}
+	s.mRequests = s.reg.CounterVec("searchwebdb_requests_total",
+		"HTTP requests received, by endpoint.", "endpoint")
+	s.mErrors = s.reg.CounterVec("searchwebdb_errors_total",
+		"Requests answered with a non-2xx status, by endpoint.", "endpoint")
+	s.mLatency = s.reg.SummaryVec("searchwebdb_request_seconds",
+		"Request latency in seconds, by endpoint.", "endpoint")
+	s.mInflight = s.reg.Gauge("searchwebdb_inflight_requests",
+		"Requests currently being served.")
+	s.mCacheHits = s.reg.Counter("searchwebdb_search_cache_hits_total",
+		"Searches answered from the result cache.")
+	s.mCacheMisses = s.reg.Counter("searchwebdb_search_cache_misses_total",
+		"Searches that had to be computed.")
+	s.mFlightShared = s.reg.Counter("searchwebdb_singleflight_shared_total",
+		"Searches that shared another request's in-flight computation.")
+	s.mTimeouts = s.reg.Counter("searchwebdb_timeouts_total",
+		"Requests that hit their deadline.")
+	s.mRejected = s.reg.Counter("searchwebdb_rejected_total",
+		"Requests rejected because no worker slot freed before the deadline.")
+	s.mTriples = s.reg.Gauge("searchwebdb_triples",
+		"Triples in the sealed store.")
+	s.mTriples.Set(int64(eng.Store().Len()))
+	return s
+}
+
+// Uptime returns how long the server has existed.
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
+
+// normalizeKeywords canonicalizes a keyword list for cache keying: terms
+// are whitespace-trimmed, lowercased, and empty terms dropped. Keyword
+// order is preserved — it does not affect the result set, but sorting
+// would conflate queries whose per-keyword diagnostics (match counts)
+// differ in order; the small extra cache traffic is not worth the
+// confusion.
+func normalizeKeywords(keywords []string) []string {
+	out := make([]string, 0, len(keywords))
+	for _, kw := range keywords {
+		kw = strings.ToLower(strings.Join(strings.Fields(kw), " "))
+		if kw != "" {
+			out = append(out, kw)
+		}
+	}
+	return out
+}
+
+// searchKey builds the cache/singleflight key for a normalized keyword
+// list and k. Terms are length-prefixed so no keyword content — not even
+// a separator byte smuggled inside a term — can make two distinct
+// keyword lists collide. The engine config is fixed per server, so it
+// does not participate.
+func searchKey(norm []string, k int) string {
+	var b strings.Builder
+	for _, t := range norm {
+		b.WriteString(strconv.Itoa(len(t)))
+		b.WriteByte(':')
+		b.WriteString(t)
+	}
+	b.WriteString("|k=")
+	b.WriteString(strconv.Itoa(k))
+	return b.String()
+}
+
+// queryIDFor derives the stable candidate-id prefix for a search key.
+func queryIDFor(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return "q" + hex.EncodeToString(sum[:6])
+}

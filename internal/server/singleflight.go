@@ -1,0 +1,74 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent identical work: while one goroutine
+// (the leader) computes the value for a key, followers arriving with the
+// same key block until the leader finishes and share its result instead
+// of repeating the computation. Unlike golang.org/x/sync/singleflight
+// (which this deliberately re-implements rather than imports), waiting is
+// context-aware: a follower whose context expires stops waiting and gets
+// its own context error. The leader runs fn synchronously on its own
+// (request-scoped) context, so a leader that dies at its deadline hands
+// followers a context error they did not earn — doSearch compensates by
+// retrying as a new leader while its own clock still has time.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// errLeaderPanicked is what followers observe when the leader's fn
+// panicked; the panic itself propagates on the leader's goroutine.
+var errLeaderPanicked = errors.New("singleflight: leader panicked")
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do returns the result of fn for key, sharing one execution among
+// concurrent callers. shared reports whether this caller received a
+// leader's result rather than computing its own. When ctx expires while
+// waiting on a leader, Do returns ctx.Err().
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	// The deferred cleanup must run even if fn panics (net/http recovers
+	// handler panics and the server lives on): otherwise the key would
+	// stay registered with done never closed, blocking every future
+	// request for it until restart.
+	finished := false
+	defer func() {
+		if !finished {
+			c.err = errLeaderPanicked
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	finished = true
+	return c.val, c.err, false
+}

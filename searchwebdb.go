@@ -16,6 +16,13 @@
 //	cands, _, err := e.Search([]string{"2006", "cimiano", "aifb"})
 //	answers, err := e.Execute(cands[0])
 //
+// The engine is safe for concurrent readers; every online operation has
+// a context-aware variant (SearchContext, ExecuteContext, ...) whose
+// deadline cuts off exploration and query execution promptly. A serving
+// deployment loads data once and calls Seal to make the engine
+// permanently read-only — cmd/serverd wraps all of this in an HTTP/JSON
+// API with a result cache and Prometheus metrics (internal/server).
+//
 // See examples/ for runnable programs and DESIGN.md for the system
 // inventory. The heavy lifting lives in internal/: package core holds the
 // paper's primary contribution (Algorithms 1 and 2), and the surrounding
@@ -29,6 +36,10 @@ import (
 	"repro/internal/engine"
 	"repro/internal/scoring"
 )
+
+// ErrSealed is returned (or panicked, for mutators without an error
+// return) when data is added to an engine after Seal.
+var ErrSealed = engine.ErrSealed
 
 // Config tunes the engine; see the field documentation in
 // internal/engine. The zero value gives the paper's defaults (C3 scoring,
