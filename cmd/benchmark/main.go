@@ -5,6 +5,7 @@
 //
 // Usage:
 //
+//	benchmark explore           exploration hot path (ns/op, B/op, allocs/op)
 //	benchmark fig4              effectiveness: MRR of C1/C2/C3 (DBLP + TAP)
 //	benchmark fig5              query performance vs baselines (Q1–Q10)
 //	benchmark fig6a             search time vs k and query length
@@ -23,6 +24,11 @@
 //	-unis N    LUBM universities (default 1)
 //	-tap N     TAP instances per class (default 25)
 //	-seed N    dataset seed (default 1)
+//	-benchdir  directory for machine-readable BENCH_<name>.json files
+//	           (default "."); the explore subcommand writes
+//	           BENCH_explore.json next to its human table so the hot-path
+//	           perf trajectory (ns/op, B/op, allocs/op, cursors popped) is
+//	           tracked across PRs
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 
 	"repro/internal/bench"
 )
@@ -39,6 +46,7 @@ func main() {
 	unis := flag.Int("unis", 1, "LUBM scale (universities)")
 	tapScale := flag.Int("tap", 25, "TAP scale (instances per class)")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	benchdir := flag.String("benchdir", ".", "directory for BENCH_<name>.json output")
 	flag.Parse()
 
 	cmd := flag.Arg(0)
@@ -54,6 +62,15 @@ func main() {
 
 	run := func(name string) {
 		switch name {
+		case "explore":
+			env := dblpEnv()
+			results := bench.RunExploreBench(env, bench.DefaultExploreBenchCases())
+			fmt.Println(bench.FormatExploreBench(results))
+			out := filepath.Join(*benchdir, "BENCH_explore.json")
+			if err := bench.WriteBenchJSON(out, results); err != nil {
+				log.Fatalf("writing %s: %v", out, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 		case "fig4":
 			env := dblpEnv()
 			fmt.Println(bench.RunFig4(env, bench.DBLPWorkload(), 10))
@@ -94,7 +111,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"fig4", "fig5", "fig6a", "fig6b",
+		for _, name := range []string{"explore", "fig4", "fig5", "fig6a", "fig6b",
 			"ablation-summary", "ablation-dmax", "ablation-cap",
 			"ablation-scale", "ablation-oracle"} {
 			run(name)

@@ -18,6 +18,7 @@
 //	GET  /healthz     liveness and dataset size
 //	GET  /stats       cache, pool, and traffic statistics (JSON)
 //	GET  /metrics     Prometheus text format
+//	GET  /debug/pprof/* runtime profiles (only with -pprof)
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -54,6 +56,7 @@ func main() {
 	cacheSize := flag.Int("cache", 1024, "search-result cache entries")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap/mutex profiles of the live server)")
 	flag.Parse()
 
 	cfg := repro.Config{K: *k}
@@ -133,9 +136,26 @@ func main() {
 	}, runtime.GOMAXPROCS(0))
 	log.Printf("indexes built in %v; engine sealed", time.Since(buildStart).Round(time.Millisecond))
 
+	handler := srv.Handler()
+	if *pprofFlag {
+		// Production hot-path profiles one `go tool pprof` away:
+		//   go tool pprof http://host:8080/debug/pprof/profile?seconds=10
+		// Gate behind a flag — the endpoints expose internals and add a
+		// mux branch, so they are opt-in.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		log.Print("pprof enabled on /debug/pprof/")
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 

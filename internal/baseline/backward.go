@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"container/heap"
-
 	"repro/internal/graph"
 	"repro/internal/store"
 )
@@ -55,7 +53,7 @@ func Backward(g *graph.Graph, keywordSets [][]store.ID, opt BackwardOptions) *Re
 	for i, ks := range keywordSets {
 		states[i] = newPerKeywordState()
 		for _, v := range ks {
-			heap.Push(h, searchItem{v: v, keyword: i, cost: 0})
+			h.push(searchItem{v: v, keyword: i, cost: 0})
 		}
 	}
 
@@ -64,7 +62,7 @@ func Backward(g *graph.Graph, keywordSets [][]store.ID, opt BackwardOptions) *Re
 		if res.Stats.Popped >= opt.MaxPops {
 			break
 		}
-		it := heap.Pop(h).(searchItem)
+		it := h.pop()
 		res.Stats.Popped++
 		st := states[it.keyword]
 		if _, settled := st.dist[it.v]; settled {
@@ -88,7 +86,7 @@ func Backward(g *graph.Graph, keywordSets [][]store.ID, opt BackwardOptions) *Re
 				if _, settled := st.dist[e.Other]; settled {
 					continue
 				}
-				heap.Push(h, searchItem{v: e.Other, parent: it.v, keyword: it.keyword, cost: it.cost + 1})
+				h.push(searchItem{v: e.Other, parent: it.v, keyword: it.keyword, cost: it.cost + 1})
 			}
 		}
 

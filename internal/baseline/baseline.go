@@ -147,26 +147,78 @@ type searchItem struct {
 	act     float64 // bidirectional only: activation
 }
 
+// itemHeap is an implicit 4-ary min-heap over packed searchItems — the
+// same boxing-free layout as the exploration core's cursor queue, so the
+// Fig. 5 comparison stays apples-to-apples: baselines pay no per-push
+// interface{} allocation either. (Kept separate from core's cursorQueue:
+// the payload and the dual cost/activation ordering differ, and adding a
+// comparator indirection to the core's hot loop to share ~40 lines is
+// the wrong trade.)
+//
+// Pop order among equal-priority items is unspecified and differs from
+// the pre-rewrite container/heap — intentionally accepted: the baselines
+// rank by cost, and which equal-cost path settles a vertex first does
+// not change tree costs or root sets (the properties their tests pin);
+// these heuristic systems carry no exactness guarantee to preserve.
 type itemHeap struct {
 	items []searchItem
 	byAct bool // order by descending activation instead of ascending cost
 }
 
-func (h itemHeap) Len() int { return len(h.items) }
-func (h itemHeap) Less(i, j int) bool {
+func (h *itemHeap) Len() int { return len(h.items) }
+
+func (h *itemHeap) before(a, b searchItem) bool {
 	if h.byAct {
-		return h.items[i].act > h.items[j].act
+		return a.act > b.act
 	}
-	return h.items[i].cost < h.items[j].cost
+	return a.cost < b.cost
 }
-func (h itemHeap) Swap(i, j int)       { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *itemHeap) Push(x interface{}) { h.items = append(h.items, x.(searchItem)) }
-func (h *itemHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
+
+func (h *itemHeap) push(it searchItem) {
+	h.items = append(h.items, searchItem{})
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h.before(it, h.items[p]) {
+			break
+		}
+		h.items[i] = h.items[p]
+		i = p
+	}
+	h.items[i] = it
+}
+
+func (h *itemHeap) pop() searchItem {
+	top := h.items[0]
+	n := len(h.items) - 1
+	last := h.items[n]
+	h.items = h.items[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if h.before(h.items[j], h.items[min]) {
+					min = j
+				}
+			}
+			if !h.before(h.items[min], last) {
+				break
+			}
+			h.items[i] = h.items[min]
+			i = min
+		}
+		h.items[i] = last
+	}
+	return top
 }
 
 // perKeywordState tracks settled distances and parents for one keyword.

@@ -1,7 +1,6 @@
 package baseline
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/graph"
@@ -64,7 +63,7 @@ func Bidirectional(g *graph.Graph, keywordSets [][]store.ID, opt BidirectionalOp
 		states[i] = newPerKeywordState()
 		act := 1 / float64(len(ks))
 		for _, v := range ks {
-			heap.Push(h, searchItem{v: v, keyword: i, cost: 0, act: act})
+			h.push(searchItem{v: v, keyword: i, cost: 0, act: act})
 		}
 	}
 
@@ -73,7 +72,7 @@ func Bidirectional(g *graph.Graph, keywordSets [][]store.ID, opt BidirectionalOp
 		if res.Stats.Popped >= opt.MaxPops {
 			break
 		}
-		it := heap.Pop(h).(searchItem)
+		it := h.pop()
 		res.Stats.Popped++
 		st := states[it.keyword]
 		if prev, settled := st.dist[it.v]; settled && prev <= it.cost {
@@ -98,7 +97,7 @@ func Bidirectional(g *graph.Graph, keywordSets [][]store.ID, opt BidirectionalOp
 				if prev, settled := st.dist[other]; settled && prev <= it.cost+1 {
 					return
 				}
-				heap.Push(h, searchItem{
+				h.push(searchItem{
 					v: other, parent: it.v, keyword: it.keyword,
 					cost: it.cost + 1, act: childAct,
 				})

@@ -1,7 +1,6 @@
 package baseline
 
 import (
-	"container/heap"
 	"sort"
 
 	"repro/internal/analysis"
@@ -250,7 +249,7 @@ func (ix *BlinksIndex) Search(keywordSets [][]store.ID, opt BackwardOptions) *Re
 			if _, ok := ix.denseOf[v]; !ok {
 				continue
 			}
-			heap.Push(h, searchItem{v: v, keyword: i, cost: 0})
+			h.push(searchItem{v: v, keyword: i, cost: 0})
 		}
 	}
 
@@ -265,7 +264,7 @@ func (ix *BlinksIndex) Search(keywordSets [][]store.ID, opt BackwardOptions) *Re
 		if res.Stats.Popped >= opt.MaxPops {
 			break
 		}
-		it := heap.Pop(h).(searchItem)
+		it := h.pop()
 		res.Stats.Popped++
 		st := states[it.keyword]
 		if prev, settled := st.dist[it.v]; settled && prev <= it.cost {
@@ -314,7 +313,7 @@ func (ix *BlinksIndex) Search(keywordSets [][]store.ID, opt BackwardOptions) *Re
 				if prev, settled := st.dist[nv]; settled && prev <= cur.cost+1 {
 					continue
 				}
-				heap.Push(h, searchItem{v: nv, parent: v, keyword: it.keyword, cost: cur.cost + 1})
+				h.push(searchItem{v: nv, parent: v, keyword: it.keyword, cost: cur.cost + 1})
 			}
 		}
 

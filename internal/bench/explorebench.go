@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scoring"
+)
+
+// ExploreBenchCase is one exploration microbenchmark: a keyword query
+// run through augmentation + top-k exploration on a warm engine.
+type ExploreBenchCase struct {
+	Name     string
+	Keywords []string
+	K        int
+}
+
+// DefaultExploreBenchCases mirrors the explore benchmarks of
+// internal/core (the 2-keyword and 5-keyword DBLP queries) plus a
+// 3-keyword middle ground, so cmd/benchmark tracks the same hot path the
+// go-test benchmarks do.
+func DefaultExploreBenchCases() []ExploreBenchCase {
+	return []ExploreBenchCase{
+		{Name: "explore_2kw", Keywords: []string{"thanh tran", "publication"}, K: 10},
+		{Name: "explore_3kw", Keywords: []string{"thanh tran", "publication", "2005"}, K: 10},
+		{Name: "explore_5kw", Keywords: []string{"thanh tran", "aifb", "publication", "2005", "conference"}, K: 10},
+	}
+}
+
+// ExploreBenchResult is the machine-readable record of one exploration
+// microbenchmark, serialized to BENCH_<name>.json so the perf trajectory
+// of the hot path is tracked from PR to PR.
+type ExploreBenchResult struct {
+	Name           string   `json:"name"`
+	Dataset        string   `json:"dataset"`
+	Keywords       []string `json:"keywords"`
+	K              int      `json:"k"`
+	Iterations     int      `json:"iterations"`
+	NsPerOp        float64  `json:"ns_per_op"`
+	BytesPerOp     int64    `json:"bytes_per_op"`
+	AllocsPerOp    int64    `json:"allocs_per_op"`
+	CursorsCreated int      `json:"cursors_created"`
+	CursorsPopped  int      `json:"cursors_popped"`
+	Candidates     int      `json:"candidates"`
+	Subgraphs      int      `json:"subgraphs"`
+}
+
+// RunExploreBench measures augmentation + exploration per case on a warm
+// engine (indexes and explorer state pre-built, exactly as a serving
+// deployment runs it). Work counters come from one instrumented run; the
+// timing/allocation numbers from testing.Benchmark.
+func RunExploreBench(env *Env, cases []ExploreBenchCase) []ExploreBenchResult {
+	eng := env.Engine(scoring.Matching)
+	sg := eng.Summary()
+	kwix := eng.KeywordIndex()
+	ex := core.NewExplorer()
+
+	out := make([]ExploreBenchResult, 0, len(cases))
+	for _, c := range cases {
+		matches := kwix.LookupAll(c.Keywords, keywordOpts())
+		usable := true
+		for _, ms := range matches {
+			if len(ms) == 0 {
+				usable = false
+			}
+		}
+		if !usable {
+			continue
+		}
+		run := func() *core.Result {
+			ag := sg.Augment(matches)
+			scorer := scoring.New(scoring.Matching, ag)
+			return ex.Explore(ag, scorer.ElementCost, core.Options{K: c.K})
+		}
+		probe := run() // warm the explorer and collect work counters
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run()
+			}
+		})
+		out = append(out, ExploreBenchResult{
+			Name:           c.Name,
+			Dataset:        env.Name,
+			Keywords:       c.Keywords,
+			K:              c.K,
+			Iterations:     br.N,
+			NsPerOp:        float64(br.T.Nanoseconds()) / float64(br.N),
+			BytesPerOp:     br.AllocedBytesPerOp(),
+			AllocsPerOp:    br.AllocsPerOp(),
+			CursorsCreated: probe.Stats.CursorsCreated,
+			CursorsPopped:  probe.Stats.CursorsPopped,
+			Candidates:     probe.Stats.Candidates,
+			Subgraphs:      len(probe.Subgraphs),
+		})
+	}
+	return out
+}
+
+// WriteBenchJSON writes results as an indented JSON array to path —
+// the machine-readable companion of the human-printed table.
+func WriteBenchJSON(path string, results interface{}) error {
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FormatExploreBench renders the human table for a set of results.
+func FormatExploreBench(results []ExploreBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Exploration hot path (augment + top-k explore, warm engine)\n")
+	fmt.Fprintf(&b, "%-12s %-9s %12s %12s %11s %9s %9s %6s\n",
+		"case", "dataset", "ns/op", "B/op", "allocs/op", "created", "popped", "top-k")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-12s %-9s %12.0f %12d %11d %9d %9d %6d\n",
+			r.Name, r.Dataset, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp,
+			r.CursorsCreated, r.CursorsPopped, r.Subgraphs)
+	}
+	return b.String()
+}

@@ -10,90 +10,101 @@
 // (Theorem 1), which is what makes the TA-style termination condition
 // sound: once the k-th best candidate subgraph costs less than the
 // cheapest outstanding cursor, no better subgraph can still appear.
+//
+// The hot-path data layout is allocation-free in steady state: cursors
+// live in an index-linked slab recycled across queries, the priority
+// queue is an implicit 4-ary heap over packed entries, and per-element
+// bookkeeping is a dense generation-stamped table (see DESIGN.md,
+// "Hot-path memory layout").
 package core
 
-import (
-	"container/heap"
-
-	"repro/internal/summary"
-)
+import "repro/internal/summary"
 
 // Cursor is the c(n, k, p, d, w) record of Algorithm 1: it represents one
 // distinct path from a keyword element to the element just visited.
+// Cursors are stored in a cursorSlab and linked by slab index, not by
+// pointer: a cursor's slab index doubles as its creation sequence number,
+// which breaks cost ties FIFO so exploration order (and the order of
+// equal-cost candidates) is deterministic and favors earlier-created
+// cursors — whose origins are the better-ranked keyword matches.
 type Cursor struct {
 	// Elem is n: the graph element this cursor just visited.
 	Elem summary.ElemID
-	// Keyword is the index i of the keyword set K_i the path originates from.
-	Keyword int
 	// Origin is k: the keyword element at the start of the path.
 	Origin summary.ElemID
-	// Parent is p: the cursor this one was expanded from (nil at origins).
-	Parent *Cursor
+	// parent is p: the slab index of the cursor this one was expanded
+	// from (noCursor at origins).
+	parent int32
+	// Keyword is the index i of the keyword set K_i the path originates from.
+	Keyword int32
 	// Dist is d: the number of elements on the path after the origin.
-	Dist int
+	Dist int32
 	// Cost is w: the accumulated cost of the path, including both the
 	// origin element and Elem.
 	Cost float64
-	// seq is a creation sequence number used to break cost ties FIFO, so
-	// exploration order (and thus the order of equal-cost candidates) is
-	// deterministic and favors earlier-created cursors — whose origins are
-	// the better-ranked keyword matches.
-	seq int
 }
 
-// Path materializes the cursor's path from the origin to Elem.
-func (c *Cursor) Path() []summary.ElemID {
-	var rev []summary.ElemID
-	for cur := c; cur != nil; cur = cur.Parent {
-		rev = append(rev, cur.Elem)
+// noCursor is the nil parent link of origin cursors.
+const noCursor int32 = -1
+
+// Cursors are slab-allocated in fixed-size chunks so that growth never
+// moves existing cursors (pointers obtained from at() stay valid across
+// alloc()) and so a recycled slab reuses whole chunks without copying.
+// 4096 cursors × 32 bytes = 128 KiB per chunk.
+const (
+	slabChunkBits = 12
+	slabChunkSize = 1 << slabChunkBits
+	slabChunkMask = slabChunkSize - 1
+)
+
+// cursorSlab is a chunked arena of cursors addressed by dense int32
+// indices. Allocation order is creation order, so an index is also the
+// cursor's tie-breaking sequence number. reset() recycles every chunk for
+// the next query without freeing.
+type cursorSlab struct {
+	chunks [][]Cursor
+	n      int32
+}
+
+func (s *cursorSlab) reset() { s.n = 0 }
+
+func (s *cursorSlab) len() int { return int(s.n) }
+
+// alloc returns the next cursor slot and its index. The returned pointer
+// stays valid for the slab's lifetime (chunks never move).
+func (s *cursorSlab) alloc() (int32, *Cursor) {
+	idx := s.n
+	ci := int(idx >> slabChunkBits)
+	if ci == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]Cursor, slabChunkSize))
 	}
-	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
-		rev[i], rev[j] = rev[j], rev[i]
+	s.n++
+	return idx, &s.chunks[ci][idx&slabChunkMask]
+}
+
+func (s *cursorSlab) at(idx int32) *Cursor {
+	return &s.chunks[idx>>slabChunkBits][idx&slabChunkMask]
+}
+
+// path appends the cursor's path from the origin to Elem onto buf.
+func (s *cursorSlab) path(idx int32, buf []summary.ElemID) []summary.ElemID {
+	start := len(buf)
+	for i := idx; i != noCursor; i = s.at(i).parent {
+		buf = append(buf, s.at(i).Elem)
 	}
-	return rev
+	for i, j := start, len(buf)-1; i < j; i, j = i+1, j-1 {
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf
 }
 
 // onPath reports whether e lies on the cursor's path (the parents(c) check
 // of Algorithm 1 line 17, preventing cyclic expansion).
-func (c *Cursor) onPath(e summary.ElemID) bool {
-	for cur := c; cur != nil; cur = cur.Parent {
-		if cur.Elem == e {
+func (s *cursorSlab) onPath(idx int32, e summary.ElemID) bool {
+	for i := idx; i != noCursor; i = s.at(i).parent {
+		if s.at(i).Elem == e {
 			return true
 		}
 	}
 	return false
-}
-
-// cursorQueue is a min-heap over cursor cost. The paper keeps one sorted
-// queue per keyword and pops the global minimum; a single heap over all
-// cursors selects exactly the same cursor at every step.
-type cursorQueue []*Cursor
-
-func (q cursorQueue) Len() int { return len(q) }
-func (q cursorQueue) Less(i, j int) bool {
-	if q[i].Cost != q[j].Cost {
-		return q[i].Cost < q[j].Cost
-	}
-	return q[i].seq < q[j].seq
-}
-func (q cursorQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *cursorQueue) Push(x interface{}) { *q = append(*q, x.(*Cursor)) }
-func (q *cursorQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	c := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return c
-}
-
-func (q *cursorQueue) push(c *Cursor) { heap.Push(q, c) }
-func (q *cursorQueue) pop() *Cursor   { return heap.Pop(q).(*Cursor) }
-
-// min returns the cheapest outstanding cursor cost, or ok=false if empty.
-func (q cursorQueue) min() (float64, bool) {
-	if len(q) == 0 {
-		return 0, false
-	}
-	return q[0].Cost, true
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"sync"
 
 	"repro/internal/summary"
 )
@@ -114,11 +115,91 @@ type Result struct {
 	Guaranteed bool
 }
 
-// elemState is the n(w, (C1..Cm)) bookkeeping of Algorithm 1: the paths
-// registered at element n, one list per keyword, each in ascending cost
-// order (a consequence of Theorem 1's pop order).
-type elemState struct {
-	lists [][]*Cursor
+// Explorer runs explorations and recycles their working memory. All heavy
+// per-query state — the cursor slab, the priority queue, the dense
+// element-state table, and the combination scratch buffers — lives in an
+// exploreState held by a sync.Pool, so a warm Explorer serves queries
+// without allocating on the hot path. An Explorer is safe for concurrent
+// use; each in-flight exploration checks out its own state.
+//
+// A long-lived caller (the engine, the serving layer) should hold one
+// Explorer for its lifetime. The package-level Explore/ExploreContext
+// functions share a default Explorer.
+type Explorer struct {
+	pool sync.Pool
+}
+
+// NewExplorer returns an Explorer with an empty state pool.
+func NewExplorer() *Explorer {
+	ex := &Explorer{}
+	ex.pool.New = func() interface{} { return new(exploreState) }
+	return ex
+}
+
+var defaultExplorer = NewExplorer()
+
+// exploreState is the recycled working memory of one exploration.
+type exploreState struct {
+	slab  cursorSlab
+	queue cursorQueue
+
+	// Dense element state, indexed by ElemID (ElemIDs are dense by
+	// construction: base-graph elements first, augmentation after). An
+	// element's per-keyword cursor lists live at lists[elem*m : elem*m+m];
+	// gen stamps make cross-query reuse O(1): a stale entry is reset the
+	// first time a query touches it, never eagerly.
+	gen    []uint32
+	curGen uint32
+	lists  [][]int32
+	m      int
+
+	// Scratch buffers for candidate generation.
+	combo   []int32
+	minTail []float64
+	elemBuf []summary.ElemID
+	sigBuf  []byte
+}
+
+// begin readies the state for a query over numElems elements and m
+// keywords. Everything is reused; only growth allocates.
+func (st *exploreState) begin(numElems, m int) {
+	st.slab.reset()
+	st.queue.reset()
+	st.m = m
+	if numElems > len(st.gen) {
+		ng := make([]uint32, numElems)
+		copy(ng, st.gen)
+		st.gen = ng
+	}
+	if need := numElems * m; need > len(st.lists) {
+		nl := make([][]int32, need)
+		copy(nl, st.lists)
+		st.lists = nl
+	}
+	st.curGen++
+	if st.curGen == 0 { // uint32 wrap: invalidate everything once
+		for i := range st.gen {
+			st.gen[i] = 0
+		}
+		st.curGen = 1
+	}
+}
+
+// elemState is the n(w, (C1..Cm)) bookkeeping of Algorithm 1 for one
+// element: the slice of per-keyword registered-path lists, each in
+// ascending cost order (a consequence of Theorem 1's pop order).
+// touchElem returns it, resetting stale lists from earlier queries.
+func (st *exploreState) touchElem(n summary.ElemID, stats *Stats) [][]int32 {
+	base := int(n) * st.m
+	lists := st.lists[base : base+st.m]
+	if st.gen[n] != st.curGen {
+		st.gen[n] = st.curGen
+		for j := range lists {
+			lists[j] = lists[j][:0]
+		}
+		stats.ElementsVisited++
+	}
+	return lists
 }
 
 // Explore runs Algorithms 1 and 2 over an augmented summary graph: it
@@ -128,7 +209,7 @@ type elemState struct {
 // If any keyword has no elements, no matching subgraph exists and an empty
 // guaranteed result is returned.
 func Explore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
-	return ExploreContext(context.Background(), ag, cost, opt)
+	return defaultExplorer.ExploreContext(context.Background(), ag, cost, opt)
 }
 
 // ExploreContext is Explore under a context: the exploration loop polls
@@ -137,6 +218,17 @@ func Explore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 // guaranteed to be the true top-k). This is what lets a serving layer
 // impose per-request deadlines on slow keyword queries.
 func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, opt Options) *Result {
+	return defaultExplorer.ExploreContext(ctx, ag, cost, opt)
+}
+
+// Explore runs an exploration on the explorer's recycled state.
+func (ex *Explorer) Explore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
+	return ex.ExploreContext(context.Background(), ag, cost, opt)
+}
+
+// ExploreContext is Explore under a context (see the package-level
+// ExploreContext for the cancellation contract).
+func (ex *Explorer) ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 	opt = opt.withDefaults()
 	seeds := ag.Seeds()
 	m := len(seeds)
@@ -153,30 +245,34 @@ func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, o
 			return res
 		}
 	}
-
-	var queue cursorQueue
-	states := make(map[summary.ElemID]*elemState)
-	candidates := newCandidateList(opt.K)
 	if ctx.Err() != nil {
 		res.Stats.Terminated = Cancelled
 		return res
 	}
+
+	st := ex.pool.Get().(*exploreState)
+	defer ex.pool.Put(st)
+	st.begin(ag.NumElements(), m)
+
+	candidates := newCandidateList(opt.K)
 	var oracle *DistanceOracle
 	if opt.UseOracle {
 		oracle = NewDistanceOracle(ag, cost, seeds)
 	}
 
 	// Algorithm 1 lines 1–6: one cursor per keyword element. Seeds keep
-	// the keyword index's ranking order via their sequence numbers.
+	// the keyword index's ranking order via their slab/sequence indices.
 	for i, ki := range seeds {
 		for _, k := range ki {
-			queue.push(&Cursor{Elem: k, Keyword: i, Origin: k, Dist: 0, Cost: cost(k), seq: res.Stats.CursorsCreated})
+			idx, c := st.slab.alloc()
+			*c = Cursor{Elem: k, Origin: k, parent: noCursor, Keyword: int32(i), Dist: 0, Cost: cost(k)}
+			st.queue.push(c.Cost, idx)
 			res.Stats.CursorsCreated++
 		}
 	}
 
 	cancelCountdown := cancelCheckInterval
-	for queue.Len() > 0 {
+	for st.queue.len() > 0 {
 		if res.Stats.CursorsPopped >= opt.MaxPops {
 			res.Stats.Terminated = Aborted
 			res.Subgraphs = candidates.results()
@@ -191,7 +287,8 @@ func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, o
 				return res
 			}
 		}
-		c := queue.pop() // minCostCursor(LQ)
+		ent := st.queue.pop() // minCostCursor(LQ)
+		c := st.slab.at(ent.idx)
 		res.Stats.CursorsPopped++
 		if opt.testOnPop != nil {
 			opt.testOnPop(c)
@@ -216,60 +313,56 @@ func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, o
 			continue
 		}
 
-		if c.Dist < opt.DMax {
+		if int(c.Dist) < opt.DMax {
 			// Register the path at n (line 11) and generate the new
 			// candidate subgraphs it completes (Algorithm 2).
-			st := states[n]
-			if st == nil {
-				st = &elemState{lists: make([][]*Cursor, m)}
-				states[n] = st
-				res.Stats.ElementsVisited++
-			}
+			lists := st.touchElem(n, &res.Stats)
+			kw := int(c.Keyword)
 			registered := false
-			if len(st.lists[c.Keyword]) < opt.MaxCursorsPerElement {
+			if len(lists[kw]) < opt.MaxCursorsPerElement {
 				// Oracle gating (sound): candidates formed at n with this
 				// path cost at least c.Cost + Σ_{j≠i} d_j(n); if that
 				// bound already exceeds the k-th candidate it can be
 				// skipped — the bound only loosens as kth shrinks, never
 				// the other way.
 				if oracle == nil {
-					st.lists[c.Keyword] = append(st.lists[c.Keyword], c)
+					lists[kw] = append(lists[kw], ent.idx)
 					registered = true
-				} else if kth, full := candidates.kthCost(); !full || c.Cost+oracle.Remaining(c.Keyword, n) <= kth {
-					st.lists[c.Keyword] = append(st.lists[c.Keyword], c)
+				} else if kth, full := candidates.kthCost(); !full || c.Cost+oracle.Remaining(kw, n) <= kth {
+					lists[kw] = append(lists[kw], ent.idx)
 					registered = true
 				}
 			}
 
 			if registered {
-				generateCandidates(st, c, candidates, &res.Stats)
+				st.generateCandidates(lists, ent.idx, candidates, &res.Stats)
 			}
 
 			// Expand to neighbors (lines 13–23). Children at distance
 			// DMax could never be registered (line 10 requires d < dmax),
 			// so they are not enqueued at all.
-			if c.Dist+1 < opt.DMax {
+			if int(c.Dist)+1 < opt.DMax {
 				parentElem := summary.NoElem
-				if c.Parent != nil {
-					parentElem = c.Parent.Elem
+				if c.parent != noCursor {
+					parentElem = st.slab.at(c.parent).Elem
 				}
 				for _, nb := range ag.Neighbors(n) {
 					if nb == parentElem {
 						continue // line 13: skip the element just visited
 					}
-					if c.onPath(nb) {
+					if st.slab.onPath(ent.idx, nb) {
 						continue // line 17: no cyclic paths
 					}
-					child := &Cursor{
+					idx, child := st.slab.alloc()
+					*child = Cursor{
 						Elem:    nb,
-						Keyword: c.Keyword,
 						Origin:  c.Origin,
-						Parent:  c,
+						parent:  ent.idx,
+						Keyword: c.Keyword,
 						Dist:    c.Dist + 1,
 						Cost:    c.Cost + cost(nb),
-						seq:     res.Stats.CursorsCreated,
 					}
-					queue.push(child)
+					st.queue.push(child.Cost, idx)
 					res.Stats.CursorsCreated++
 				}
 			}
@@ -278,7 +371,7 @@ func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, o
 		// Algorithm 2 termination test: k candidates exist and the k-th
 		// costs less than any possible future subgraph.
 		if kth, ok := candidates.kthCost(); ok {
-			if lowest, any := queue.min(); !any || kth < lowest {
+			if lowest, any := st.queue.min(); !any || kth < lowest {
 				res.Stats.Terminated = TopKReached
 				res.Subgraphs = candidates.results()
 				res.Guaranteed = true
@@ -294,8 +387,9 @@ func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, o
 }
 
 // generateCandidates implements the cursorCombinations step of Algorithm 2
-// for a newly registered cursor c at element n: if every other keyword
-// already has at least one path to n, each combination of c with one
+// for a newly registered cursor (slab index cIdx) at an element with
+// per-keyword lists `lists`: if every other keyword already has at least
+// one path to the element, each combination of the new cursor with one
 // cursor per other keyword yields a candidate subgraph. Generating
 // combinations only for the new cursor produces every combination exactly
 // once over the run.
@@ -305,45 +399,87 @@ func ExploreContext(ctx context.Context, ag *summary.Augmented, cost CostFunc, o
 // the cheapest possible completion exceeds the current k-th candidate,
 // the remaining combinations of that branch are skipped — they could only
 // produce candidates the list would immediately discard.
-func generateCandidates(st *elemState, c *Cursor, out *candidateList, stats *Stats) {
-	m := len(st.lists)
+func (st *exploreState) generateCandidates(lists [][]int32, cIdx int32, out *candidateList, stats *Stats) {
+	m := st.m
+	c := st.slab.at(cIdx)
+	kw := int(c.Keyword)
 	for i := 0; i < m; i++ {
-		if i != c.Keyword && len(st.lists[i]) == 0 {
-			return // n is not (yet) a connecting element
+		if i != kw && len(lists[i]) == 0 {
+			return // the element is not (yet) a connecting element
 		}
 	}
 	// minTail[i] = sum of the cheapest cursor costs of keywords i..m-1
-	// (with c's own cost fixed for its keyword).
-	minTail := make([]float64, m+1)
+	// (with the new cursor's own cost fixed for its keyword).
+	if cap(st.minTail) < m+1 {
+		st.minTail = make([]float64, m+1)
+	}
+	minTail := st.minTail[:m+1]
+	minTail[m] = 0
 	for i := m - 1; i >= 0; i-- {
-		if i == c.Keyword {
+		if i == kw {
 			minTail[i] = minTail[i+1] + c.Cost
 		} else {
-			minTail[i] = minTail[i+1] + st.lists[i][0].Cost
+			minTail[i] = minTail[i+1] + st.slab.at(lists[i][0]).Cost
 		}
 	}
-	bound := func() (float64, bool) { return out.kthCost() }
+	if cap(st.combo) < m {
+		st.combo = make([]int32, m)
+	}
+	combo := st.combo[:m]
+	combo[kw] = cIdx
+	st.combine(lists, 0, 0, kw, c.Cost, minTail, combo, out, stats)
+}
 
-	combo := make([]*Cursor, m)
-	combo[c.Keyword] = c
-	var rec func(i int, partial float64)
-	rec = func(i int, partial float64) {
-		if i == m {
-			out.add(mergeCursorPaths(combo))
-			stats.Candidates++
-			return
+// combine recursively fills combo[i..m) and emits complete combinations.
+func (st *exploreState) combine(lists [][]int32, i int, partial float64, kw int, cCost float64, minTail []float64, combo []int32, out *candidateList, stats *Stats) {
+	if i == st.m {
+		st.emitCandidate(combo, out, stats)
+		return
+	}
+	if i == kw {
+		st.combine(lists, i+1, partial+cCost, kw, cCost, minTail, combo, out, stats)
+		return
+	}
+	for _, other := range lists[i] {
+		oc := st.slab.at(other).Cost
+		if kth, full := out.kthCost(); full && partial+oc+minTail[i+1] > kth {
+			break // ascending list: no further combination can improve
 		}
-		if i == c.Keyword {
-			rec(i+1, partial+c.Cost)
-			return
-		}
-		for _, other := range st.lists[i] {
-			if kth, full := bound(); full && partial+other.Cost+minTail[i+1] > kth {
-				break // ascending list: no further combination can improve
-			}
-			combo[i] = other
-			rec(i+1, partial+other.Cost)
+		combo[i] = other
+		st.combine(lists, i+1, partial+oc, kw, cCost, minTail, combo, out, stats)
+	}
+}
+
+// emitCandidate merges one cursor per keyword into a candidate subgraph
+// (Algorithm 2 line 5; the cursors share the same final element) and
+// offers it to the candidate list. The element set, cost, and signature
+// are computed on recycled scratch first; the Subgraph (paths included) is
+// only materialized when the list would actually accept it, so duplicates
+// and over-budget candidates cost no allocation.
+func (st *exploreState) emitCandidate(combo []int32, out *candidateList, stats *Stats) {
+	stats.Candidates++
+	st.elemBuf = st.elemBuf[:0]
+	total := 0.0
+	for _, idx := range combo {
+		cur := st.slab.at(idx)
+		total += cur.Cost
+		for i := idx; i != noCursor; i = st.slab.at(i).parent {
+			st.elemBuf = append(st.elemBuf, st.slab.at(i).Elem)
 		}
 	}
-	rec(0, 0)
+	st.elemBuf = sortDedupElems(st.elemBuf)
+	st.sigBuf = appendSignature(st.sigBuf[:0], st.elemBuf)
+	if !out.wouldAccept(st.sigBuf, total) {
+		return
+	}
+	g := &Subgraph{
+		Elements:  append([]summary.ElemID(nil), st.elemBuf...),
+		Paths:     make([][]summary.ElemID, len(combo)),
+		Connector: st.slab.at(combo[0]).Elem,
+		Cost:      total,
+	}
+	for i, idx := range combo {
+		g.Paths[i] = st.slab.path(idx, nil)
+	}
+	out.add(g)
 }

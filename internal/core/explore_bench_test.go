@@ -52,6 +52,27 @@ func BenchmarkExploreManyKeywords(b *testing.B) {
 	}
 }
 
+// BenchmarkExploreWarm measures the steady-state serving path: a single
+// warm Explorer (as the engine holds) re-exploring one augmented graph —
+// the configuration whose allocs/op the slab/heap/dense-state design
+// drives toward zero.
+func BenchmarkExploreWarm(b *testing.B) {
+	sg, kwix := benchSetup(b)
+	matches := kwix.LookupAll([]string{"thanh tran", "publication"}, keywordindex.LookupOptions{})
+	ag := sg.Augment(matches)
+	scorer := scoring.New(scoring.Matching, ag)
+	ex := NewExplorer()
+	ex.Explore(ag, scorer.ElementCost, Options{K: 10})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := ex.Explore(ag, scorer.ElementCost, Options{K: 10})
+		if len(res.Subgraphs) == 0 {
+			b.Fatal("no subgraphs")
+		}
+	}
+}
+
 // BenchmarkAugment measures query-time graph-index augmentation alone.
 func BenchmarkAugment(b *testing.B) {
 	sg, kwix := benchSetup(b)

@@ -1,0 +1,89 @@
+package core
+
+// cursorQueue is the priority queue of Algorithm 1. The paper keeps one
+// sorted queue per keyword and pops the global minimum; a single heap over
+// all cursors selects exactly the same cursor at every step.
+//
+// The implementation is an implicit 4-ary min-heap over packed
+// (cost, slab index) entries — no interface boxing, no pointer chasing on
+// sift, and a shallower tree than a binary heap so pops touch fewer cache
+// lines. The slab index doubles as the creation sequence number, so the
+// (cost, idx) comparison is a total order: ties break FIFO, giving the
+// deterministic pop order Theorem 1's tests pin down, identical to the
+// previous container/heap implementation.
+type cursorQueue struct {
+	entries []heapEntry
+}
+
+// heapEntry packs everything a sift comparison needs into 16 bytes.
+type heapEntry struct {
+	cost float64
+	idx  int32 // slab index == creation sequence number
+}
+
+func (e heapEntry) less(o heapEntry) bool {
+	if e.cost != o.cost {
+		return e.cost < o.cost
+	}
+	return e.idx < o.idx
+}
+
+func (q *cursorQueue) reset() { q.entries = q.entries[:0] }
+
+func (q *cursorQueue) len() int { return len(q.entries) }
+
+func (q *cursorQueue) push(cost float64, idx int32) {
+	q.entries = append(q.entries, heapEntry{})
+	i := len(q.entries) - 1
+	e := heapEntry{cost: cost, idx: idx}
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(q.entries[p]) {
+			break
+		}
+		q.entries[i] = q.entries[p]
+		i = p
+	}
+	q.entries[i] = e
+}
+
+func (q *cursorQueue) pop() heapEntry {
+	top := q.entries[0]
+	n := len(q.entries) - 1
+	last := q.entries[n]
+	q.entries = q.entries[:n]
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			min := c
+			for j := c + 1; j < end; j++ {
+				if q.entries[j].less(q.entries[min]) {
+					min = j
+				}
+			}
+			if !q.entries[min].less(last) {
+				break
+			}
+			q.entries[i] = q.entries[min]
+			i = min
+		}
+		q.entries[i] = last
+	}
+	return top
+}
+
+// min returns the cheapest outstanding cursor cost, or ok=false if empty.
+func (q *cursorQueue) min() (float64, bool) {
+	if len(q.entries) == 0 {
+		return 0, false
+	}
+	return q.entries[0].cost, true
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/summary"
@@ -32,29 +31,35 @@ type DistanceOracle struct {
 func NewDistanceOracle(ag *summary.Augmented, cost CostFunc, seeds [][]summary.ElemID) *DistanceOracle {
 	n := ag.NumElements()
 	o := &DistanceOracle{dist: make([][]float64, len(seeds))}
+	// The Dijkstra frontier reuses the exploration's boxing-free implicit
+	// 4-ary heap, carrying the element ID in the idx slot. The (cost, idx)
+	// tie-break is harmless here: settled distances — all the oracle
+	// exposes — are tie-independent.
+	var h cursorQueue
 	for i, ki := range seeds {
 		d := make([]float64, n)
 		for j := range d {
 			d[j] = math.Inf(1)
 		}
-		h := &oracleHeap{}
+		h.reset()
 		for _, s := range ki {
 			c := cost(s)
 			if c < d[s] {
 				d[s] = c
-				heap.Push(h, oracleItem{elem: s, cost: c})
+				h.push(c, int32(s))
 			}
 		}
-		for h.Len() > 0 {
-			it := heap.Pop(h).(oracleItem)
-			if it.cost > d[it.elem] {
+		for h.len() > 0 {
+			it := h.pop()
+			elem := summary.ElemID(it.idx)
+			if it.cost > d[elem] {
 				continue // stale entry
 			}
-			for _, nb := range ag.Neighbors(it.elem) {
+			for _, nb := range ag.Neighbors(elem) {
 				nc := it.cost + cost(nb)
 				if nc < d[nb] {
 					d[nb] = nc
-					heap.Push(h, oracleItem{elem: nb, cost: nc})
+					h.push(nc, int32(nb))
 				}
 			}
 		}
@@ -85,23 +90,4 @@ func (o *DistanceOracle) Reachable(elem summary.ElemID) bool {
 		}
 	}
 	return true
-}
-
-type oracleItem struct {
-	elem summary.ElemID
-	cost float64
-}
-
-type oracleHeap []oracleItem
-
-func (h oracleHeap) Len() int            { return len(h) }
-func (h oracleHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
-func (h oracleHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *oracleHeap) Push(x interface{}) { *h = append(*h, x.(oracleItem)) }
-func (h *oracleHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"slices"
 	"sort"
 
 	"repro/internal/summary"
@@ -24,43 +25,33 @@ type Subgraph struct {
 	Cost float64
 }
 
-// signature is a canonical byte-string key over the element set, used to
-// de-duplicate structurally identical candidates.
-func (g *Subgraph) signature() string {
-	buf := make([]byte, 4*len(g.Elements))
-	for i, e := range g.Elements {
-		binary.LittleEndian.PutUint32(buf[4*i:], uint32(e))
+// appendSignature appends the canonical byte-string key over a sorted
+// element set onto buf, used to de-duplicate structurally identical
+// candidates. Lookups pass the bytes directly (map access with a
+// string(bytes) key does not allocate); only insertions intern a string.
+func appendSignature(buf []byte, elems []summary.ElemID) []byte {
+	for _, e := range elems {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e))
 	}
-	return string(buf)
+	return buf
+}
+
+// signature is the canonical key over the element set.
+func (g *Subgraph) signature() string {
+	return string(appendSignature(make([]byte, 0, 4*len(g.Elements)), g.Elements))
+}
+
+// sortDedupElems sorts an element multiset in place and removes
+// duplicates, returning the shortened slice.
+func sortDedupElems(elems []summary.ElemID) []summary.ElemID {
+	slices.Sort(elems)
+	return slices.Compact(elems)
 }
 
 // Contains reports whether the subgraph includes element e.
 func (g *Subgraph) Contains(e summary.ElemID) bool {
 	i := sort.Search(len(g.Elements), func(i int) bool { return g.Elements[i] >= e })
 	return i < len(g.Elements) && g.Elements[i] == e
-}
-
-// mergeCursorPaths builds a Subgraph from one cursor per keyword
-// (Algorithm 2 line 5). The cursors must share the same final element.
-func mergeCursorPaths(cursors []*Cursor) *Subgraph {
-	g := &Subgraph{
-		Paths:     make([][]summary.ElemID, len(cursors)),
-		Connector: cursors[0].Elem,
-	}
-	set := map[summary.ElemID]bool{}
-	for i, c := range cursors {
-		g.Paths[i] = c.Path()
-		g.Cost += c.Cost
-		for _, e := range g.Paths[i] {
-			set[e] = true
-		}
-	}
-	g.Elements = make([]summary.ElemID, 0, len(set))
-	for e := range set {
-		g.Elements = append(g.Elements, e)
-	}
-	sort.Slice(g.Elements, func(i, j int) bool { return g.Elements[i] < g.Elements[j] })
-	return g
 }
 
 // candidateList is LG′ of Algorithm 2: the best candidate subgraphs found
@@ -74,6 +65,22 @@ type candidateList struct {
 
 func newCandidateList(k int) *candidateList {
 	return &candidateList{k: k, bySig: make(map[string]*Subgraph)}
+}
+
+// wouldAccept reports whether add() would change the list for a candidate
+// with the given signature and cost — the allocation-free pre-check the
+// exploration runs before materializing a Subgraph. It mirrors add()
+// exactly: a known signature is accepted only strictly cheaper; a new one
+// only if the list is underfull or it beats the current last item (equal
+// cost sorts after existing items under the stable sort and is trimmed).
+func (l *candidateList) wouldAccept(sig []byte, cost float64) bool {
+	if prev, ok := l.bySig[string(sig)]; ok {
+		return cost < prev.Cost
+	}
+	if len(l.items) < l.k {
+		return true
+	}
+	return cost < l.items[len(l.items)-1].Cost
 }
 
 // add inserts a candidate; returns true if the list changed.

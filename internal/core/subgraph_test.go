@@ -86,14 +86,30 @@ func TestSignatureDistinguishesSets(t *testing.T) {
 	}
 }
 
-func TestMergeCursorPaths(t *testing.T) {
-	// Two cursors meeting at element 7.
-	c1 := &Cursor{Elem: 7, Keyword: 0, Origin: 1, Cost: 3,
-		Parent: &Cursor{Elem: 4, Keyword: 0, Origin: 1, Cost: 2,
-			Parent: &Cursor{Elem: 1, Keyword: 0, Origin: 1, Cost: 1}}}
-	c2 := &Cursor{Elem: 7, Keyword: 1, Origin: 2, Cost: 2,
-		Parent: &Cursor{Elem: 2, Keyword: 1, Origin: 2, Cost: 1}}
-	g := mergeCursorPaths([]*Cursor{c1, c2})
+func TestEmitCandidateMergesPaths(t *testing.T) {
+	// Two slab cursors meeting at element 7: 1→4→7 (keyword 0) and
+	// 2→7 (keyword 1).
+	st := &exploreState{}
+	st.begin(8, 2)
+	mk := func(elem summary.ElemID, kw int32, origin summary.ElemID, parent int32, cost float64) int32 {
+		idx, c := st.slab.alloc()
+		*c = Cursor{Elem: elem, Origin: origin, parent: parent, Keyword: kw, Cost: cost}
+		return idx
+	}
+	a := mk(1, 0, 1, noCursor, 1)
+	a = mk(4, 0, 1, a, 2)
+	a = mk(7, 0, 1, a, 3)
+	b := mk(2, 1, 2, noCursor, 1)
+	b = mk(7, 1, 2, b, 2)
+
+	out := newCandidateList(5)
+	var stats Stats
+	st.emitCandidate([]int32{a, b}, out, &stats)
+	res := out.results()
+	if len(res) != 1 || stats.Candidates != 1 {
+		t.Fatalf("emit produced %d subgraphs (%d candidates)", len(res), stats.Candidates)
+	}
+	g := res[0]
 	if g.Cost != 5 {
 		t.Fatalf("cost = %v, want 5", g.Cost)
 	}
@@ -105,5 +121,15 @@ func TestMergeCursorPaths(t *testing.T) {
 	}
 	if g.Paths[0][0] != 1 || g.Paths[1][0] != 2 {
 		t.Fatalf("paths do not start at origins: %v", g.Paths)
+	}
+
+	// A duplicate element set that is not cheaper must be rejected before
+	// materialization (the list is unchanged).
+	st.emitCandidate([]int32{a, b}, out, &stats)
+	if res := out.results(); len(res) != 1 || res[0] != g {
+		t.Fatal("duplicate candidate should not replace the original")
+	}
+	if stats.Candidates != 2 {
+		t.Fatalf("Candidates = %d, want 2 (counts pre-dedup)", stats.Candidates)
 	}
 }

@@ -103,6 +103,12 @@ type Engine struct {
 	exec  *exec.Engine
 	built bool
 
+	// explorer recycles exploration working memory (cursor slab, priority
+	// queue, dense element state) across queries, so a warm engine's
+	// Search hot path is allocation-free in steady state. It is internally
+	// synchronized; concurrent searches each check out their own state.
+	explorer *core.Explorer
+
 	// BuildTime records the duration of the last Build (Fig. 6b). Read it
 	// after Build (or Seal) returns, not concurrently with loading.
 	BuildTime time.Duration
@@ -114,7 +120,7 @@ var ErrSealed = errors.New("engine: sealed (read-only); no further data can be a
 
 // New creates an empty engine.
 func New(cfg Config) *Engine {
-	return &Engine{cfg: cfg.withDefaults(), st: store.New()}
+	return &Engine{cfg: cfg.withDefaults(), st: store.New(), explorer: core.NewExplorer()}
 }
 
 // Store exposes the underlying triple store. The returned store is
@@ -430,7 +436,7 @@ func (e *Engine) SearchKContext(ctx context.Context, keywords []string, k int) (
 
 	// 3. Top-k graph exploration.
 	scorer := scoring.New(e.cfg.Scoring, ag)
-	res := core.ExploreContext(ctx, ag, scorer.ElementCost, core.Options{K: k, DMax: e.cfg.DMax, UseOracle: e.cfg.UseOracle})
+	res := e.explorer.ExploreContext(ctx, ag, scorer.ElementCost, core.Options{K: k, DMax: e.cfg.DMax, UseOracle: e.cfg.UseOracle})
 	info.Exploration = res.Stats
 	info.Guaranteed = res.Guaranteed
 	if res.Stats.Terminated == core.Cancelled {

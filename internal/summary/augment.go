@@ -49,7 +49,17 @@ type Augmented struct {
 	extra     []Element           // augmentation elements; ID = base count + index
 	extraNbrs [][]ElemID          // adjacency of extra elements
 	bonusNbrs map[ElemID][]ElemID // additional neighbors of base elements
-	scores    map[ElemID]float64  // sm(n) for keyword-matching elements
+
+	// merged holds, for every base element with bonus neighbors, its full
+	// (base + bonus) adjacency, precomputed once at Augment time so the
+	// exploration's per-pop Neighbors call never merges (and never
+	// allocates) on the hot path.
+	merged map[ElemID][]ElemID
+
+	// scores is sm(n) for keyword-matching elements, dense over ElemID
+	// (0 = not a keyword element → score 1). Dense indexing keeps the
+	// per-cursor MatchScore lookup of the C3 cost function off the map.
+	scores []float64
 
 	// seeds[i] holds the keyword elements K_i for keyword i.
 	seeds [][]ElemID
@@ -62,7 +72,6 @@ func (sg *Graph) Augment(perKeyword [][]Match) *Augmented {
 	ag := &Augmented{
 		Base:      sg,
 		bonusNbrs: make(map[ElemID][]ElemID),
-		scores:    make(map[ElemID]float64),
 		seeds:     make([][]ElemID, len(perKeyword)),
 	}
 	// Dedup maps for augmentation elements.
@@ -121,6 +130,19 @@ func (sg *Graph) Augment(perKeyword [][]Match) *Augmented {
 			}
 		}
 	}
+	// Freeze the merged adjacency of base elements that gained bonus
+	// neighbors: one slice built per touched element, instead of one per
+	// Neighbors call during exploration.
+	if len(ag.bonusNbrs) > 0 {
+		ag.merged = make(map[ElemID][]ElemID, len(ag.bonusNbrs))
+		for id, bonus := range ag.bonusNbrs {
+			base := sg.nbrs[id]
+			out := make([]ElemID, 0, len(base)+len(bonus))
+			out = append(out, base...)
+			out = append(out, bonus...)
+			ag.merged[id] = out
+		}
+	}
 	return ag
 }
 
@@ -168,13 +190,22 @@ func (ag *Augmented) extraIdx(id ElemID) int { return int(id) - len(ag.Base.elem
 func (ag *Augmented) addSeed(i int, el ElemID, sm float64) {
 	for _, s := range ag.seeds[i] {
 		if s == el {
-			if sm > ag.scores[el] {
-				ag.scores[el] = sm
-			}
+			ag.setScore(el, sm)
 			return
 		}
 	}
 	ag.seeds[i] = append(ag.seeds[i], el)
+	ag.setScore(el, sm)
+}
+
+// setScore folds a matching score into the dense score table, growing it
+// to cover augmentation elements created since the last seed.
+func (ag *Augmented) setScore(el ElemID, sm float64) {
+	if int(el) >= len(ag.scores) {
+		ns := make([]float64, ag.NumElements())
+		copy(ns, ag.scores)
+		ag.scores = ns
+	}
 	if sm > ag.scores[el] {
 		ag.scores[el] = sm
 	}
@@ -192,31 +223,33 @@ func (ag *Augmented) Element(id ElemID) Element {
 	return ag.Base.elems[id]
 }
 
-// Neighbors returns the adjacency of id in the augmented graph.
-// The returned slice must not be modified.
+// Neighbors returns the adjacency of id in the augmented graph. The
+// returned slice must not be modified. It never allocates: merged
+// base+bonus adjacency is precomputed at Augment time.
 func (ag *Augmented) Neighbors(id ElemID) []ElemID {
 	if ag.isExtra(id) {
 		return ag.extraNbrs[ag.extraIdx(id)]
 	}
-	base := ag.Base.nbrs[id]
-	bonus := ag.bonusNbrs[id]
-	if len(bonus) == 0 {
-		return base
+	if ag.merged != nil {
+		if out, ok := ag.merged[id]; ok {
+			return out
+		}
 	}
-	out := make([]ElemID, 0, len(base)+len(bonus))
-	out = append(out, base...)
-	out = append(out, bonus...)
-	return out
+	return ag.Base.nbrs[id]
 }
 
 // Seeds returns the per-keyword element sets K_1..K_m.
 func (ag *Augmented) Seeds() [][]ElemID { return ag.seeds }
 
 // MatchScore returns sm(n): the matching score for keyword elements and
-// 1 for all other elements (Sec. V).
+// 1 for all other elements (Sec. V). The dense-slice lookup keeps this
+// call cheap on the exploration hot path (it runs once per created cursor
+// under the C3 cost function).
 func (ag *Augmented) MatchScore(id ElemID) float64 {
-	if s, ok := ag.scores[id]; ok && s > 0 {
-		return s
+	if int(id) < len(ag.scores) {
+		if s := ag.scores[id]; s > 0 {
+			return s
+		}
 	}
 	return 1
 }
