@@ -6,6 +6,7 @@
 // Usage:
 //
 //	benchmark explore           exploration hot path (ns/op, B/op, allocs/op)
+//	benchmark shard             scatter-gather cluster vs single engine (1/2/4 shards)
 //	benchmark fig4              effectiveness: MRR of C1/C2/C3 (DBLP + TAP)
 //	benchmark fig5              query performance vs baselines (Q1–Q10)
 //	benchmark fig6a             search time vs k and query length
@@ -46,6 +47,7 @@ func main() {
 	unis := flag.Int("unis", 1, "LUBM scale (universities)")
 	tapScale := flag.Int("tap", 25, "TAP scale (instances per class)")
 	seed := flag.Int64("seed", 1, "dataset seed")
+	iters := flag.Int("iters", 0, "fixed iterations per shard-bench case (0 = auto benchtime; CI smoke uses a small value)")
 	benchdir := flag.String("benchdir", ".", "directory for BENCH_<name>.json output")
 	flag.Parse()
 
@@ -67,6 +69,22 @@ func main() {
 			results := bench.RunExploreBench(env, bench.DefaultExploreBenchCases())
 			fmt.Println(bench.FormatExploreBench(results))
 			out := filepath.Join(*benchdir, "BENCH_explore.json")
+			if err := bench.WriteBenchJSON(out, results); err != nil {
+				log.Fatalf("writing %s: %v", out, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+		case "shard":
+			env := dblpEnv()
+			fmt.Fprintln(os.Stderr, "building shard clusters (1, 2, 4 shards)...")
+			results, mismatches := bench.RunShardBench(env, bench.PerfWorkload(), []int{0, 1, 2, 4}, 1000, *iters)
+			fmt.Println(bench.FormatShardBench(results))
+			for _, m := range mismatches {
+				fmt.Fprintf(os.Stderr, "EQUIVALENCE MISMATCH: %s\n", m)
+			}
+			if len(mismatches) > 0 {
+				log.Fatalf("%d cluster/engine equivalence mismatches", len(mismatches))
+			}
+			out := filepath.Join(*benchdir, "BENCH_shard.json")
 			if err := bench.WriteBenchJSON(out, results); err != nil {
 				log.Fatalf("writing %s: %v", out, err)
 			}
@@ -111,7 +129,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"explore", "fig4", "fig5", "fig6a", "fig6b",
+		for _, name := range []string{"explore", "shard", "fig4", "fig5", "fig6a", "fig6b",
 			"ablation-summary", "ablation-dmax", "ablation-cap",
 			"ablation-scale", "ablation-oracle"} {
 			run(name)

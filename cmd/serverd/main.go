@@ -1,19 +1,26 @@
 // Command serverd serves keyword search over RDF data as an HTTP/JSON
 // API — the production face of the SearchWebDB reproduction. It loads a
 // dataset (from a file, a snapshot, or the built-in generators), builds
-// the indexes once, seals the engine read-only, and serves concurrent
+// the indexes once, seals the backend read-only, and serves concurrent
 // search/execute/explain traffic with a result cache, request deadlines,
 // and Prometheus metrics.
+//
+// With -shards N (N > 1) the dataset is subject-partitioned across N
+// in-process shards behind a scatter-gather coordinator (internal/shard):
+// keyword mapping fans out to every shard, execution runs as a
+// distributed bind-join, and results are provably identical to the
+// single-engine deployment.
 //
 // Usage:
 //
 //	serverd -data dblp.nt -addr :8080
-//	serverd -gen dblp -scale 2000 -addr :8080
+//	serverd -gen dblp -scale 2000 -shards 4 -addr :8080
 //
 // Endpoints:
 //
 //	POST /v1/search   {"keywords": ["cimiano", "2006"], "k": 5}
 //	POST /v1/execute  {"id": "<candidate id>"} | {"keywords": [...], "rank": 0} | {"query": {...}}
+//	                  (Accept: application/x-ndjson streams the answers)
 //	POST /v1/explain  same request shape as /v1/execute
 //	GET  /healthz     liveness and dataset size
 //	GET  /stats       cache, pool, and traffic statistics (JSON)
@@ -26,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -38,10 +46,21 @@ import (
 
 	repro "repro"
 	"repro/internal/datagen"
+	"repro/internal/engine"
 	"repro/internal/rdf"
 	"repro/internal/scoring"
 	"repro/internal/server"
+	"repro/internal/shard"
 )
+
+// loader is the ingestion surface shared by the single engine and the
+// shard builder, so the flag-driven loading below is written once.
+type loader interface {
+	AddTriple(t rdf.Triple)
+	LoadNTriples(r io.Reader) (int, error)
+	LoadTurtle(r io.Reader) (int, error)
+	LoadSnapshot(r io.Reader) (int, error)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -52,8 +71,10 @@ func main() {
 	scale := flag.Int("scale", 1000, "scale for -gen")
 	k := flag.Int("k", 10, "default number of query candidates")
 	scheme := flag.String("scoring", "c3", "scoring function: c1 | c2 | c3")
+	shards := flag.Int("shards", 1, "subject-partitioned shards behind a scatter-gather coordinator (1 = single engine)")
 	workers := flag.Int("workers", 0, "max concurrent query computations (default 2×GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1024, "search-result cache entries")
+	cacheTTL := flag.Duration("cache-ttl", 0, "max age of cached results (0 = no expiry; set for datasets that get swapped)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap/mutex profiles of the live server)")
@@ -70,46 +91,44 @@ func main() {
 	default:
 		log.Fatalf("unknown scoring %q", *scheme)
 	}
-	eng := repro.New(cfg)
+
+	var (
+		backend engine.Queryer
+		dst     loader
+		builder *shard.Builder
+	)
+	if *shards > 1 {
+		builder = shard.NewBuilder(*shards, cfg)
+		dst = builder
+	} else {
+		eng := repro.New(cfg)
+		backend = eng
+		dst = eng
+	}
 
 	loadStart := time.Now()
+	loadFile := func(path string, load func(io.Reader) (int, error), what string) {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := load(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded %d triples from %s %s in %v", n, what, path, time.Since(loadStart).Round(time.Millisecond))
+	}
 	switch {
 	case *data != "":
-		f, err := os.Open(*data)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, err := eng.LoadNTriples(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded %d triples from %s in %v", n, *data, time.Since(loadStart).Round(time.Millisecond))
+		loadFile(*data, dst.LoadNTriples, "N-Triples file")
 	case *turtle != "":
-		f, err := os.Open(*turtle)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, err := eng.LoadTurtle(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded %d triples from %s in %v", n, *turtle, time.Since(loadStart).Round(time.Millisecond))
+		loadFile(*turtle, dst.LoadTurtle, "Turtle file")
 	case *snapshot != "":
-		f, err := os.Open(*snapshot)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, err := eng.LoadSnapshot(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded %d triples from snapshot %s in %v", n, *snapshot, time.Since(loadStart).Round(time.Millisecond))
+		loadFile(*snapshot, dst.LoadSnapshot, "snapshot")
 	case *gen != "":
 		var triples int
-		emit := func(t rdf.Triple) { eng.AddTriple(t); triples++ }
+		emit := func(t rdf.Triple) { dst.AddTriple(t); triples++ }
 		switch *gen {
 		case "dblp":
 			datagen.DBLP(datagen.DBLPConfig{Publications: *scale, Seed: 1}, emit)
@@ -128,13 +147,21 @@ func main() {
 	}
 
 	buildStart := time.Now()
-	srv := server.New(eng, server.Config{
+	if builder != nil {
+		cl := builder.Build()
+		backend = cl
+		log.Printf("partitioned into %d shards %v; indexes built in %v",
+			cl.NumShards(), cl.ShardSizes(), time.Since(buildStart).Round(time.Millisecond))
+	}
+	srv := server.New(backend, server.Config{
 		Workers:         *workers,
 		SearchCacheSize: *cacheSize,
+		CacheTTL:        *cacheTTL,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 	}, runtime.GOMAXPROCS(0))
-	log.Printf("indexes built in %v; engine sealed", time.Since(buildStart).Round(time.Millisecond))
+	log.Printf("backend sealed (%d triples); serving ready in %v",
+		backend.NumTriples(), time.Since(buildStart).Round(time.Millisecond))
 
 	handler := srv.Handler()
 	if *pprofFlag {

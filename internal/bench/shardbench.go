@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// The shard benchmark: the Fig. 5 performance workload run against the
+// single engine and against scatter-gather clusters of 1, 2, and 4
+// shards, measuring end-to-end search and execute latency. It makes the
+// cost of distribution visible (coordination overhead on a single
+// machine; the win arrives when shards get their own cores/machines) and
+// cross-checks candidate counts, top costs, and answer counts across
+// backends per query, reporting any equivalence mismatch.
+
+// ShardBenchResult is the machine-readable record of one (backend, query)
+// measurement, serialized to BENCH_shard.json.
+type ShardBenchResult struct {
+	Name       string   `json:"name"` // e.g. "Q1/shards=2"
+	Dataset    string   `json:"dataset"`
+	Shards     int      `json:"shards"` // 0 = single engine
+	Keywords   []string `json:"keywords"`
+	SearchNs   float64  `json:"search_ns_per_op"`
+	ExecuteNs  float64  `json:"execute_ns_per_op"`
+	Candidates int      `json:"candidates"`
+	Rows       int      `json:"rows"`
+}
+
+// RunShardBench builds the backends over env's triples and measures the
+// perf workload on each. shardCounts of 0 selects the single engine.
+// iters > 0 times that many fixed iterations per case (the CI smoke
+// mode); iters ≤ 0 uses testing.Benchmark's self-calibrated duration.
+// mismatches lists every per-query divergence between backends
+// (candidate count, top candidate cost, answer count) — empty when the
+// equivalence guarantee holds, as it must.
+func RunShardBench(env *Env, queries []PerfQuery, shardCounts []int, limit, iters int) (results []ShardBenchResult, mismatches []string) {
+	cfg := engine.Config{}
+	var out []ShardBenchResult
+	type fingerprint struct {
+		backend string
+		cands   int
+		topCost float64
+		rows    int
+	}
+	prints := map[string][]fingerprint{}
+	measure := func(f func() error) float64 {
+		if iters > 0 {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := f(); err != nil {
+					return 0
+				}
+			}
+			return float64(time.Since(start).Nanoseconds()) / float64(iters)
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if br.N == 0 {
+			return 0
+		}
+		return float64(br.T.Nanoseconds()) / float64(br.N)
+	}
+	for _, n := range shardCounts {
+		var search func(kws []string) ([]*engine.QueryCandidate, error)
+		var execute func(c *engine.QueryCandidate) (int, error)
+		label := "engine"
+		if n == 0 {
+			eng := engine.New(cfg)
+			eng.AddTriples(env.Triples)
+			eng.Seal()
+			search = func(kws []string) ([]*engine.QueryCandidate, error) {
+				cands, _, err := eng.Search(kws)
+				return cands, err
+			}
+			execute = func(c *engine.QueryCandidate) (int, error) {
+				rs, err := eng.ExecuteLimit(c, limit)
+				if err != nil {
+					return 0, err
+				}
+				return rs.Len(), nil
+			}
+		} else {
+			b := shard.NewBuilder(n, cfg)
+			b.AddTriples(env.Triples)
+			cl := b.Build()
+			label = fmt.Sprintf("shards=%d", n)
+			search = func(kws []string) ([]*engine.QueryCandidate, error) {
+				cands, _, err := cl.Search(kws)
+				return cands, err
+			}
+			execute = func(c *engine.QueryCandidate) (int, error) {
+				rs, err := cl.ExecuteLimitContext(context.Background(), c, limit)
+				if err != nil {
+					return 0, err
+				}
+				return rs.Len(), nil
+			}
+		}
+		for _, q := range queries {
+			cands, err := search(q.Keywords)
+			if err != nil {
+				continue // e.g. unmatched keywords at this scale
+			}
+			rows := 0
+			if len(cands) > 0 {
+				if r, err := execute(cands[0]); err == nil {
+					rows = r
+				}
+			}
+			fp := fingerprint{backend: label, cands: len(cands), rows: rows}
+			if len(cands) > 0 {
+				fp.topCost = cands[0].Cost
+			}
+			prints[q.ID] = append(prints[q.ID], fp)
+
+			res := ShardBenchResult{
+				Name:       q.ID + "/" + label,
+				Dataset:    env.Name,
+				Shards:     n,
+				Keywords:   q.Keywords,
+				Candidates: len(cands),
+				Rows:       rows,
+			}
+			res.SearchNs = measure(func() error {
+				_, err := search(q.Keywords)
+				return err
+			})
+			if len(cands) > 0 {
+				res.ExecuteNs = measure(func() error {
+					_, err := execute(cands[0])
+					return err
+				})
+			}
+			out = append(out, res)
+		}
+	}
+	// Equivalence cross-check: every backend must have produced the same
+	// candidate count, top cost, and answer count per query.
+	ids := make([]string, 0, len(prints))
+	for id := range prints {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fps := prints[id]
+		for _, fp := range fps[1:] {
+			if fp.cands != fps[0].cands || fp.topCost != fps[0].topCost || fp.rows != fps[0].rows {
+				mismatches = append(mismatches, fmt.Sprintf(
+					"%s: %s (cands=%d top=%g rows=%d) vs %s (cands=%d top=%g rows=%d)",
+					id, fps[0].backend, fps[0].cands, fps[0].topCost, fps[0].rows,
+					fp.backend, fp.cands, fp.topCost, fp.rows))
+			}
+		}
+	}
+	return out, mismatches
+}
+
+// FormatShardBench renders the human table for a set of results.
+func FormatShardBench(results []ShardBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scatter-gather cluster vs single engine (search + execute latency)\n")
+	fmt.Fprintf(&b, "%-16s %-9s %12s %12s %6s %7s\n",
+		"case", "dataset", "search µs", "exec µs", "cands", "rows")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-16s %-9s %12.1f %12.1f %6d %7d\n",
+			r.Name, r.Dataset, r.SearchNs/1e3, r.ExecuteNs/1e3, r.Candidates, r.Rows)
+	}
+	return b.String()
+}

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -59,7 +58,11 @@ type Config struct {
 	Thesaurus *thesaurus.Thesaurus
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults returns the configuration with the paper's defaults filled
+// in for unset fields — the normalization New applies. Exported for the
+// sharded cluster builder, which must serve the exact configuration a
+// single engine would.
+func (c Config) WithDefaults() Config {
 	if c.K <= 0 {
 		c.K = 10
 	}
@@ -120,7 +123,7 @@ var ErrSealed = errors.New("engine: sealed (read-only); no further data can be a
 
 // New creates an empty engine.
 func New(cfg Config) *Engine {
-	return &Engine{cfg: cfg.withDefaults(), st: store.New(), explorer: core.NewExplorer()}
+	return &Engine{cfg: cfg.WithDefaults(), st: store.New(), explorer: core.NewExplorer()}
 }
 
 // Store exposes the underlying triple store. The returned store is
@@ -159,6 +162,20 @@ func (e *Engine) Config() Config {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	return e.cfg
+}
+
+// NumTriples returns the number of distinct triples in the store.
+func (e *Engine) NumTriples() int {
+	return e.Store().Len()
+}
+
+// BuildDuration returns the duration of the last Build (zero before any
+// build). It is the method form of the BuildTime field, usable through
+// the Queryer interface.
+func (e *Engine) BuildDuration() time.Duration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.BuildTime
 }
 
 // AddTriples appends triples; the engine rebuilds its indexes on the next
@@ -404,9 +421,9 @@ func (e *Engine) SearchKContext(ctx context.Context, keywords []string, k int) (
 		DisableSemantic: e.cfg.DisableSemantic,
 	}
 	matches := make([][]summary.Match, len(keywords))
-	filterSpecs := make([]*filterSpec, len(keywords))
+	filterSpecs := make([]*FilterSpec, len(keywords))
 	for i, kw := range keywords {
-		if spec, ok := parseFilterKeyword(kw); ok {
+		if spec, ok := ParseFilterKeyword(kw); ok {
 			specCopy := spec
 			filterSpecs[i] = &specCopy
 			matches[i] = e.kwix.NumericAttrMatches()
@@ -425,63 +442,13 @@ func (e *Engine) SearchKContext(ctx context.Context, keywords []string, k int) (
 	if len(unmatched) > 0 {
 		return nil, info, &UnmatchedKeywordsError{Keywords: unmatched}
 	}
-	// Keyword mapping (fuzzy + semantic lookups) is the other potentially
-	// expensive pre-exploration stage; re-check before augmenting.
-	if err := ctx.Err(); err != nil {
+
+	// 2–4. Augmentation, exploration, and query mapping — the tail shared
+	// with the sharded coordinator.
+	cands, err := ComputeCandidates(ctx, e.explorer, e.sum, e.cfg, k, matches, filterSpecs, info)
+	if err != nil {
 		return nil, info, err
 	}
-
-	// 2. Augmentation of the graph index.
-	ag := e.sum.Augment(matches)
-
-	// 3. Top-k graph exploration.
-	scorer := scoring.New(e.cfg.Scoring, ag)
-	res := e.explorer.ExploreContext(ctx, ag, scorer.ElementCost, core.Options{K: k, DMax: e.cfg.DMax, UseOracle: e.cfg.UseOracle})
-	info.Exploration = res.Stats
-	info.Guaranteed = res.Guaranteed
-	if res.Stats.Terminated == core.Cancelled {
-		return nil, info, ctx.Err()
-	}
-
-	// 4. Element-to-query mapping, attaching filters to the variables of
-	// the matched attribute edges' artificial value nodes, then
-	// de-duplicating equivalent queries.
-	seeds := ag.Seeds()
-	var cands []*QueryCandidate
-	for _, g := range res.Subgraphs {
-		q, vars := query.FromSubgraphVars(ag, g)
-		if len(q.Atoms) == 0 {
-			continue // e.g. several keywords matching one isolated value
-		}
-		for i, spec := range filterSpecs {
-			if spec == nil {
-				continue
-			}
-			for _, seed := range seeds[i] {
-				if !g.Contains(seed) {
-					continue
-				}
-				el := ag.Element(seed)
-				if el.Kind != summary.AttrEdge {
-					continue
-				}
-				if v, ok := vars[el.To]; ok {
-					q.AddFilter(query.Filter{Var: v, Op: spec.op, Value: spec.value})
-				}
-			}
-		}
-		dup := false
-		for _, prev := range cands {
-			if query.Equivalent(prev.Query, q) {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			cands = append(cands, &QueryCandidate{Query: q, Cost: q.Cost})
-		}
-	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Cost < cands[j].Cost })
 	info.Elapsed = time.Since(start)
 	return cands, info, nil
 }

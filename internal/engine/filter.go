@@ -7,11 +7,13 @@ import (
 	"repro/internal/query"
 )
 
-// filterSpec is a parsed filter keyword (the Sec. IX filter-operator
-// extension): "before 2005", "after 1998", "<= 10", "> 3.5", ….
-type filterSpec struct {
-	op    query.FilterOp
-	value float64
+// FilterSpec is a parsed filter keyword (the Sec. IX filter-operator
+// extension): "before 2005", "after 1998", "<= 10", "> 3.5", …. It is
+// exported because the sharded-cluster coordinator (internal/shard)
+// parses filter keywords with exactly the same rules as the engine.
+type FilterSpec struct {
+	Op    query.FilterOp
+	Value float64
 }
 
 // filterWords maps natural-language comparators to operators.
@@ -26,28 +28,28 @@ var filterWords = map[string]query.FilterOp{
 	">=":     query.OpGE,
 }
 
-// parseFilterKeyword recognizes a filter keyword: an operator word or
+// ParseFilterKeyword recognizes a filter keyword: an operator word or
 // symbol followed by a number ("before 2005", ">= 1998"), or a compact
 // symbol form ("<2005").
-func parseFilterKeyword(kw string) (filterSpec, bool) {
+func ParseFilterKeyword(kw string) (FilterSpec, bool) {
 	s := strings.TrimSpace(strings.ToLower(kw))
 	fields := strings.Fields(s)
 	if len(fields) == 2 {
 		if op, ok := filterWords[fields[0]]; ok {
 			if v, err := strconv.ParseFloat(fields[1], 64); err == nil {
-				return filterSpec{op: op, value: v}, true
+				return FilterSpec{Op: op, Value: v}, true
 			}
 		}
-		return filterSpec{}, false
+		return FilterSpec{}, false
 	}
 	if len(fields) == 1 {
 		for _, sym := range []string{"<=", ">=", "<", ">"} {
 			if strings.HasPrefix(s, sym) {
 				if v, err := strconv.ParseFloat(strings.TrimSpace(s[len(sym):]), 64); err == nil {
-					return filterSpec{op: filterWords[sym], value: v}, true
+					return FilterSpec{Op: filterWords[sym], Value: v}, true
 				}
 			}
 		}
 	}
-	return filterSpec{}, false
+	return FilterSpec{}, false
 }

@@ -31,13 +31,13 @@ func TestParseFilterKeyword(t *testing.T) {
 		{"less than 5", false, "", 0},
 	}
 	for _, c := range cases {
-		spec, ok := parseFilterKeyword(c.kw)
+		spec, ok := ParseFilterKeyword(c.kw)
 		if ok != c.ok {
-			t.Errorf("parseFilterKeyword(%q) ok = %v, want %v", c.kw, ok, c.ok)
+			t.Errorf("ParseFilterKeyword(%q) ok = %v, want %v", c.kw, ok, c.ok)
 			continue
 		}
-		if ok && (spec.op != c.op || spec.value != c.value) {
-			t.Errorf("parseFilterKeyword(%q) = %+v, want {%v %v}", c.kw, spec, c.op, c.value)
+		if ok && (spec.Op != c.op || spec.Value != c.value) {
+			t.Errorf("ParseFilterKeyword(%q) = %+v, want {%v %v}", c.kw, spec, c.op, c.value)
 		}
 	}
 }

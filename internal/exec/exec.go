@@ -311,74 +311,19 @@ func emptyResult(q *query.ConjunctiveQuery) *ResultSet {
 	return &ResultSet{Vars: dist}
 }
 
-// planOrder orders patterns greedily by execution tier:
-//
-//	tier 2 — every position bound (constant or previously bound variable):
-//	         a pure existence check, essentially free;
-//	tier 1 — at least one bound variable: an index probe whose per-binding
-//	         fan-out is the average degree, far below any scan;
-//	tier 0 — constants only: a scan of the constant-prefix range.
-//
-// Within a tier the exact match count of the constant positions breaks
-// ties (most selective first). Deferring unconnected patterns to the end
-// falls out naturally: they stay tier 0 until a shared variable binds.
-func (e *Engine) planOrder(pats []pattern) []int {
-	n := len(pats)
-	used := make([]bool, n)
-	boundVar := map[int]bool{}
-	out := make([]int, 0, n)
-	for len(out) < n {
-		best, bestScore := -1, int64(0)
-		for i, p := range pats {
-			if used[i] {
-				continue
-			}
-			score := e.scorePattern(p, boundVar)
-			if best == -1 || score > bestScore {
-				best, bestScore = i, score
-			}
-		}
-		p := pats[best]
-		used[best] = true
-		out = append(out, best)
-		if p.sv >= 0 {
-			boundVar[p.sv] = true
-		}
-		if p.ov >= 0 {
-			boundVar[p.ov] = true
-		}
+// metasOf projects compiled patterns onto the shared planner's shape;
+// counts are exact constant-prefix match counts from the store.
+func (e *Engine) metasOf(pats []pattern) []PatternMeta {
+	metas := make([]PatternMeta, len(pats))
+	for i, p := range pats {
+		metas[i] = PatternMeta{SV: p.sv, OV: p.ov, Count: e.st.Count(p.s, p.p, p.o)}
 	}
-	return out
+	return metas
 }
 
-// scorePattern ranks a pattern for planOrder: higher is better.
-func (e *Engine) scorePattern(p pattern, boundVar map[int]bool) int64 {
-	positions := 1 // predicate
-	bound := 1
-	hasBoundVar := false
-	for _, v := range [2]int{p.sv, p.ov} {
-		positions++
-		if v < 0 {
-			bound++ // constant
-		} else if boundVar[v] {
-			bound++
-			hasBoundVar = true
-		}
-	}
-	var tier int64
-	switch {
-	case bound == positions:
-		tier = 2
-	case hasBoundVar:
-		tier = 1
-	default:
-		tier = 0
-	}
-	// Count matches with constants only (variable bindings unknown at
-	// planning time).
-	cnt := e.st.Count(p.s, p.p, p.o)
-	const weight = int64(1) << 40
-	return tier*weight - int64(cnt)
+// planOrder orders patterns with the shared greedy planner.
+func (e *Engine) planOrder(pats []pattern) []int {
+	return GreedyOrder(e.metasOf(pats))
 }
 
 // SortRows orders the rows lexicographically (by term comparison), useful

@@ -56,41 +56,30 @@ func (e *Engine) Explain(q *query.ConjunctiveQuery) (*Plan, error) {
 	if empty {
 		return &Plan{Empty: true}, nil
 	}
-	order := e.planOrder(pats)
+	return ExplainPlan(q, e.metasOf(pats)), nil
+}
+
+// ExplainPlan renders the plan the shared planner chooses for a compiled
+// query — the tier of each step recomputed as the planner saw it at
+// selection time. Shared with the cluster coordinator so explain output
+// is identical across deployments.
+func ExplainPlan(q *query.ConjunctiveQuery, metas []PatternMeta) *Plan {
+	order := GreedyOrder(metas)
 	plan := &Plan{}
 	boundVar := map[int]bool{}
 	for _, idx := range order {
-		p := pats[idx]
-		// Recompute the tier as the planner saw it at selection time.
-		positions, bound := 1, 1
-		hasBoundVar := false
-		for _, v := range [2]int{p.sv, p.ov} {
-			positions++
-			if v < 0 {
-				bound++
-			} else if boundVar[v] {
-				bound++
-				hasBoundVar = true
-			}
-		}
-		tier := 0
-		switch {
-		case bound == positions:
-			tier = 2
-		case hasBoundVar:
-			tier = 1
-		}
+		m := metas[idx]
 		plan.Steps = append(plan.Steps, PlanStep{
 			Atom:       q.Atoms[idx],
-			Tier:       tier,
-			EstMatches: e.st.Count(p.s, p.p, p.o),
+			Tier:       StepTier(m, boundVar),
+			EstMatches: m.Count,
 		})
-		if p.sv >= 0 {
-			boundVar[p.sv] = true
+		if m.SV >= 0 {
+			boundVar[m.SV] = true
 		}
-		if p.ov >= 0 {
-			boundVar[p.ov] = true
+		if m.OV >= 0 {
+			boundVar[m.OV] = true
 		}
 	}
-	return plan, nil
+	return plan
 }

@@ -1,0 +1,137 @@
+package keywordindex
+
+import (
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/thesaurus"
+)
+
+// The merge-equivalence property behind the sharded scatter-gather
+// search: LookupRaw contributions from per-partition indexes, merged
+// with the corpus-wide document frequencies, must reproduce the global
+// index's LookupOpts exactly — scores, ranking, truncation, classes.
+
+// splitWithSchemaReplication partitions triples by subject hash and
+// replicates rdf:type (and rdfs:subClassOf) triples to every partition,
+// the same enrichment internal/shard's builder applies to index stores.
+func splitWithSchemaReplication(triples []rdf.Triple, n int) [][]rdf.Triple {
+	parts := make([][]rdf.Triple, n)
+	typeT := rdf.NewIRI(rdf.RDFType)
+	subT := rdf.NewIRI(rdf.RDFSSubClass)
+	for _, t := range triples {
+		if t.P == typeT || t.P == subT {
+			for i := range parts {
+				parts[i] = append(parts[i], t)
+			}
+			continue
+		}
+		h := fnv.New32a()
+		h.Write([]byte(t.S.Value))
+		parts[h.Sum32()%uint32(n)] = append(parts[h.Sum32()%uint32(n)], t)
+	}
+	return parts
+}
+
+func indexOver(triples []rdf.Triple) (*Index, *store.Store) {
+	st := store.New()
+	st.AddAll(triples)
+	g := graph.Build(st)
+	return Build(g, thesaurus.Default()), st
+}
+
+func TestMergeRawEquivalence(t *testing.T) {
+	triples := datagen.DBLPTriples(datagen.DBLPConfig{Publications: 150, Seed: 1})
+
+	gst := store.New()
+	gst.AddAll(triples)
+	gg := graph.Build(gst)
+	// Default thesaurus for semantic probes.
+	global := Build(gg, thesaurus.Default())
+
+	const n = 3
+	parts := splitWithSchemaReplication(triples, n)
+	idxs := make([]*Index, n)
+	for i, pt := range parts {
+		pst := store.New()
+		pst.AddAll(pt)
+		idxs[i] = Build(graph.Build(pst), thesaurus.Default())
+	}
+
+	opts := LookupOptions{MaxMatches: 8}
+	dfFn := func(term string) int { return global.DocFreqs()[term] }
+	resolve := func(tm rdf.Term) (store.ID, bool) { return gst.Lookup(tm) }
+
+	keywords := []string{
+		"publication",             // class
+		"author",                  // class + predicate
+		"thanh tran",              // multi-token value
+		"cimano",                  // fuzzy (typo of cimiano)
+		"writer",                  // semantic (synonym of author)
+		"2005",                    // digits: fuzzy disabled
+		"data engineering",        // multi-token venue value
+		"cites",                   // relation predicate
+		"title",                   // attribute predicate
+		"keyword search",          // title words
+		"nosuchtermzzz",           // no match anywhere
+		"bidirectional expansion", // long multi-token
+	}
+	for _, kw := range keywords {
+		want := global.LookupOpts(kw, opts)
+		raws := make([]*RawLookup, n)
+		for i, ix := range idxs {
+			raws[i] = ix.LookupRaw(kw, opts)
+		}
+		got := MergeRaw(raws, opts, dfFn, resolve)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("keyword %q:\nglobal: %+v\nmerged: %+v", kw, want, got)
+		}
+	}
+}
+
+// TestMergeRawBackoffAcrossParts pins the global exact-first back-off: a
+// token matched exactly on one partition only must suppress the other
+// partitions' fuzzy/semantic contributions for that token.
+func TestMergeRawBackoffAcrossParts(t *testing.T) {
+	ns := "http://ex.org/"
+	mk := func(s, p, o string, lit bool) rdf.Triple {
+		obj := rdf.NewIRI(ns + o)
+		if lit {
+			obj = rdf.NewLiteral(o)
+		}
+		return rdf.Triple{S: rdf.NewIRI(ns + s), P: rdf.NewIRI(ns + p), O: obj}
+	}
+	typ := func(s, c string) rdf.Triple {
+		return rdf.Triple{S: rdf.NewIRI(ns + s), P: rdf.NewIRI(rdf.RDFType), O: rdf.NewIRI(ns + c)}
+	}
+	// Partition A holds the exact term "grail"; partition B holds only the
+	// near-miss "grain".
+	partA := []rdf.Triple{typ("e1", "Thing1"), mk("e1", "name", "grail", true)}
+	partB := []rdf.Triple{typ("e2", "Thing1"), mk("e2", "name", "grain", true)}
+	all := append(append([]rdf.Triple{}, partA...), partB...)
+
+	globalIx, gst := indexOver(all)
+	ixA, _ := indexOver(partA)
+	ixB, _ := indexOver(partB)
+
+	opts := LookupOptions{MaxMatches: 8}
+	dfFn := func(term string) int { return globalIx.DocFreqs()[term] }
+	resolve := func(tm rdf.Term) (store.ID, bool) { return gst.Lookup(tm) }
+
+	want := globalIx.LookupOpts("grail", opts)
+	got := MergeRaw([]*RawLookup{ixA.LookupRaw("grail", opts), ixB.LookupRaw("grail", opts)},
+		opts, dfFn, resolve)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("back-off violated:\nglobal: %+v\nmerged: %+v", want, got)
+	}
+	// The exact match must be the only full-score hit: "grain" may only
+	// appear via fuzzy in the global result, and identically in the merge.
+	if len(got) == 0 || got[0].Score != want[0].Score {
+		t.Fatalf("top score mismatch: %+v vs %+v", got, want)
+	}
+}

@@ -15,11 +15,11 @@
 package keywordindex
 
 import (
-	"math"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/graph"
+	"repro/internal/rdf"
 	"repro/internal/store"
 	"repro/internal/summary"
 	"repro/internal/thesaurus"
@@ -324,124 +324,15 @@ func (ix *Index) Lookup(keyword string) []summary.Match {
 // decay) with a length normalization that rewards labels fully covered by
 // the keyword — the TF-flavored adjustment the paper suggests for
 // multi-term labels (Sec. V).
+//
+// It is implemented as a single-part merge of the distributed lookup
+// (LookupRaw + MergeRaw, see distributed.go), so a sharded deployment's
+// scatter-gather path and the single-index path cannot diverge.
 func (ix *Index) LookupOpts(keyword string, opt LookupOptions) []summary.Match {
-	tokens := analysis.AnalyzeKeyword(keyword)
-	if len(tokens) == 0 {
-		return nil
-	}
-	rawWords := analysis.SplitWords(keyword)
-
-	// scores[ref][tokenIdx] = best score of that token against the ref.
-	type cand struct {
-		tokScores []float64
-	}
-	cands := map[int32]*cand{}
-	record := func(ref int32, tok int, score float64) {
-		c, ok := cands[ref]
-		if !ok {
-			c = &cand{tokScores: make([]float64, len(tokens))}
-			cands[ref] = c
-		}
-		if score > c.tokScores[tok] {
-			c.tokScores[tok] = score
-		}
-	}
-
-	for i, tok := range tokens {
-		// 1. Exact (stemmed) matches.
-		exact := ix.postings[tok]
-		for _, p := range exact {
-			record(p.ref, i, 1.0)
-		}
-		// Exact-first back-off: imprecise matching (semantic, fuzzy) only
-		// engages for tokens the vocabulary does not contain — otherwise
-		// a keyword like "journal" would additionally map to its hypernym
-		// "publication" and drown the exact interpretation (standard IR
-		// analyzer behaviour).
-		if len(exact) > 0 {
-			continue
-		}
-		// 2. Semantic matches via the thesaurus, on the raw word form.
-		if !opt.DisableSemantic && ix.th != nil && i < len(rawWords) {
-			for _, e := range ix.th.Lookup(rawWords[i]) {
-				for _, p := range ix.postings[analysis.Stem(e.Term)] {
-					record(p.ref, i, e.Score)
-				}
-			}
-		}
-		// 3. Fuzzy matches within a bounded edit distance.
-		if d := opt.editDistance(tok); d > 0 {
-			for _, fm := range ix.tree.Search(tok, d) {
-				if fm.Dist == 0 {
-					continue // already handled as exact
-				}
-				decay := 1 - float64(fm.Dist)/float64(maxLen(len(tok), len(fm.Term)))
-				score := fuzzyWeight * decay
-				if score <= 0 {
-					continue
-				}
-				for _, p := range ix.postings[fm.Term] {
-					record(p.ref, i, score)
-				}
-			}
-		}
-	}
-
-	// Score candidates that matched every token.
-	type scored struct {
-		m  summary.Match
-		sm float64
-		df int
-	}
-	var out []scored
-	for ref, c := range cands {
-		prod := 1.0
-		ok := true
-		for _, s := range c.tokScores {
-			if s == 0 {
-				ok = false
-				break
-			}
-			prod *= s
-		}
-		if !ok {
-			continue
-		}
-		ri := ix.refs[ref]
-		mean := math.Pow(prod, 1/float64(len(tokens)))
-		norm := math.Sqrt(float64(len(tokens)) / float64(maxLen(ri.labelLen, len(tokens))))
-		m := ri.match
-		m.Score = mean * norm
-		out = append(out, scored{m: m, sm: m.Score, df: ix.refDF(ref)})
-	}
-	// Rank by score, breaking ties by rarity (IDF flavor), then determinism.
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].sm != out[j].sm {
-			return out[i].sm > out[j].sm
-		}
-		if out[i].df != out[j].df {
-			return out[i].df < out[j].df
-		}
-		return lessMatch(out[i].m, out[j].m)
-	})
-	if len(out) > opt.maxMatches() {
-		out = out[:opt.maxMatches()]
-	}
-	ms := make([]summary.Match, len(out))
-	for i, s := range out {
-		ms[i] = s.m
-	}
-	return ms
-}
-
-// refDF sums the document frequencies of a ref's label terms; smaller
-// means rarer, used only for tie-breaking.
-func (ix *Index) refDF(ref int32) int {
-	total := 0
-	for _, t := range analysis.Analyze(ix.refs[ref].labelText) {
-		total += ix.df[t]
-	}
-	return total
+	st := ix.g.Store()
+	return MergeRaw([]*RawLookup{ix.LookupRaw(keyword, opt)}, opt,
+		func(term string) int { return ix.df[term] },
+		func(t rdf.Term) (store.ID, bool) { return st.Lookup(t) })
 }
 
 func lessMatch(a, b summary.Match) bool {

@@ -3,38 +3,55 @@ package server
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
-// lruCache is a fixed-capacity least-recently-used cache, safe for
-// concurrent use. It holds the server's two caches: normalized keyword
-// query → search result, and candidate id → query candidate. Eviction is
-// strictly by recency; a Get refreshes the entry.
+// lruCache is a fixed-capacity least-recently-used cache with an optional
+// time-to-live, safe for concurrent use. It holds the server's two
+// caches: normalized keyword query → search result, and candidate id →
+// query candidate. Eviction is by recency (a Get refreshes the entry) and
+// — when a TTL is configured — by age: entries expire ttl after insertion
+// even without LRU pressure, the freshness bound a mutable dataset needs.
+// Expiry is lazy: an expired entry is dropped when a Get or Put touches
+// it, costing no background goroutine.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
-	ll    *list.List // front = most recently used
+	ttl   time.Duration    // 0 = entries never expire
+	now   func() time.Time // injectable for tests
+	ll    *list.List       // front = most recently used
 	items map[string]*list.Element
 }
 
 type lruEntry struct {
 	key string
 	val any
+	at  time.Time // insertion (not access) time: a hot entry still expires
 }
 
 // newLRUCache returns a cache holding at most capacity entries
-// (capacity < 1 is treated as 1 — a degenerate but functional cache).
-func newLRUCache(capacity int) *lruCache {
+// (capacity < 1 is treated as 1 — a degenerate but functional cache),
+// each for at most ttl (ttl ≤ 0: forever).
+func newLRUCache(capacity int, ttl time.Duration) *lruCache {
 	if capacity < 1 {
 		capacity = 1
 	}
 	return &lruCache{
 		cap:   capacity,
+		ttl:   ttl,
+		now:   time.Now,
 		ll:    list.New(),
 		items: make(map[string]*list.Element),
 	}
 }
 
-// Get returns the value for key and refreshes its recency.
+// expired reports whether an entry is past its TTL.
+func (c *lruCache) expired(e *lruEntry) bool {
+	return c.ttl > 0 && c.now().Sub(e.at) > c.ttl
+}
+
+// Get returns the value for key and refreshes its recency. An expired
+// entry is removed and reported as a miss.
 func (c *lruCache) Get(key string) (any, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -42,21 +59,29 @@ func (c *lruCache) Get(key string) (any, bool) {
 	if !ok {
 		return nil, false
 	}
+	e := el.Value.(*lruEntry)
+	if c.expired(e) {
+		c.ll.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return e.val, true
 }
 
-// Put inserts or replaces the value for key, evicting the least recently
-// used entry when over capacity.
+// Put inserts or replaces the value for key (restarting its TTL),
+// evicting the least recently used entry when over capacity.
 func (c *lruCache) Put(key string, val any) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		e.val = val
+		e.at = c.now()
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val, at: c.now()})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -64,7 +89,8 @@ func (c *lruCache) Put(key string, val any) {
 	}
 }
 
-// Len returns the number of cached entries.
+// Len returns the number of cached entries, including any not yet
+// lazily expired.
 func (c *lruCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -10,7 +10,7 @@ import (
 )
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, 0)
 	c.Put("a", 1)
 	c.Put("b", 2)
 	if _, ok := c.Get("a"); !ok {
@@ -35,6 +35,51 @@ func TestLRUEviction(t *testing.T) {
 	}
 	if c.Len() != 2 {
 		t.Errorf("len after replace = %d, want 2", c.Len())
+	}
+}
+
+func TestLRUTTLExpiry(t *testing.T) {
+	c := newLRUCache(8, time.Minute)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("fresh entry should be present")
+	}
+	// Just inside the TTL: still served.
+	now = now.Add(time.Minute)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("entry at exactly TTL should be present")
+	}
+	// Past the TTL: expired even though the cache is under capacity and
+	// the entry was just refreshed by Get (age counts from insertion).
+	now = now.Add(time.Second)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry past TTL should have expired")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("expired entry not removed: len = %d", c.Len())
+	}
+
+	// A Put restarts the clock for its key.
+	c.Put("b", 2)
+	now = now.Add(30 * time.Second)
+	c.Put("b", 3)
+	now = now.Add(45 * time.Second) // 45s after replace, 75s after insert
+	if v, ok := c.Get("b"); !ok || v != 3 {
+		t.Fatalf("replaced entry should be fresh: %v %v", v, ok)
+	}
+}
+
+func TestLRUZeroTTLNeverExpires(t *testing.T) {
+	c := newLRUCache(2, 0)
+	now := time.Unix(1000, 0)
+	c.now = func() time.Time { return now }
+	c.Put("a", 1)
+	now = now.Add(1000 * time.Hour)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("TTL 0 must mean no expiry")
 	}
 }
 

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/query"
 	"repro/internal/rdf"
 )
@@ -510,6 +512,10 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: err.Error(), Code: "bad_query"})
 		return
 	}
+	if wantsNDJSON(r) {
+		s.writeExecuteNDJSON(w, id, cand, rs, start)
+		return
+	}
 	resp := executeResponse{
 		ID:        id,
 		SPARQL:    cand.SPARQL(),
@@ -527,6 +533,72 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		resp.Rows[i] = out
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---------------------------------------------------------------------------
+// NDJSON streaming
+
+// wantsNDJSON reports whether the client asked for a newline-delimited
+// streaming response body.
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// executeStreamHeader is the first line of a streamed execute response.
+type executeStreamHeader struct {
+	ID     string   `json:"id,omitempty"`
+	SPARQL string   `json:"sparql"`
+	Vars   []string `json:"vars"`
+}
+
+// executeStreamTrailer is the last line of a streamed execute response.
+type executeStreamTrailer struct {
+	Count     int     `json:"count"`
+	Truncated bool    `json:"truncated"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// streamFlushEvery is how many row lines go out between flushes: small
+// enough that a slowly consumed large answer set arrives incrementally,
+// large enough that flush syscalls don't dominate.
+const streamFlushEvery = 64
+
+// writeExecuteNDJSON streams an execute result as NDJSON: a header object
+// with the variables, one JSON array per answer row, and a trailing
+// summary object — flushed incrementally, so a large answer set never
+// buffers as one JSON body on either side of the connection.
+func (s *Server) writeExecuteNDJSON(w http.ResponseWriter, id string, cand *engine.QueryCandidate, rs *exec.ResultSet, start time.Time) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	// Encode appends the newline NDJSON needs; write errors mean the
+	// connection died, and the remaining lines die with it.
+	_ = enc.Encode(executeStreamHeader{ID: id, SPARQL: cand.SPARQL(), Vars: rs.Vars})
+	flush()
+	row := make([]termJSON, 0, len(rs.Vars))
+	for i, r := range rs.Rows {
+		row = row[:0]
+		for _, t := range r {
+			row = append(row, toTermJSON(t))
+		}
+		_ = enc.Encode(row)
+		if (i+1)%streamFlushEvery == 0 {
+			flush()
+		}
+	}
+	_ = enc.Encode(executeStreamTrailer{
+		Count:     rs.Len(),
+		Truncated: rs.Truncated,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+	})
+	flush()
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
@@ -572,7 +644,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"sealed":         s.eng.Sealed(),
-		"triples":        s.eng.Store().Len(),
+		"triples":        s.eng.NumTriples(),
 		"uptime_seconds": s.Uptime().Seconds(),
 	})
 }
@@ -580,8 +652,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": s.Uptime().Seconds(),
-		"triples":        s.eng.Store().Len(),
-		"build_seconds":  s.eng.BuildTime.Seconds(),
+		"triples":        s.eng.NumTriples(),
+		"build_seconds":  s.eng.BuildDuration().Seconds(),
 		"workers": map[string]any{
 			"capacity": s.pool.capacity(),
 			"in_use":   s.pool.inUse(),

@@ -36,6 +36,11 @@ type Config struct {
 	// (default 16× SearchCacheSize, at least 4096: every cached search
 	// contributes up to k candidates).
 	CandidateCacheSize int
+	// CacheTTL bounds the age of cached search results and candidate
+	// ids: entries expire TTL after insertion even without LRU pressure
+	// (0 = never — correct for a sealed immutable dataset, the freshness
+	// knob for deployments that rebuild and swap datasets).
+	CacheTTL time.Duration
 	// DefaultTimeout applies when a request names none (default 10s).
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested timeouts (default 60s).
@@ -90,10 +95,13 @@ func (c Config) withDefaults(procs int) Config {
 	return c
 }
 
-// Server serves one sealed engine over HTTP. Create it with New, mount
-// Handler on an http.Server.
+// Server serves one sealed query backend over HTTP. Create it with New,
+// mount Handler on an http.Server. The backend is anything implementing
+// engine.Queryer — the single-process engine or the sharded cluster
+// coordinator (internal/shard.Cluster) — and the server cannot tell the
+// difference.
 type Server struct {
-	eng   *engine.Engine
+	eng   engine.Queryer
 	cfg   Config
 	start time.Time
 
@@ -115,11 +123,12 @@ type Server struct {
 	mTriples      *metrics.Gauge
 }
 
-// New builds a server over eng, sealing it: the engine's indexes are
-// built here (so the first request doesn't pay for them) and the engine
-// becomes permanently read-only. procsHint sizes the default worker pool;
-// pass runtime.GOMAXPROCS(0) (cmd/serverd does) or any positive count.
-func New(eng *engine.Engine, cfg Config, procsHint int) *Server {
+// New builds a server over a query backend, sealing it: any outstanding
+// indexes are built here (so the first request doesn't pay for them) and
+// the backend becomes permanently read-only. procsHint sizes the default
+// worker pool; pass runtime.GOMAXPROCS(0) (cmd/serverd does) or any
+// positive count.
+func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 	if procsHint <= 0 {
 		procsHint = 1
 	}
@@ -129,8 +138,8 @@ func New(eng *engine.Engine, cfg Config, procsHint int) *Server {
 		eng:         eng,
 		cfg:         cfg,
 		start:       time.Now(),
-		searchCache: newLRUCache(cfg.SearchCacheSize),
-		candidates:  newLRUCache(cfg.CandidateCacheSize),
+		searchCache: newLRUCache(cfg.SearchCacheSize, cfg.CacheTTL),
+		candidates:  newLRUCache(cfg.CandidateCacheSize, cfg.CacheTTL),
 		flight:      newFlightGroup(),
 		pool:        newWorkerPool(cfg.Workers),
 		reg:         metrics.NewRegistry(),
@@ -155,7 +164,7 @@ func New(eng *engine.Engine, cfg Config, procsHint int) *Server {
 		"Requests rejected because no worker slot freed before the deadline.")
 	s.mTriples = s.reg.Gauge("searchwebdb_triples",
 		"Triples in the sealed store.")
-	s.mTriples.Set(int64(eng.Store().Len()))
+	s.mTriples.Set(int64(eng.NumTriples()))
 	return s
 }
 

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/shard"
+)
+
+// shardedServer builds a server over a 4-shard cluster — the serverd
+// -shards 4 deployment — on the 200-publication DBLP dataset.
+func shardedServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	b := shard.NewBuilder(4, engine.Config{K: 5})
+	b.AddTriples(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 200, Seed: 1}))
+	return New(b.Build(), cfg, 2)
+}
+
+// TestShardedServerEndToEnd drives /v1/search and /v1/execute against a
+// 4-shard cluster backend and cross-checks the responses against a
+// single-engine server — the serving layer must not be able to tell the
+// backends apart, and neither should clients.
+func TestShardedServerEndToEnd(t *testing.T) {
+	sharded := httptest.NewServer(shardedServer(t, Config{}).Handler())
+	defer sharded.Close()
+	single := httptest.NewServer(testServer(t, Config{}).Handler())
+	defer single.Close()
+
+	req := searchRequest{Keywords: []string{"thanh tran", "publication"}}
+	status, body := postJSON(t, sharded, "/v1/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("sharded search status %d: %s", status, body)
+	}
+	var shardedResp searchResponse
+	if err := json.Unmarshal(body, &shardedResp); err != nil {
+		t.Fatal(err)
+	}
+	status, body = postJSON(t, single, "/v1/search", req)
+	if status != http.StatusOK {
+		t.Fatalf("single search status %d: %s", status, body)
+	}
+	var singleResp searchResponse
+	if err := json.Unmarshal(body, &singleResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(shardedResp.Candidates) == 0 {
+		t.Fatal("sharded search returned no candidates")
+	}
+	if len(shardedResp.Candidates) != len(singleResp.Candidates) {
+		t.Fatalf("candidate count: sharded %d, single %d",
+			len(shardedResp.Candidates), len(singleResp.Candidates))
+	}
+	for i := range shardedResp.Candidates {
+		sc, ec := shardedResp.Candidates[i], singleResp.Candidates[i]
+		if sc.Cost != ec.Cost || sc.SPARQL != ec.SPARQL || sc.Description != ec.Description {
+			t.Fatalf("candidate %d differs:\nsharded: %+v\nsingle:  %+v", i, sc, ec)
+		}
+	}
+
+	// Execute by keywords+rank on both; the sharded rows (canonical
+	// order) must equal the single rows as a set.
+	exReq := executeRequest{candidateRef: candidateRef{Keywords: req.Keywords, Rank: 0}}
+	status, body = postJSON(t, sharded, "/v1/execute", exReq)
+	if status != http.StatusOK {
+		t.Fatalf("sharded execute status %d: %s", status, body)
+	}
+	var shardedEx executeResponse
+	if err := json.Unmarshal(body, &shardedEx); err != nil {
+		t.Fatal(err)
+	}
+	status, body = postJSON(t, single, "/v1/execute", exReq)
+	if status != http.StatusOK {
+		t.Fatalf("single execute status %d: %s", status, body)
+	}
+	var singleEx executeResponse
+	if err := json.Unmarshal(body, &singleEx); err != nil {
+		t.Fatal(err)
+	}
+	if shardedEx.Count == 0 || shardedEx.Count != singleEx.Count {
+		t.Fatalf("execute count: sharded %d, single %d", shardedEx.Count, singleEx.Count)
+	}
+	rowKey := func(row []termJSON) string {
+		b, _ := json.Marshal(row)
+		return string(b)
+	}
+	singleRows := map[string]bool{}
+	for _, r := range singleEx.Rows {
+		singleRows[rowKey(r)] = true
+	}
+	for _, r := range shardedEx.Rows {
+		if !singleRows[rowKey(r)] {
+			t.Fatalf("sharded row %v not produced by single engine", r)
+		}
+	}
+
+	// Introspection sees the full dataset through the coordinator.
+	status, body = getBody(t, sharded, "/healthz")
+	if status != http.StatusOK || !strings.Contains(string(body), `"sealed":true`) {
+		t.Fatalf("healthz: %d %s", status, body)
+	}
+	var health map[string]any
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["triples"].(float64) == 0 {
+		t.Fatal("healthz reports zero triples")
+	}
+}
+
+// TestExecuteNDJSONStreaming asks /v1/execute for NDJSON: the body must
+// be a header line, one line per row, and a trailer line — parseable
+// incrementally.
+func TestExecuteNDJSONStreaming(t *testing.T) {
+	for name, srv := range map[string]*Server{
+		"single":  testServer(t, Config{}),
+		"sharded": shardedServer(t, Config{}),
+	} {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			body, _ := json.Marshal(executeRequest{
+				candidateRef: candidateRef{Keywords: []string{"publication", "title"}, Rank: 0},
+				Limit:        10,
+			})
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/execute", strings.NewReader(string(body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Accept", "application/x-ndjson")
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+				t.Fatalf("content type %q", ct)
+			}
+			dec := json.NewDecoder(resp.Body)
+			var header executeStreamHeader
+			if err := dec.Decode(&header); err != nil {
+				t.Fatalf("header: %v", err)
+			}
+			if len(header.Vars) == 0 || header.SPARQL == "" {
+				t.Fatalf("bad header: %+v", header)
+			}
+			rows := 0
+			var trailer executeStreamTrailer
+			for {
+				var raw json.RawMessage
+				if err := dec.Decode(&raw); err != nil {
+					t.Fatalf("line %d: %v", rows+1, err)
+				}
+				if raw[0] == '[' {
+					var row []termJSON
+					if err := json.Unmarshal(raw, &row); err != nil {
+						t.Fatalf("row %d: %v", rows, err)
+					}
+					if len(row) != len(header.Vars) {
+						t.Fatalf("row %d has %d terms, want %d", rows, len(row), len(header.Vars))
+					}
+					rows++
+					continue
+				}
+				if err := json.Unmarshal(raw, &trailer); err != nil {
+					t.Fatalf("trailer: %v", err)
+				}
+				break
+			}
+			if trailer.Count != rows {
+				t.Fatalf("trailer count %d, streamed %d rows", trailer.Count, rows)
+			}
+			if rows == 0 {
+				t.Fatal("no rows streamed")
+			}
+			// Nothing may follow the trailer.
+			if dec.More() {
+				t.Fatal("data after trailer")
+			}
+		})
+	}
+}
+
+// TestSearchCacheTTL exercises the server-level TTL knob: a repeated
+// search within the TTL is served from the cache, after the TTL it is
+// recomputed (entries expire without LRU pressure).
+func TestSearchCacheTTL(t *testing.T) {
+	s := testServer(t, Config{CacheTTL: 80 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := searchRequest{Keywords: []string{"publication", "2006"}}
+	var resp searchResponse
+	_, body := postJSON(t, ts, "/v1/search", req)
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("first search must not be cached")
+	}
+	_, body = postJSON(t, ts, "/v1/search", req)
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("immediate repeat must hit the cache")
+	}
+	time.Sleep(150 * time.Millisecond)
+	_, body = postJSON(t, ts, "/v1/search", req)
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Cached {
+		t.Fatal("search after TTL expiry must recompute")
+	}
+}

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+)
+
+// Concurrent scatter-gather coverage: many goroutines searching and
+// executing against one cluster, exercised under -race in CI. The cluster
+// is immutable after Build, the explorer checks out per-search state, and
+// every shard structure is read-only — so this must be data-race free.
+func TestClusterConcurrentScatterGather(t *testing.T) {
+	triples := datagen.DBLPTriples(datagen.DBLPConfig{Publications: 300, Seed: 1})
+	cl := buildCluster(t, 4, triples, engine.Config{K: 5})
+
+	queries := [][]string{
+		{"thanh tran", "publication"},
+		{"philipp cimiano", "aifb"},
+		{"publication", "2006"},
+		{"article", "journal"},
+		{"keyword", "search"},
+		{"thanh tran", "before 2005"},
+	}
+
+	const workers = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				kws := queries[(w+i)%len(queries)]
+				cands, _, err := cl.SearchKContext(ctx, kws, 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if len(cands) > 0 {
+					if _, err := cl.ExecuteLimitContext(ctx, cands[0], 20); err != nil {
+						errc <- err
+						return
+					}
+					if _, err := cl.Explain(cands[0]); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// Cancellation must cut off both the scatter stage and the distributed
+// join promptly, surfacing ctx.Err().
+func TestClusterCancellation(t *testing.T) {
+	triples := datagen.DBLPTriples(datagen.DBLPConfig{Publications: 200, Seed: 1})
+	cl := buildCluster(t, 2, triples, engine.Config{})
+
+	// Already-expired context: nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := cl.SearchKContext(ctx, []string{"publication"}, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("search on cancelled ctx: %v", err)
+	}
+	cands, _, err := cl.SearchKContext(context.Background(), []string{"publication", "author"}, 0)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("search: %v", err)
+	}
+	if _, err := cl.ExecuteLimitContext(ctx, cands[0], 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("execute on cancelled ctx: %v", err)
+	}
+
+	// A deadline that expires mid-flight surfaces DeadlineExceeded (or
+	// completes if the machine is fast — both are acceptable; what is not
+	// is a hang or a non-context error).
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer dcancel()
+	time.Sleep(50 * time.Microsecond)
+	if _, _, err := cl.SearchKContext(dctx, []string{"publication", "2006"}, 0); err != nil &&
+		!errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("search under expired deadline: %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+// The partitioning invariant behind the coordinator's summary graph
+// (DESIGN.md, "Sharded cluster"): with class membership and schema
+// replicated, every summary edge is derivable wholly within its triple's
+// home shard. These tests demonstrate the consequence — per-shard
+// summaries aggregate exactly to the global one: relation edges are a
+// disjoint union (aggregation counts sum to the global counts), the
+// class vertex set and subclass edges are identical replicas, and the
+// typed-entity aggregation |vagg| of every real class agrees shard by
+// shard with the global value.
+
+// summaryKey renders a summary element in dictionary-independent terms.
+func summaryKey(sg *summary.Graph, st *store.Store, el summary.Element) string {
+	name := func(id store.ID) string {
+		if id == 0 {
+			return "<Thing>"
+		}
+		return st.Term(id).String()
+	}
+	from := sg.Element(el.From)
+	to := sg.Element(el.To)
+	return fmt.Sprintf("%s|%s|%s", name(el.Term), name(from.Term), name(to.Term))
+}
+
+func TestSummaryMergeInvariant(t *testing.T) {
+	triples := datagen.DBLPTriples(datagen.DBLPConfig{Publications: 300, Seed: 1})
+	const n = 4
+	cl := buildCluster(t, n, triples, engine.Config{})
+
+	// The reference: a summary built from the full graph.
+	gst := store.New()
+	gst.AddAll(triples)
+	gsum := summary.Build(graph.Build(gst))
+
+	globalRel := map[string]int{}
+	globalSub := map[string]bool{}
+	globalClassAgg := map[string]int{}
+	globalClasses := map[string]bool{}
+	for i := 0; i < gsum.NumElements(); i++ {
+		el := gsum.Element(summary.ElemID(i))
+		switch el.Kind {
+		case summary.RelEdge:
+			globalRel[summaryKey(gsum, gst, el)] += el.Agg
+		case summary.SubclassEdge:
+			globalSub[summaryKey(gsum, gst, el)] = true
+		case summary.ClassVertex:
+			if el.Term != 0 {
+				globalClasses[gst.Term(el.Term).String()] = true
+				globalClassAgg[gst.Term(el.Term).String()] = el.Agg
+			}
+		}
+	}
+
+	mergedRel := map[string]int{}
+	redgeTotal := 0
+	for _, sh := range cl.shards {
+		ssum := summary.Build(sh.g)
+		sst := sh.g.Store()
+		redgeTotal += ssum.RelEdgeTotal()
+		shardSub := map[string]bool{}
+		shardClasses := map[string]bool{}
+		for i := 0; i < ssum.NumElements(); i++ {
+			el := ssum.Element(summary.ElemID(i))
+			switch el.Kind {
+			case summary.RelEdge:
+				mergedRel[summaryKey(ssum, sst, el)] += el.Agg
+			case summary.SubclassEdge:
+				shardSub[summaryKey(ssum, sst, el)] = true
+			case summary.ClassVertex:
+				if el.Term != 0 {
+					name := sst.Term(el.Term).String()
+					shardClasses[name] = true
+					// Type triples are replicated, so every shard's typed
+					// aggregation equals the global |vagg| exactly.
+					if el.Agg != globalClassAgg[name] {
+						t.Errorf("shard %d class %s: |vagg| = %d, global %d",
+							sh.id, name, el.Agg, globalClassAgg[name])
+					}
+				}
+			}
+		}
+		// Subclass edges and the class vertex set are full replicas.
+		if len(shardSub) != len(globalSub) {
+			t.Errorf("shard %d: %d subclass edges, global %d", sh.id, len(shardSub), len(globalSub))
+		}
+		for k := range shardSub {
+			if !globalSub[k] {
+				t.Errorf("shard %d: unexpected subclass edge %s", sh.id, k)
+			}
+		}
+		if len(shardClasses) != len(globalClasses) {
+			t.Errorf("shard %d: %d classes, global %d", sh.id, len(shardClasses), len(globalClasses))
+		}
+	}
+
+	// Relation edges: disjoint union — the summed multiset equals the
+	// global one.
+	if len(mergedRel) != len(globalRel) {
+		t.Fatalf("merged rel-edge set: %d keys, global %d", len(mergedRel), len(globalRel))
+	}
+	for k, agg := range globalRel {
+		if mergedRel[k] != agg {
+			t.Errorf("rel edge %s: merged |eagg| = %d, global %d", k, mergedRel[k], agg)
+		}
+	}
+	if redgeTotal != gsum.RelEdgeTotal() {
+		t.Errorf("merged R-edge total %d, global %d", redgeTotal, gsum.RelEdgeTotal())
+	}
+}
+
+// TestPartitionDisjointness asserts the data-store invariant the
+// bind-join depends on: owned partitions are disjoint and their union is
+// the full deduplicated dataset.
+func TestPartitionDisjointness(t *testing.T) {
+	triples := datagen.DBLPTriples(datagen.DBLPConfig{Publications: 200, Seed: 3})
+	cl := buildCluster(t, 3, triples, engine.Config{})
+
+	gst := store.New()
+	gst.AddAll(triples)
+	want := gst.Len()
+
+	seen := map[rdf.Triple]int{}
+	total := 0
+	for _, sh := range cl.shards {
+		total += sh.data.Len()
+		sh.data.ForEach(func(it store.IDTriple) {
+			seen[sh.data.Decode(it)]++
+		})
+	}
+	if total != want {
+		t.Fatalf("shard partitions hold %d triples, dataset has %d", total, want)
+	}
+	for tr, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("triple %v appears in %d partitions", tr, cnt)
+		}
+	}
+	// Balance sanity: with 3 shards nothing should be empty on this data.
+	for i, size := range cl.ShardSizes() {
+		if size == 0 {
+			t.Errorf("shard %d is empty", i)
+		}
+	}
+}

@@ -306,3 +306,16 @@ func (s *Store) Triples() []IDTriple {
 	s.ensure()
 	return s.triples
 }
+
+// DictionaryView returns a store that shares this store's interned
+// dictionary (terms and IDs) but holds no triples: Term, Lookup, and
+// NumTerms behave identically, Match and Count over it find nothing.
+// The sharded coordinator keeps such a view as its global catalog —
+// every term resolvable in the single-engine ID space — after the
+// off-line build releases the triples themselves to the shards.
+//
+// The view aliases the parent's dictionary: neither the view nor the
+// parent may intern further terms afterwards (treat both as frozen).
+func (s *Store) DictionaryView() *Store {
+	return &Store{terms: s.terms, byTerm: s.byTerm}
+}

@@ -226,6 +226,17 @@ func appendUnique(s []ElemID, v ElemID) []ElemID {
 // Data returns the underlying data graph.
 func (sg *Graph) Data() *graph.Graph { return sg.data }
 
+// ReplaceData swaps the data graph the summary resolves terms and labels
+// against. The summary's own structure — elements, adjacency, class map,
+// aggregation counts — is self-contained after Build; the data graph is
+// only consulted to render labels and to resolve element terms during
+// query mapping. The sharded coordinator uses this to drop the full data
+// graph after the off-line build, substituting a slim graph over a
+// dictionary-only store (store.DictionaryView): term resolution keeps
+// working in the same ID space, while the triples live on the shards.
+// The replacement must use the same dictionary IDs as the original.
+func (sg *Graph) ReplaceData(g *graph.Graph) { sg.data = g }
+
 // NumElements returns the number of base elements.
 func (sg *Graph) NumElements() int { return len(sg.elems) }
 
