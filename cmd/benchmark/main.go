@@ -25,11 +25,18 @@
 //	-unis N    LUBM universities (default 1)
 //	-tap N     TAP instances per class (default 25)
 //	-seed N    dataset seed (default 1)
+//	-k N       top-k override for explore/shard (default: per-case values;
+//	           k=1 and k=50 show how the oracle pruning shifts with the
+//	           candidate budget)
+//	-iters N   fixed iterations per explore/shard case (CI smoke mode;
+//	           0 = testing.Benchmark auto-calibration)
 //	-benchdir  directory for machine-readable BENCH_<name>.json files
 //	           (default "."); the explore subcommand writes
 //	           BENCH_explore.json next to its human table so the hot-path
 //	           perf trajectory (ns/op, B/op, allocs/op, cursors popped) is
-//	           tracked across PRs
+//	           tracked across PRs. explore and shard emit oracle-on (the
+//	           default), oracle-off, and serial-parallelism variant rows,
+//	           and fail if any variant changes any result
 package main
 
 import (
@@ -47,7 +54,8 @@ func main() {
 	unis := flag.Int("unis", 1, "LUBM scale (universities)")
 	tapScale := flag.Int("tap", 25, "TAP scale (instances per class)")
 	seed := flag.Int64("seed", 1, "dataset seed")
-	iters := flag.Int("iters", 0, "fixed iterations per shard-bench case (0 = auto benchtime; CI smoke uses a small value)")
+	iters := flag.Int("iters", 0, "fixed iterations per explore/shard-bench case (0 = auto benchtime; CI smoke uses a small value)")
+	k := flag.Int("k", 0, "top-k override for the explore and shard subcommands (0 = per-case defaults; try 1 or 50 to see pruning shift)")
 	benchdir := flag.String("benchdir", ".", "directory for BENCH_<name>.json output")
 	flag.Parse()
 
@@ -66,8 +74,14 @@ func main() {
 		switch name {
 		case "explore":
 			env := dblpEnv()
-			results := bench.RunExploreBench(env, bench.DefaultExploreBenchCases())
+			results, mismatches := bench.RunExploreBench(env, bench.DefaultExploreBenchCases(*k), *iters)
 			fmt.Println(bench.FormatExploreBench(results))
+			for _, m := range mismatches {
+				fmt.Fprintf(os.Stderr, "ORACLE RESULT MISMATCH: %s\n", m)
+			}
+			if len(mismatches) > 0 {
+				log.Fatalf("%d oracle-on/oracle-off result mismatches", len(mismatches))
+			}
 			out := filepath.Join(*benchdir, "BENCH_explore.json")
 			if err := bench.WriteBenchJSON(out, results); err != nil {
 				log.Fatalf("writing %s: %v", out, err)
@@ -75,8 +89,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 		case "shard":
 			env := dblpEnv()
-			fmt.Fprintln(os.Stderr, "building shard clusters (1, 2, 4 shards)...")
-			results, mismatches := bench.RunShardBench(env, bench.PerfWorkload(), []int{0, 1, 2, 4}, 1000, *iters)
+			fmt.Fprintln(os.Stderr, "building shard clusters (1, 2, 4 shards) and engine A/B variants...")
+			results, mismatches := bench.RunShardBench(env, bench.PerfWorkload(), []int{0, 1, 2, 4}, 1000, *iters, *k)
 			fmt.Println(bench.FormatShardBench(results))
 			for _, m := range mismatches {
 				fmt.Fprintf(os.Stderr, "EQUIVALENCE MISMATCH: %s\n", m)

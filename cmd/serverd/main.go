@@ -45,6 +45,7 @@ import (
 	"time"
 
 	repro "repro"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/rdf"
@@ -73,6 +74,8 @@ func main() {
 	scheme := flag.String("scoring", "c3", "scoring function: c1 | c2 | c3")
 	shards := flag.Int("shards", 1, "subject-partitioned shards behind a scatter-gather coordinator (1 = single engine)")
 	workers := flag.Int("workers", 0, "max concurrent query computations (default 2×GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "max goroutines per query for per-keyword stages: lookups, oracle build, shard merges (default GOMAXPROCS)")
+	oracle := flag.String("oracle", "auto", "Sec. IX distance-oracle pruning: auto | on | off")
 	cacheSize := flag.Int("cache", 1024, "search-result cache entries")
 	cacheTTL := flag.Duration("cache-ttl", 0, "max age of cached results (0 = no expiry; set for datasets that get swapped)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
@@ -80,7 +83,17 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap/mutex profiles of the live server)")
 	flag.Parse()
 
-	cfg := repro.Config{K: *k}
+	cfg := repro.Config{K: *k, Parallelism: *parallelism}
+	switch strings.ToLower(*oracle) {
+	case "auto", "":
+		cfg.Oracle = core.OracleAuto
+	case "on":
+		cfg.Oracle = core.OracleOn
+	case "off":
+		cfg.Oracle = core.OracleOff
+	default:
+		log.Fatalf("unknown -oracle mode %q (want auto, on, or off)", *oracle)
+	}
 	switch strings.ToLower(*scheme) {
 	case "c1":
 		cfg.Scoring = scoring.PathLength

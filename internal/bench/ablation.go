@@ -151,7 +151,12 @@ type AblationOracleResult struct {
 func RunAblationOracle(env *Env, workload []EffectivenessQuery) *AblationOracleResult {
 	res := &AblationOracleResult{Dataset: env.Name}
 	run := func(useOracle bool) (float64, int) {
-		eng := engine.New(engine.Config{Scoring: scoring.Matching, UseOracle: useOracle})
+		// The oracle is on by default now, so "plain" must force it off.
+		mode := core.OracleOff
+		if useOracle {
+			mode = core.OracleOn
+		}
+		eng := engine.New(engine.Config{Scoring: scoring.Matching, Oracle: mode})
 		eng.AddTriples(env.Triples)
 		eng.Build()
 		var total time.Duration

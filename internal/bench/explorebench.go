@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/scoring"
@@ -22,13 +23,34 @@ type ExploreBenchCase struct {
 // DefaultExploreBenchCases mirrors the explore benchmarks of
 // internal/core (the 2-keyword and 5-keyword DBLP queries) plus a
 // 3-keyword middle ground, so cmd/benchmark tracks the same hot path the
-// go-test benchmarks do.
-func DefaultExploreBenchCases() []ExploreBenchCase {
-	return []ExploreBenchCase{
+// go-test benchmarks do. k > 0 overrides the per-case top-k (the
+// benchmark binary's -k flag, for measuring pruning at k=1 or k=50).
+func DefaultExploreBenchCases(k int) []ExploreBenchCase {
+	cases := []ExploreBenchCase{
 		{Name: "explore_2kw", Keywords: []string{"thanh tran", "publication"}, K: 10},
 		{Name: "explore_3kw", Keywords: []string{"thanh tran", "publication", "2005"}, K: 10},
 		{Name: "explore_5kw", Keywords: []string{"thanh tran", "aifb", "publication", "2005", "conference"}, K: 10},
 	}
+	if k > 0 {
+		for i := range cases {
+			cases[i].K = k
+		}
+	}
+	return cases
+}
+
+// exploreVariants are the A/B axes each case is measured under. The
+// unsuffixed row is the serving default (oracle auto — effectively on for
+// multi-keyword queries — with the parallel oracle build); the suffixed
+// rows isolate what the oracle pruning and the build parallelism each
+// contribute.
+var exploreVariants = []struct {
+	Suffix string // appended to the case name; "" = default settings
+	Opt    core.Options
+}{
+	{"", core.Options{}},
+	{"/no-oracle", core.Options{Oracle: core.OracleOff}},
+	{"/serial-oracle", core.Options{OracleWorkers: 1}},
 }
 
 // ExploreBenchResult is the machine-readable record of one exploration
@@ -36,6 +58,7 @@ func DefaultExploreBenchCases() []ExploreBenchCase {
 // of the hot path is tracked from PR to PR.
 type ExploreBenchResult struct {
 	Name           string   `json:"name"`
+	Variant        string   `json:"variant,omitempty"` // "", "no-oracle", "serial-oracle"
 	Dataset        string   `json:"dataset"`
 	Keywords       []string `json:"keywords"`
 	K              int      `json:"k"`
@@ -47,19 +70,27 @@ type ExploreBenchResult struct {
 	CursorsPopped  int      `json:"cursors_popped"`
 	Candidates     int      `json:"candidates"`
 	Subgraphs      int      `json:"subgraphs"`
+	OracleUsed     bool     `json:"oracle_used,omitempty"`
+	OracleBuildNs  float64  `json:"oracle_build_ns,omitempty"`
 }
 
-// RunExploreBench measures augmentation + exploration per case on a warm
-// engine (indexes and explorer state pre-built, exactly as a serving
-// deployment runs it). Work counters come from one instrumented run; the
-// timing/allocation numbers from testing.Benchmark.
-func RunExploreBench(env *Env, cases []ExploreBenchCase) []ExploreBenchResult {
+// RunExploreBench measures augmentation + exploration per case and
+// variant on a warm engine (indexes and explorer state pre-built, exactly
+// as a serving deployment runs it). Work counters come from one
+// instrumented run; the timing/allocation numbers from testing.Benchmark,
+// or from iters fixed iterations when iters > 0 (the CI smoke mode,
+// which skips allocation accounting).
+//
+// mismatches lists every case where the variants disagreed on the
+// subgraphs found (count or cost sequence) — the oracle must never change
+// a result, so anything here fails the benchmark run.
+func RunExploreBench(env *Env, cases []ExploreBenchCase, iters int) (results []ExploreBenchResult, mismatches []string) {
 	eng := env.Engine(scoring.Matching)
 	sg := eng.Summary()
 	kwix := eng.KeywordIndex()
 	ex := core.NewExplorer()
 
-	out := make([]ExploreBenchResult, 0, len(cases))
+	out := make([]ExploreBenchResult, 0, len(cases)*len(exploreVariants))
 	for _, c := range cases {
 		matches := kwix.LookupAll(c.Keywords, keywordOpts())
 		usable := true
@@ -71,34 +102,72 @@ func RunExploreBench(env *Env, cases []ExploreBenchCase) []ExploreBenchResult {
 		if !usable {
 			continue
 		}
-		run := func() *core.Result {
-			ag := sg.Augment(matches)
-			scorer := scoring.New(scoring.Matching, ag)
-			return ex.Explore(ag, scorer.ElementCost, core.Options{K: c.K})
-		}
-		probe := run() // warm the explorer and collect work counters
-		br := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				run()
+		var baseline *core.Result
+		for _, v := range exploreVariants {
+			opt := v.Opt
+			opt.K = c.K
+			run := func() *core.Result {
+				ag := sg.Augment(matches)
+				scorer := scoring.New(scoring.Matching, ag)
+				return ex.Explore(ag, scorer.ElementCost, opt)
 			}
-		})
-		out = append(out, ExploreBenchResult{
-			Name:           c.Name,
-			Dataset:        env.Name,
-			Keywords:       c.Keywords,
-			K:              c.K,
-			Iterations:     br.N,
-			NsPerOp:        float64(br.T.Nanoseconds()) / float64(br.N),
-			BytesPerOp:     br.AllocedBytesPerOp(),
-			AllocsPerOp:    br.AllocsPerOp(),
-			CursorsCreated: probe.Stats.CursorsCreated,
-			CursorsPopped:  probe.Stats.CursorsPopped,
-			Candidates:     probe.Stats.Candidates,
-			Subgraphs:      len(probe.Subgraphs),
-		})
+			probe := run() // warm the explorer and collect work counters
+			if baseline == nil {
+				baseline = probe
+			} else if msg := compareExplore(c.Name+v.Suffix, baseline, probe); msg != "" {
+				mismatches = append(mismatches, msg)
+			}
+			r := ExploreBenchResult{
+				Name:           c.Name + v.Suffix,
+				Variant:        strings.TrimPrefix(v.Suffix, "/"),
+				Dataset:        env.Name,
+				Keywords:       c.Keywords,
+				K:              c.K,
+				CursorsCreated: probe.Stats.CursorsCreated,
+				CursorsPopped:  probe.Stats.CursorsPopped,
+				Candidates:     probe.Stats.Candidates,
+				Subgraphs:      len(probe.Subgraphs),
+				OracleUsed:     probe.Stats.OracleUsed,
+				OracleBuildNs:  float64(probe.OracleBuild.Nanoseconds()),
+			}
+			if iters > 0 {
+				start := time.Now()
+				for i := 0; i < iters; i++ {
+					run()
+				}
+				r.Iterations = iters
+				r.NsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+			} else {
+				br := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						run()
+					}
+				})
+				r.Iterations = br.N
+				r.NsPerOp = float64(br.T.Nanoseconds()) / float64(br.N)
+				r.BytesPerOp = br.AllocedBytesPerOp()
+				r.AllocsPerOp = br.AllocsPerOp()
+			}
+			out = append(out, r)
+		}
 	}
-	return out
+	return out, mismatches
+}
+
+// compareExplore checks that two exploration variants found the same
+// subgraphs (count and exact cost sequence).
+func compareExplore(label string, want, got *core.Result) string {
+	if len(want.Subgraphs) != len(got.Subgraphs) {
+		return fmt.Sprintf("%s: %d subgraphs, want %d", label, len(got.Subgraphs), len(want.Subgraphs))
+	}
+	for i := range want.Subgraphs {
+		if want.Subgraphs[i].Cost != got.Subgraphs[i].Cost {
+			return fmt.Sprintf("%s: subgraph %d cost %v, want %v",
+				label, i, got.Subgraphs[i].Cost, want.Subgraphs[i].Cost)
+		}
+	}
+	return ""
 }
 
 // WriteBenchJSON writes results as an indented JSON array to path —
@@ -115,10 +184,10 @@ func WriteBenchJSON(path string, results interface{}) error {
 func FormatExploreBench(results []ExploreBenchResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Exploration hot path (augment + top-k explore, warm engine)\n")
-	fmt.Fprintf(&b, "%-12s %-9s %12s %12s %11s %9s %9s %6s\n",
+	fmt.Fprintf(&b, "%-26s %-9s %12s %12s %11s %9s %9s %6s\n",
 		"case", "dataset", "ns/op", "B/op", "allocs/op", "created", "popped", "top-k")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-12s %-9s %12.0f %12d %11d %9d %9d %6d\n",
+		fmt.Fprintf(&b, "%-26s %-9s %12.0f %12d %11d %9d %9d %6d\n",
 			r.Name, r.Dataset, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp,
 			r.CursorsCreated, r.CursorsPopped, r.Subgraphs)
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/shard"
 )
@@ -23,7 +24,8 @@ import (
 // ShardBenchResult is the machine-readable record of one (backend, query)
 // measurement, serialized to BENCH_shard.json.
 type ShardBenchResult struct {
-	Name       string   `json:"name"` // e.g. "Q1/shards=2"
+	Name       string   `json:"name"`              // e.g. "Q1/shards=2"
+	Variant    string   `json:"variant,omitempty"` // "no-oracle" / "serial" A/B rows
 	Dataset    string   `json:"dataset"`
 	Shards     int      `json:"shards"` // 0 = single engine
 	Keywords   []string `json:"keywords"`
@@ -34,14 +36,19 @@ type ShardBenchResult struct {
 }
 
 // RunShardBench builds the backends over env's triples and measures the
-// perf workload on each. shardCounts of 0 selects the single engine.
-// iters > 0 times that many fixed iterations per case (the CI smoke
-// mode); iters ≤ 0 uses testing.Benchmark's self-calibrated duration.
-// mismatches lists every per-query divergence between backends
-// (candidate count, top candidate cost, answer count) — empty when the
-// equivalence guarantee holds, as it must.
-func RunShardBench(env *Env, queries []PerfQuery, shardCounts []int, limit, iters int) (results []ShardBenchResult, mismatches []string) {
-	cfg := engine.Config{}
+// perf workload on each. shardCounts of 0 selects the single engine; on
+// top of them, two single-engine A/B variants are measured — oracle
+// pruning disabled ("engine/no-oracle") and intra-query parallelism
+// disabled ("engine/serial") — so BENCH_shard.json records what the
+// defaults buy. k > 0 overrides the configured top-k. iters > 0 times
+// that many fixed iterations per case (the CI smoke mode); iters ≤ 0
+// uses testing.Benchmark's self-calibrated duration. mismatches lists
+// every per-query divergence between backends — including the variants,
+// which must agree exactly with the defaults — (candidate count, top
+// candidate cost, answer count); empty when the equivalence guarantee
+// holds, as it must.
+func RunShardBench(env *Env, queries []PerfQuery, shardCounts []int, limit, iters, k int) (results []ShardBenchResult, mismatches []string) {
+	cfg := engine.Config{K: k}
 	var out []ShardBenchResult
 	type fingerprint struct {
 		backend string
@@ -72,12 +79,33 @@ func RunShardBench(env *Env, queries []PerfQuery, shardCounts []int, limit, iter
 		}
 		return float64(br.T.Nanoseconds()) / float64(br.N)
 	}
+	type backendSpec struct {
+		label   string
+		variant string
+		shards  int
+		cfg     engine.Config
+	}
+	backends := make([]backendSpec, 0, len(shardCounts)+2)
 	for _, n := range shardCounts {
+		label := "engine"
+		if n > 0 {
+			label = fmt.Sprintf("shards=%d", n)
+		}
+		backends = append(backends, backendSpec{label: label, shards: n, cfg: cfg})
+	}
+	offCfg, serialCfg := cfg, cfg
+	offCfg.Oracle = core.OracleOff
+	serialCfg.Parallelism = 1
+	backends = append(backends,
+		backendSpec{label: "engine/no-oracle", variant: "no-oracle", cfg: offCfg},
+		backendSpec{label: "engine/serial", variant: "serial", cfg: serialCfg})
+
+	for _, bk := range backends {
+		n, label := bk.shards, bk.label
 		var search func(kws []string) ([]*engine.QueryCandidate, error)
 		var execute func(c *engine.QueryCandidate) (int, error)
-		label := "engine"
 		if n == 0 {
-			eng := engine.New(cfg)
+			eng := engine.New(bk.cfg)
 			eng.AddTriples(env.Triples)
 			eng.Seal()
 			search = func(kws []string) ([]*engine.QueryCandidate, error) {
@@ -92,10 +120,9 @@ func RunShardBench(env *Env, queries []PerfQuery, shardCounts []int, limit, iter
 				return rs.Len(), nil
 			}
 		} else {
-			b := shard.NewBuilder(n, cfg)
+			b := shard.NewBuilder(n, bk.cfg)
 			b.AddTriples(env.Triples)
 			cl := b.Build()
-			label = fmt.Sprintf("shards=%d", n)
 			search = func(kws []string) ([]*engine.QueryCandidate, error) {
 				cands, _, err := cl.Search(kws)
 				return cands, err
@@ -127,6 +154,7 @@ func RunShardBench(env *Env, queries []PerfQuery, shardCounts []int, limit, iter
 
 			res := ShardBenchResult{
 				Name:       q.ID + "/" + label,
+				Variant:    bk.variant,
 				Dataset:    env.Name,
 				Shards:     n,
 				Keywords:   q.Keywords,
@@ -171,10 +199,10 @@ func RunShardBench(env *Env, queries []PerfQuery, shardCounts []int, limit, iter
 func FormatShardBench(results []ShardBenchResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scatter-gather cluster vs single engine (search + execute latency)\n")
-	fmt.Fprintf(&b, "%-16s %-9s %12s %12s %6s %7s\n",
+	fmt.Fprintf(&b, "%-22s %-9s %12s %12s %6s %7s\n",
 		"case", "dataset", "search µs", "exec µs", "cands", "rows")
 	for _, r := range results {
-		fmt.Fprintf(&b, "%-16s %-9s %12.1f %12.1f %6d %7d\n",
+		fmt.Fprintf(&b, "%-22s %-9s %12.1f %12.1f %6d %7d\n",
 			r.Name, r.Dataset, r.SearchNs/1e3, r.ExecuteNs/1e3, r.Candidates, r.Rows)
 	}
 	return b.String()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/summary"
 )
@@ -27,18 +28,85 @@ type Options struct {
 	// adversarially dense graphs (default 2_000_000).
 	MaxPops int
 
-	// UseOracle enables the Sec. IX connectivity/score oracle: one
-	// multi-source Dijkstra per keyword before exploration. Cursors in
-	// components unreachable by some keyword are discarded outright, and
-	// path registration is gated by the admissible completion bound
-	// cost + Σ_{j≠i} d_j(n) against the current k-th candidate. Results
-	// are identical; exploration work shrinks, most visibly when a
-	// keyword's matches sit in a different component.
+	// Oracle selects the Sec. IX connectivity/score oracle policy. The
+	// zero value is OracleAuto: the oracle is built — and its admissible
+	// bounds prune the exploration — whenever the adaptive guard says its
+	// fixed construction cost (2·|K| summary-graph Dijkstras) will pay
+	// for itself; see oracleEnabled. Results are identical under every
+	// mode; only the work done to reach them changes.
+	Oracle OracleMode
+
+	// OracleWorkers caps the goroutines that build the oracle's
+	// per-keyword distance tables concurrently (0 = one per CPU).
+	OracleWorkers int
+
+	// MinOracleSeeds is the OracleAuto guard threshold: the oracle is
+	// skipped while the total seed count Σ|K_i| is below it, where its
+	// fixed cost exceeds its savings (default DefaultMinOracleSeeds,
+	// chosen from bench data — see DESIGN.md).
+	MinOracleSeeds int
+
+	// UseOracle forces the oracle on — the legacy opt-in spelling of
+	// Oracle = OracleOn, kept so existing callers and ablations work
+	// unchanged.
 	UseOracle bool
 
 	// testOnPop, when set by tests, observes every popped cursor (used to
 	// verify the ascending-cost pop order of Theorem 1).
 	testOnPop func(*Cursor)
+}
+
+// OracleMode says when exploration builds the distance oracle.
+type OracleMode uint8
+
+const (
+	// OracleAuto (the default) builds the oracle unless the adaptive
+	// guard judges the query too small to repay the construction cost.
+	OracleAuto OracleMode = iota
+	// OracleOn always builds the oracle.
+	OracleOn
+	// OracleOff never builds it — the pre-oracle exploration, kept for
+	// ablations and A/B benchmarks.
+	OracleOff
+)
+
+// DefaultMinOracleSeeds is the default OracleAuto threshold on the total
+// seed count Σ|K_i|. The DBLP bench sweep (k ∈ {1, 10, 50}, 2–6 keywords,
+// 2–32 seeds; see DESIGN.md "Admissible pruning") showed the oracle
+// repaying its 2·|K| summary-graph Dijkstras (~15–200µs) on every
+// multi-keyword query — 3× on the most selective 2-seed queries, 600× on
+// dense 4-keyword ones — so the default only excludes the degenerate
+// floor. Workloads of ultra-selective k=1 point lookups, the one shape
+// measured to lose (by ~15µs), can raise it.
+const DefaultMinOracleSeeds = 2
+
+// oracleSlack absorbs float rounding in the oracle's admissible bounds:
+// a bound and the candidate cost it under-estimates sum the same element
+// costs in different association orders, so they may differ by a few
+// ulps. Pruning only when the bound clears the k-th cost by this margin
+// keeps "results identical" exact rather than probabilistic. Element
+// costs are O(1), so an absolute margin suffices.
+const oracleSlack = 1e-9
+
+// oracleEnabled resolves the oracle policy for a query's seed sets.
+func (o Options) oracleEnabled(seeds [][]summary.ElemID) bool {
+	switch o.Oracle {
+	case OracleOn:
+		return true
+	case OracleOff:
+		return false
+	}
+	// Auto: with one keyword there is nothing to bound (every h_i sum is
+	// empty); with a tiny total seed count exploration is cheaper than
+	// the oracle build.
+	if len(seeds) < 2 {
+		return false
+	}
+	total := 0
+	for _, ki := range seeds {
+		total += len(ki)
+	}
+	return total >= o.MinOracleSeeds
 }
 
 func (o Options) withDefaults() Options {
@@ -54,16 +122,27 @@ func (o Options) withDefaults() Options {
 	if o.MaxPops <= 0 {
 		o.MaxPops = 2_000_000
 	}
+	if o.UseOracle && o.Oracle == OracleAuto {
+		o.Oracle = OracleOn
+	}
+	if o.MinOracleSeeds <= 0 {
+		o.MinOracleSeeds = DefaultMinOracleSeeds
+	}
 	return o
 }
 
-// Stats counts exploration work, reported by the benchmark harness.
+// Stats counts exploration work, reported by the benchmark harness and
+// surfaced per query by the serving layer.
 type Stats struct {
 	CursorsCreated  int
 	CursorsPopped   int
 	ElementsVisited int // distinct elements with at least one registered path
 	Candidates      int // subgraphs generated (before de-duplication)
 	Terminated      TerminationReason
+	// OracleUsed reports whether the distance oracle pruned this query —
+	// i.e. whether OracleAuto's adaptive guard fired (or the mode forced
+	// it on).
+	OracleUsed bool
 }
 
 // TerminationReason says why the exploration stopped.
@@ -113,6 +192,11 @@ type Result struct {
 	// Guaranteed is true when the result provably contains the k minimal
 	// subgraphs (termination by TA bound or by exhaustion).
 	Guaranteed bool
+	// OracleBuild is the time spent constructing the distance oracle
+	// (zero when the oracle was skipped). It is part of the exploration
+	// wall time, reported separately so operators can see the fixed cost
+	// the adaptive guard is weighing.
+	OracleBuild time.Duration
 }
 
 // Explorer runs explorations and recycles their working memory. All heavy
@@ -142,6 +226,11 @@ var defaultExplorer = NewExplorer()
 type exploreState struct {
 	slab  cursorSlab
 	queue cursorQueue
+
+	// oracle holds the distance tables and Dijkstra scratch of the
+	// Sec. IX oracle, rebuilt in place per query (growth-only
+	// allocation, like everything else here).
+	oracle DistanceOracle
 
 	// Dense element state, indexed by ElemID (ElemIDs are dense by
 	// construction: base-graph elements first, augmentation after). An
@@ -256,8 +345,15 @@ func (ex *Explorer) ExploreContext(ctx context.Context, ag *summary.Augmented, c
 
 	candidates := newCandidateList(opt.K)
 	var oracle *DistanceOracle
-	if opt.UseOracle {
-		oracle = NewDistanceOracle(ag, cost, seeds)
+	if opt.oracleEnabled(seeds) {
+		buildStart := time.Now()
+		if err := st.oracle.Build(ctx, ag, cost, seeds, opt.OracleWorkers); err != nil {
+			res.Stats.Terminated = Cancelled
+			return res
+		}
+		oracle = &st.oracle
+		res.OracleBuild = time.Since(buildStart)
+		res.Stats.OracleUsed = true
 	}
 
 	// Algorithm 1 lines 1–6: one cursor per keyword element. Seeds keep
@@ -305,30 +401,42 @@ func (ex *Explorer) ExploreContext(ctx context.Context, ag *summary.Augmented, c
 		if kth, full := candidates.kthCost(); full && c.Cost >= kth {
 			continue
 		}
-		// Oracle pruning (sound): an element some keyword cannot reach
-		// lies in a component where no connecting element can ever form —
-		// neither can any of the cursor's descendants (adjacency keeps
-		// components).
-		if oracle != nil && !oracle.Reachable(n) {
-			continue
+		kw := int(c.Keyword)
+		if oracle != nil {
+			// Oracle pruning (sound): an element some keyword cannot
+			// reach lies in a component where no connecting element can
+			// ever form — neither can any of the cursor's descendants
+			// (adjacency keeps components).
+			if !oracle.Reachable(n) {
+				continue
+			}
+			// Completion-bound pruning (sound): wherever this cursor's
+			// paths eventually meet the other keywords', the candidate
+			// costs at least c.Cost + g_i(n). Once that clears the k-th
+			// candidate the whole subtree under this cursor is dead —
+			// not just its registration at n.
+			if kth, full := candidates.kthCost(); full && c.Cost+oracle.Completion(kw, n) > kth+oracleSlack {
+				continue
+			}
 		}
 
 		if int(c.Dist) < opt.DMax {
 			// Register the path at n (line 11) and generate the new
 			// candidate subgraphs it completes (Algorithm 2).
 			lists := st.touchElem(n, &res.Stats)
-			kw := int(c.Keyword)
 			registered := false
 			if len(lists[kw]) < opt.MaxCursorsPerElement {
 				// Oracle gating (sound): candidates formed at n with this
-				// path cost at least c.Cost + Σ_{j≠i} d_j(n); if that
-				// bound already exceeds the k-th candidate it can be
-				// skipped — the bound only loosens as kth shrinks, never
-				// the other way.
+				// path cost at least c.Cost + Σ_{j≠i} d_j(n) — a tighter
+				// bound than g_i(n) when n itself is the meeting element;
+				// if it already exceeds the k-th candidate the
+				// registration (and the combination enumeration it would
+				// feed) is skipped. The bound only loosens as kth
+				// shrinks, never the other way.
 				if oracle == nil {
 					lists[kw] = append(lists[kw], ent.idx)
 					registered = true
-				} else if kth, full := candidates.kthCost(); !full || c.Cost+oracle.Remaining(kw, n) <= kth {
+				} else if kth, full := candidates.kthCost(); !full || c.Cost+oracle.Remaining(kw, n) <= kth+oracleSlack {
 					lists[kw] = append(lists[kw], ent.idx)
 					registered = true
 				}
@@ -353,6 +461,18 @@ func (ex *Explorer) ExploreContext(ctx context.Context, ag *summary.Augmented, c
 					if st.slab.onPath(ent.idx, nb) {
 						continue // line 17: no cyclic paths
 					}
+					childCost := c.Cost + cost(nb)
+					// Completion-bound gating at creation: a child whose
+					// admissible bound already exceeds the k-th candidate
+					// would be discarded at its own pop — don't pay the
+					// slab slot and the heap traffic to find that out.
+					// This is where the bound cuts the cursor explosion
+					// of dense many-keyword queries.
+					if oracle != nil {
+						if kth, full := candidates.kthCost(); full && childCost+oracle.Completion(kw, nb) > kth+oracleSlack {
+							continue
+						}
+					}
 					idx, child := st.slab.alloc()
 					*child = Cursor{
 						Elem:    nb,
@@ -360,7 +480,7 @@ func (ex *Explorer) ExploreContext(ctx context.Context, ag *summary.Augmented, c
 						parent:  ent.idx,
 						Keyword: c.Keyword,
 						Dist:    c.Dist + 1,
-						Cost:    c.Cost + cost(nb),
+						Cost:    childCost,
 					}
 					st.queue.push(child.Cost, idx)
 					res.Stats.CursorsCreated++

@@ -156,8 +156,9 @@ func refExplore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 	states := make(map[summary.ElemID]*refElemState)
 	candidates := newCandidateList(opt.K)
 	var oracle *DistanceOracle
-	if opt.UseOracle {
+	if opt.oracleEnabled(seeds) {
 		oracle = NewDistanceOracle(ag, cost, seeds)
+		res.Stats.OracleUsed = true
 	}
 	for i, ki := range seeds {
 		for _, k := range ki {
@@ -177,8 +178,13 @@ func refExplore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 		if kth, full := candidates.kthCost(); full && c.Cost >= kth {
 			continue
 		}
-		if oracle != nil && !oracle.Reachable(n) {
-			continue
+		if oracle != nil {
+			if !oracle.Reachable(n) {
+				continue
+			}
+			if kth, full := candidates.kthCost(); full && c.Cost+oracle.Completion(c.Keyword, n) > kth+oracleSlack {
+				continue
+			}
 		}
 		if c.Dist < opt.DMax {
 			st := states[n]
@@ -192,7 +198,7 @@ func refExplore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 				if oracle == nil {
 					st.lists[c.Keyword] = append(st.lists[c.Keyword], c)
 					registered = true
-				} else if kth, full := candidates.kthCost(); !full || c.Cost+oracle.Remaining(c.Keyword, n) <= kth {
+				} else if kth, full := candidates.kthCost(); !full || c.Cost+oracle.Remaining(c.Keyword, n) <= kth+oracleSlack {
 					st.lists[c.Keyword] = append(st.lists[c.Keyword], c)
 					registered = true
 				}
@@ -209,9 +215,15 @@ func refExplore(ag *summary.Augmented, cost CostFunc, opt Options) *Result {
 					if nb == parentElem || c.onPath(nb) {
 						continue
 					}
+					childCost := c.Cost + cost(nb)
+					if oracle != nil {
+						if kth, full := candidates.kthCost(); full && childCost+oracle.Completion(c.Keyword, nb) > kth+oracleSlack {
+							continue
+						}
+					}
 					heap.Push(&queue, &refCursor{
 						Elem: nb, Keyword: c.Keyword, Origin: c.Origin, Parent: c,
-						Dist: c.Dist + 1, Cost: c.Cost + cost(nb), seq: res.Stats.CursorsCreated,
+						Dist: c.Dist + 1, Cost: childCost, seq: res.Stats.CursorsCreated,
 					})
 					res.Stats.CursorsCreated++
 				}
@@ -295,9 +307,10 @@ func exploreWorkload(t *testing.T, name string, sg *summary.Graph, kwix *keyword
 		ag := sg.Augment(matches)
 		scorer := scoring.New(scoring.Matching, ag)
 		for _, opt := range []Options{
-			{K: 10, DMax: 10},
+			{K: 10, DMax: 10}, // OracleAuto: the serving default
 			{K: 3, DMax: 10},
-			{K: 10, DMax: 10, UseOracle: true},
+			{K: 10, DMax: 10, UseOracle: true},   // forced on (legacy spelling)
+			{K: 10, DMax: 10, Oracle: OracleOff}, // pre-oracle exploration
 		} {
 			label := name + "/" + kws[0]
 			got := ex.Explore(ag, scorer.ElementCost, opt)

@@ -1,71 +1,221 @@
 package core
 
 import (
+	"context"
 	"math"
+	"sync/atomic"
 
+	"repro/internal/parallel"
 	"repro/internal/summary"
 )
 
 // DistanceOracle implements the paper's Sec. IX future-work item
 // ("techniques for indexing connectivity and scores ... for further speed
-// up"): for every keyword i and every element n of the augmented summary
-// graph it holds d_i(n), the minimal cost of any path from an element of
-// K_i to n (both endpoints included), computed by one multi-source
-// Dijkstra per keyword at query time.
+// up"): per-keyword admissible distance bounds over the augmented summary
+// graph, built at query time (the matching scores of C3 are only known
+// then) and used by the exploration for sound pruning.
 //
-// The oracle yields an admissible completion bound: any matching subgraph
-// that uses a path of cost w from keyword i ending at n costs at least
-// w + Σ_{j≠i} d_j(n). Exploration can therefore discard cursors whose
-// bound already exceeds the current k-th candidate — a much tighter test
-// than comparing the path cost alone — without losing the top-k
-// guarantee.
+// Two tables are kept, both computed by multi-source Dijkstras over the
+// boxing-free implicit 4-ary heap of heap.go:
 //
-// Because query-specific costs (the matching scores of C3) are only known
-// at query time, the oracle is built per query rather than off-line; on
-// summary graphs this costs m Dijkstra runs over a few hundred elements.
+//   - dist[i][n] = d_i(n): the minimal cost of any path from an element
+//     of K_i to n (both endpoints included). It yields the connecting-
+//     element bound: a candidate formed AT n with a keyword-i path of
+//     cost w costs at least w + Σ_{j≠i} d_j(n) (Remaining).
+//
+//   - comp[i][n] = g_i(n) = min over elements x of [e(n→x) + Σ_{j≠i} d_j(x)],
+//     where e(n→x) is the minimal cost of the elements of a walk from n
+//     to x counting everything after n (e(n→n) = 0). It yields the
+//     completion bound: ANY candidate a keyword-i cursor at n — or any of
+//     its descendants — can ever participate in costs at least
+//     w + g_i(n), wherever the paths eventually meet (Completion). This
+//     is the bidirectional-expansion-style bound that lets exploration
+//     discard whole subtrees of the search, not just registrations at n.
+//
+// g_i satisfies g_i(n) = min(h_i(n), min_{nb∈N(n)} g_i(nb) + c(nb)) with
+// h_i(x) = Σ_{j≠i} d_j(x), so it is itself a multi-source Dijkstra with
+// every element seeded at h_i and relaxation cost c(settled element).
+// Both bounds ignore the acyclicity and DMax constraints real paths obey,
+// which only makes them smaller — they stay admissible (never exceed the
+// cost of anything achievable), so pruning against them never loses a
+// top-k result.
+//
+// An oracle is reusable: Build re-fills the tables in place, recycling
+// the per-worker Dijkstra frontiers and the distance rows across queries
+// (the exploreState holds one oracle per pooled state). The per-keyword
+// Dijkstras of each phase are independent and run concurrently, capped by
+// the workers argument; construction polls ctx and aborts promptly when
+// the request is cancelled.
 type DistanceOracle struct {
-	dist [][]float64 // [keyword][element] → minimal path cost, +Inf unreachable
+	m    int
+	dist [][]float64 // [keyword][element] → d_i(n), +Inf unreachable
+	comp [][]float64 // [keyword][element] → g_i(n), +Inf when no meeting element exists
+
+	costs  []float64     // element costs, computed once per build
+	queues []cursorQueue // one Dijkstra frontier per worker
 }
 
-// NewDistanceOracle runs the per-keyword multi-source Dijkstra.
+// oracleCancelInterval is how many Dijkstra pops go by between context
+// polls during oracle construction — the same cadence the exploration
+// loop uses, so a deadline cuts a build off within microseconds of work.
+const oracleCancelInterval = 1024
+
+// NewDistanceOracle builds an oracle serially with a background context —
+// the one-shot construction the tests and the reference implementation
+// use. The exploration hot path calls Build on a recycled oracle instead.
 func NewDistanceOracle(ag *summary.Augmented, cost CostFunc, seeds [][]summary.ElemID) *DistanceOracle {
-	n := ag.NumElements()
-	o := &DistanceOracle{dist: make([][]float64, len(seeds))}
-	// The Dijkstra frontier reuses the exploration's boxing-free implicit
-	// 4-ary heap, carrying the element ID in the idx slot. The (cost, idx)
-	// tie-break is harmless here: settled distances — all the oracle
-	// exposes — are tie-independent.
-	var h cursorQueue
-	for i, ki := range seeds {
-		d := make([]float64, n)
+	o := &DistanceOracle{}
+	_ = o.Build(context.Background(), ag, cost, seeds, 1) // background ctx: cannot fail
+	return o
+}
+
+// Build (re)computes the oracle for one query: 2·|K| multi-source
+// Dijkstras over the augmented summary graph — the d_i table first, then
+// the g_i completion bounds seeded from it — run concurrently across
+// keywords on at most workers goroutines (≤ 0 means one per CPU). All
+// storage is reused from the previous build; only growth allocates.
+//
+// On cancellation Build stops promptly and returns ctx.Err(); the tables
+// are then meaningless and must not be read.
+func (o *DistanceOracle) Build(ctx context.Context, ag *summary.Augmented, cost CostFunc, seeds [][]summary.ElemID, workers int) error {
+	m, n := len(seeds), ag.NumElements()
+	o.m = m
+	o.dist = growRows(o.dist, m, n)
+	o.comp = growRows(o.comp, m, n)
+	if cap(o.costs) < n {
+		o.costs = make([]float64, n)
+	}
+	costs := o.costs[:n]
+	for i := range costs {
+		costs[i] = cost(summary.ElemID(i))
+	}
+	width := parallel.Workers(workers)
+	if width > m {
+		width = m
+	}
+	for len(o.queues) < width {
+		o.queues = append(o.queues, cursorQueue{})
+	}
+
+	// cancelled flips once ctx fires; workers poll it (and ctx) so one
+	// observation stops every in-flight Dijkstra at its next interval.
+	var cancelled atomic.Bool
+	poll := func() bool {
+		if cancelled.Load() {
+			return true
+		}
+		if ctx.Err() != nil {
+			cancelled.Store(true)
+			return true
+		}
+		return false
+	}
+
+	// Phase 1: d_i(n) per keyword, seeded at K_i with the seed's own cost.
+	parallel.ForEachWorker(width, m, func(w, i int) {
+		if poll() {
+			return
+		}
+		d := o.dist[i]
 		for j := range d {
 			d[j] = math.Inf(1)
 		}
+		h := &o.queues[w]
 		h.reset()
-		for _, s := range ki {
-			c := cost(s)
-			if c < d[s] {
+		for _, s := range seeds[i] {
+			if c := costs[s]; c < d[s] {
 				d[s] = c
 				h.push(c, int32(s))
 			}
 		}
-		for h.len() > 0 {
-			it := h.pop()
-			elem := summary.ElemID(it.idx)
-			if it.cost > d[elem] {
-				continue // stale entry
-			}
-			for _, nb := range ag.Neighbors(elem) {
-				nc := it.cost + cost(nb)
-				if nc < d[nb] {
-					d[nb] = nc
-					h.push(nc, int32(nb))
+		o.dijkstra(ag, costs, d, h, false, &cancelled, ctx)
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase 2: g_i(n), seeded everywhere at h_i(x) = Σ_{j≠i} d_j(x) and
+	// relaxed by the settled element's cost.
+	parallel.ForEachWorker(width, m, func(w, i int) {
+		if poll() {
+			return
+		}
+		g := o.comp[i]
+		h := &o.queues[w]
+		h.reset()
+		for x := 0; x < n; x++ {
+			sum := 0.0
+			for j := 0; j < m; j++ {
+				if j != i {
+					sum += o.dist[j][x]
 				}
 			}
+			g[x] = sum
+			if !math.IsInf(sum, 1) {
+				h.push(sum, int32(x))
+			}
 		}
-		o.dist[i] = d
+		o.dijkstra(ag, costs, g, h, true, &cancelled, ctx)
+	})
+	return ctx.Err()
+}
+
+// dijkstra drains a pre-seeded frontier, settling minimal values into d.
+// The two phases differ only in which element's cost an edge charges:
+// phase 1 accumulates path costs forward, so crossing into nb adds
+// costs[nb] (bySettled = false); phase 2's recurrence is
+// g(n) ≤ g(nb) + c(nb) for a settled neighbor nb, so relaxing outward
+// from the settled element adds that element's own cost (bySettled =
+// true). Both are standard Dijkstras: the added cost is strictly
+// positive, so settled values ascend. The loop polls for cancellation
+// every oracleCancelInterval pops.
+func (o *DistanceOracle) dijkstra(ag *summary.Augmented, costs, d []float64, h *cursorQueue, bySettled bool, cancelled *atomic.Bool, ctx context.Context) {
+	countdown := oracleCancelInterval
+	for h.len() > 0 {
+		countdown--
+		if countdown <= 0 {
+			countdown = oracleCancelInterval
+			if cancelled.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
+		}
+		it := h.pop()
+		elem := summary.ElemID(it.idx)
+		if it.cost > d[elem] {
+			continue // stale entry
+		}
+		for _, nb := range ag.Neighbors(elem) {
+			nc := it.cost + costs[nb]
+			if bySettled {
+				nc = it.cost + costs[elem]
+			}
+			if nc < d[nb] {
+				d[nb] = nc
+				h.push(nc, int32(nb))
+			}
+		}
 	}
-	return o
+}
+
+// growRows resizes a [rows][n] table in place, reusing backing arrays.
+func growRows(t [][]float64, rows, n int) [][]float64 {
+	if cap(t) < rows {
+		nt := make([][]float64, rows)
+		copy(nt, t[:cap(t)])
+		t = nt
+	}
+	t = t[:rows]
+	for i := range t {
+		if cap(t[i]) < n {
+			t[i] = make([]float64, n)
+		}
+		t[i] = t[i][:n]
+	}
+	return t
 }
 
 // Remaining returns Σ_{j≠except} d_j(elem): the minimal total cost of the
@@ -73,19 +223,29 @@ func NewDistanceOracle(ag *summary.Augmented, cost CostFunc, seeds [][]summary.E
 // some keyword cannot reach elem at all.
 func (o *DistanceOracle) Remaining(except int, elem summary.ElemID) float64 {
 	total := 0.0
-	for j, d := range o.dist {
+	for j := 0; j < o.m; j++ {
 		if j == except {
 			continue
 		}
-		total += d[elem]
+		total += o.dist[j][elem]
 	}
 	return total
 }
 
+// Completion returns g_except(elem): a lower bound on the cost that must
+// still be added to a keyword path currently ending at elem before ANY
+// matching subgraph can complete — the other keywords' cheapest paths to
+// the best possible meeting element, plus the cost of walking there.
+// +Inf means no element reachable from elem is reachable by every other
+// keyword.
+func (o *DistanceOracle) Completion(except int, elem summary.ElemID) float64 {
+	return o.comp[except][elem]
+}
+
 // Reachable reports whether every keyword can reach elem.
 func (o *DistanceOracle) Reachable(elem summary.ElemID) bool {
-	for _, d := range o.dist {
-		if math.IsInf(d[elem], 1) {
+	for j := 0; j < o.m; j++ {
+		if math.IsInf(o.dist[j][elem], 1) {
 			return false
 		}
 	}

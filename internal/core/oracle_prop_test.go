@@ -1,0 +1,117 @@
+package core
+
+// Property test for the "oracle changes nothing but the work" guarantee:
+// across randomized datagen graphs (DBLP- and LUBM-shaped, varying scale
+// and seed) and randomized keyword queries, exploration with the oracle
+// must return bit-equal subgraph lists — element sets, per-keyword paths,
+// connectors, AND exact float costs — to exploration without it. The
+// fixed workloads of the golden tests pin opt-vs-ref; this pins
+// on-vs-off, the axis the default flip rides on.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/keywordindex"
+	"repro/internal/scoring"
+	"repro/internal/store"
+	"repro/internal/summary"
+	"repro/internal/thesaurus"
+)
+
+// oraclePropPool is the keyword vocabulary queries are drawn from; it
+// mixes selective phrases, class terms, years, and low-selectivity stems
+// so both tiny and explosive explorations are exercised.
+var oraclePropPool = [][]string{
+	{"thanh tran", "publication", "2005", "aifb", "conference", "article",
+		"cites", "author", "institute", "candidates", "keyword", "search",
+		"graph", "databases", "expansion", "1999", "2006"},
+	{"professor", "course", "student", "advisor", "publication",
+		"department", "university", "research", "graduate"},
+}
+
+func oraclePropGraph(t *testing.T, rng *rand.Rand, round int) (*summary.Graph, *keywordindex.Index, []string) {
+	t.Helper()
+	st := store.New()
+	var pool []string
+	if round%2 == 0 {
+		pubs := 200 + rng.Intn(400)
+		st.AddAll(datagen.DBLPTriples(datagen.DBLPConfig{Publications: pubs, Seed: rng.Int63()}))
+		pool = oraclePropPool[0]
+	} else {
+		st.AddAll(datagen.LUBMTriples(datagen.LUBMConfig{Universities: 1, Seed: rng.Int63()}))
+		pool = oraclePropPool[1]
+	}
+	g := graph.Build(st)
+	return summary.Build(g), keywordindex.Build(g, thesaurus.Default()), pool
+}
+
+func TestOracleOnOffEquivalenceRandomized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds randomized datagen graphs")
+	}
+	rng := rand.New(rand.NewSource(20260727))
+	ex := NewExplorer()
+	compared := 0
+	for round := 0; round < 10; round++ {
+		sg, kwix, pool := oraclePropGraph(t, rng, round)
+		for q := 0; q < 6; q++ {
+			m := 2 + rng.Intn(4)
+			kws := make([]string, 0, m)
+			perm := rng.Perm(len(pool))
+			for _, pi := range perm[:m] {
+				kws = append(kws, pool[pi])
+			}
+			matches := kwix.LookupAll(kws, keywordindex.LookupOptions{MaxMatches: 8})
+			usable := true
+			for _, ms := range matches {
+				if len(ms) == 0 {
+					usable = false
+				}
+			}
+			if !usable {
+				continue
+			}
+			ag := sg.Augment(matches)
+			scorer := scoring.New(scoring.Matching, ag)
+			k := []int{1, 3, 10}[rng.Intn(3)]
+			off := ex.Explore(ag, scorer.ElementCost, Options{K: k, Oracle: OracleOff})
+			on := ex.Explore(ag, scorer.ElementCost, Options{K: k, Oracle: OracleOn})
+			label := fmt.Sprintf("round %d k=%d %v", round, k, kws)
+			if len(on.Subgraphs) != len(off.Subgraphs) {
+				t.Fatalf("%s: %d subgraphs with oracle, %d without", label, len(on.Subgraphs), len(off.Subgraphs))
+			}
+			for i := range off.Subgraphs {
+				a, b := off.Subgraphs[i], on.Subgraphs[i]
+				if a.Cost != b.Cost {
+					t.Fatalf("%s: subgraph %d cost %v (off) != %v (on)", label, i, a.Cost, b.Cost)
+				}
+				if a.Connector != b.Connector {
+					t.Fatalf("%s: subgraph %d connector %v != %v", label, i, a.Connector, b.Connector)
+				}
+				if !elemsEqual(a.Elements, b.Elements) {
+					t.Fatalf("%s: subgraph %d elements %v != %v", label, i, a.Elements, b.Elements)
+				}
+				for j := range a.Paths {
+					if !elemsEqual(a.Paths[j], b.Paths[j]) {
+						t.Fatalf("%s: subgraph %d path %d %v != %v", label, i, j, a.Paths[j], b.Paths[j])
+					}
+				}
+			}
+			if off.Guaranteed != on.Guaranteed {
+				t.Fatalf("%s: Guaranteed %v (off) != %v (on)", label, off.Guaranteed, on.Guaranteed)
+			}
+			if on.Stats.CursorsPopped > off.Stats.CursorsPopped {
+				t.Fatalf("%s: oracle did MORE work: %d pops vs %d", label,
+					on.Stats.CursorsPopped, off.Stats.CursorsPopped)
+			}
+			compared++
+		}
+	}
+	if compared < 20 {
+		t.Fatalf("only %d usable query comparisons ran; vocabulary pool too narrow", compared)
+	}
+}

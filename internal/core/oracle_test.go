@@ -1,13 +1,19 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 
+	"repro/internal/datagen"
 	"repro/internal/graph"
+	"repro/internal/keywordindex"
 	"repro/internal/rdf"
+	"repro/internal/scoring"
 	"repro/internal/store"
 	"repro/internal/summary"
+	"repro/internal/thesaurus"
 )
 
 func TestOracleDistances(t *testing.T) {
@@ -45,7 +51,7 @@ func TestOracleSameResults(t *testing.T) {
 	// With and without the oracle, exploration must return identical
 	// cost sequences on the running example and on random graphs.
 	ag, _ := fig1Aug(t)
-	base := Explore(ag, c1(ag), Options{K: 10})
+	base := Explore(ag, c1(ag), Options{K: 10, Oracle: OracleOff})
 	withOracle := Explore(ag, c1(ag), Options{K: 10, UseOracle: true})
 	if len(base.Subgraphs) != len(withOracle.Subgraphs) {
 		t.Fatalf("result counts differ: %d vs %d", len(base.Subgraphs), len(withOracle.Subgraphs))
@@ -87,7 +93,7 @@ func TestOracleSameResults(t *testing.T) {
 		}
 		agr := sg.Augment(perKw)
 		cf := c1(agr)
-		a := Explore(agr, cf, Options{K: 5})
+		a := Explore(agr, cf, Options{K: 5, Oracle: OracleOff})
 		b := Explore(agr, cf, Options{K: 5, UseOracle: true})
 		if len(a.Subgraphs) != len(b.Subgraphs) {
 			t.Fatalf("round %d: counts differ %d vs %d", round, len(a.Subgraphs), len(b.Subgraphs))
@@ -138,7 +144,7 @@ func TestOraclePrunesDisconnectedComponents(t *testing.T) {
 	}
 	ag := sg.Augment(perKw)
 	cf := c1(ag)
-	plain := Explore(ag, cf, Options{K: 3})
+	plain := Explore(ag, cf, Options{K: 3, Oracle: OracleOff})
 	pruned := Explore(ag, cf, Options{K: 3, UseOracle: true})
 	if len(plain.Subgraphs) != len(pruned.Subgraphs) {
 		t.Fatalf("results differ: %d vs %d", len(plain.Subgraphs), len(pruned.Subgraphs))
@@ -165,4 +171,124 @@ func itoaTest(i int) string {
 		return string(rune('0' + i))
 	}
 	return string(rune('a'+i/10)) + string(rune('0'+i%10))
+}
+
+func TestOracleCompletionBound(t *testing.T) {
+	ag, _ := fig1Aug(t)
+	cf := c1(ag)
+	oracle := NewDistanceOracle(ag, cf, ag.Seeds())
+	for i := range ag.Seeds() {
+		for e := 0; e < ag.NumElements(); e++ {
+			el := summary.ElemID(e)
+			g := oracle.Completion(i, el)
+			// Taking the element itself as the meeting point shows
+			// g_i(n) ≤ Σ_{j≠i} d_j(n).
+			if r := oracle.Remaining(i, el); g > r+1e-9 {
+				t.Fatalf("Completion(%d,%d)=%v exceeds Remaining=%v", i, e, g, r)
+			}
+			// The Dijkstra recurrence: g_i(n) ≤ g_i(nb) + c(nb).
+			for _, nb := range ag.Neighbors(el) {
+				if g > oracle.Completion(i, nb)+cf(nb)+1e-9 {
+					t.Fatalf("recurrence violated at %d via %d: %v > %v + %v",
+						e, nb, g, oracle.Completion(i, nb), cf(nb))
+				}
+			}
+		}
+	}
+}
+
+func TestOracleBuildCancellation(t *testing.T) {
+	// Oracle construction must poll its context: a cancelled context
+	// aborts the per-keyword Dijkstras promptly and Build reports the
+	// cancellation instead of returning a half-filled (unusable) oracle.
+	st := store.New()
+	st.AddAll(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 2000, Seed: 1}))
+	g := graph.Build(st)
+	sg := summary.Build(g)
+	kwix := keywordindex.Build(g, thesaurus.Default())
+	matches := kwix.LookupAll([]string{"thanh tran", "publication", "2005"},
+		keywordindex.LookupOptions{MaxMatches: 8})
+	ag := sg.Augment(matches)
+	scorer := scoring.New(scoring.Matching, ag)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired when Build starts
+	var o DistanceOracle
+	start := time.Now()
+	if err := o.Build(ctx, ag, scorer.ElementCost, ag.Seeds(), 2); err == nil {
+		t.Fatal("Build with a cancelled context returned nil error")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancelled Build took %v, want a prompt abort", d)
+	}
+
+	// And the exploration path surfaces it as a Cancelled termination.
+	res := defaultExplorer.ExploreContext(ctx, ag, scorer.ElementCost, Options{K: 10, UseOracle: true})
+	if res.Stats.Terminated != Cancelled {
+		t.Fatalf("exploration under cancelled ctx terminated %v, want Cancelled", res.Stats.Terminated)
+	}
+}
+
+func TestOracleBuildParallelDeterministic(t *testing.T) {
+	// The per-keyword Dijkstras are independent, so the tables must not
+	// depend on how many workers built them.
+	st := store.New()
+	st.AddAll(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 1000, Seed: 3}))
+	g := graph.Build(st)
+	sg := summary.Build(g)
+	kwix := keywordindex.Build(g, thesaurus.Default())
+	matches := kwix.LookupAll([]string{"thanh tran", "aifb", "publication", "2005", "conference"},
+		keywordindex.LookupOptions{MaxMatches: 8})
+	ag := sg.Augment(matches)
+	scorer := scoring.New(scoring.Matching, ag)
+
+	var serial, wide DistanceOracle
+	if err := serial.Build(context.Background(), ag, scorer.ElementCost, ag.Seeds(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.Build(context.Background(), ag, scorer.ElementCost, ag.Seeds(), 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.dist {
+		for n := range serial.dist[i] {
+			if serial.dist[i][n] != wide.dist[i][n] {
+				t.Fatalf("dist[%d][%d]: serial %v, parallel %v", i, n, serial.dist[i][n], wide.dist[i][n])
+			}
+			if serial.comp[i][n] != wide.comp[i][n] {
+				t.Fatalf("comp[%d][%d]: serial %v, parallel %v", i, n, serial.comp[i][n], wide.comp[i][n])
+			}
+		}
+	}
+}
+
+func TestOracleBuildSteadyStateAllocs(t *testing.T) {
+	// The parallel oracle build recycles its distance rows, cost table,
+	// and per-worker frontiers: a warm rebuild costs only the fork-join
+	// bookkeeping (a handful of closure/goroutine allocations), not
+	// per-element or per-keyword storage.
+	st := store.New()
+	st.AddAll(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 2000, Seed: 1}))
+	g := graph.Build(st)
+	sg := summary.Build(g)
+	kwix := keywordindex.Build(g, thesaurus.Default())
+	matches := kwix.LookupAll([]string{"thanh tran", "aifb", "publication", "2005", "conference"},
+		keywordindex.LookupOptions{MaxMatches: 8})
+	ag := sg.Augment(matches)
+	scorer := scoring.New(scoring.Matching, ag)
+
+	var o DistanceOracle
+	for i := 0; i < 3; i++ {
+		if err := o.Build(context.Background(), ag, scorer.ElementCost, ag.Seeds(), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := o.Build(context.Background(), ag, scorer.ElementCost, ag.Seeds(), 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const maxAllocs = 32
+	if allocs > maxAllocs {
+		t.Errorf("warm parallel oracle Build allocates %.0f/op, want ≤ %d", allocs, maxAllocs)
+	}
 }

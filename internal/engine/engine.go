@@ -23,6 +23,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/graph"
 	"repro/internal/keywordindex"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/scoring"
@@ -49,10 +50,20 @@ type Config struct {
 	// components of the keyword index.
 	DisableFuzzy    bool
 	DisableSemantic bool
-	// UseOracle enables the connectivity/score oracle of Sec. IX (one
-	// Dijkstra per keyword before exploration) for additional sound
-	// pruning; results are identical.
+	// Oracle selects the Sec. IX connectivity/score oracle policy. The
+	// default, core.OracleAuto, builds the oracle — 2·|K| summary-graph
+	// Dijkstras whose admissible bounds prune exploration without
+	// changing any result — for every query its adaptive guard judges
+	// worth the fixed cost (see core.DefaultMinOracleSeeds).
+	// core.OracleOff restores the pre-oracle exploration for ablations.
+	Oracle core.OracleMode
+	// UseOracle is the legacy opt-in spelling of Oracle = core.OracleOn.
 	UseOracle bool
+	// Parallelism caps the goroutines a single query may fan out to in
+	// its per-keyword stages — keyword-index lookups, the oracle's
+	// Dijkstras, the sharded coordinator's per-keyword merges
+	// (0 = one per CPU). Results never depend on it.
+	Parallelism int
 	// Thesaurus overrides the semantic-similarity source (default: the
 	// embedded thesaurus; ignored when DisableSemantic is set).
 	Thesaurus *thesaurus.Thesaurus
@@ -77,6 +88,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Thesaurus == nil {
 		c.Thesaurus = thesaurus.Default()
+	}
+	if c.UseOracle && c.Oracle == core.OracleAuto {
+		c.Oracle = core.OracleOn
 	}
 	return c
 }
@@ -360,6 +374,9 @@ type SearchInfo struct {
 	Exploration core.Stats
 	// Guaranteed is true when the top-k guarantee held (Sec. VI-C).
 	Guaranteed bool
+	// OracleBuild is the time spent building the distance oracle (zero
+	// when the adaptive guard skipped it); part of Elapsed.
+	OracleBuild time.Duration
 	// Elapsed is the total query-computation time.
 	Elapsed time.Duration
 }
@@ -420,17 +437,20 @@ func (e *Engine) SearchKContext(ctx context.Context, keywords []string, k int) (
 		DisableFuzzy:    e.cfg.DisableFuzzy,
 		DisableSemantic: e.cfg.DisableSemantic,
 	}
+	// Each keyword's mapping is independent (the index is immutable once
+	// built), so the fuzzy/semantic lookups — the most expensive
+	// pre-exploration stage — fan out across the intra-query worker cap.
 	matches := make([][]summary.Match, len(keywords))
 	filterSpecs := make([]*FilterSpec, len(keywords))
-	for i, kw := range keywords {
-		if spec, ok := ParseFilterKeyword(kw); ok {
+	parallel.ForEach(parallel.Workers(e.cfg.Parallelism), len(keywords), func(i int) {
+		if spec, ok := ParseFilterKeyword(keywords[i]); ok {
 			specCopy := spec
 			filterSpecs[i] = &specCopy
 			matches[i] = e.kwix.NumericAttrMatches()
-			continue
+			return
 		}
-		matches[i] = e.kwix.LookupOpts(kw, opts)
-	}
+		matches[i] = e.kwix.LookupOpts(keywords[i], opts)
+	})
 	info := &SearchInfo{MatchCounts: make([]int, len(matches))}
 	var unmatched []string
 	for i, ms := range matches {

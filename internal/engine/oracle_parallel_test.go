@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// dblpEngine builds a sealed engine over a small DBLP dataset with the
+// given config.
+func dblpEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	e.AddTriples(datagen.DBLPTriples(datagen.DBLPConfig{Publications: 500, Seed: 7}))
+	e.Seal()
+	return e
+}
+
+// sameCandidates asserts two candidate lists agree exactly: count, cost
+// sequence, and rendered SPARQL.
+func sameCandidates(t *testing.T, label string, a, b []*QueryCandidate) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d candidates vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Cost != b[i].Cost {
+			t.Fatalf("%s: candidate %d cost %v vs %v", label, i, a[i].Cost, b[i].Cost)
+		}
+		if a[i].SPARQL() != b[i].SPARQL() {
+			t.Fatalf("%s: candidate %d SPARQL differs:\n%s\nvs\n%s", label, i, a[i].SPARQL(), b[i].SPARQL())
+		}
+	}
+}
+
+func TestOracleOnByDefault(t *testing.T) {
+	// A default-config engine prunes multi-keyword queries with the
+	// oracle (OracleAuto fires) and reports it in the search info; an
+	// OracleOff engine returns the same candidates the hard way.
+	def := dblpEngine(t, Config{})
+	off := dblpEngine(t, Config{Oracle: core.OracleOff})
+	for _, kws := range [][]string{
+		{"thanh tran", "publication"},
+		{"thanh tran", "aifb", "publication", "2005", "conference"},
+	} {
+		dc, di, err := def.Search(kws)
+		if err != nil {
+			t.Fatalf("%v: %v", kws, err)
+		}
+		oc, oi, err := off.Search(kws)
+		if err != nil {
+			t.Fatalf("%v: %v", kws, err)
+		}
+		if !di.Exploration.OracleUsed {
+			t.Errorf("%v: default engine did not use the oracle", kws)
+		}
+		if oi.Exploration.OracleUsed {
+			t.Errorf("%v: OracleOff engine used the oracle", kws)
+		}
+		if di.OracleBuild <= 0 {
+			t.Errorf("%v: OracleBuild not reported", kws)
+		}
+		if di.Exploration.CursorsPopped > oi.Exploration.CursorsPopped {
+			t.Errorf("%v: oracle did more work: %d pops vs %d", kws,
+				di.Exploration.CursorsPopped, oi.Exploration.CursorsPopped)
+		}
+		sameCandidates(t, "oracle on vs off", dc, oc)
+	}
+}
+
+func TestOracleAutoSkipsSingleKeyword(t *testing.T) {
+	e := dblpEngine(t, Config{})
+	_, info, err := e.Search([]string{"publication"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Exploration.OracleUsed {
+		t.Error("single-keyword query built the oracle (nothing to bound)")
+	}
+}
+
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	serial := dblpEngine(t, Config{Parallelism: 1})
+	wide := dblpEngine(t, Config{Parallelism: 8})
+	for _, kws := range [][]string{
+		{"thanh tran", "publication"},
+		{"publication", "before 2005"},
+		{"thanh tran", "aifb", "publication", "2005", "conference"},
+	} {
+		sc, si, err := serial.Search(kws)
+		if err != nil {
+			t.Fatalf("%v: %v", kws, err)
+		}
+		wc, wi, err := wide.Search(kws)
+		if err != nil {
+			t.Fatalf("%v: %v", kws, err)
+		}
+		for i := range si.MatchCounts {
+			if si.MatchCounts[i] != wi.MatchCounts[i] {
+				t.Fatalf("%v: match counts differ at %d: %d vs %d", kws, i,
+					si.MatchCounts[i], wi.MatchCounts[i])
+			}
+		}
+		if si.Exploration != wi.Exploration {
+			t.Fatalf("%v: exploration stats differ:\n%+v\nvs\n%+v", kws, si.Exploration, wi.Exploration)
+		}
+		sameCandidates(t, "serial vs wide", sc, wc)
+	}
+}

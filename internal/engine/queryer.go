@@ -67,14 +67,18 @@ func ComputeCandidates(ctx context.Context, explorer *core.Explorer, sum *summar
 	}
 
 	// Augmentation of the graph index.
-	ag := sum.Augment(matches)
+	ag := sum.AugmentWorkers(matches, cfg.Parallelism)
 
-	// Top-k graph exploration.
+	// Top-k graph exploration, under the oracle policy and intra-query
+	// worker cap of the configuration.
 	scorer := scoring.New(cfg.Scoring, ag)
-	res := explorer.ExploreContext(ctx, ag, scorer.ElementCost, core.Options{K: k, DMax: cfg.DMax, UseOracle: cfg.UseOracle})
+	res := explorer.ExploreContext(ctx, ag, scorer.ElementCost, core.Options{
+		K: k, DMax: cfg.DMax, Oracle: cfg.Oracle, OracleWorkers: cfg.Parallelism,
+	})
 	if info != nil {
 		info.Exploration = res.Stats
 		info.Guaranteed = res.Guaranteed
+		info.OracleBuild = res.OracleBuild
 	}
 	if res.Stats.Terminated == core.Cancelled {
 		return nil, ctx.Err()

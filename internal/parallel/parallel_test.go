@@ -1,0 +1,78 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64} {
+			seen := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times, want 1", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachWorkerIdsBounded(t *testing.T) {
+	const workers, n = 4, 32
+	var maxW atomic.Int32
+	ForEachWorker(workers, n, func(w, i int) {
+		for {
+			cur := maxW.Load()
+			if int32(w) <= cur || maxW.CompareAndSwap(cur, int32(w)) {
+				break
+			}
+		}
+	})
+	if got := int(maxW.Load()); got >= workers {
+		t.Fatalf("worker id %d out of range [0,%d)", got, workers)
+	}
+}
+
+// Two calls sharing a worker id are sequential, so per-worker scratch
+// needs no locking. With a counter per worker slot incremented
+// non-atomically under -race, any violation is caught by the race
+// detector; here we additionally check totals.
+func TestForEachWorkerScratchIsPerWorker(t *testing.T) {
+	const workers, n = 3, 300
+	scratch := make([]int, workers)
+	ForEachWorker(workers, n, func(w, _ int) { scratch[w]++ })
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("per-worker counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestForEachInlineWhenSerial(t *testing.T) {
+	// With one worker the loop must run on the calling goroutine, in
+	// index order.
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}

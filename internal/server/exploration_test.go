@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+func mustUnmarshal(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+}
+
+// TestSearchExplorationStats pins the per-search exploration block of the
+// /v1/search response and the production counters behind it: termination
+// reason, cursor work, and the always-on oracle's build cost must be
+// visible per query and aggregate in /metrics and /stats.
+func TestSearchExplorationStats(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := postJSON(t, ts, "/v1/search", searchRequest{Keywords: []string{"thanh tran", "publication"}})
+	if status != http.StatusOK {
+		t.Fatalf("search status %d: %s", status, body)
+	}
+	var sr searchResponse
+	mustUnmarshal(t, body, &sr)
+	if sr.Exploration == nil {
+		t.Fatal("search response has no exploration block")
+	}
+	ex := sr.Exploration
+	if ex.Terminated == "" {
+		t.Error("exploration.terminated empty")
+	}
+	if ex.CursorsPopped <= 0 || ex.CursorsCreated < ex.CursorsPopped {
+		t.Errorf("implausible cursor counts: created=%d popped=%d", ex.CursorsCreated, ex.CursorsPopped)
+	}
+	if !ex.OracleUsed {
+		t.Error("multi-keyword query should use the oracle by default")
+	}
+	if ex.OracleBuildMS <= 0 {
+		t.Error("oracle_build_ms missing for an oracle-pruned query")
+	}
+
+	// A cache hit serves the original computation's numbers.
+	status, body = postJSON(t, ts, "/v1/search", searchRequest{Keywords: []string{"thanh tran", "publication"}})
+	if status != http.StatusOK {
+		t.Fatalf("cached search status %d: %s", status, body)
+	}
+	var cached searchResponse
+	mustUnmarshal(t, body, &cached)
+	if !cached.Cached {
+		t.Fatal("second identical search was not a cache hit")
+	}
+	if cached.Exploration == nil || cached.Exploration.CursorsPopped != ex.CursorsPopped {
+		t.Errorf("cached response exploration = %+v, want the original %+v", cached.Exploration, ex)
+	}
+
+	// Counters aggregate per computed search (the cache hit adds nothing).
+	if got := s.mTerminated.With(ex.Terminated).Value(); got != 1 {
+		t.Errorf("terminated{%s} = %d, want 1", ex.Terminated, got)
+	}
+	if got := s.mCursorsPopped.Value(); got != uint64(ex.CursorsPopped) {
+		t.Errorf("cursors_popped_total = %d, want %d", got, ex.CursorsPopped)
+	}
+	if got := s.mOracleBuilds.Value(); got != 1 {
+		t.Errorf("oracle_builds_total = %d, want 1", got)
+	}
+
+	// And both introspection endpoints expose them.
+	status, body = getBody(t, ts, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, want := range []string{
+		"searchwebdb_search_terminated_total",
+		"searchwebdb_exploration_cursors_popped_total",
+		"searchwebdb_oracle_builds_total",
+		"searchwebdb_oracle_build_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	status, body = getBody(t, ts, "/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/stats status %d", status)
+	}
+	if !strings.Contains(string(body), "oracle_builds_total") {
+		t.Errorf("/stats missing exploration section: %s", body)
+	}
+}
+
+// TestObserveExplorationCancelled pins the error-path accounting: a
+// search cut off by its deadline still books its Cancelled termination
+// (doSearch observes info before returning the error), while failures
+// that never started exploring contribute nothing.
+func TestObserveExplorationCancelled(t *testing.T) {
+	s := testServer(t, Config{})
+	cancelled := &engine.SearchInfo{}
+	cancelled.Exploration.Terminated = core.Cancelled
+	s.observeExploration(cancelled)
+	if got := s.mTerminated.With(core.Cancelled.String()).Value(); got != 1 {
+		t.Errorf("terminated{cancelled} = %d, want 1", got)
+	}
+	// No exploration ran (e.g. unmatched keywords): zero-valued stats
+	// must not be booked as an "exhausted" exploration.
+	s.observeExploration(&engine.SearchInfo{})
+	if got := s.mTerminated.With(core.Exhausted.String()).Value(); got != 0 {
+		t.Errorf("terminated{exhausted} = %d after a no-exploration error, want 0", got)
+	}
+	s.observeExploration(nil) // must not panic
+}

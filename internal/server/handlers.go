@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/query"
@@ -51,6 +52,23 @@ type searchResponse struct {
 	Cached      bool            `json:"cached"`
 	Shared      bool            `json:"shared,omitempty"`
 	ElapsedMS   float64         `json:"elapsed_ms"`
+	// Exploration reports how the top-k exploration behind this result
+	// went (from the original computation when Cached). Cache hits keep
+	// the entry's numbers: they describe the result being served.
+	Exploration *explorationJSON `json:"exploration,omitempty"`
+}
+
+// explorationJSON is the per-search view of core.Stats: why the query
+// ended (TA bound vs exhaustion vs MaxPops vs deadline), what it cost,
+// and what the always-on oracle pruning contributed.
+type explorationJSON struct {
+	Terminated      string  `json:"terminated"`
+	CursorsCreated  int     `json:"cursors_created"`
+	CursorsPopped   int     `json:"cursors_popped"`
+	ElementsVisited int     `json:"elements_visited"`
+	Candidates      int     `json:"candidates_generated"`
+	OracleUsed      bool    `json:"oracle_used"`
+	OracleBuildMS   float64 `json:"oracle_build_ms,omitempty"`
 }
 
 // candidateRef selects a query to execute or explain: by candidate id
@@ -311,8 +329,13 @@ func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *sea
 				return e, nil
 			}
 			if err != nil {
+				// A deadline can cut exploration off mid-flight; the
+				// cancelled termination still counts — it is exactly what
+				// the terminated{reason} metric exists to show.
+				s.observeExploration(info)
 				return nil, err
 			}
+			s.observeExploration(info)
 			e := &searchEntry{
 				cands: cands,
 				resp: searchResponse{
@@ -323,6 +346,15 @@ func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *sea
 					MatchCounts: info.MatchCounts,
 					Guaranteed:  info.Guaranteed,
 					ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+					Exploration: &explorationJSON{
+						Terminated:      info.Exploration.Terminated.String(),
+						CursorsCreated:  info.Exploration.CursorsCreated,
+						CursorsPopped:   info.Exploration.CursorsPopped,
+						ElementsVisited: info.Exploration.ElementsVisited,
+						Candidates:      info.Exploration.Candidates,
+						OracleUsed:      info.Exploration.OracleUsed,
+						OracleBuildMS:   float64(info.OracleBuild.Microseconds()) / 1000,
+					},
 				},
 			}
 			for i, c := range cands {
@@ -671,6 +703,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"singleflight_shared_total": s.mFlightShared.Value(),
 		"timeouts_total":            s.mTimeouts.Value(),
 		"rejected_total":            s.mRejected.Value(),
+		"exploration": map[string]any{
+			"terminated": map[string]any{
+				"top_k_reached": s.mTerminated.With(core.TopKReached.String()).Value(),
+				"exhausted":     s.mTerminated.With(core.Exhausted.String()).Value(),
+				"aborted":       s.mTerminated.With(core.Aborted.String()).Value(),
+				"cancelled":     s.mTerminated.With(core.Cancelled.String()).Value(),
+			},
+			"cursors_created_total": s.mCursorsCreated.Value(),
+			"cursors_popped_total":  s.mCursorsPopped.Value(),
+			"oracle_builds_total":   s.mOracleBuilds.Value(),
+			"oracle_build_seconds":  s.mOracleSeconds.Sum(),
+		},
 	})
 }
 

@@ -20,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 )
@@ -121,6 +122,16 @@ type Server struct {
 	mTimeouts     *metrics.Counter
 	mRejected     *metrics.Counter
 	mTriples      *metrics.Gauge
+
+	// Exploration telemetry, updated once per computed (non-cached,
+	// non-shared) search: how queries end (TA bound vs exhaustion vs
+	// MaxPops vs deadline), how much cursor work they cost, and what the
+	// Sec. IX oracle's always-on pruning is doing in production.
+	mTerminated     *metrics.CounterVec
+	mCursorsCreated *metrics.Counter
+	mCursorsPopped  *metrics.Counter
+	mOracleBuilds   *metrics.Counter
+	mOracleSeconds  *metrics.Summary
 }
 
 // New builds a server over a query backend, sealing it: any outstanding
@@ -165,7 +176,38 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 	s.mTriples = s.reg.Gauge("searchwebdb_triples",
 		"Triples in the sealed store.")
 	s.mTriples.Set(int64(eng.NumTriples()))
+	s.mTerminated = s.reg.CounterVec("searchwebdb_search_terminated_total",
+		"Computed searches by exploration termination reason (top-k reached, exhausted, aborted, cancelled).", "reason")
+	s.mCursorsCreated = s.reg.Counter("searchwebdb_exploration_cursors_created_total",
+		"Exploration cursors created across computed searches.")
+	s.mCursorsPopped = s.reg.Counter("searchwebdb_exploration_cursors_popped_total",
+		"Exploration cursors popped across computed searches.")
+	s.mOracleBuilds = s.reg.Counter("searchwebdb_oracle_builds_total",
+		"Computed searches whose exploration built the distance oracle.")
+	s.mOracleSeconds = s.reg.Summary("searchwebdb_oracle_build_seconds",
+		"Distance-oracle construction time per computed search that built one.")
 	return s
+}
+
+// observeExploration folds one computed search's exploration statistics
+// into the metrics registry. Searches whose exploration never started
+// (unmatched keywords, a deadline that expired before the lookups
+// finished) contribute nothing — the counters describe explorations.
+func (s *Server) observeExploration(info *engine.SearchInfo) {
+	if info == nil {
+		return
+	}
+	st := info.Exploration
+	if st.CursorsCreated == 0 && st.Terminated != core.Cancelled {
+		return
+	}
+	s.mTerminated.With(st.Terminated.String()).Inc()
+	s.mCursorsCreated.Add(uint64(st.CursorsCreated))
+	s.mCursorsPopped.Add(uint64(st.CursorsPopped))
+	if st.OracleUsed {
+		s.mOracleBuilds.Inc()
+		s.mOracleSeconds.Observe(info.OracleBuild.Seconds())
+	}
 }
 
 // Uptime returns how long the server has existed.

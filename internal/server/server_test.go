@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/rdf"
@@ -161,8 +162,11 @@ func TestSearchTimeout(t *testing.T) {
 	before := runtime.NumGoroutine()
 	// A dataset and query heavy enough (tens of thousands of exploration
 	// pops, ~40ms uncancelled) that a 1ms deadline always fires well
-	// before completion, even on a fast machine.
-	e := engine.New(engine.Config{K: 50, DMax: 14})
+	// before completion, even on a fast machine. The oracle is pinned off
+	// for this engine: what's under test is the deadline cutting off a
+	// long exploration, and the default pruning makes this query finish
+	// inside a single cancellation-poll interval.
+	e := engine.New(engine.Config{K: 50, DMax: 14, Oracle: core.OracleOff})
 	datagen.DBLP(datagen.DBLPConfig{Publications: 3000, Seed: 1}, func(tr rdf.Triple) {
 		e.AddTriple(tr)
 	})

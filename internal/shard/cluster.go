@@ -10,6 +10,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/keywordindex"
+	"repro/internal/parallel"
 	"repro/internal/rdf"
 	"repro/internal/store"
 	"repro/internal/summary"
@@ -143,16 +144,20 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 		}
 	}
 
-	// Gather: merge per keyword in the coordinator's ID space.
+	// Gather: merge per keyword in the coordinator's ID space. Each
+	// keyword's merge — re-ranking every shard's raw contributions
+	// against the global lexicon — is independent of the others, so the
+	// ComputeCandidates input assembly fans out across the intra-query
+	// worker cap alongside the lookups that produced it.
 	dfFn := func(term string) int { return c.df[term] }
 	resolve := func(t rdf.Term) (store.ID, bool) { return c.dict.Lookup(t) }
-	parts := make([]*keywordindex.RawLookup, len(c.shards))
-	for j, ki := range scatter {
+	parallel.ForEach(parallel.Workers(c.cfg.Parallelism), len(scatter), func(j int) {
+		parts := make([]*keywordindex.RawLookup, len(c.shards))
 		for si := range c.shards {
 			parts[si] = raws[si][j]
 		}
-		matches[ki] = keywordindex.MergeRaw(parts, opts, dfFn, resolve)
-	}
+		matches[scatter[j]] = keywordindex.MergeRaw(parts, opts, dfFn, resolve)
+	})
 
 	info := &engine.SearchInfo{MatchCounts: make([]int, len(matches))}
 	var unmatched []string

@@ -1,6 +1,15 @@
 package summary
 
-import "repro/internal/store"
+import (
+	"repro/internal/parallel"
+	"repro/internal/store"
+)
+
+// augmentParallelMin is the bonus-neighbor count below which the merged
+// adjacency freeze stays serial: each merge is a two-slice append of a
+// few dozen ElemIDs, so distributing fewer of them costs more in
+// goroutine setup than it saves.
+const augmentParallelMin = 64
 
 // MatchKind says which category of graph element a keyword was mapped to
 // by the keyword index (Sec. IV-A: keywords may refer to C-vertices,
@@ -69,6 +78,17 @@ type Augmented struct {
 // holds, for each query keyword, the element matches produced by the
 // keyword index. The per-keyword seed sets K_i preserve input order.
 func (sg *Graph) Augment(perKeyword [][]Match) *Augmented {
+	return sg.AugmentWorkers(perKeyword, 1)
+}
+
+// AugmentWorkers is Augment with the merged-adjacency freeze fanned out
+// over at most the given number of goroutines (≤ 0 = one per CPU; the
+// engine threads its intra-query Parallelism cap through here). Only that
+// fold parallelizes: the match-folding loop itself must stay sequential
+// because augmentation ElemIDs are assigned in encounter order, and that
+// order is part of the result contract (it breaks exploration cost ties).
+// The output is identical for every worker count.
+func (sg *Graph) AugmentWorkers(perKeyword [][]Match, workers int) *Augmented {
 	ag := &Augmented{
 		Base:      sg,
 		bonusNbrs: make(map[ElemID][]ElemID),
@@ -132,15 +152,39 @@ func (sg *Graph) Augment(perKeyword [][]Match) *Augmented {
 	}
 	// Freeze the merged adjacency of base elements that gained bonus
 	// neighbors: one slice built per touched element, instead of one per
-	// Neighbors call during exploration.
+	// Neighbors call during exploration. The merges are independent, so
+	// they fan out across the worker cap; only the map writes (which
+	// would race) stay on the caller. Typical queries touch a few dozen
+	// elements — less work than a fork-join setup costs — so the fan-out
+	// only engages past a threshold (keyword bursts on dense schemas).
 	if len(ag.bonusNbrs) > 0 {
 		ag.merged = make(map[ElemID][]ElemID, len(ag.bonusNbrs))
-		for id, bonus := range ag.bonusNbrs {
-			base := sg.nbrs[id]
-			out := make([]ElemID, 0, len(base)+len(bonus))
-			out = append(out, base...)
-			out = append(out, bonus...)
-			ag.merged[id] = out
+		if w := parallel.Workers(workers); w > 1 && len(ag.bonusNbrs) >= augmentParallelMin {
+			ids := make([]ElemID, 0, len(ag.bonusNbrs))
+			for id := range ag.bonusNbrs {
+				ids = append(ids, id)
+			}
+			outs := make([][]ElemID, len(ids))
+			parallel.ForEach(w, len(ids), func(i int) {
+				id := ids[i]
+				bonus := ag.bonusNbrs[id]
+				base := sg.nbrs[id]
+				out := make([]ElemID, 0, len(base)+len(bonus))
+				out = append(out, base...)
+				out = append(out, bonus...)
+				outs[i] = out
+			})
+			for i, id := range ids {
+				ag.merged[id] = outs[i]
+			}
+		} else {
+			for id, bonus := range ag.bonusNbrs {
+				base := sg.nbrs[id]
+				out := make([]ElemID, 0, len(base)+len(bonus))
+				out = append(out, base...)
+				out = append(out, bonus...)
+				ag.merged[id] = out
+			}
 		}
 	}
 	return ag
