@@ -6,6 +6,9 @@
 // Usage:
 //
 //	benchmark explore           exploration hot path (ns/op, B/op, allocs/op)
+//	benchmark exec              candidate execution: pooled core vs preserved
+//	                            reference vs 2-shard cluster (before/after +
+//	                            row-set cross-check)
 //	benchmark shard             scatter-gather cluster vs single engine (1/2/4 shards)
 //	benchmark fig4              effectiveness: MRR of C1/C2/C3 (DBLP + TAP)
 //	benchmark fig5              query performance vs baselines (Q1–Q10)
@@ -87,6 +90,22 @@ func main() {
 				log.Fatalf("writing %s: %v", out, err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+		case "exec":
+			env := dblpEnv()
+			fmt.Fprintln(os.Stderr, "building 2-shard cluster and measuring execute (pooled vs reference vs cluster)...")
+			results, mismatches := bench.RunExecBench(env, bench.PerfWorkload(), 1000, *iters)
+			fmt.Println(bench.FormatExecBench(results))
+			for _, m := range mismatches {
+				fmt.Fprintf(os.Stderr, "EXEC EQUIVALENCE MISMATCH: %s\n", m)
+			}
+			if len(mismatches) > 0 {
+				log.Fatalf("%d engine/reference/cluster execute mismatches", len(mismatches))
+			}
+			out := filepath.Join(*benchdir, "BENCH_exec.json")
+			if err := bench.WriteBenchJSON(out, results); err != nil {
+				log.Fatalf("writing %s: %v", out, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 		case "shard":
 			env := dblpEnv()
 			fmt.Fprintln(os.Stderr, "building shard clusters (1, 2, 4 shards) and engine A/B variants...")
@@ -143,7 +162,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"explore", "shard", "fig4", "fig5", "fig6a", "fig6b",
+		for _, name := range []string{"explore", "exec", "shard", "fig4", "fig5", "fig6a", "fig6b",
 			"ablation-summary", "ablation-dmax", "ablation-cap",
 			"ablation-scale", "ablation-oracle"} {
 			run(name)

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/scoring"
+	"repro/internal/shard"
+)
+
+// The execute benchmark: the Fig. 5 performance workload's top candidate
+// per query, evaluated on a warm engine by (a) the iterative pooled join
+// core, (b) the preserved reference implementation (reference.go — the
+// pre-rewrite executor, so BENCH_exec.json records before/after on one
+// binary), and (c) a 2-shard cluster's distributed bind-join. Every
+// backend's row set is cross-checked against the others per query
+// (sorted canonical rows + Truncated flag); any divergence is a mismatch
+// that fails the run.
+
+// ExecBenchResult is the machine-readable record of one (query, backend)
+// measurement, serialized to BENCH_exec.json.
+type ExecBenchResult struct {
+	Name           string   `json:"name"`              // e.g. "Q1/engine"
+	Variant        string   `json:"variant,omitempty"` // "", "reference", "cluster"
+	Dataset        string   `json:"dataset"`
+	Keywords       []string `json:"keywords"`
+	Limit          int      `json:"limit"`
+	Iterations     int      `json:"iterations"`
+	NsPerOp        float64  `json:"ns_per_op"`
+	BytesPerOp     int64    `json:"bytes_per_op,omitempty"`
+	AllocsPerOp    int64    `json:"allocs_per_op,omitempty"`
+	Rows           int      `json:"rows"`
+	Truncated      bool     `json:"truncated,omitempty"`
+	JoinIterations int64    `json:"join_iterations,omitempty"`
+	RowsExamined   int64    `json:"rows_examined,omitempty"`
+	RowsDeduped    int64    `json:"rows_deduped,omitempty"`
+}
+
+// rowsFingerprint renders a result set canonically (sorted rows) for
+// cross-backend comparison without mutating the original.
+func rowsFingerprint(rs *exec.ResultSet) string {
+	rows := make([]string, len(rs.Rows))
+	for i, row := range rs.Rows {
+		var b strings.Builder
+		for j, t := range row {
+			if j > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(t.String())
+		}
+		rows[i] = b.String()
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// RunExecBench measures candidate-query execution per Fig. 5 query on a
+// warm engine: the pooled executor, the preserved reference executor,
+// and a 2-shard cluster, all evaluating the query's top candidate with
+// the given row limit. iters > 0 times that many fixed iterations per
+// case (the CI smoke mode, skipping allocation accounting); iters ≤ 0
+// uses testing.Benchmark's self-calibration with allocation reporting.
+// mismatches lists every per-query divergence in the sorted row sets or
+// Truncated flags across the three backends — the golden equivalence
+// guarantee, checked end to end; empty when it holds, as it must.
+func RunExecBench(env *Env, queries []PerfQuery, limit, iters int) (results []ExecBenchResult, mismatches []string) {
+	eng := env.Engine(scoring.Matching)
+	ref := exec.New(eng.Store()) // reference executor over the same store
+	b := shard.NewBuilder(2, engine.Config{})
+	b.AddTriples(env.Triples)
+	cl := b.Build()
+
+	measure := func(r *ExecBenchResult, f func() error) {
+		if iters > 0 {
+			start := time.Now()
+			for i := 0; i < iters; i++ {
+				if err := f(); err != nil {
+					// A warm re-execution failing is exactly the pooled-state
+					// regression class this harness exists to catch: record
+					// it so the smoke run fails rather than emitting a
+					// silent zero row.
+					mismatches = append(mismatches,
+						fmt.Sprintf("%s: warm re-execution %d failed: %v", r.Name, i, err))
+					return
+				}
+			}
+			r.Iterations = iters
+			r.NsPerOp = float64(time.Since(start).Nanoseconds()) / float64(iters)
+			return
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if br.N == 0 {
+			return
+		}
+		r.Iterations = br.N
+		r.NsPerOp = float64(br.T.Nanoseconds()) / float64(br.N)
+		r.BytesPerOp = br.AllocedBytesPerOp()
+		r.AllocsPerOp = br.AllocsPerOp()
+	}
+
+	for _, q := range queries {
+		cands, _, err := eng.Search(q.Keywords)
+		if err != nil || len(cands) == 0 {
+			continue // e.g. unmatched keywords at this scale
+		}
+		cand := cands[0]
+
+		engRS, err := eng.ExecuteLimit(cand, limit)
+		if err != nil {
+			mismatches = append(mismatches, fmt.Sprintf("%s: engine execute failed: %v", q.ID, err))
+			continue
+		}
+		refRS, err := ref.ReferenceExecuteLimit(cand.Query, limit)
+		if err != nil {
+			mismatches = append(mismatches, fmt.Sprintf("%s: reference execute failed: %v", q.ID, err))
+			continue
+		}
+		clRS, err := cl.ExecuteLimitContext(context.Background(), cand, limit)
+		if err != nil {
+			mismatches = append(mismatches, fmt.Sprintf("%s: cluster execute failed: %v", q.ID, err))
+			continue
+		}
+
+		engFP := rowsFingerprint(engRS)
+		for _, other := range []struct {
+			label string
+			rs    *exec.ResultSet
+		}{{"reference", refRS}, {"cluster=2", clRS}} {
+			if fp := rowsFingerprint(other.rs); fp != engFP {
+				mismatches = append(mismatches, fmt.Sprintf(
+					"%s: %s rows diverge from engine (%d vs %d rows)",
+					q.ID, other.label, other.rs.Len(), engRS.Len()))
+			}
+			if other.rs.Truncated != engRS.Truncated {
+				mismatches = append(mismatches, fmt.Sprintf(
+					"%s: %s truncated=%v, engine truncated=%v",
+					q.ID, other.label, other.rs.Truncated, engRS.Truncated))
+			}
+		}
+
+		mk := func(label, variant string, rows int, trunc bool) ExecBenchResult {
+			return ExecBenchResult{
+				Name: q.ID + "/" + label, Variant: variant, Dataset: env.Name,
+				Keywords: q.Keywords, Limit: limit, Rows: rows, Truncated: trunc,
+			}
+		}
+
+		engRes := mk("engine", "", engRS.Len(), engRS.Truncated)
+		engRes.JoinIterations = engRS.Stats.JoinIterations
+		engRes.RowsExamined = engRS.Stats.RowsExamined
+		engRes.RowsDeduped = engRS.Stats.RowsDeduped
+		measure(&engRes, func() error {
+			_, err := eng.ExecuteLimit(cand, limit)
+			return err
+		})
+		results = append(results, engRes)
+
+		refRes := mk("reference", "reference", refRS.Len(), refRS.Truncated)
+		measure(&refRes, func() error {
+			_, err := ref.ReferenceExecuteLimit(cand.Query, limit)
+			return err
+		})
+		results = append(results, refRes)
+
+		clRes := mk("cluster=2", "cluster", clRS.Len(), clRS.Truncated)
+		clRes.JoinIterations = clRS.Stats.JoinIterations
+		clRes.RowsExamined = clRS.Stats.RowsExamined
+		clRes.RowsDeduped = clRS.Stats.RowsDeduped
+		measure(&clRes, func() error {
+			_, err := cl.ExecuteLimitContext(context.Background(), cand, limit)
+			return err
+		})
+		results = append(results, clRes)
+	}
+	return results, mismatches
+}
+
+// FormatExecBench renders the human table for a set of results.
+func FormatExecBench(results []ExecBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Candidate execution (top candidate per query, warm engine)\n")
+	fmt.Fprintf(&b, "%-16s %-9s %12s %12s %11s %6s %10s\n",
+		"case", "dataset", "ns/op", "B/op", "allocs/op", "rows", "join iters")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-16s %-9s %12.0f %12d %11d %6d %10d\n",
+			r.Name, r.Dataset, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Rows, r.JoinIterations)
+	}
+	return b.String()
+}

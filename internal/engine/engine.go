@@ -64,6 +64,11 @@ type Config struct {
 	// Dijkstras, the sharded coordinator's per-keyword merges
 	// (0 = one per CPU). Results never depend on it.
 	Parallelism int
+	// MaxExecRows caps distinct-answer tracking per execute when the
+	// caller sets no row limit, so a degenerate unlimited query cannot
+	// grow the dedup set and result rows without bound (0 =
+	// exec.DefaultMaxRows). Results past the cap are reported Truncated.
+	MaxExecRows int
 	// Thesaurus overrides the semantic-similarity source (default: the
 	// embedded thesaurus; ignored when DisableSemantic is set).
 	Thesaurus *thesaurus.Thesaurus
@@ -312,6 +317,7 @@ func (e *Engine) buildLocked() {
 	}
 	e.kwix = keywordindex.Build(e.g, th)
 	e.exec = exec.New(e.st)
+	e.exec.MaxRows = e.cfg.MaxExecRows
 	e.BuildTime = time.Since(start)
 	e.built = true
 }

@@ -4,10 +4,21 @@
 // and returns the answers of Definition 3.
 //
 // Evaluation is index-nested-loop join over the store's SPO/POS/OSP
-// indexes with a greedy, selectivity-based join order: at every step the
+// orderings with a greedy, selectivity-based join order: at every step the
 // most-bound pattern (fewest unbound positions, smallest exact match count
 // for its bound prefix) is evaluated next. Answers are the distinct
 // projections onto the distinguished variables.
+//
+// The join core is iterative and pooled: each step drives a range cursor
+// over a zero-allocation store.View (contiguous component columns, no
+// permutation indirection), backtracking walks an explicit cursor stack
+// rather than the call stack, answers deduplicate through an ID-keyed
+// open-addressing set (IDSet — no string keys), and rows materialize to
+// rdf.Terms lazily, only after surviving filters and dedup. All scratch
+// state recycles through a sync.Pool, so a warm engine's execute path
+// allocates only the rows it returns. The pre-rewrite recursive
+// implementation is preserved in reference.go and pins this one's output
+// bit-for-bit in the golden tests.
 package exec
 
 import (
@@ -15,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/query"
 	"repro/internal/rdf"
@@ -22,8 +34,8 @@ import (
 )
 
 // Engine evaluates conjunctive queries against one store. It is stateless
-// apart from the store reference and safe for concurrent use once the
-// store is built.
+// apart from the store reference and pooled scratch memory, and safe for
+// concurrent use once the store is built.
 type Engine struct {
 	st *store.Store
 	// MaxSteps bounds the number of join iterations per query as a
@@ -31,13 +43,57 @@ type Engine struct {
 	// from variable-disconnected queries); 0 applies DefaultMaxSteps.
 	// When the budget is exhausted the result is marked Truncated.
 	MaxSteps int
+	// MaxRows bounds distinct-answer tracking when the caller sets no
+	// limit (or a larger one): the dedup set and the materialized rows
+	// both stop growing there, the result is marked Truncated, and
+	// Stats.TruncatedBy says why. 0 applies DefaultMaxRows. It exists so
+	// a degenerate unlimited query cannot grow memory without bound.
+	MaxRows int
+
+	pool sync.Pool // *execState
 }
 
 // DefaultMaxSteps is the per-query join-iteration budget.
 const DefaultMaxSteps = 20_000_000
 
+// DefaultMaxRows is the per-query distinct-answer cap when no limit is
+// given — generous (an interactive caller asks for far less; see
+// internal/server's MaxLimit) but finite.
+const DefaultMaxRows = 1_000_000
+
 // New returns an engine over st.
 func New(st *store.Store) *Engine { return &Engine{st: st} }
+
+// TruncReason says which bound cut an evaluation short.
+type TruncReason string
+
+const (
+	// TruncNone: the answer set is complete.
+	TruncNone TruncReason = ""
+	// TruncLimit: the caller's row limit was reached.
+	TruncLimit TruncReason = "limit"
+	// TruncMaxRows: the engine's MaxRows distinct-answer cap was reached.
+	TruncMaxRows TruncReason = "max_rows"
+	// TruncBudget: the MaxSteps join-iteration budget ran out.
+	TruncBudget TruncReason = "step_budget"
+)
+
+// ExecStats reports how an evaluation went: the join work spent, the
+// fully joined bindings that reached projection, how many of those were
+// duplicate answers, and why evaluation stopped early (if it did). The
+// serving layer surfaces these per response and as counters.
+type ExecStats struct {
+	// JoinIterations is the number of triples the join cursors yielded
+	// across all steps (the MaxSteps budget counts these).
+	JoinIterations int64
+	// RowsExamined counts fully joined bindings reaching the
+	// filter/projection tail.
+	RowsExamined int64
+	// RowsDeduped counts examined rows rejected as duplicate answers.
+	RowsDeduped int64
+	// TruncatedBy is the bound that stopped evaluation (empty: none).
+	TruncatedBy TruncReason
+}
 
 // ResultSet holds the answers to a conjunctive query.
 type ResultSet struct {
@@ -47,6 +103,9 @@ type ResultSet struct {
 	Rows [][]rdf.Term
 	// Truncated is true when evaluation stopped at a row limit.
 	Truncated bool
+	// Stats holds the evaluation work counters (zero for results from
+	// the preserved reference implementation).
+	Stats ExecStats
 }
 
 // Len returns the number of answers.
@@ -80,6 +139,65 @@ type pattern struct {
 	numConst int
 }
 
+// stepSpec is one join step fully resolved against the plan: because the
+// join order is fixed before execution, whether each variable position is
+// already bound when the step runs is static, so the inner loop carries
+// no dynamic bound-flag bookkeeping at all.
+type stepSpec struct {
+	p      store.ID // predicate (always constant)
+	s, o   store.ID // constant subject/object (0 when variable)
+	sv, ov int      // variable slots (-1 when constant)
+	sBound bool     // subject is a variable bound by an earlier step
+	oBound bool     // object is a variable bound by an earlier step
+	bindS  bool     // this step binds the subject variable
+	bindO  bool     // this step binds the object variable
+	// sameVar marks p(x,x) with x unbound at entry: rows must have
+	// S == O, and the one variable binds once.
+	sameVar bool
+}
+
+// cursor is one step's position in its range view.
+type cursor struct {
+	view store.View
+	pos  int
+}
+
+// slotFilter is a query filter compiled to a variable slot.
+type slotFilter struct {
+	slot int
+	f    query.Filter
+}
+
+// execState is the pooled scratch memory of one evaluation: compiled
+// patterns, plan, step specs, the binding array, the cursor stack, the
+// dedup set, and the projection key buffer. Everything is grown once and
+// recycled, so a warm engine's steady-state execute path allocates only
+// the surviving answer rows.
+type execState struct {
+	pats    []pattern
+	slots   map[string]int
+	metas   []PatternMeta
+	specs   []stepSpec
+	binding []store.ID
+	bound   []bool
+	cursors []cursor
+	proj    []int
+	filters []slotFilter
+	key     []store.ID
+	seen    IDSet
+}
+
+func (e *Engine) getState() *execState {
+	if v := e.pool.Get(); v != nil {
+		return v.(*execState)
+	}
+	return &execState{slots: make(map[string]int)}
+}
+
+func (e *Engine) putState(st *execState) {
+	e.pool.Put(st)
+}
+
 // Execute evaluates q and returns all answers.
 func (e *Engine) Execute(q *query.ConjunctiveQuery) (*ResultSet, error) {
 	return e.ExecuteLimit(q, 0)
@@ -92,36 +210,37 @@ func (e *Engine) ExecuteContext(ctx context.Context, q *query.ConjunctiveQuery) 
 
 // compile resolves a query's atoms to dictionary-encoded patterns and
 // variable slots. empty reports that some constant is absent from the
-// dictionary, making the query trivially unsatisfiable.
-func (e *Engine) compile(q *query.ConjunctiveQuery) (pats []pattern, slots map[string]int, empty bool, err error) {
+// dictionary, making the query trivially unsatisfiable. The patterns land
+// in stt.pats and the slot map in stt.slots, both reused across calls.
+func (e *Engine) compileInto(stt *execState, q *query.ConjunctiveQuery) (empty bool, err error) {
 	if len(q.Atoms) == 0 {
-		return nil, nil, false, fmt.Errorf("exec: query has no atoms")
+		return false, fmt.Errorf("exec: query has no atoms")
 	}
-	slots = map[string]int{}
+	clear(stt.slots)
 	slotOf := func(a query.Arg) int {
 		if !a.IsVar() {
 			return -1
 		}
-		s, ok := slots[a.Var]
+		s, ok := stt.slots[a.Var]
 		if !ok {
-			s = len(slots)
-			slots[a.Var] = s
+			s = len(stt.slots)
+			stt.slots[a.Var] = s
 		}
 		return s
 	}
-	pats = make([]pattern, 0, len(q.Atoms))
+	stt.pats = stt.pats[:0]
 	for _, at := range q.Atoms {
 		p := pattern{sv: slotOf(at.S), ov: slotOf(at.O)}
 		pid, ok := e.st.Lookup(at.Pred)
 		if !ok {
-			return nil, slots, true, nil // predicate absent from the data
+			return true, nil // predicate absent from the data
 		}
 		p.p = pid
 		p.numConst = 1
 		if p.sv < 0 {
 			sid, ok := e.st.Lookup(at.S.Term)
 			if !ok {
-				return nil, slots, true, nil
+				return true, nil
 			}
 			p.s = sid
 			p.numConst++
@@ -129,14 +248,22 @@ func (e *Engine) compile(q *query.ConjunctiveQuery) (pats []pattern, slots map[s
 		if p.ov < 0 {
 			oid, ok := e.st.Lookup(at.O.Term)
 			if !ok {
-				return nil, slots, true, nil
+				return true, nil
 			}
 			p.o = oid
 			p.numConst++
 		}
-		pats = append(pats, p)
+		stt.pats = append(stt.pats, p)
 	}
-	return pats, slots, false, nil
+	return false, nil
+}
+
+// compile is the allocating convenience wrapper around compileInto used
+// by Explain and the preserved reference implementation.
+func (e *Engine) compile(q *query.ConjunctiveQuery) (pats []pattern, slots map[string]int, empty bool, err error) {
+	stt := &execState{slots: map[string]int{}}
+	empty, err = e.compileInto(stt, q)
+	return stt.pats, stt.slots, empty, err
 }
 
 // ExecuteLimit evaluates q, stopping once limit distinct answers exist
@@ -147,7 +274,7 @@ func (e *Engine) ExecuteLimit(q *query.ConjunctiveQuery, limit int) (*ResultSet,
 }
 
 // ctxCheckInterval is how many join iterations go by between context
-// polls inside the nested-loop walk.
+// polls inside the join loop.
 const ctxCheckInterval = 8192
 
 // ExecuteLimitContext is ExecuteLimit under a context: the join loop
@@ -158,7 +285,10 @@ func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pats, slots, empty, err := e.compile(q)
+	stt := e.getState()
+	defer e.putState(stt)
+
+	empty, err := e.compileInto(stt, q)
 	if err != nil {
 		return nil, err
 	}
@@ -170,137 +300,204 @@ func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQu
 	if len(dist) == 0 {
 		dist = q.Vars()
 	}
-	projSlots := make([]int, 0, len(dist))
+	stt.proj = stt.proj[:0]
 	for _, v := range dist {
-		s, ok := slots[v]
+		s, ok := stt.slots[v]
 		if !ok {
 			return nil, fmt.Errorf("exec: distinguished variable ?%s does not occur in the query", v)
 		}
-		projSlots = append(projSlots, s)
+		stt.proj = append(stt.proj, s)
 	}
 
-	// Compile filters to variable slots.
-	type slotFilter struct {
-		slot int
-		f    query.Filter
-	}
-	var filters []slotFilter
+	stt.filters = stt.filters[:0]
 	for _, f := range q.Filters {
-		s, ok := slots[f.Var]
+		s, ok := stt.slots[f.Var]
 		if !ok {
 			return nil, fmt.Errorf("exec: filter variable ?%s does not occur in the query", f.Var)
 		}
-		filters = append(filters, slotFilter{slot: s, f: f})
+		stt.filters = append(stt.filters, slotFilter{slot: s, f: f})
 	}
 
+	order := e.planOrderInto(stt)
+	stt.compileSteps(order)
+
+	maxRows := e.MaxRows
+	if maxRows <= 0 {
+		maxRows = DefaultMaxRows
+	}
 	rs := &ResultSet{Vars: dist}
-	binding := make([]store.ID, len(slots))
-	bound := make([]bool, len(slots))
-	seen := map[string]bool{}
-	order := e.planOrder(pats)
-	budget := e.MaxSteps
-	if budget <= 0 {
+	err = e.run(ctx, stt, rs, limit, maxRows)
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// compileSteps resolves the ordered patterns into static step specs: with
+// the plan fixed, which positions are bound at each step is known before
+// the first row is read.
+func (stt *execState) compileSteps(order []int) {
+	stt.specs = stt.specs[:0]
+	stt.binding = grow(stt.binding, len(stt.slots))
+	stt.bound = growBool(stt.bound, len(stt.slots))
+	for i := range stt.bound {
+		stt.bound[i] = false
+	}
+	for _, idx := range order {
+		p := stt.pats[idx]
+		sp := stepSpec{p: p.p, s: p.s, o: p.o, sv: p.sv, ov: p.ov}
+		sp.sBound = p.sv >= 0 && stt.bound[p.sv]
+		sp.oBound = p.ov >= 0 && stt.bound[p.ov]
+		sp.sameVar = p.sv >= 0 && p.ov == p.sv && !sp.sBound
+		sp.bindS = p.sv >= 0 && !sp.sBound && !sp.sameVar
+		sp.bindO = p.ov >= 0 && !sp.oBound && p.ov != p.sv
+		if p.sv >= 0 {
+			stt.bound[p.sv] = true
+		}
+		if p.ov >= 0 {
+			stt.bound[p.ov] = true
+		}
+		stt.specs = append(stt.specs, sp)
+	}
+	if cap(stt.cursors) < len(stt.specs) {
+		stt.cursors = make([]cursor, len(stt.specs))
+	}
+	stt.cursors = stt.cursors[:len(stt.specs)]
+}
+
+// openCursor positions step depth's cursor at the start of its range,
+// with bound variables substituted from the current binding.
+func (e *Engine) openCursor(stt *execState, depth int) {
+	sp := &stt.specs[depth]
+	s, o := sp.s, sp.o
+	if sp.sBound {
+		s = stt.binding[sp.sv]
+	}
+	if sp.oBound {
+		o = stt.binding[sp.ov]
+	}
+	stt.cursors[depth] = cursor{view: e.st.Range(s, sp.p, o)}
+}
+
+// run is the iterative join machine: an explicit cursor stack replaces
+// the recursive walk, each frame advancing its zero-allocation range view
+// and descending on a successful binding. Answers are deduplicated in ID
+// space and materialized to terms only when new.
+func (e *Engine) run(ctx context.Context, stt *execState, rs *ResultSet, limit, maxRows int) error {
+	budget := int64(e.MaxSteps)
+	if e.MaxSteps <= 0 {
 		budget = DefaultMaxSteps
 	}
 	ctxCountdown := ctxCheckInterval
-	var ctxErr error
 
-	var walk func(step int) bool // returns false to stop early
-	walk = func(step int) bool {
-		if step == len(order) {
-			// Apply filters: the bound term must be a literal whose
-			// numeric value satisfies the comparison.
-			for _, sf := range filters {
-				t := e.st.Term(binding[sf.slot])
-				if !t.IsLiteral() || !sf.f.Eval(t.Value) {
-					return true // row rejected; keep searching
-				}
-			}
-			// Project and deduplicate.
-			key := make([]byte, 0, 4*len(projSlots))
-			for _, s := range projSlots {
-				id := binding[s]
-				key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
-			}
-			k := string(key)
-			if seen[k] {
-				return true
-			}
-			seen[k] = true
-			row := make([]rdf.Term, len(projSlots))
-			for i, s := range projSlots {
-				row[i] = e.st.Term(binding[s])
-			}
-			rs.Rows = append(rs.Rows, row)
-			if limit > 0 && len(rs.Rows) >= limit {
-				rs.Truncated = true
-				return false
-			}
-			return true
-		}
-		p := pats[order[step]]
-		sp, op := p.s, p.o
-		if p.sv >= 0 && bound[p.sv] {
-			sp = binding[p.sv]
-		}
-		if p.ov >= 0 && bound[p.ov] {
-			op = binding[p.ov]
-		}
-		it := e.st.Match(sp, p.p, op)
-		for it.Next() {
+	stt.seen.Reset(len(stt.proj))
+	binding := stt.binding
+	last := len(stt.specs) - 1
+	depth := 0
+	e.openCursor(stt, 0)
+
+	for depth >= 0 {
+		cur := &stt.cursors[depth]
+		sp := &stt.specs[depth]
+		// Advance to the next row of this step that extends the binding.
+		advanced := false
+		for cur.pos < len(cur.view.S) {
+			i := cur.pos
+			cur.pos++
+			rs.Stats.JoinIterations++
 			budget--
 			if budget < 0 {
 				rs.Truncated = true
-				return false
+				rs.Stats.TruncatedBy = TruncBudget
+				return nil
 			}
 			ctxCountdown--
 			if ctxCountdown <= 0 {
 				ctxCountdown = ctxCheckInterval
-				if ctxErr = ctx.Err(); ctxErr != nil {
-					return false
+				if err := ctx.Err(); err != nil {
+					return err
 				}
 			}
-			t := it.Triple()
-			var newS, newO bool
-			if p.sv >= 0 && !bound[p.sv] {
-				binding[p.sv] = t.S
-				bound[p.sv] = true
-				newS = true
-			}
-			if p.ov >= 0 && !bound[p.ov] {
-				// Repeated variable within the atom (p(x,x)): the object
-				// must equal the just-bound subject.
-				if p.ov == p.sv {
-					if t.O != binding[p.sv] {
-						if newS {
-							bound[p.sv] = false
-						}
-						continue
-					}
-				} else {
-					binding[p.ov] = t.O
-					bound[p.ov] = true
-					newO = true
+			if sp.sameVar {
+				s := cur.view.S[i]
+				if s != cur.view.O[i] {
+					continue
+				}
+				binding[sp.sv] = s
+			} else {
+				if sp.bindS {
+					binding[sp.sv] = cur.view.S[i]
+				}
+				if sp.bindO {
+					binding[sp.ov] = cur.view.O[i]
 				}
 			}
-			cont := walk(step + 1)
-			if newS {
-				bound[p.sv] = false
-			}
-			if newO {
-				bound[p.ov] = false
-			}
-			if !cont {
-				return false
+			advanced = true
+			break
+		}
+		if !advanced {
+			depth--
+			continue
+		}
+		if depth < last {
+			depth++
+			e.openCursor(stt, depth)
+			continue
+		}
+
+		// A fully joined binding: filter, deduplicate in ID space,
+		// materialize only if new.
+		rs.Stats.RowsExamined++
+		ok := true
+		for _, sf := range stt.filters {
+			t := e.st.Term(binding[sf.slot])
+			if !t.IsLiteral() || !sf.f.Eval(t.Value) {
+				ok = false
+				break
 			}
 		}
-		return true
+		if !ok {
+			continue
+		}
+		stt.key = stt.key[:0]
+		for _, s := range stt.proj {
+			stt.key = append(stt.key, binding[s])
+		}
+		if !stt.seen.Insert(stt.key) {
+			rs.Stats.RowsDeduped++
+			continue
+		}
+		row := make([]rdf.Term, len(stt.proj))
+		for i, s := range stt.proj {
+			row[i] = e.st.Term(binding[s])
+		}
+		rs.Rows = append(rs.Rows, row)
+		if limit > 0 && len(rs.Rows) >= limit {
+			rs.Truncated = true
+			rs.Stats.TruncatedBy = TruncLimit
+			return nil
+		}
+		if len(rs.Rows) >= maxRows {
+			rs.Truncated = true
+			rs.Stats.TruncatedBy = TruncMaxRows
+			return nil
+		}
 	}
-	walk(0)
-	if ctxErr != nil {
-		return nil, ctxErr
+	return nil
+}
+
+func grow(s []store.ID, n int) []store.ID {
+	if cap(s) < n {
+		return make([]store.ID, n)
 	}
-	return rs, nil
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }
 
 func emptyResult(q *query.ConjunctiveQuery) *ResultSet {
@@ -324,6 +521,17 @@ func (e *Engine) metasOf(pats []pattern) []PatternMeta {
 // planOrder orders patterns with the shared greedy planner.
 func (e *Engine) planOrder(pats []pattern) []int {
 	return GreedyOrder(e.metasOf(pats))
+}
+
+// planOrderInto is planOrder with the metas buffer pooled in stt. The
+// order itself comes from the same shared GreedyOrder the cluster
+// coordinator plans with.
+func (e *Engine) planOrderInto(stt *execState) []int {
+	stt.metas = stt.metas[:0]
+	for _, p := range stt.pats {
+		stt.metas = append(stt.metas, PatternMeta{SV: p.sv, OV: p.ov, Count: e.st.Count(p.s, p.p, p.o)})
+	}
+	return GreedyOrder(stt.metas)
 }
 
 // SortRows orders the rows lexicographically (by term comparison), useful

@@ -1,0 +1,115 @@
+package exec
+
+import "repro/internal/store"
+
+// IDSet is a fixed-width, open-addressing set of ID tuples — the
+// answer-dedup structure of the join core and of the sharded
+// coordinator's distributed executor. A row key is w dictionary IDs (the
+// projection of a binding onto the distinguished variables); keys live
+// packed in one flat arena and the hash table stores int32 arena indexes,
+// so membership tests touch two small contiguous arrays and inserting a
+// row performs no per-row allocation (arena and table growth is
+// amortized, and both retain capacity across Reset for pooled reuse).
+//
+// The zero value is ready after Reset. Not safe for concurrent use.
+type IDSet struct {
+	w     int        // key width in IDs
+	keys  []store.ID // packed arena: key i occupies keys[i*w : (i+1)*w]
+	table []int32    // open addressing, -1 = empty, else arena index
+	n     int
+}
+
+// minIDSetTable keeps the probe table a power of two; 256 slots cover
+// typical result cardinalities without an early grow.
+const minIDSetTable = 256
+
+// Reset empties the set and fixes the key width for the next query,
+// retaining the arena and table capacity of previous uses — unless one
+// past large query grew the table far beyond what the last query used,
+// in which case the table shrinks back: the -1 refill of retained
+// capacity is Reset's only per-query cost, and a pooled set must not
+// make every later small query pay for one degenerate big one.
+func (s *IDSet) Reset(w int) {
+	s.w = w
+	if len(s.table) > minIDSetTable && s.n*8 < len(s.table) {
+		size := minIDSetTable
+		for size < s.n*4 {
+			size *= 2
+		}
+		s.table = make([]int32, size)
+	}
+	s.n = 0
+	s.keys = s.keys[:0]
+	if len(s.table) < minIDSetTable {
+		s.table = make([]int32, minIDSetTable)
+	}
+	for i := range s.table {
+		s.table[i] = -1
+	}
+}
+
+// Len returns the number of distinct keys inserted since Reset.
+func (s *IDSet) Len() int { return s.n }
+
+// Insert adds key (len(key) must equal the Reset width) and reports
+// whether it was absent. The key is copied; the caller may reuse the
+// slice.
+func (s *IDSet) Insert(key []store.ID) bool {
+	mask := uint32(len(s.table) - 1)
+	i := hashIDs(key) & mask
+	for {
+		e := s.table[i]
+		if e < 0 {
+			s.table[i] = int32(s.n)
+			s.keys = append(s.keys, key...)
+			s.n++
+			if s.n*2 >= len(s.table) {
+				s.grow()
+			}
+			return true
+		}
+		if s.keyEqual(int(e), key) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *IDSet) keyEqual(idx int, key []store.ID) bool {
+	at := s.keys[idx*s.w : idx*s.w+s.w]
+	for i, id := range key {
+		if at[i] != id {
+			return false
+		}
+	}
+	return true
+}
+
+// grow doubles the probe table and rehashes the arena indexes. Keys are
+// never moved.
+func (s *IDSet) grow() {
+	next := make([]int32, 2*len(s.table))
+	for i := range next {
+		next[i] = -1
+	}
+	mask := uint32(len(next) - 1)
+	for idx := 0; idx < s.n; idx++ {
+		key := s.keys[idx*s.w : idx*s.w+s.w]
+		i := hashIDs(key) & mask
+		for next[i] >= 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = int32(idx)
+	}
+	s.table = next
+}
+
+// hashIDs is FNV-1a over the IDs, folded to 32 bits.
+func hashIDs(key []store.ID) uint32 {
+	h := uint64(14695981039346656037)
+	for _, id := range key {
+		h ^= uint64(id)
+		h *= 1099511628211
+	}
+	return uint32(h ^ h>>32)
+}

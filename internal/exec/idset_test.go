@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// TestIDSetMembership drives random ID tuples with duplicates through
+// the set and checks Insert's answers against a map oracle.
+func TestIDSetMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, w := range []int{0, 1, 2, 5} {
+		var s IDSet
+		s.Reset(w)
+		oracle := map[[5]store.ID]bool{}
+		key := make([]store.ID, w)
+		for i := 0; i < 5000; i++ {
+			var ok [5]store.ID
+			for j := 0; j < w; j++ {
+				key[j] = store.ID(rng.Intn(40)) // few values → many duplicates
+				ok[j] = key[j]
+			}
+			want := !oracle[ok]
+			oracle[ok] = true
+			if got := s.Insert(key); got != want {
+				t.Fatalf("w=%d insert %d (%v): new=%v, want %v", w, i, key, got, want)
+			}
+		}
+		if s.Len() != len(oracle) {
+			t.Fatalf("w=%d: Len=%d, want %d", w, s.Len(), len(oracle))
+		}
+	}
+}
+
+// TestIDSetResetShrinks pins the pooled-reuse cost bound: after one
+// degenerate large query, a Reset following a small query shrinks the
+// probe table back, so later small queries do not pay an
+// O(max-historical-size) refill forever.
+func TestIDSetResetShrinks(t *testing.T) {
+	var s IDSet
+	s.Reset(1)
+	for i := 1; i <= 200_000; i++ {
+		s.Insert([]store.ID{store.ID(i)})
+	}
+	big := len(s.table)
+	if big <= minIDSetTable {
+		t.Fatalf("premise: table did not grow (len %d)", big)
+	}
+
+	// The query right after the big one keeps the big table (its own n
+	// was large); a small query then triggers the shrink on the next
+	// Reset.
+	s.Reset(1)
+	for i := 1; i <= 10; i++ {
+		s.Insert([]store.ID{store.ID(i)})
+	}
+	s.Reset(1)
+	if len(s.table) >= big {
+		t.Fatalf("table did not shrink after a small query: len %d (was %d)", len(s.table), big)
+	}
+	// And the shrunk set still answers correctly.
+	if !s.Insert([]store.ID{7}) || s.Insert([]store.ID{7}) {
+		t.Fatal("membership wrong after shrink")
+	}
+}

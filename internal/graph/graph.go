@@ -123,29 +123,35 @@ func Build(st *store.Store) *Graph {
 	n := st.NumTerms() + 1
 	g.kinds = make([]VertexKind, n)
 
+	// The full-store view: three contiguous columns in SPO order. The
+	// passes below scan the predicate column with unit stride and touch
+	// the subject/object columns only for rows the predicate selects.
+	full := st.Range(store.Wildcard, store.Wildcard, store.Wildcard)
+
 	// Pass 1: class vertices are objects of type edges and both ends of
 	// subclass edges. Classifying them first lets them win over any later
 	// entity-position occurrence.
-	st.ForEach(func(t store.IDTriple) {
-		switch t.P {
+	for i, p := range full.P {
+		switch p {
 		case g.typeID:
 			if g.typeID != 0 {
-				g.kinds[t.O] = CVertex
+				g.kinds[full.O[i]] = CVertex
 			}
 		case g.subID:
 			if g.subID != 0 {
-				g.kinds[t.S] = CVertex
-				g.kinds[t.O] = CVertex
+				g.kinds[full.S[i]] = CVertex
+				g.kinds[full.O[i]] = CVertex
 			}
 		}
-	})
+	}
 
 	// Pass 2: classify remaining vertices and count edge kinds/degrees.
 	outDeg := make([]int32, n)
 	inDeg := make([]int32, n)
 	rLabels := map[store.ID]bool{}
 	aLabels := map[store.ID]bool{}
-	st.ForEach(func(t store.IDTriple) {
+	for i := 0; i < full.Len(); i++ {
+		t := full.Triple(i)
 		kind := g.classifyEdge(t)
 		switch kind {
 		case TypeEdge:
@@ -166,7 +172,7 @@ func Build(st *store.Store) *Graph {
 		}
 		outDeg[t.S]++
 		inDeg[t.O]++
-	})
+	}
 	g.stats.RLabels = len(rLabels)
 	g.stats.ALabels = len(aLabels)
 	for _, k := range g.kinds {
@@ -189,13 +195,14 @@ func Build(st *store.Store) *Graph {
 	inCur := make([]int32, n)
 	copy(outCur, g.outOff[:n])
 	copy(inCur, g.inOff[:n])
-	st.ForEach(func(t store.IDTriple) {
+	for i := 0; i < full.Len(); i++ {
+		t := full.Triple(i)
 		kind := g.classifyEdge(t)
 		g.outEdge[outCur[t.S]] = HalfEdge{P: t.P, Other: t.O, Kind: kind}
 		outCur[t.S]++
 		g.inEdge[inCur[t.O]] = HalfEdge{P: t.P, Other: t.S, Kind: kind}
 		inCur[t.O]++
-	})
+	}
 	return g
 }
 
@@ -303,9 +310,8 @@ func (g *Graph) Label(id store.ID) string {
 		return t.Value
 	}
 	if lblID, ok := g.st.Lookup(rdf.NewIRI(rdf.RDFSLabel)); ok {
-		it := g.st.Match(id, lblID, store.Wildcard)
-		for it.Next() {
-			o := g.st.Term(it.Triple().O)
+		for _, oid := range g.st.Range(id, lblID, store.Wildcard).O {
+			o := g.st.Term(oid)
 			if o.IsLiteral() {
 				return o.Value
 			}

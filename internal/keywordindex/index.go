@@ -141,32 +141,33 @@ func (ix *Index) indexPredicates() {
 	}
 	preds := map[store.ID]*predAgg{}
 	st := ix.g.Store()
-	st.ForEach(func(t store.IDTriple) {
+	full := st.Range(store.Wildcard, store.Wildcard, store.Wildcard)
+	for i, p := range full.P {
 		var kind graph.EdgeKind
 		switch {
-		case ix.g.TypeID() != 0 && t.P == ix.g.TypeID():
-			return // type edges are structural, not keyword targets
-		case ix.g.SubclassID() != 0 && t.P == ix.g.SubclassID():
-			return
-		case ix.g.Kind(t.O) == graph.VVertex:
+		case ix.g.TypeID() != 0 && p == ix.g.TypeID():
+			continue // type edges are structural, not keyword targets
+		case ix.g.SubclassID() != 0 && p == ix.g.SubclassID():
+			continue
+		case ix.g.Kind(full.O[i]) == graph.VVertex:
 			kind = graph.AEdge
 		default:
 			kind = graph.REdge
 		}
-		pa, ok := preds[t.P]
+		pa, ok := preds[p]
 		if !ok {
 			pa = &predAgg{kind: kind, classes: map[store.ID]bool{}, numeric: true}
-			preds[t.P] = pa
+			preds[p] = pa
 		}
 		if kind == graph.AEdge {
-			for _, c := range ix.g.Classes(t.S) {
+			for _, c := range ix.g.Classes(full.S[i]) {
 				pa.classes[c] = true
 			}
-			if pa.numeric && !isNumeric(st.Term(t.O).Value) {
+			if pa.numeric && !isNumeric(st.Term(full.O[i]).Value) {
 				pa.numeric = false
 			}
 		}
-	})
+	}
 	// Deterministic order for reproducible ref IDs.
 	ids := make([]store.ID, 0, len(preds))
 	for p := range preds {
@@ -231,21 +232,22 @@ func (ix *Index) indexValues() {
 	owners := map[vpKey]map[store.ID]bool{}
 	var keys []vpKey
 	st := ix.g.Store()
-	st.ForEach(func(t store.IDTriple) {
-		if ix.g.Kind(t.O) != graph.VVertex {
-			return
+	full := st.Range(store.Wildcard, store.Wildcard, store.Wildcard)
+	for i, o := range full.O {
+		if ix.g.Kind(o) != graph.VVertex {
+			continue
 		}
-		k := vpKey{t.O, t.P}
+		k := vpKey{o, full.P[i]}
 		set, ok := owners[k]
 		if !ok {
 			set = map[store.ID]bool{}
 			owners[k] = set
 			keys = append(keys, k)
 		}
-		for _, c := range ix.g.Classes(t.S) {
+		for _, c := range ix.g.Classes(full.S[i]) {
 			set[c] = true
 		}
-	})
+	}
 	for _, k := range keys {
 		ix.addRef(summary.Match{
 			Kind:    summary.MatchValue,

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExecuteExecutionStats pins the per-execute execution block of the
+// /v1/execute response and the counters behind it: join iterations, rows
+// examined/deduplicated, and the truncation reason must be visible per
+// response and aggregate in /metrics and /stats — the execute-side mirror
+// of the search response's exploration block.
+func TestExecuteExecutionStats(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, body := postJSON(t, ts, "/v1/execute", executeRequest{
+		candidateRef: candidateRef{Keywords: []string{"thanh tran", "publication"}},
+		Limit:        1,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("execute status %d: %s", status, body)
+	}
+	var er executeResponse
+	mustUnmarshal(t, body, &er)
+	if er.Execution == nil {
+		t.Fatal("execute response has no execution block")
+	}
+	ex := er.Execution
+	if ex.JoinIterations <= 0 {
+		t.Errorf("execution.join_iterations = %d, want > 0", ex.JoinIterations)
+	}
+	if ex.RowsExamined < int64(er.Count) {
+		t.Errorf("execution.rows_examined = %d < returned rows %d", ex.RowsExamined, er.Count)
+	}
+	if er.Truncated && ex.TruncationReason == "" {
+		t.Error("truncated result carries no truncation_reason")
+	}
+	if !er.Truncated && ex.TruncationReason != "" {
+		t.Errorf("untruncated result carries truncation_reason %q", ex.TruncationReason)
+	}
+
+	// Counters aggregate what the response reported.
+	if got := s.mExecIterations.Value(); got != uint64(ex.JoinIterations) {
+		t.Errorf("execute_iterations_total = %d, want %d", got, ex.JoinIterations)
+	}
+	if got := s.mExecExamined.Value(); got != uint64(ex.RowsExamined) {
+		t.Errorf("execute_rows_examined_total = %d, want %d", got, ex.RowsExamined)
+	}
+	if er.Truncated {
+		if got := s.mExecTruncated.With(ex.TruncationReason).Value(); got != 1 {
+			t.Errorf("execute_truncated_total{%s} = %d, want 1", ex.TruncationReason, got)
+		}
+	}
+
+	// Both introspection endpoints expose the aggregates.
+	status, body = getBody(t, ts, "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	for _, want := range []string{
+		"searchwebdb_execute_iterations_total",
+		"searchwebdb_execute_rows_examined_total",
+		"searchwebdb_execute_rows_deduped_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+	if er.Truncated && !strings.Contains(string(body), `searchwebdb_execute_truncated_total{reason="`+ex.TruncationReason+`"}`) {
+		t.Errorf("/metrics missing execute_truncated_total{reason=%q}", ex.TruncationReason)
+	}
+	status, body = getBody(t, ts, "/stats")
+	if status != http.StatusOK {
+		t.Fatalf("/stats status %d", status)
+	}
+	var stats map[string]any
+	mustUnmarshal(t, body, &stats)
+	execBlock, ok := stats["execution"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no execution section: %s", body)
+	}
+	if got, _ := execBlock["join_iterations_total"].(float64); int64(got) != ex.JoinIterations {
+		t.Errorf("/stats execution.join_iterations_total = %v, want %d", got, ex.JoinIterations)
+	}
+
+	// The NDJSON trailer carries the same block.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/execute",
+		strings.NewReader(`{"keywords":["thanh tran","publication"],"limit":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/x-ndjson")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var trailer executeStreamTrailer
+	mustUnmarshal(t, []byte(lines[len(lines)-1]), &trailer)
+	if trailer.Execution == nil || trailer.Execution.JoinIterations != ex.JoinIterations {
+		t.Errorf("NDJSON trailer execution = %+v, want join_iterations %d", trailer.Execution, ex.JoinIterations)
+	}
+}

@@ -105,6 +105,29 @@ type executeResponse struct {
 	Count     int          `json:"count"`
 	Truncated bool         `json:"truncated"`
 	ElapsedMS float64      `json:"elapsed_ms"`
+	// Execution reports how the join evaluation behind this result went,
+	// mirroring the search response's exploration block.
+	Execution *executionJSON `json:"execution,omitempty"`
+}
+
+// executionJSON is the per-execute view of exec.ExecStats: the join work
+// spent, the fully joined bindings examined, how many were duplicate
+// answers, and — when the result is truncated — which bound cut it off
+// (limit, max_rows, step_budget).
+type executionJSON struct {
+	JoinIterations   int64  `json:"join_iterations"`
+	RowsExamined     int64  `json:"rows_examined"`
+	RowsDeduped      int64  `json:"rows_deduped"`
+	TruncationReason string `json:"truncation_reason,omitempty"`
+}
+
+func toExecutionJSON(rs *exec.ResultSet) *executionJSON {
+	return &executionJSON{
+		JoinIterations:   rs.Stats.JoinIterations,
+		RowsExamined:     rs.Stats.RowsExamined,
+		RowsDeduped:      rs.Stats.RowsDeduped,
+		TruncationReason: string(rs.Stats.TruncatedBy),
+	}
 }
 
 type planStepJSON struct {
@@ -544,6 +567,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 			errorResponse{Error: err.Error(), Code: "bad_query"})
 		return
 	}
+	s.observeExecution(rs)
 	if wantsNDJSON(r) {
 		s.writeExecuteNDJSON(w, id, cand, rs, start)
 		return
@@ -556,6 +580,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		Count:     rs.Len(),
 		Truncated: rs.Truncated,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Execution: toExecutionJSON(rs),
 	}
 	for i, row := range rs.Rows {
 		out := make([]termJSON, len(row))
@@ -585,9 +610,10 @@ type executeStreamHeader struct {
 
 // executeStreamTrailer is the last line of a streamed execute response.
 type executeStreamTrailer struct {
-	Count     int     `json:"count"`
-	Truncated bool    `json:"truncated"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Count     int            `json:"count"`
+	Truncated bool           `json:"truncated"`
+	ElapsedMS float64        `json:"elapsed_ms"`
+	Execution *executionJSON `json:"execution,omitempty"`
 }
 
 // streamFlushEvery is how many row lines go out between flushes: small
@@ -629,6 +655,7 @@ func (s *Server) writeExecuteNDJSON(w http.ResponseWriter, id string, cand *engi
 		Count:     rs.Len(),
 		Truncated: rs.Truncated,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
+		Execution: toExecutionJSON(rs),
 	})
 	flush()
 }
@@ -714,6 +741,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"cursors_popped_total":  s.mCursorsPopped.Value(),
 			"oracle_builds_total":   s.mOracleBuilds.Value(),
 			"oracle_build_seconds":  s.mOracleSeconds.Sum(),
+		},
+		"execution": map[string]any{
+			"join_iterations_total": s.mExecIterations.Value(),
+			"rows_examined_total":   s.mExecExamined.Value(),
+			"rows_deduped_total":    s.mExecDeduped.Value(),
+			"truncated": map[string]any{
+				"limit":       s.mExecTruncated.With(string(exec.TruncLimit)).Value(),
+				"max_rows":    s.mExecTruncated.With(string(exec.TruncMaxRows)).Value(),
+				"step_budget": s.mExecTruncated.With(string(exec.TruncBudget)).Value(),
+			},
 		},
 	})
 }

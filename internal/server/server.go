@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/exec"
 	"repro/internal/metrics"
 )
 
@@ -132,6 +133,15 @@ type Server struct {
 	mCursorsPopped  *metrics.Counter
 	mOracleBuilds   *metrics.Counter
 	mOracleSeconds  *metrics.Summary
+
+	// Execution telemetry, updated once per successful execute: the join
+	// work the pooled executor spent, the bindings it examined and
+	// deduplicated, and which bound (limit, max_rows, step_budget) cut
+	// truncated evaluations short.
+	mExecIterations *metrics.Counter
+	mExecExamined   *metrics.Counter
+	mExecDeduped    *metrics.Counter
+	mExecTruncated  *metrics.CounterVec
 }
 
 // New builds a server over a query backend, sealing it: any outstanding
@@ -186,7 +196,25 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 		"Computed searches whose exploration built the distance oracle.")
 	s.mOracleSeconds = s.reg.Summary("searchwebdb_oracle_build_seconds",
 		"Distance-oracle construction time per computed search that built one.")
+	s.mExecIterations = s.reg.Counter("searchwebdb_execute_iterations_total",
+		"Join iterations spent across executed queries.")
+	s.mExecExamined = s.reg.Counter("searchwebdb_execute_rows_examined_total",
+		"Fully joined bindings reaching projection across executed queries.")
+	s.mExecDeduped = s.reg.Counter("searchwebdb_execute_rows_deduped_total",
+		"Bindings rejected as duplicate answers across executed queries.")
+	s.mExecTruncated = s.reg.CounterVec("searchwebdb_execute_truncated_total",
+		"Executed queries truncated, by reason (limit, max_rows, step_budget).", "reason")
 	return s
+}
+
+// observeExecution folds one execute's work counters into the registry.
+func (s *Server) observeExecution(rs *exec.ResultSet) {
+	s.mExecIterations.Add(uint64(rs.Stats.JoinIterations))
+	s.mExecExamined.Add(uint64(rs.Stats.RowsExamined))
+	s.mExecDeduped.Add(uint64(rs.Stats.RowsDeduped))
+	if rs.Stats.TruncatedBy != exec.TruncNone {
+		s.mExecTruncated.With(string(rs.Stats.TruncatedBy)).Inc()
+	}
 }
 
 // observeExploration folds one computed search's exploration statistics

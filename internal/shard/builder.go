@@ -124,7 +124,9 @@ func (b *Builder) Build() *Cluster {
 	// index indexes. These are replicated to every shard; everything else
 	// lives only on its subject's home shard.
 	preds := map[store.ID]bool{}
-	gst.ForEach(func(t store.IDTriple) { preds[t.P] = true })
+	for _, p := range gst.Range(store.Wildcard, store.Wildcard, store.Wildcard).P {
+		preds[p] = true
+	}
 	labelID, _ := gst.Lookup(rdf.NewIRI(rdf.RDFSLabel))
 	replicated := func(t store.IDTriple) bool {
 		switch {

@@ -44,6 +44,15 @@ type Cluster struct {
 	// mirroring exec.Engine.MaxSteps (0 applies exec.DefaultMaxSteps).
 	// Set it before serving; it is read concurrently.
 	MaxSteps int
+	// MaxRows bounds distinct-answer tracking per execute when the
+	// caller sets no limit, mirroring exec.Engine.MaxRows (0 applies
+	// exec.DefaultMaxRows). Set it before serving.
+	MaxRows int
+
+	// scratch recycles distributed-execute working memory (flat binding
+	// tables, per-shard extension buffers, the coordinator dedup set)
+	// across queries; see distScratch.
+	scratch sync.Pool
 }
 
 var _ engine.Queryer = (*Cluster)(nil)

@@ -22,6 +22,13 @@ import (
 // exactly the bindings the single engine's depth-first walk visits. The
 // answer set is therefore identical; rows are returned in canonical
 // (sorted) order rather than discovery order.
+//
+// Memory layout mirrors the single engine's pooled join core: binding
+// tables are flat []store.ID buffers (stride = variable count) reused
+// across bind-join steps through a per-cluster pool, per-shard extension
+// buffers persist across steps, and the coordinator's answer dedup runs
+// in ID space through the same open-addressing exec.IDSet — no string
+// keys, no per-row map traffic.
 
 // dpattern is a compiled query atom in the coordinator's ID space:
 // constants resolved against the global dictionary, variables assigned
@@ -129,29 +136,75 @@ type stepSpec struct {
 	cap     int  // per-shard result cap (0 = none): final-step limit pushdown
 }
 
+// bindTable is a flat binding table: nRows rows of stride IDs each
+// (stride may be zero for all-constant queries, hence the explicit row
+// count). The backing buffer is pooled and reused across steps.
+type bindTable struct {
+	rows   []store.ID
+	stride int
+	nRows  int
+}
+
+func (b *bindTable) row(i int) []store.ID {
+	return b.rows[i*b.stride : (i+1)*b.stride]
+}
+
+// reset re-shapes the table for a new step, keeping buffer capacity.
+func (b *bindTable) reset(stride int) {
+	b.rows = b.rows[:0]
+	b.stride = stride
+	b.nRows = 0
+}
+
+// distScratch is the pooled working memory of one distributed execute:
+// the two binding tables swapped across steps, the per-shard extension
+// buffers, the existence-check keep mask, and the coordinator's dedup
+// set with its key buffer.
+type distScratch struct {
+	cur, next bindTable
+	exts      [][]ext
+	useds     []int64
+	capped    []bool
+	errs      []error
+	keep      []bool
+	seen      exec.IDSet
+	key       []store.ID
+}
+
+func (c *Cluster) getScratch() *distScratch {
+	if v := c.scratch.Get(); v != nil {
+		return v.(*distScratch)
+	}
+	return &distScratch{}
+}
+
+func (c *Cluster) putScratch(s *distScratch) {
+	c.scratch.Put(s)
+}
+
 // ctxPollInterval matches exec's cancellation granularity.
 const ctxPollInterval = 8192
 
 // evalStep runs one join step against this shard's owned partition:
 // constants and bound values are translated into the local dictionary,
 // matches enumerated from the local indexes, and newly bound values
-// translated back to global IDs. Returns the extensions, the number of
+// translated back to global IDs. Extensions append into out (reused
+// across steps by the caller). Returns the extensions, the number of
 // join iterations spent, and whether the cap cut enumeration short.
-func (sh *Shard) evalStep(ctx context.Context, spec stepSpec, parents [][]store.ID) ([]ext, int64, bool, error) {
+func (sh *Shard) evalStep(ctx context.Context, spec stepSpec, parents *bindTable, out []ext) ([]ext, int64, bool, error) {
 	p := spec.pat
 	ls, okS := sh.toLocal(p.s)
 	lp, okP := sh.toLocal(p.p)
 	lo, okO := sh.toLocal(p.o)
 	if !okS || !okP || !okO {
-		return nil, 0, false, nil // a constant is absent from this shard
+		return out, 0, false, nil // a constant is absent from this shard
 	}
-	var out []ext
 	var used int64
 	poll := ctxPollInterval
 
 	scan := func(parent int32, sp, op store.ID) (bool, error) {
-		it := sh.data.Match(sp, lp, op)
-		for it.Next() {
+		v := sh.data.Range(sp, lp, op)
+		for i := 0; i < v.Len(); i++ {
 			used++
 			poll--
 			if poll <= 0 {
@@ -160,16 +213,15 @@ func (sh *Shard) evalStep(ctx context.Context, spec stepSpec, parents [][]store.
 					return false, err
 				}
 			}
-			t := it.Triple()
-			if spec.sameVar && t.S != t.O {
+			if spec.sameVar && v.S[i] != v.O[i] {
 				continue
 			}
 			e := ext{parent: parent}
 			if spec.newS || spec.sameVar {
-				e.s = sh.local2global[t.S]
+				e.s = sh.local2global[v.S[i]]
 			}
 			if spec.newO {
-				e.o = sh.local2global[t.O]
+				e.o = sh.local2global[v.O[i]]
 			}
 			out = append(out, e)
 			if !spec.newS && !spec.newO && !spec.sameVar {
@@ -190,7 +242,8 @@ func (sh *Shard) evalStep(ctx context.Context, spec stepSpec, parents [][]store.
 		_, err := scan(-1, ls, lo)
 		return out, used, spec.cap > 0 && len(out) >= spec.cap, err
 	}
-	for pi, parent := range parents {
+	for pi := 0; pi < parents.nRows; pi++ {
+		parent := parents.row(pi)
 		sp, op := ls, lo
 		if spec.sBound {
 			v, ok := sh.toLocal(parent[p.sv])
@@ -208,7 +261,7 @@ func (sh *Shard) evalStep(ctx context.Context, spec stepSpec, parents [][]store.
 		}
 		cont, err := scan(int32(pi), sp, op)
 		if err != nil {
-			return nil, used, false, err
+			return out, used, false, err
 		}
 		if !cont && spec.cap > 0 && len(out) >= spec.cap {
 			return out, used, true, nil
@@ -218,32 +271,41 @@ func (sh *Shard) evalStep(ctx context.Context, spec stepSpec, parents [][]store.
 }
 
 // scatterStep fans one join step out to every shard concurrently and
-// union-merges the extensions into the next binding table. Disjoint
-// partitions guarantee the per-shard extension sets are disjoint, so the
-// merge is pure concatenation (deterministically ordered by shard, then
-// by local enumeration order).
-func (c *Cluster) scatterStep(ctx context.Context, spec stepSpec, parents [][]store.ID) ([][]store.ID, int64, bool, error) {
-	results := make([][]ext, len(c.shards))
-	useds := make([]int64, len(c.shards))
-	capped := make([]bool, len(c.shards))
-	errs := make([]error, len(c.shards))
+// union-merges the extensions into the next binding table (swapped with
+// the current one by the caller). Disjoint partitions guarantee the
+// per-shard extension sets are disjoint, so the merge is pure
+// concatenation (deterministically ordered by shard, then by local
+// enumeration order).
+func (c *Cluster) scatterStep(ctx context.Context, sc *distScratch, spec stepSpec) (int64, bool, error) {
+	n := len(c.shards)
+	if cap(sc.exts) < n {
+		sc.exts = make([][]ext, n)
+		sc.useds = make([]int64, n)
+		sc.capped = make([]bool, n)
+		sc.errs = make([]error, n)
+	}
+	sc.exts = sc.exts[:n]
+	sc.useds = sc.useds[:n]
+	sc.capped = sc.capped[:n]
+	sc.errs = sc.errs[:n]
 	var wg sync.WaitGroup
 	for i, sh := range c.shards {
 		wg.Add(1)
 		go func(i int, sh *Shard) {
 			defer wg.Done()
-			results[i], useds[i], capped[i], errs[i] = sh.evalStep(ctx, spec, parents)
+			sc.exts[i], sc.useds[i], sc.capped[i], sc.errs[i] =
+				sh.evalStep(ctx, spec, &sc.cur, sc.exts[i][:0])
 		}(i, sh)
 	}
 	wg.Wait()
 	var used int64
 	wasCapped := false
 	for i := range c.shards {
-		if errs[i] != nil {
-			return nil, used, false, errs[i]
+		if sc.errs[i] != nil {
+			return used, false, sc.errs[i]
 		}
-		used += useds[i]
-		wasCapped = wasCapped || capped[i]
+		used += sc.useds[i]
+		wasCapped = wasCapped || sc.capped[i]
 	}
 
 	p := spec.pat
@@ -257,66 +319,80 @@ func (c *Cluster) scatterStep(ctx context.Context, spec stepSpec, parents [][]st
 
 	if newSlots == 0 {
 		// Existence check: keep each surviving parent once, in order.
-		keep := make([]bool, len(parents))
-		for _, exts := range results {
+		if cap(sc.keep) < sc.cur.nRows {
+			sc.keep = make([]bool, sc.cur.nRows)
+		}
+		sc.keep = sc.keep[:sc.cur.nRows]
+		for i := range sc.keep {
+			sc.keep[i] = false
+		}
+		for _, exts := range sc.exts {
 			for _, e := range exts {
 				if e.parent >= 0 {
-					keep[e.parent] = true
+					sc.keep[e.parent] = true
 				} else {
 					// Parent-independent existence: one hit keeps them all.
-					for i := range keep {
-						keep[i] = true
+					for i := range sc.keep {
+						sc.keep[i] = true
 					}
 				}
 			}
 		}
-		next := parents[:0:0]
-		for i, k := range keep {
+		sc.next.reset(sc.cur.stride)
+		for i, k := range sc.keep {
 			if k {
-				next = append(next, parents[i])
+				sc.next.rows = append(sc.next.rows, sc.cur.row(i)...)
+				sc.next.nRows++
 			}
 		}
-		return next, used, wasCapped, nil
+		sc.cur, sc.next = sc.next, sc.cur
+		return used, wasCapped, nil
 	}
 
-	extend := func(parent []store.ID, e ext) []store.ID {
-		row := make([]store.ID, len(parent))
-		copy(row, parent)
+	extend := func(parent []store.ID, e ext) {
+		at := len(sc.next.rows)
+		sc.next.rows = append(sc.next.rows, parent...)
+		row := sc.next.rows[at:]
 		if spec.newS || spec.sameVar {
 			row[p.sv] = e.s
 		}
 		if spec.newO {
 			row[p.ov] = e.o
 		}
-		return row
+		sc.next.nRows++
 	}
 
-	var next [][]store.ID
+	sc.next.reset(sc.cur.stride)
 	if !spec.sBound && !spec.oBound {
 		// Cross-join the shared extension list with every parent.
-		for _, parent := range parents {
-			for _, exts := range results {
+		for pi := 0; pi < sc.cur.nRows; pi++ {
+			parent := sc.cur.row(pi)
+			for _, exts := range sc.exts {
 				for _, e := range exts {
-					next = append(next, extend(parent, e))
+					extend(parent, e)
 				}
 			}
 		}
-		return next, used, wasCapped, nil
+		sc.cur, sc.next = sc.next, sc.cur
+		return used, wasCapped, nil
 	}
-	for _, exts := range results {
+	for _, exts := range sc.exts {
 		for _, e := range exts {
-			next = append(next, extend(parents[e.parent], e))
+			extend(sc.cur.row(int(e.parent)), e)
 		}
 	}
-	return next, used, wasCapped, nil
+	sc.cur, sc.next = sc.next, sc.cur
+	return used, wasCapped, nil
 }
 
 // ExecuteLimitContext evaluates a candidate as a distributed bind-join,
-// stopping at limit distinct answers (limit ≤ 0: no limit). The answer
-// set equals the single engine's; rows are returned in canonical sorted
-// order. The limit is pushed into the final join step when that is sound
-// (no filters pending and the projection keeps every variable), and ctx
-// is threaded into every shard call.
+// stopping at limit distinct answers (limit ≤ 0: no limit, bounded by
+// the MaxRows distinct-answer cap exactly like the single engine). The
+// answer set equals the single engine's; rows are returned in canonical
+// sorted order, with the same Truncated semantics and ExecStats reasons.
+// The limit is pushed into the final join step when that is sound (no
+// filters pending and the projection keeps every variable), and ctx is
+// threaded into every shard call.
 func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCandidate, limit int) (*exec.ResultSet, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -356,12 +432,24 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 
 	order := c.planOrder(pats)
 	bound := make([]bool, len(slots))
-	bindings := [][]store.ID{make([]store.ID, len(slots))}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
+	sc.cur.reset(len(slots))
+	sc.cur.rows = append(sc.cur.rows, make([]store.ID, len(slots))...)
+	sc.cur.nRows = 1
 	budget := int64(exec.DefaultMaxSteps)
 	if c.MaxSteps > 0 {
 		budget = int64(c.MaxSteps)
 	}
-	truncated := false
+	maxRows := c.MaxRows
+	if maxRows <= 0 {
+		maxRows = c.cfg.MaxExecRows
+	}
+	if maxRows <= 0 {
+		maxRows = exec.DefaultMaxRows
+	}
+
+	rs := &exec.ResultSet{Vars: dist}
 
 	for stepIdx, pi := range order {
 		p := pats[pi]
@@ -374,15 +462,16 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 		if limit > 0 && stepIdx == len(order)-1 && len(filters) == 0 && len(projSlots) == len(slots) {
 			spec.cap = limit
 		}
-		next, used, capped, err := c.scatterStep(ctx, spec, bindings)
+		used, capped, err := c.scatterStep(ctx, sc, spec)
 		if err != nil {
 			return nil, err
 		}
+		rs.Stats.JoinIterations += used
 		budget -= used
 		if capped {
-			truncated = true
+			rs.Truncated = true
+			rs.Stats.TruncatedBy = exec.TruncLimit
 		}
-		bindings = next
 		if p.sv >= 0 {
 			bound[p.sv] = true
 		}
@@ -392,11 +481,12 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if len(bindings) == 0 {
+		if sc.cur.nRows == 0 {
 			break
 		}
 		if budget < 0 {
-			truncated = true
+			rs.Truncated = true
+			rs.Stats.TruncatedBy = exec.TruncBudget
 			if stepIdx < len(order)-1 {
 				// Join budget exhausted mid-plan: the binding table still
 				// has unbound variables (ID 0 — not a term) and unapplied
@@ -404,46 +494,52 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 				// it; the single engine in the same regime also stops
 				// early, emitting only the fully joined rows it happened
 				// to reach first.
-				bindings = nil
+				sc.cur.nRows = 0
+				sc.cur.rows = sc.cur.rows[:0]
 			}
 			break
 		}
 	}
 
 	// Filter, project, deduplicate — at the coordinator, exactly as the
-	// single engine does at the bottom of its walk.
-	rs := &exec.ResultSet{Vars: dist}
-	seen := map[string]bool{}
+	// single engine does at the bottom of its walk, in ID space through
+	// the same open-addressing set.
+	sc.seen.Reset(len(projSlots))
 rows:
-	for _, row := range bindings {
+	for i := 0; i < sc.cur.nRows; i++ {
+		row := sc.cur.row(i)
+		rs.Stats.RowsExamined++
 		for _, sf := range filters {
 			t := c.dict.Term(row[sf.slot])
 			if !t.IsLiteral() || !sf.f.Eval(t.Value) {
 				continue rows
 			}
 		}
-		key := make([]byte, 0, 4*len(projSlots))
+		sc.key = sc.key[:0]
 		for _, s := range projSlots {
-			id := row[s]
-			key = append(key, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+			sc.key = append(sc.key, row[s])
 		}
-		k := string(key)
-		if seen[k] {
+		if !sc.seen.Insert(sc.key) {
+			rs.Stats.RowsDeduped++
 			continue
 		}
-		seen[k] = true
 		out := make([]rdf.Term, len(projSlots))
-		for i, s := range projSlots {
-			out[i] = c.dict.Term(row[s])
+		for j, s := range projSlots {
+			out[j] = c.dict.Term(row[s])
 		}
 		rs.Rows = append(rs.Rows, out)
 		if limit > 0 && len(rs.Rows) >= limit {
 			rs.Truncated = true
+			rs.Stats.TruncatedBy = exec.TruncLimit
 			break
 		}
-	}
-	if truncated {
-		rs.Truncated = true
+		if len(rs.Rows) >= maxRows {
+			rs.Truncated = true
+			if rs.Stats.TruncatedBy == exec.TruncNone {
+				rs.Stats.TruncatedBy = exec.TruncMaxRows
+			}
+			break
+		}
 	}
 	rs.SortRows()
 	return rs, nil

@@ -3,11 +3,21 @@
 // database engine" storage layer in the paper (Jena/Sesame/Oracle single
 // triple table, Sec. II): terms are interned to dense integer IDs, and
 // triple-pattern lookups with any combination of bound positions are served
-// from sorted permutation indexes by binary search.
+// from materialized struct-of-arrays orderings by offset-table lookup plus
+// binary search on one contiguous column.
+//
+// Memory layout: each ordering (SPO, POS, OSP) is a sorted copy of the
+// triple set stored as three parallel []ID columns. A pattern lookup walks
+// no permutation indirection — the leading bound component resolves to a
+// [lo,hi) range through a per-ID offset table in O(1), further bound
+// components narrow the range by binary search over a single column, and
+// the result is a View: three sub-slice headers, allocation-free, whose
+// elements are read with unit stride.
 //
 // Writes (Add/Intern) are not safe for concurrent use; after the indexes
-// are built (first Match/Count call, or an explicit Build), any number of
-// goroutines may read concurrently as long as no further writes occur.
+// are built (first Match/Count/Range call, or an explicit Build), any
+// number of goroutines may read concurrently as long as no further writes
+// occur.
 package store
 
 import (
@@ -30,6 +40,13 @@ type IDTriple struct {
 	S, P, O ID
 }
 
+// cols is one materialized ordering of the triple set: three parallel
+// columns holding the S, P, and O components of every triple, sorted by
+// that ordering's component sequence.
+type cols struct {
+	s, p, o []ID
+}
+
 // Store is the triple store. The zero value is not usable; call New.
 type Store struct {
 	mu     sync.RWMutex
@@ -37,10 +54,19 @@ type Store struct {
 	byTerm map[rdf.Term]ID // interning map
 
 	triples []IDTriple // unique triples, in SPO order after Build
-	spo     []int32    // permutation: triples sorted by (S,P,O) — identity after Build
-	pos     []int32    // permutation: triples sorted by (P,O,S)
-	osp     []int32    // permutation: triples sorted by (O,S,P)
-	dirty   bool
+
+	// Struct-of-arrays sorted copies, one per ordering. spo duplicates
+	// triples column-wise so every lookup path reads unit-stride columns.
+	spo, pos, osp cols
+
+	// Offset tables: for the leading component of each ordering, the
+	// half-open row range of ID id is [off[id], off[id+1]). Length
+	// NumTerms()+2 so id+1 never indexes out of range.
+	subjOff []int32 // SPO rows per subject
+	predOff []int32 // POS rows per predicate
+	objOff  []int32 // OSP rows per object
+
+	dirty bool
 }
 
 // New returns an empty store.
@@ -110,9 +136,9 @@ func (s *Store) Decode(t IDTriple) rdf.Triple {
 	return rdf.Triple{S: s.Term(t.S), P: s.Term(t.P), O: s.Term(t.O)}
 }
 
-// Build sorts the permutation indexes and deduplicates triples. It is
-// called implicitly by the first read; calling it explicitly makes the
-// cost visible (e.g. when measuring index build time).
+// Build sorts the orderings and deduplicates triples. It is called
+// implicitly by the first read; calling it explicitly makes the cost
+// visible (e.g. when measuring index build time).
 func (s *Store) Build() {
 	s.ensure()
 }
@@ -148,16 +174,58 @@ func (s *Store) rebuild() {
 	s.triples = uniq
 
 	n := len(s.triples)
-	s.spo = make([]int32, n)
-	s.pos = make([]int32, n)
-	s.osp = make([]int32, n)
-	for i := range s.spo {
-		s.spo[i] = int32(i)
-		s.pos[i] = int32(i)
-		s.osp[i] = int32(i)
+
+	// SPO columns are a straight column-wise copy of the sorted triples.
+	s.spo = makeCols(n)
+	for i, t := range s.triples {
+		s.spo.s[i], s.spo.p[i], s.spo.o[i] = t.S, t.P, t.O
 	}
-	sort.Slice(s.pos, func(i, j int) bool { return lessPOS(s.triples[s.pos[i]], s.triples[s.pos[j]]) })
-	sort.Slice(s.osp, func(i, j int) bool { return lessOSP(s.triples[s.osp[i]], s.triples[s.osp[j]]) })
+
+	// POS and OSP: sort an index permutation, then gather into columns —
+	// the permutation is build-time scratch and dropped afterwards.
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool { return lessPOS(s.triples[idx[i]], s.triples[idx[j]]) })
+	s.pos = makeCols(n)
+	for i, j := range idx {
+		t := s.triples[j]
+		s.pos.s[i], s.pos.p[i], s.pos.o[i] = t.S, t.P, t.O
+	}
+
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool { return lessOSP(s.triples[idx[i]], s.triples[idx[j]]) })
+	s.osp = makeCols(n)
+	for i, j := range idx {
+		t := s.triples[j]
+		s.osp.s[i], s.osp.p[i], s.osp.o[i] = t.S, t.P, t.O
+	}
+
+	s.subjOff = buildOffsets(s.spo.s, len(s.terms))
+	s.predOff = buildOffsets(s.pos.p, len(s.terms))
+	s.objOff = buildOffsets(s.osp.o, len(s.terms))
+}
+
+func makeCols(n int) cols {
+	// One backing array keeps the three columns of an ordering adjacent.
+	backing := make([]ID, 3*n)
+	return cols{s: backing[:n:n], p: backing[n : 2*n : 2*n], o: backing[2*n:]}
+}
+
+// buildOffsets converts a sorted leading column into a per-ID offset
+// table: rows with leading component id occupy [off[id], off[id+1]).
+func buildOffsets(lead []ID, numTerms int) []int32 {
+	off := make([]int32, numTerms+2)
+	for _, id := range lead {
+		off[id+1]++
+	}
+	for i := 1; i < len(off); i++ {
+		off[i] += off[i-1]
+	}
+	return off
 }
 
 func lessSPO(a, b IDTriple) bool {
@@ -190,106 +258,140 @@ func lessOSP(a, b IDTriple) bool {
 	return a.P < b.P
 }
 
-// keyOf projects t onto the component order of the given index.
-func keySPO(t IDTriple) [3]ID { return [3]ID{t.S, t.P, t.O} }
-func keyPOS(t IDTriple) [3]ID { return [3]ID{t.P, t.O, t.S} }
-func keyOSP(t IDTriple) [3]ID { return [3]ID{t.O, t.S, t.P} }
+// View is the allocation-free result of a pattern lookup: three parallel
+// sub-slices of one ordering's columns, covering exactly the matching
+// triples in that ordering's sort order. A View is three slice headers
+// passed by value; it stays valid as long as the store is not rebuilt.
+type View struct {
+	// S, P, O are the component columns of the matched rows. All three
+	// have equal length; row i of the view is the triple
+	// {S[i], P[i], O[i]}.
+	S, P, O []ID
+}
+
+// Len returns the number of matched triples.
+func (v View) Len() int { return len(v.S) }
+
+// Triple returns row i of the view.
+func (v View) Triple(i int) IDTriple { return IDTriple{S: v.S[i], P: v.P[i], O: v.O[i]} }
+
+// Range returns the view of all triples matching the pattern; each
+// position is either a concrete ID or Wildcard. The most selective
+// available ordering is chosen exactly as Match always has:
+//
+//	S bound           → SPO
+//	P bound (S free)  → POS
+//	O bound only      → OSP
+//	S+O bound, P free → OSP range on (O,S) with no extra filtering needed
+//
+// The leading bound component is resolved through an O(1) offset table;
+// each further bound component narrows the row range by binary search on
+// one contiguous column. Range performs no heap allocation.
+func (s *Store) Range(sp, pp, op ID) View {
+	s.ensure()
+	switch {
+	case sp != Wildcard:
+		if op != Wildcard && pp == Wildcard {
+			// (S,O): OSP on the (O,S) prefix.
+			lo, hi := offsetRange(s.objOff, op)
+			lo, hi = colRange(s.osp.s, lo, hi, sp)
+			return s.osp.view(lo, hi)
+		}
+		lo, hi := offsetRange(s.subjOff, sp)
+		if pp != Wildcard {
+			lo, hi = colRange(s.spo.p, lo, hi, pp)
+			if op != Wildcard {
+				lo, hi = colRange(s.spo.o, lo, hi, op)
+			}
+		}
+		return s.spo.view(lo, hi)
+	case pp != Wildcard:
+		lo, hi := offsetRange(s.predOff, pp)
+		if op != Wildcard {
+			lo, hi = colRange(s.pos.o, lo, hi, op)
+		}
+		return s.pos.view(lo, hi)
+	case op != Wildcard:
+		lo, hi := offsetRange(s.objOff, op)
+		return s.osp.view(lo, hi)
+	default:
+		return s.spo.view(0, len(s.spo.s))
+	}
+}
+
+func (c cols) view(lo, hi int) View {
+	return View{S: c.s[lo:hi], P: c.p[lo:hi], O: c.o[lo:hi]}
+}
+
+// offsetRange resolves the row range of a leading component in O(1). An
+// ID beyond the table (a store with no triples, e.g. a DictionaryView)
+// yields the empty range.
+func offsetRange(off []int32, id ID) (int, int) {
+	if int(id)+1 >= len(off) {
+		return 0, 0
+	}
+	return int(off[id]), int(off[id+1])
+}
+
+// colRange narrows [lo,hi) — within which col is sorted — to the rows
+// whose col value equals v, by branch-light binary search.
+func colRange(col []ID, lo, hi int, v ID) (int, int) {
+	a, b := lo, hi
+	for a < b {
+		m := int(uint(a+b) >> 1)
+		if col[m] < v {
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	start := a
+	b = hi
+	for a < b {
+		m := int(uint(a+b) >> 1)
+		if col[m] <= v {
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	return start, a
+}
 
 // Iterator walks the triples matched by a pattern. It is positioned before
-// the first result; call Next until it returns false.
+// the first result; call Next until it returns false. New code should
+// prefer Range, whose View costs no allocation; the iterator remains for
+// callers that want the one-triple-at-a-time shape.
 type Iterator struct {
-	st     *Store
-	perm   []int32
-	lo, hi int
-	cur    IDTriple
+	v   View
+	i   int
+	cur IDTriple
 }
 
 // Next advances to the next matching triple.
 func (it *Iterator) Next() bool {
-	if it.lo >= it.hi {
+	if it.i >= it.v.Len() {
 		return false
 	}
-	it.cur = it.st.triples[it.perm[it.lo]]
-	it.lo++
+	it.cur = it.v.Triple(it.i)
+	it.i++
 	return true
 }
 
 // Triple returns the triple at the current position.
 func (it *Iterator) Triple() IDTriple { return it.cur }
 
-// Match returns an iterator over all triples matching the pattern; each
-// position is either a concrete ID or Wildcard. The most selective
-// available index is chosen:
-//
-//	S bound           → SPO
-//	P bound (S free)  → POS
-//	O bound only      → OSP
-//	S+O bound, P free → OSP range on (O,S) with no extra filtering needed
+// Match returns an iterator over all triples matching the pattern. It is
+// Range boxed into an iterator: same index selection, same order.
 func (s *Store) Match(sp, pp, op ID) *Iterator {
-	s.ensure()
-	perm, keyFn, pfx := s.plan(sp, pp, op)
-	lo, hi := s.searchRange(perm, keyFn, pfx)
-	return &Iterator{st: s, perm: perm, lo: lo, hi: hi}
+	return &Iterator{v: s.Range(sp, pp, op)}
 }
 
-// plan selects the permutation index, its key projection, and the bound
-// key prefix for a pattern.
-func (s *Store) plan(sp, pp, op ID) ([]int32, func(IDTriple) [3]ID, []ID) {
-	switch {
-	case sp != Wildcard && pp != Wildcard && op != Wildcard:
-		return s.spo, keySPO, []ID{sp, pp, op}
-	case sp != Wildcard && pp != Wildcard:
-		return s.spo, keySPO, []ID{sp, pp}
-	case sp != Wildcard && op != Wildcard:
-		return s.osp, keyOSP, []ID{op, sp}
-	case sp != Wildcard:
-		return s.spo, keySPO, []ID{sp}
-	case pp != Wildcard && op != Wildcard:
-		return s.pos, keyPOS, []ID{pp, op}
-	case pp != Wildcard:
-		return s.pos, keyPOS, []ID{pp}
-	case op != Wildcard:
-		return s.osp, keyOSP, []ID{op}
-	default:
-		return s.spo, keySPO, nil
-	}
-}
-
-// searchRange finds [lo,hi) of entries in perm whose key starts with pfx.
-func (s *Store) searchRange(perm []int32, keyFn func(IDTriple) [3]ID, pfx []ID) (int, int) {
-	if len(pfx) == 0 {
-		return 0, len(perm)
-	}
-	lo := sort.Search(len(perm), func(i int) bool {
-		return cmpPrefix(keyFn(s.triples[perm[i]]), pfx) >= 0
-	})
-	hi := sort.Search(len(perm), func(i int) bool {
-		return cmpPrefix(keyFn(s.triples[perm[i]]), pfx) > 0
-	})
-	return lo, hi
-}
-
-// cmpPrefix compares the first len(pfx) components of key to pfx.
-func cmpPrefix(key [3]ID, pfx []ID) int {
-	for i, p := range pfx {
-		if key[i] != p {
-			if key[i] < p {
-				return -1
-			}
-			return 1
-		}
-	}
-	return 0
-}
-
-// Count returns the exact number of triples matching the pattern in
-// O(log n): every bound-position combination maps to a contiguous range of
-// one of the three permutation indexes.
+// Count returns the exact number of triples matching the pattern: every
+// bound-position combination maps to a contiguous row range of one of the
+// three orderings, so this is at worst two binary searches.
 func (s *Store) Count(sp, pp, op ID) int {
-	s.ensure()
-	perm, keyFn, pfx := s.plan(sp, pp, op)
-	lo, hi := s.searchRange(perm, keyFn, pfx)
-	return hi - lo
+	return s.Range(sp, pp, op).Len()
 }
 
 // ForEach invokes f for every distinct triple in SPO order.
@@ -309,10 +411,10 @@ func (s *Store) Triples() []IDTriple {
 
 // DictionaryView returns a store that shares this store's interned
 // dictionary (terms and IDs) but holds no triples: Term, Lookup, and
-// NumTerms behave identically, Match and Count over it find nothing.
-// The sharded coordinator keeps such a view as its global catalog —
-// every term resolvable in the single-engine ID space — after the
-// off-line build releases the triples themselves to the shards.
+// NumTerms behave identically, Match, Count, and Range over it find
+// nothing. The sharded coordinator keeps such a view as its global
+// catalog — every term resolvable in the single-engine ID space — after
+// the off-line build releases the triples themselves to the shards.
 //
 // The view aliases the parent's dictionary: neither the view nor the
 // parent may intern further terms afterwards (treat both as frozen).

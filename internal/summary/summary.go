@@ -139,15 +139,17 @@ func Build(g *graph.Graph) *Graph {
 		from, to ElemID
 	}
 	edgeAt := make(map[edgeKey]ElemID)
-	st.ForEach(func(t store.IDTriple) {
+	full := st.Range(store.Wildcard, store.Wildcard, store.Wildcard)
+	for i := 0; i < full.Len(); i++ {
+		t := full.Triple(i)
 		switch {
 		case g.TypeID() != 0 && t.P == g.TypeID():
-			return
+			continue
 		case g.SubclassID() != 0 && t.P == g.SubclassID():
 			from, okF := sg.classOf[t.S]
 			to, okT := sg.classOf[t.O]
 			if !okF || !okT {
-				return
+				continue
 			}
 			k := edgeKey{t.P, from, to}
 			if _, dup := edgeAt[k]; !dup {
@@ -155,7 +157,7 @@ func Build(g *graph.Graph) *Graph {
 			}
 		default:
 			if g.Kind(t.O) != graph.EVertex || g.Kind(t.S) != graph.EVertex {
-				return // A-edges and irregular edges are not part of Def. 4
+				continue // A-edges and irregular edges are not part of Def. 4
 			}
 			sg.redgeTotal++
 			for _, from := range sg.classesOrThing(t.S) {
@@ -171,7 +173,7 @@ func Build(g *graph.Graph) *Graph {
 				}
 			}
 		}
-	})
+	}
 
 	// Adjacency: vertex ↔ incident edges, edge ↔ endpoints.
 	sg.nbrs = make([][]ElemID, len(sg.elems))
