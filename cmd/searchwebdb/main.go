@@ -20,6 +20,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 	repro "repro"
 	"repro/internal/datagen"
 	"repro/internal/scoring"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 	scheme := flag.String("scoring", "c3", "scoring function: c1 | c2 | c3")
 	oneshot := flag.String("query", "", "run one keyword query and exit")
 	execTop := flag.Bool("exec", false, "with -query: execute the top query")
+	traceFlag := flag.Bool("trace", false, "print a per-stage span tree after each search/execute")
 	flag.Parse()
 
 	cfg := repro.Config{K: *k}
@@ -107,18 +110,34 @@ func main() {
 		e.BuildTime, e.Summary().NumElements())
 
 	var last []*repro.QueryCandidate
-	search := func(keywords []string) {
-		cands, info, err := e.Search(keywords)
-		if err != nil {
-			fmt.Printf("error: %v\n", err)
+	// traced runs fn under a fresh span tree named root and prints the
+	// per-stage breakdown afterward when -trace is set.
+	traced := func(root string, fn func(ctx context.Context)) {
+		if !*traceFlag {
+			fn(context.Background())
 			return
 		}
-		last = cands
-		fmt.Printf("%d candidates in %v:\n", len(cands), info.Elapsed)
-		for i, c := range cands {
-			fmt.Printf("  #%d  cost=%.3f  %s\n", i+1, c.Cost, c.Describe())
-		}
+		tr := trace.New(root)
+		fn(tr.Context(context.Background()))
+		tr.Finish()
+		fmt.Print(trace.Format(tr.Tree()))
+		tr.Release()
 	}
+	searchK := func(keywords []string, k int) {
+		traced("search", func(ctx context.Context) {
+			cands, info, err := e.SearchKContext(ctx, keywords, k)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				return
+			}
+			last = cands
+			fmt.Printf("%d candidates in %v:\n", len(cands), info.Elapsed)
+			for i, c := range cands {
+				fmt.Printf("  #%d  cost=%.3f  %s\n", i+1, c.Cost, c.Describe())
+			}
+		})
+	}
+	search := func(keywords []string) { searchK(keywords, e.Config().K) }
 	executeRank := func(rank int) {
 		if rank < 1 || rank > len(last) {
 			fmt.Println("no such candidate; search first")
@@ -126,13 +145,15 @@ func main() {
 		}
 		c := last[rank-1]
 		fmt.Println(c.SPARQL())
-		rs, err := e.Execute(c)
-		if err != nil {
-			fmt.Printf("error: %v\n", err)
-			return
-		}
-		rs.SortRows()
-		fmt.Printf("%d answers:\n%s", rs.Len(), rs)
+		traced("execute", func(ctx context.Context) {
+			rs, err := e.ExecuteContext(ctx, c)
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+				return
+			}
+			rs.SortRows()
+			fmt.Printf("%d answers:\n%s", rs.Len(), rs)
+		})
 	}
 	explainRank := func(rank int) {
 		if rank < 1 || rank > len(last) {
@@ -193,20 +214,7 @@ func main() {
 			*k = n
 			fmt.Printf("k = %d (applies to new searches via SearchK)\n", n)
 		default:
-			if *k != e.Config().K {
-				cands, info, err := e.SearchK(strings.Fields(line), *k)
-				if err != nil {
-					fmt.Printf("error: %v\n", err)
-					continue
-				}
-				last = cands
-				fmt.Printf("%d candidates in %v:\n", len(cands), info.Elapsed)
-				for i, c := range cands {
-					fmt.Printf("  #%d  cost=%.3f  %s\n", i+1, c.Cost, c.Describe())
-				}
-			} else {
-				search(strings.Fields(line))
-			}
+			searchK(strings.Fields(line), *k)
 		}
 	}
 }

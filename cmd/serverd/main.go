@@ -23,9 +23,14 @@
 //	                  (Accept: application/x-ndjson streams the answers)
 //	POST /v1/explain  same request shape as /v1/execute
 //	GET  /healthz     liveness and dataset size
-//	GET  /stats       cache, pool, and traffic statistics (JSON)
-//	GET  /metrics     Prometheus text format
+//	GET  /stats       cache, pool, traffic, latency, and runtime statistics (JSON)
+//	GET  /metrics     Prometheus text format (latency histograms, runtime gauges)
+//	GET  /debug/slowlog   N slowest + N most recent erroring requests with span trees
+//	GET  /debug/buildinfo binary build metadata (go version, VCS revision)
 //	GET  /debug/pprof/* runtime profiles (only with -pprof)
+//
+// Appending ?trace=1 to any /v1 request returns the request's span tree
+// inline in the response (field "trace").
 package main
 
 import (
@@ -81,6 +86,8 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested deadlines")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (CPU/heap/mutex profiles of the live server)")
+	slowlogSize := flag.Int("slowlog-size", 32, "slow-query log capacity: keeps the N slowest and N most recent erroring requests (0 = default, negative disables)")
+	slowlogThreshold := flag.Duration("slowlog-threshold", 100*time.Millisecond, "minimum latency for a request to enter the slow-query log (0 = keep every request)")
 	flag.Parse()
 
 	cfg := repro.Config{K: *k, Parallelism: *parallelism}
@@ -167,11 +174,13 @@ func main() {
 			cl.NumShards(), cl.ShardSizes(), time.Since(buildStart).Round(time.Millisecond))
 	}
 	srv := server.New(backend, server.Config{
-		Workers:         *workers,
-		SearchCacheSize: *cacheSize,
-		CacheTTL:        *cacheTTL,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
+		Workers:          *workers,
+		SearchCacheSize:  *cacheSize,
+		CacheTTL:         *cacheTTL,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		SlowlogSize:      *slowlogSize,
+		SlowlogThreshold: *slowlogThreshold,
 	}, runtime.GOMAXPROCS(0))
 	log.Printf("backend sealed (%d triples); serving ready in %v",
 		backend.NumTriples(), time.Since(buildStart).Round(time.Millisecond))

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // CostFunc returns the strictly positive cost c(n) of a summary-graph
@@ -346,11 +347,14 @@ func (ex *Explorer) ExploreContext(ctx context.Context, ag *summary.Augmented, c
 	candidates := newCandidateList(opt.K)
 	var oracle *DistanceOracle
 	if opt.oracleEnabled(seeds) {
+		_, obSpan := trace.StartSpan(ctx, "oracle_build")
 		buildStart := time.Now()
 		if err := st.oracle.Build(ctx, ag, cost, seeds, opt.OracleWorkers); err != nil {
+			obSpan.End()
 			res.Stats.Terminated = Cancelled
 			return res
 		}
+		obSpan.End()
 		oracle = &st.oracle
 		res.OracleBuild = time.Since(buildStart)
 		res.Stats.OracleUsed = true

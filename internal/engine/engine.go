@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/store"
 	"repro/internal/summary"
 	"repro/internal/thesaurus"
+	"repro/internal/trace"
 )
 
 // Config tunes an Engine. The zero value gives the paper's defaults:
@@ -446,6 +448,10 @@ func (e *Engine) SearchKContext(ctx context.Context, keywords []string, k int) (
 	// Each keyword's mapping is independent (the index is immutable once
 	// built), so the fuzzy/semantic lookups — the most expensive
 	// pre-exploration stage — fan out across the intra-query worker cap.
+	_, lookupSpan := trace.StartSpan(ctx, "lookup")
+	if lookupSpan.Enabled() {
+		lookupSpan.Annotate("kw=" + strconv.Itoa(len(keywords)))
+	}
 	matches := make([][]summary.Match, len(keywords))
 	filterSpecs := make([]*FilterSpec, len(keywords))
 	parallel.ForEach(parallel.Workers(e.cfg.Parallelism), len(keywords), func(i int) {
@@ -457,6 +463,7 @@ func (e *Engine) SearchKContext(ctx context.Context, keywords []string, k int) (
 		}
 		matches[i] = e.kwix.LookupOpts(keywords[i], opts)
 	})
+	lookupSpan.End()
 	info := &SearchInfo{MatchCounts: make([]int, len(matches))}
 	var unmatched []string
 	for i, ms := range matches {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/scoring"
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // Queryer is the query-serving surface shared by the single-process
@@ -67,14 +68,18 @@ func ComputeCandidates(ctx context.Context, explorer *core.Explorer, sum *summar
 	}
 
 	// Augmentation of the graph index.
+	_, augSpan := trace.StartSpan(ctx, "augment")
 	ag := sum.AugmentWorkers(matches, cfg.Parallelism)
+	augSpan.End()
 
 	// Top-k graph exploration, under the oracle policy and intra-query
 	// worker cap of the configuration.
 	scorer := scoring.New(cfg.Scoring, ag)
-	res := explorer.ExploreContext(ctx, ag, scorer.ElementCost, core.Options{
+	ectx, expSpan := trace.StartSpan(ctx, "explore")
+	res := explorer.ExploreContext(ectx, ag, scorer.ElementCost, core.Options{
 		K: k, DMax: cfg.DMax, Oracle: cfg.Oracle, OracleWorkers: cfg.Parallelism,
 	})
+	expSpan.End()
 	if info != nil {
 		info.Exploration = res.Stats
 		info.Guaranteed = res.Guaranteed
@@ -87,6 +92,8 @@ func ComputeCandidates(ctx context.Context, explorer *core.Explorer, sum *summar
 	// Element-to-query mapping, attaching filters to the variables of
 	// the matched attribute edges' artificial value nodes, then
 	// de-duplicating equivalent queries.
+	_, mapSpan := trace.StartSpan(ctx, "map")
+	defer mapSpan.End()
 	seeds := ag.Seeds()
 	var cands []*QueryCandidate
 	for _, g := range res.Subgraphs {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // Engine evaluates conjunctive queries against one store. It is stateless
@@ -288,11 +289,14 @@ func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQu
 	stt := e.getState()
 	defer e.putState(stt)
 
+	_, planSpan := trace.StartSpan(ctx, "plan")
 	empty, err := e.compileInto(stt, q)
 	if err != nil {
+		planSpan.End()
 		return nil, err
 	}
 	if empty {
+		planSpan.End()
 		return emptyResult(q), nil
 	}
 
@@ -304,6 +308,7 @@ func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQu
 	for _, v := range dist {
 		s, ok := stt.slots[v]
 		if !ok {
+			planSpan.End()
 			return nil, fmt.Errorf("exec: distinguished variable ?%s does not occur in the query", v)
 		}
 		stt.proj = append(stt.proj, s)
@@ -313,6 +318,7 @@ func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQu
 	for _, f := range q.Filters {
 		s, ok := stt.slots[f.Var]
 		if !ok {
+			planSpan.End()
 			return nil, fmt.Errorf("exec: filter variable ?%s does not occur in the query", f.Var)
 		}
 		stt.filters = append(stt.filters, slotFilter{slot: s, f: f})
@@ -320,13 +326,16 @@ func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQu
 
 	order := e.planOrderInto(stt)
 	stt.compileSteps(order)
+	planSpan.End()
 
 	maxRows := e.MaxRows
 	if maxRows <= 0 {
 		maxRows = DefaultMaxRows
 	}
 	rs := &ResultSet{Vars: dist}
-	err = e.run(ctx, stt, rs, limit, maxRows)
+	jctx, joinSpan := trace.StartSpan(ctx, "join")
+	err = e.run(jctx, stt, rs, limit, maxRows)
+	joinSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free, log-bucketed latency histogram: fixed bucket
+// boundaries chosen at registration, one atomic counter per bucket, and
+// a count/sum pair — the Prometheus histogram type. Unlike the Summary
+// (count + sum only), it supports tail quantiles (p50/p95/p99) at read
+// time, which is what the latency SLO work needs; the trade is a small,
+// bounded quantile error (at most one bucket width, ~2× at the default
+// log-2 spacing) that never degrades under load the way sampled
+// quantiles do.
+//
+// Observe is wait-free: one binary search over the fixed bounds plus two
+// atomic adds and a CAS loop on the float sum. No locks anywhere, so
+// concurrent request goroutines never contend.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; immutable after creation
+	counts []padUint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits
+}
+
+// padUint64 spaces the per-bucket counters a cache line apart so two
+// cores observing adjacent buckets don't false-share.
+type padUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// DefLatencyBuckets is the default bucket ladder for request and stage
+// latencies in seconds: log-2 spaced from 10µs to ~84s. The floor sits
+// below the fastest warm stage (a 2-keyword explore runs ~50µs) and the
+// ceiling above any configurable request deadline, so both ends of the
+// distribution land in real buckets rather than the overflow.
+var DefLatencyBuckets = func() []float64 {
+	b := make([]float64, 24)
+	v := 1e-5
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]padUint64, len(bounds)+1), // +1: the +Inf overflow bucket
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound ≥ v (Prometheus buckets are
+	// cumulative with `le` semantics).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].v.Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a snapshot of the per-bucket (non-cumulative)
+// counts; the last entry is the +Inf overflow bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].v.Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the target rank — the standard Prometheus
+// histogram_quantile estimate. Returns 0 with no observations.
+// Observations in the overflow bucket clamp to the highest bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	return quantileOf(q, h.bounds, h.BucketCounts())
+}
+
+// quantileOf is the interpolation shared with external histograms (the
+// runtime/metrics GC-pause histogram reuses it).
+func quantileOf(q float64, bounds []float64, counts []uint64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return bounds[len(bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = bounds[i-1]
+		}
+		upper := bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lower + (upper-lower)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// formatLE renders a bucket bound the way Prometheus expects in the `le`
+// label: shortest representation that round-trips.
+func formatLE(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// writeHistogram renders one histogram series in the Prometheus text
+// format: cumulative `_bucket` lines with `le` labels (the family label,
+// when present, precedes `le`), then `_sum` and `_count`.
+func writeHistogram(w io.Writer, f *family, labelValue string, h *Histogram) error {
+	prefix := ""
+	if f.label != "" {
+		prefix = fmt.Sprintf("%s=%q,", f.label, labelValue)
+	}
+	counts := h.BucketCounts()
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", f.name, prefix, formatLE(b), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", f.name, prefix, cum); err != nil {
+		return err
+	}
+	suffix := ""
+	if f.label != "" {
+		suffix = fmt.Sprintf("{%s=%q}", f.label, labelValue)
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", f.name, suffix, h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, suffix, cum)
+	return err
+}
+
+// Histogram registers and returns an unlabeled histogram. bounds nil
+// applies DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, "")
+	f.bounds = normalizedBounds(bounds)
+	return f.get("", func() any { return newHistogram(f.bounds) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family with one label dimension; every
+// series shares the family's bucket boundaries.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family. bounds nil applies
+// DefLatencyBuckets.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if label == "" {
+		panic("metrics: HistogramVec needs a label name")
+	}
+	f := r.register(name, help, kindHistogram, label)
+	f.bounds = normalizedBounds(bounds)
+	return &HistogramVec{f: f}
+}
+
+func normalizedBounds(bounds []float64) []float64 {
+	if len(bounds) == 0 {
+		return DefLatencyBuckets
+	}
+	return bounds
+}
+
+// With returns the histogram for one label value, creating it on first
+// use.
+func (v *HistogramVec) With(labelValue string) *Histogram {
+	return v.f.get(labelValue, func() any { return newHistogram(v.f.bounds) }).(*Histogram)
+}
+
+// Each calls fn for every existing series in first-use order — how the
+// stats endpoint walks the per-stage histograms without knowing the
+// stage names up front.
+func (v *HistogramVec) Each(fn func(labelValue string, h *Histogram)) {
+	v.f.mu.Lock()
+	order := make([]string, len(v.f.order))
+	copy(order, v.f.order)
+	series := make(map[string]any, len(v.f.series))
+	for k, m := range v.f.series {
+		series[k] = m
+	}
+	v.f.mu.Unlock()
+	for _, lv := range order {
+		fn(lv, series[lv].(*Histogram))
+	}
+}

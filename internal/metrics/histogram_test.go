@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{0.001, 0.01, 0.1, 1})
+
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []float64{0.0005, 0.001} {
+		h.Observe(v)
+	}
+	h.Observe(0.002) // (0.001, 0.01]
+	h.Observe(0.5)   // (0.1, 1]
+	h.Observe(3)     // overflow
+	h.Observe(0)     // below the floor → first bucket
+
+	counts := h.BucketCounts()
+	want := []uint64{3, 1, 0, 1, 1}
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, counts[i], w, counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Errorf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-3.5035) > 1e-9 {
+		t.Errorf("sum = %g, want 3.5035", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4, 8})
+
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", q)
+	}
+
+	// 100 observations uniform in (1, 2]: every quantile interpolates
+	// inside that bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 2 {
+		t.Errorf("p50 = %g, want within (1, 2]", p50)
+	}
+	// Linear interpolation: rank 50 of 100 in bucket (1,2] → 1 + 1·(50/100).
+	if math.Abs(p50-1.5) > 1e-9 {
+		t.Errorf("p50 = %g, want 1.5", p50)
+	}
+
+	// Add 100 in (4, 8]: p99 must land in the upper bucket, p25 in the
+	// lower one.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 4 || p99 > 8 {
+		t.Errorf("p99 = %g, want within (4, 8]", p99)
+	}
+	if p25 := h.Quantile(0.25); p25 <= 0 || p25 > 2 {
+		t.Errorf("p25 = %g, want within (0, 2]", p25)
+	}
+
+	// Overflow-only histogram clamps to the top bound.
+	h2 := r.Histogram("h2", "", []float64{1, 2})
+	h2.Observe(100)
+	if q := h2.Quantile(0.5); q != 2 {
+		t.Errorf("overflow quantile = %g, want clamp to 2", q)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("req_seconds", "Request latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	v := r.HistogramVec("stage_seconds", "Stage latency.", "stage", []float64{0.25})
+	v.With("explore").Observe(0.1)
+	v.With("explore").Observe(0.9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE req_seconds histogram",
+		`req_seconds_bucket{le="0.1"} 1`,
+		`req_seconds_bucket{le="1"} 2`,
+		`req_seconds_bucket{le="+Inf"} 3`,
+		"req_seconds_sum 5.55",
+		"req_seconds_count 3",
+		`stage_seconds_bucket{stage="explore",le="0.25"} 1`,
+		`stage_seconds_bucket{stage="explore",le="+Inf"} 2`,
+		`stage_seconds_count{stage="explore"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	snap := r.Snapshot()
+	if snap["req_seconds_count"] != 3 {
+		t.Errorf("snapshot count = %v", snap["req_seconds_count"])
+	}
+	if snap[`stage_seconds_count{stage="explore"}`] != 2 {
+		t.Errorf("snapshot labeled count = %v", snap[`stage_seconds_count{stage="explore"}`])
+	}
+}
+
+func TestHistogramVecEach(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("x", "", "stage", nil)
+	v.With("b").Observe(1)
+	v.With("a").Observe(1)
+	var order []string
+	v.Each(func(lv string, h *Histogram) {
+		order = append(order, lv)
+		if h.Count() != 1 {
+			t.Errorf("series %s count = %d", lv, h.Count())
+		}
+	})
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Errorf("Each order = %v, want first-use order [b a]", order)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", nil)
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%100) / 1000)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var total uint64
+	for _, c := range h.BucketCounts() {
+		total += c
+	}
+	if total != workers*per {
+		t.Errorf("bucket total = %d, want %d", total, workers*per)
+	}
+}
+
+func TestDefLatencyBuckets(t *testing.T) {
+	b := DefLatencyBuckets
+	if b[0] != 1e-5 {
+		t.Errorf("floor = %g, want 1e-5", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not increasing at %d: %g ≤ %g", i, b[i], b[i-1])
+		}
+	}
+	if top := b[len(b)-1]; top < 60 {
+		t.Errorf("ceiling = %g, want ≥ 60s to cover max deadlines", top)
+	}
+}
+
+func TestReadRuntime(t *testing.T) {
+	// Force at least one GC so the pause histogram is non-degenerate.
+	runtime.GC()
+	rs := ReadRuntime()
+	if rs.Goroutines < 1 {
+		t.Errorf("goroutines = %d", rs.Goroutines)
+	}
+	if rs.HeapObjectsB == 0 || rs.TotalMemoryB == 0 {
+		t.Errorf("memory stats zero: %+v", rs)
+	}
+	if rs.GCCycles == 0 || rs.GCPauseCount == 0 {
+		t.Errorf("gc stats zero after runtime.GC(): %+v", rs)
+	}
+	if rs.GCPauseP99S < rs.GCPauseP50S {
+		t.Errorf("p99 %g < p50 %g", rs.GCPauseP99S, rs.GCPauseP50S)
+	}
+
+	var b strings.Builder
+	if err := WriteRuntimePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines ", "go_gc_pause_seconds{quantile=\"0.99\"}", "go_gc_cycles_total "} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("runtime exposition missing %q:\n%s", want, b.String())
+		}
+	}
+}

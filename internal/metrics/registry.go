@@ -83,6 +83,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindSummary
+	kindHistogram
 )
 
 func (k metricKind) String() string {
@@ -91,6 +92,8 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
+	case kindHistogram:
+		return "histogram"
 	default:
 		return "summary"
 	}
@@ -103,6 +106,9 @@ type family struct {
 	help  string
 	kind  metricKind
 	label string // label dimension name; empty for unlabeled families
+	// bounds are the shared bucket boundaries of a histogram family
+	// (nil for other kinds).
+	bounds []float64
 
 	mu     sync.Mutex
 	series map[string]any // label value ("" for unlabeled) → *Counter etc.
@@ -243,6 +249,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				if err == nil {
 					_, err = fmt.Fprintf(w, "%s_sum%s %g\n", f.name, suffix, m.Sum())
 				}
+			case *Histogram:
+				err = writeHistogram(w, f, lv, m)
 			}
 			if err != nil {
 				return err
@@ -274,6 +282,9 @@ func (r *Registry) Snapshot() map[string]float64 {
 			case *Gauge:
 				out[f.name+suffix] = float64(m.Value())
 			case *Summary:
+				out[f.name+"_count"+suffix] = float64(m.Count())
+				out[f.name+"_sum"+suffix] = m.Sum()
+			case *Histogram:
 				out[f.name+"_count"+suffix] = float64(m.Count())
 				out[f.name+"_sum"+suffix] = m.Sum()
 			}

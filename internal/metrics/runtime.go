@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	rtm "runtime/metrics"
+)
+
+// This file bridges the Go runtime's own telemetry (runtime/metrics)
+// into the serving layer's exposition, so load tests can correlate
+// request-latency tails with GC pauses, heap growth, and goroutine
+// pile-ups from the same scrape.
+
+// runtimeSampleNames are the runtime/metrics series the server exposes.
+var runtimeSampleNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds", // histogram of individual stop-the-world pauses
+}
+
+// RuntimeStats is one read of the runtime telemetry the serving layer
+// reports: scheduler, heap, and the GC pause distribution reduced to the
+// same tail quantiles the request histograms report.
+type RuntimeStats struct {
+	Goroutines    int64   `json:"goroutines"`
+	HeapObjectsB  uint64  `json:"heap_objects_bytes"`
+	TotalMemoryB  uint64  `json:"total_memory_bytes"`
+	GCCycles      uint64  `json:"gc_cycles_total"`
+	GCPauseTotalS float64 `json:"gc_pause_seconds_total"`
+	GCPauseCount  uint64  `json:"gc_pause_count"`
+	GCPauseP50S   float64 `json:"gc_pause_p50_seconds"`
+	GCPauseP95S   float64 `json:"gc_pause_p95_seconds"`
+	GCPauseP99S   float64 `json:"gc_pause_p99_seconds"`
+}
+
+// ReadRuntime samples the runtime.
+func ReadRuntime() RuntimeStats {
+	samples := make([]rtm.Sample, len(runtimeSampleNames))
+	for i, n := range runtimeSampleNames {
+		samples[i].Name = n
+	}
+	rtm.Read(samples)
+	var out RuntimeStats
+	for _, s := range samples {
+		switch s.Name {
+		case "/sched/goroutines:goroutines":
+			if s.Value.Kind() == rtm.KindUint64 {
+				out.Goroutines = int64(s.Value.Uint64())
+			}
+		case "/memory/classes/heap/objects:bytes":
+			if s.Value.Kind() == rtm.KindUint64 {
+				out.HeapObjectsB = s.Value.Uint64()
+			}
+		case "/memory/classes/total:bytes":
+			if s.Value.Kind() == rtm.KindUint64 {
+				out.TotalMemoryB = s.Value.Uint64()
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if s.Value.Kind() == rtm.KindUint64 {
+				out.GCCycles = s.Value.Uint64()
+			}
+		case "/gc/pauses:seconds":
+			if s.Value.Kind() != rtm.KindFloat64Histogram {
+				continue
+			}
+			h := s.Value.Float64Histogram()
+			out.GCPauseCount, out.GCPauseTotalS = histTotals(h)
+			counts, bounds := clampRuntimeHist(h)
+			out.GCPauseP50S = quantileOf(0.50, bounds, counts)
+			out.GCPauseP95S = quantileOf(0.95, bounds, counts)
+			out.GCPauseP99S = quantileOf(0.99, bounds, counts)
+		}
+	}
+	return out
+}
+
+// histTotals sums a runtime histogram into (count, approximate seconds):
+// each bucket contributes its count at the bucket midpoint (clamped for
+// the open-ended edges).
+func histTotals(h *rtm.Float64Histogram) (uint64, float64) {
+	var count uint64
+	var sum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		count += c
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		if isInf(lo, -1) {
+			mid = hi
+		} else if isInf(hi, 1) {
+			mid = lo
+		}
+		sum += float64(c) * mid
+	}
+	return count, sum
+}
+
+// clampRuntimeHist converts a runtime Float64Histogram (N+1 bucket
+// edges, possibly ±Inf at the ends) into the (counts, upper-bounds)
+// shape quantileOf interpolates over.
+func clampRuntimeHist(h *rtm.Float64Histogram) (counts []uint64, bounds []float64) {
+	counts = make([]uint64, 0, len(h.Counts))
+	bounds = make([]float64, 0, len(h.Counts))
+	for i, c := range h.Counts {
+		hi := h.Buckets[i+1]
+		if isInf(hi, 1) {
+			// Fold the open top bucket into the overflow slot quantileOf
+			// already models (counts one longer than bounds).
+			counts = append(counts, c)
+			continue
+		}
+		bounds = append(bounds, hi)
+		counts = append(counts, c)
+	}
+	if len(bounds) == 0 {
+		bounds = append(bounds, 0)
+	}
+	return counts, bounds
+}
+
+func isInf(f float64, sign int) bool {
+	return (sign >= 0 && f > 1e300) || (sign <= 0 && f < -1e300)
+}
+
+// WriteRuntimePrometheus appends the runtime series to a Prometheus text
+// exposition, after the registry's own families: goroutines, heap and
+// total memory, GC cycle and pause totals, and the GC pause tail as a
+// quantile-labeled summary.
+func WriteRuntimePrometheus(w io.Writer) error {
+	rs := ReadRuntime()
+	_, err := fmt.Fprintf(w,
+		"# HELP go_goroutines Goroutines that currently exist.\n"+
+			"# TYPE go_goroutines gauge\n"+
+			"go_goroutines %d\n"+
+			"# HELP go_heap_objects_bytes Bytes of allocated heap objects.\n"+
+			"# TYPE go_heap_objects_bytes gauge\n"+
+			"go_heap_objects_bytes %d\n"+
+			"# HELP go_memory_total_bytes Total bytes of memory mapped by the Go runtime.\n"+
+			"# TYPE go_memory_total_bytes gauge\n"+
+			"go_memory_total_bytes %d\n"+
+			"# HELP go_gc_cycles_total Completed GC cycles.\n"+
+			"# TYPE go_gc_cycles_total counter\n"+
+			"go_gc_cycles_total %d\n"+
+			"# HELP go_gc_pause_seconds Stop-the-world GC pause latency.\n"+
+			"# TYPE go_gc_pause_seconds summary\n"+
+			"go_gc_pause_seconds{quantile=\"0.5\"} %g\n"+
+			"go_gc_pause_seconds{quantile=\"0.95\"} %g\n"+
+			"go_gc_pause_seconds{quantile=\"0.99\"} %g\n"+
+			"go_gc_pause_seconds_sum %g\n"+
+			"go_gc_pause_seconds_count %d\n",
+		rs.Goroutines, rs.HeapObjectsB, rs.TotalMemoryB, rs.GCCycles,
+		rs.GCPauseP50S, rs.GCPauseP95S, rs.GCPauseP99S,
+		rs.GCPauseTotalS, rs.GCPauseCount)
+	return err
+}

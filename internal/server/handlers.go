@@ -6,14 +6,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/rdf"
+	"repro/internal/trace"
 )
 
 // maxBodyBytes bounds request bodies; keyword queries and inline
@@ -56,6 +61,10 @@ type searchResponse struct {
 	// went (from the original computation when Cached). Cache hits keep
 	// the entry's numbers: they describe the result being served.
 	Exploration *explorationJSON `json:"exploration,omitempty"`
+	// Trace is this request's span tree, present when the request asked
+	// for it with ?trace=1. Cache hits and followers trace their own
+	// (short) request, not the original computation.
+	Trace []*trace.Node `json:"trace,omitempty"`
 }
 
 // explorationJSON is the per-search view of core.Stats: why the query
@@ -108,6 +117,8 @@ type executeResponse struct {
 	// Execution reports how the join evaluation behind this result went,
 	// mirroring the search response's exploration block.
 	Execution *executionJSON `json:"execution,omitempty"`
+	// Trace is this request's span tree, present under ?trace=1.
+	Trace []*trace.Node `json:"trace,omitempty"`
 }
 
 // executionJSON is the per-execute view of exec.ExecStats: the join work
@@ -142,6 +153,8 @@ type explainResponse struct {
 	Empty  bool           `json:"empty"`
 	Steps  []planStepJSON `json:"steps"`
 	Text   string         `json:"text"`
+	// Trace is this request's span tree, present under ?trace=1.
+	Trace []*trace.Node `json:"trace,omitempty"`
 }
 
 // queryJSON is an inline conjunctive query. Each argument is exactly one
@@ -189,6 +202,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/slowlog", s.instrument("slowlog", s.handleSlowlog))
+	mux.HandleFunc("GET /debug/buildinfo", s.instrument("buildinfo", s.handleBuildinfo))
 	// The catch-all sees every request no more specific pattern took —
 	// including known paths hit with the wrong method, which the mux
 	// would otherwise route here as plain 404s.
@@ -198,7 +213,7 @@ func (s *Server) Handler() http.Handler {
 			w.Header().Set("Allow", http.MethodPost)
 			writeJSON(w, http.StatusMethodNotAllowed,
 				errorResponse{Error: r.URL.Path + " requires POST", Code: "method_not_allowed"})
-		case "/healthz", "/stats", "/metrics":
+		case "/healthz", "/stats", "/metrics", "/debug/slowlog", "/debug/buildinfo":
 			w.Header().Set("Allow", http.MethodGet)
 			writeJSON(w, http.StatusMethodNotAllowed,
 				errorResponse{Error: r.URL.Path + " requires GET", Code: "method_not_allowed"})
@@ -210,18 +225,48 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusWriter captures the response status for error accounting.
+// statusWriter captures the response status for error accounting, plus
+// the head of an error body so the slowlog can show what went wrong.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status  int
+	errBody []byte
 }
+
+// maxErrBody bounds the captured error body; error responses are short
+// JSON objects, so this keeps whole messages without risking retention
+// of a large body.
+const maxErrBody = 512
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
 
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status >= 400 && len(w.errBody) < maxErrBody {
+		take := maxErrBody - len(w.errBody)
+		if take > len(p) {
+			take = len(p)
+		}
+		w.errBody = append(w.errBody, p[:take]...)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// tracedEndpoints are the query-serving endpoints that get a span tree,
+// pprof labels, stage-histogram folding, and slowlog capture. The
+// introspection endpoints stay on the cheap path.
+func tracedEndpoint(endpoint string) bool {
+	switch endpoint {
+	case "search", "execute", "explain":
+		return true
+	}
+	return false
+}
+
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	traced := tracedEndpoint(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.mRequests.With(endpoint).Inc()
@@ -229,11 +274,39 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		defer s.mInflight.Dec()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(sw, r.Body, maxBodyBytes)
-		h(sw, r)
-		s.mLatency.With(endpoint).Observe(time.Since(start).Seconds())
+		if !traced {
+			h(sw, r)
+			s.mLatency.With(endpoint).Observe(time.Since(start).Seconds())
+			if sw.status >= 400 {
+				s.mErrors.With(endpoint).Inc()
+			}
+			return
+		}
+
+		// Query-serving path: every request carries a pooled trace — the
+		// slowlog needs the span tree of requests only known to be slow
+		// after the fact — and runs under a pprof endpoint label so CPU
+		// profiles attribute samples to the serving endpoint.
+		tr := trace.New(endpoint)
+		ctx, cp := captureContext(tr.Context(r.Context()))
+		pprof.Do(ctx, pprof.Labels("endpoint", endpoint), func(ctx context.Context) {
+			h(sw, r.WithContext(ctx))
+		})
+		tr.Finish()
+		elapsed := tr.Duration()
+		s.mLatency.With(endpoint).Observe(elapsed.Seconds())
+		// Fold the span durations into the per-stage histograms; the root
+		// span is the request itself, already observed above.
+		tr.EachSpan(func(name string, seconds float64) {
+			if name != endpoint {
+				s.mStageSeconds.With(name).Observe(seconds)
+			}
+		})
 		if sw.status >= 400 {
 			s.mErrors.With(endpoint).Inc()
 		}
+		s.slow.record(endpoint, cp.query, sw.status, string(sw.errBody), start, elapsed, tr)
+		tr.Release()
 	}
 }
 
@@ -331,7 +404,14 @@ func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *sea
 			defer s.pool.release()
 			s.mCacheMisses.Inc()
 			start := time.Now()
-			cands, info, err := s.eng.SearchKContext(ctx, norm, k)
+			// The query-shape pprof label makes CPU profiles separable by
+			// keyword count — the dominant cost driver of exploration.
+			var cands []*engine.QueryCandidate
+			var info *engine.SearchInfo
+			var err error
+			pprof.Do(ctx, pprof.Labels("query_shape", "kw="+strconv.Itoa(len(norm))), func(ctx context.Context) {
+				cands, info, err = s.eng.SearchKContext(ctx, norm, k)
+			})
 			var unmatched *engine.UnmatchedKeywordsError
 			if errors.As(err, &unmatched) {
 				// Not a failure, and deterministic on a sealed engine:
@@ -441,6 +521,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
+	setCaptureQuery(ctx, strings.Join(norm, " "))
 
 	entry, hit, shared, err := s.doSearch(ctx, norm, k)
 	if err != nil {
@@ -458,6 +539,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp := entry.resp
 	resp.Cached = hit
 	resp.Shared = shared
+	if wantTrace(r) {
+		resp.Trace = traceNodes(ctx)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -551,13 +635,18 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	if cand == nil {
 		return
 	}
+	setCaptureQuery(ctx, cand.SPARQL())
 	if err := s.acquireWorker(ctx); err != nil {
 		s.writeOverloaded(w)
 		return
 	}
 	defer s.pool.release()
 	start := time.Now()
-	rs, err := s.eng.ExecuteLimitContext(ctx, cand, limit)
+	var rs *exec.ResultSet
+	var err error
+	pprof.Do(ctx, pprof.Labels("query_shape", "atoms="+strconv.Itoa(len(cand.Query.Atoms))), func(ctx context.Context) {
+		rs, err = s.eng.ExecuteLimitContext(ctx, cand, limit)
+	})
 	if err != nil {
 		if isDeadline(err) {
 			s.writeTimeout(w, "execution")
@@ -568,8 +657,12 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeExecution(rs)
+	var tn []*trace.Node
+	if wantTrace(r) {
+		tn = traceNodes(ctx)
+	}
 	if wantsNDJSON(r) {
-		s.writeExecuteNDJSON(w, id, cand, rs, start)
+		s.writeExecuteNDJSON(w, id, cand, rs, start, tn)
 		return
 	}
 	resp := executeResponse{
@@ -581,6 +674,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		Truncated: rs.Truncated,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		Execution: toExecutionJSON(rs),
+		Trace:     tn,
 	}
 	for i, row := range rs.Rows {
 		out := make([]termJSON, len(row))
@@ -601,6 +695,23 @@ func wantsNDJSON(r *http.Request) bool {
 	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
 }
 
+// wantTrace reports whether the request asked for its span tree inline
+// (?trace=1 on any /v1 endpoint).
+func wantTrace(r *http.Request) bool {
+	return r.URL.Query().Get("trace") == "1"
+}
+
+// traceNodes renders the request's span tree for an inline response. The
+// trace is still open — instrument finishes it after the handler returns
+// — so open spans are measured up to now; the only work missing from the
+// rendered tree is the response encoding itself.
+func traceNodes(ctx context.Context) []*trace.Node {
+	if tr := trace.FromContext(ctx); tr != nil {
+		return tr.Tree()
+	}
+	return nil
+}
+
 // executeStreamHeader is the first line of a streamed execute response.
 type executeStreamHeader struct {
 	ID     string   `json:"id,omitempty"`
@@ -614,6 +725,8 @@ type executeStreamTrailer struct {
 	Truncated bool           `json:"truncated"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Execution *executionJSON `json:"execution,omitempty"`
+	// Trace is the request's span tree, present under ?trace=1.
+	Trace []*trace.Node `json:"trace,omitempty"`
 }
 
 // streamFlushEvery is how many row lines go out between flushes: small
@@ -625,7 +738,7 @@ const streamFlushEvery = 64
 // with the variables, one JSON array per answer row, and a trailing
 // summary object — flushed incrementally, so a large answer set never
 // buffers as one JSON body on either side of the connection.
-func (s *Server) writeExecuteNDJSON(w http.ResponseWriter, id string, cand *engine.QueryCandidate, rs *exec.ResultSet, start time.Time) {
+func (s *Server) writeExecuteNDJSON(w http.ResponseWriter, id string, cand *engine.QueryCandidate, rs *exec.ResultSet, start time.Time, tn []*trace.Node) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -656,6 +769,7 @@ func (s *Server) writeExecuteNDJSON(w http.ResponseWriter, id string, cand *engi
 		Truncated: rs.Truncated,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		Execution: toExecutionJSON(rs),
+		Trace:     tn,
 	})
 	flush()
 }
@@ -677,6 +791,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if cand == nil {
 		return
 	}
+	setCaptureQuery(ctx, cand.SPARQL())
 	plan, err := s.eng.Explain(cand)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest,
@@ -689,6 +804,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Empty:  plan.Empty,
 		Steps:  make([]planStepJSON, len(plan.Steps)),
 		Text:   plan.String(),
+	}
+	if wantTrace(r) {
+		resp.Trace = traceNodes(ctx)
 	}
 	for i, st := range plan.Steps {
 		resp.Steps[i] = planStepJSON{Atom: st.Atom.String(), Tier: st.Tier, EstMatches: st.EstMatches}
@@ -708,7 +826,72 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// histQuantiles renders one latency histogram's tail summary for /stats.
+func histQuantiles(h *metrics.Histogram) map[string]any {
+	return map[string]any{
+		"count":  h.Count(),
+		"sum_ms": h.Sum() * 1000,
+		"p50_ms": h.Quantile(0.50) * 1000,
+		"p95_ms": h.Quantile(0.95) * 1000,
+		"p99_ms": h.Quantile(0.99) * 1000,
+	}
+}
+
+// buildinfoJSON summarizes debug.ReadBuildInfo for /debug/buildinfo and
+// the slowlog header: enough to identify exactly which binary produced a
+// capture.
+func buildinfoJSON() map[string]any {
+	out := map[string]any{"available": false}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	out["available"] = true
+	out["go_version"] = bi.GoVersion
+	out["path"] = bi.Path
+	out["main"] = map[string]any{"path": bi.Main.Path, "version": bi.Main.Version, "sum": bi.Main.Sum}
+	settings := map[string]string{}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs", "vcs.revision", "vcs.time", "vcs.modified", "GOOS", "GOARCH", "-compiler":
+			settings[kv.Key] = kv.Value
+		}
+	}
+	out["settings"] = settings
+	return out
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	slowest, errs := s.slow.snapshot()
+	if slowest == nil {
+		slowest = []*slowEntry{} // render [] rather than null
+	}
+	if errs == nil {
+		errs = []*slowEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"build":          buildinfoJSON(),
+		"size":           s.cfg.SlowlogSize,
+		"threshold_ms":   float64(s.cfg.SlowlogThreshold.Microseconds()) / 1000,
+		"slowest":        slowest,
+		"recent_errors":  errs,
+		"uptime_seconds": s.Uptime().Seconds(),
+	})
+}
+
+func (s *Server) handleBuildinfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, buildinfoJSON())
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	latency := map[string]any{}
+	s.mLatency.Each(func(endpoint string, h *metrics.Histogram) {
+		latency[endpoint] = histQuantiles(h)
+	})
+	stages := map[string]any{}
+	s.mStageSeconds.Each(func(stage string, h *metrics.Histogram) {
+		stages[stage] = histQuantiles(h)
+	})
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds": s.Uptime().Seconds(),
 		"triples":        s.eng.NumTriples(),
@@ -730,6 +913,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"singleflight_shared_total": s.mFlightShared.Value(),
 		"timeouts_total":            s.mTimeouts.Value(),
 		"rejected_total":            s.mRejected.Value(),
+		"latency":                   latency,
+		"stages":                    stages,
+		"runtime":                   metrics.ReadRuntime(),
+		"slowlog": map[string]any{
+			"size":         s.cfg.SlowlogSize,
+			"threshold_ms": float64(s.cfg.SlowlogThreshold.Microseconds()) / 1000,
+		},
 		"exploration": map[string]any{
 			"terminated": map[string]any{
 				"top_k_reached": s.mTerminated.With(core.TopKReached.String()).Value(),
@@ -758,6 +948,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
+	// Runtime telemetry (goroutines, heap, GC pauses) rides the same
+	// scrape so tail latency can be correlated with GC behavior.
+	_ = metrics.WriteRuntimePrometheus(w)
 }
 
 // ---------------------------------------------------------------------------

@@ -56,6 +56,15 @@ type Config struct {
 	DefaultLimit int
 	// MaxLimit caps client-requested execute-row limits (default 10000).
 	MaxLimit int
+	// SlowlogSize is how many of the slowest requests — and, separately,
+	// how many of the most recent erroring requests — the slow-query log
+	// retains with their span trees (default 32; negative disables the
+	// log).
+	SlowlogSize int
+	// SlowlogThreshold is the minimum latency for a request to compete
+	// for the slowlog's slowest list (default 0: every traced request
+	// competes; erroring requests are captured regardless).
+	SlowlogThreshold time.Duration
 }
 
 func (c Config) withDefaults(procs int) Config {
@@ -94,6 +103,9 @@ func (c Config) withDefaults(procs int) Config {
 	if c.MaxLimit <= 0 {
 		c.MaxLimit = 10000
 	}
+	if c.SlowlogSize == 0 {
+		c.SlowlogSize = 32
+	}
 	return c
 }
 
@@ -111,11 +123,15 @@ type Server struct {
 	candidates  *lruCache // candidate id → *engine.QueryCandidate
 	flight      *flightGroup
 	pool        *workerPool
+	slow        *slowlog
 
-	reg           *metrics.Registry
-	mRequests     *metrics.CounterVec
-	mErrors       *metrics.CounterVec
-	mLatency      *metrics.SummaryVec
+	reg       *metrics.Registry
+	mRequests *metrics.CounterVec
+	mErrors   *metrics.CounterVec
+	// mLatency and mStageSeconds are log-bucketed histograms, so /metrics
+	// and /stats can report tail quantiles (p50/p95/p99), not just means.
+	mLatency      *metrics.HistogramVec
+	mStageSeconds *metrics.HistogramVec
 	mInflight     *metrics.Gauge
 	mCacheHits    *metrics.Counter
 	mCacheMisses  *metrics.Counter
@@ -132,7 +148,7 @@ type Server struct {
 	mCursorsCreated *metrics.Counter
 	mCursorsPopped  *metrics.Counter
 	mOracleBuilds   *metrics.Counter
-	mOracleSeconds  *metrics.Summary
+	mOracleSeconds  *metrics.Histogram
 
 	// Execution telemetry, updated once per successful execute: the join
 	// work the pooled executor spent, the bindings it examined and
@@ -163,14 +179,17 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 		candidates:  newLRUCache(cfg.CandidateCacheSize, cfg.CacheTTL),
 		flight:      newFlightGroup(),
 		pool:        newWorkerPool(cfg.Workers),
+		slow:        newSlowlog(cfg.SlowlogSize, cfg.SlowlogThreshold),
 		reg:         metrics.NewRegistry(),
 	}
 	s.mRequests = s.reg.CounterVec("searchwebdb_requests_total",
 		"HTTP requests received, by endpoint.", "endpoint")
 	s.mErrors = s.reg.CounterVec("searchwebdb_errors_total",
 		"Requests answered with a non-2xx status, by endpoint.", "endpoint")
-	s.mLatency = s.reg.SummaryVec("searchwebdb_request_seconds",
-		"Request latency in seconds, by endpoint.", "endpoint")
+	s.mLatency = s.reg.HistogramVec("searchwebdb_request_seconds",
+		"Request latency in seconds, by endpoint.", "endpoint", nil)
+	s.mStageSeconds = s.reg.HistogramVec("searchwebdb_stage_seconds",
+		"Per-stage latency in seconds across traced requests, by pipeline stage (span name).", "stage", nil)
 	s.mInflight = s.reg.Gauge("searchwebdb_inflight_requests",
 		"Requests currently being served.")
 	s.mCacheHits = s.reg.Counter("searchwebdb_search_cache_hits_total",
@@ -194,8 +213,8 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 		"Exploration cursors popped across computed searches.")
 	s.mOracleBuilds = s.reg.Counter("searchwebdb_oracle_builds_total",
 		"Computed searches whose exploration built the distance oracle.")
-	s.mOracleSeconds = s.reg.Summary("searchwebdb_oracle_build_seconds",
-		"Distance-oracle construction time per computed search that built one.")
+	s.mOracleSeconds = s.reg.Histogram("searchwebdb_oracle_build_seconds",
+		"Distance-oracle construction time per computed search that built one.", nil)
 	s.mExecIterations = s.reg.Counter("searchwebdb_execute_iterations_total",
 		"Join iterations spent across executed queries.")
 	s.mExecExamined = s.reg.Counter("searchwebdb_execute_rows_examined_total",

@@ -1,0 +1,175 @@
+package server
+
+// The slow-query capture layer: a bounded in-memory log that retains the
+// N slowest requests seen (above a configurable threshold) and the N
+// most recent erroring ones, each with its full span tree, so the
+// operator can ask "what were the worst requests lately and where did
+// their time go?" without external tracing infrastructure. Exposed at
+// GET /debug/slowlog.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// slowEntry is one captured request.
+type slowEntry struct {
+	// Seq orders entries by arrival (monotonic per server).
+	Seq int64 `json:"seq"`
+	// Endpoint is the instrumented endpoint name (search, execute, …).
+	Endpoint string `json:"endpoint"`
+	// Query is the handler-supplied description of the work: the
+	// normalized keywords for a search, the SPARQL for an execute.
+	Query string `json:"query,omitempty"`
+	// Status is the HTTP status the request was answered with.
+	Status int `json:"status"`
+	// Error holds the start of the error body for non-2xx answers.
+	Error string `json:"error,omitempty"`
+	// Start is the wall-clock arrival time.
+	Start time.Time `json:"start"`
+	// DurationMS is the full request latency.
+	DurationMS float64 `json:"duration_ms"`
+	// Trace is the request's span tree.
+	Trace []*trace.Node `json:"trace,omitempty"`
+}
+
+// slowlog retains the size slowest requests at or above threshold plus a
+// ring of the size most recent erroring requests. All methods are safe
+// for concurrent use.
+type slowlog struct {
+	size      int
+	threshold time.Duration
+
+	mu      sync.Mutex
+	seq     int64
+	slowest []*slowEntry // unordered; evict-min on overflow
+	errors  []*slowEntry // ring, errPos = next write
+	errPos  int
+}
+
+func newSlowlog(size int, threshold time.Duration) *slowlog {
+	return &slowlog{size: size, threshold: threshold}
+}
+
+// record considers one finished request. The span tree is materialized
+// (tr.Tree()) only when the entry is actually retained, so the common
+// fast, successful request costs two duration comparisons under the
+// mutex and nothing else. tr may be nil.
+func (l *slowlog) record(endpoint, query string, status int, errText string,
+	start time.Time, dur time.Duration, tr *trace.Trace) {
+	if l == nil || l.size <= 0 {
+		return
+	}
+	isErr := status >= 400
+	isSlow := dur >= l.threshold
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	var minIdx int
+	if isSlow && len(l.slowest) >= l.size {
+		// Full: only a request slower than the current minimum displaces it.
+		minIdx = 0
+		for i, e := range l.slowest {
+			if e.DurationMS < l.slowest[minIdx].DurationMS {
+				minIdx = i
+			}
+		}
+		if dur.Seconds()*1000 <= l.slowest[minIdx].DurationMS {
+			isSlow = false
+		}
+	}
+	if !isSlow && !isErr {
+		return
+	}
+
+	l.seq++
+	e := &slowEntry{
+		Seq:        l.seq,
+		Endpoint:   endpoint,
+		Query:      query,
+		Status:     status,
+		Error:      errText,
+		Start:      start,
+		DurationMS: float64(dur.Microseconds()) / 1000,
+	}
+	if tr != nil {
+		e.Trace = tr.Tree()
+	}
+	if isSlow {
+		if len(l.slowest) < l.size {
+			l.slowest = append(l.slowest, e)
+		} else {
+			l.slowest[minIdx] = e
+		}
+	}
+	if isErr {
+		if len(l.errors) < l.size {
+			l.errors = append(l.errors, e)
+			l.errPos = len(l.errors) % l.size
+		} else {
+			l.errors[l.errPos] = e
+			l.errPos = (l.errPos + 1) % l.size
+		}
+	}
+}
+
+// snapshot returns the slowest entries in descending duration order and
+// the erroring entries most recent first.
+func (l *slowlog) snapshot() (slowest, errs []*slowEntry) {
+	if l == nil {
+		return nil, nil
+	}
+	l.mu.Lock()
+	slowest = append([]*slowEntry(nil), l.slowest...)
+	for i := 0; i < len(l.errors); i++ {
+		// Walk the ring backward from the most recent write.
+		idx := (l.errPos - 1 - i + 2*len(l.errors)) % len(l.errors)
+		errs = append(errs, l.errors[idx])
+	}
+	l.mu.Unlock()
+	sort.Slice(slowest, func(i, j int) bool {
+		if slowest[i].DurationMS != slowest[j].DurationMS {
+			return slowest[i].DurationMS > slowest[j].DurationMS
+		}
+		return slowest[i].Seq < slowest[j].Seq
+	})
+	return slowest, errs
+}
+
+// ---------------------------------------------------------------------------
+// Per-request capture context
+
+// capture carries the handler's description of the request's work back
+// to the instrumentation wrapper that owns the slowlog entry. One
+// capture lives per request, written by the handler goroutine before the
+// response is sent and read by the wrapper after.
+type capture struct {
+	query string
+}
+
+type captureKey struct{}
+
+// captureContext installs a fresh capture in ctx.
+func captureContext(ctx context.Context) (context.Context, *capture) {
+	c := &capture{}
+	return context.WithValue(ctx, captureKey{}, c), c
+}
+
+// setCaptureQuery records the request's query description, truncated to
+// a sane bound, if a capture is present.
+func setCaptureQuery(ctx context.Context, q string) {
+	c, ok := ctx.Value(captureKey{}).(*capture)
+	if !ok {
+		return
+	}
+	const maxQueryLen = 512
+	if len(q) > maxQueryLen {
+		q = q[:maxQueryLen] + "…"
+	}
+	c.query = q
+}

@@ -3,6 +3,7 @@ package shard
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/store"
 	"repro/internal/summary"
+	"repro/internal/trace"
 )
 
 // Cluster is the coordinator over N shards. It implements engine.Queryer,
@@ -130,6 +132,7 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 
 	// Scatter: one goroutine per shard computes the raw lookups for every
 	// non-filter keyword. raws[shard][j] answers keywords[scatter[j]].
+	lctx, lookupSpan := trace.StartSpan(ctx, "lookup")
 	raws := make([][]*keywordindex.RawLookup, len(c.shards))
 	if len(scatter) > 0 {
 		var wg sync.WaitGroup
@@ -137,6 +140,11 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 			wg.Add(1)
 			go func(si int, sh *Shard) {
 				defer wg.Done()
+				_, shSpan := trace.StartSpan(lctx, "shard_lookup")
+				defer shSpan.End()
+				if shSpan.Enabled() {
+					shSpan.Annotate("shard=" + strconv.Itoa(si))
+				}
 				out := make([]*keywordindex.RawLookup, len(scatter))
 				for j, ki := range scatter {
 					if ctx.Err() != nil {
@@ -149,6 +157,7 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
+			lookupSpan.End()
 			return nil, nil, err
 		}
 	}
@@ -160,6 +169,7 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 	// worker cap alongside the lookups that produced it.
 	dfFn := func(term string) int { return c.df[term] }
 	resolve := func(t rdf.Term) (store.ID, bool) { return c.dict.Lookup(t) }
+	_, mergeSpan := trace.StartSpan(lctx, "merge")
 	parallel.ForEach(parallel.Workers(c.cfg.Parallelism), len(scatter), func(j int) {
 		parts := make([]*keywordindex.RawLookup, len(c.shards))
 		for si := range c.shards {
@@ -167,6 +177,8 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 		}
 		matches[scatter[j]] = keywordindex.MergeRaw(parts, opts, dfFn, resolve)
 	})
+	mergeSpan.End()
+	lookupSpan.End()
 
 	info := &engine.SearchInfo{MatchCounts: make([]int, len(matches))}
 	var unmatched []string

@@ -10,6 +10,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // The distributed execution engine: a breadth-first bind-join that keeps
@@ -293,6 +294,8 @@ func (c *Cluster) scatterStep(ctx context.Context, sc *distScratch, spec stepSpe
 		wg.Add(1)
 		go func(i int, sh *Shard) {
 			defer wg.Done()
+			_, shSpan := trace.StartSpan(ctx, "shard_join")
+			defer shSpan.End()
 			sc.exts[i], sc.useds[i], sc.capped[i], sc.errs[i] =
 				sh.evalStep(ctx, spec, &sc.cur, sc.exts[i][:0])
 		}(i, sh)
@@ -398,8 +401,10 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 		return nil, err
 	}
 	q := cand.Query
+	_, planSpan := trace.StartSpan(ctx, "plan")
 	pats, slots, empty, err := c.compile(q)
 	if err != nil {
+		planSpan.End()
 		return nil, err
 	}
 	dist := q.Distinguished
@@ -407,12 +412,14 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 		dist = q.Vars()
 	}
 	if empty {
+		planSpan.End()
 		return &exec.ResultSet{Vars: dist}, nil
 	}
 	projSlots := make([]int, 0, len(dist))
 	for _, v := range dist {
 		s, ok := slots[v]
 		if !ok {
+			planSpan.End()
 			return nil, fmt.Errorf("shard: distinguished variable ?%s does not occur in the query", v)
 		}
 		projSlots = append(projSlots, s)
@@ -425,12 +432,14 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 	for _, f := range q.Filters {
 		s, ok := slots[f.Var]
 		if !ok {
+			planSpan.End()
 			return nil, fmt.Errorf("shard: filter variable ?%s does not occur in the query", f.Var)
 		}
 		filters = append(filters, slotFilter{slot: s, f: f})
 	}
 
 	order := c.planOrder(pats)
+	planSpan.End()
 	bound := make([]bool, len(slots))
 	sc := c.getScratch()
 	defer c.putScratch(sc)
@@ -462,7 +471,9 @@ func (c *Cluster) ExecuteLimitContext(ctx context.Context, cand *engine.QueryCan
 		if limit > 0 && stepIdx == len(order)-1 && len(filters) == 0 && len(projSlots) == len(slots) {
 			spec.cap = limit
 		}
-		used, capped, err := c.scatterStep(ctx, sc, spec)
+		sctx, stepSpan := trace.StartSpan(ctx, "bind_join_step")
+		used, capped, err := c.scatterStep(sctx, sc, spec)
+		stepSpan.End()
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one rendered span: a self-contained copy of the slab record
+// with its children attached, safe to keep after the Trace is Released
+// and shaped for direct JSON encoding (the /v1 ?trace=1 and
+// /debug/slowlog wire format).
+type Node struct {
+	Name string `json:"name"`
+	Note string `json:"note,omitempty"`
+	// StartMS is the span's start offset from the request start, in
+	// milliseconds (microsecond precision).
+	StartMS float64 `json:"start_ms"`
+	// DurMS is the span duration in milliseconds. Spans still open at
+	// render time report the duration up to the render instant.
+	DurMS    float64 `json:"dur_ms"`
+	Children []*Node `json:"children,omitempty"`
+}
+
+// Tree materializes the span forest — usually a single root — with
+// children in start order. The returned nodes share nothing with the
+// trace's slab.
+func (t *Trace) Tree() []*Node {
+	now := t.now()
+	t.mu.Lock()
+	recs := make([]spanRec, len(t.spans))
+	copy(recs, t.spans)
+	t.mu.Unlock()
+
+	nodes := make([]*Node, len(recs))
+	for i, r := range recs {
+		end := r.end
+		if end == 0 {
+			end = now
+		}
+		nodes[i] = &Node{
+			Name:    r.name,
+			Note:    r.note,
+			StartMS: float64(r.start/1000) / 1000,
+			DurMS:   float64((end-r.start)/1000) / 1000,
+		}
+	}
+	var roots []*Node
+	for i, r := range recs {
+		if r.parent == noParent {
+			roots = append(roots, nodes[i])
+			continue
+		}
+		p := nodes[r.parent]
+		p.Children = append(p.Children, nodes[i])
+	}
+	// Slab order is creation order per goroutine but interleaved across
+	// a fan-out; present each child list in start order.
+	var sortChildren func(n *Node)
+	sortChildren = func(n *Node) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].StartMS < n.Children[j].StartMS
+		})
+		for _, c := range n.Children {
+			sortChildren(c)
+		}
+	}
+	for _, r := range roots {
+		sortChildren(r)
+	}
+	return roots
+}
+
+// EachSpan calls fn once per recorded span with its name and duration in
+// seconds (open spans measured up to now). The serving layer uses it to
+// fold a finished request's spans into the per-stage latency histograms.
+func (t *Trace) EachSpan(fn func(name string, seconds float64)) {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.spans {
+		r := &t.spans[i]
+		end := r.end
+		if end == 0 {
+			end = now
+		}
+		fn(r.name, float64(end-r.start)/1e9)
+	}
+}
+
+// Format renders nodes as an indented text tree, for the CLI and logs:
+//
+//	search                     35.2ms
+//	  lookup                    1.1ms
+//	  explore                  30.4ms
+//	    oracle_build            0.4ms
+func Format(nodes []*Node) string {
+	var b strings.Builder
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		name := strings.Repeat("  ", depth) + n.Name
+		if n.Note != "" {
+			name += " [" + n.Note + "]"
+		}
+		fmt.Fprintf(&b, "%-40s %10.3fms\n", name, n.DurMS)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, n := range nodes {
+		walk(n, 0)
+	}
+	return b.String()
+}
