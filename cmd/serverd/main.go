@@ -9,12 +9,18 @@
 // in-process shards behind a scatter-gather coordinator (internal/shard):
 // keyword mapping fans out to every shard, execution runs as a
 // distributed bind-join, and results are provably identical to the
-// single-engine deployment.
+// single-engine deployment. -replicas R gives every shard group R
+// failure domains with health-checked selection, hedged requests, and
+// cross-replica retries; per-shard circuit breakers and degraded partial
+// results (with a "coverage" block in every response) are always on for
+// sharded deployments. -chaos installs the deterministic fault injector
+// for resilience testing.
 //
 // Usage:
 //
 //	serverd -data dblp.nt -addr :8080
-//	serverd -gen dblp -scale 2000 -shards 4 -addr :8080
+//	serverd -gen dblp -scale 2000 -shards 4 -replicas 2 -addr :8080
+//	serverd -gen dblp -shards 4 -chaos "error,shard=0" -addr :8080
 //
 // Endpoints:
 //
@@ -53,6 +59,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/rdf"
 	"repro/internal/scoring"
 	"repro/internal/server"
@@ -78,6 +85,13 @@ func main() {
 	k := flag.Int("k", 10, "default number of query candidates")
 	scheme := flag.String("scoring", "c3", "scoring function: c1 | c2 | c3")
 	shards := flag.Int("shards", 1, "subject-partitioned shards behind a scatter-gather coordinator (1 = single engine)")
+	replicas := flag.Int("replicas", 1, "replica failure domains per shard group (needs -shards > 1)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "fixed delay before hedging a slow shard call on a sibling replica (0 = adaptive, p95 of recent latencies)")
+	requireFull := flag.Bool("require-full-coverage", false, "refuse degraded (partial shard coverage) results with 503 instead of serving them")
+	chaosSpec := flag.String("chaos", "", "fault-injection spec, e.g. \"error,shard=0;delay,delay=50ms,prob=0.1\" (TESTING ONLY; needs -shards > 1)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for probabilistic -chaos rules")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests to drain")
+	maxBodyBytes := flag.Int64("max-body-bytes", 1<<20, "request-body cap on the /v1 POST endpoints (larger bodies are answered 413)")
 	workers := flag.Int("workers", 0, "max concurrent query computations (default 2×GOMAXPROCS)")
 	parallelism := flag.Int("parallelism", 0, "max goroutines per query for per-keyword stages: lookups, oracle build, shard merges (default GOMAXPROCS)")
 	oracle := flag.String("oracle", "auto", "Sec. IX distance-oracle pruning: auto | on | off")
@@ -118,9 +132,17 @@ func main() {
 		builder *shard.Builder
 	)
 	if *shards > 1 {
-		builder = shard.NewBuilder(*shards, cfg)
+		builder = shard.NewBuilder(*shards, cfg).
+			Replicas(*replicas).
+			Resilience(shard.ResilienceConfig{HedgeDelay: *hedgeDelay})
 		dst = builder
 	} else {
+		if *replicas > 1 {
+			log.Fatal("-replicas needs -shards > 1 (replica groups exist per shard)")
+		}
+		if *chaosSpec != "" {
+			log.Fatal("-chaos needs -shards > 1 (the injector lives at the shard transport seam)")
+		}
 		eng := repro.New(cfg)
 		backend = eng
 		dst = eng
@@ -170,17 +192,30 @@ func main() {
 	if builder != nil {
 		cl := builder.Build()
 		backend = cl
-		log.Printf("partitioned into %d shards %v; indexes built in %v",
-			cl.NumShards(), cl.ShardSizes(), time.Since(buildStart).Round(time.Millisecond))
+		log.Printf("partitioned into %d shards × %d replicas %v; indexes built in %v",
+			cl.NumShards(), cl.ReplicaCount(), cl.ShardSizes(), time.Since(buildStart).Round(time.Millisecond))
+		if *chaosSpec != "" {
+			rules, err := faultinject.Parse(*chaosSpec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cl.SetInjector(faultinject.New(*chaosSeed, rules...))
+			log.Printf("WARNING: fault injection ACTIVE (seed %d) — this server deliberately fails requests; never run production traffic with -chaos", *chaosSeed)
+			for i, r := range rules {
+				log.Printf("  chaos rule %d: %s", i, r)
+			}
+		}
 	}
 	srv := server.New(backend, server.Config{
-		Workers:          *workers,
-		SearchCacheSize:  *cacheSize,
-		CacheTTL:         *cacheTTL,
-		DefaultTimeout:   *timeout,
-		MaxTimeout:       *maxTimeout,
-		SlowlogSize:      *slowlogSize,
-		SlowlogThreshold: *slowlogThreshold,
+		Workers:             *workers,
+		SearchCacheSize:     *cacheSize,
+		CacheTTL:            *cacheTTL,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		SlowlogSize:         *slowlogSize,
+		SlowlogThreshold:    *slowlogThreshold,
+		MaxBodyBytes:        *maxBodyBytes,
+		RequireFullCoverage: *requireFull,
 	}, runtime.GOMAXPROCS(0))
 	log.Printf("backend sealed (%d triples); serving ready in %v",
 		backend.NumTriples(), time.Since(buildStart).Round(time.Millisecond))
@@ -218,10 +253,17 @@ func main() {
 		}
 	}()
 	<-done
-	log.Print("shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	log.Printf("shutting down (draining in-flight requests for up to %v)", *drainTimeout)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	// Flush the slow-query log so captured span trees outlive the process.
+	if *slowlogSize >= 0 {
+		log.Print("slowlog at shutdown:")
+		if err := srv.WriteSlowlog(os.Stderr); err != nil {
+			log.Printf("slowlog flush: %v", err)
+		}
 	}
 }

@@ -387,6 +387,11 @@ type SearchInfo struct {
 	OracleBuild time.Duration
 	// Elapsed is the total query-computation time.
 	Elapsed time.Duration
+	// Coverage reports how much of a sharded cluster answered the
+	// keyword scatter (nil for the single engine). When Degraded, the
+	// keyword matches — and every candidate derived from them — may be
+	// missing contributions from the failed shards.
+	Coverage *exec.Coverage
 }
 
 // UnmatchedKeywordsError reports keywords the index could not map to any

@@ -191,6 +191,22 @@ func (v *CounterVec) With(labelValue string) *Counter {
 	return v.f.get(labelValue, func() any { return new(Counter) }).(*Counter)
 }
 
+// GaugeVec is a gauge family with one label dimension.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if label == "" {
+		panic("metrics: GaugeVec needs a label name")
+	}
+	return &GaugeVec{f: r.register(name, help, kindGauge, label)}
+}
+
+// With returns the gauge for one label value, creating it on first use.
+func (v *GaugeVec) With(labelValue string) *Gauge {
+	return v.f.get(labelValue, func() any { return new(Gauge) }).(*Gauge)
+}
+
 // SummaryVec is a summary family with one label dimension.
 type SummaryVec struct{ f *family }
 

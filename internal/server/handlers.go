@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime/debug"
 	"runtime/pprof"
@@ -21,9 +22,19 @@ import (
 	"repro/internal/trace"
 )
 
-// maxBodyBytes bounds request bodies; keyword queries and inline
-// conjunctive queries are tiny, so 1 MiB is generous.
-const maxBodyBytes = 1 << 20
+// writeDecodeError classifies a request-body decode failure: a body that
+// blew the MaxBodyBytes cap is 413, anything else is a plain 400.
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+			Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			Code:  "body_too_large"})
+		return
+	}
+	writeJSON(w, http.StatusBadRequest,
+		errorResponse{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+}
 
 // ---------------------------------------------------------------------------
 // Wire types
@@ -61,6 +72,9 @@ type searchResponse struct {
 	// went (from the original computation when Cached). Cache hits keep
 	// the entry's numbers: they describe the result being served.
 	Exploration *explorationJSON `json:"exploration,omitempty"`
+	// Coverage reports how much of a sharded cluster answered (absent
+	// for the single engine). Degraded results are never cached.
+	Coverage *coverageJSON `json:"coverage,omitempty"`
 	// Trace is this request's span tree, present when the request asked
 	// for it with ?trace=1. Cache hits and followers trace their own
 	// (short) request, not the original computation.
@@ -117,6 +131,9 @@ type executeResponse struct {
 	// Execution reports how the join evaluation behind this result went,
 	// mirroring the search response's exploration block.
 	Execution *executionJSON `json:"execution,omitempty"`
+	// Coverage reports how much of a sharded cluster answered (absent
+	// for the single engine).
+	Coverage *coverageJSON `json:"coverage,omitempty"`
 	// Trace is this request's span tree, present under ?trace=1.
 	Trace []*trace.Node `json:"trace,omitempty"`
 }
@@ -139,6 +156,46 @@ func toExecutionJSON(rs *exec.ResultSet) *executionJSON {
 		RowsDeduped:      rs.Stats.RowsDeduped,
 		TruncationReason: string(rs.Stats.TruncatedBy),
 	}
+}
+
+// coverageJSON is the wire view of exec.Coverage: how much of the
+// sharded cluster answered, and what the fault-tolerance machinery spent
+// getting there. Absent entirely for non-clustered backends.
+type coverageJSON struct {
+	ShardsTotal    int  `json:"shards_total"`
+	ShardsAnswered int  `json:"shards_answered"`
+	ShardsFailed   int  `json:"shards_failed"`
+	Degraded       bool `json:"degraded"`
+	Retries        int  `json:"retries,omitempty"`
+	HedgesFired    int  `json:"hedges_fired,omitempty"`
+	HedgeWins      int  `json:"hedge_wins,omitempty"`
+	BreakerOpen    int  `json:"breaker_open,omitempty"`
+	Panics         int  `json:"panics,omitempty"`
+}
+
+func toCoverageJSON(c *exec.Coverage) *coverageJSON {
+	if c == nil {
+		return nil
+	}
+	return &coverageJSON{
+		ShardsTotal:    c.ShardsTotal,
+		ShardsAnswered: c.ShardsAnswered,
+		ShardsFailed:   c.ShardsFailed,
+		Degraded:       c.Degraded(),
+		Retries:        c.Retries,
+		HedgesFired:    c.HedgesFired,
+		HedgeWins:      c.HedgeWins,
+		BreakerOpen:    c.BreakerOpen,
+		Panics:         c.Panics,
+	}
+}
+
+// writeDegraded answers a request refused under RequireFullCoverage.
+func writeDegraded(w http.ResponseWriter, cov *coverageJSON) {
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{
+		Error: fmt.Sprintf("degraded result refused: %d of %d shard groups answered",
+			cov.ShardsAnswered, cov.ShardsTotal),
+		Code: "degraded"})
 }
 
 type planStepJSON struct {
@@ -229,8 +286,9 @@ func (s *Server) Handler() http.Handler {
 // the head of an error body so the slowlog can show what went wrong.
 type statusWriter struct {
 	http.ResponseWriter
-	status  int
-	errBody []byte
+	status      int
+	wroteHeader bool
+	errBody     []byte
 }
 
 // maxErrBody bounds the captured error body; error responses are short
@@ -240,10 +298,12 @@ const maxErrBody = 512
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wroteHeader = true
 	w.ResponseWriter.WriteHeader(code)
 }
 
 func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wroteHeader = true
 	if w.status >= 400 && len(w.errBody) < maxErrBody {
 		take := maxErrBody - len(w.errBody)
 		if take > len(p) {
@@ -273,9 +333,27 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		s.mInflight.Inc()
 		defer s.mInflight.Dec()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		r.Body = http.MaxBytesReader(sw, r.Body, maxBodyBytes)
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		// Panic containment: a panicking handler answers 500 (when the
+		// response is still unwritten), is counted, and — because the
+		// status makes it an erroring request — lands in the slowlog with
+		// its span tree. The process keeps serving.
+		invoke := func(ctx context.Context) {
+			defer func() {
+				if p := recover(); p != nil {
+					s.mPanics.Inc()
+					if !sw.wroteHeader {
+						writeJSON(sw, http.StatusInternalServerError, errorResponse{
+							Error: fmt.Sprintf("internal panic: %v", p), Code: "panic"})
+					} else {
+						sw.status = http.StatusInternalServerError
+					}
+				}
+			}()
+			h(sw, r.WithContext(ctx))
+		}
 		if !traced {
-			h(sw, r)
+			invoke(r.Context())
 			s.mLatency.With(endpoint).Observe(time.Since(start).Seconds())
 			if sw.status >= 400 {
 				s.mErrors.With(endpoint).Inc()
@@ -289,9 +367,7 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		// profiles attribute samples to the serving endpoint.
 		tr := trace.New(endpoint)
 		ctx, cp := captureContext(tr.Context(r.Context()))
-		pprof.Do(ctx, pprof.Labels("endpoint", endpoint), func(ctx context.Context) {
-			h(sw, r.WithContext(ctx))
-		})
+		pprof.Do(ctx, pprof.Labels("endpoint", endpoint), invoke)
 		tr.Finish()
 		elapsed := tr.Duration()
 		s.mLatency.With(endpoint).Observe(elapsed.Seconds())
@@ -427,8 +503,14 @@ func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *sea
 				}}
 				if info != nil {
 					e.resp.MatchCounts = info.MatchCounts
+					e.resp.Coverage = toCoverageJSON(info.Coverage)
+					s.observeCoverage(info.Coverage)
 				}
-				s.searchCache.Put(key, e)
+				// A keyword can read as unmatched merely because the shard
+				// holding it was down — never cache a degraded no-match.
+				if info == nil || !info.Coverage.Degraded() {
+					s.searchCache.Put(key, e)
+				}
 				return e, nil
 			}
 			if err != nil {
@@ -439,6 +521,7 @@ func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *sea
 				return nil, err
 			}
 			s.observeExploration(info)
+			s.observeCoverage(info.Coverage)
 			e := &searchEntry{
 				cands: cands,
 				resp: searchResponse{
@@ -458,6 +541,7 @@ func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *sea
 						OracleUsed:      info.Exploration.OracleUsed,
 						OracleBuildMS:   float64(info.OracleBuild.Microseconds()) / 1000,
 					},
+					Coverage: toCoverageJSON(info.Coverage),
 				},
 			}
 			for i, c := range cands {
@@ -470,7 +554,12 @@ func (s *Server) doSearch(ctx context.Context, norm []string, k int) (entry *sea
 				}
 				s.candidates.Put(e.resp.Candidates[i].ID, c)
 			}
-			s.searchCache.Put(key, e)
+			// Degraded results are transient by nature — the failed group
+			// may be back next call — so they must never be served from
+			// the cache after the cluster has healed.
+			if !info.Coverage.Degraded() {
+				s.searchCache.Put(key, e)
+			}
 			return e, nil
 		})
 		if err != nil {
@@ -502,8 +591,7 @@ func (s *Server) clampK(k int) int {
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		s.writeDecodeError(w, err)
 		return
 	}
 	norm := normalizeKeywords(req.Keywords)
@@ -539,6 +627,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	resp := entry.resp
 	resp.Cached = hit
 	resp.Shared = shared
+	if s.cfg.RequireFullCoverage && resp.Coverage != nil && resp.Coverage.Degraded {
+		writeDegraded(w, resp.Coverage)
+		return
+	}
 	if wantTrace(r) {
 		resp.Trace = traceNodes(ctx)
 	}
@@ -613,8 +705,7 @@ func (s *Server) resolveCandidate(ctx context.Context, w http.ResponseWriter, re
 func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 	var req executeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		s.writeDecodeError(w, err)
 		return
 	}
 	limit := req.Limit
@@ -657,6 +748,11 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.observeExecution(rs)
+	s.observeCoverage(rs.Stats.Coverage)
+	if s.cfg.RequireFullCoverage && rs.Stats.Coverage.Degraded() {
+		writeDegraded(w, toCoverageJSON(rs.Stats.Coverage))
+		return
+	}
 	var tn []*trace.Node
 	if wantTrace(r) {
 		tn = traceNodes(ctx)
@@ -674,6 +770,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		Truncated: rs.Truncated,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		Execution: toExecutionJSON(rs),
+		Coverage:  toCoverageJSON(rs.Stats.Coverage),
 		Trace:     tn,
 	}
 	for i, row := range rs.Rows {
@@ -725,6 +822,9 @@ type executeStreamTrailer struct {
 	Truncated bool           `json:"truncated"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 	Execution *executionJSON `json:"execution,omitempty"`
+	// Coverage reports how much of a sharded cluster answered (absent
+	// for the single engine).
+	Coverage *coverageJSON `json:"coverage,omitempty"`
 	// Trace is the request's span tree, present under ?trace=1.
 	Trace []*trace.Node `json:"trace,omitempty"`
 }
@@ -769,6 +869,7 @@ func (s *Server) writeExecuteNDJSON(w http.ResponseWriter, id string, cand *engi
 		Truncated: rs.Truncated,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1000,
 		Execution: toExecutionJSON(rs),
+		Coverage:  toCoverageJSON(rs.Stats.Coverage),
 		Trace:     tn,
 	})
 	flush()
@@ -777,8 +878,7 @@ func (s *Server) writeExecuteNDJSON(w http.ResponseWriter, id string, cand *engi
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req executeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest,
-			errorResponse{Error: "malformed request body: " + err.Error(), Code: "bad_request"})
+		s.writeDecodeError(w, err)
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
@@ -861,7 +961,9 @@ func buildinfoJSON() map[string]any {
 	return out
 }
 
-func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+// slowlogPayload is the JSON body of /debug/slowlog, shared with the
+// shutdown flush (Server.WriteSlowlog).
+func (s *Server) slowlogPayload() map[string]any {
 	slowest, errs := s.slow.snapshot()
 	if slowest == nil {
 		slowest = []*slowEntry{} // render [] rather than null
@@ -869,14 +971,27 @@ func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
 	if errs == nil {
 		errs = []*slowEntry{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	return map[string]any{
 		"build":          buildinfoJSON(),
 		"size":           s.cfg.SlowlogSize,
 		"threshold_ms":   float64(s.cfg.SlowlogThreshold.Microseconds()) / 1000,
 		"slowest":        slowest,
 		"recent_errors":  errs,
 		"uptime_seconds": s.Uptime().Seconds(),
-	})
+	}
+}
+
+func (s *Server) handleSlowlog(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.slowlogPayload())
+}
+
+// WriteSlowlog dumps the slow-query log as indented JSON — serverd
+// flushes it at shutdown so the captured span trees survive the process.
+func (s *Server) WriteSlowlog(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.slowlogPayload())
 }
 
 func (s *Server) handleBuildinfo(w http.ResponseWriter, _ *http.Request) {
@@ -892,7 +1007,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mStageSeconds.Each(func(stage string, h *metrics.Histogram) {
 		stages[stage] = histQuantiles(h)
 	})
+	var cluster map[string]any
+	if cb, ok := s.eng.(clusterBackend); ok {
+		gh := cb.GroupHealth()
+		breakers := make(map[string]string, len(gh))
+		for _, g := range gh {
+			breakers[strconv.Itoa(g.Shard)] = g.Breaker
+		}
+		cluster = map[string]any{
+			"shards":                 len(gh),
+			"replicas":               cb.ReplicaCount(),
+			"breakers":               breakers,
+			"degraded_total":         s.mDegraded.Value(),
+			"hedges_total":           s.mHedges.Value(),
+			"shard_retries_total":    s.mShardRetries.Value(),
+			"require_full_coverage":  s.cfg.RequireFullCoverage,
+			"panics_recovered_total": s.mPanics.Value(),
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"cluster":        cluster,
 		"uptime_seconds": s.Uptime().Seconds(),
 		"triples":        s.eng.NumTriples(),
 		"build_seconds":  s.eng.BuildDuration().Seconds(),
@@ -946,6 +1080,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.refreshBreakerGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 	// Runtime telemetry (goroutines, heap, GC pauses) rides the same

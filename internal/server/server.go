@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/exec"
 	"repro/internal/metrics"
+	"repro/internal/shard"
 )
 
 // Config tunes the server. The zero value gives sensible defaults.
@@ -65,6 +66,15 @@ type Config struct {
 	// for the slowlog's slowest list (default 0: every traced request
 	// competes; erroring requests are captured regardless).
 	SlowlogThreshold time.Duration
+	// MaxBodyBytes caps request body size on the /v1 POST endpoints;
+	// larger bodies are answered 413 (default 1 MiB — keyword queries and
+	// inline conjunctive queries are tiny).
+	MaxBodyBytes int64
+	// RequireFullCoverage refuses degraded results: when a sharded
+	// backend answers with failed shard groups, the response is 503
+	// (code "degraded") instead of a partial answer set. Default off —
+	// partial results with a coverage block beat unavailability.
+	RequireFullCoverage bool
 }
 
 func (c Config) withDefaults(procs int) Config {
@@ -105,6 +115,9 @@ func (c Config) withDefaults(procs int) Config {
 	}
 	if c.SlowlogSize == 0 {
 		c.SlowlogSize = 32
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
 	}
 	return c
 }
@@ -158,6 +171,25 @@ type Server struct {
 	mExecExamined   *metrics.Counter
 	mExecDeduped    *metrics.Counter
 	mExecTruncated  *metrics.CounterVec
+
+	// Fault-tolerance telemetry: recovered handler panics, requests
+	// served degraded (some shard groups down), hedges and cross-replica
+	// retries spent, and the per-shard breaker state (0 closed, 1
+	// half-open, 2 open; refreshed on scrape).
+	mPanics       *metrics.Counter
+	mDegraded     *metrics.Counter
+	mHedges       *metrics.Counter
+	mShardRetries *metrics.Counter
+	mBreakerState *metrics.GaugeVec
+}
+
+// clusterBackend is the optional introspection surface of a sharded
+// backend (shard.Cluster implements it); the server publishes breaker
+// states and the replication factor when the backend provides them.
+// Plain engines don't implement it and serve exactly as before.
+type clusterBackend interface {
+	GroupHealth() []shard.GroupHealth
+	ReplicaCount() int
 }
 
 // New builds a server over a query backend, sealing it: any outstanding
@@ -223,7 +255,50 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 		"Bindings rejected as duplicate answers across executed queries.")
 	s.mExecTruncated = s.reg.CounterVec("searchwebdb_execute_truncated_total",
 		"Executed queries truncated, by reason (limit, max_rows, step_budget).", "reason")
+	s.mPanics = s.reg.Counter("searchwebdb_panics_total",
+		"Handler panics recovered by the serving middleware (answered 500).")
+	s.mDegraded = s.reg.Counter("searchwebdb_degraded_responses_total",
+		"Computed searches and executes that lost at least one shard group (partial results).")
+	s.mHedges = s.reg.Counter("searchwebdb_hedges_total",
+		"Hedged shard requests fired across computed searches and executes.")
+	s.mShardRetries = s.reg.Counter("searchwebdb_shard_retries_total",
+		"Cross-replica retries spent across computed searches and executes.")
+	s.mBreakerState = s.reg.GaugeVec("searchwebdb_shard_breaker_state",
+		"Per-shard circuit breaker state (0 closed, 1 half-open, 2 open), refreshed on scrape.", "shard")
+	s.refreshBreakerGauges()
 	return s
+}
+
+// observeCoverage folds one computed search's or execute's fault
+// accounting into the registry.
+func (s *Server) observeCoverage(cov *exec.Coverage) {
+	if cov == nil {
+		return
+	}
+	s.mHedges.Add(uint64(cov.HedgesFired))
+	s.mShardRetries.Add(uint64(cov.Retries))
+	if cov.Degraded() {
+		s.mDegraded.Inc()
+	}
+}
+
+// refreshBreakerGauges re-reads the backend's breaker states into the
+// per-shard gauge family. No-op for non-clustered backends.
+func (s *Server) refreshBreakerGauges() {
+	cb, ok := s.eng.(clusterBackend)
+	if !ok {
+		return
+	}
+	for _, gh := range cb.GroupHealth() {
+		var v int64
+		switch gh.Breaker {
+		case "half_open":
+			v = 1
+		case "open":
+			v = 2
+		}
+		s.mBreakerState.With(strconv.Itoa(gh.Shard)).Set(v)
+	}
 }
 
 // observeExecution folds one execute's work counters into the registry.

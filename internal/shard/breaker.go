@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// The per-shard circuit breaker: the three-state machine (closed →
+// open → half-open) that stops the coordinator from burning latency and
+// retries on a shard group that keeps failing, and probes it back into
+// service when it recovers. One breaker gates one shard group, across
+// both the search scatter and every distributed bind-join step.
+//
+// Policy: in the closed state outcomes feed a sliding window of the
+// last Window group calls; when the window holds at least MinVolume
+// outcomes and the failure fraction reaches FailureThreshold, the
+// breaker opens. Open calls are rejected instantly (the group reports
+// ErrGroupDown and the query degrades). After Cooldown the next caller
+// is admitted as the single half-open probe: its success closes the
+// breaker (window reset), its failure re-opens it for another cooldown.
+
+// BreakerState is the observable state of one shard group's breaker.
+type BreakerState int
+
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for metrics labels and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "closed"
+}
+
+// BreakerConfig tunes the per-shard circuit breakers.
+type BreakerConfig struct {
+	// Window is the sliding outcome window size (default 16).
+	Window int
+	// FailureThreshold is the failure fraction that opens the breaker
+	// (default 0.5).
+	FailureThreshold float64
+	// MinVolume is the minimum number of windowed outcomes before the
+	// threshold applies (default 4) — a single early failure must not
+	// open a cold breaker.
+	MinVolume int
+	// Cooldown is how long an open breaker rejects calls before
+	// admitting the half-open probe (default 1s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.FailureThreshold <= 0 || c.FailureThreshold > 1 {
+		c.FailureThreshold = 0.5
+	}
+	if c.MinVolume <= 0 {
+		c.MinVolume = 4
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	return c
+}
+
+// breaker is one shard group's circuit breaker. All methods are safe for
+// concurrent use. now is injectable so chaos tests drive the cooldown
+// clock deterministically.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // ring of outcomes, true = failure
+	count    int    // filled entries, ≤ len(window)
+	pos      int    // next write
+	fails    int    // failures currently in the window
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, now: time.Now, window: make([]bool, cfg.Window)}
+}
+
+// allow reports whether a group call may proceed, and whether the caller
+// holds the single half-open probe slot (a probe holder MUST later call
+// record or abandonProbe, or the breaker stalls half-open). In the open
+// state allow flips to half-open once the cooldown has passed and admits
+// exactly one probe; concurrent callers during the probe are rejected.
+func (b *breaker) allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, true
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// record feeds one group call outcome back. Success of the half-open
+// probe closes the breaker; its failure re-opens it. Outcomes from calls
+// admitted in an earlier closed era that land after the breaker opened
+// (or while a different call is probing) are discarded — only the probe
+// holder may decide a half-open breaker's fate.
+func (b *breaker) record(success, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		// The probe holder is unique and nothing else transitions the
+		// state while it is in flight, so state is still half-open.
+		b.probing = false
+		if success {
+			b.reset(BreakerClosed)
+		} else {
+			b.reset(BreakerOpen)
+			b.openedAt = b.now()
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		return // stale outcome from before the breaker opened
+	}
+	if b.count == len(b.window) {
+		if b.window[b.pos] {
+			b.fails--
+		}
+	} else {
+		b.count++
+	}
+	b.window[b.pos] = !success
+	if !success {
+		b.fails++
+	}
+	b.pos = (b.pos + 1) % len(b.window)
+	if b.count >= b.cfg.MinVolume &&
+		float64(b.fails) >= b.cfg.FailureThreshold*float64(b.count) {
+		b.reset(BreakerOpen)
+		b.openedAt = b.now()
+	}
+}
+
+// abandonProbe releases the half-open probe slot without recording an
+// outcome — the probe's parent context was cancelled, which says nothing
+// about the shard's health. The next caller becomes the new probe.
+func (b *breaker) abandonProbe() {
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+// reset clears the window and moves to state.
+func (b *breaker) reset(state BreakerState) {
+	b.state = state
+	b.count, b.pos, b.fails = 0, 0, 0
+	b.probing = false
+}
+
+// State returns the current state, applying the open → half-open
+// transition the next allow would take (so metrics see "half_open" once
+// the cooldown has passed, even before a probe arrives).
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

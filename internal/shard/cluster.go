@@ -26,6 +26,12 @@ type Cluster struct {
 	cfg    engine.Config
 	shards []*Shard
 
+	// groups holds one fault-tolerant replica group per shard; every
+	// scattered call (keyword lookup, bind-join step) goes through its
+	// shard's group — breaker, health-ordered selection, retries,
+	// hedging — rather than calling the Shard directly.
+	groups []*group
+
 	// dict is the coordinator's catalog: the full dictionary in the
 	// single-engine ID space (store.DictionaryView — no triples).
 	dict *store.Store
@@ -130,35 +136,55 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 		scatter = append(scatter, i)
 	}
 
-	// Scatter: one goroutine per shard computes the raw lookups for every
-	// non-filter keyword. raws[shard][j] answers keywords[scatter[j]].
+	// Scatter: one fault-tolerant group call per shard computes the raw
+	// lookups for every non-filter keyword. raws[shard][j] answers
+	// keywords[scatter[j]]; a shard whose whole group fails (every
+	// replica errored, or its breaker was open) leaves raws[shard] nil
+	// and the query degrades to the shards that answered.
 	lctx, lookupSpan := trace.StartSpan(ctx, "lookup")
 	raws := make([][]*keywordindex.RawLookup, len(c.shards))
+	cov := newCovState(len(c.groups))
 	if len(scatter) > 0 {
 		var wg sync.WaitGroup
-		for si, sh := range c.shards {
+		for si, g := range c.groups {
 			wg.Add(1)
-			go func(si int, sh *Shard) {
+			go func(si int, g *group) {
 				defer wg.Done()
-				_, shSpan := trace.StartSpan(lctx, "shard_lookup")
+				shCtx, shSpan := trace.StartSpan(lctx, "shard_lookup")
 				defer shSpan.End()
 				if shSpan.Enabled() {
 					shSpan.Annotate("shard=" + strconv.Itoa(si))
 				}
-				out := make([]*keywordindex.RawLookup, len(scatter))
-				for j, ki := range scatter {
-					if ctx.Err() != nil {
-						return // partial result discarded below
+				out, st, err := groupCall(shCtx, g, func(actx context.Context, rep *replica, _ bool) ([]*keywordindex.RawLookup, error) {
+					part := make([]*keywordindex.RawLookup, len(scatter))
+					for j, ki := range scatter {
+						r, err := rep.tr.Lookup(actx, keywords[ki], opts)
+						if err != nil {
+							return nil, err
+						}
+						part[j] = r
 					}
-					out[j] = sh.kwix.LookupRaw(keywords[ki], opts)
+					return part, nil
+				})
+				cov.add(si, st, err != nil && ctx.Err() == nil)
+				if err != nil {
+					if shSpan.Enabled() {
+						shSpan.Annotate("failed: " + err.Error())
+					}
+					return
 				}
 				raws[si] = out
-			}(si, sh)
+			}(si, g)
 		}
 		wg.Wait()
 		if err := ctx.Err(); err != nil {
 			lookupSpan.End()
 			return nil, nil, err
+		}
+		if cov.allDown() {
+			lookupSpan.End()
+			info := &engine.SearchInfo{Coverage: cov.coverage()}
+			return nil, info, fmt.Errorf("shard: search failed: %w", ErrGroupDown)
 		}
 	}
 
@@ -173,7 +199,9 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 	parallel.ForEach(parallel.Workers(c.cfg.Parallelism), len(scatter), func(j int) {
 		parts := make([]*keywordindex.RawLookup, len(c.shards))
 		for si := range c.shards {
-			parts[si] = raws[si][j]
+			if raws[si] != nil { // nil: shard group down, merge degrades
+				parts[si] = raws[si][j]
+			}
 		}
 		matches[scatter[j]] = keywordindex.MergeRaw(parts, opts, dfFn, resolve)
 	})
@@ -181,6 +209,9 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 	lookupSpan.End()
 
 	info := &engine.SearchInfo{MatchCounts: make([]int, len(matches))}
+	if len(scatter) > 0 {
+		info.Coverage = cov.coverage()
+	}
 	var unmatched []string
 	for i, ms := range matches {
 		info.MatchCounts[i] = len(ms)

@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"sync"
+
+	"repro/internal/exec"
+)
+
+// covState accumulates one query's fault accounting: which shard groups
+// have answered or failed so far, and the retry/hedge/breaker/panic
+// tallies from every group call the query issued. One covState lives for
+// the whole query (a search's scatter, or all the steps of a distributed
+// execute); its snapshot becomes the exec.Coverage block the serving
+// layer reports.
+type covState struct {
+	mu          sync.Mutex
+	failed      []bool // per shard: a group call failed during this query
+	retries     int
+	hedges      int
+	hedgeWins   int
+	breakerOpen int
+	panics      int
+}
+
+func newCovState(shards int) *covState {
+	return &covState{failed: make([]bool, shards)}
+}
+
+// add folds one group call's stats in; failed additionally marks the
+// shard down for the remainder of the query (a failed group contributes
+// nothing further — the query degrades rather than retrying it per
+// step).
+func (cs *covState) add(shard int, st callStats, failed bool) {
+	cs.mu.Lock()
+	cs.retries += st.retries
+	cs.hedges += st.hedges
+	cs.hedgeWins += st.hedgeWins
+	cs.breakerOpen += st.breakerOpen
+	cs.panics += st.panics
+	if failed {
+		cs.failed[shard] = true
+	}
+	cs.mu.Unlock()
+}
+
+// down reports whether the shard has already failed during this query.
+func (cs *covState) down(shard int) bool {
+	cs.mu.Lock()
+	d := cs.failed[shard]
+	cs.mu.Unlock()
+	return d
+}
+
+// allDown reports whether every shard group has failed.
+func (cs *covState) allDown() bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, f := range cs.failed {
+		if !f {
+			return false
+		}
+	}
+	return len(cs.failed) > 0
+}
+
+// coverage snapshots the accumulated state as the reportable block.
+func (cs *covState) coverage() *exec.Coverage {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	cov := &exec.Coverage{
+		ShardsTotal: len(cs.failed),
+		Retries:     cs.retries,
+		HedgesFired: cs.hedges,
+		HedgeWins:   cs.hedgeWins,
+		BreakerOpen: cs.breakerOpen,
+		Panics:      cs.panics,
+	}
+	for _, f := range cs.failed {
+		if f {
+			cov.ShardsFailed++
+		} else {
+			cov.ShardsAnswered++
+		}
+	}
+	return cov
+}

@@ -1,0 +1,333 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// group is one shard's replica set plus the machinery that makes calls
+// to it fault-tolerant: health-ordered replica selection, retry with
+// backoff to siblings, hedged requests against the slow tail, one
+// circuit breaker gating the whole group, and panic containment per
+// attempt. The scatter paths (search lookup and bind-join steps) call
+// groups instead of shards; with R=1, no injector, and a closed breaker
+// the added cost is one interface call and one channel handoff per
+// scattered operation.
+type group struct {
+	shardID  int
+	replicas []*replica
+	br       *breaker
+	lat      *latRing
+	res      ResilienceConfig
+}
+
+// ResilienceConfig tunes retries, hedging, and the circuit breakers of a
+// cluster's shard groups. The zero value means sane defaults.
+type ResilienceConfig struct {
+	// Breaker configures the per-shard circuit breakers.
+	Breaker BreakerConfig
+	// RetryBackoff is the pause before retrying a failed attempt on the
+	// next replica (default 1ms; attempts are in-process, so backoff is
+	// about yielding, not politeness).
+	RetryBackoff time.Duration
+	// HedgeDelay, when > 0, is the fixed wait before racing a second
+	// replica. When 0 the delay adapts: the HedgePercentile of the
+	// group's recent success latencies, floored at HedgeMinDelay.
+	HedgeDelay time.Duration
+	// HedgePercentile for the adaptive delay (default 0.95).
+	HedgePercentile float64
+	// HedgeMinDelay floors the adaptive delay so a cold or microsecond
+	// -fast group does not hedge every call (default 2ms).
+	HedgeMinDelay time.Duration
+	// DisableHedging turns hedged requests off (retries still run).
+	DisableHedging bool
+	// AttemptTimeout, when > 0, bounds each individual replica attempt;
+	// a timed-out attempt counts as a failure and triggers the retry
+	// path even though the overall request has no deadline.
+	AttemptTimeout time.Duration
+}
+
+func (c ResilienceConfig) withDefaults() ResilienceConfig {
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
+	if c.HedgePercentile <= 0 || c.HedgePercentile >= 1 {
+		c.HedgePercentile = 0.95
+	}
+	if c.HedgeMinDelay <= 0 {
+		c.HedgeMinDelay = 2 * time.Millisecond
+	}
+	return c
+}
+
+func newGroup(shardID int, reps []*replica, res ResilienceConfig) *group {
+	return &group{
+		shardID:  shardID,
+		replicas: reps,
+		br:       newBreaker(res.Breaker),
+		lat:      new(latRing),
+		res:      res,
+	}
+}
+
+// hedgeDelay picks how long the primary attempt runs alone.
+func (g *group) hedgeDelay() time.Duration {
+	if g.res.HedgeDelay > 0 {
+		return g.res.HedgeDelay
+	}
+	d := g.lat.percentile(g.res.HedgePercentile)
+	if d < g.res.HedgeMinDelay {
+		d = g.res.HedgeMinDelay
+	}
+	return d
+}
+
+// callStats is the per-group-call fault accounting groupCall returns;
+// the coordinator folds it into the query's Coverage block.
+type callStats struct {
+	retries     int
+	hedges      int
+	hedgeWins   int
+	breakerOpen int
+	panics      int
+}
+
+// attemptKind labels why an attempt was launched, for stats and spans.
+type attemptKind int
+
+const (
+	attemptPrimary attemptKind = iota
+	attemptHedge
+	attemptRetry
+)
+
+// attemptResult carries one finished attempt back to the groupCall loop.
+type attemptResult[T any] struct {
+	pos      int // position in the selection order
+	kind     attemptKind
+	val      T
+	err      error
+	dur      time.Duration
+	panicked bool
+}
+
+// groupCall runs fn against the group's replicas with the full
+// fault-tolerance discipline:
+//
+//   - the breaker gates the call; an open breaker fails fast with
+//     ErrGroupDown and breakerOpen=1 in the stats
+//   - replicas are tried in health order (EWMA latency + failure
+//     penalty, ties by index)
+//   - fn(ctx, rep, primary=true) runs first; if the hedge delay passes
+//     with no result, fn races on the next replica under a "hedge" span
+//   - a failed attempt triggers a backoff retry on the next untried
+//     replica under a "retry" span (hedging stops once an attempt has
+//     failed — from then on the call is in recovery, not tail-trimming)
+//   - a panic inside an attempt is recovered and counted as that
+//     replica's failure (goroutine panics never reach the HTTP layer)
+//   - the first success wins; every other attempt is cancelled via ctx
+//     and groupCall WAITS for all of them to exit before returning, so
+//     callers may reuse buffers the attempts were reading
+//   - parent-ctx cancellation propagates as ctx.Err() and is never
+//     recorded as a replica or breaker failure
+//
+// fn must honor ctx promptly and, when primary is false, must not write
+// into caller-owned buffers (losing attempts run concurrently with the
+// winner).
+func groupCall[T any](ctx context.Context, g *group, fn func(ctx context.Context, rep *replica, primary bool) (T, error)) (T, callStats, error) {
+	var zero T
+	var st callStats
+	if err := ctx.Err(); err != nil {
+		return zero, st, err
+	}
+	ok, probe := g.br.allow()
+	if !ok {
+		st.breakerOpen = 1
+		return zero, st, &groupDownError{shard: g.shardID}
+	}
+
+	var orderBuf [4]int
+	order := g.order(orderBuf[:0])
+	var finBuf [4]bool
+	finished := finBuf[:]
+	if len(order) > len(finBuf) {
+		finished = make([]bool, len(order))
+	}
+	callStart := time.Now()
+
+	attemptCtx, cancelAll := context.WithCancel(ctx)
+	results := make(chan attemptResult[T], len(order))
+	var wg sync.WaitGroup
+
+	launch := func(pos int, kind attemptKind) {
+		rep := g.replicas[order[pos]]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			actx := attemptCtx
+			cancel := func() {}
+			if g.res.AttemptTimeout > 0 {
+				actx, cancel = context.WithTimeout(attemptCtx, g.res.AttemptTimeout)
+			}
+			defer cancel()
+			var sp trace.Span
+			switch kind {
+			case attemptHedge:
+				actx, sp = trace.StartSpan(actx, "hedge")
+			case attemptRetry:
+				actx, sp = trace.StartSpan(actx, "retry")
+			}
+			start := time.Now()
+			res := attemptResult[T]{pos: pos, kind: kind}
+			defer func() {
+				if p := recover(); p != nil {
+					res.err = fmt.Errorf("shard %d replica %d: panic: %v", g.shardID, order[pos], p)
+					res.panicked = true
+					res.val = zero
+				}
+				res.dur = time.Since(start)
+				if sp.Enabled() {
+					if res.err != nil {
+						sp.Annotate(fmt.Sprintf("replica=%d err=%v", order[pos], res.err))
+					} else {
+						sp.Annotate(fmt.Sprintf("replica=%d won", order[pos]))
+					}
+					sp.End()
+				}
+				results <- res
+			}()
+			res.val, res.err = fn(actx, rep, kind == attemptPrimary)
+		}()
+	}
+
+	// finish tears down outstanding attempts and waits them out; no
+	// attempt may still be reading caller-owned state after return.
+	finish := func() {
+		cancelAll()
+		wg.Wait()
+	}
+
+	next := 0
+	launch(next, attemptPrimary)
+	next++
+
+	var hedgeC <-chan time.Time
+	var hedgeTimer, retryTimer *time.Timer
+	if !g.res.DisableHedging && next < len(order) {
+		hedgeTimer = time.NewTimer(g.hedgeDelay())
+		hedgeC = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+
+	inFlight := 1
+	var retryC <-chan time.Time
+	var lastErr error
+
+	for {
+		select {
+		case <-ctx.Done():
+			finish()
+			if probe {
+				g.br.abandonProbe()
+			}
+			return zero, st, ctx.Err()
+
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(order) {
+				st.hedges++
+				launch(next, attemptHedge)
+				next++
+				inFlight++
+			}
+
+		case <-retryC:
+			retryC = nil
+			launch(next, attemptRetry)
+			next++
+			inFlight++
+
+		case r := <-results:
+			inFlight--
+			finished[r.pos] = true
+			g.replicas[order[r.pos]].observe(r.dur, r.err == nil)
+			if r.err == nil {
+				if r.kind == attemptHedge {
+					st.hedgeWins++
+				}
+				// Losing attempts still in flight were at least this slow
+				// end-to-end; demote them so the winner leads next time.
+				for p := 0; p < next; p++ {
+					if p != r.pos && !finished[p] {
+						g.replicas[order[p]].observeSlow(time.Since(callStart))
+					}
+				}
+				finish()
+				g.lat.observe(r.dur)
+				g.br.record(true, probe)
+				return r.val, st, nil
+			}
+			if r.panicked {
+				st.panics++
+			}
+			if ctx.Err() != nil {
+				finish()
+				if probe {
+					g.br.abandonProbe()
+				}
+				return zero, st, ctx.Err()
+			}
+			lastErr = r.err
+			// An attempt has failed: stop tail-hedging, switch to the
+			// retry ladder.
+			if hedgeC != nil {
+				hedgeTimer.Stop()
+				hedgeC = nil
+			}
+			if next < len(order) && retryC == nil {
+				st.retries++
+				retryTimer = time.NewTimer(g.res.RetryBackoff)
+				retryC = retryTimer.C
+			} else if inFlight == 0 && retryC == nil {
+				// Every replica tried, every attempt failed.
+				finish()
+				g.br.record(false, probe)
+				return zero, st, &groupDownError{shard: g.shardID, cause: lastErr}
+			}
+		}
+	}
+}
+
+// GroupHealth is the observable state of one shard group, exported for
+// the serving layer's /metrics and /v1/stats endpoints.
+type GroupHealth struct {
+	Shard    int
+	Replicas int
+	Breaker  string // "closed" | "open" | "half_open"
+}
+
+// GroupHealth reports every shard group's breaker state.
+func (c *Cluster) GroupHealth() []GroupHealth {
+	out := make([]GroupHealth, len(c.groups))
+	for i, g := range c.groups {
+		out[i] = GroupHealth{Shard: i, Replicas: len(g.replicas), Breaker: g.br.State().String()}
+	}
+	return out
+}
+
+// ReplicaCount reports the cluster's replication factor.
+func (c *Cluster) ReplicaCount() int {
+	if len(c.groups) == 0 {
+		return 0
+	}
+	return len(c.groups[0].replicas)
+}

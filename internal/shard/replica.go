@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health-checked replica selection: each replica of a shard group tracks
+// an EWMA of its call latency and its consecutive-failure streak; the
+// group orders replicas by a combined score before every call, so
+// traffic drifts away from slow or failing replicas and returns to them
+// as successes decay the penalty. Selection is deterministic for a
+// deterministic history (ties break on replica index), which the seeded
+// chaos tests rely on.
+
+// replica is one member of a shard group: the (shared, sealed) partition
+// data, the transport that reaches it, and its health record. In this
+// in-process deployment every replica of a group wraps the same *Shard —
+// replicas are failure domains for the fault layer and the seam the
+// network cut will put real independent builds behind; sharing the
+// sealed immutable indexes keeps R-way groups memory-free and makes
+// replica answers bit-identical by construction.
+type replica struct {
+	sh *Shard
+	tr Transport
+
+	mu          sync.Mutex
+	ewmaNS      float64 // EWMA of call latency; 0 = no observation yet
+	consecFails int
+}
+
+// ewmaAlpha weights new latency observations; ~0.2 follows shifts within
+// a handful of calls without thrashing on one outlier.
+const ewmaAlpha = 0.2
+
+// failPenaltyNS is the selection penalty per consecutive failure — large
+// against µs-scale in-process latencies, so one failure parks a replica
+// behind its healthy siblings until a success clears the streak.
+const failPenaltyNS = float64(time.Millisecond)
+
+// observe folds one attempt outcome into the health record.
+func (r *replica) observe(d time.Duration, success bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if success {
+		r.consecFails = 0
+	} else {
+		r.consecFails++
+	}
+	ns := float64(d)
+	if r.ewmaNS == 0 {
+		r.ewmaNS = ns
+	} else {
+		r.ewmaNS += ewmaAlpha * (ns - r.ewmaNS)
+	}
+}
+
+// observeSlow folds a lower-bound latency for an attempt cancelled
+// because a sibling won the race — the replica was at least this slow.
+// Only the EWMA moves; the failure streak is unchanged (losing a hedge
+// race is not an error), but the growing EWMA demotes a hung replica
+// out of the primary slot on subsequent calls.
+func (r *replica) observeSlow(d time.Duration) {
+	r.mu.Lock()
+	ns := float64(d)
+	if r.ewmaNS == 0 {
+		r.ewmaNS = ns
+	} else {
+		r.ewmaNS += ewmaAlpha * (ns - r.ewmaNS)
+	}
+	r.mu.Unlock()
+}
+
+// score is the selection key: expected latency plus the failure-streak
+// penalty. Lower is better; an untried replica scores 0.
+func (r *replica) score() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ewmaNS + float64(r.consecFails)*failPenaltyNS
+}
+
+// health returns the record for introspection.
+func (r *replica) health() (ewma time.Duration, consecFails int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return time.Duration(r.ewmaNS), r.consecFails
+}
+
+// order writes the replica indexes, best score first, into dst.
+func (g *group) order(dst []int) []int {
+	dst = dst[:0]
+	for i := range g.replicas {
+		dst = append(dst, i)
+	}
+	if len(dst) > 1 {
+		scores := make([]float64, len(g.replicas))
+		for i, r := range g.replicas {
+			scores[i] = r.score()
+		}
+		sort.SliceStable(dst, func(a, b int) bool {
+			return scores[dst[a]] < scores[dst[b]]
+		})
+	}
+	return dst
+}
+
+// latRing is a small ring of recent success latencies per group; the
+// adaptive hedging policy reads its percentile to decide how long to
+// wait before racing a second replica.
+type latRing struct {
+	mu  sync.Mutex
+	buf [64]time.Duration
+	n   int // filled
+	pos int
+}
+
+func (l *latRing) observe(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.pos] = d
+	l.pos = (l.pos + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// percentile returns the p-quantile of the recorded latencies (0 when
+// none are recorded yet). Cost is a copy-and-sort of at most 64 values,
+// paid once per hedged call, never on the un-hedged fast path.
+func (l *latRing) percentile(p float64) time.Duration {
+	var tmp [64]time.Duration
+	l.mu.Lock()
+	n := l.n
+	copy(tmp[:], l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	s := tmp[:n]
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	idx := int(p * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return s[idx]
+}

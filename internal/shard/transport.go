@@ -1,0 +1,111 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/faultinject"
+	"repro/internal/keywordindex"
+)
+
+// Transport is the narrow per-replica call seam of the cluster: the two
+// operations the coordinator scatters — a keyword lookup during search
+// and one bind-join step during distributed execute. Every replica call
+// goes through exactly one Transport, so the production cost of the
+// fault layer is one interface call, the fault-injection harness scripts
+// failures by wrapping it, and a future network cut replaces it with an
+// RPC client without touching the coordinator's orchestration.
+//
+// Implementations must be safe for concurrent use and must honor ctx:
+// hedging and retries cancel losing attempts through it. The signatures
+// use the coordinator's in-process types on purpose — the wire protocol
+// (ROADMAP: "cut the cluster at a real network boundary") will serialize
+// these frames as-is.
+type Transport interface {
+	// Lookup maps one keyword against the replica's local keyword index.
+	Lookup(ctx context.Context, keyword string, opts keywordindex.LookupOptions) (*keywordindex.RawLookup, error)
+	// EvalStep runs one join step against the replica's owned partition,
+	// appending extensions into out (see Shard.evalStep).
+	EvalStep(ctx context.Context, spec stepSpec, parents *bindTable, out []ext) ([]ext, int64, bool, error)
+}
+
+// directTransport is the in-process Transport: direct method calls on
+// the replica's Shard. This is the entire production overhead of the
+// fault-tolerance seam.
+type directTransport struct {
+	sh *Shard
+}
+
+func (t directTransport) Lookup(ctx context.Context, keyword string, opts keywordindex.LookupOptions) (*keywordindex.RawLookup, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return t.sh.kwix.LookupRaw(keyword, opts), nil
+}
+
+func (t directTransport) EvalStep(ctx context.Context, spec stepSpec, parents *bindTable, out []ext) ([]ext, int64, bool, error) {
+	return t.sh.evalStep(ctx, spec, parents, out)
+}
+
+// faultTransport consults a faultinject.Injector before every delegated
+// call — the test-only wrapper SetInjector installs. An injected hang
+// blocks until ctx is cancelled (by a hedge win, a retry takeover, or
+// the request deadline); an injected panic propagates and is converted
+// to a replica failure by the group's recover.
+type faultTransport struct {
+	inner   Transport
+	inj     *faultinject.Injector
+	shard   int
+	replica int
+}
+
+func (t faultTransport) Lookup(ctx context.Context, keyword string, opts keywordindex.LookupOptions) (*keywordindex.RawLookup, error) {
+	if err := t.inj.Intercept(ctx, faultinject.Site{Shard: t.shard, Replica: t.replica, Op: faultinject.OpLookup}); err != nil {
+		return nil, err
+	}
+	return t.inner.Lookup(ctx, keyword, opts)
+}
+
+func (t faultTransport) EvalStep(ctx context.Context, spec stepSpec, parents *bindTable, out []ext) ([]ext, int64, bool, error) {
+	if err := t.inj.Intercept(ctx, faultinject.Site{Shard: t.shard, Replica: t.replica, Op: faultinject.OpJoin}); err != nil {
+		return out, 0, false, err
+	}
+	return t.inner.EvalStep(ctx, spec, parents, out)
+}
+
+// SetInjector wraps every replica's transport with the injector (nil
+// restores the direct transports). Call it before serving traffic — the
+// chaos harness and serverd -chaos both configure it at startup;
+// transports are read without synchronization by in-flight calls.
+func (c *Cluster) SetInjector(inj *faultinject.Injector) {
+	for si, g := range c.groups {
+		for ri, r := range g.replicas {
+			r.tr = directTransport{sh: r.sh}
+			if inj != nil {
+				r.tr = faultTransport{inner: r.tr, inj: inj, shard: si, replica: ri}
+			}
+		}
+	}
+}
+
+// ErrGroupDown reports a shard group that contributed nothing to a call:
+// every replica attempt failed, or the group's breaker was open. The
+// coordinator converts it into degraded coverage rather than failing the
+// query.
+var ErrGroupDown = errors.New("shard: group unavailable")
+
+// groupDownError wraps ErrGroupDown with the shard and last cause.
+type groupDownError struct {
+	shard int
+	cause error
+}
+
+func (e *groupDownError) Error() string {
+	if e.cause == nil {
+		return fmt.Sprintf("shard %d: group unavailable (breaker open)", e.shard)
+	}
+	return fmt.Sprintf("shard %d: group unavailable: %v", e.shard, e.cause)
+}
+
+func (e *groupDownError) Unwrap() error { return ErrGroupDown }
