@@ -10,6 +10,9 @@
 //	                            reference vs 2-shard cluster (before/after +
 //	                            row-set cross-check)
 //	benchmark shard             scatter-gather cluster vs single engine (1/2/4 shards)
+//	benchmark snapshot          cold-start: gob-rebuild vs mmap/heap snapshot boot
+//	                            (DBLP + LUBM, wall time + heap delta + round-trip
+//	                            result cross-check, writes BENCH_snapshot.json)
 //	benchmark fig4              effectiveness: MRR of C1/C2/C3 (DBLP + TAP)
 //	benchmark fig5              query performance vs baselines (Q1–Q10)
 //	benchmark fig6a             search time vs k and query length
@@ -122,6 +125,33 @@ func main() {
 				log.Fatalf("writing %s: %v", out, err)
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", out)
+		case "snapshot":
+			fmt.Fprintln(os.Stderr, "building DBLP + LUBM and measuring cold-start (gob-rebuild vs mmap vs heap)...")
+			envs := []*bench.Env{
+				bench.NewDBLPEnv(*pubs, *seed),
+				bench.NewLUBMEnv(*unis, *seed),
+			}
+			dir, err := os.MkdirTemp("", "snapbench")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			results, mismatches, err := bench.RunSnapshotBench(envs, dir)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(bench.FormatSnapshotBench(results))
+			for _, m := range mismatches {
+				fmt.Fprintf(os.Stderr, "SNAPSHOT ROUND-TRIP MISMATCH: %s\n", m)
+			}
+			if len(mismatches) > 0 {
+				log.Fatalf("%d snapshot/rebuild result mismatches", len(mismatches))
+			}
+			out := filepath.Join(*benchdir, "BENCH_snapshot.json")
+			if err := bench.WriteBenchJSON(out, results); err != nil {
+				log.Fatalf("writing %s: %v", out, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", out)
 		case "fig4":
 			env := dblpEnv()
 			fmt.Println(bench.RunFig4(env, bench.DBLPWorkload(), 10))
@@ -162,7 +192,7 @@ func main() {
 	}
 
 	if cmd == "all" {
-		for _, name := range []string{"explore", "exec", "shard", "fig4", "fig5", "fig6a", "fig6b",
+		for _, name := range []string{"explore", "exec", "shard", "snapshot", "fig4", "fig5", "fig6a", "fig6b",
 			"ablation-summary", "ablation-dmax", "ablation-cap",
 			"ablation-scale", "ablation-oracle"} {
 			run(name)

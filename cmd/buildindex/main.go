@@ -3,55 +3,95 @@
 // index size (dominated by V-vertices), graph index size (dominated by
 // the number of classes), and indexing time.
 //
+// With -snapshot it also persists the built indexes as a mmap-able
+// snapshot (internal/snapfmt): serverd then cold-starts by mapping the
+// file instead of re-deriving orderings, postings, and the summary
+// graph. With -shards N the stream is partitioned exactly as a sharded
+// deployment would and -snapshot names a directory receiving a catalog
+// plus one partition file per shard.
+//
 // Usage:
 //
 //	buildindex -data dblp.nt
 //	buildindex -data example.ttl -format turtle
-//	buildindex -data dblp.nt -snapshot dblp.snap   # persist binary snapshot
-//	buildindex -data dblp.snap -format snapshot    # load one back
+//	buildindex -data dblp.nt -snapshot dblp.swdb       # engine snapshot
+//	buildindex -data dblp.nt -shards 4 -snapshot dir/  # sharded snapshot
+//	buildindex -data dblp.swdb -format snapshot        # re-ingest one
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"path/filepath"
 
 	repro "repro"
+	"repro/internal/rdf"
+	"repro/internal/shard"
+	"repro/internal/snapfmt"
+	"repro/internal/snapshot"
+	"repro/internal/store"
 )
+
+// sink is the ingestion surface shared by the single engine and the
+// shard builder.
+type sink interface {
+	AddTriple(t rdf.Triple)
+	LoadNTriples(r io.Reader) (int, error)
+	LoadTurtle(r io.Reader) (int, error)
+	LoadSnapshot(r io.Reader) (int, error)
+}
 
 func main() {
 	data := flag.String("data", "", "RDF input file")
-	format := flag.String("format", "ntriples", "input format: ntriples | turtle | snapshot")
-	snapshot := flag.String("snapshot", "", "write a binary snapshot of the parsed data to this file")
+	format := flag.String("format", "ntriples", "input format: ntriples | turtle | snapshot (both snapshot generations, sniffed by magic)")
+	snapOut := flag.String("snapshot", "", "write a mmap-able index snapshot: an engine file, or with -shards > 1 a directory of catalog + per-shard partition files")
+	shards := flag.Int("shards", 1, "partition the snapshot across N shards (-snapshot then names a directory)")
+	legacyOut := flag.String("store-snapshot", "", "write the legacy gob store snapshot of the parsed triples (deprecated: -snapshot persists the built indexes instead)")
 	flag.Parse()
 	if *data == "" {
 		log.Fatal("missing -data file")
 	}
+	if *shards > 1 && *snapOut == "" {
+		log.Fatal("-shards needs -snapshot DIR (the partitioned output is the snapshot directory)")
+	}
+	if *shards > 1 && *legacyOut != "" {
+		log.Fatal("-store-snapshot applies to the single-engine build only")
+	}
 
-	f, err := os.Open(*data)
+	var (
+		e       *repro.Engine
+		builder *shard.Builder
+		dst     sink
+	)
+	if *shards > 1 {
+		builder = shard.NewBuilder(*shards, repro.Config{})
+		dst = builder
+	} else {
+		e = repro.New(repro.Config{})
+		dst = e
+	}
+
+	n, err := ingest(dst, *data, *format)
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer f.Close()
 
-	e := repro.New(repro.Config{})
-	var n int
-	switch *format {
-	case "ntriples":
-		n, err = e.LoadNTriples(f)
-	case "turtle":
-		n, err = e.LoadTurtle(f)
-	case "snapshot":
-		n, err = e.LoadSnapshot(f)
-	default:
-		log.Fatalf("unknown format %q", *format)
+	if builder != nil {
+		cl := builder.Build()
+		if err := cl.WriteSnapshotDir(*snapOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("data:           %d triples across %d shards %v\n", cl.NumTriples(), cl.NumShards(), cl.ShardSizes())
+		fmt.Printf("snapshot:       %s (%d KB: catalog + %d shard files)\n", *snapOut, dirSizeKB(*snapOut), cl.NumShards())
+		fmt.Printf("indexing time:  %v\n", cl.BuildDuration())
+		return
 	}
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *snapshot != "" {
-		out, err := os.Create(*snapshot)
+
+	if *legacyOut != "" {
+		out, err := os.Create(*legacyOut)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,10 +102,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("snapshot:       %s (%d KB)\n", *snapshot, written/1024)
+		fmt.Printf("store snapshot: %s (%d KB, legacy format — serverd re-derives the indexes from it)\n", *legacyOut, written/1024)
 	}
 
 	e.Build()
+	if *snapOut != "" {
+		if err := snapshot.WriteEngine(*snapOut, e); err != nil {
+			log.Fatal(err)
+		}
+		fi, err := os.Stat(*snapOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("snapshot:       %s (%d KB, mmap-able)\n", *snapOut, fi.Size()/1024)
+	}
+
 	g := e.Graph().Stats()
 	k := e.KeywordIndex().Stats()
 
@@ -78,4 +129,55 @@ func main() {
 	fmt.Printf("graph index:    %d elements (%d vertices)\n",
 		e.Summary().NumElements(), e.Summary().NumVertices())
 	fmt.Printf("indexing time:  %v\n", e.BuildTime)
+}
+
+// ingest loads the input file into dst, sniffing which snapshot
+// generation a -format snapshot file is.
+func ingest(dst sink, path, format string) (int, error) {
+	if format == "snapshot" {
+		kind, err := snapfmt.Sniff(path)
+		if err != nil {
+			return 0, err
+		}
+		if kind == "snapshot" {
+			// A current-format engine snapshot: boot it and re-ingest its
+			// triples, so an existing snapshot can be re-partitioned or
+			// re-snapshotted. The mapping stays open until process exit —
+			// the decoded terms alias it.
+			src, _, err := snapshot.LoadEngine(path, repro.Config{}, snapshot.LoadOptions{})
+			if err != nil {
+				return 0, err
+			}
+			st := src.Store()
+			st.ForEach(func(t store.IDTriple) { dst.AddTriple(st.Decode(t)) })
+			return st.Len(), nil
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	switch format {
+	case "ntriples":
+		return dst.LoadNTriples(f)
+	case "turtle":
+		return dst.LoadTurtle(f)
+	case "snapshot":
+		return dst.LoadSnapshot(f)
+	default:
+		return 0, fmt.Errorf("unknown format %q", format)
+	}
+}
+
+// dirSizeKB sums the sizes of a snapshot directory's files.
+func dirSizeKB(dir string) int64 {
+	var total int64
+	filepath.Walk(dir, func(_ string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() {
+			total += fi.Size()
+		}
+		return nil
+	})
+	return total / 1024
 }

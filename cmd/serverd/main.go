@@ -16,9 +16,18 @@
 // sharded deployments. -chaos installs the deterministic fault injector
 // for resilience testing.
 //
+// With -snapshot pointing at a file or directory written by
+// buildindex -snapshot, the server cold-starts by mmapping the built
+// indexes — no ordering sort, posting build, or summary derivation —
+// and is serving in milliseconds. -snapshot-mode picks the byte
+// backing (mmap with lazy page-in, or heap); -snapshot-verify=false
+// skips the per-section checksum pass for beyond-RAM shards.
+//
 // Usage:
 //
 //	serverd -data dblp.nt -addr :8080
+//	serverd -snapshot dblp.swdb -addr :8080
+//	serverd -snapshot clusterdir/ -replicas 2 -addr :8080
 //	serverd -gen dblp -scale 2000 -shards 4 -replicas 2 -addr :8080
 //	serverd -gen dblp -shards 4 -chaos "error,shard=0" -addr :8080
 //
@@ -64,6 +73,8 @@ import (
 	"repro/internal/scoring"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/snapfmt"
+	"repro/internal/snapshot"
 )
 
 // loader is the ingestion surface shared by the single engine and the
@@ -79,7 +90,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "RDF input file (N-Triples)")
 	turtle := flag.String("turtle", "", "RDF input file (Turtle)")
-	snapshot := flag.String("snapshot", "", "binary store snapshot (see buildindex)")
+	snapPath := flag.String("snapshot", "", "boot from a snapshot written by buildindex -snapshot: an engine file maps in milliseconds, a sharded directory boots the cluster from its partition files; legacy store snapshots still load (with an index rebuild)")
+	snapMode := flag.String("snapshot-mode", "auto", "snapshot byte backing: auto | mmap | heap")
+	snapVerify := flag.Bool("snapshot-verify", true, "verify per-section checksums when loading a snapshot (disable for lazy paging of beyond-RAM shards)")
 	gen := flag.String("gen", "", "generate a dataset instead: dblp | lubm | tap")
 	scale := flag.Int("scale", 1000, "scale for -gen")
 	k := flag.Int("k", 10, "default number of query candidates")
@@ -126,12 +139,104 @@ func main() {
 		log.Fatalf("unknown scoring %q", *scheme)
 	}
 
+	// Sniff what -snapshot points at: a current-format engine file or
+	// cluster directory boots by mapping; a legacy store snapshot falls
+	// back to the parse-and-rebuild path below.
+	snapBoot := "" // "", "engine", or "dir"
+	if *snapPath != "" {
+		fi, err := os.Stat(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fi.IsDir() {
+			snapBoot = "dir"
+		} else {
+			kind, err := snapfmt.Sniff(*snapPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			switch kind {
+			case "snapshot":
+				snapBoot = "engine"
+			case "legacy":
+				log.Printf("deprecated: %s is a legacy store snapshot — the indexes will be re-derived at startup; rebuild it with buildindex -snapshot for mmap cold-start", *snapPath)
+			default:
+				log.Fatalf("%s is not a snapshot in either format", *snapPath)
+			}
+		}
+	}
+	var mode snapfmt.Mode
+	switch strings.ToLower(*snapMode) {
+	case "auto", "":
+		mode = snapfmt.ModeAuto
+	case "mmap":
+		mode = snapfmt.ModeMmap
+	case "heap":
+		mode = snapfmt.ModeHeap
+	default:
+		log.Fatalf("unknown -snapshot-mode %q (want auto, mmap, or heap)", *snapMode)
+	}
+	loadOpts := snapshot.LoadOptions{Mode: mode, SkipVerify: !*snapVerify}
+
+	applyChaos := func(cl *shard.Cluster) {
+		if *chaosSpec == "" {
+			return
+		}
+		rules, err := faultinject.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cl.SetInjector(faultinject.New(*chaosSeed, rules...))
+		log.Printf("WARNING: fault injection ACTIVE (seed %d) — this server deliberately fails requests; never run production traffic with -chaos", *chaosSeed)
+		for i, r := range rules {
+			log.Printf("  chaos rule %d: %s", i, r)
+		}
+	}
+
 	var (
-		backend engine.Queryer
-		dst     loader
-		builder *shard.Builder
+		backend  engine.Queryer
+		dst      loader
+		builder  *shard.Builder
+		snapInfo *snapshot.Info
 	)
-	if *shards > 1 {
+	switch snapBoot {
+	case "engine":
+		if *shards > 1 {
+			log.Fatal("-shards conflicts with an engine snapshot file; write a sharded snapshot with buildindex -shards N -snapshot DIR and pass the directory")
+		}
+		if *replicas > 1 {
+			log.Fatal("-replicas needs a sharded backend (replica groups exist per shard)")
+		}
+		if *chaosSpec != "" {
+			log.Fatal("-chaos needs a sharded backend (the injector lives at the shard transport seam)")
+		}
+		eng, info, err := snapshot.LoadEngine(*snapPath, cfg, loadOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backend, snapInfo = eng, info
+		log.Printf("booted engine from snapshot %s in %v (%s-backed, format v%d, %.1f MB) — no index rebuild",
+			*snapPath, info.LoadDuration.Round(time.Microsecond), info.Mode, info.FormatVersion, float64(info.TotalBytes)/(1<<20))
+	case "dir":
+		cl, info, err := shard.NewBuilder(1, cfg).
+			Replicas(*replicas).
+			Resilience(shard.ResilienceConfig{HedgeDelay: *hedgeDelay}).
+			LoadSnapshotDir(*snapPath, loadOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *shards > 1 && *shards != cl.NumShards() {
+			log.Printf("note: -shards %d ignored — snapshot directory %s holds %d shards", *shards, *snapPath, cl.NumShards())
+		}
+		backend, snapInfo = cl, info
+		log.Printf("booted %d-shard cluster × %d replicas from snapshot %s in %v (%s-backed, format v%d, %.1f MB) — no index rebuild",
+			cl.NumShards(), cl.ReplicaCount(), *snapPath, info.LoadDuration.Round(time.Microsecond), info.Mode, info.FormatVersion, float64(info.TotalBytes)/(1<<20))
+		applyChaos(cl)
+	}
+
+	if snapBoot != "" {
+		// Booted from a mapped snapshot: skip the load-and-build pipeline.
+	} else if *shards > 1 {
 		builder = shard.NewBuilder(*shards, cfg).
 			Replicas(*replicas).
 			Resilience(shard.ResilienceConfig{HedgeDelay: *hedgeDelay})
@@ -148,65 +253,59 @@ func main() {
 		dst = eng
 	}
 
-	loadStart := time.Now()
-	loadFile := func(path string, load func(io.Reader) (int, error), what string) {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		n, err := load(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("loaded %d triples from %s %s in %v", n, what, path, time.Since(loadStart).Round(time.Millisecond))
-	}
-	switch {
-	case *data != "":
-		loadFile(*data, dst.LoadNTriples, "N-Triples file")
-	case *turtle != "":
-		loadFile(*turtle, dst.LoadTurtle, "Turtle file")
-	case *snapshot != "":
-		loadFile(*snapshot, dst.LoadSnapshot, "snapshot")
-	case *gen != "":
-		var triples int
-		emit := func(t rdf.Triple) { dst.AddTriple(t); triples++ }
-		switch *gen {
-		case "dblp":
-			datagen.DBLP(datagen.DBLPConfig{Publications: *scale, Seed: 1}, emit)
-		case "lubm":
-			datagen.LUBM(datagen.LUBMConfig{Universities: *scale, Seed: 1}, emit)
-		case "tap":
-			datagen.TAP(datagen.TAPConfig{InstancesPerClass: *scale, Seed: 1}, emit)
-		default:
-			log.Fatalf("unknown dataset %q (want dblp, lubm, or tap)", *gen)
-		}
-		log.Printf("generated %d %s triples (scale %d) in %v", triples, *gen, *scale, time.Since(loadStart).Round(time.Millisecond))
-	default:
-		fmt.Fprintln(os.Stderr, "serverd: need one of -data, -turtle, -snapshot, or -gen")
-		flag.Usage()
-		os.Exit(2)
-	}
-
 	buildStart := time.Now()
-	if builder != nil {
-		cl := builder.Build()
-		backend = cl
-		log.Printf("partitioned into %d shards × %d replicas %v; indexes built in %v",
-			cl.NumShards(), cl.ReplicaCount(), cl.ShardSizes(), time.Since(buildStart).Round(time.Millisecond))
-		if *chaosSpec != "" {
-			rules, err := faultinject.Parse(*chaosSpec)
+	if snapBoot == "" {
+		loadStart := time.Now()
+		loadFile := func(path string, load func(io.Reader) (int, error), what string) {
+			f, err := os.Open(path)
 			if err != nil {
 				log.Fatal(err)
 			}
-			cl.SetInjector(faultinject.New(*chaosSeed, rules...))
-			log.Printf("WARNING: fault injection ACTIVE (seed %d) — this server deliberately fails requests; never run production traffic with -chaos", *chaosSeed)
-			for i, r := range rules {
-				log.Printf("  chaos rule %d: %s", i, r)
+			n, err := load(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
 			}
+			log.Printf("loaded %d triples from %s %s in %v", n, what, path, time.Since(loadStart).Round(time.Millisecond))
+		}
+		switch {
+		case *data != "":
+			loadFile(*data, dst.LoadNTriples, "N-Triples file")
+		case *turtle != "":
+			loadFile(*turtle, dst.LoadTurtle, "Turtle file")
+		case *snapPath != "":
+			loadFile(*snapPath, dst.LoadSnapshot, "legacy snapshot")
+		case *gen != "":
+			var triples int
+			emit := func(t rdf.Triple) { dst.AddTriple(t); triples++ }
+			switch *gen {
+			case "dblp":
+				datagen.DBLP(datagen.DBLPConfig{Publications: *scale, Seed: 1}, emit)
+			case "lubm":
+				datagen.LUBM(datagen.LUBMConfig{Universities: *scale, Seed: 1}, emit)
+			case "tap":
+				datagen.TAP(datagen.TAPConfig{InstancesPerClass: *scale, Seed: 1}, emit)
+			default:
+				log.Fatalf("unknown dataset %q (want dblp, lubm, or tap)", *gen)
+			}
+			log.Printf("generated %d %s triples (scale %d) in %v", triples, *gen, *scale, time.Since(loadStart).Round(time.Millisecond))
+		default:
+			fmt.Fprintln(os.Stderr, "serverd: need one of -data, -turtle, -snapshot, or -gen")
+			flag.Usage()
+			os.Exit(2)
+		}
+
+		buildStart = time.Now()
+		if builder != nil {
+			cl := builder.Build()
+			backend = cl
+			log.Printf("partitioned into %d shards × %d replicas %v; indexes built in %v",
+				cl.NumShards(), cl.ReplicaCount(), cl.ShardSizes(), time.Since(buildStart).Round(time.Millisecond))
+			applyChaos(cl)
 		}
 	}
 	srv := server.New(backend, server.Config{
+		Snapshot:            snapInfo,
 		Workers:             *workers,
 		SearchCacheSize:     *cacheSize,
 		CacheTTL:            *cacheTTL,

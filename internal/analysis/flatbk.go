@@ -1,0 +1,79 @@
+package analysis
+
+import "sort"
+
+// FlatBK is a BK-tree laid out as flat arrays: node i's term plus a
+// contiguous run of (distance, child) pairs in ChildDist/ChildIdx
+// addressed by ChildOff[i]..ChildOff[i+1]. Node 0 is the root. The
+// layout is pointer-free, so a snapshot can persist it and a loaded
+// index can search it without materializing tree nodes.
+type FlatBK struct {
+	Terms     []string
+	ChildOff  []uint32 // len(Terms)+1
+	ChildDist []uint32
+	ChildIdx  []uint32
+}
+
+// Flatten converts the tree to its flat form. Children are emitted in
+// ascending distance order, so the output is deterministic for a given
+// insertion sequence.
+func (t *BKTree) Flatten() FlatBK {
+	f := FlatBK{
+		Terms:    make([]string, 0, t.size),
+		ChildOff: make([]uint32, 1, t.size+1),
+	}
+	if t.root == nil {
+		return f
+	}
+	// BFS assigns indexes in visit order and keeps each node's child
+	// run contiguous.
+	f.Terms = append(f.Terms, t.root.term)
+	queue := []*bkNode{t.root}
+	for head := 0; head < len(queue); head++ {
+		n := queue[head]
+		dists := make([]int, 0, len(n.children))
+		for d := range n.children {
+			dists = append(dists, d)
+		}
+		sort.Ints(dists)
+		for _, d := range dists {
+			child := n.children[d]
+			f.ChildDist = append(f.ChildDist, uint32(d))
+			f.ChildIdx = append(f.ChildIdx, uint32(len(queue)))
+			f.Terms = append(f.Terms, child.term)
+			queue = append(queue, child)
+		}
+		f.ChildOff = append(f.ChildOff, uint32(len(f.ChildDist)))
+	}
+	return f
+}
+
+// Len returns the number of terms in the flattened tree.
+func (f FlatBK) Len() int { return len(f.Terms) }
+
+// Search returns all terms within edit distance max of q, in no
+// particular order — the flat-array counterpart of BKTree.Search,
+// with the same triangle-inequality pruning.
+func (f FlatBK) Search(q string, max int) []FuzzyMatch {
+	if len(f.Terms) == 0 || max < 0 {
+		return nil
+	}
+	var out []FuzzyMatch
+	stack := []uint32{0}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		// The exact distance is needed for sound child-interval pruning.
+		d := Levenshtein(q, f.Terms[i])
+		if d <= max {
+			out = append(out, FuzzyMatch{Term: f.Terms[i], Dist: d})
+		}
+		for j := f.ChildOff[i]; j < f.ChildOff[i+1]; j++ {
+			c := int(f.ChildDist[j])
+			if c >= d-max && c <= d+max {
+				stack = append(stack, f.ChildIdx[j])
+			}
+		}
+	}
+	return out
+}

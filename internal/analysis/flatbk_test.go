@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func matchKey(m FuzzyMatch) string { return fmt.Sprintf("%s/%d", m.Term, m.Dist) }
+
+func sortedKeys(ms []FuzzyMatch) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = matchKey(m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFlatBKMatchesTree checks the flattened tree returns exactly the
+// tree's matches (as a set — traversal order differs) for random
+// vocabularies and queries at every distance bound the index uses.
+func TestFlatBKMatchesTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := "abcdef"
+	randWord := func() string {
+		n := 1 + rng.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	tree := &BKTree{}
+	words := map[string]bool{}
+	for i := 0; i < 400; i++ {
+		w := randWord()
+		tree.Add(w)
+		words[w] = true
+	}
+	flat := tree.Flatten()
+	if flat.Len() != tree.Len() {
+		t.Fatalf("Flatten dropped terms: %d vs %d", flat.Len(), tree.Len())
+	}
+	if len(flat.ChildOff) != flat.Len()+1 {
+		t.Fatalf("ChildOff length %d, want %d", len(flat.ChildOff), flat.Len()+1)
+	}
+	for i := 0; i < 200; i++ {
+		q := randWord()
+		for max := 0; max <= 2; max++ {
+			want := sortedKeys(tree.Search(q, max))
+			got := sortedKeys(flat.Search(q, max))
+			if fmt.Sprint(want) != fmt.Sprint(got) {
+				t.Fatalf("Search(%q, %d): tree=%v flat=%v", q, max, want, got)
+			}
+		}
+	}
+}
+
+func TestFlatBKEmpty(t *testing.T) {
+	flat := (&BKTree{}).Flatten()
+	if flat.Len() != 0 {
+		t.Fatalf("empty tree flattened to %d terms", flat.Len())
+	}
+	if got := flat.Search("anything", 2); got != nil {
+		t.Fatalf("empty flat tree returned %v", got)
+	}
+}

@@ -1,0 +1,225 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/snapfmt"
+	"repro/internal/snapshot"
+)
+
+// The snapshot benchmark: cold-start wall time and resident memory of
+// the three ways a server can come up on a built dataset — parsing the
+// legacy gob store snapshot and re-deriving every index ("gob-rebuild"),
+// mapping the snapfmt container ("mmap"), and reading the container
+// into aligned heap buffers ("heap") — cross-checking that all three
+// backends answer the probe queries identically.
+
+// SnapshotBenchResult is the machine-readable record of one (dataset,
+// boot mode) cold start, serialized to BENCH_snapshot.json.
+type SnapshotBenchResult struct {
+	Dataset     string  `json:"dataset"`
+	Mode        string  `json:"mode"` // "gob-rebuild", "mmap", "heap"
+	Triples     int     `json:"triples"`
+	ColdStartMs float64 `json:"cold_start_ms"`
+	// HeapDeltaBytes is the live-heap growth attributable to the boot
+	// (after a full GC): mmap boots keep columns out of the Go heap, so
+	// this is where the beyond-RAM story shows.
+	HeapDeltaBytes int64 `json:"heap_delta_bytes"`
+	// SnapshotBytes is the on-disk size of the artifact booted from.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// SpeedupVsRebuild is gob-rebuild cold-start time over this mode's.
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild,omitempty"`
+	// Candidates fingerprints the probe queries (total candidates);
+	// identical across modes by the cross-check.
+	Candidates int `json:"candidates"`
+}
+
+// snapshotProbes picks per-dataset probe queries for the cross-check.
+func snapshotProbes(dataset string) [][]string {
+	switch dataset {
+	case "LUBM":
+		return [][]string{{"professor"}, {"student", "university"}, {"department", "course"}}
+	default: // DBLP-shaped
+		qs := PerfWorkload()
+		if len(qs) > 3 {
+			qs = qs[:3]
+		}
+		out := make([][]string, len(qs))
+		for i, q := range qs {
+			out[i] = q.Keywords
+		}
+		return out
+	}
+}
+
+// fingerprintQueries runs the probes and folds the results into a
+// comparable fingerprint string plus the total candidate count.
+func fingerprintQueries(eng *engine.Engine, probes [][]string) (string, int, error) {
+	var b strings.Builder
+	total := 0
+	for _, kw := range probes {
+		cands, _, err := eng.SearchK(kw, 10)
+		if err != nil {
+			if _, ok := err.(*engine.UnmatchedKeywordsError); ok {
+				fmt.Fprintf(&b, "%v: unmatched\n", kw)
+				continue
+			}
+			return "", 0, fmt.Errorf("search %v: %w", kw, err)
+		}
+		total += len(cands)
+		fmt.Fprintf(&b, "%v: %d candidates\n", kw, len(cands))
+		for _, c := range cands {
+			fmt.Fprintf(&b, "  %.6f %s\n", c.Cost, c.SPARQL())
+		}
+	}
+	return b.String(), total, nil
+}
+
+// heapAlloc returns the live heap after a forced collection.
+func heapAlloc() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// RunSnapshotBench builds each environment's dataset once, persists it
+// in both snapshot generations under dir (a scratch directory the
+// caller owns), and measures the three cold-start paths. mismatches
+// lists every probe-query divergence between boot modes — empty when
+// the round-trip guarantee holds, as it must.
+func RunSnapshotBench(envs []*Env, dir string) (results []SnapshotBenchResult, mismatches []string, err error) {
+	for _, env := range envs {
+		// Built once, off the clock: the artifacts every boot starts from.
+		src := engine.New(engine.Config{})
+		src.AddTriples(env.Triples)
+		src.Build()
+		triples := src.NumTriples()
+
+		gobPath := filepath.Join(dir, env.Name+".gob")
+		f, ferr := os.Create(gobPath)
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		if _, err := src.SaveSnapshot(f); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, nil, err
+		}
+		snapPath := filepath.Join(dir, env.Name+".swdb")
+		if err := snapshot.WriteEngine(snapPath, src); err != nil {
+			return nil, nil, err
+		}
+		gobSize := fileSize(gobPath)
+		snapSize := fileSize(snapPath)
+		probes := snapshotProbes(env.Name)
+
+		var baseline float64
+		var baseFP string
+		for _, mode := range []string{"gob-rebuild", "mmap", "heap"} {
+			before := heapAlloc()
+			start := time.Now()
+			var (
+				eng  *engine.Engine
+				info *snapshot.Info
+			)
+			switch mode {
+			case "gob-rebuild":
+				g, gerr := os.Open(gobPath)
+				if gerr != nil {
+					return nil, nil, gerr
+				}
+				eng = engine.New(engine.Config{})
+				_, lerr := eng.LoadSnapshot(g)
+				g.Close()
+				if lerr != nil {
+					return nil, nil, lerr
+				}
+				eng.Build()
+			case "mmap", "heap":
+				m := snapfmt.ModeMmap
+				if mode == "heap" {
+					m = snapfmt.ModeHeap
+				}
+				var lerr error
+				eng, info, lerr = snapshot.LoadEngine(snapPath, engine.Config{}, snapshot.LoadOptions{Mode: m})
+				if lerr != nil {
+					return nil, nil, lerr
+				}
+			}
+			cold := time.Since(start)
+			delta := heapAlloc() - before
+			if delta < 0 {
+				delta = 0
+			}
+
+			fp, cands, ferr := fingerprintQueries(eng, probes)
+			if ferr != nil {
+				return nil, nil, ferr
+			}
+			if mode == "gob-rebuild" {
+				baseline = float64(cold.Nanoseconds())
+				baseFP = fp
+			} else if fp != baseFP {
+				mismatches = append(mismatches,
+					fmt.Sprintf("%s/%s probe results diverge from gob-rebuild:\n%s\nvs\n%s", env.Name, mode, fp, baseFP))
+			}
+
+			r := SnapshotBenchResult{
+				Dataset:        env.Name,
+				Mode:           mode,
+				Triples:        triples,
+				ColdStartMs:    float64(cold.Nanoseconds()) / 1e6,
+				HeapDeltaBytes: delta,
+				SnapshotBytes:  snapSize,
+				Candidates:     cands,
+			}
+			if mode == "gob-rebuild" {
+				r.SnapshotBytes = gobSize
+			} else if cold > 0 {
+				r.SpeedupVsRebuild = baseline / float64(cold.Nanoseconds())
+			}
+			results = append(results, r)
+			if info != nil {
+				if err := info.Close(); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+	return results, mismatches, nil
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+// FormatSnapshotBench renders the human table for a set of results.
+func FormatSnapshotBench(results []SnapshotBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cold start: legacy gob rebuild vs mmap/heap snapshot boot\n")
+	fmt.Fprintf(&b, "%-9s %-12s %10s %14s %14s %14s %9s\n",
+		"dataset", "mode", "triples", "cold-start ms", "heap delta", "artifact", "speedup")
+	for _, r := range results {
+		speedup := ""
+		if r.SpeedupVsRebuild > 0 {
+			speedup = fmt.Sprintf("%.0fx", r.SpeedupVsRebuild)
+		}
+		fmt.Fprintf(&b, "%-9s %-12s %10d %14.2f %13.1fM %13.1fM %9s\n",
+			r.Dataset, r.Mode, r.Triples, r.ColdStartMs,
+			float64(r.HeapDeltaBytes)/(1<<20), float64(r.SnapshotBytes)/(1<<20), speedup)
+	}
+	return b.String()
+}

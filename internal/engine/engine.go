@@ -147,6 +147,30 @@ func New(cfg Config) *Engine {
 	return &Engine{cfg: cfg.WithDefaults(), st: store.New(), explorer: core.NewExplorer()}
 }
 
+// NewFromParts assembles a sealed, ready-to-serve engine from
+// externally constructed components — the entry point the snapshot
+// loader uses to boot without re-deriving orderings, postings, or the
+// summary graph. The parts must be mutually consistent (fixed up from
+// one snapshot, or built from one store). buildTime is recorded as the
+// engine's BuildTime (for a snapshot boot: the load duration).
+func NewFromParts(cfg Config, st *store.Store, g *graph.Graph, sum *summary.Graph, kwix *keywordindex.Index, buildTime time.Duration) *Engine {
+	cfg = cfg.WithDefaults()
+	ex := exec.New(st)
+	ex.MaxRows = cfg.MaxExecRows
+	return &Engine{
+		cfg:       cfg,
+		sealed:    true,
+		st:        st,
+		g:         g,
+		sum:       sum,
+		kwix:      kwix,
+		exec:      ex,
+		built:     true,
+		explorer:  core.NewExplorer(),
+		BuildTime: buildTime,
+	}
+}
+
 // Store exposes the underlying triple store. The returned store is
 // shared, not a snapshot: do not add triples to it directly on a shared
 // engine (use the engine's mutators, which lock), and do not read it

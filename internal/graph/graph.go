@@ -11,6 +11,8 @@
 package graph
 
 import (
+	"sync"
+
 	"repro/internal/rdf"
 	"repro/internal/store"
 )
@@ -104,6 +106,12 @@ type Graph struct {
 	typeID store.ID // ID of rdf:type (0 if absent from the data)
 	subID  store.ID // ID of rdfs:subClassOf (0 if absent)
 
+	// CSR adjacency, built by adjOnce. Build runs it eagerly; a graph
+	// fixed up from a snapshot defers it to the first traversal —
+	// adjacency is derived data that only the offline consumers
+	// (summary/keyword-index builds, baseline searchers) walk, so the
+	// serving path never pays for it after a snapshot load.
+	adjOnce sync.Once
 	outOff  []int32
 	outEdge []HalfEdge
 	inOff   []int32
@@ -145,9 +153,7 @@ func Build(st *store.Store) *Graph {
 		}
 	}
 
-	// Pass 2: classify remaining vertices and count edge kinds/degrees.
-	outDeg := make([]int32, n)
-	inDeg := make([]int32, n)
+	// Pass 2: classify remaining vertices and count edge kinds.
 	rLabels := map[store.ID]bool{}
 	aLabels := map[store.ID]bool{}
 	for i := 0; i < full.Len(); i++ {
@@ -170,8 +176,6 @@ func Build(st *store.Store) *Graph {
 			g.markVertex(t.O, EVertex)
 			rLabels[t.P] = true
 		}
-		outDeg[t.S]++
-		inDeg[t.O]++
 	}
 	g.stats.RLabels = len(rLabels)
 	g.stats.ALabels = len(aLabels)
@@ -186,13 +190,31 @@ func Build(st *store.Store) *Graph {
 		}
 	}
 
-	// Build CSR adjacency.
+	g.ensureAdjacency()
+	return g
+}
+
+// ensureAdjacency builds the CSR adjacency exactly once. Graphs made
+// by Build have it already; snapshot-backed graphs derive it from the
+// store columns on the first traversal.
+func (g *Graph) ensureAdjacency() {
+	g.adjOnce.Do(g.buildAdjacency)
+}
+
+func (g *Graph) buildAdjacency() {
+	n := len(g.kinds)
+	full := g.st.Range(store.Wildcard, store.Wildcard, store.Wildcard)
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for i := 0; i < full.Len(); i++ {
+		outDeg[full.S[i]]++
+		inDeg[full.O[i]]++
+	}
 	g.outOff = prefixSum(outDeg)
 	g.inOff = prefixSum(inDeg)
 	g.outEdge = make([]HalfEdge, g.outOff[n])
 	g.inEdge = make([]HalfEdge, g.inOff[n])
-	outCur := make([]int32, n)
-	inCur := make([]int32, n)
+	outCur, inCur := outDeg, inDeg // reuse the degree arrays as fill cursors
 	copy(outCur, g.outOff[:n])
 	copy(inCur, g.inOff[:n])
 	for i := 0; i < full.Len(); i++ {
@@ -203,7 +225,6 @@ func Build(st *store.Store) *Graph {
 		g.inEdge[inCur[t.O]] = HalfEdge{P: t.P, Other: t.S, Kind: kind}
 		inCur[t.O]++
 	}
-	return g
 }
 
 // prefixSum converts per-ID degrees to CSR offsets (length n+1).
@@ -262,6 +283,7 @@ func (g *Graph) SubclassID() store.ID { return g.subID }
 
 // Out returns the out-edges of v. The slice is owned by the graph.
 func (g *Graph) Out(v store.ID) []HalfEdge {
+	g.ensureAdjacency()
 	if int(v)+1 >= len(g.outOff) {
 		return nil
 	}
@@ -270,6 +292,7 @@ func (g *Graph) Out(v store.ID) []HalfEdge {
 
 // In returns the in-edges of v. The slice is owned by the graph.
 func (g *Graph) In(v store.ID) []HalfEdge {
+	g.ensureAdjacency()
 	if int(v)+1 >= len(g.inOff) {
 		return nil
 	}

@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/snapfmt"
+	"repro/internal/store"
+)
+
+// graphMetaRec is the fixed snapshot header of a classified graph: the
+// predefined edge-label IDs and the Definition 1 composition counts.
+type graphMetaRec struct {
+	EVertices int64
+	CVertices int64
+	VVertices int64
+	REdges    int64
+	AEdges    int64
+	TypeEdges int64
+	SubEdges  int64
+	RLabels   int64
+	ALabels   int64
+	TypeID    uint32
+	SubID     uint32
+}
+
+var _ = [unsafe.Sizeof(graphMetaRec{})]byte{} == [80]byte{}
+
+// WriteSections serializes the graph's vertex classification and meta
+// under the given group. CSR adjacency is deliberately not written:
+// it is derived data only offline consumers traverse, and a loaded
+// graph rebuilds it lazily on first use (see ensureAdjacency).
+func (g *Graph) WriteSections(w *snapfmt.Writer, group uint32) error {
+	meta := []graphMetaRec{{
+		EVertices: int64(g.stats.EVertices),
+		CVertices: int64(g.stats.CVertices),
+		VVertices: int64(g.stats.VVertices),
+		REdges:    int64(g.stats.REdges),
+		AEdges:    int64(g.stats.AEdges),
+		TypeEdges: int64(g.stats.TypeEdges),
+		SubEdges:  int64(g.stats.SubEdges),
+		RLabels:   int64(g.stats.RLabels),
+		ALabels:   int64(g.stats.ALabels),
+		TypeID:    uint32(g.typeID),
+		SubID:     uint32(g.subID),
+	}}
+	if err := w.Add(snapfmt.SecGraphMeta, group, snapfmt.AsBytes(meta)); err != nil {
+		return err
+	}
+	return w.Add(snapfmt.SecGraphKinds, group, snapfmt.AsBytes(g.kinds))
+}
+
+// ReadSections fixes up a graph over an already-loaded store: the
+// vertex-kind table is a zero-copy view of the mapped section, and
+// adjacency stays unbuilt until an offline consumer asks for it.
+func ReadSections(r *snapfmt.Reader, group uint32, st *store.Store) (*Graph, error) {
+	metaB, err := r.Section(snapfmt.SecGraphMeta, group)
+	if err != nil {
+		return nil, err
+	}
+	metas, err := snapfmt.CastSlice[graphMetaRec](metaB)
+	if err != nil || len(metas) != 1 {
+		return nil, fmt.Errorf("graph: snapshot meta section malformed (%v, %d records)", err, len(metas))
+	}
+	m := metas[0]
+	kindsB, err := r.Section(snapfmt.SecGraphKinds, group)
+	if err != nil {
+		return nil, err
+	}
+	kinds, err := snapfmt.CastSlice[VertexKind](kindsB)
+	if err != nil {
+		return nil, err
+	}
+	if len(kinds) != st.NumTerms()+1 {
+		return nil, fmt.Errorf("graph: snapshot kinds table: want %d entries, got %d", st.NumTerms()+1, len(kinds))
+	}
+	return &Graph{
+		st:     st,
+		kinds:  kinds,
+		typeID: store.ID(m.TypeID),
+		subID:  store.ID(m.SubID),
+		stats: Stats{
+			EVertices: int(m.EVertices),
+			CVertices: int(m.CVertices),
+			VVertices: int(m.VVertices),
+			REdges:    int(m.REdges),
+			AEdges:    int(m.AEdges),
+			TypeEdges: int(m.TypeEdges),
+			SubEdges:  int(m.SubEdges),
+			RLabels:   int(m.RLabels),
+			ALabels:   int(m.ALabels),
+		},
+	}, nil
+}

@@ -1,0 +1,107 @@
+package keywordindex
+
+import (
+	"fmt"
+	"sort"
+	"unsafe"
+
+	"repro/internal/snapfmt"
+)
+
+// DF provides corpus-wide document frequencies for merged ranking:
+// the coordinator of a sharded deployment consults it when re-ranking
+// scattered keyword lookups. A built cluster backs it with the global
+// map extracted at build time (MapDF); a snapshot-booted cluster backs
+// it with the mapped DFTable.
+type DF interface {
+	// DocFreq returns the number of references whose label contains
+	// term, over the whole corpus (0 if unknown).
+	DocFreq(term string) int
+}
+
+type mapDF map[string]int
+
+func (m mapDF) DocFreq(term string) int { return m[term] }
+
+// MapDF wraps a term → document-frequency map as a DF.
+func MapDF(m map[string]int) DF { return mapDF(m) }
+
+// dfRec is the fixed on-disk record of one DFTable entry.
+type dfRec struct {
+	Off uint64 // start in the string arena
+	Len uint32
+	DF  uint32
+}
+
+var _ = [unsafe.Sizeof(dfRec{})]byte{} == [16]byte{}
+
+// DFTable is a snapshot-backed document-frequency table: sorted term
+// records over a string arena, answering DocFreq by binary search with
+// zero per-entry load cost.
+type DFTable struct {
+	recs  []dfRec
+	terms []string // aliases the mapped arena
+}
+
+var _ DF = (*DFTable)(nil)
+
+// DocFreq implements DF.
+func (t *DFTable) DocFreq(term string) int {
+	i := sort.SearchStrings(t.terms, term)
+	if i < len(t.terms) && t.terms[i] == term {
+		return int(t.recs[i].DF)
+	}
+	return 0
+}
+
+// Len returns the number of distinct terms in the table.
+func (t *DFTable) Len() int { return len(t.recs) }
+
+// WriteDFSections serializes a document-frequency table under the
+// given group, sorted by term for the loaded binary search. It accepts
+// either DF implementation, so a loaded cluster can be re-snapshotted.
+func WriteDFSections(w *snapfmt.Writer, group uint32, df DF) error {
+	var terms []string
+	switch d := df.(type) {
+	case mapDF:
+		terms = make([]string, 0, len(d))
+		for t := range d {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+	case *DFTable:
+		terms = d.terms
+	default:
+		return fmt.Errorf("keywordindex: unsupported DF implementation %T", df)
+	}
+	recs := make([]dfRec, len(terms))
+	var arena []byte
+	for i, t := range terms {
+		recs[i] = dfRec{Off: uint64(len(arena)), Len: uint32(len(t)), DF: uint32(df.DocFreq(t))}
+		arena = append(arena, t...)
+	}
+	if err := w.Add(snapfmt.SecDFRecs, group, snapfmt.AsBytes(recs)); err != nil {
+		return err
+	}
+	return w.Add(snapfmt.SecDFArena, group, arena)
+}
+
+// ReadDFSections fixes up a DFTable from the given group's sections.
+func ReadDFSections(r *snapfmt.Reader, group uint32) (*DFTable, error) {
+	recs, err := readSec[dfRec](r, snapfmt.SecDFRecs, group)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := r.Section(snapfmt.SecDFArena, group)
+	if err != nil {
+		return nil, err
+	}
+	t := &DFTable{recs: recs, terms: make([]string, len(recs))}
+	for i, rec := range recs {
+		if rec.Off+uint64(rec.Len) > uint64(len(arena)) {
+			return nil, fmt.Errorf("keywordindex: snapshot df term %d outside arena", i)
+		}
+		t.terms[i] = snapfmt.String(arena[rec.Off : rec.Off+uint64(rec.Len)])
+	}
+	return t, nil
+}

@@ -78,7 +78,7 @@ type RawLookup struct {
 // refKeyOf renders a reference's dictionary-independent key.
 func (ix *Index) refKeyOf(ref int32) RefKey {
 	st := ix.g.Store()
-	m := ix.refs[ref].match
+	m := ix.refMatch(ref)
 	k := RefKey{Kind: m.Kind}
 	switch m.Kind {
 	case summary.MatchClass:
@@ -95,11 +95,12 @@ func (ix *Index) refKeyOf(ref int32) RefKey {
 // refDataOf renders a reference's merge payload.
 func (ix *Index) refDataOf(ref int32) *RefData {
 	st := ix.g.Store()
-	ri := ix.refs[ref]
-	d := &RefData{LabelText: ri.labelText, LabelLen: ri.labelLen}
-	if ri.match.Classes != nil {
-		d.Classes = make([]rdf.Term, len(ri.match.Classes))
-		for i, c := range ri.match.Classes {
+	m := ix.refMatch(ref)
+	text, llen := ix.refLabel(ref)
+	d := &RefData{LabelText: text, LabelLen: llen}
+	if m.Classes != nil {
+		d.Classes = make([]rdf.Term, len(m.Classes))
+		for i, c := range m.Classes {
 			d.Classes[i] = st.Term(c)
 		}
 	}
@@ -141,7 +142,7 @@ func (ix *Index) LookupRaw(keyword string, opt LookupOptions) *RawLookup {
 	for i, tok := range tokens {
 		h := &raw.Hits[i]
 		// 1. Exact (stemmed) matches.
-		if exact := ix.postings[tok]; len(exact) > 0 {
+		if exact := ix.postingsFor(tok); len(exact) > 0 {
 			h.HasExact = true
 			for _, p := range exact {
 				record(&h.Exact, p.ref, 1.0)
@@ -151,14 +152,14 @@ func (ix *Index) LookupRaw(keyword string, opt LookupOptions) *RawLookup {
 		// 2. Semantic matches via the thesaurus, on the raw word form.
 		if !opt.DisableSemantic && ix.th != nil && i < len(rawWords) {
 			for _, e := range ix.th.Lookup(rawWords[i]) {
-				for _, p := range ix.postings[analysis.Stem(e.Term)] {
+				for _, p := range ix.postingsFor(analysis.Stem(e.Term)) {
 					record(&h.Semantic, p.ref, e.Score)
 				}
 			}
 		}
 		// 3. Fuzzy matches within a bounded edit distance.
 		if d := opt.editDistance(tok); d > 0 {
-			for _, fm := range ix.tree.Search(tok, d) {
+			for _, fm := range ix.fuzzySearch(tok, d) {
 				if fm.Dist == 0 {
 					continue // already handled as exact
 				}
@@ -167,7 +168,7 @@ func (ix *Index) LookupRaw(keyword string, opt LookupOptions) *RawLookup {
 				if score <= 0 {
 					continue
 				}
-				for _, p := range ix.postings[fm.Term] {
+				for _, p := range ix.postingsFor(fm.Term) {
 					record(&h.Fuzzy, p.ref, score)
 				}
 			}

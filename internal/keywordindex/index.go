@@ -75,6 +75,11 @@ type Index struct {
 	tree         *analysis.BKTree
 	numericAttrs []summary.Match
 	stats        Stats
+
+	// loaded, when non-nil, is the snapshot-backed form: refs,
+	// postings, df, and tree are nil and every access goes through the
+	// accessor seam (see loadable.go) against mapped regions.
+	loaded *loadedIndex
 }
 
 // Build constructs the keyword index for a data graph. th may be nil to
@@ -333,7 +338,7 @@ func (ix *Index) Lookup(keyword string) []summary.Match {
 func (ix *Index) LookupOpts(keyword string, opt LookupOptions) []summary.Match {
 	st := ix.g.Store()
 	return MergeRaw([]*RawLookup{ix.LookupRaw(keyword, opt)}, opt,
-		func(term string) int { return ix.df[term] },
+		ix.docFreq,
 		func(t rdf.Term) (store.ID, bool) { return st.Lookup(t) })
 }
 

@@ -1,0 +1,240 @@
+package keywordindex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/graph"
+	"repro/internal/snapfmt"
+	"repro/internal/store"
+	"repro/internal/thesaurus"
+)
+
+// vocabulary returns the sorted term list, from whichever backing the
+// index has.
+func (ix *Index) vocabulary() []string {
+	if ix.loaded != nil {
+		return ix.loaded.vocab
+	}
+	vocab := make([]string, 0, len(ix.postings))
+	for t := range ix.postings {
+		vocab = append(vocab, t)
+	}
+	sort.Strings(vocab)
+	return vocab
+}
+
+// WriteSections serializes the keyword index under the given group:
+// fixed reference records with class/label arenas, the sorted
+// vocabulary with concatenated postings runs, the flattened BK-tree
+// (nodes reference vocabulary slots), and the numeric-attribute match
+// list. Everything is written in its in-memory layout, so ReadSections
+// is pure fixup.
+func (ix *Index) WriteSections(w *snapfmt.Writer, group uint32) error {
+	// References.
+	n := ix.numRefs()
+	recs := make([]refRec, n)
+	var classArena []store.ID
+	var labelArena []byte
+	for i := 0; i < n; i++ {
+		m := ix.refMatch(int32(i))
+		text, llen := ix.refLabel(int32(i))
+		recs[i] = refRec{
+			ClassOff:   uint64(len(classArena)),
+			LabelOff:   uint64(len(labelArena)),
+			Value:      uint32(m.Value),
+			Pred:       uint32(m.Pred),
+			Class:      uint32(m.Class),
+			Kind:       uint32(m.Kind),
+			ClassLen:   uint32(len(m.Classes)),
+			LabelLen:   uint32(llen),
+			LabelBytes: uint32(len(text)),
+		}
+		classArena = append(classArena, m.Classes...)
+		labelArena = append(labelArena, text...)
+	}
+
+	// Vocabulary, document frequencies, and postings.
+	vocab := ix.vocabulary()
+	termRecs := make([]termEntry, len(vocab))
+	var termArena []byte
+	var postArena []posting
+	for i, t := range vocab {
+		ps := ix.postingsFor(t)
+		termRecs[i] = termEntry{
+			Off:     uint64(len(termArena)),
+			PostOff: uint64(len(postArena)),
+			Len:     uint32(len(t)),
+			DF:      uint32(ix.docFreq(t)),
+			PostLen: uint32(len(ps)),
+		}
+		termArena = append(termArena, t...)
+		postArena = append(postArena, ps...)
+	}
+
+	// BK-tree, flattened; nodes point at vocabulary slots.
+	var flat analysis.FlatBK
+	if ix.loaded != nil {
+		flat = ix.loaded.flat
+	} else {
+		flat = ix.tree.Flatten()
+	}
+	termIdx := make([]uint32, len(flat.Terms))
+	for i, t := range flat.Terms {
+		j := sort.SearchStrings(vocab, t)
+		if j >= len(vocab) || vocab[j] != t {
+			return fmt.Errorf("keywordindex: BK-tree term %q missing from vocabulary", t)
+		}
+		termIdx[i] = uint32(j)
+	}
+
+	meta := []kwixMetaRec{{
+		NumRefs:       int64(n),
+		NumTerms:      int64(len(vocab)),
+		PostingsTotal: int64(len(postArena)),
+		ValueRefs:     int64(ix.stats.ValueRefs),
+		ClassRefs:     int64(ix.stats.ClassRefs),
+		AttrRefs:      int64(ix.stats.AttrRefs),
+		RelRefs:       int64(ix.stats.RelRefs),
+		TreeNodes:     int64(len(flat.Terms)),
+		TreeChildren:  int64(len(flat.ChildDist)),
+	}}
+	if err := w.Add(snapfmt.SecKwixMeta, group, snapfmt.AsBytes(meta)); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecKwixRefRecs, group, snapfmt.AsBytes(recs)); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecKwixClassArena, group, snapfmt.AsBytes(classArena)); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecKwixLabelArena, group, labelArena); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecKwixTermRecs, group, snapfmt.AsBytes(termRecs)); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecKwixTermArena, group, termArena); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecKwixPostings, group, snapfmt.AsBytes(postArena)); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecKwixTree, group,
+		snapfmt.AsBytes(flat.ChildOff), snapfmt.AsBytes(flat.ChildDist),
+		snapfmt.AsBytes(flat.ChildIdx), snapfmt.AsBytes(termIdx)); err != nil {
+		return err
+	}
+	return WriteMatchSections(w, group, ix.numericAttrs)
+}
+
+// ReadSections fixes up a keyword index over an already-loaded data
+// graph. References, arenas, and postings stay in the mapped regions;
+// only slice/string headers (vocabulary, tree terms) and the small
+// numeric-attribute list are materialized.
+func ReadSections(r *snapfmt.Reader, group uint32, g *graph.Graph, th *thesaurus.Thesaurus) (*Index, error) {
+	metaB, err := r.Section(snapfmt.SecKwixMeta, group)
+	if err != nil {
+		return nil, err
+	}
+	metas, err := snapfmt.CastSlice[kwixMetaRec](metaB)
+	if err != nil || len(metas) != 1 {
+		return nil, fmt.Errorf("keywordindex: snapshot meta section malformed (%v, %d records)", err, len(metas))
+	}
+	m := metas[0]
+
+	li := &loadedIndex{}
+	if li.refRecs, err = readSec[refRec](r, snapfmt.SecKwixRefRecs, group); err != nil {
+		return nil, err
+	}
+	if len(li.refRecs) != int(m.NumRefs) {
+		return nil, fmt.Errorf("keywordindex: snapshot refs: want %d records, got %d", m.NumRefs, len(li.refRecs))
+	}
+	if li.classArena, err = readSec[store.ID](r, snapfmt.SecKwixClassArena, group); err != nil {
+		return nil, err
+	}
+	if li.labelArena, err = r.Section(snapfmt.SecKwixLabelArena, group); err != nil {
+		return nil, err
+	}
+	if li.termRecs, err = readSec[termEntry](r, snapfmt.SecKwixTermRecs, group); err != nil {
+		return nil, err
+	}
+	if len(li.termRecs) != int(m.NumTerms) {
+		return nil, fmt.Errorf("keywordindex: snapshot vocabulary: want %d terms, got %d", m.NumTerms, len(li.termRecs))
+	}
+	termArena, err := r.Section(snapfmt.SecKwixTermArena, group)
+	if err != nil {
+		return nil, err
+	}
+	li.vocab = make([]string, len(li.termRecs))
+	for i, e := range li.termRecs {
+		if e.Off+uint64(e.Len) > uint64(len(termArena)) {
+			return nil, fmt.Errorf("keywordindex: snapshot term %d outside arena", i)
+		}
+		li.vocab[i] = snapfmt.String(termArena[e.Off : e.Off+uint64(e.Len)])
+	}
+	if li.postArena, err = readSec[posting](r, snapfmt.SecKwixPostings, group); err != nil {
+		return nil, err
+	}
+
+	treeB, err := r.Section(snapfmt.SecKwixTree, group)
+	if err != nil {
+		return nil, err
+	}
+	tn, tm := int(m.TreeNodes), int(m.TreeChildren)
+	treeWords, err := snapfmt.CastSlice[uint32](treeB)
+	if err != nil {
+		return nil, err
+	}
+	if len(treeWords) != (tn+1)+2*tm+tn {
+		return nil, fmt.Errorf("keywordindex: snapshot BK-tree: want %d words, got %d", (tn+1)+2*tm+tn, len(treeWords))
+	}
+	li.flat = analysis.FlatBK{
+		ChildOff:  treeWords[0 : tn+1 : tn+1],
+		ChildDist: treeWords[tn+1 : tn+1+tm : tn+1+tm],
+		ChildIdx:  treeWords[tn+1+tm : tn+1+2*tm : tn+1+2*tm],
+		Terms:     make([]string, tn),
+	}
+	termIdx := treeWords[tn+1+2*tm:]
+	for i := 0; i < tn; i++ {
+		j := int(termIdx[i])
+		if j >= len(li.vocab) {
+			return nil, fmt.Errorf("keywordindex: snapshot BK-tree node %d references term %d outside vocabulary", i, j)
+		}
+		li.flat.Terms[i] = li.vocab[j]
+	}
+
+	numeric, err := ReadMatchSections(r, group)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Index{
+		g:            g,
+		th:           th,
+		loaded:       li,
+		numericAttrs: numeric,
+		stats: Stats{
+			Refs:      int(m.NumRefs),
+			Terms:     int(m.NumTerms),
+			Postings:  int(m.PostingsTotal),
+			ValueRefs: int(m.ValueRefs),
+			ClassRefs: int(m.ClassRefs),
+			AttrRefs:  int(m.AttrRefs),
+			RelRefs:   int(m.RelRefs),
+		},
+	}, nil
+}
+
+func readSec[T any](r *snapfmt.Reader, kind, group uint32) ([]T, error) {
+	b, err := r.Section(kind, group)
+	if err != nil {
+		return nil, err
+	}
+	out, err := snapfmt.CastSlice[T](b)
+	if err != nil {
+		return nil, fmt.Errorf("keywordindex: section %q: %w", snapfmt.KindName(kind), err)
+	}
+	return out, nil
+}

@@ -51,6 +51,18 @@ func (g *Gauge) Set(n int64) { g.v.Store(n) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a gauge holding a float64 (e.g. seconds), safe for
+// concurrent use. The value is stored as float64 bits.
+type FloatGauge struct {
+	v atomic.Uint64 // math.Float64bits
+}
+
+// Set replaces the value.
+func (g *FloatGauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Summary accumulates observations as a running count and sum (the
 // Prometheus summary type without quantiles), safe for concurrent use.
 // The sum is stored as float64 bits updated by compare-and-swap.
@@ -169,6 +181,12 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.get("", func() any { return new(Gauge) }).(*Gauge)
 }
 
+// FloatGauge registers and returns an unlabeled float-valued gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	f := r.register(name, help, kindGauge, "")
+	return f.get("", func() any { return new(FloatGauge) }).(*FloatGauge)
+}
+
 // Summary registers and returns an unlabeled summary.
 func (r *Registry) Summary(name, help string) *Summary {
 	f := r.register(name, help, kindSummary, "")
@@ -260,6 +278,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, suffix, m.Value())
 			case *Gauge:
 				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, suffix, m.Value())
+			case *FloatGauge:
+				_, err = fmt.Fprintf(w, "%s%s %g\n", f.name, suffix, m.Value())
 			case *Summary:
 				_, err = fmt.Fprintf(w, "%s_count%s %d\n", f.name, suffix, m.Count())
 				if err == nil {
@@ -297,6 +317,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 				out[f.name+suffix] = float64(m.Value())
 			case *Gauge:
 				out[f.name+suffix] = float64(m.Value())
+			case *FloatGauge:
+				out[f.name+suffix] = m.Value()
 			case *Summary:
 				out[f.name+"_count"+suffix] = float64(m.Count())
 				out[f.name+"_sum"+suffix] = m.Sum()

@@ -923,6 +923,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"sealed":         s.eng.Sealed(),
 		"triples":        s.eng.NumTriples(),
 		"uptime_seconds": s.Uptime().Seconds(),
+		"snapshot":       s.snapshotJSON(false),
 	})
 }
 
@@ -1027,6 +1028,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cluster":        cluster,
+		"snapshot":       s.snapshotJSON(true),
 		"uptime_seconds": s.Uptime().Seconds(),
 		"triples":        s.eng.NumTriples(),
 		"build_seconds":  s.eng.BuildDuration().Seconds(),

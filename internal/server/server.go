@@ -25,6 +25,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/metrics"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 )
 
 // Config tunes the server. The zero value gives sensible defaults.
@@ -75,6 +76,11 @@ type Config struct {
 	// (code "degraded") instead of a partial answer set. Default off —
 	// partial results with a coverage block beat unavailability.
 	RequireFullCoverage bool
+	// Snapshot describes the snapshot the backend was booted from, for
+	// the observability surface (/healthz, /stats, and the
+	// searchwebdb_snapshot_load_seconds gauge). nil when the backend was
+	// built from a triple stream (load mode "rebuilt").
+	Snapshot *snapshot.Info
 }
 
 func (c Config) withDefaults(procs int) Config {
@@ -181,6 +187,10 @@ type Server struct {
 	mHedges       *metrics.Counter
 	mShardRetries *metrics.Counter
 	mBreakerState *metrics.GaugeVec
+
+	// Cold-start provenance: how long the snapshot load took (0 when the
+	// backend was built from a triple stream rather than booted).
+	mSnapLoad *metrics.FloatGauge
 }
 
 // clusterBackend is the optional introspection surface of a sharded
@@ -265,8 +275,35 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 		"Cross-replica retries spent across computed searches and executes.")
 	s.mBreakerState = s.reg.GaugeVec("searchwebdb_shard_breaker_state",
 		"Per-shard circuit breaker state (0 closed, 1 half-open, 2 open), refreshed on scrape.", "shard")
+	s.mSnapLoad = s.reg.FloatGauge("searchwebdb_snapshot_load_seconds",
+		"Wall time of the snapshot load the backend booted from (0 when built from a triple stream).")
+	if cfg.Snapshot != nil {
+		s.mSnapLoad.Set(cfg.Snapshot.LoadDuration.Seconds())
+	}
 	s.refreshBreakerGauges()
 	return s
+}
+
+// snapshotJSON renders the boot-provenance block of /healthz and
+// /stats: where the sealed indexes came from and how their bytes are
+// backed ("mmap", "heap", or "rebuilt" for a backend built from a
+// triple stream). detailed adds the per-section size breakdown.
+func (s *Server) snapshotJSON(detailed bool) map[string]any {
+	si := s.cfg.Snapshot
+	if si == nil {
+		return map[string]any{"mode": "rebuilt"}
+	}
+	out := map[string]any{
+		"mode":           si.Mode,
+		"path":           si.Path,
+		"format_version": si.FormatVersion,
+		"load_seconds":   si.LoadDuration.Seconds(),
+		"total_bytes":    si.TotalBytes,
+	}
+	if detailed {
+		out["sections"] = si.Sections
+	}
+	return out
 }
 
 // observeCoverage folds one computed search's or execute's fault

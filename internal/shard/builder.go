@@ -233,7 +233,7 @@ func (b *Builder) Build() *Cluster {
 		groups:       groups,
 		dict:         dict,
 		sum:          gsum,
-		df:           df,
+		df:           keywordindex.MapDF(df),
 		numeric:      numeric,
 		explorer:     core.NewExplorer(),
 		totalTriples: total,

@@ -38,8 +38,10 @@ type Cluster struct {
 	// sum is the global summary graph, backed by a slim graph over dict.
 	sum *summary.Graph
 	// df is the corpus-wide term → document-frequency table (the global
-	// IDF statistics the merged keyword ranking needs).
-	df map[string]int
+	// IDF statistics the merged keyword ranking needs). A built cluster
+	// backs it with the map extracted at build time; a snapshot-booted
+	// cluster backs it with the catalog's mapped DFTable.
+	df keywordindex.DF
 	// numeric are the global numeric-attribute matches for filter
 	// keywords ("before 2005"), in coordinator IDs.
 	numeric []summary.Match
@@ -193,7 +195,7 @@ func (c *Cluster) SearchKContext(ctx context.Context, keywords []string, k int) 
 	// against the global lexicon — is independent of the others, so the
 	// ComputeCandidates input assembly fans out across the intra-query
 	// worker cap alongside the lookups that produced it.
-	dfFn := func(term string) int { return c.df[term] }
+	dfFn := c.df.DocFreq
 	resolve := func(t rdf.Term) (store.ID, bool) { return c.dict.Lookup(t) }
 	_, mergeSpan := trace.StartSpan(lctx, "merge")
 	parallel.ForEach(parallel.Workers(c.cfg.Parallelism), len(scatter), func(j int) {

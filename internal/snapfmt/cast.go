@@ -1,0 +1,60 @@
+package snapfmt
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// AsBytes reinterprets a slice of fixed-size records as its raw bytes,
+// without copying. T must be a pointer-free type whose in-memory layout
+// is the on-disk layout (plain integers, or structs of them with
+// explicit padding).
+func AsBytes[T any](s []T) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	size := int(unsafe.Sizeof(s[0]))
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*size)
+}
+
+// CastSlice reinterprets a section payload as a slice of fixed-size
+// records, without copying — the zero-parse read path. It checks that
+// the payload length is a whole number of records and that the mapped
+// address satisfies T's alignment (guaranteed for section starts by
+// the 64-byte file alignment, but verified anyway because callers may
+// pass sub-slices).
+func CastSlice[T any](b []byte) ([]T, error) {
+	var zero T
+	size := int(unsafe.Sizeof(zero))
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b)%size != 0 {
+		return nil, fmt.Errorf("snapfmt: payload length %d not a multiple of record size %d", len(b), size)
+	}
+	align := uintptr(unsafe.Alignof(zero))
+	if uintptr(unsafe.Pointer(&b[0]))%align != 0 {
+		return nil, fmt.Errorf("snapfmt: payload misaligned for record alignment %d", align)
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&b[0])), len(b)/size), nil
+}
+
+// String reinterprets bytes as a string without copying. The bytes
+// must stay alive and unmodified for the lifetime of the string —
+// true for mapped snapshot regions held open by the Reader.
+func String(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// nativeBOM writes and reads the byte-order marker through the same
+// unsafe native path the payload casts use, so a marker that survives
+// the round trip proves payload casts are safe on this architecture.
+func nativeBOM() [4]byte {
+	v := [1]uint32{byteOrderMark}
+	var out [4]byte
+	copy(out[:], AsBytes(v[:]))
+	return out
+}

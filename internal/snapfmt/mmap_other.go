@@ -1,0 +1,14 @@
+//go:build !unix
+
+package snapfmt
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable on this platform; ModeAuto falls back to the
+// aligned heap read and ModeMmap fails loudly.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("mmap not supported on this platform")
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package snapfmt
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only and shared. The mapping survives the
+// file descriptor being closed; unmap releases it.
+func mapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, syscall.EINVAL
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

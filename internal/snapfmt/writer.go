@@ -1,0 +1,142 @@
+package snapfmt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+type dirEntry struct {
+	kind, group uint32
+	off, length uint64
+	crc         uint32
+}
+
+// Writer streams sections into a snapshot file. Sections are written
+// in call order, each padded to the 64-byte file alignment; Close
+// appends the directory and footer and syncs. A Writer is not safe
+// for concurrent use.
+type Writer struct {
+	f       *os.File
+	off     uint64
+	entries []dirEntry
+	err     error
+	pad     [Align]byte
+}
+
+// Create opens path for writing (truncating any existing file) and
+// writes the snapshot header.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{f: f}
+	hdr := make([]byte, headerSize)
+	copy(hdr[0:8], Magic)
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	bom := nativeBOM()
+	copy(hdr[12:16], bom[:])
+	binary.LittleEndian.PutUint64(hdr[16:24], uint64(time.Now().Unix()))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.off = headerSize
+	return w, nil
+}
+
+// Add writes one section with the given kind and group, concatenating
+// parts as the payload. The (kind, group) pair must be unique within
+// the file. Errors are sticky: after a failed Add, further Adds are
+// no-ops and Close reports the first error.
+func (w *Writer) Add(kind, group uint32, parts ...[]byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	for _, e := range w.entries {
+		if e.kind == kind && e.group == group {
+			w.err = fmt.Errorf("snapfmt: duplicate section %q (kind=%d group=%d)", KindName(kind), kind, group)
+			return w.err
+		}
+	}
+	if w.err = w.align(); w.err != nil {
+		return w.err
+	}
+	start := w.off
+	crc := crc32.New(castagnoli)
+	var n uint64
+	for _, p := range parts {
+		if len(p) == 0 {
+			continue
+		}
+		if _, err := w.f.Write(p); err != nil {
+			w.err = err
+			return err
+		}
+		crc.Write(p)
+		n += uint64(len(p))
+	}
+	w.off += n
+	w.entries = append(w.entries, dirEntry{kind: kind, group: group, off: start, length: n, crc: crc.Sum32()})
+	return nil
+}
+
+func (w *Writer) align() error {
+	if rem := w.off % Align; rem != 0 {
+		padN := Align - rem
+		if _, err := w.f.Write(w.pad[:padN]); err != nil {
+			return err
+		}
+		w.off += padN
+	}
+	return nil
+}
+
+// Close writes the section directory and footer, syncs, and closes
+// the file. The snapshot is not valid until Close returns nil.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		w.f.Close()
+		return w.err
+	}
+	if err := w.align(); err != nil {
+		w.f.Close()
+		return err
+	}
+	dirOff := w.off
+	dir := make([]byte, len(w.entries)*dirEntrySize)
+	for i, e := range w.entries {
+		b := dir[i*dirEntrySize:]
+		binary.LittleEndian.PutUint32(b[0:4], e.kind)
+		binary.LittleEndian.PutUint32(b[4:8], e.group)
+		binary.LittleEndian.PutUint64(b[8:16], e.off)
+		binary.LittleEndian.PutUint64(b[16:24], e.length)
+		binary.LittleEndian.PutUint32(b[24:28], e.crc)
+	}
+	if _, err := w.f.Write(dir); err != nil {
+		w.f.Close()
+		return err
+	}
+	w.off += uint64(len(dir))
+
+	foot := make([]byte, footerSize)
+	binary.LittleEndian.PutUint64(foot[0:8], dirOff)
+	binary.LittleEndian.PutUint64(foot[8:16], uint64(len(w.entries)))
+	binary.LittleEndian.PutUint32(foot[16:20], crc32.Checksum(dir, castagnoli))
+	binary.LittleEndian.PutUint64(foot[24:32], w.off+footerSize)
+	copy(foot[32:40], TailMagic)
+	if _, err := w.f.Write(foot); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

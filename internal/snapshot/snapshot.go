@@ -1,0 +1,233 @@
+// Package snapshot is the high-level face of the persistence
+// subsystem: it writes a sealed engine (or, via package shard, a
+// cluster) into the snapfmt container format and boots one back by
+// mmap + pointer fixup, with zero re-derivation of orderings,
+// postings, or the summary graph.
+//
+// One engine snapshot is one .swdb file holding, under a single
+// section group: the store's dictionary and three SoA orderings, the
+// data graph's vertex classification, the summary graph, and the
+// keyword index. A cluster snapshot is a directory of such containers
+// — one catalog plus one file per shard (see shard.WriteSnapshotDir).
+package snapshot
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/keywordindex"
+	"repro/internal/snapfmt"
+	"repro/internal/store"
+	"repro/internal/summary"
+	"repro/internal/thesaurus"
+)
+
+// GroupPrimary is the section group of a single-engine snapshot's
+// components (cluster files use per-store groups; see package shard).
+const GroupPrimary uint32 = 0
+
+// Layout names for Meta.Layout.
+const (
+	LayoutEngine  = "engine"
+	LayoutCatalog = "cluster-catalog"
+	LayoutShard   = "cluster-shard"
+)
+
+// Meta is the JSON snapshot-level metadata section, identifying what
+// the file holds and where it came from.
+type Meta struct {
+	Layout      string `json:"layout"`
+	Triples     int    `json:"triples"`
+	Terms       int    `json:"terms"`
+	Shards      int    `json:"shards,omitempty"`
+	Shard       int    `json:"shard,omitempty"`
+	CreatedUnix int64  `json:"created_unix,omitempty"`
+	Tool        string `json:"tool,omitempty"`
+}
+
+// WriteMeta adds the metadata section to a container.
+func WriteMeta(w *snapfmt.Writer, m Meta) error {
+	if m.CreatedUnix == 0 {
+		m.CreatedUnix = time.Now().Unix()
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return w.Add(snapfmt.SecMeta, 0, b)
+}
+
+// ReadMeta parses the metadata section of a container.
+func ReadMeta(r *snapfmt.Reader) (Meta, error) {
+	var m Meta
+	b, err := r.Section(snapfmt.SecMeta, 0)
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return m, fmt.Errorf("snapshot: metadata section unparseable: %w", err)
+	}
+	return m, nil
+}
+
+// LoadOptions tune snapshot loading.
+type LoadOptions struct {
+	// Mode selects the byte backing (default: mmap with heap fallback).
+	Mode snapfmt.Mode
+	// SkipVerify disables the per-section CRC pass, making open time
+	// independent of file size for beyond-RAM lazy paging. Framing
+	// checks still run. See snapfmt.Options.
+	SkipVerify bool
+}
+
+// SectionSize describes one section's on-disk footprint, for the
+// observability surface.
+type SectionSize struct {
+	File  string `json:"file,omitempty"`
+	Name  string `json:"name"`
+	Group uint32 `json:"group,omitempty"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Info describes a completed snapshot load. It owns the underlying
+// mappings: the loaded engine/cluster is valid until Close.
+type Info struct {
+	Path          string
+	FormatVersion int
+	Mode          string // "mmap" or "heap"
+	LoadDuration  time.Duration
+	TotalBytes    int64
+	Sections      []SectionSize
+
+	readers []*snapfmt.Reader
+}
+
+// Track appends a reader's sections to the info and takes ownership of
+// its lifetime.
+func (i *Info) Track(r *snapfmt.Reader, file string) {
+	i.readers = append(i.readers, r)
+	i.FormatVersion = r.FormatVersion()
+	i.Mode = r.ModeName()
+	i.TotalBytes += r.Size()
+	for _, s := range r.Sections() {
+		i.Sections = append(i.Sections, SectionSize{File: file, Name: s.Name, Group: s.Group, Bytes: s.Bytes})
+	}
+}
+
+// Close unmaps every region backing the load. The engine or cluster
+// fixed up from it must not be used afterwards. A serving process
+// normally never calls this; tests and benchmarks do.
+func (i *Info) Close() error {
+	var first error
+	for _, r := range i.readers {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	i.readers = nil
+	return first
+}
+
+// WriteEngine snapshots a built engine into one container file. The
+// engine is built first if needed (Build is idempotent); the snapshot
+// captures the sealed in-memory layouts verbatim.
+func WriteEngine(path string, e *engine.Engine) (err error) {
+	e.Build()
+	w, werr := snapfmt.Create(path)
+	if werr != nil {
+		return werr
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(path)
+		}
+	}()
+	st := e.Store()
+	if err = WriteMeta(w, Meta{
+		Layout:  LayoutEngine,
+		Triples: e.NumTriples(),
+		Terms:   st.NumTerms(),
+		Tool:    "buildindex",
+	}); err != nil {
+		return err
+	}
+	if err = st.WriteSections(w, GroupPrimary); err != nil {
+		return err
+	}
+	if err = e.Graph().WriteSections(w, GroupPrimary); err != nil {
+		return err
+	}
+	if err = e.Summary().WriteSections(w, GroupPrimary); err != nil {
+		return err
+	}
+	if err = e.KeywordIndex().WriteSections(w, GroupPrimary); err != nil {
+		return err
+	}
+	return w.Close()
+}
+
+// LoadEngine boots a sealed engine from an engine snapshot: open +
+// framing/CRC checks, then pure pointer fixup — no ordering sort, no
+// posting build, no summary derivation. On success the returned Info
+// owns the mapping; keep it alive as long as the engine serves.
+func LoadEngine(path string, cfg engine.Config, opts LoadOptions) (*engine.Engine, *Info, error) {
+	start := time.Now()
+	r, err := snapfmt.Open(path, snapfmt.Options{Mode: opts.Mode, SkipVerify: opts.SkipVerify})
+	if err != nil {
+		return nil, nil, err
+	}
+	meta, err := ReadMeta(r)
+	if err != nil {
+		r.Close()
+		return nil, nil, err
+	}
+	if meta.Layout != LayoutEngine {
+		r.Close()
+		if meta.Layout == LayoutShard || meta.Layout == LayoutCatalog {
+			return nil, nil, fmt.Errorf("snapshot: %s is a %s partition file; pass the snapshot directory instead", path, meta.Layout)
+		}
+		return nil, nil, fmt.Errorf("snapshot: %s has unknown layout %q", path, meta.Layout)
+	}
+	eng, err := readEngineParts(r, GroupPrimary, cfg, start)
+	if err != nil {
+		r.Close()
+		return nil, nil, err
+	}
+	info := &Info{Path: path, LoadDuration: time.Since(start)}
+	info.Track(r, "")
+	return eng, info, nil
+}
+
+// readEngineParts fixes up the four components of an engine from one
+// group of an open container.
+func readEngineParts(r *snapfmt.Reader, group uint32, cfg engine.Config, start time.Time) (*engine.Engine, error) {
+	st, err := store.ReadSections(r, group)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.ReadSections(r, group, st)
+	if err != nil {
+		return nil, err
+	}
+	sum, err := summary.ReadSections(r, group, g)
+	if err != nil {
+		return nil, err
+	}
+	kwix, err := keywordindex.ReadSections(r, group, g, loadThesaurus(cfg))
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewFromParts(cfg, st, g, sum, kwix, time.Since(start)), nil
+}
+
+// loadThesaurus mirrors the engine build's thesaurus selection.
+func loadThesaurus(cfg engine.Config) *thesaurus.Thesaurus {
+	if cfg.DisableSemantic {
+		return nil
+	}
+	return cfg.WithDefaults().Thesaurus
+}

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"unsafe"
+
+	"repro/internal/rdf"
+	"repro/internal/snapfmt"
+)
+
+// termRec is the fixed on-disk record for one dictionary term. The
+// three strings live contiguously (value, datatype, lang) in the
+// string arena starting at Off; the term is decoded on the fly with
+// zero-copy string headers into the mapped arena, so the dictionary
+// needs no per-term materialization at load.
+type termRec struct {
+	Off  uint64
+	VLen uint32
+	DLen uint32
+	LLen uint32
+	Kind uint32
+}
+
+// storeMetaRec is the fixed header of a serialized store.
+type storeMetaRec struct {
+	NumTerms   uint64
+	NumTriples uint64
+	ArenaLen   uint64
+	HashLen    uint64
+}
+
+// Compile-time layout guards: the snapshot format freezes these sizes.
+var (
+	_ = [unsafe.Sizeof(termRec{})]byte{} == [24]byte{}
+	_ = [unsafe.Sizeof(storeMetaRec{})]byte{} == [32]byte{}
+)
+
+// loadedDict is the snapshot-backed dictionary: term records, string
+// arena, and a serialized open-addressing hash table, all pointing
+// into mapped (or aligned heap) snapshot regions. It replaces the
+// terms slice + byTerm map of a built store, with identical Lookup
+// and Term behaviour and no rebuild cost.
+type loadedDict struct {
+	recs  []termRec
+	arena []byte
+	hash  []uint32 // power-of-two open addressing; 0 = empty slot
+}
+
+func (d *loadedDict) term(id ID) rdf.Term {
+	r := d.recs[id-1]
+	off := r.Off
+	t := rdf.Term{Kind: rdf.Kind(r.Kind)}
+	t.Value = snapfmt.String(d.arena[off : off+uint64(r.VLen)])
+	off += uint64(r.VLen)
+	t.Datatype = snapfmt.String(d.arena[off : off+uint64(r.DLen)])
+	off += uint64(r.DLen)
+	t.Lang = snapfmt.String(d.arena[off : off+uint64(r.LLen)])
+	return t
+}
+
+func (d *loadedDict) lookup(t rdf.Term) (ID, bool) {
+	if len(d.hash) == 0 {
+		return 0, false
+	}
+	mask := uint32(len(d.hash) - 1)
+	for i := hashTerm(t) & mask; ; i = (i + 1) & mask {
+		id := d.hash[i]
+		if id == 0 {
+			return 0, false
+		}
+		if d.term(ID(id)) == t {
+			return ID(id), true
+		}
+	}
+}
+
+// hashTerm is FNV-1a over the term's kind and strings with 0xff
+// separators (0xff never appears in UTF-8 text, so "a"+"b" and
+// "ab"+"" hash differently). It is the contract between the snapshot
+// writer, which places IDs in the serialized table, and the loaded
+// lookup, which probes it — both sides call this one function.
+func hashTerm(t rdf.Term) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	h = (h ^ uint32(t.Kind)) * prime32
+	for i := 0; i < len(t.Value); i++ {
+		h = (h ^ uint32(t.Value[i])) * prime32
+	}
+	h = (h ^ 0xff) * prime32
+	for i := 0; i < len(t.Datatype); i++ {
+		h = (h ^ uint32(t.Datatype[i])) * prime32
+	}
+	h = (h ^ 0xff) * prime32
+	for i := 0; i < len(t.Lang); i++ {
+		h = (h ^ uint32(t.Lang[i])) * prime32
+	}
+	return h
+}
+
+// buildHashTable serializes the dictionary's interning map as an
+// open-addressing table sized to at most 50% occupancy, so loaded
+// lookups probe O(1) slots without rebuilding a Go map over millions
+// of terms at boot.
+func buildHashTable(term func(ID) rdf.Term, numTerms int) []uint32 {
+	if numTerms == 0 {
+		return nil
+	}
+	size := 8
+	for size < 2*numTerms {
+		size <<= 1
+	}
+	tab := make([]uint32, size)
+	mask := uint32(size - 1)
+	for id := 1; id <= numTerms; id++ {
+		i := hashTerm(term(ID(id))) & mask
+		for tab[i] != 0 {
+			i = (i + 1) & mask
+		}
+		tab[i] = uint32(id)
+	}
+	return tab
+}

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/snapfmt"
+)
+
+// sectionsTestStore builds a store with every term kind, duplicate
+// triples, and enough variety to exercise the ordering round trips.
+func sectionsTestStore() *Store {
+	s := New()
+	objs := []rdf.Term{
+		rdf.NewLiteral("plain value"),
+		rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer"),
+		rdf.NewLangLiteral("hallo", "de"),
+		rdf.NewBlank("b0"),
+		rdf.NewIRI("http://example.org/target"),
+		rdf.NewLiteral(""), // empty lexical form
+	}
+	preds := []rdf.Term{
+		rdf.NewIRI("http://example.org/name"),
+		rdf.NewIRI("http://example.org/knows"),
+		rdf.NewIRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+	}
+	for i := 0; i < 40; i++ {
+		subj := rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", i%17))
+		t := rdf.Triple{S: subj, P: preds[i%len(preds)], O: objs[i%len(objs)]}
+		s.Add(t)
+		if i%5 == 0 {
+			s.Add(t) // duplicate, deduplicated at Build
+		}
+	}
+	s.Build()
+	return s
+}
+
+// writeStoreContainer persists src under group into a fresh container.
+func writeStoreContainer(t *testing.T, src *Store, group uint32) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.swdb")
+	w, err := snapfmt.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteSections(w, group); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStoreSectionsRoundTrip(t *testing.T) {
+	src := sectionsTestStore()
+	path := writeStoreContainer(t, src, 3)
+
+	for _, mode := range []snapfmt.Mode{snapfmt.ModeMmap, snapfmt.ModeHeap} {
+		r, err := snapfmt.Open(path, snapfmt.Options{Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ld, err := ReadSections(r, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if ld.NumTerms() != src.NumTerms() {
+			t.Fatalf("NumTerms = %d, want %d", ld.NumTerms(), src.NumTerms())
+		}
+		if ld.Len() != src.Len() {
+			t.Fatalf("Len = %d, want %d", ld.Len(), src.Len())
+		}
+		// Dictionary: every ID decodes to the same term, every term
+		// resolves to the same ID through the serialized hash table.
+		for id := 1; id <= src.NumTerms(); id++ {
+			want := src.Term(ID(id))
+			if got := ld.Term(ID(id)); got != want {
+				t.Fatalf("Term(%d) = %v, want %v", id, got, want)
+			}
+			gotID, ok := ld.Lookup(want)
+			if !ok || gotID != ID(id) {
+				t.Fatalf("Lookup(%v) = %d,%v, want %d", want, gotID, ok, id)
+			}
+		}
+		if _, ok := ld.Lookup(rdf.NewIRI("http://example.org/never-interned")); ok {
+			t.Error("Lookup hit on a term that was never interned")
+		}
+		// Lookup must distinguish terms whose concatenated strings match
+		// but whose field boundaries differ.
+		if _, ok := ld.Lookup(rdf.NewTypedLiteral("plain value", "x")); ok {
+			t.Error("Lookup conflated terms with different field boundaries")
+		}
+
+		// Triples: identical set in identical SPO order.
+		want := src.Triples()
+		i := 0
+		ld.ForEach(func(tr IDTriple) {
+			if tr != want[i] {
+				t.Fatalf("ForEach[%d] = %v, want %v", i, tr, want[i])
+			}
+			i++
+		})
+		if i != len(want) {
+			t.Fatalf("ForEach visited %d triples, want %d", i, len(want))
+		}
+
+		// Every pattern shape agrees with the live store.
+		for id := 1; id <= src.NumTerms(); id++ {
+			patterns := [][3]ID{
+				{ID(id), Wildcard, Wildcard},
+				{Wildcard, ID(id), Wildcard},
+				{Wildcard, Wildcard, ID(id)},
+			}
+			for _, p := range patterns {
+				a, b := src.Range(p[0], p[1], p[2]), ld.Range(p[0], p[1], p[2])
+				if a.Len() != b.Len() {
+					t.Fatalf("Range%v: %d vs %d rows", p, a.Len(), b.Len())
+				}
+				for j := 0; j < a.Len(); j++ {
+					if a.Triple(j) != b.Triple(j) {
+						t.Fatalf("Range%v row %d: %v vs %v", p, j, a.Triple(j), b.Triple(j))
+					}
+				}
+			}
+		}
+		for _, tr := range want {
+			if ld.Count(tr.S, tr.P, tr.O) != 1 {
+				t.Fatalf("fully bound Count(%v) != 1", tr)
+			}
+		}
+
+		// The loaded store is read-only.
+		assertPanics(t, "Intern", func() { ld.Intern(rdf.NewIRI("http://example.org/new")) })
+		assertPanics(t, "AddID", func() { ld.AddID(IDTriple{S: 1, P: 2, O: 3}) })
+
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDictionaryViewSectionsRoundTrip covers the catalog case: a store
+// that shares a dictionary but holds no triples (and so never built
+// offset tables) must round-trip as an empty-ranging store.
+func TestDictionaryViewSectionsRoundTrip(t *testing.T) {
+	src := sectionsTestStore()
+	view := src.DictionaryView()
+	path := writeStoreContainer(t, view, 0)
+
+	r, err := snapfmt.Open(path, snapfmt.Options{Mode: snapfmt.ModeHeap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ld, err := ReadSections(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.NumTerms() != src.NumTerms() {
+		t.Fatalf("NumTerms = %d, want %d", ld.NumTerms(), src.NumTerms())
+	}
+	if ld.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", ld.Len())
+	}
+	for id := 1; id <= src.NumTerms(); id++ {
+		term := src.Term(ID(id))
+		if got := ld.Term(ID(id)); got != term {
+			t.Fatalf("Term(%d) = %v, want %v", id, got, term)
+		}
+		if gotID, ok := ld.Lookup(term); !ok || gotID != ID(id) {
+			t.Fatalf("Lookup(%v) = %d,%v", term, gotID, ok)
+		}
+		if n := ld.Count(ID(id), Wildcard, Wildcard); n != 0 {
+			t.Fatalf("Count on dictionary view = %d, want 0", n)
+		}
+	}
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic on a snapshot-backed store", name)
+		}
+	}()
+	f()
+}

@@ -53,6 +53,11 @@ type Store struct {
 	terms  []rdf.Term      // terms[id-1] is the term for id
 	byTerm map[rdf.Term]ID // interning map
 
+	// dict, when non-nil, is a snapshot-backed dictionary: terms and
+	// byTerm are nil and every dictionary operation decodes lazily out
+	// of mapped regions (see loadable.go). Such a store is read-only.
+	dict *loadedDict
+
 	triples []IDTriple // unique triples, in SPO order after Build
 
 	// Struct-of-arrays sorted copies, one per ordering. spo duplicates
@@ -75,7 +80,11 @@ func New() *Store {
 }
 
 // Intern returns the ID for term t, assigning a new one if necessary.
+// It panics on a snapshot-backed store, which is read-only.
 func (s *Store) Intern(t rdf.Term) ID {
+	if s.dict != nil {
+		panic("store: Intern on a read-only snapshot-backed store")
+	}
 	if id, ok := s.byTerm[t]; ok {
 		return id
 	}
@@ -87,6 +96,9 @@ func (s *Store) Intern(t rdf.Term) ID {
 
 // Lookup returns the ID of t without interning it.
 func (s *Store) Lookup(t rdf.Term) (ID, bool) {
+	if s.dict != nil {
+		return s.dict.lookup(t)
+	}
 	id, ok := s.byTerm[t]
 	return id, ok
 }
@@ -94,14 +106,22 @@ func (s *Store) Lookup(t rdf.Term) (ID, bool) {
 // Term returns the term for a valid ID. It panics on 0 or out-of-range IDs,
 // which always indicate a programming error.
 func (s *Store) Term(id ID) rdf.Term {
-	if id == 0 || int(id) > len(s.terms) {
-		panic(fmt.Sprintf("store: invalid term ID %d (dictionary size %d)", id, len(s.terms)))
+	if id == 0 || int(id) > s.NumTerms() {
+		panic(fmt.Sprintf("store: invalid term ID %d (dictionary size %d)", id, s.NumTerms()))
+	}
+	if s.dict != nil {
+		return s.dict.term(id)
 	}
 	return s.terms[id-1]
 }
 
 // NumTerms returns the dictionary size.
-func (s *Store) NumTerms() int { return len(s.terms) }
+func (s *Store) NumTerms() int {
+	if s.dict != nil {
+		return len(s.dict.recs)
+	}
+	return len(s.terms)
+}
 
 // Add interns the triple's terms and appends the triple.
 func (s *Store) Add(t rdf.Triple) IDTriple {
@@ -121,12 +141,20 @@ func (s *Store) AddAll(ts []rdf.Triple) {
 // AddID appends an already-encoded triple. All three IDs must have been
 // produced by Intern on this store.
 func (s *Store) AddID(t IDTriple) {
+	if s.dict != nil {
+		panic("store: AddID on a read-only snapshot-backed store")
+	}
 	s.triples = append(s.triples, t)
 	s.dirty = true
 }
 
 // Len returns the number of distinct triples (after deduplication).
 func (s *Store) Len() int {
+	if s.dict != nil {
+		// Snapshot-backed: the column length is the triple count; the
+		// AoS triples slice may not be materialized.
+		return len(s.spo.s)
+	}
 	s.ensure()
 	return len(s.triples)
 }
@@ -396,6 +424,14 @@ func (s *Store) Count(sp, pp, op ID) int {
 
 // ForEach invokes f for every distinct triple in SPO order.
 func (s *Store) ForEach(f func(IDTriple)) {
+	if s.dict != nil {
+		// Snapshot-backed: iterate the SPO columns directly instead of
+		// materializing the AoS triples slice.
+		for i := range s.spo.s {
+			f(IDTriple{S: s.spo.s[i], P: s.spo.p[i], O: s.spo.o[i]})
+		}
+		return
+	}
 	s.ensure()
 	for _, t := range s.triples {
 		f(t)
@@ -403,8 +439,22 @@ func (s *Store) ForEach(f func(IDTriple)) {
 }
 
 // Triples returns the deduplicated triples in SPO order. The returned
-// slice is owned by the store and must not be modified.
+// slice is owned by the store and must not be modified. On a
+// snapshot-backed store this materializes the AoS copy once (only
+// offline consumers — baselines, legacy export — take this path).
 func (s *Store) Triples() []IDTriple {
+	if s.dict != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.triples == nil {
+			ts := make([]IDTriple, len(s.spo.s))
+			for i := range ts {
+				ts[i] = IDTriple{S: s.spo.s[i], P: s.spo.p[i], O: s.spo.o[i]}
+			}
+			s.triples = ts
+		}
+		return s.triples
+	}
 	s.ensure()
 	return s.triples
 }
@@ -419,5 +469,5 @@ func (s *Store) Triples() []IDTriple {
 // The view aliases the parent's dictionary: neither the view nor the
 // parent may intern further terms afterwards (treat both as frozen).
 func (s *Store) DictionaryView() *Store {
-	return &Store{terms: s.terms, byTerm: s.byTerm}
+	return &Store{terms: s.terms, byTerm: s.byTerm, dict: s.dict}
 }

@@ -1,0 +1,161 @@
+package summary
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/graph"
+	"repro/internal/snapfmt"
+	"repro/internal/store"
+)
+
+// elemRec is the fixed on-disk record for one summary element.
+type elemRec struct {
+	Agg  int64
+	Term uint32
+	From int32
+	To   int32
+	Kind uint32
+}
+
+// sumMetaRec is the fixed snapshot header of a summary graph.
+type sumMetaRec struct {
+	NumElems    int64
+	Thing       int64
+	EntityTotal int64
+	RedgeTotal  int64
+	NbrsLen     int64
+}
+
+var (
+	_ = [unsafe.Sizeof(elemRec{})]byte{} == [24]byte{}
+	_ = [unsafe.Sizeof(sumMetaRec{})]byte{} == [40]byte{}
+)
+
+// WriteSections serializes the summary graph under the given group:
+// the element table as fixed records and the element adjacency as one
+// CSR section (offsets then flattened neighbour lists). The classOf
+// and relEdges lookup maps are not written — they are keyed views of
+// the element table and are re-derived in one pass over it at load
+// (fixup over the class-level summary, not a rebuild from data).
+func (sg *Graph) WriteSections(w *snapfmt.Writer, group uint32) error {
+	n := len(sg.elems)
+	recs := make([]elemRec, n)
+	for i, el := range sg.elems {
+		recs[i] = elemRec{
+			Agg:  int64(el.Agg),
+			Term: uint32(el.Term),
+			From: int32(el.From),
+			To:   int32(el.To),
+			Kind: uint32(el.Kind),
+		}
+	}
+	off := make([]int32, n+1)
+	total := 0
+	for i, ns := range sg.nbrs {
+		off[i] = int32(total)
+		total += len(ns)
+	}
+	off[n] = int32(total)
+	flat := make([]ElemID, 0, total)
+	for _, ns := range sg.nbrs {
+		flat = append(flat, ns...)
+	}
+
+	meta := []sumMetaRec{{
+		NumElems:    int64(n),
+		Thing:       int64(sg.thing),
+		EntityTotal: int64(sg.entityTotal),
+		RedgeTotal:  int64(sg.redgeTotal),
+		NbrsLen:     int64(total),
+	}}
+	if err := w.Add(snapfmt.SecSumMeta, group, snapfmt.AsBytes(meta)); err != nil {
+		return err
+	}
+	if err := w.Add(snapfmt.SecSumElems, group, snapfmt.AsBytes(recs)); err != nil {
+		return err
+	}
+	return w.Add(snapfmt.SecSumNbrs, group, snapfmt.AsBytes(off), snapfmt.AsBytes(flat))
+}
+
+// ReadSections fixes up a summary graph over an already-loaded data
+// graph. Neighbour lists are slice headers into the mapped CSR data;
+// the element table is materialized (it is the class-level summary —
+// small by construction) along with the classOf/relEdges maps derived
+// from it.
+func ReadSections(r *snapfmt.Reader, group uint32, data *graph.Graph) (*Graph, error) {
+	metaB, err := r.Section(snapfmt.SecSumMeta, group)
+	if err != nil {
+		return nil, err
+	}
+	metas, err := snapfmt.CastSlice[sumMetaRec](metaB)
+	if err != nil || len(metas) != 1 {
+		return nil, fmt.Errorf("summary: snapshot meta section malformed (%v, %d records)", err, len(metas))
+	}
+	m := metas[0]
+	n := int(m.NumElems)
+
+	recsB, err := r.Section(snapfmt.SecSumElems, group)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := snapfmt.CastSlice[elemRec](recsB)
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) != n {
+		return nil, fmt.Errorf("summary: snapshot element table: want %d records, got %d", n, len(recs))
+	}
+
+	nbrsB, err := r.Section(snapfmt.SecSumNbrs, group)
+	if err != nil {
+		return nil, err
+	}
+	wantBytes := (n+1)*4 + int(m.NbrsLen)*4
+	if len(nbrsB) != wantBytes {
+		return nil, fmt.Errorf("summary: snapshot adjacency: want %d bytes, got %d", wantBytes, len(nbrsB))
+	}
+	off, err := snapfmt.CastSlice[int32](nbrsB[:(n+1)*4])
+	if err != nil {
+		return nil, err
+	}
+	flat, err := snapfmt.CastSlice[ElemID](nbrsB[(n+1)*4:])
+	if err != nil {
+		return nil, err
+	}
+
+	sg := &Graph{
+		data:        data,
+		elems:       make([]Element, n),
+		nbrs:        make([][]ElemID, n),
+		classOf:     make(map[store.ID]ElemID),
+		relEdges:    make(map[store.ID][]ElemID),
+		thing:       ElemID(m.Thing),
+		entityTotal: int(m.EntityTotal),
+		redgeTotal:  int(m.RedgeTotal),
+	}
+	for i, rec := range recs {
+		el := Element{
+			Kind: ElemKind(rec.Kind),
+			Term: store.ID(rec.Term),
+			From: ElemID(rec.From),
+			To:   ElemID(rec.To),
+			Agg:  int(rec.Agg),
+		}
+		sg.elems[i] = el
+		lo, hi := off[i], off[i+1]
+		if lo < 0 || hi < lo || int(hi) > len(flat) {
+			return nil, fmt.Errorf("summary: snapshot adjacency offsets out of range at element %d", i)
+		}
+		sg.nbrs[i] = flat[lo:hi:hi]
+		switch el.Kind {
+		case ClassVertex:
+			if el.Term != 0 {
+				sg.classOf[el.Term] = ElemID(i)
+			}
+		case RelEdge:
+			sg.relEdges[el.Term] = append(sg.relEdges[el.Term], ElemID(i))
+		}
+	}
+	return sg, nil
+}
