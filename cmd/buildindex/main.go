@@ -17,6 +17,11 @@
 //	buildindex -data dblp.nt -snapshot dblp.swdb       # engine snapshot
 //	buildindex -data dblp.nt -shards 4 -snapshot dir/  # sharded snapshot
 //	buildindex -data dblp.swdb -format snapshot        # re-ingest one
+//	buildindex -data dblp.nt -snapshot dblp.swdb -wal wal/  # + empty WAL
+//
+// -wal DIR initializes an empty write-ahead log pinned to the snapshot's
+// triple count, so `serverd -snapshot FILE -wal DIR` boots a live,
+// ingest-capable server from a fully pre-built base.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"path/filepath"
 
 	repro "repro"
+	ingestpkg "repro/internal/ingest"
 	"repro/internal/rdf"
 	"repro/internal/shard"
 	"repro/internal/snapfmt"
@@ -50,6 +56,7 @@ func main() {
 	snapOut := flag.String("snapshot", "", "write a mmap-able index snapshot: an engine file, or with -shards > 1 a directory of catalog + per-shard partition files")
 	shards := flag.Int("shards", 1, "partition the snapshot across N shards (-snapshot then names a directory)")
 	legacyOut := flag.String("store-snapshot", "", "write the legacy gob store snapshot of the parsed triples (deprecated: -snapshot persists the built indexes instead)")
+	walDir := flag.String("wal", "", "initialize an empty write-ahead log directory next to the engine snapshot, ready for serverd -wal (single-engine only; needs -snapshot)")
 	flag.Parse()
 	if *data == "" {
 		log.Fatal("missing -data file")
@@ -59,6 +66,9 @@ func main() {
 	}
 	if *shards > 1 && *legacyOut != "" {
 		log.Fatal("-store-snapshot applies to the single-engine build only")
+	}
+	if *walDir != "" && (*shards > 1 || *snapOut == "") {
+		log.Fatal("-wal initializes a log for a single-engine snapshot; it needs -snapshot FILE and no -shards")
 	}
 
 	var (
@@ -115,6 +125,19 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("snapshot:       %s (%d KB, mmap-able)\n", *snapOut, fi.Size()/1024)
+		if *walDir != "" {
+			// An empty log pinned to the snapshot's triple count: serverd
+			// -snapshot FILE -wal DIR then boots live without a replay.
+			w, err := ingestpkg.Create(*walDir, int64(e.NumTriples()), ingestpkg.WALOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wal:            %s (empty, pinned to %d base triples — serve with: serverd -snapshot %s -wal %s)\n",
+				*walDir, e.NumTriples(), *snapOut, *walDir)
+		}
 	}
 
 	g := e.Graph().Stats()

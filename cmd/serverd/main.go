@@ -23,6 +23,17 @@
 // backing (mmap with lazy page-in, or heap); -snapshot-verify=false
 // skips the per-section checksum pass for beyond-RAM shards.
 //
+// With -wal DIR the backend is live instead of sealed: POST /v1/ingest
+// accepts triples (JSON, NDJSON, or N-Triples), each batch is written
+// to a checksummed write-ahead log under DIR before it is acknowledged
+// (-fsync picks the durability policy), and an epoch swap merges the
+// accumulated delta into the indexes every -epoch-max-delta triples.
+// On boot the server replays any acknowledged batches in DIR over the
+// optional -snapshot base; /healthz reports {"status":"replaying"} with
+// progress (503) until the recovered state is servable. -wal requires a
+// single-engine backend and boots from the snapshot and/or the log
+// itself — -data/-turtle/-gen do not compose with it.
+//
 // Usage:
 //
 //	serverd -data dblp.nt -addr :8080
@@ -30,6 +41,8 @@
 //	serverd -snapshot clusterdir/ -replicas 2 -addr :8080
 //	serverd -gen dblp -scale 2000 -shards 4 -replicas 2 -addr :8080
 //	serverd -gen dblp -shards 4 -chaos "error,shard=0" -addr :8080
+//	serverd -wal /var/lib/swdb/wal -addr :8080
+//	serverd -snapshot dblp.swdb -wal /var/lib/swdb/wal -fsync interval -addr :8080
 //
 // Endpoints:
 //
@@ -37,6 +50,9 @@
 //	POST /v1/execute  {"id": "<candidate id>"} | {"keywords": [...], "rank": 0} | {"query": {...}}
 //	                  (Accept: application/x-ndjson streams the answers)
 //	POST /v1/explain  same request shape as /v1/execute
+//	POST /v1/ingest   {"s": {...}, "p": {...}, "o": {...}} | {"triples": [...]}
+//	                  (Content-Type application/x-ndjson: one triple per line;
+//	                  application/n-triples: raw N-Triples — needs -wal)
 //	GET  /healthz     liveness and dataset size
 //	GET  /stats       cache, pool, traffic, latency, and runtime statistics (JSON)
 //	GET  /metrics     Prometheus text format (latency histograms, runtime gauges)
@@ -60,7 +76,9 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -69,6 +87,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/engine"
 	"repro/internal/faultinject"
+	"repro/internal/ingest"
 	"repro/internal/rdf"
 	"repro/internal/scoring"
 	"repro/internal/server"
@@ -93,6 +112,11 @@ func main() {
 	snapPath := flag.String("snapshot", "", "boot from a snapshot written by buildindex -snapshot: an engine file maps in milliseconds, a sharded directory boots the cluster from its partition files; legacy store snapshots still load (with an index rebuild)")
 	snapMode := flag.String("snapshot-mode", "auto", "snapshot byte backing: auto | mmap | heap")
 	snapVerify := flag.Bool("snapshot-verify", true, "verify per-section checksums when loading a snapshot (disable for lazy paging of beyond-RAM shards)")
+	walDir := flag.String("wal", "", "write-ahead log directory: serve a live backend with POST /v1/ingest, replaying any acknowledged batches found there on boot (single-engine only)")
+	fsyncFlag := flag.String("fsync", "always", "WAL durability policy: always (fsync before every ack) | interval (background cadence) | never (needs -wal)")
+	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "sync cadence for -fsync interval")
+	epochMaxDelta := flag.Int("epoch-max-delta", 0, "delta triples that trigger an epoch swap, merging the delta into the indexes (0 = 50000; needs -wal)")
+	crashPointFlag := flag.String("crash-point", "", "TESTING ONLY: arm a named crash point as \"point[:after]\" — the process SIGKILLs itself the (after+1)-th time the point is hit (needs -wal; see internal/faultinject.CrashPoints)")
 	gen := flag.String("gen", "", "generate a dataset instead: dblp | lubm | tap")
 	scale := flag.Int("scale", 1000, "scale for -gen")
 	k := flag.Int("k", 10, "default number of query candidates")
@@ -178,6 +202,23 @@ func main() {
 	}
 	loadOpts := snapshot.LoadOptions{Mode: mode, SkipVerify: !*snapVerify}
 
+	if *walDir != "" {
+		switch {
+		case *shards > 1 || *replicas > 1:
+			log.Fatal("-wal needs a single-engine backend (live ingestion and the sharded coordinator do not compose)")
+		case *chaosSpec != "":
+			log.Fatal("-chaos lives at the shard transport seam; crash-test the ingest path with -crash-point instead")
+		case *data != "" || *turtle != "" || *gen != "":
+			log.Fatal("-wal boots from -snapshot and/or the log itself; load data through POST /v1/ingest or bake a base snapshot with buildindex")
+		case snapBoot == "dir":
+			log.Fatal("-wal needs a single-engine base; pass an engine snapshot file, not a cluster directory")
+		case *snapPath != "" && snapBoot != "engine":
+			log.Fatal("a legacy store snapshot cannot base a WAL boot; rebuild it with buildindex -snapshot")
+		}
+	} else if *crashPointFlag != "" {
+		log.Fatal("-crash-point instruments the WAL/epoch write path and needs -wal")
+	}
+
 	applyChaos := func(cl *shard.Cluster) {
 		if *chaosSpec == "" {
 			return
@@ -199,8 +240,11 @@ func main() {
 		builder  *shard.Builder
 		snapInfo *snapshot.Info
 	)
-	switch snapBoot {
-	case "engine":
+	switch {
+	case *walDir != "":
+		// Live path: ingest.Boot below loads the snapshot (if any) and
+		// replays the log; nothing to build here.
+	case snapBoot == "engine":
 		if *shards > 1 {
 			log.Fatal("-shards conflicts with an engine snapshot file; write a sharded snapshot with buildindex -shards N -snapshot DIR and pass the directory")
 		}
@@ -217,7 +261,7 @@ func main() {
 		backend, snapInfo = eng, info
 		log.Printf("booted engine from snapshot %s in %v (%s-backed, format v%d, %.1f MB) — no index rebuild",
 			*snapPath, info.LoadDuration.Round(time.Microsecond), info.Mode, info.FormatVersion, float64(info.TotalBytes)/(1<<20))
-	case "dir":
+	case snapBoot == "dir":
 		cl, info, err := shard.NewBuilder(1, cfg).
 			Replicas(*replicas).
 			Resilience(shard.ResilienceConfig{HedgeDelay: *hedgeDelay}).
@@ -234,8 +278,9 @@ func main() {
 		applyChaos(cl)
 	}
 
-	if snapBoot != "" {
-		// Booted from a mapped snapshot: skip the load-and-build pipeline.
+	if *walDir != "" || snapBoot != "" {
+		// Live boot, or booted from a mapped snapshot: skip the
+		// load-and-build pipeline.
 	} else if *shards > 1 {
 		builder = shard.NewBuilder(*shards, cfg).
 			Replicas(*replicas).
@@ -254,7 +299,7 @@ func main() {
 	}
 
 	buildStart := time.Now()
-	if snapBoot == "" {
+	if *walDir == "" && snapBoot == "" {
 		loadStart := time.Now()
 		loadFile := func(path string, load func(io.Reader) (int, error), what string) {
 			f, err := os.Open(path)
@@ -304,8 +349,7 @@ func main() {
 			applyChaos(cl)
 		}
 	}
-	srv := server.New(backend, server.Config{
-		Snapshot:            snapInfo,
+	serverCfg := server.Config{
 		Workers:             *workers,
 		SearchCacheSize:     *cacheSize,
 		CacheTTL:            *cacheTTL,
@@ -315,25 +359,95 @@ func main() {
 		SlowlogThreshold:    *slowlogThreshold,
 		MaxBodyBytes:        *maxBodyBytes,
 		RequireFullCoverage: *requireFull,
-	}, runtime.GOMAXPROCS(0))
-	log.Printf("backend sealed (%d triples); serving ready in %v",
-		backend.NumTriples(), time.Since(buildStart).Round(time.Millisecond))
-
-	handler := srv.Handler()
-	if *pprofFlag {
+	}
+	wrapPprof := func(h http.Handler) http.Handler {
+		if !*pprofFlag {
+			return h
+		}
 		// Production hot-path profiles one `go tool pprof` away:
 		//   go tool pprof http://host:8080/debug/pprof/profile?seconds=10
 		// Gate behind a flag — the endpoints expose internals and add a
 		// mux branch, so they are opt-in.
 		mux := http.NewServeMux()
-		mux.Handle("/", handler)
+		mux.Handle("/", h)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		handler = mux
 		log.Print("pprof enabled on /debug/pprof/")
+		return mux
+	}
+
+	// The server behind the listener. On the live path it appears only
+	// once WAL replay finishes, so shutdown reads it through the pointer.
+	var (
+		srvPtr  atomic.Pointer[server.Server]
+		handler http.Handler
+	)
+	if *walDir != "" {
+		policy, err := ingest.ParseFsyncPolicy(*fsyncFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var crash *faultinject.CrashSet
+		if *crashPointFlag != "" {
+			point, afterStr, _ := strings.Cut(*crashPointFlag, ":")
+			after := 0
+			if afterStr != "" {
+				if after, err = strconv.Atoi(afterStr); err != nil {
+					log.Fatalf("-crash-point %q is not \"point[:after]\": %v", *crashPointFlag, err)
+				}
+			}
+			crash = faultinject.NewCrashSet()
+			crash.Handler = func(point string) {
+				log.Printf("crash point %s fired — SIGKILL", point)
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+			if err := crash.Arm(point, after); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("WARNING: crash point %s ARMED (fires on hit %d) — this process will kill itself; never run production traffic with -crash-point", point, after+1)
+		}
+		// Listen immediately: the gate answers 503 with replay progress
+		// on /healthz until the recovered state is servable.
+		gate := server.NewGate()
+		handler = gate
+		bootCfg := ingest.BootConfig{
+			SnapshotPath: *snapPath,
+			WALDir:       *walDir,
+			Live:         ingest.Config{Engine: cfg, EpochMaxDelta: *epochMaxDelta, Crash: crash},
+			WAL:          ingest.WALOptions{Fsync: policy, FsyncInterval: *fsyncInterval},
+			Snapshot:     loadOpts,
+			Progress:     gate.SetProgress,
+		}
+		go func() {
+			l, info, err := ingest.Boot(bootCfg)
+			if err != nil {
+				log.Fatalf("wal boot refused: %v", err)
+			}
+			scfg := serverCfg
+			scfg.Live = l
+			scfg.Snapshot = info.SnapshotInfo
+			srv := server.New(l, scfg, runtime.GOMAXPROCS(0))
+			srvPtr.Store(srv)
+			gate.Ready(wrapPprof(srv.Handler()))
+			repaired := ""
+			if info.RepairedBytes > 0 {
+				repaired = fmt.Sprintf("; repaired a %d-byte torn tail in %s", info.RepairedBytes, info.RepairedFile)
+			}
+			log.Printf("live backend up from %s in %v: %d triples at epoch %d (replayed %d batches, %d triples%s); fsync=%s, epoch swap at %d delta triples",
+				info.Source, info.BootDuration.Round(time.Millisecond), l.NumTriples(), l.Epoch(),
+				info.ReplayedBatches, info.ReplayedTriples, repaired, policy, l.EpochMaxDelta())
+		}()
+	} else {
+		scfg := serverCfg
+		scfg.Snapshot = snapInfo
+		srv := server.New(backend, scfg, runtime.GOMAXPROCS(0))
+		srvPtr.Store(srv)
+		log.Printf("backend sealed (%d triples); serving ready in %v",
+			backend.NumTriples(), time.Since(buildStart).Round(time.Millisecond))
+		handler = wrapPprof(srv.Handler())
 	}
 
 	httpSrv := &http.Server{
@@ -358,8 +472,9 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
-	// Flush the slow-query log so captured span trees outlive the process.
-	if *slowlogSize >= 0 {
+	// Flush the slow-query log so captured span trees outlive the process
+	// (nil while a live boot was still replaying — nothing captured yet).
+	if srv := srvPtr.Load(); srv != nil && *slowlogSize >= 0 {
 		log.Print("slowlog at shutdown:")
 		if err := srv.WriteSlowlog(os.Stderr); err != nil {
 			log.Printf("slowlog flush: %v", err)

@@ -118,6 +118,30 @@ func (t *BKTree) Add(term string) {
 // Len returns the number of distinct terms in the tree.
 func (t *BKTree) Len() int { return t.size }
 
+// Clone returns a deep copy of the tree. Adding terms to the clone leaves
+// the original untouched, which lets an immutable published index share
+// nothing with its incrementally-extended successor.
+func (t *BKTree) Clone() *BKTree {
+	if t == nil {
+		return &BKTree{}
+	}
+	return &BKTree{root: cloneBKNode(t.root), size: t.size}
+}
+
+func cloneBKNode(n *bkNode) *bkNode {
+	if n == nil {
+		return nil
+	}
+	out := &bkNode{term: n.term}
+	if n.children != nil {
+		out.children = make(map[int]*bkNode, len(n.children))
+		for d, c := range n.children {
+			out.children[d] = cloneBKNode(c)
+		}
+	}
+	return out
+}
+
 // FuzzyMatch is one result of a Search: a vocabulary term and its edit
 // distance to the query.
 type FuzzyMatch struct {

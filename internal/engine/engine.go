@@ -539,6 +539,16 @@ func (e *Engine) ExecuteLimitContext(ctx context.Context, c *QueryCandidate, lim
 	return e.exec.ExecuteLimitContext(ctx, c.Query, limit)
 }
 
+// ExecuteLimitContextDelta is ExecuteLimitContext with a live-ingestion
+// read overlay: evaluation sees this engine's sealed store plus the
+// delta snapshot as one triple set, bit-identical to an engine built
+// over the merged data. A nil delta is exactly ExecuteLimitContext.
+func (e *Engine) ExecuteLimitContextDelta(ctx context.Context, c *QueryCandidate, limit int, delta *store.DeltaSnap) (*exec.ResultSet, error) {
+	e.acquireRead()
+	defer e.mu.RUnlock()
+	return e.exec.ExecuteLimitContextDelta(ctx, c.Query, limit, delta)
+}
+
 // Explain returns the database engine's evaluation plan for a candidate
 // without executing it.
 func (e *Engine) Explain(c *QueryCandidate) (*exec.Plan, error) {

@@ -200,10 +200,21 @@ type stepSpec struct {
 	sameVar bool
 }
 
-// cursor is one step's position in its range view.
+// cursor is one step's position in its range view. When a delta overlay
+// is present, dview holds the delta rows for the same pattern and the
+// advance loop two-way-merges both views by the ordering's comparator,
+// reproducing exactly the row order a merged store would yield. With no
+// delta, dview is empty and the merge degenerates to the base view with
+// one predictable branch per row.
 type cursor struct {
-	view store.View
-	pos  int
+	view  store.View
+	pos   int
+	dview store.View
+	dpos  int
+	// cmpSO selects the merge comparator: true compares (S,O) — the SPO
+	// ordering with the step's constant predicate equal on both sides —
+	// false compares (O,S), which covers both POS and OSP.
+	cmpSO bool
 }
 
 // slotFilter is a query filter compiled to a variable slot.
@@ -229,6 +240,11 @@ type execState struct {
 	filters []slotFilter
 	key     []store.ID
 	seen    IDSet
+
+	// delta is the per-call read overlay (nil in the common sealed-engine
+	// case). It is cleared before the state returns to the pool so the
+	// pool never pins a superseded snapshot.
+	delta *store.DeltaSnap
 }
 
 func (e *Engine) getState() *execState {
@@ -239,7 +255,31 @@ func (e *Engine) getState() *execState {
 }
 
 func (e *Engine) putState(st *execState) {
+	st.delta = nil
 	e.pool.Put(st)
+}
+
+// lookupTerm resolves a constant against the base dictionary, falling
+// back to the delta's extension dictionary when an overlay is present.
+func (e *Engine) lookupTerm(stt *execState, t rdf.Term) (store.ID, bool) {
+	if id, ok := e.st.Lookup(t); ok {
+		return id, ok
+	}
+	if stt.delta != nil {
+		return stt.delta.Lookup(t)
+	}
+	return 0, false
+}
+
+// termOf resolves an ID to its term: extension IDs through the delta,
+// everything else through the base dictionary.
+func (e *Engine) termOf(stt *execState, id store.ID) rdf.Term {
+	if stt.delta != nil {
+		if t, ok := stt.delta.ExtTerm(id); ok {
+			return t
+		}
+	}
+	return e.st.Term(id)
 }
 
 // Execute evaluates q and returns all answers.
@@ -275,14 +315,14 @@ func (e *Engine) compileInto(stt *execState, q *query.ConjunctiveQuery) (empty b
 	stt.pats = stt.pats[:0]
 	for _, at := range q.Atoms {
 		p := pattern{sv: slotOf(at.S), ov: slotOf(at.O)}
-		pid, ok := e.st.Lookup(at.Pred)
+		pid, ok := e.lookupTerm(stt, at.Pred)
 		if !ok {
 			return true, nil // predicate absent from the data
 		}
 		p.p = pid
 		p.numConst = 1
 		if p.sv < 0 {
-			sid, ok := e.st.Lookup(at.S.Term)
+			sid, ok := e.lookupTerm(stt, at.S.Term)
 			if !ok {
 				return true, nil
 			}
@@ -290,7 +330,7 @@ func (e *Engine) compileInto(stt *execState, q *query.ConjunctiveQuery) (empty b
 			p.numConst++
 		}
 		if p.ov < 0 {
-			oid, ok := e.st.Lookup(at.O.Term)
+			oid, ok := e.lookupTerm(stt, at.O.Term)
 			if !ok {
 				return true, nil
 			}
@@ -326,11 +366,34 @@ const ctxCheckInterval = 8192
 // the context is cancelled or its deadline passes, so a slow query stops
 // burning CPU promptly instead of running to completion.
 func (e *Engine) ExecuteLimitContext(ctx context.Context, q *query.ConjunctiveQuery, limit int) (*ResultSet, error) {
+	return e.ExecuteLimitContextDelta(ctx, q, limit, nil)
+}
+
+// deltaRowFirst decides, during a two-view merge, whether the delta row
+// precedes the base row in the step's ordering. cmpSO compares (S,O)
+// (the SPO ordering with the predicate constant); otherwise (O,S)
+// covers both POS and OSP.
+func deltaRowFirst(cmpSO bool, bs, bo, ds, do store.ID) bool {
+	if cmpSO {
+		return ds < bs || (ds == bs && do < bo)
+	}
+	return do < bo || (do == bo && ds < bs)
+}
+
+// ExecuteLimitContextDelta is ExecuteLimitContext with a live-ingestion
+// read overlay: the evaluation sees base ∪ delta as one triple set, row
+// streams merged per ordering, and answers are bit-identical to
+// evaluating against store.MergeDelta(base, delta). A nil or empty
+// delta adds no heap allocations to the sealed-engine path.
+func (e *Engine) ExecuteLimitContextDelta(ctx context.Context, q *query.ConjunctiveQuery, limit int, delta *store.DeltaSnap) (*ResultSet, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	stt := e.getState()
 	defer e.putState(stt)
+	if delta != nil && !delta.Empty() {
+		stt.delta = delta
+	}
 
 	_, planSpan := trace.StartSpan(ctx, "plan")
 	empty, err := e.compileInto(stt, q)
@@ -418,7 +481,11 @@ func (stt *execState) compileSteps(order []int) {
 }
 
 // openCursor positions step depth's cursor at the start of its range,
-// with bound variables substituted from the current binding.
+// with bound variables substituted from the current binding. With a
+// delta overlay, the delta's matching rows open alongside in the same
+// ordering; Store.Range tolerates extension IDs (they resolve past its
+// offset tables to the empty range), so a binding produced by a delta
+// row narrows the base view to nothing and the overlay serves it alone.
 func (e *Engine) openCursor(stt *execState, depth int) {
 	sp := &stt.specs[depth]
 	s, o := sp.s, sp.o
@@ -428,7 +495,16 @@ func (e *Engine) openCursor(stt *execState, depth int) {
 	if sp.oBound {
 		o = stt.binding[sp.ov]
 	}
-	stt.cursors[depth] = cursor{view: e.st.Range(s, sp.p, o)}
+	cur := &stt.cursors[depth]
+	*cur = cursor{view: e.st.Range(s, sp.p, o)}
+	if stt.delta != nil {
+		cur.dview = stt.delta.Range(s, sp.p, o)
+		// The comparator mirrors Range's ordering selection: S bound (and
+		// not the S+O-no-P case) → SPO, i.e. compare (S,O); every other
+		// shape sorts by (O,S) — POS compares O then S with P constant,
+		// OSP compares O then S directly.
+		cur.cmpSO = s != store.Wildcard && !(o != store.Wildcard && sp.p == store.Wildcard)
+	}
 }
 
 // run is the iterative join machine: an explicit cursor stack replaces
@@ -452,10 +528,30 @@ func (e *Engine) run(ctx context.Context, stt *execState, rs *ResultSet, limit, 
 		cur := &stt.cursors[depth]
 		sp := &stt.specs[depth]
 		// Advance to the next row of this step that extends the binding.
+		// The row stream is the base view with the delta view merged in by
+		// the ordering's comparator; an empty delta view reduces this to
+		// the plain base iteration.
 		advanced := false
-		for cur.pos < len(cur.view.S) {
-			i := cur.pos
-			cur.pos++
+		for cur.pos < len(cur.view.S) || cur.dpos < len(cur.dview.S) {
+			var rowS, rowO store.ID
+			switch {
+			case cur.dpos >= len(cur.dview.S):
+				rowS, rowO = cur.view.S[cur.pos], cur.view.O[cur.pos]
+				cur.pos++
+			case cur.pos >= len(cur.view.S):
+				rowS, rowO = cur.dview.S[cur.dpos], cur.dview.O[cur.dpos]
+				cur.dpos++
+			default:
+				bs, bo := cur.view.S[cur.pos], cur.view.O[cur.pos]
+				ds, do := cur.dview.S[cur.dpos], cur.dview.O[cur.dpos]
+				if deltaRowFirst(cur.cmpSO, bs, bo, ds, do) {
+					rowS, rowO = ds, do
+					cur.dpos++
+				} else {
+					rowS, rowO = bs, bo
+					cur.pos++
+				}
+			}
 			rs.Stats.JoinIterations++
 			budget--
 			if budget < 0 {
@@ -471,17 +567,16 @@ func (e *Engine) run(ctx context.Context, stt *execState, rs *ResultSet, limit, 
 				}
 			}
 			if sp.sameVar {
-				s := cur.view.S[i]
-				if s != cur.view.O[i] {
+				if rowS != rowO {
 					continue
 				}
-				binding[sp.sv] = s
+				binding[sp.sv] = rowS
 			} else {
 				if sp.bindS {
-					binding[sp.sv] = cur.view.S[i]
+					binding[sp.sv] = rowS
 				}
 				if sp.bindO {
-					binding[sp.ov] = cur.view.O[i]
+					binding[sp.ov] = rowO
 				}
 			}
 			advanced = true
@@ -502,7 +597,7 @@ func (e *Engine) run(ctx context.Context, stt *execState, rs *ResultSet, limit, 
 		rs.Stats.RowsExamined++
 		ok := true
 		for _, sf := range stt.filters {
-			t := e.st.Term(binding[sf.slot])
+			t := e.termOf(stt, binding[sf.slot])
 			if !t.IsLiteral() || !sf.f.Eval(t.Value) {
 				ok = false
 				break
@@ -521,7 +616,7 @@ func (e *Engine) run(ctx context.Context, stt *execState, rs *ResultSet, limit, 
 		}
 		row := make([]rdf.Term, len(stt.proj))
 		for i, s := range stt.proj {
-			row[i] = e.st.Term(binding[s])
+			row[i] = e.termOf(stt, binding[s])
 		}
 		rs.Rows = append(rs.Rows, row)
 		if limit > 0 && len(rs.Rows) >= limit {
@@ -581,7 +676,11 @@ func (e *Engine) planOrder(pats []pattern) []int {
 func (e *Engine) planOrderInto(stt *execState) []int {
 	stt.metas = stt.metas[:0]
 	for _, p := range stt.pats {
-		stt.metas = append(stt.metas, PatternMeta{SV: p.sv, OV: p.ov, Count: e.st.Count(p.s, p.p, p.o)})
+		n := e.st.Count(p.s, p.p, p.o)
+		if stt.delta != nil {
+			n += stt.delta.Count(p.s, p.p, p.o)
+		}
+		stt.metas = append(stt.metas, PatternMeta{SV: p.sv, OV: p.ov, Count: n})
 	}
 	return GreedyOrder(stt.metas)
 }

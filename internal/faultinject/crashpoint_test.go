@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"testing"
+)
+
+func TestCrashSetNilAndDisarmed(t *testing.T) {
+	var cs *CrashSet
+	cs.Hit(CrashWALAfterSync) // nil set: no-op
+	if cs.Fired() != 0 {
+		t.Fatalf("nil set fired")
+	}
+	cs = NewCrashSet()
+	cs.Hit(CrashWALAfterSync) // disarmed: no-op
+	if cs.Fired() != 0 {
+		t.Fatalf("disarmed set fired")
+	}
+}
+
+func TestCrashSetArmUnknown(t *testing.T) {
+	cs := NewCrashSet()
+	if err := cs.Arm("wal.append.bogus", 0); err == nil {
+		t.Fatalf("arming an unknown point should error")
+	}
+}
+
+func TestCrashSetFiresWithPanicSentinel(t *testing.T) {
+	cs := NewCrashSet()
+	if err := cs.Arm(CrashWALAfterWrite, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		cv, ok := v.(CrashValue)
+		if !ok {
+			t.Fatalf("expected CrashValue panic, got %v", v)
+		}
+		if cv.Point != CrashWALAfterWrite {
+			t.Fatalf("wrong point: %s", cv.Point)
+		}
+		if cs.Fired() != 1 {
+			t.Fatalf("fired count = %d", cs.Fired())
+		}
+	}()
+	cs.Hit(CrashWALAfterWrite)
+	t.Fatalf("unreachable: Hit should have panicked")
+}
+
+func TestCrashSetAfterCount(t *testing.T) {
+	cs := NewCrashSet()
+	fired := 0
+	cs.Handler = func(point string) { fired++ }
+	if err := cs.Arm(CrashSwapAfterMerge, 2); err != nil {
+		t.Fatal(err)
+	}
+	cs.Hit(CrashSwapAfterMerge)
+	cs.Hit(CrashSwapAfterMerge)
+	if fired != 0 {
+		t.Fatalf("fired before the after-count elapsed")
+	}
+	cs.Hit(CrashSwapAfterMerge)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestCrashSetDisarm(t *testing.T) {
+	cs := NewCrashSet()
+	cs.Handler = func(string) { t.Fatalf("disarmed point fired") }
+	if err := cs.Arm(CrashWALRotate, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Armed(CrashWALRotate) {
+		t.Fatalf("point should be armed")
+	}
+	cs.Disarm(CrashWALRotate)
+	if cs.Armed(CrashWALRotate) {
+		t.Fatalf("point should be disarmed")
+	}
+	cs.Hit(CrashWALRotate)
+}
+
+func TestCrashPointsAllValid(t *testing.T) {
+	cs := NewCrashSet()
+	for _, p := range CrashPoints() {
+		if err := cs.Arm(p, 0); err != nil {
+			t.Fatalf("Arm(%s): %v", p, err)
+		}
+	}
+}

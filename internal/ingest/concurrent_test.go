@@ -1,0 +1,146 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/rdf"
+)
+
+// TestConcurrentIngestAndSearch interleaves a writer (batches + swaps)
+// with concurrent readers. Run under -race in CI. Invariants checked:
+//
+//   - every reader operation works against one consistent pinned epoch
+//     (no torn reads across a swap),
+//   - for a fixed pattern query, the answer count never shrinks as
+//     epochs advance (ingestion only adds triples),
+//   - after the writer finishes and a final swap, search and execute
+//     are bit-identical to a from-scratch rebuild over all triples.
+func TestConcurrentIngestAndSearch(t *testing.T) {
+	base := rdf.MustParseFig1()
+	l := newFig1Live(t, Config{EpochMaxDelta: 6})
+	defer l.Close()
+	ctx := context.Background()
+
+	const batches = 40
+	all := append([]rdf.Triple(nil), base...)
+	var feed [][]rdf.Triple
+	for i := 0; i < batches; i++ {
+		b := []rdf.Triple{
+			rdf.NewTriple(exi(fmt.Sprintf("cpub%d", i)), rdf.NewIRI(rdf.RDFType), exi("Article")),
+			rdf.NewTriple(exi(fmt.Sprintf("cpub%d", i)), exi("title"),
+				rdf.NewLiteral(fmt.Sprintf("concurrent title %d", i))),
+			rdf.NewTriple(exi(fmt.Sprintf("cpub%d", i)), exi("author"), exi("re2")),
+		}
+		feed = append(feed, b)
+		all = append(all, b...)
+	}
+
+	// A stable candidate compiled against the base epoch: articles with
+	// their authors. Its row count must grow monotonically.
+	cands, _, err := l.SearchKContext(ctx, []string{"cimiano", "article"}, 0)
+	if err != nil || len(cands) == 0 {
+		t.Fatalf("seed search: %v (%d)", err, len(cands))
+	}
+	probe := cands[0]
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	readerErr := make(chan error, 8)
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastCount int
+			var lastEpoch uint64
+			for !stop.Load() {
+				ep := l.Acquire()
+				rs, err := ep.Engine().ExecuteLimitContextDelta(ctx, probe, 0, ep.Delta())
+				num := ep.Num()
+				ep.Release()
+				if err != nil {
+					readerErr <- fmt.Errorf("reader %d: execute: %w", r, err)
+					return
+				}
+				if num < lastEpoch {
+					readerErr <- fmt.Errorf("reader %d: epoch went backwards: %d after %d", r, num, lastEpoch)
+					return
+				}
+				if num >= lastEpoch && rs.Len() < lastCount && num > lastEpoch {
+					readerErr <- fmt.Errorf("reader %d: rows shrank %d → %d across epochs %d → %d",
+						r, lastCount, rs.Len(), lastEpoch, num)
+					return
+				}
+				if num > lastEpoch {
+					lastEpoch, lastCount = num, rs.Len()
+				}
+				// Searches must always serve some epoch without error.
+				if _, _, err := l.SearchKContext(ctx, []string{"cimiano"}, 3); err != nil {
+					readerErr <- fmt.Errorf("reader %d: search: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	for _, b := range feed {
+		if _, _, err := l.Ingest(b); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(readerErr)
+	for err := range readerErr {
+		t.Error(err)
+	}
+	if l.Swaps() == 0 {
+		t.Fatal("test exercised no swaps")
+	}
+
+	// Post-run: equivalence with a fresh rebuild.
+	if err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := engine.New(engine.Config{})
+	fresh.AddTriples(all)
+	fresh.Seal()
+	if l.NumTriples() != fresh.NumTriples() {
+		t.Fatalf("triples %d vs %d", l.NumTriples(), fresh.NumTriples())
+	}
+	for _, kws := range [][]string{{"concurrent", "title"}, {"cimiano", "article"}} {
+		gotC, _, err := l.SearchKContext(ctx, kws, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantC, _, err := fresh.SearchKContext(ctx, kws, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotC) != len(wantC) {
+			t.Fatalf("%v: %d candidates vs %d", kws, len(gotC), len(wantC))
+		}
+		for i := range wantC {
+			if !reflect.DeepEqual(gotC[i].Query, wantC[i].Query) {
+				t.Fatalf("%v: candidate %d diverges", kws, i)
+			}
+			got, err := l.ExecuteLimitContext(ctx, gotC[i], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.ExecuteLimitContext(ctx, wantC[i], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Fatalf("%v: candidate %d rows diverge", kws, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,347 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/engine"
+	"repro/internal/exec"
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/keywordindex"
+	"repro/internal/rdf"
+	"repro/internal/store"
+	"repro/internal/summary"
+	"repro/internal/thesaurus"
+)
+
+// Epoch is one immutable, queryable version of the dataset: a sealed
+// engine over the base triples plus an immutable delta snapshot
+// overlaying it. Minor epochs (per ingest batch) share the engine and
+// replace the delta; major epochs (swaps) merge the delta into a fresh
+// engine and start an empty delta.
+type Epoch struct {
+	eng   *engine.Engine
+	delta *store.DeltaSnap
+	num   uint64 // monotonically increasing epoch number
+	major uint64 // number of swaps merged into eng
+	refs  atomic.Int64
+}
+
+// Num returns the epoch number.
+func (ep *Epoch) Num() uint64 { return ep.num }
+
+// Engine returns the epoch's sealed base engine.
+func (ep *Epoch) Engine() *engine.Engine { return ep.eng }
+
+// Delta returns the epoch's overlay (nil right after a swap).
+func (ep *Epoch) Delta() *store.DeltaSnap { return ep.delta }
+
+// NumTriples returns the triples visible in this epoch.
+func (ep *Epoch) NumTriples() int { return ep.eng.NumTriples() + ep.delta.Len() }
+
+// Release unpins the epoch. Each Handle must be released exactly once.
+func (ep *Epoch) Release() { ep.refs.Add(-1) }
+
+// Pinned returns the number of unreleased handles (in-flight queries).
+func (ep *Epoch) Pinned() int64 { return ep.refs.Load() }
+
+// SwapObservation describes one completed epoch swap.
+type SwapObservation struct {
+	Epoch           uint64
+	Triples         int // triples merged from the delta
+	Duration        time.Duration
+	SummaryRebuilt  bool // incremental fast path missed → full Build
+	KeywordsRebuilt bool
+	// ChangedKeywords are the analyzed tokens of every label the delta
+	// touched — the keys whose cached results can no longer be trusted.
+	ChangedKeywords []string
+}
+
+// Config tunes a Live store.
+type Config struct {
+	// Engine is the query-engine configuration for merged epochs.
+	Engine engine.Config
+	// EpochMaxDelta swaps the delta into a fresh engine once it holds
+	// this many triples (default 50000).
+	EpochMaxDelta int
+	// Crash fires the swap.* and wal.* crash points (nil = disarmed).
+	Crash *faultinject.CrashSet
+	// ObserveFsync receives WAL fsync durations.
+	ObserveFsync func(time.Duration)
+	// ObserveSwap receives every completed swap, after the new epoch is
+	// installed — the hook the serving layer uses for metrics and
+	// keyword-matched cache invalidation.
+	ObserveSwap func(SwapObservation)
+}
+
+func (c Config) withDefaults() Config {
+	if c.EpochMaxDelta <= 0 {
+		c.EpochMaxDelta = 50000
+	}
+	return c
+}
+
+// Live is a queryable store that accepts writes: a sealed base engine,
+// a WAL for durability, and a single-writer delta that overlays the
+// base until an epoch swap merges it. Reads are wait-free (one atomic
+// load pins an epoch); writes are serialized.
+//
+// Visibility: Execute sees base + delta immediately after the batch is
+// acknowledged. Search (keyword → candidates) matches against the
+// summary graph and keyword index, which cover the base engine only —
+// new data becomes searchable at the next epoch swap. This is the
+// deliberate freshness trade: candidate enumeration stays allocation-
+// free and index-backed, and the swap bounds staleness by
+// EpochMaxDelta.
+type Live struct {
+	cfg Config
+
+	mu    sync.Mutex // serializes Ingest and swaps
+	wal   *WAL
+	delta *store.Delta // accumulator; guarded by mu
+
+	cur atomic.Pointer[Epoch]
+
+	ingested atomic.Int64 // triples accepted since boot (dedup included)
+	swaps    atomic.Int64
+}
+
+// NewLive wraps a sealed base engine and an opened WAL. The engine must
+// be sealed; the WAL must be positioned for appending (fresh Create or
+// recovered Open).
+func NewLive(base *engine.Engine, wal *WAL, cfg Config) *Live {
+	base.Seal()
+	if cfg.Engine == (engine.Config{}) {
+		// An epoch swap rebuilds the engine from cfg.Engine; inheriting
+		// the base's config keeps K, scoring, etc. stable across swaps.
+		cfg.Engine = base.Config()
+	}
+	l := &Live{cfg: cfg.withDefaults(), wal: wal, delta: store.NewDelta(base.Store())}
+	ep := &Epoch{eng: base, num: 1}
+	l.cur.Store(ep)
+	return l
+}
+
+// Acquire pins the current epoch for a read. Release it when done.
+func (l *Live) Acquire() *Epoch {
+	ep := l.cur.Load()
+	ep.refs.Add(1)
+	return ep
+}
+
+// Epoch returns the current epoch number.
+func (l *Live) Epoch() uint64 { return l.cur.Load().num }
+
+// DeltaTriples returns the size of the un-merged delta.
+func (l *Live) DeltaTriples() int { return l.cur.Load().delta.Len() }
+
+// IngestedTriples returns the total triples accepted since boot.
+func (l *Live) IngestedTriples() int64 { return l.ingested.Load() }
+
+// Swaps returns the number of completed epoch swaps.
+func (l *Live) Swaps() int64 { return l.swaps.Load() }
+
+// WAL returns the underlying log (for stats).
+func (l *Live) WAL() *WAL { return l.wal }
+
+// EpochMaxDelta returns the swap threshold.
+func (l *Live) EpochMaxDelta() int { return l.cfg.EpochMaxDelta }
+
+// SetObservers installs (or replaces) the swap and fsync hooks after
+// construction — the serving layer is built after Boot, so it binds its
+// metrics and cache invalidation here. Serialized against Ingest/Swap.
+func (l *Live) SetObservers(onSwap func(SwapObservation), onFsync func(time.Duration)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if onSwap != nil {
+		l.cfg.ObserveSwap = onSwap
+	}
+	if onFsync != nil {
+		l.wal.SetObserveFsync(onFsync)
+	}
+}
+
+// Ingest durably logs a batch, applies it to the delta, and publishes a
+// new minor epoch. It returns the count of previously-unknown triples
+// (duplicates of base or delta rows are accepted but change nothing)
+// and the WAL sequence the batch was acknowledged under. A swap is
+// triggered synchronously once the delta exceeds EpochMaxDelta.
+func (l *Live) Ingest(ts []rdf.Triple) (added int, seq uint64, err error) {
+	if len(ts) == 0 {
+		return 0, 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	// Durability first: the batch is acknowledged only after the WAL
+	// accepts it, so replay-on-boot covers everything a client saw
+	// succeed.
+	seq, err = l.wal.Append(ts)
+	if err != nil {
+		return 0, 0, err
+	}
+	added = l.applyLocked(ts)
+
+	if l.delta.Len() >= l.cfg.EpochMaxDelta {
+		if err := l.swapLocked(); err != nil {
+			return added, seq, fmt.Errorf("ingest: batch %d acknowledged but epoch swap failed: %w", seq, err)
+		}
+	}
+	return added, seq, nil
+}
+
+// applyLocked adds a batch to the delta and publishes a minor epoch.
+// Callers hold mu.
+func (l *Live) applyLocked(ts []rdf.Triple) int {
+	added := 0
+	for _, t := range ts {
+		if _, ok := l.delta.Add(t); ok {
+			added++
+		}
+	}
+	l.ingested.Add(int64(len(ts)))
+	old := l.cur.Load()
+	if added == 0 {
+		return 0 // nothing new: current epoch already describes the data
+	}
+	next := &Epoch{eng: old.eng, delta: l.delta.Snapshot(), num: old.num + 1, major: old.major}
+	l.cur.Store(next)
+	return added
+}
+
+// Swap forces an epoch swap regardless of the delta threshold.
+func (l *Live) Swap() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.swapLocked()
+}
+
+// swapLocked merges the delta into a fresh sealed engine and installs
+// it as the next epoch. In-flight queries keep their pinned epochs; the
+// old engine stays valid until its last reader releases it. Callers
+// hold mu.
+func (l *Live) swapLocked() error {
+	if l.delta.Len() == 0 {
+		return nil
+	}
+	start := time.Now()
+	old := l.cur.Load()
+	snap := l.delta.Snapshot()
+
+	l.cfg.Crash.Hit(faultinject.CrashSwapBeforeMerge)
+	merged := store.MergeDelta(old.eng.Store(), snap)
+	newG := graph.Build(merged)
+	obs := SwapObservation{Triples: snap.Len()}
+	sum, ok := summary.ApplyDelta(old.eng.Summary(), newG, snap.Triples())
+	if !ok {
+		sum = summary.Build(newG)
+		obs.SummaryRebuilt = true
+	}
+	kwix, ok := keywordindex.ApplyDelta(old.eng.KeywordIndex(), newG, snap.Triples())
+	if !ok {
+		kwix = keywordindex.Build(newG, l.thesaurus())
+		obs.KeywordsRebuilt = true
+	}
+	l.cfg.Crash.Hit(faultinject.CrashSwapAfterMerge)
+
+	eng := engine.NewFromParts(l.cfg.Engine, merged, newG, sum, kwix, old.eng.BuildDuration()+time.Since(start))
+	next := &Epoch{eng: eng, num: old.num + 1, major: old.major + 1}
+	l.delta = store.NewDelta(merged)
+	l.cur.Store(next)
+	l.swaps.Add(1)
+	l.cfg.Crash.Hit(faultinject.CrashSwapAfterInstall)
+
+	obs.Epoch = next.num
+	obs.Duration = time.Since(start)
+	obs.ChangedKeywords = changedKeywords(newG, snap)
+	if l.cfg.ObserveSwap != nil {
+		l.cfg.ObserveSwap(obs)
+	}
+	return nil
+}
+
+func (l *Live) thesaurus() *thesaurus.Thesaurus {
+	if l.cfg.Engine.DisableSemantic {
+		return nil
+	}
+	return l.cfg.Engine.WithDefaults().Thesaurus
+}
+
+// changedKeywords analyzes every label the delta touched — literal
+// values, predicate labels, and subject/object local names — into the
+// stemmed tokens under which a cached search result could have matched
+// them. The serving layer invalidates exactly those cache entries.
+func changedKeywords(newG *graph.Graph, snap *store.DeltaSnap) []string {
+	seen := map[string]bool{}
+	addLabel := func(id store.ID) {
+		for _, tok := range analysis.Analyze(newG.Label(id)) {
+			seen[tok] = true
+		}
+	}
+	for _, t := range snap.Triples() {
+		addLabel(t.S)
+		addLabel(t.P)
+		addLabel(t.O)
+	}
+	out := make([]string, 0, len(seen))
+	for tok := range seen {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close syncs and closes the WAL. Queries against already-acquired
+// epochs remain valid.
+func (l *Live) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wal.Close()
+}
+
+// --- engine.Queryer ---------------------------------------------------
+
+var _ engine.Queryer = (*Live)(nil)
+
+// Seal is a no-op: the live store's base is always sealed and its delta
+// is managed by epochs.
+func (l *Live) Seal() {}
+
+// Sealed reports true: every published epoch is immutable.
+func (l *Live) Sealed() bool { return true }
+
+// Config returns the engine configuration of the current epoch.
+func (l *Live) Config() engine.Config { return l.cur.Load().eng.Config() }
+
+// NumTriples returns the triples visible in the current epoch.
+func (l *Live) NumTriples() int { return l.cur.Load().NumTriples() }
+
+// BuildDuration returns the current epoch's cumulative build cost.
+func (l *Live) BuildDuration() time.Duration { return l.cur.Load().eng.BuildDuration() }
+
+// SearchKContext computes query candidates against the current epoch's
+// base engine (see the Live type's visibility note).
+func (l *Live) SearchKContext(ctx context.Context, keywords []string, k int) ([]*engine.QueryCandidate, *engine.SearchInfo, error) {
+	ep := l.Acquire()
+	defer ep.Release()
+	return ep.eng.SearchKContext(ctx, keywords, k)
+}
+
+// ExecuteLimitContext evaluates a candidate against the current epoch:
+// base triples plus the acknowledged delta.
+func (l *Live) ExecuteLimitContext(ctx context.Context, c *engine.QueryCandidate, limit int) (*exec.ResultSet, error) {
+	ep := l.Acquire()
+	defer ep.Release()
+	return ep.eng.ExecuteLimitContextDelta(ctx, c, limit, ep.delta)
+}
+
+// Explain returns the current epoch's evaluation plan for a candidate.
+func (l *Live) Explain(c *engine.QueryCandidate) (*exec.Plan, error) {
+	return l.cur.Load().eng.Explain(c)
+}

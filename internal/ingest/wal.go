@@ -1,0 +1,511 @@
+// Package ingest adds crash-safe live ingestion to the sealed engine:
+// a checksummed write-ahead log for durability, an in-memory delta
+// store overlaying the immutable base for freshness, and an epoch-
+// swapped MVCC publication scheme that merges the delta into a new
+// sealed engine without blocking in-flight queries.
+//
+// Durability contract: an ingest batch is acknowledged only after its
+// WAL record is written (and, under FsyncAlways, fsynced). On boot the
+// log is replayed over the base snapshot; a torn final record — the
+// footprint of a crash mid-append — is repaired by truncation, while
+// corruption anywhere else refuses to start with an error naming the
+// segment file and byte offset, mirroring the snapshot loader's
+// section-naming errors.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/rdf"
+)
+
+// Segment framing. Every segment starts with a fixed header; records
+// follow back to back, each [u32 payload length][u32 CRC32-C][payload].
+// The payload is one type byte plus the record body. The CRC covers the
+// payload only: a record is valid iff its frame is complete and the
+// checksum matches, so any torn write is detectable.
+const (
+	walMagic      = "SWDBWAL1"
+	walHeaderSize = 8 + 8 + 8 // magic + base triple count + first batch seq
+	recHeaderSize = 8         // length + CRC
+
+	recBatch byte = 1
+
+	// maxRecordBytes bounds a single record; a length field beyond it
+	// is corruption, not a huge batch.
+	maxRecordBytes = 256 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FsyncPolicy selects when Append forces the log to stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs after every batch: no acknowledged write is
+	// ever lost, at the cost of one fsync per batch.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per interval: a crash can lose
+	// up to one interval of acknowledged batches.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS: fastest, weakest.
+	FsyncNever
+)
+
+// ParseFsyncPolicy maps the -fsync flag spelling to a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("ingest: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// WALOptions tune the log writer.
+type WALOptions struct {
+	// Fsync selects the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the maximum staleness under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds this size (default 64 MiB).
+	SegmentBytes int64
+	// Crash, when non-nil, fires the wal.* crash points — the
+	// deterministic kill-point harness of the recovery tests.
+	Crash *faultinject.CrashSet
+	// ObserveFsync, when non-nil, receives the duration of every fsync.
+	ObserveFsync func(time.Duration)
+}
+
+func (o WALOptions) withDefaults() WALOptions {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// CorruptError refuses a WAL whose damage is not a repairable torn
+// tail: it names the segment file and byte offset so the operator knows
+// exactly what is broken, in the style of the snapshot loader's
+// section errors.
+type CorruptError struct {
+	File   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("ingest: wal segment %s: corrupt record at offset %d: %s (refusing to start; a torn final record would have been repaired, damage before the tail means the log cannot be trusted)",
+		e.File, e.Offset, e.Reason)
+}
+
+// Batch is one replayed ingest batch.
+type Batch struct {
+	Seq     uint64
+	Triples []rdf.Triple
+}
+
+// OpenInfo describes what Open found.
+type OpenInfo struct {
+	// BaseTriples is the base-snapshot triple count the log was created
+	// against (every batch replays on top of exactly that base).
+	BaseTriples int64
+	// Batches are the acknowledged batches in append order.
+	Batches []Batch
+	// Segments is the number of segment files.
+	Segments int
+	// RepairedBytes counts bytes truncated from a torn tail (0 = clean).
+	RepairedBytes int64
+	// RepairedFile names the repaired segment ("" = clean).
+	RepairedFile string
+}
+
+// WAL is an append-only, checksummed, segmented write-ahead log of
+// ingest batches. One writer; Append is not safe for concurrent use
+// (the live store serializes writers).
+type WAL struct {
+	dir      string
+	opt      WALOptions
+	base     int64
+	f        *os.File
+	segSeq   int // current segment number
+	size     int64
+	nextSeq  uint64 // next batch seq
+	lastSync time.Time
+	dirty    bool
+}
+
+func segName(n int) string { return fmt.Sprintf("wal-%08d.seg", n) }
+
+// segmentFiles lists the segment files of dir in segment order.
+func segmentFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "wal-") && strings.HasSuffix(e.Name(), ".seg") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Create initializes a fresh WAL in dir (created if missing) for a base
+// snapshot of baseTriples triples. It refuses a directory that already
+// holds segments — recovery must go through Open.
+func Create(dir string, baseTriples int64, opt WALOptions) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if names, err := segmentFiles(dir); err != nil {
+		return nil, err
+	} else if len(names) > 0 {
+		return nil, fmt.Errorf("ingest: wal directory %s already holds %d segment(s); open it for recovery instead of creating over it", dir, len(names))
+	}
+	w := &WAL{dir: dir, opt: opt.withDefaults(), base: baseTriples, nextSeq: 1, lastSync: time.Now()}
+	if err := w.newSegment(1); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Open scans every segment of an existing WAL, verifies it against the
+// base triple count, repairs a torn tail, and returns the log
+// positioned for appending plus the acknowledged batches for replay.
+func Open(dir string, baseTriples int64, opt WALOptions) (*WAL, *OpenInfo, error) {
+	names, err := segmentFiles(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("ingest: wal directory %s holds no segments", dir)
+	}
+	info := &OpenInfo{Segments: len(names)}
+	w := &WAL{dir: dir, opt: opt.withDefaults(), base: baseTriples, nextSeq: 1}
+	for i, name := range names {
+		last := i == len(names)-1
+		if err := w.scanSegment(name, last, info); err != nil {
+			return nil, nil, err
+		}
+	}
+	info.BaseTriples = w.base
+	// Reopen the last segment for appending.
+	lastName := names[len(names)-1]
+	f, err := os.OpenFile(filepath.Join(dir, lastName), os.O_WRONLY, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.f = f
+	w.size = st.Size()
+	w.segSeq = len(names)
+	w.lastSync = time.Now()
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return w, info, nil
+}
+
+// scanSegment validates one segment, appending its batches to info.
+// For the last segment a torn tail is truncated; any other damage is a
+// CorruptError.
+func (w *WAL) scanSegment(name string, last bool, info *OpenInfo) error {
+	path := filepath.Join(w.dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < walHeaderSize {
+		if last {
+			// A crash during segment creation can leave a short header;
+			// nothing after it can be acknowledged, so rewrite it whole.
+			return w.rewriteHeader(path, info, int64(len(data)))
+		}
+		return &CorruptError{File: name, Offset: 0, Reason: "segment shorter than its header"}
+	}
+	if string(data[:8]) != walMagic {
+		return &CorruptError{File: name, Offset: 0, Reason: fmt.Sprintf("bad magic %q", data[:8])}
+	}
+	base := int64(binary.LittleEndian.Uint64(data[8:16]))
+	if base != w.base {
+		return fmt.Errorf("ingest: wal segment %s was written against a base snapshot of %d triples, but the loaded snapshot has %d; the log and snapshot do not belong together", name, base, w.base)
+	}
+	firstSeq := binary.LittleEndian.Uint64(data[16:24])
+	if firstSeq != w.nextSeq {
+		return &CorruptError{File: name, Offset: 16, Reason: fmt.Sprintf("segment starts at batch %d, expected %d (missing or reordered segment)", firstSeq, w.nextSeq)}
+	}
+
+	off := int64(walHeaderSize)
+	n := int64(len(data))
+	for off < n {
+		rest := n - off
+		torn := func(reason string) error {
+			if !last {
+				return &CorruptError{File: name, Offset: off, Reason: reason}
+			}
+			if err := os.Truncate(path, off); err != nil {
+				return err
+			}
+			info.RepairedBytes = n - off
+			info.RepairedFile = name
+			return nil
+		}
+		if rest < recHeaderSize {
+			return torn("truncated record header")
+		}
+		plen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if plen == 0 || plen > maxRecordBytes {
+			// An insane length field with real data after it is not a
+			// torn write.
+			if rest > recHeaderSize+plen && plen <= maxRecordBytes {
+				return &CorruptError{File: name, Offset: off, Reason: "zero-length record"}
+			}
+			return torn(fmt.Sprintf("implausible record length %d", plen))
+		}
+		if rest < recHeaderSize+plen {
+			return torn("record extends past end of segment")
+		}
+		payload := data[off+recHeaderSize : off+recHeaderSize+plen]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if last && off+recHeaderSize+plen == n {
+				// Final record of the final segment: a torn in-place write.
+				return torn("checksum mismatch on final record")
+			}
+			return &CorruptError{File: name, Offset: off, Reason: "checksum mismatch"}
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			return &CorruptError{File: name, Offset: off, Reason: err.Error()}
+		}
+		if batch.Seq != w.nextSeq {
+			return &CorruptError{File: name, Offset: off, Reason: fmt.Sprintf("batch seq %d, expected %d", batch.Seq, w.nextSeq)}
+		}
+		info.Batches = append(info.Batches, batch)
+		w.nextSeq++
+		off += recHeaderSize + plen
+	}
+	return nil
+}
+
+// rewriteHeader replaces a torn segment header (crash during rotation)
+// with a clean one, keeping the segment usable for appends.
+func (w *WAL) rewriteHeader(path string, info *OpenInfo, torn int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write(w.header()); err != nil {
+		return err
+	}
+	info.RepairedBytes += torn
+	info.RepairedFile = filepath.Base(path)
+	return f.Sync()
+}
+
+func (w *WAL) header() []byte {
+	h := make([]byte, walHeaderSize)
+	copy(h, walMagic)
+	binary.LittleEndian.PutUint64(h[8:16], uint64(w.base))
+	binary.LittleEndian.PutUint64(h[16:24], w.nextSeq)
+	return h
+}
+
+func (w *WAL) newSegment(seq int) error {
+	path := filepath.Join(w.dir, segName(seq))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(w.header()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil { // seal the previous segment
+			f.Close()
+			return err
+		}
+		w.f.Close()
+	}
+	w.f = f
+	w.segSeq = seq
+	w.size = walHeaderSize
+	w.opt.Crash.Hit(faultinject.CrashWALRotate)
+	return nil
+}
+
+// encodeBatch frames one batch payload: type byte, u64 seq, N-Triples
+// text. N-Triples keeps the log greppable and reuses the existing
+// parser for replay.
+func encodeBatch(seq uint64, ts []rdf.Triple) ([]byte, error) {
+	var sb strings.Builder
+	sb.WriteByte(recBatch)
+	var seqb [8]byte
+	binary.LittleEndian.PutUint64(seqb[:], seq)
+	sb.Write(seqb[:])
+	if err := rdf.WriteNTriples(&sb, ts); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+func decodeBatch(payload []byte) (Batch, error) {
+	if len(payload) < 9 || payload[0] != recBatch {
+		return Batch{}, fmt.Errorf("unknown record type %d", payload[0])
+	}
+	seq := binary.LittleEndian.Uint64(payload[1:9])
+	ts, err := rdf.NewNTriplesReader(strings.NewReader(string(payload[9:]))).ReadAll()
+	if err != nil {
+		return Batch{}, fmt.Errorf("batch %d body unparseable: %v", seq, err)
+	}
+	return Batch{Seq: seq, Triples: ts}, nil
+}
+
+// Append durably logs one batch and returns its sequence number. The
+// batch is acknowledged — and must be replayed after any crash — once
+// Append returns under FsyncAlways; weaker policies trade the tail.
+func (w *WAL) Append(ts []rdf.Triple) (uint64, error) {
+	if w.f == nil {
+		return 0, fmt.Errorf("ingest: wal is closed")
+	}
+	seq := w.nextSeq
+	payload, err := encodeBatch(seq, ts)
+	if err != nil {
+		return 0, err
+	}
+	if w.size >= w.opt.SegmentBytes {
+		if err := w.newSegment(w.segSeq + 1); err != nil {
+			return 0, err
+		}
+	}
+	rec := make([]byte, recHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[recHeaderSize:], payload)
+
+	w.opt.Crash.Hit(faultinject.CrashWALBeforeWrite)
+	// The record is written in two halves with a crash point between
+	// them, so the kill-point matrix can prove a torn record is repaired
+	// by truncation on the next boot.
+	half := len(rec) / 2
+	if _, err := w.f.Write(rec[:half]); err != nil {
+		return 0, err
+	}
+	w.opt.Crash.Hit(faultinject.CrashWALPartialWrite)
+	if _, err := w.f.Write(rec[half:]); err != nil {
+		return 0, err
+	}
+	w.size += int64(len(rec))
+	w.dirty = true
+	w.opt.Crash.Hit(faultinject.CrashWALAfterWrite)
+
+	switch w.opt.Fsync {
+	case FsyncAlways:
+		if err := w.sync(); err != nil {
+			return 0, err
+		}
+	case FsyncInterval:
+		if time.Since(w.lastSync) >= w.opt.FsyncInterval {
+			if err := w.sync(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	w.opt.Crash.Hit(faultinject.CrashWALAfterSync)
+	w.nextSeq = seq + 1
+	return seq, nil
+}
+
+func (w *WAL) sync() error {
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.dirty = false
+	w.lastSync = time.Now()
+	if w.opt.ObserveFsync != nil {
+		w.opt.ObserveFsync(time.Since(start))
+	}
+	return nil
+}
+
+// Sync forces buffered records to stable storage regardless of policy.
+func (w *WAL) Sync() error {
+	if w.f == nil || !w.dirty {
+		return nil
+	}
+	return w.sync()
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (w *WAL) NextSeq() uint64 { return w.nextSeq }
+
+// Segments returns the current segment count.
+func (w *WAL) Segments() int { return w.segSeq }
+
+// Dir returns the log directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// Fsync returns the durability policy the log was opened with.
+func (w *WAL) Fsync() FsyncPolicy { return w.opt.Fsync }
+
+// SetObserveFsync installs (or replaces) the fsync-duration hook. Call
+// it before the log takes concurrent traffic — typically right after
+// Boot, when the serving layer binds its metrics.
+func (w *WAL) SetObserveFsync(fn func(time.Duration)) { w.opt.ObserveFsync = fn }
+
+// Close syncs and closes the log.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.Sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}

@@ -1,0 +1,293 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/rdf"
+)
+
+func wt(i, j int) rdf.Triple {
+	return rdf.NewTriple(
+		rdf.NewIRI(fmt.Sprintf("http://w/s%d_%d", i, j)),
+		rdf.NewIRI("http://w/p"),
+		rdf.NewLiteral(fmt.Sprintf("value %d %d", i, j)))
+}
+
+func mkBatch(i, n int) []rdf.Triple {
+	ts := make([]rdf.Triple, n)
+	for j := range ts {
+		ts[j] = wt(i, j)
+	}
+	return ts
+}
+
+func TestWALRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 42, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Batch
+	for i := 0; i < 5; i++ {
+		b := mkBatch(i, 3+i)
+		seq, err := w.Append(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("seq %d, want %d", seq, i+1)
+		}
+		want = append(want, Batch{Seq: seq, Triples: b})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, info, err := Open(dir, 42, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if !reflect.DeepEqual(info.Batches, want) {
+		t.Fatalf("replayed batches diverge:\ngot  %v\nwant %v", info.Batches, want)
+	}
+	if info.RepairedBytes != 0 || info.RepairedFile != "" {
+		t.Fatalf("clean log reported repair: %+v", info)
+	}
+	// Appending after recovery continues the sequence.
+	if seq, err := w2.Append(mkBatch(9, 2)); err != nil || seq != 6 {
+		t.Fatalf("post-recovery append: seq=%d err=%v", seq, err)
+	}
+}
+
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 0, WALOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Batch
+	for i := 0; i < 12; i++ {
+		b := mkBatch(i, 4)
+		seq, err := w.Append(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, Batch{Seq: seq, Triples: b})
+	}
+	if w.Segments() < 2 {
+		t.Fatalf("no rotation with 256-byte segments: %d segment(s)", w.Segments())
+	}
+	w.Close()
+
+	_, info, err := Open(dir, 0, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Segments != w.Segments() {
+		t.Fatalf("reopened %d segments, wrote %d", info.Segments, w.Segments())
+	}
+	if !reflect.DeepEqual(info.Batches, want) {
+		t.Fatal("batches diverge across rotation")
+	}
+}
+
+func TestWALCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, 0, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := Create(dir, 0, WALOptions{}); err == nil {
+		t.Fatal("Create over an existing log must refuse")
+	}
+}
+
+func TestWALBaseMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Create(dir, 100, WALOptions{})
+	w.Append(mkBatch(0, 2))
+	w.Close()
+	_, _, err := Open(dir, 999, WALOptions{})
+	if err == nil {
+		t.Fatal("base mismatch must refuse")
+	}
+	if !strings.Contains(err.Error(), "do not belong together") {
+		t.Fatalf("error %q does not name the mismatch", err)
+	}
+}
+
+// TestWALTornTailRepaired truncates the final segment at every possible
+// byte boundary inside the last record: each one must repair to the
+// acknowledged prefix, never refuse, never resurrect a half batch.
+func TestWALTornTailRepaired(t *testing.T) {
+	build := func(dir string) (fullSize int64, lastStart int64, want []Batch) {
+		w, err := Create(dir, 7, WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			b := mkBatch(i, 2)
+			seq, _ := w.Append(b)
+			want = append(want, Batch{Seq: seq, Triples: b})
+			if i == 1 {
+				st, _ := os.Stat(filepath.Join(dir, segName(1)))
+				lastStart = st.Size()
+			}
+		}
+		w.Close()
+		st, _ := os.Stat(filepath.Join(dir, segName(1)))
+		return st.Size(), lastStart, want[:2]
+	}
+
+	probe := t.TempDir()
+	full, lastStart, _ := build(probe)
+
+	for cut := lastStart + 1; cut < full; cut += 7 {
+		dir := t.TempDir()
+		_, _, want := build(dir)
+		seg := filepath.Join(dir, segName(1))
+		if err := os.Truncate(seg, cut); err != nil {
+			t.Fatal(err)
+		}
+		w, info, err := Open(dir, 7, WALOptions{})
+		if err != nil {
+			t.Fatalf("cut at %d: torn tail refused: %v", cut, err)
+		}
+		if !reflect.DeepEqual(info.Batches, want) {
+			t.Fatalf("cut at %d: recovered %d batches, want %d acknowledged", cut, len(info.Batches), len(want))
+		}
+		if info.RepairedBytes == 0 || info.RepairedFile == "" {
+			t.Fatalf("cut at %d: repair not reported: %+v", cut, info)
+		}
+		// The log keeps working after repair.
+		if _, err := w.Append(mkBatch(9, 1)); err != nil {
+			t.Fatalf("cut at %d: append after repair: %v", cut, err)
+		}
+		w.Close()
+		if _, info2, err := Open(dir, 7, WALOptions{}); err != nil {
+			t.Fatalf("cut at %d: second open: %v", cut, err)
+		} else if len(info2.Batches) != len(want)+1 {
+			t.Fatalf("cut at %d: %d batches after repair+append", cut, len(info2.Batches))
+		}
+	}
+}
+
+// TestWALMidFileCorruptionRefused flips a byte inside an early record:
+// that is not a torn tail, and the open must refuse with an error
+// naming the segment and offset.
+func TestWALMidFileCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Create(dir, 7, WALOptions{})
+	for i := 0; i < 3; i++ {
+		w.Append(mkBatch(i, 2))
+	}
+	w.Close()
+	seg := filepath.Join(dir, segName(1))
+	data, _ := os.ReadFile(seg)
+	data[walHeaderSize+recHeaderSize+5] ^= 0xFF // inside the first record's payload
+	os.WriteFile(seg, data, 0o644)
+
+	_, _, err := Open(dir, 7, WALOptions{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("mid-file corruption: got %v, want CorruptError", err)
+	}
+	if ce.File != segName(1) || ce.Offset != walHeaderSize {
+		t.Fatalf("error does not name segment+offset: %+v", ce)
+	}
+}
+
+// TestWALEarlierSegmentDamageRefused: even tail-shaped damage in a
+// non-final segment is unrepairable.
+func TestWALEarlierSegmentDamageRefused(t *testing.T) {
+	dir := t.TempDir()
+	w, _ := Create(dir, 0, WALOptions{SegmentBytes: 200})
+	for i := 0; i < 8; i++ {
+		w.Append(mkBatch(i, 3))
+	}
+	if w.Segments() < 2 {
+		t.Fatal("need at least two segments")
+	}
+	w.Close()
+	seg1 := filepath.Join(dir, segName(1))
+	st, _ := os.Stat(seg1)
+	os.Truncate(seg1, st.Size()-3)
+
+	_, _, err := Open(dir, 0, WALOptions{})
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("earlier-segment damage: got %v, want CorruptError", err)
+	}
+}
+
+// TestWALPartialWriteCrash arms the partial-write crash point: the
+// append dies halfway through the record, and the next open repairs the
+// torn tail back to the acknowledged prefix.
+func TestWALPartialWriteCrash(t *testing.T) {
+	dir := t.TempDir()
+	cs := faultinject.NewCrashSet()
+	if err := cs.Arm(faultinject.CrashWALPartialWrite, 3); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(dir, 7, WALOptions{Crash: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := 0
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Fatal("crash point did not fire")
+			} else if _, ok := r.(faultinject.CrashValue); !ok {
+				panic(r)
+			}
+		}()
+		for i := 0; i < 10; i++ {
+			if _, err := w.Append(mkBatch(i, 2)); err != nil {
+				t.Fatal(err)
+			}
+			acked++
+		}
+	}()
+	// No Close: the crash leaves the torn record on disk.
+	if acked != 3 {
+		t.Fatalf("acked %d batches before the crash, expected 3 (fires on the 4th hit)", acked)
+	}
+	_, info, err := Open(dir, 7, WALOptions{})
+	if err != nil {
+		t.Fatalf("open after crash: %v", err)
+	}
+	if len(info.Batches) != acked {
+		t.Fatalf("recovered %d batches, acknowledged %d", len(info.Batches), acked)
+	}
+	if info.RepairedBytes == 0 {
+		t.Fatal("torn record not reported as repaired")
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+	}{{"always", FsyncAlways}, {"interval", FsyncInterval}, {"never", FsyncNever}} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Fatalf("String() roundtrip: %q", got.String())
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}

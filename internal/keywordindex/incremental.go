@@ -1,0 +1,266 @@
+package keywordindex
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/graph"
+	"repro/internal/store"
+	"repro/internal/summary"
+)
+
+// vpKey identifies a value reference: one V-vertex reached through one
+// attribute predicate.
+type vpKey struct {
+	v, p store.ID
+}
+
+// ApplyDelta incrementally maintains the keyword index across an epoch
+// swap: given the index over the old data graph, the classified graph
+// over the merged (old ∪ delta) store, and the delta's triples, it
+// returns a new index equal — reference for reference, posting for
+// posting — to Build(newG, th), without re-scanning the old triples.
+// ok is false when the delta would mint or reorder references, in which
+// case the caller must fall back to a full Build.
+//
+// Reference IDs are assigned by Build in scan order: classes first
+// (vertex order), then predicates (sorted by ID), then value keys
+// (first occurrence in the full SPO scan). The fast path therefore
+// requires that the delta adds no class, no predicate, and writes only
+// fresh subjects — under those constraints the merged scan is the old
+// scan followed by the delta's rows, so every old reference keeps its
+// ID and new value references append at the tail exactly as a rebuild
+// would place them. What can still change incrementally: the owning
+// Classes of attribute and value references grow, all-numeric
+// attributes can flip to non-numeric, and new values append postings,
+// document frequencies, and BK-tree vocabulary.
+//
+// The returned index shares nothing mutable with the old one: the refs
+// slice, both maps, and the BK-tree are copied (posting lists are
+// copied only for terms that gain entries), so the old index stays
+// safe for concurrent readers pinned to the previous epoch.
+func ApplyDelta(old *Index, newG *graph.Graph, delta []store.IDTriple) (*Index, bool) {
+	if old == nil || old.loaded != nil || old.g == nil {
+		return nil, false
+	}
+	oldG := old.g
+	oldSt := oldG.Store()
+	newSt := newG.Store()
+	oldTerms := store.ID(oldSt.NumTerms())
+	typeID, subID := newG.TypeID(), newG.SubclassID()
+
+	// Old reference lookup tables, keyed the way Build aggregates.
+	attrRef := map[store.ID]int{}
+	relPred := map[store.ID]bool{}
+	valRef := map[vpKey]int{}
+	for i, r := range old.refs {
+		switch r.match.Kind {
+		case summary.MatchAttrEdge:
+			attrRef[r.match.Pred] = i
+		case summary.MatchRelEdge:
+			relPred[r.match.Pred] = true
+		case summary.MatchValue:
+			valRef[vpKey{r.match.Value, r.match.Pred}] = i
+		}
+	}
+	numericPred := map[store.ID]bool{}
+	for _, m := range old.numericAttrs {
+		numericPred[m.Pred] = true
+	}
+
+	// The delta's contribution to the merged SPO scan is its rows in
+	// (S,P,O) order — fresh subjects sort after every old row, so this
+	// is the exact suffix Build would walk. Value-key first-occurrence
+	// order (→ ref IDs) depends on it.
+	rows := append([]store.IDTriple(nil), delta...)
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+
+	// Pass 1: validate the gates and collect updates; nothing is built
+	// until the whole delta is known to be reference-preserving.
+	attrClasses := map[store.ID]map[store.ID]bool{}
+	numericFlip := map[store.ID]bool{}
+	valClasses := map[int]map[store.ID]bool{}
+	var newKeys []vpKey
+	newOwners := map[vpKey]map[store.ID]bool{}
+	for _, t := range rows {
+		if subID != 0 && t.P == subID {
+			return nil, false // subclass axiom: class set and labels shift
+		}
+		if t.S <= oldTerms {
+			// Writes on existing subjects can relabel indexed elements
+			// or interleave ahead of an old key's first occurrence.
+			return nil, false
+		}
+		if typeID != 0 && t.P == typeID {
+			if oldG.Kind(t.O) != graph.CVertex {
+				return nil, false // a class reference Build would mint
+			}
+			continue
+		}
+		if t.O <= oldTerms && oldG.Kind(t.O) != newG.Kind(t.O) {
+			return nil, false // an old term was reclassified by the delta
+		}
+		_, isAttr := attrRef[t.P]
+		if !isAttr && !relPred[t.P] {
+			// A predicate reference Build would mint — and predicate
+			// references are emitted in sorted-ID order, so inserting one
+			// would renumber every value reference after it.
+			return nil, false
+		}
+		if newG.Kind(t.O) != graph.VVertex {
+			continue // relation rows don't change predicate references
+		}
+		if isAttr {
+			set, ok := attrClasses[t.P]
+			if !ok {
+				set = map[store.ID]bool{}
+				attrClasses[t.P] = set
+			}
+			for _, c := range newG.Classes(t.S) {
+				set[c] = true
+			}
+			if numericPred[t.P] && !isNumeric(newSt.Term(t.O).Value) {
+				numericFlip[t.P] = true
+			}
+		}
+		k := vpKey{t.O, t.P}
+		if ri, ok := valRef[k]; ok {
+			set, ok := valClasses[ri]
+			if !ok {
+				set = map[store.ID]bool{}
+				valClasses[ri] = set
+			}
+			for _, c := range newG.Classes(t.S) {
+				set[c] = true
+			}
+			continue
+		}
+		// No old reference for this (value, pred) pair. It may still be
+		// an old key whose label analyzed to nothing (Build registered no
+		// reference); only a pair absent from the old store is new.
+		if t.O <= oldTerms && t.P <= oldTerms &&
+			len(oldSt.Range(store.Wildcard, t.P, t.O).S) > 0 {
+			continue
+		}
+		set, ok := newOwners[k]
+		if !ok {
+			set = map[store.ID]bool{}
+			newOwners[k] = set
+			newKeys = append(newKeys, k)
+		}
+		for _, c := range newG.Classes(t.S) {
+			set[c] = true
+		}
+	}
+
+	// Pass 2: assemble the successor index.
+	out := &Index{
+		g:        newG,
+		th:       old.th,
+		refs:     append([]refInfo(nil), old.refs...),
+		postings: make(map[string][]posting, len(old.postings)+len(newKeys)),
+		df:       make(map[string]int, len(old.df)),
+		tree:     old.tree.Clone(),
+		stats:    old.stats,
+	}
+	for term, ps := range old.postings {
+		out.postings[term] = ps
+	}
+	for term, n := range old.df {
+		out.df[term] = n
+	}
+
+	for p, set := range attrClasses {
+		ri := attrRef[p]
+		if merged, changed := unionClasses(out.refs[ri].match.Classes, set); changed {
+			out.refs[ri].match.Classes = merged
+		}
+	}
+	for ri, set := range valClasses {
+		if merged, changed := unionClasses(out.refs[ri].match.Classes, set); changed {
+			out.refs[ri].match.Classes = merged
+		}
+	}
+	for _, m := range old.numericAttrs {
+		if numericFlip[m.Pred] {
+			continue
+		}
+		m.Classes = out.refs[attrRef[m.Pred]].match.Classes
+		out.numericAttrs = append(out.numericAttrs, m)
+	}
+
+	for _, k := range newKeys {
+		out.stats.ValueRefs++ // Build counts keys, with or without a reference
+		label := newG.Label(k.v)
+		terms := analysis.Analyze(label)
+		if len(terms) == 0 {
+			continue
+		}
+		ref := int32(len(out.refs))
+		out.refs = append(out.refs, refInfo{
+			match: summary.Match{
+				Kind:    summary.MatchValue,
+				Value:   k.v,
+				Pred:    k.p,
+				Classes: sortedIDs(newOwners[k]),
+			},
+			labelLen:  len(terms),
+			labelText: label,
+		})
+		seen := map[string]bool{}
+		for _, tm := range terms {
+			if seen[tm] {
+				continue
+			}
+			seen[tm] = true
+			prev := out.postings[tm]
+			ps := make([]posting, len(prev), len(prev)+1)
+			copy(ps, prev)
+			out.postings[tm] = append(ps, posting{ref: ref})
+			out.df[tm]++
+			out.tree.Add(tm)
+			out.stats.Postings++
+		}
+	}
+	out.stats.Refs = len(out.refs)
+	out.stats.Terms = len(out.postings)
+	return out, true
+}
+
+// unionClasses merges a set of new owner classes into a sorted class
+// list, returning the (sorted) union and whether it differs. The input
+// slice is never mutated — callers share it with the published index.
+func unionClasses(oldCs []store.ID, add map[store.ID]bool) ([]store.ID, bool) {
+	fresh := 0
+	for c := range add {
+		if !containsID(oldCs, c) {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		return oldCs, false
+	}
+	merged := make([]store.ID, 0, len(oldCs)+fresh)
+	merged = append(merged, oldCs...)
+	for c := range add {
+		if !containsID(oldCs, c) {
+			merged = append(merged, c)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return merged, true
+}
+
+func containsID(cs []store.ID, c store.ID) bool {
+	i := sort.Search(len(cs), func(i int) bool { return cs[i] >= c })
+	return i < len(cs) && cs[i] == c
+}

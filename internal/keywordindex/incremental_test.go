@@ -1,0 +1,271 @@
+package keywordindex
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func kw(s string) rdf.Term { return rdf.NewIRI("http://kw/" + s) }
+
+// equalIndexes compares two indexes structurally: references (IDs,
+// match templates, labels), posting lists, document frequencies, the
+// BK-tree shape, numeric attributes, and stats.
+func equalIndexes(t *testing.T, got, want *Index) {
+	t.Helper()
+	if len(got.refs) != len(want.refs) {
+		t.Fatalf("ref count %d, want %d", len(got.refs), len(want.refs))
+	}
+	for i := range want.refs {
+		if !reflect.DeepEqual(got.refs[i], want.refs[i]) {
+			t.Fatalf("ref %d: got %+v, want %+v", i, got.refs[i], want.refs[i])
+		}
+	}
+	if !reflect.DeepEqual(got.postings, want.postings) {
+		t.Fatalf("postings diverge:\ngot  %v\nwant %v", got.postings, want.postings)
+	}
+	if !reflect.DeepEqual(got.df, want.df) {
+		t.Fatalf("df diverges:\ngot  %v\nwant %v", got.df, want.df)
+	}
+	if !reflect.DeepEqual(got.tree, want.tree) {
+		t.Fatalf("BK-tree diverges (sizes %d vs %d)", got.tree.Len(), want.tree.Len())
+	}
+	if !reflect.DeepEqual(got.numericAttrs, want.numericAttrs) {
+		t.Fatalf("numericAttrs:\ngot  %v\nwant %v", got.numericAttrs, want.numericAttrs)
+	}
+	if got.stats != want.stats {
+		t.Fatalf("stats: got %+v, want %+v", got.stats, want.stats)
+	}
+}
+
+// kwApplyWorld runs one ApplyDelta round against a from-scratch rebuild.
+func kwApplyWorld(t *testing.T, baseTs, deltaTs []rdf.Triple) (inc, rebuilt *Index, ok bool) {
+	t.Helper()
+	base := store.New()
+	base.AddAll(baseTs)
+	base.Build()
+	oldG := graph.Build(base)
+	oldIx := Build(oldG, nil)
+
+	d := store.NewDelta(base)
+	for _, tr := range deltaTs {
+		d.Add(tr)
+	}
+	snap := d.Snapshot()
+	merged := store.MergeDelta(base, snap)
+	newG := graph.Build(merged)
+
+	inc, ok = ApplyDelta(oldIx, newG, snap.Triples())
+	return inc, Build(newG, nil), ok
+}
+
+// kwRandomBase builds a base world with classes, typed and untyped
+// entities, shared-vocabulary literals, a numeric attribute, and
+// relation edges.
+func kwRandomBase(rng *rand.Rand) []rdf.Triple {
+	words := []string{"semantic", "search", "graph", "index", "query", "keyword", "engine", "data"}
+	var ts []rdf.Triple
+	nClasses := 2 + rng.Intn(3)
+	for e := 0; e < 8+rng.Intn(8); e++ {
+		subj := kw("e" + itoa(e))
+		if rng.Intn(4) > 0 {
+			ts = append(ts, rdf.NewTriple(subj, rdf.NewIRI(rdf.RDFType), kw("C"+itoa(rng.Intn(nClasses)))))
+		}
+		ts = append(ts, rdf.NewTriple(subj, kw("name"),
+			rdf.NewLiteral(words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))])))
+		ts = append(ts, rdf.NewTriple(subj, kw("year"), rdf.NewLiteral(itoa(1990+rng.Intn(30)))))
+		if e > 0 && rng.Intn(2) == 0 {
+			ts = append(ts, rdf.NewTriple(subj, kw("cites"), kw("e"+itoa(rng.Intn(e)))))
+		}
+	}
+	return ts
+}
+
+// kwFastPathDelta emits fresh subjects using only existing classes and
+// predicates: new literal values, re-used (value, pred) pairs, relation
+// edges, and occasionally a non-numeric value on the numeric attribute.
+func kwFastPathDelta(rng *rand.Rand, baseTs []rdf.Triple, n int) []rdf.Triple {
+	words := []string{"semantic", "search", "ranking", "candidate", "topk"}
+	var classes []rdf.Term
+	seenClass := map[string]bool{}
+	hasCites := false
+	for _, tr := range baseTs {
+		if tr.P == rdf.NewIRI(rdf.RDFType) && !seenClass[tr.O.Value] {
+			seenClass[tr.O.Value] = true
+			classes = append(classes, tr.O)
+		}
+		if tr.P == kw("cites") {
+			hasCites = true
+		}
+	}
+	pickClass := func() (rdf.Term, bool) {
+		if len(classes) == 0 {
+			return rdf.Term{}, false
+		}
+		return classes[rng.Intn(len(classes))], true
+	}
+	var out []rdf.Triple
+	for i := 0; i < n; i++ {
+		subj := kw(fmt.Sprintf("new%d_%d", rng.Int63(), i))
+		switch rng.Intn(5) {
+		case 0: // typed entity with a fresh literal
+			if c, ok := pickClass(); ok {
+				out = append(out, rdf.NewTriple(subj, rdf.NewIRI(rdf.RDFType), c))
+			}
+			out = append(out, rdf.NewTriple(subj, kw("name"),
+				rdf.NewLiteral(words[rng.Intn(len(words))]+" "+itoa(i))))
+		case 1: // re-use an existing (value, pred) pair → owner-class union
+			tr := baseTs[rng.Intn(len(baseTs))]
+			if tr.O.Kind == rdf.Literal {
+				if c, ok := pickClass(); ok {
+					out = append(out, rdf.NewTriple(subj, rdf.NewIRI(rdf.RDFType), c))
+				}
+				out = append(out, rdf.NewTriple(subj, tr.P, tr.O))
+			} else {
+				out = append(out, rdf.NewTriple(subj, kw("name"), rdf.NewLiteral("reuse "+itoa(i))))
+			}
+		case 2: // relation edge along an existing predicate
+			if hasCites {
+				out = append(out, rdf.NewTriple(subj, kw("cites"), kw("e0")))
+			} else {
+				out = append(out, rdf.NewTriple(subj, kw("name"), rdf.NewLiteral("plain "+itoa(i))))
+			}
+		case 3: // flip the all-numeric attribute
+			out = append(out, rdf.NewTriple(subj, kw("year"), rdf.NewLiteral("unknown")))
+		default: // untyped entity, numeric-preserving
+			out = append(out, rdf.NewTriple(subj, kw("year"), rdf.NewLiteral(itoa(2000+i))))
+		}
+	}
+	return out
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+// TestKwApplyDeltaEquivalence: whenever the fast path accepts a delta,
+// the result must equal a from-scratch Build — including reference IDs,
+// which the snapshot format and distributed merge depend on.
+func TestKwApplyDeltaEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 40; round++ {
+		baseTs := kwRandomBase(rng)
+		deltaTs := kwFastPathDelta(rng, baseTs, 1+rng.Intn(8))
+		inc, rebuilt, ok := kwApplyWorld(t, baseTs, deltaTs)
+		if !ok {
+			t.Fatalf("round %d: fast-path delta rejected", round)
+		}
+		equalIndexes(t, inc, rebuilt)
+	}
+}
+
+// TestKwApplyDeltaRandomAgreesWhenAccepted: arbitrary deltas — a reject
+// is always safe, an accept must be equivalent.
+func TestKwApplyDeltaRandomAgreesWhenAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	accepted := 0
+	for round := 0; round < 60; round++ {
+		baseTs := kwRandomBase(rng)
+		var deltaTs []rdf.Triple
+		mk := func(fresh bool, i int) rdf.Term {
+			if fresh {
+				return kw(fmt.Sprintf("r%d_%d", round, i))
+			}
+			return kw("e" + itoa(rng.Intn(12)))
+		}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			switch rng.Intn(5) {
+			case 0:
+				deltaTs = append(deltaTs, rdf.NewTriple(mk(rng.Intn(2) == 0, i), rdf.NewIRI(rdf.RDFType), kw("C"+itoa(rng.Intn(4)))))
+			case 1:
+				deltaTs = append(deltaTs, rdf.NewTriple(kw("C0"), rdf.NewIRI(rdf.RDFSSubClass), kw("C9")))
+			case 2:
+				deltaTs = append(deltaTs, rdf.NewTriple(mk(rng.Intn(2) == 0, i), kw("p"+itoa(rng.Intn(3))), mk(rng.Intn(3) == 0, i+50)))
+			case 3:
+				deltaTs = append(deltaTs, rdf.NewTriple(mk(rng.Intn(2) == 0, i), kw("name"), rdf.NewLiteral("v "+itoa(rng.Intn(5)))))
+			default:
+				deltaTs = append(deltaTs, rdf.NewTriple(mk(true, i), kw("cites"), mk(rng.Intn(2) == 0, i+90)))
+			}
+		}
+		inc, rebuilt, ok := kwApplyWorld(t, baseTs, deltaTs)
+		if !ok {
+			continue
+		}
+		accepted++
+		equalIndexes(t, inc, rebuilt)
+	}
+	t.Logf("random deltas accepted on the fast path: %d/60", accepted)
+}
+
+// TestKwApplyDeltaRejectsShapeChanges: the canonical slow-path shapes.
+func TestKwApplyDeltaRejectsShapeChanges(t *testing.T) {
+	base := []rdf.Triple{
+		rdf.NewTriple(kw("e1"), rdf.NewIRI(rdf.RDFType), kw("C1")),
+		rdf.NewTriple(kw("e1"), kw("name"), rdf.NewLiteral("alpha beta")),
+		rdf.NewTriple(kw("e1"), kw("cites"), kw("e2")),
+		rdf.NewTriple(kw("e2"), rdf.NewIRI(rdf.RDFType), kw("C1")),
+	}
+	cases := []struct {
+		name  string
+		delta []rdf.Triple
+	}{
+		{"subclass axiom", []rdf.Triple{rdf.NewTriple(kw("C1"), rdf.NewIRI(rdf.RDFSSubClass), kw("C0"))}},
+		{"new class", []rdf.Triple{rdf.NewTriple(kw("n1"), rdf.NewIRI(rdf.RDFType), kw("Cnew"))}},
+		{"new predicate", []rdf.Triple{rdf.NewTriple(kw("n1"), kw("title"), rdf.NewLiteral("gamma"))}},
+		{"old subject write", []rdf.Triple{rdf.NewTriple(kw("e2"), kw("name"), rdf.NewLiteral("delta"))}},
+	}
+	for _, tc := range cases {
+		if _, _, ok := kwApplyWorld(t, base, tc.delta); ok {
+			t.Errorf("%s: accepted on the fast path, must rebuild", tc.name)
+		}
+	}
+}
+
+// TestKwApplyDeltaOldIndexUntouched: the published index must be
+// byte-identical after an ApplyDelta that unions classes, appends
+// postings, and extends the tree.
+func TestKwApplyDeltaOldIndexUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	baseTs := kwRandomBase(rng)
+	base := store.New()
+	base.AddAll(baseTs)
+	base.Build()
+	oldG := graph.Build(base)
+	oldIx := Build(oldG, nil)
+	before := Build(oldG, nil) // independent twin for comparison
+
+	d := store.NewDelta(base)
+	for _, tr := range kwFastPathDelta(rng, baseTs, 12) {
+		d.Add(tr)
+	}
+	snap := d.Snapshot()
+	merged := store.MergeDelta(base, snap)
+	if _, ok := ApplyDelta(oldIx, graph.Build(merged), snap.Triples()); !ok {
+		t.Fatal("fast-path delta rejected")
+	}
+	equalIndexes(t, oldIx, before)
+}
+
+// TestKwApplyDeltaLookup: a value that exists only in the delta is
+// findable through the incrementally-extended index.
+func TestKwApplyDeltaLookup(t *testing.T) {
+	base := []rdf.Triple{
+		rdf.NewTriple(kw("e1"), rdf.NewIRI(rdf.RDFType), kw("C1")),
+		rdf.NewTriple(kw("e1"), kw("name"), rdf.NewLiteral("alpha")),
+	}
+	delta := []rdf.Triple{
+		rdf.NewTriple(kw("n1"), rdf.NewIRI(rdf.RDFType), kw("C1")),
+		rdf.NewTriple(kw("n1"), kw("name"), rdf.NewLiteral("zeta")),
+	}
+	inc, _, ok := kwApplyWorld(t, base, delta)
+	if !ok {
+		t.Fatal("fast-path delta rejected")
+	}
+	ms := inc.Lookup("zeta")
+	if len(ms) == 0 {
+		t.Fatal("delta value not findable after ApplyDelta")
+	}
+}

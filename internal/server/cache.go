@@ -89,6 +89,37 @@ func (c *lruCache) Put(key string, val any) {
 	}
 }
 
+// Remove drops the entry for key, if present.
+func (c *lruCache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Invalidate removes every entry the predicate matches and returns how
+// many were dropped. The cache lock is held across the sweep, so the
+// predicate must not call back into this cache; O(entries) with a small
+// constant — invalidation is rare (epoch swaps) next to Get/Put traffic.
+func (c *lruCache) Invalidate(match func(key string, val any) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*lruEntry)
+		if match(e.key, e.val) {
+			c.ll.Remove(el)
+			delete(c.items, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
 // Len returns the number of cached entries, including any not yet
 // lazily expired.
 func (c *lruCache) Len() int {

@@ -83,6 +83,60 @@ func TestLRUZeroTTLNeverExpires(t *testing.T) {
 	}
 }
 
+func TestLRUInvalidate(t *testing.T) {
+	c := newLRUCache(8, 0)
+	for _, k := range []string{"keep-1", "drop-1", "keep-2", "drop-2", "drop-3"} {
+		c.Put(k, k)
+	}
+	n := c.Invalidate(func(key string, val any) bool {
+		if val.(string) != key {
+			t.Errorf("predicate got val %v for key %q", val, key)
+		}
+		return len(key) >= 4 && key[:4] == "drop"
+	})
+	if n != 3 {
+		t.Fatalf("invalidated %d entries, want 3", n)
+	}
+	for _, k := range []string{"drop-1", "drop-2", "drop-3"} {
+		if _, ok := c.Get(k); ok {
+			t.Errorf("%s survived invalidation", k)
+		}
+	}
+	for _, k := range []string{"keep-1", "keep-2"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s was dropped by a non-matching predicate", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	// Invalidating nothing is a no-op; the cache keeps working after.
+	if n := c.Invalidate(func(string, any) bool { return false }); n != 0 {
+		t.Fatalf("no-op invalidation dropped %d", n)
+	}
+	c.Put("new", 1)
+	if _, ok := c.Get("new"); !ok {
+		t.Fatal("cache broken after invalidation")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := newLRUCache(4, 0)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Remove("a")
+	c.Remove("missing") // absent keys are a no-op
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed entry still served")
+	}
+	if v, ok := c.Get("b"); !ok || v != 2 {
+		t.Fatalf("unrelated entry disturbed: %v %v", v, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
 func TestFlightGroupDedup(t *testing.T) {
 	g := newFlightGroup()
 	var calls atomic.Int32

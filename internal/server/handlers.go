@@ -256,6 +256,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/search", s.instrument("search", s.handleSearch))
 	mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
 	mux.HandleFunc("POST /v1/explain", s.instrument("explain", s.handleExplain))
+	mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -266,7 +267,7 @@ func (s *Server) Handler() http.Handler {
 	// would otherwise route here as plain 404s.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/v1/search", "/v1/execute", "/v1/explain":
+		case "/v1/search", "/v1/execute", "/v1/explain", "/v1/ingest":
 			w.Header().Set("Allow", http.MethodPost)
 			writeJSON(w, http.StatusMethodNotAllowed,
 				errorResponse{Error: r.URL.Path + " requires POST", Code: "method_not_allowed"})
@@ -918,13 +919,17 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 // Introspection
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"sealed":         s.eng.Sealed(),
 		"triples":        s.eng.NumTriples(),
 		"uptime_seconds": s.Uptime().Seconds(),
 		"snapshot":       s.snapshotJSON(false),
-	})
+	}
+	if ib := s.ingestStatsJSON(false); ib != nil {
+		body["ingest"] = ib
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // histQuantiles renders one latency histogram's tail summary for /stats.
@@ -1000,6 +1005,7 @@ func (s *Server) handleBuildinfo(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.refreshIngestGauges()
 	latency := map[string]any{}
 	s.mLatency.Each(func(endpoint string, h *metrics.Histogram) {
 		latency[endpoint] = histQuantiles(h)
@@ -1028,6 +1034,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"cluster":        cluster,
+		"ingest":         s.ingestStatsJSON(true),
 		"snapshot":       s.snapshotJSON(true),
 		"uptime_seconds": s.Uptime().Seconds(),
 		"triples":        s.eng.NumTriples(),
@@ -1083,6 +1090,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.refreshBreakerGauges()
+	s.refreshIngestGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_ = s.reg.WritePrometheus(w)
 	// Runtime telemetry (goroutines, heap, GC pauses) rides the same

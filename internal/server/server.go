@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exec"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
@@ -81,6 +82,11 @@ type Config struct {
 	// searchwebdb_snapshot_load_seconds gauge). nil when the backend was
 	// built from a triple stream (load mode "rebuilt").
 	Snapshot *snapshot.Info
+	// Live enables the ingestion surface over a WAL-backed live backend:
+	// POST /v1/ingest, the epoch/WAL metrics, and swap-driven keyword
+	// cache invalidation. It must be the same value passed as the
+	// backend. nil (the default) serves sealed and read-only.
+	Live *ingest.Live
 }
 
 func (c Config) withDefaults(procs int) Config {
@@ -191,6 +197,17 @@ type Server struct {
 	// Cold-start provenance: how long the snapshot load took (0 when the
 	// backend was built from a triple stream rather than booted).
 	mSnapLoad *metrics.FloatGauge
+
+	// Live-ingestion surface: the WAL-backed backend (nil for sealed
+	// deploys — the metrics still exist and read zero) and its telemetry:
+	// current epoch, triples accepted over HTTP, WAL fsync latency, epoch
+	// swap latency, and cache entries invalidated by swaps.
+	live         *ingest.Live
+	mEpoch       *metrics.Gauge
+	mIngested    *metrics.Counter
+	mFsync       *metrics.Histogram
+	mSwapSeconds *metrics.Histogram
+	mInvalidated *metrics.Counter
 }
 
 // clusterBackend is the optional introspection surface of a sharded
@@ -279,6 +296,19 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 		"Wall time of the snapshot load the backend booted from (0 when built from a triple stream).")
 	if cfg.Snapshot != nil {
 		s.mSnapLoad.Set(cfg.Snapshot.LoadDuration.Seconds())
+	}
+	s.mEpoch = s.reg.Gauge("searchwebdb_epoch",
+		"Current epoch number of the live backend (0 on sealed read-only deploys).")
+	s.mIngested = s.reg.Counter("searchwebdb_ingest_triples_total",
+		"Triples accepted through /v1/ingest (duplicates included — they are acknowledged).")
+	s.mFsync = s.reg.Histogram("searchwebdb_wal_fsync_seconds",
+		"WAL fsync latency per sync, under the configured fsync policy.", nil)
+	s.mSwapSeconds = s.reg.Histogram("searchwebdb_epoch_swap_seconds",
+		"Epoch swap latency: delta merge plus incremental (or fallback full) index maintenance.", nil)
+	s.mInvalidated = s.reg.Counter("searchwebdb_search_cache_invalidated_total",
+		"Cached searches dropped by keyword-matched invalidation at epoch swaps.")
+	if cfg.Live != nil {
+		s.bindLive(cfg.Live)
 	}
 	s.refreshBreakerGauges()
 	return s

@@ -1,0 +1,339 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/rdf"
+)
+
+// Delta accumulates live writes on top of a sealed base store without
+// touching it. New terms are interned into an extension dictionary
+// whose IDs continue where the base dictionary ends, so an ID is
+// globally unique across base+delta and the base's columns, offset
+// tables, and views stay byte-identical while the delta grows.
+//
+// A Delta is single-writer: the ingest path serializes Add calls.
+// Readers never see the Delta itself — they see immutable DeltaSnap
+// snapshots taken after each acknowledged batch.
+type Delta struct {
+	base      *Store
+	baseTerms int
+	extTerms  []rdf.Term
+	extByTerm map[rdf.Term]ID
+	triples   []IDTriple            // pending new triples, insertion order
+	set       map[IDTriple]struct{} // dedup within the delta
+}
+
+// NewDelta returns an empty delta over a built base store.
+func NewDelta(base *Store) *Delta {
+	base.ensure()
+	return &Delta{
+		base:      base,
+		baseTerms: base.NumTerms(),
+		extByTerm: make(map[rdf.Term]ID),
+		set:       make(map[IDTriple]struct{}),
+	}
+}
+
+// Intern returns the combined-space ID for t: the base ID when the base
+// dictionary knows the term, otherwise an extension ID past the end of
+// the base dictionary, assigned in first-seen order — exactly the order
+// a from-scratch store interning base-then-delta would assign.
+func (d *Delta) Intern(t rdf.Term) ID {
+	if id, ok := d.base.Lookup(t); ok {
+		return id
+	}
+	if id, ok := d.extByTerm[t]; ok {
+		return id
+	}
+	d.extTerms = append(d.extTerms, t)
+	id := ID(d.baseTerms + len(d.extTerms))
+	d.extByTerm[t] = id
+	return id
+}
+
+// Add interns t's terms and appends the triple unless it already exists
+// in the base store or the delta. It reports whether the triple was new.
+func (d *Delta) Add(t rdf.Triple) (IDTriple, bool) {
+	it := IDTriple{S: d.Intern(t.S), P: d.Intern(t.P), O: d.Intern(t.O)}
+	if _, dup := d.set[it]; dup {
+		return it, false
+	}
+	// A triple whose three terms all resolve to base IDs may already be
+	// in the base; one offset lookup plus two binary searches decides.
+	if int(it.S) <= d.baseTerms && int(it.P) <= d.baseTerms && int(it.O) <= d.baseTerms {
+		if d.base.Count(it.S, it.P, it.O) > 0 {
+			return it, false
+		}
+	}
+	d.set[it] = struct{}{}
+	d.triples = append(d.triples, it)
+	return it, true
+}
+
+// Len returns the number of pending new triples.
+func (d *Delta) Len() int { return len(d.triples) }
+
+// NumExtTerms returns the number of extension-dictionary terms.
+func (d *Delta) NumExtTerms() int { return len(d.extTerms) }
+
+// Snapshot freezes the delta's current contents into an immutable
+// DeltaSnap that concurrent readers may hold indefinitely. The delta
+// itself keeps accumulating; later snapshots supersede earlier ones.
+func (d *Delta) Snapshot() *DeltaSnap {
+	n := len(d.triples)
+	snap := &DeltaSnap{
+		base:      d.base,
+		baseTerms: d.baseTerms,
+		extTerms:  d.extTerms[:len(d.extTerms):len(d.extTerms)],
+		triples:   append([]IDTriple(nil), d.triples...),
+	}
+	// The lookup map is copied: the writer keeps mutating d.extByTerm
+	// after the snapshot is published to readers.
+	snap.extByTerm = make(map[rdf.Term]ID, len(d.extByTerm))
+	for t, id := range d.extByTerm {
+		snap.extByTerm[t] = id
+	}
+
+	sorted := make([]IDTriple, n)
+	copy(sorted, d.triples)
+	sortTriples(sorted, lessSPO)
+	snap.spo = colsFromTriples(sorted)
+	sortTriples(sorted, lessPOS)
+	snap.pos = colsFromTriples(sorted)
+	sortTriples(sorted, lessOSP)
+	snap.osp = colsFromTriples(sorted)
+	return snap
+}
+
+func sortTriples(ts []IDTriple, less func(a, b IDTriple) bool) {
+	sort.Slice(ts, func(i, j int) bool { return less(ts[i], ts[j]) })
+}
+
+func colsFromTriples(ts []IDTriple) cols {
+	c := makeCols(len(ts))
+	for i, t := range ts {
+		c.s[i], c.p[i], c.o[i] = t.S, t.P, t.O
+	}
+	return c
+}
+
+// DeltaSnap is an immutable snapshot of a Delta: the pending triples in
+// all three sort orders plus the extension dictionary. It serves the
+// same Range/Term/Lookup contract as Store so the executor can overlay
+// it on the base; all methods are safe for concurrent use and safe on a
+// nil receiver (a nil DeltaSnap is the empty delta).
+type DeltaSnap struct {
+	base          *Store
+	baseTerms     int
+	extTerms      []rdf.Term
+	extByTerm     map[rdf.Term]ID
+	triples       []IDTriple // insertion order (WAL order), for replay/merge bookkeeping
+	spo, pos, osp cols
+}
+
+// Len returns the number of triples in the snapshot.
+func (d *DeltaSnap) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.spo.s)
+}
+
+// Empty reports whether the snapshot holds no triples.
+func (d *DeltaSnap) Empty() bool { return d.Len() == 0 }
+
+// BaseTerms returns the size of the base dictionary beneath the
+// extension terms.
+func (d *DeltaSnap) BaseTerms() int {
+	if d == nil {
+		return 0
+	}
+	return d.baseTerms
+}
+
+// NumTerms returns the combined dictionary size (base + extension).
+func (d *DeltaSnap) NumTerms() int {
+	if d == nil {
+		return 0
+	}
+	return d.baseTerms + len(d.extTerms)
+}
+
+// NumExtTerms returns the number of extension terms.
+func (d *DeltaSnap) NumExtTerms() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.extTerms)
+}
+
+// Term resolves a combined-space ID: base IDs go to the base store,
+// extension IDs to the extension dictionary.
+func (d *DeltaSnap) Term(id ID) rdf.Term {
+	if d != nil && int(id) > d.baseTerms {
+		return d.extTerms[int(id)-d.baseTerms-1]
+	}
+	if d == nil {
+		panic("store: Term on nil DeltaSnap with no base")
+	}
+	return d.base.Term(id)
+}
+
+// ExtTerm resolves an extension ID only; ok is false for base IDs.
+func (d *DeltaSnap) ExtTerm(id ID) (rdf.Term, bool) {
+	if d == nil || int(id) <= d.baseTerms {
+		return rdf.Term{}, false
+	}
+	return d.extTerms[int(id)-d.baseTerms-1], true
+}
+
+// Lookup finds a term in the extension dictionary only. Callers try the
+// base store first.
+func (d *DeltaSnap) Lookup(t rdf.Term) (ID, bool) {
+	if d == nil {
+		return 0, false
+	}
+	id, ok := d.extByTerm[t]
+	return id, ok
+}
+
+// Triples returns the snapshot's triples in insertion (WAL) order. The
+// slice is owned by the snapshot and must not be modified.
+func (d *DeltaSnap) Triples() []IDTriple {
+	if d == nil {
+		return nil
+	}
+	return d.triples
+}
+
+// Range returns the view of delta triples matching the pattern, in the
+// same ordering Store.Range would use for it, so interleaving a base
+// view with a delta view preserves each ordering's sort. It performs no
+// heap allocation; on a nil or empty snapshot it returns the empty view.
+func (d *DeltaSnap) Range(sp, pp, op ID) View {
+	if d == nil || len(d.spo.s) == 0 {
+		return View{}
+	}
+	switch {
+	case sp != Wildcard:
+		if op != Wildcard && pp == Wildcard {
+			lo, hi := colRange(d.osp.o, 0, len(d.osp.o), op)
+			lo, hi = colRange(d.osp.s, lo, hi, sp)
+			return d.osp.view(lo, hi)
+		}
+		lo, hi := colRange(d.spo.s, 0, len(d.spo.s), sp)
+		if pp != Wildcard {
+			lo, hi = colRange(d.spo.p, lo, hi, pp)
+			if op != Wildcard {
+				lo, hi = colRange(d.spo.o, lo, hi, op)
+			}
+		}
+		return d.spo.view(lo, hi)
+	case pp != Wildcard:
+		lo, hi := colRange(d.pos.p, 0, len(d.pos.p), pp)
+		if op != Wildcard {
+			lo, hi = colRange(d.pos.o, lo, hi, op)
+		}
+		return d.pos.view(lo, hi)
+	case op != Wildcard:
+		lo, hi := colRange(d.osp.o, 0, len(d.osp.o), op)
+		return d.osp.view(lo, hi)
+	default:
+		return d.spo.view(0, len(d.spo.s))
+	}
+}
+
+// Count returns the number of delta triples matching the pattern.
+func (d *DeltaSnap) Count(sp, pp, op ID) int { return d.Range(sp, pp, op).Len() }
+
+// MergeDelta builds a new sealed store holding base ∪ delta: the
+// dictionary is the base terms followed by the extension terms (IDs are
+// preserved, so graph classifications and cached candidate IDs stay
+// valid), and each SoA ordering is a linear two-way merge of the base's
+// sorted columns with the delta's — no re-sort of the base. The result
+// is bit-identical to rebuilding a store from scratch over the same
+// triples interned in the same order.
+//
+// On a snapshot-backed base the dictionary is materialized on the heap
+// (the one-time cost of the first swap after a snapshot boot).
+func MergeDelta(base *Store, d *DeltaSnap) *Store {
+	base.ensure()
+	nb := base.Len()
+	nd := d.Len()
+	baseTerms := base.NumTerms()
+
+	m := &Store{
+		terms:  make([]rdf.Term, baseTerms+d.NumExtTerms()),
+		byTerm: make(map[rdf.Term]ID, baseTerms+d.NumExtTerms()),
+	}
+	if base.dict != nil {
+		for i := 0; i < baseTerms; i++ {
+			m.terms[i] = base.dict.term(ID(i + 1))
+		}
+	} else {
+		copy(m.terms, base.terms)
+	}
+	if d != nil {
+		copy(m.terms[baseTerms:], d.extTerms)
+	}
+	for i, t := range m.terms {
+		m.byTerm[t] = ID(i + 1)
+	}
+
+	n := nb + nd
+	m.spo = mergeCols(base.spo, dcols(d, 0), n, lessSPO)
+	m.pos = mergeCols(base.pos, dcols(d, 1), n, lessPOS)
+	m.osp = mergeCols(base.osp, dcols(d, 2), n, lessOSP)
+
+	// The AoS triples slice mirrors the merged SPO ordering; graph
+	// construction and offline export read it.
+	m.triples = make([]IDTriple, n)
+	for i := range m.triples {
+		m.triples[i] = IDTriple{S: m.spo.s[i], P: m.spo.p[i], O: m.spo.o[i]}
+	}
+
+	m.subjOff = buildOffsets(m.spo.s, len(m.terms))
+	m.predOff = buildOffsets(m.pos.p, len(m.terms))
+	m.objOff = buildOffsets(m.osp.o, len(m.terms))
+	return m
+}
+
+func dcols(d *DeltaSnap, ordering int) cols {
+	if d == nil {
+		return cols{}
+	}
+	switch ordering {
+	case 0:
+		return d.spo
+	case 1:
+		return d.pos
+	default:
+		return d.osp
+	}
+}
+
+// mergeCols linearly merges two column sets already sorted by less.
+func mergeCols(a, b cols, n int, less func(x, y IDTriple) bool) cols {
+	out := makeCols(n)
+	i, j, k := 0, 0, 0
+	for i < len(a.s) && j < len(b.s) {
+		ta := IDTriple{S: a.s[i], P: a.p[i], O: a.o[i]}
+		tb := IDTriple{S: b.s[j], P: b.p[j], O: b.o[j]}
+		if less(tb, ta) {
+			out.s[k], out.p[k], out.o[k] = tb.S, tb.P, tb.O
+			j++
+		} else {
+			out.s[k], out.p[k], out.o[k] = ta.S, ta.P, ta.O
+			i++
+		}
+		k++
+	}
+	for ; i < len(a.s); i, k = i+1, k+1 {
+		out.s[k], out.p[k], out.o[k] = a.s[i], a.p[i], a.o[i]
+	}
+	for ; j < len(b.s); j, k = j+1, k+1 {
+		out.s[k], out.p[k], out.o[k] = b.s[j], b.p[j], b.o[j]
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func randomTriples(rng *rand.Rand, n, subjects, preds, objects int) []rdf.Triple {
+	ts := make([]rdf.Triple, n)
+	for i := range ts {
+		ts[i] = rdf.Triple{
+			S: iri(fmt.Sprintf("s%d", rng.Intn(subjects))),
+			P: iri(fmt.Sprintf("p%d", rng.Intn(preds))),
+			O: iri(fmt.Sprintf("o%d", rng.Intn(objects))),
+		}
+	}
+	return ts
+}
+
+func TestDeltaInterning(t *testing.T) {
+	base := New()
+	base.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	base.Build()
+	nb := base.NumTerms()
+
+	d := NewDelta(base)
+	if got := d.Intern(iri("a")); int(got) > nb {
+		t.Fatalf("base term re-interned as extension ID %d", got)
+	}
+	x := d.Intern(iri("x"))
+	y := d.Intern(iri("y"))
+	if int(x) != nb+1 || int(y) != nb+2 {
+		t.Fatalf("extension IDs not dense past base: x=%d y=%d base=%d", x, y, nb)
+	}
+	if again := d.Intern(iri("x")); again != x {
+		t.Fatalf("re-intern changed ID: %d vs %d", again, x)
+	}
+
+	snap := d.Snapshot()
+	if got := snap.Term(x); got != iri("x") {
+		t.Fatalf("snapshot Term(%d) = %v", x, got)
+	}
+	if got := snap.Term(ID(1)); got != base.Term(1) {
+		t.Fatalf("snapshot base Term mismatch")
+	}
+	if id, ok := snap.Lookup(iri("y")); !ok || id != y {
+		t.Fatalf("snapshot Lookup(y) = %d,%v", id, ok)
+	}
+	if _, ok := snap.Lookup(iri("a")); ok {
+		t.Fatalf("snapshot Lookup found a base term in the extension dict")
+	}
+}
+
+func TestDeltaAddDedup(t *testing.T) {
+	base := New()
+	tr := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")}
+	base.Add(tr)
+	base.Build()
+
+	d := NewDelta(base)
+	if _, added := d.Add(tr); added {
+		t.Fatalf("base duplicate accepted")
+	}
+	fresh := rdf.Triple{S: iri("a"), P: iri("p"), O: iri("c")}
+	if _, added := d.Add(fresh); !added {
+		t.Fatalf("fresh triple rejected")
+	}
+	if _, added := d.Add(fresh); added {
+		t.Fatalf("delta duplicate accepted")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("delta Len = %d, want 1", d.Len())
+	}
+}
+
+func TestDeltaSnapshotIsImmutable(t *testing.T) {
+	base := New()
+	base.Add(rdf.Triple{S: iri("a"), P: iri("p"), O: iri("b")})
+	base.Build()
+
+	d := NewDelta(base)
+	d.Add(rdf.Triple{S: iri("x"), P: iri("p"), O: iri("b")})
+	snap := d.Snapshot()
+	lenBefore := snap.Len()
+	extBefore := snap.NumExtTerms()
+
+	for i := 0; i < 50; i++ {
+		d.Add(rdf.Triple{S: iri(fmt.Sprintf("n%d", i)), P: iri("p"), O: iri("b")})
+	}
+	if snap.Len() != lenBefore || snap.NumExtTerms() != extBefore {
+		t.Fatalf("snapshot changed under later writes: len %d→%d ext %d→%d",
+			lenBefore, snap.Len(), extBefore, snap.NumExtTerms())
+	}
+}
+
+// enumerate all bound/wildcard pattern combinations over the combined
+// dictionary and compare two Range implementations row by row.
+func comparePatterns(t *testing.T, want *Store, got func(sp, pp, op ID) []IDTriple, numTerms int) {
+	t.Helper()
+	ids := []ID{Wildcard}
+	for i := 1; i <= numTerms; i++ {
+		ids = append(ids, ID(i))
+	}
+	for _, sp := range ids {
+		for _, pp := range ids {
+			for _, op := range ids {
+				w := want.Range(sp, pp, op)
+				g := got(sp, pp, op)
+				if w.Len() != len(g) {
+					t.Fatalf("pattern (%d,%d,%d): got %d rows, want %d", sp, pp, op, len(g), w.Len())
+				}
+				for i := range g {
+					if w.Triple(i) != g[i] {
+						t.Fatalf("pattern (%d,%d,%d) row %d: got %v want %v", sp, pp, op, i, g[i], w.Triple(i))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeDeltaEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		baseTs := randomTriples(rng, 30+rng.Intn(40), 6, 3, 6)
+		deltaTs := randomTriples(rng, 1+rng.Intn(25), 9, 4, 9) // wider ID space → new terms
+
+		base := New()
+		base.AddAll(baseTs)
+		base.Build()
+
+		d := NewDelta(base)
+		for _, tr := range deltaTs {
+			d.Add(tr)
+		}
+		snap := d.Snapshot()
+		merged := MergeDelta(base, snap)
+
+		// The reference: a from-scratch store fed base order then delta order.
+		ref := New()
+		ref.AddAll(baseTs)
+		ref.AddAll(deltaTs)
+		ref.Build()
+
+		if merged.NumTerms() != ref.NumTerms() {
+			t.Fatalf("round %d: dictionary size %d vs %d", round, merged.NumTerms(), ref.NumTerms())
+		}
+		for id := 1; id <= ref.NumTerms(); id++ {
+			if merged.Term(ID(id)) != ref.Term(ID(id)) {
+				t.Fatalf("round %d: term %d differs: %v vs %v", round, id, merged.Term(ID(id)), ref.Term(ID(id)))
+			}
+		}
+		if merged.Len() != ref.Len() {
+			t.Fatalf("round %d: triple count %d vs %d", round, merged.Len(), ref.Len())
+		}
+		comparePatterns(t, ref, func(sp, pp, op ID) []IDTriple {
+			v := merged.Range(sp, pp, op)
+			out := make([]IDTriple, v.Len())
+			for i := range out {
+				out[i] = v.Triple(i)
+			}
+			return out
+		}, ref.NumTerms())
+	}
+}
+
+func TestDeltaSnapRangeMatchesMergedMinusBase(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	baseTs := randomTriples(rng, 40, 5, 3, 5)
+	deltaTs := randomTriples(rng, 20, 8, 4, 8)
+
+	base := New()
+	base.AddAll(baseTs)
+	base.Build()
+
+	d := NewDelta(base)
+	for _, tr := range deltaTs {
+		d.Add(tr)
+	}
+	snap := d.Snapshot()
+	merged := MergeDelta(base, snap)
+
+	// For every pattern, merging the base view and the delta view by the
+	// ordering's comparator must reproduce the merged store's view —
+	// this is exactly the executor's overlay contract.
+	comparePatterns(t, merged, func(sp, pp, op ID) []IDTriple {
+		bv := base.Range(sp, pp, op)
+		dv := snap.Range(sp, pp, op)
+		less := orderingLess(sp, pp, op)
+		out := make([]IDTriple, 0, bv.Len()+dv.Len())
+		i, j := 0, 0
+		for i < bv.Len() && j < dv.Len() {
+			a, b := bv.Triple(i), dv.Triple(j)
+			if less(b, a) {
+				out = append(out, b)
+				j++
+			} else {
+				out = append(out, a)
+				i++
+			}
+		}
+		for ; i < bv.Len(); i++ {
+			out = append(out, bv.Triple(i))
+		}
+		for ; j < dv.Len(); j++ {
+			out = append(out, dv.Triple(j))
+		}
+		return out
+	}, merged.NumTerms())
+}
+
+// orderingLess mirrors Range's ordering selection for a pattern.
+func orderingLess(sp, pp, op ID) func(a, b IDTriple) bool {
+	switch {
+	case sp != Wildcard:
+		if op != Wildcard && pp == Wildcard {
+			return lessOSP
+		}
+		return lessSPO
+	case pp != Wildcard:
+		return lessPOS
+	case op != Wildcard:
+		return lessOSP
+	default:
+		return lessSPO
+	}
+}
+
+func TestNilDeltaSnap(t *testing.T) {
+	var d *DeltaSnap
+	if d.Len() != 0 || !d.Empty() || d.NumTerms() != 0 {
+		t.Fatalf("nil DeltaSnap not empty")
+	}
+	if v := d.Range(1, 2, 3); v.Len() != 0 {
+		t.Fatalf("nil DeltaSnap Range non-empty")
+	}
+	if _, ok := d.Lookup(iri("x")); ok {
+		t.Fatalf("nil DeltaSnap Lookup found a term")
+	}
+}

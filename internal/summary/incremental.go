@@ -1,0 +1,156 @@
+package summary
+
+import (
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// relKey identifies a RelEdge element: one predicate between two class
+// vertices.
+type relKey struct {
+	p        store.ID
+	from, to ElemID
+}
+
+// ApplyDelta incrementally maintains the summary graph across an epoch
+// swap: given the summary over the old data graph, the classified graph
+// over the merged (old ∪ delta) store, and the delta's triples, it
+// returns a new summary equal — element for element, ID for ID — to
+// Build(newG), without rescanning the old triples. ok is false when the
+// delta is not shape-preserving, in which case the caller must fall
+// back to a full Build.
+//
+// The fast path covers the append-heavy ingest shape: new entities
+// (fresh subjects) carrying type edges to existing classes, attribute
+// edges, and relation edges along already-summarized
+// (predicate, class, class) combinations. It preserves element IDs
+// exactly because under these constraints the merged store's SPO scan
+// is the old scan followed by the delta's rows (fresh subject IDs sort
+// last), so Build would create the same elements in the same order and
+// only the aggregation counts differ. Anything that would mint or
+// reorder elements — subclass axioms, new classes, typing of existing
+// entities, relation edges along new combinations, reclassified old
+// terms — bails to the rebuild path.
+//
+// The returned summary shares the old one's immutable adjacency and
+// lookup maps; only the element table is copied. The
+// summary_prop_test.go invariants and the equivalence property test in
+// incremental_test.go are the correctness spec.
+func ApplyDelta(sg *Graph, newG *graph.Graph, delta []store.IDTriple) (*Graph, bool) {
+	oldG := sg.data
+	if oldG == nil || oldG.Store() == nil {
+		return nil, false
+	}
+	oldTerms := store.ID(oldG.Store().NumTerms())
+	newTerms := store.ID(newG.Store().NumTerms())
+	typeID, subID := newG.TypeID(), newG.SubclassID()
+
+	relAt := make(map[relKey]ElemID)
+	for id, el := range sg.elems {
+		if el.Kind == RelEdge {
+			relAt[relKey{el.Term, el.From, el.To}] = ElemID(id)
+		}
+	}
+
+	// classes maps an entity to its class vertex elements under the new
+	// graph, mirroring Build's classesOrThing against the old element set.
+	classes := func(e store.ID) ([]ElemID, bool) {
+		cs := newG.Classes(e)
+		if len(cs) == 0 {
+			return []ElemID{sg.thing}, true
+		}
+		out := make([]ElemID, 0, len(cs))
+		for _, c := range cs {
+			el, ok := sg.classOf[c]
+			if !ok {
+				// A class vertex Build would have to mint.
+				return nil, false
+			}
+			out = append(out, el)
+		}
+		if len(out) == 0 {
+			return []ElemID{sg.thing}, true
+		}
+		return out, true
+	}
+
+	// Pass 1: validate every gate and collect aggregation bumps; nothing
+	// is mutated until the whole delta is known to be shape-preserving.
+	bumps := make(map[ElemID]int)
+	redgeAdd := 0
+	for _, t := range delta {
+		if subID != 0 && t.P == subID {
+			return nil, false // subclass axiom: summary topology changes
+		}
+		if t.S <= oldTerms {
+			// A write touching an existing subject can retype it or
+			// interleave ahead of an old edge key's first occurrence.
+			return nil, false
+		}
+		if typeID != 0 && t.P == typeID {
+			if _, ok := sg.classOf[t.O]; !ok {
+				return nil, false // typing against a class Build hasn't seen
+			}
+			continue
+		}
+		if t.O <= oldTerms && oldG.Kind(t.O) != newG.Kind(t.O) {
+			return nil, false // an old term was reclassified by the delta
+		}
+		if newG.Kind(t.O) != graph.EVertex {
+			continue // A-edges and irregular edges are outside Def. 4
+		}
+		froms, ok := classes(t.S)
+		if !ok {
+			return nil, false
+		}
+		tos, ok := classes(t.O)
+		if !ok {
+			return nil, false
+		}
+		redgeAdd++
+		for _, from := range froms {
+			for _, to := range tos {
+				el, ok := relAt[relKey{t.P, from, to}]
+				if !ok {
+					return nil, false // a summary edge Build would mint
+				}
+				bumps[el]++
+			}
+		}
+	}
+
+	// New entities (fresh dictionary IDs classified E-vertex) join their
+	// classes' aggregates, exactly as Build's entity pass would.
+	entityAdd := 0
+	for id := oldTerms + 1; id <= newTerms; id++ {
+		if newG.Kind(id) != graph.EVertex {
+			continue
+		}
+		entityAdd++
+		cs, ok := classes(id)
+		if !ok {
+			return nil, false
+		}
+		for _, c := range cs {
+			bumps[c]++
+		}
+	}
+
+	// Pass 2: apply onto a copy of the element table. Adjacency, the
+	// class map, and the per-predicate edge lists are identical by
+	// construction and shared with the old summary.
+	out := &Graph{
+		data:        newG,
+		elems:       append([]Element(nil), sg.elems...),
+		nbrs:        sg.nbrs,
+		classOf:     sg.classOf,
+		thing:       sg.thing,
+		relEdges:    sg.relEdges,
+		entityTotal: sg.entityTotal + entityAdd,
+		redgeTotal:  sg.redgeTotal + redgeAdd,
+	}
+	for el, n := range bumps {
+		out.elems[el].Agg += n
+	}
+	return out, true
+}

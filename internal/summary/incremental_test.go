@@ -1,0 +1,252 @@
+package summary
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// equalSummaries compares two summaries structurally: element tables
+// (IDs, kinds, terms, endpoints, aggregates), adjacency, class map,
+// Thing, per-predicate edge lists, and the popularity totals.
+func equalSummaries(t *testing.T, got, want *Graph) {
+	t.Helper()
+	if len(got.elems) != len(want.elems) {
+		t.Fatalf("element count %d, want %d", len(got.elems), len(want.elems))
+	}
+	for i := range want.elems {
+		if got.elems[i] != want.elems[i] {
+			t.Fatalf("element %d: got %+v, want %+v", i, got.elems[i], want.elems[i])
+		}
+	}
+	if len(got.nbrs) != len(want.nbrs) {
+		t.Fatalf("adjacency length %d, want %d", len(got.nbrs), len(want.nbrs))
+	}
+	for i := range want.nbrs {
+		if !reflect.DeepEqual(got.nbrs[i], want.nbrs[i]) {
+			t.Fatalf("adjacency of %d: got %v, want %v", i, got.nbrs[i], want.nbrs[i])
+		}
+	}
+	if !reflect.DeepEqual(got.classOf, want.classOf) {
+		t.Fatalf("classOf: got %v, want %v", got.classOf, want.classOf)
+	}
+	if got.thing != want.thing {
+		t.Fatalf("thing: got %d, want %d", got.thing, want.thing)
+	}
+	if !reflect.DeepEqual(got.relEdges, want.relEdges) {
+		t.Fatalf("relEdges: got %v, want %v", got.relEdges, want.relEdges)
+	}
+	if got.entityTotal != want.entityTotal || got.redgeTotal != want.redgeTotal {
+		t.Fatalf("totals: got (%d,%d), want (%d,%d)",
+			got.entityTotal, got.redgeTotal, want.entityTotal, want.redgeTotal)
+	}
+}
+
+// applyWorld runs one ApplyDelta round: base triples build the old
+// world, delta triples go through a store.Delta, and the merged graph is
+// classified fresh. Returns the incremental result (nil if the fast
+// path bailed) and the from-scratch rebuild for comparison.
+func applyWorld(t *testing.T, baseTs, deltaTs []rdf.Triple) (inc, rebuilt *Graph, ok bool) {
+	t.Helper()
+	base := store.New()
+	base.AddAll(baseTs)
+	base.Build()
+	oldG := graph.Build(base)
+	oldSum := Build(oldG)
+
+	d := store.NewDelta(base)
+	for _, tr := range deltaTs {
+		d.Add(tr)
+	}
+	snap := d.Snapshot()
+	merged := store.MergeDelta(base, snap)
+	newG := graph.Build(merged)
+
+	inc, ok = ApplyDelta(oldSum, newG, snap.Triples())
+	return inc, Build(newG), ok
+}
+
+func pns(s string) rdf.Term { return rdf.NewIRI("http://prop/" + s) }
+
+// fastPathDelta derives a delta guaranteed to stay on the incremental
+// fast path: fresh subjects cloning the classes of existing subjects,
+// relation edges along already-summarized combinations, attribute
+// edges, and untyped fresh entities.
+func fastPathDelta(rng *rand.Rand, g *graph.Graph, n int) []rdf.Triple {
+	st := g.Store()
+	var redges []store.IDTriple
+	st.ForEach(func(tr store.IDTriple) {
+		if g.TypeID() != 0 && tr.P == g.TypeID() {
+			return
+		}
+		if g.Kind(tr.S) == graph.EVertex && g.Kind(tr.O) == graph.EVertex {
+			redges = append(redges, tr)
+		}
+	})
+	var out []rdf.Triple
+	for i := 0; i < n; i++ {
+		ns := rdf.NewIRI(fmt.Sprintf("http://prop/new%d_%d", rng.Int63(), i))
+		switch {
+		case len(redges) > 0 && rng.Intn(2) == 0:
+			// Clone an existing R-edge's subject: same classes, same
+			// predicate, same object — every summary key already exists.
+			tr := redges[rng.Intn(len(redges))]
+			for _, c := range g.Classes(tr.S) {
+				out = append(out, rdf.NewTriple(ns, rdf.NewIRI(rdf.RDFType), st.Term(c)))
+			}
+			out = append(out, rdf.NewTriple(ns, st.Term(tr.P), st.Term(tr.O)))
+		case rng.Intn(2) == 0:
+			// A typed entity with an attribute (classes must exist).
+			var classes []store.ID
+			g.ForEachVertex(func(id store.ID, kind graph.VertexKind) {
+				if kind == graph.CVertex {
+					classes = append(classes, id)
+				}
+			})
+			if len(classes) > 0 {
+				out = append(out, rdf.NewTriple(ns, rdf.NewIRI(rdf.RDFType), st.Term(classes[rng.Intn(len(classes))])))
+			}
+			out = append(out, rdf.NewTriple(ns, pns("name"), rdf.NewLiteral(fmt.Sprintf("thing %d", i))))
+		default:
+			// An untyped entity with only attributes → Thing.
+			out = append(out, rdf.NewTriple(ns, pns("note"), rdf.NewLiteral(fmt.Sprintf("note %d", i))))
+		}
+	}
+	return out
+}
+
+// TestApplyDeltaEquivalence: whenever the fast path accepts a delta,
+// the result must equal a from-scratch Build of the merged graph —
+// including element IDs, which downstream candidate mapping depends on.
+func TestApplyDeltaEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	accepted := 0
+	for round := 0; round < 40; round++ {
+		g := randomDataGraph(rng)
+		var baseTs []rdf.Triple
+		st := g.Store()
+		st.ForEach(func(tr store.IDTriple) { baseTs = append(baseTs, st.Decode(tr)) })
+		deltaTs := fastPathDelta(rng, g, 1+rng.Intn(8))
+
+		inc, rebuilt, ok := applyWorld(t, baseTs, deltaTs)
+		if !ok {
+			t.Fatalf("round %d: fast-path delta rejected", round)
+		}
+		accepted++
+		equalSummaries(t, inc, rebuilt)
+	}
+	if accepted == 0 {
+		t.Fatal("no delta was accepted — the test exercised nothing")
+	}
+}
+
+// TestApplyDeltaRandomAgreesWhenAccepted: arbitrary random deltas — if
+// the gates accept one, equivalence must still hold; when they reject,
+// that is always a safe answer.
+func TestApplyDeltaRandomAgreesWhenAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	accepted := 0
+	for round := 0; round < 60; round++ {
+		g := randomDataGraph(rng)
+		var baseTs []rdf.Triple
+		st := g.Store()
+		st.ForEach(func(tr store.IDTriple) { baseTs = append(baseTs, st.Decode(tr)) })
+
+		// A mix of fresh and existing subjects/objects, types and axioms.
+		var deltaTs []rdf.Triple
+		mkTerm := func(fresh bool, i int) rdf.Term {
+			if fresh {
+				return rdf.NewIRI(fmt.Sprintf("http://prop/r%d_%d", round, i))
+			}
+			return pns("e" + itoa(rng.Intn(20)))
+		}
+		for i := 0; i < 1+rng.Intn(6); i++ {
+			switch rng.Intn(4) {
+			case 0:
+				deltaTs = append(deltaTs, rdf.NewTriple(mkTerm(rng.Intn(2) == 0, i), rdf.NewIRI(rdf.RDFType), pns("C"+itoa(rng.Intn(6)))))
+			case 1:
+				deltaTs = append(deltaTs, rdf.NewTriple(pns("C"+itoa(rng.Intn(4))), rdf.NewIRI(rdf.RDFSSubClass), pns("C"+itoa(rng.Intn(4)))))
+			case 2:
+				deltaTs = append(deltaTs, rdf.NewTriple(mkTerm(rng.Intn(2) == 0, i), pns("p"+itoa(rng.Intn(4))), mkTerm(rng.Intn(3) == 0, i+100)))
+			default:
+				deltaTs = append(deltaTs, rdf.NewTriple(mkTerm(rng.Intn(2) == 0, i), pns("name"), rdf.NewLiteral("v"+itoa(i))))
+			}
+		}
+
+		inc, rebuilt, ok := applyWorld(t, baseTs, deltaTs)
+		if !ok {
+			continue
+		}
+		accepted++
+		equalSummaries(t, inc, rebuilt)
+	}
+	t.Logf("random deltas accepted on the fast path: %d/60", accepted)
+}
+
+// TestApplyDeltaRejectsShapeChanges: the canonical slow-path shapes must
+// be detected.
+func TestApplyDeltaRejectsShapeChanges(t *testing.T) {
+	base := []rdf.Triple{
+		rdf.NewTriple(pns("e1"), rdf.NewIRI(rdf.RDFType), pns("C1")),
+		rdf.NewTriple(pns("e1"), pns("knows"), pns("e2")),
+		rdf.NewTriple(pns("e2"), rdf.NewIRI(rdf.RDFType), pns("C1")),
+		rdf.NewTriple(pns("e3"), rdf.NewIRI(rdf.RDFType), pns("C2")),
+	}
+	cases := []struct {
+		name  string
+		delta []rdf.Triple
+	}{
+		{"subclass axiom", []rdf.Triple{rdf.NewTriple(pns("C1"), rdf.NewIRI(rdf.RDFSSubClass), pns("C0"))}},
+		{"new class", []rdf.Triple{rdf.NewTriple(pns("n1"), rdf.NewIRI(rdf.RDFType), pns("Cnew"))}},
+		{"retype existing subject", []rdf.Triple{rdf.NewTriple(pns("e2"), rdf.NewIRI(rdf.RDFType), pns("C2"))}},
+		{"old subject write", []rdf.Triple{rdf.NewTriple(pns("e1"), pns("name"), rdf.NewLiteral("x"))}},
+		{"new rel-edge combination", []rdf.Triple{rdf.NewTriple(pns("n1"), pns("employs"), pns("e2"))}},
+	}
+	for _, tc := range cases {
+		if _, _, ok := applyWorld(t, base, tc.delta); ok {
+			t.Errorf("%s: accepted on the fast path, must rebuild", tc.name)
+		}
+	}
+}
+
+// TestApplyDeltaInvariants: the incremental result satisfies the same
+// Definition 4 invariants the property test pins for Build.
+func TestApplyDeltaInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 10; round++ {
+		g := randomDataGraph(rng)
+		var baseTs []rdf.Triple
+		st := g.Store()
+		st.ForEach(func(tr store.IDTriple) { baseTs = append(baseTs, st.Decode(tr)) })
+		inc, _, ok := applyWorld(t, baseTs, fastPathDelta(rng, g, 5))
+		if !ok {
+			t.Fatalf("round %d: fast-path delta rejected", round)
+		}
+		newG := inc.Data()
+		wantAgg := 0
+		newG.ForEachVertex(func(id store.ID, kind graph.VertexKind) {
+			if kind != graph.EVertex {
+				return
+			}
+			if n := len(newG.Classes(id)); n == 0 {
+				wantAgg++
+			} else {
+				wantAgg += n
+			}
+		})
+		gotAgg := 0
+		for i := 0; i < inc.NumElements(); i++ {
+			if el := inc.Element(ElemID(i)); el.Kind == ClassVertex {
+				gotAgg += el.Agg
+			}
+		}
+		if gotAgg != wantAgg {
+			t.Fatalf("round %d: class aggregates %d, want %d", round, gotAgg, wantAgg)
+		}
+	}
+}
