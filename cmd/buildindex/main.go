@@ -22,6 +22,12 @@
 // -wal DIR initializes an empty write-ahead log pinned to the snapshot's
 // triple count, so `serverd -snapshot FILE -wal DIR` boots a live,
 // ingest-capable server from a fully pre-built base.
+//
+// -compact DIR runs an offline checkpoint of an existing live WAL
+// directory: it boots the store exactly as serverd would (manifest,
+// snapshot, and log), merges every replayed batch, writes a fresh
+// snapshot + MANIFEST, and truncates the covered segments — so the next
+// serverd boot replays nothing. -compact composes with no other flag.
 package main
 
 import (
@@ -57,7 +63,19 @@ func main() {
 	shards := flag.Int("shards", 1, "partition the snapshot across N shards (-snapshot then names a directory)")
 	legacyOut := flag.String("store-snapshot", "", "write the legacy gob store snapshot of the parsed triples (deprecated: -snapshot persists the built indexes instead)")
 	walDir := flag.String("wal", "", "initialize an empty write-ahead log directory next to the engine snapshot, ready for serverd -wal (single-engine only; needs -snapshot)")
+	compactDir := flag.String("compact", "", "offline-checkpoint an existing live WAL directory: merge every batch, install a fresh snapshot + MANIFEST, truncate covered segments")
+	compactBase := flag.String("base", "", "base engine snapshot for -compact when the WAL directory has no MANIFEST yet (same file serverd booted with)")
 	flag.Parse()
+	if *compactDir != "" {
+		if *data != "" || *snapOut != "" || *legacyOut != "" || *walDir != "" || *shards > 1 {
+			log.Fatal("-compact composes only with -base; it reads and rewrites the WAL directory in place")
+		}
+		compact(*compactDir, *compactBase)
+		return
+	}
+	if *compactBase != "" {
+		log.Fatal("-base qualifies -compact; it has no meaning in a build run")
+	}
 	if *data == "" {
 		log.Fatal("missing -data file")
 	}
@@ -152,6 +170,37 @@ func main() {
 	fmt.Printf("graph index:    %d elements (%d vertices)\n",
 		e.Summary().NumElements(), e.Summary().NumVertices())
 	fmt.Printf("indexing time:  %v\n", e.BuildTime)
+}
+
+// compact boots a live WAL directory the way serverd would and runs one
+// checkpoint, leaving a snapshot + MANIFEST and a truncated log behind.
+func compact(dir, base string) {
+	l, info, err := ingestpkg.Boot(ingestpkg.BootConfig{
+		SnapshotPath: base,
+		WALDir:       dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	fmt.Printf("booted:         %s (%d triples, replayed %d batches, low water %d)\n",
+		info.Source, l.NumTriples(), info.ReplayedBatches, info.LowWater)
+	res, err := l.Checkpoint()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Skipped {
+		fmt.Println("checkpoint:     skipped — the manifest already covers every batch")
+		return
+	}
+	fmt.Printf("checkpoint:     low water %d, %d triples -> %s", res.LowWater, res.Triples, res.Snapshot)
+	if res.Expired > 0 {
+		fmt.Printf(" (%d expired triples dropped)", res.Expired)
+	}
+	fmt.Println()
+	fmt.Printf("log truncated:  %d segments, %d KB reclaimed in %v\n",
+		res.SegmentsRemoved, res.BytesRemoved/1024, res.Duration)
+	fmt.Printf("next boot:      serverd -wal %s replays nothing\n", dir)
 }
 
 // ingest loads the input file into dst, sniffing which snapshot

@@ -34,6 +34,20 @@
 // single-engine backend and boots from the snapshot and/or the log
 // itself — -data/-turtle/-gen do not compose with it.
 //
+// -checkpoint-interval / -checkpoint-wal-bytes run a background
+// checkpointer that snapshots the merged state into DIR, commits a
+// MANIFEST naming the covered WAL prefix, and truncates the covered
+// segments, bounding both disk usage and replay time; POST
+// /v1/checkpoint forces one on demand. If a MANIFEST is present on
+// boot it supersedes -snapshot. -retention gives every ingested triple
+// a default TTL (per-batch "ttl" in the ingest request overrides);
+// expired triples are dropped at the next major merge and never
+// survive a checkpoint. Disk faults degrade the server instead of
+// corrupting it: a failed WAL fsync poisons the log (writes refused
+// with 503 "read_only_disk" until restart), and persistent ENOSPC
+// turns into 503 "disk_full" backpressure then read-only degradation —
+// reads keep flowing in both cases, and /healthz reports the reason.
+//
 // Usage:
 //
 //	serverd -data dblp.nt -addr :8080
@@ -50,9 +64,12 @@
 //	POST /v1/execute  {"id": "<candidate id>"} | {"keywords": [...], "rank": 0} | {"query": {...}}
 //	                  (Accept: application/x-ndjson streams the answers)
 //	POST /v1/explain  same request shape as /v1/execute
-//	POST /v1/ingest   {"s": {...}, "p": {...}, "o": {...}} | {"triples": [...]}
+//	POST /v1/ingest   {"s": {...}, "p": {...}, "o": {...}} | {"triples": [...], "ttl": "24h"}
 //	                  (Content-Type application/x-ndjson: one triple per line;
-//	                  application/n-triples: raw N-Triples — needs -wal)
+//	                  application/n-triples: raw N-Triples; ?ttl=24h works on
+//	                  every encoding — needs -wal)
+//	POST /v1/checkpoint  force a checkpoint now: snapshot + MANIFEST + WAL
+//	                  truncation; returns the committed low-water mark (needs -wal)
 //	GET  /healthz     liveness and dataset size
 //	GET  /stats       cache, pool, traffic, latency, and runtime statistics (JSON)
 //	GET  /metrics     Prometheus text format (latency histograms, runtime gauges)
@@ -116,7 +133,12 @@ func main() {
 	fsyncFlag := flag.String("fsync", "always", "WAL durability policy: always (fsync before every ack) | interval (background cadence) | never (needs -wal)")
 	fsyncInterval := flag.Duration("fsync-interval", 50*time.Millisecond, "sync cadence for -fsync interval")
 	epochMaxDelta := flag.Int("epoch-max-delta", 0, "delta triples that trigger an epoch swap, merging the delta into the indexes (0 = 50000; needs -wal)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "WAL segment roll size in bytes (0 = default; needs -wal)")
+	checkpointInterval := flag.Duration("checkpoint-interval", 0, "background checkpoint cadence: snapshot the merged state, commit a MANIFEST, truncate covered WAL segments (0 = no time trigger; needs -wal)")
+	checkpointWALBytes := flag.Int64("checkpoint-wal-bytes", 0, "checkpoint once the WAL exceeds this many bytes (0 = no size trigger; needs -wal)")
+	retention := flag.Duration("retention", 0, "default TTL for ingested triples — expired triples are dropped at the next major merge and never survive a checkpoint; per-batch \"ttl\" overrides (0 = keep forever; needs -wal)")
 	crashPointFlag := flag.String("crash-point", "", "TESTING ONLY: arm a named crash point as \"point[:after]\" — the process SIGKILLs itself the (after+1)-th time the point is hit (needs -wal; see internal/faultinject.CrashPoints)")
+	diskFaultFlag := flag.String("disk-fault", "", "TESTING ONLY: inject a filesystem error as \"op:errno[:after[:times]]\" — ops wal.write|wal.sync|checkpoint.write|checkpoint.sync, errno eio|enospc (needs -wal; see internal/faultinject.DiskOps)")
 	gen := flag.String("gen", "", "generate a dataset instead: dblp | lubm | tap")
 	scale := flag.Int("scale", 1000, "scale for -gen")
 	k := flag.Int("k", 10, "default number of query candidates")
@@ -215,8 +237,19 @@ func main() {
 		case *snapPath != "" && snapBoot != "engine":
 			log.Fatal("a legacy store snapshot cannot base a WAL boot; rebuild it with buildindex -snapshot")
 		}
-	} else if *crashPointFlag != "" {
-		log.Fatal("-crash-point instruments the WAL/epoch write path and needs -wal")
+	} else {
+		switch {
+		case *crashPointFlag != "":
+			log.Fatal("-crash-point instruments the WAL/epoch write path and needs -wal")
+		case *diskFaultFlag != "":
+			log.Fatal("-disk-fault injects WAL/checkpoint filesystem errors and needs -wal")
+		case *checkpointInterval > 0 || *checkpointWALBytes > 0:
+			log.Fatal("-checkpoint-interval/-checkpoint-wal-bytes compact the write-ahead log and need -wal")
+		case *retention > 0:
+			log.Fatal("-retention expires live-ingested triples and needs -wal")
+		case *walSegmentBytes > 0:
+			log.Fatal("-wal-segment-bytes sizes write-ahead log segments and needs -wal")
+		}
 	}
 
 	applyChaos := func(cl *shard.Cluster) {
@@ -383,6 +416,7 @@ func main() {
 	// once WAL replay finishes, so shutdown reads it through the pointer.
 	var (
 		srvPtr  atomic.Pointer[server.Server]
+		ckptPtr atomic.Pointer[ingest.Checkpointer]
 		handler http.Handler
 	)
 	if *walDir != "" {
@@ -409,6 +443,14 @@ func main() {
 			}
 			log.Printf("WARNING: crash point %s ARMED (fires on hit %d) — this process will kill itself; never run production traffic with -crash-point", point, after+1)
 		}
+		var disk *faultinject.DiskSet
+		if *diskFaultFlag != "" {
+			disk, err = faultinject.ParseDiskFault(*diskFaultFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("WARNING: disk fault %s ARMED — this process deliberately fails WAL/checkpoint I/O; never run production traffic with -disk-fault", *diskFaultFlag)
+		}
 		// Listen immediately: the gate answers 503 with replay progress
 		// on /healthz until the recovered state is servable.
 		gate := server.NewGate()
@@ -416,10 +458,20 @@ func main() {
 		bootCfg := ingest.BootConfig{
 			SnapshotPath: *snapPath,
 			WALDir:       *walDir,
-			Live:         ingest.Config{Engine: cfg, EpochMaxDelta: *epochMaxDelta, Crash: crash},
-			WAL:          ingest.WALOptions{Fsync: policy, FsyncInterval: *fsyncInterval},
-			Snapshot:     loadOpts,
-			Progress:     gate.SetProgress,
+			Live: ingest.Config{
+				Engine:        cfg,
+				EpochMaxDelta: *epochMaxDelta,
+				Retention:     *retention,
+				Crash:         crash,
+				Disk:          disk,
+			},
+			WAL: ingest.WALOptions{
+				Fsync:         policy,
+				FsyncInterval: *fsyncInterval,
+				SegmentBytes:  *walSegmentBytes,
+			},
+			Snapshot: loadOpts,
+			Progress: gate.SetProgress,
 		}
 		go func() {
 			l, info, err := ingest.Boot(bootCfg)
@@ -439,6 +491,17 @@ func main() {
 			log.Printf("live backend up from %s in %v: %d triples at epoch %d (replayed %d batches, %d triples%s); fsync=%s, epoch swap at %d delta triples",
 				info.Source, info.BootDuration.Round(time.Millisecond), l.NumTriples(), l.Epoch(),
 				info.ReplayedBatches, info.ReplayedTriples, repaired, policy, l.EpochMaxDelta())
+			if *checkpointInterval > 0 || *checkpointWALBytes > 0 || *retention > 0 {
+				// The loop also forces retention merges once enough expired
+				// triples pile up, so -retention alone is reason to run it.
+				ckptPtr.Store(ingest.StartCheckpointer(l, ingest.CheckpointerConfig{
+					Interval: *checkpointInterval,
+					WALBytes: *checkpointWALBytes,
+					Logf:     log.Printf,
+				}))
+				log.Printf("checkpointer running: interval=%v wal-bytes=%d retention=%v (POST /v1/checkpoint forces one)",
+					*checkpointInterval, *checkpointWALBytes, *retention)
+			}
 		}()
 	} else {
 		scfg := serverCfg
@@ -471,6 +534,11 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
+	}
+	// Stop the background checkpointer before the process exits so a
+	// checkpoint mid-commit finishes (or cleanly never starts).
+	if ckpt := ckptPtr.Load(); ckpt != nil {
+		ckpt.Stop()
 	}
 	// Flush the slow-query log so captured span trees outlive the process
 	// (nil while a live boot was still replaying — nothing captured yet).

@@ -25,6 +25,20 @@ import (
 //	swap.before_merge         delta full, merge not started
 //	swap.after_merge          merged epoch built, not yet installed
 //	swap.after_install        new epoch visible, WAL untouched
+//
+// The checkpoint path adds its own sequence. Between any two of these
+// the directory holds a distinct mix of old manifest, new snapshot, and
+// partially-truncated log, and recovery must pick the right authority
+// (the newest *committed* manifest) at every one:
+//
+//	ckpt.after_rotate           log rotated; checkpoint not yet on disk
+//	ckpt.snapshot_partial       checkpoint temp file torn mid-write
+//	ckpt.snapshot_tmp           checkpoint temp file complete + fsynced
+//	ckpt.after_snapshot_rename  snapshot installed; manifest still old
+//	ckpt.manifest_tmp           new manifest temp written, not renamed
+//	ckpt.after_manifest         new manifest committed; log untruncated
+//	ckpt.truncate_partial       some covered segments removed, not all
+//	ckpt.after_truncate         checkpoint fully installed and trimmed
 const (
 	CrashWALBeforeWrite   = "wal.append.before_write"
 	CrashWALPartialWrite  = "wal.append.partial_write"
@@ -34,6 +48,15 @@ const (
 	CrashSwapBeforeMerge  = "swap.before_merge"
 	CrashSwapAfterMerge   = "swap.after_merge"
 	CrashSwapAfterInstall = "swap.after_install"
+
+	CrashCkptAfterRotate    = "ckpt.after_rotate"
+	CrashCkptSnapshotTorn   = "ckpt.snapshot_partial"
+	CrashCkptSnapshotTmp    = "ckpt.snapshot_tmp"
+	CrashCkptSnapshotRename = "ckpt.after_snapshot_rename"
+	CrashCkptManifestTmp    = "ckpt.manifest_tmp"
+	CrashCkptAfterManifest  = "ckpt.after_manifest"
+	CrashCkptTruncatePart   = "ckpt.truncate_partial"
+	CrashCkptAfterTruncate  = "ckpt.after_truncate"
 )
 
 // CrashPoints lists every named crash point in matrix order.
@@ -47,6 +70,30 @@ func CrashPoints() []string {
 		CrashSwapBeforeMerge,
 		CrashSwapAfterMerge,
 		CrashSwapAfterInstall,
+		CrashCkptAfterRotate,
+		CrashCkptSnapshotTorn,
+		CrashCkptSnapshotTmp,
+		CrashCkptSnapshotRename,
+		CrashCkptManifestTmp,
+		CrashCkptAfterManifest,
+		CrashCkptTruncatePart,
+		CrashCkptAfterTruncate,
+	}
+}
+
+// CheckpointCrashPoints lists only the ckpt.* points, in the order the
+// checkpoint path hits them — the matrix the checkpoint kill test
+// iterates.
+func CheckpointCrashPoints() []string {
+	return []string{
+		CrashCkptAfterRotate,
+		CrashCkptSnapshotTorn,
+		CrashCkptSnapshotTmp,
+		CrashCkptSnapshotRename,
+		CrashCkptManifestTmp,
+		CrashCkptAfterManifest,
+		CrashCkptTruncatePart,
+		CrashCkptAfterTruncate,
 	}
 }
 

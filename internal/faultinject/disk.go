@@ -1,0 +1,172 @@
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Disk operations name the filesystem calls where an injected error is
+// interesting. Unlike crash points — which kill the process — a disk
+// fault makes the call *fail and return*, so the caller's error handling
+// (rollback, poisoning, read-only degradation) is what gets exercised.
+//
+//	wal.write         a write(2) on the active WAL segment
+//	wal.sync          an fsync(2) on a WAL segment
+//	checkpoint.write  writing the checkpoint snapshot or manifest
+//	checkpoint.sync   fsyncing a checkpoint file or the WAL directory
+const (
+	DiskWALWrite  = "wal.write"
+	DiskWALSync   = "wal.sync"
+	DiskCkptWrite = "checkpoint.write"
+	DiskCkptSync  = "checkpoint.sync"
+)
+
+// DiskOps lists every injectable disk operation.
+func DiskOps() []string {
+	return []string{DiskWALWrite, DiskWALSync, DiskCkptWrite, DiskCkptSync}
+}
+
+// DiskSet arms filesystem-error injections on the named operations. The
+// zero value (and nil) injects nothing; production paths call Check
+// inline at the cost of one branch.
+type DiskSet struct {
+	mu    sync.Mutex
+	armed map[string]*diskArm
+	fired int64
+}
+
+type diskArm struct {
+	after int // skip this many checks before failing
+	times int // fail this many checks, then disarm; <=0 = forever
+	hits  int
+	err   error
+}
+
+// NewDiskSet returns an empty, disarmed set.
+func NewDiskSet() *DiskSet { return &DiskSet{} }
+
+// ArmDisk schedules op to fail with err starting at its (after+1)-th
+// check, for times consecutive checks (times <= 0 keeps failing
+// forever). Arming an unknown operation is an error so fault specs fail
+// loudly instead of never firing.
+func (ds *DiskSet) ArmDisk(op string, err error, after, times int) error {
+	if !validDiskOp(op) {
+		return fmt.Errorf("faultinject: unknown disk op %q (valid: %v)", op, DiskOps())
+	}
+	if err == nil {
+		return fmt.Errorf("faultinject: disk op %q armed with a nil error", op)
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.armed == nil {
+		ds.armed = make(map[string]*diskArm)
+	}
+	ds.armed[op] = &diskArm{after: after, times: times, err: err}
+	return nil
+}
+
+// DisarmDisk removes an injection; pending hit counts are dropped.
+func (ds *DiskSet) DisarmDisk(op string) {
+	if ds == nil {
+		return
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	delete(ds.armed, op)
+}
+
+// Check consults the set before a real filesystem call: a non-nil
+// return is the injected error, and the caller must not perform the
+// operation. A nil or disarmed set always passes.
+func (ds *DiskSet) Check(op string) error {
+	if ds == nil {
+		return nil
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	arm := ds.armed[op]
+	if arm == nil {
+		return nil
+	}
+	arm.hits++
+	if arm.hits <= arm.after {
+		return nil
+	}
+	if arm.times > 0 && arm.hits > arm.after+arm.times {
+		delete(ds.armed, op)
+		return nil
+	}
+	ds.fired++
+	return arm.err
+}
+
+// DiskFired reports how many injected errors the set has returned.
+func (ds *DiskSet) DiskFired() int64 {
+	if ds == nil {
+		return 0
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.fired
+}
+
+// ParseDiskFault builds a single-op DiskSet from a flag spelling:
+//
+//	op:errno[:after[:times]]
+//
+// where errno is enospc or eio, after is the number of checks to pass
+// before failing (default 0), and times is how many checks fail before
+// the injection disarms itself (default 0 = forever). Example:
+// "wal.sync:eio:2:1" fails the third WAL fsync once.
+func ParseDiskFault(spec string) (*DiskSet, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return nil, fmt.Errorf("faultinject: disk fault %q: want op:errno[:after[:times]]", spec)
+	}
+	var err error
+	switch parts[1] {
+	case "enospc":
+		err = syscall.ENOSPC
+	case "eio":
+		err = syscall.EIO
+	default:
+		return nil, fmt.Errorf("faultinject: disk fault %q: unknown errno %q (want enospc or eio)", spec, parts[1])
+	}
+	after, times := 0, 0
+	if len(parts) >= 3 {
+		v, perr := strconv.Atoi(parts[2])
+		if perr != nil || v < 0 {
+			return nil, fmt.Errorf("faultinject: disk fault %q: bad after %q", spec, parts[2])
+		}
+		after = v
+	}
+	if len(parts) == 4 {
+		v, perr := strconv.Atoi(parts[3])
+		if perr != nil || v < 0 {
+			return nil, fmt.Errorf("faultinject: disk fault %q: bad times %q", spec, parts[3])
+		}
+		times = v
+	}
+	ds := NewDiskSet()
+	if aerr := ds.ArmDisk(parts[0], err, after, times); aerr != nil {
+		return nil, aerr
+	}
+	return ds, nil
+}
+
+func validDiskOp(op string) bool {
+	i := sort.SearchStrings(sortedDiskOps, op)
+	return i < len(sortedDiskOps) && sortedDiskOps[i] == op
+}
+
+var sortedDiskOps = func() []string {
+	ops := DiskOps()
+	s := make([]string, len(ops))
+	copy(s, ops)
+	sort.Strings(s)
+	return s
+}()

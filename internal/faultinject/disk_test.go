@@ -1,0 +1,124 @@
+package faultinject
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+)
+
+func TestArmDiskValidation(t *testing.T) {
+	ds := NewDiskSet()
+	if err := ds.ArmDisk("not.an.op", syscall.EIO, 0, 0); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if err := ds.ArmDisk(DiskWALWrite, nil, 0, 0); err == nil {
+		t.Fatal("nil error accepted")
+	}
+	for _, op := range DiskOps() {
+		if err := ds.ArmDisk(op, syscall.EIO, 0, 1); err != nil {
+			t.Fatalf("listed op %q rejected: %v", op, err)
+		}
+	}
+}
+
+func TestDiskCheckAfterAndTimes(t *testing.T) {
+	ds := NewDiskSet()
+	if err := ds.ArmDisk(DiskWALSync, syscall.EIO, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Two passes, two failures, then self-disarm.
+	want := []bool{false, false, true, true, false, false}
+	for i, fail := range want {
+		err := ds.Check(DiskWALSync)
+		if fail && !errors.Is(err, syscall.EIO) {
+			t.Fatalf("check %d: %v, want EIO", i, err)
+		}
+		if !fail && err != nil {
+			t.Fatalf("check %d: %v, want pass", i, err)
+		}
+	}
+	if got := ds.DiskFired(); got != 2 {
+		t.Fatalf("fired %d, want 2", got)
+	}
+}
+
+func TestDiskCheckForeverAndDisarm(t *testing.T) {
+	ds := NewDiskSet()
+	if err := ds.ArmDisk(DiskWALWrite, syscall.ENOSPC, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ds.Check(DiskWALWrite); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("check %d: %v", i, err)
+		}
+	}
+	ds.DisarmDisk(DiskWALWrite)
+	if err := ds.Check(DiskWALWrite); err != nil {
+		t.Fatalf("disarmed check: %v", err)
+	}
+	// Other ops are unaffected throughout.
+	if err := ds.Check(DiskCkptWrite); err != nil {
+		t.Fatalf("unarmed op: %v", err)
+	}
+}
+
+func TestDiskNilSet(t *testing.T) {
+	var ds *DiskSet
+	if err := ds.Check(DiskWALWrite); err != nil {
+		t.Fatalf("nil set injected: %v", err)
+	}
+	if ds.DiskFired() != 0 {
+		t.Fatal("nil set fired")
+	}
+	ds.DisarmDisk(DiskWALWrite) // must not panic
+}
+
+func TestParseDiskFault(t *testing.T) {
+	ds, err := ParseDiskFault("wal.sync:eio:2:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := ds.Check(DiskWALSync); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+	}
+	if err := ds.Check(DiskWALSync); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("third check: %v, want EIO", err)
+	}
+	if err := ds.Check(DiskWALSync); err != nil {
+		t.Fatalf("after times exhausted: %v", err)
+	}
+
+	if ds, err := ParseDiskFault("checkpoint.write:enospc"); err != nil {
+		t.Fatal(err)
+	} else if cerr := ds.Check(DiskCkptWrite); !errors.Is(cerr, syscall.ENOSPC) {
+		t.Fatalf("enospc spec: %v", cerr)
+	}
+
+	for _, bad := range []string{
+		"", "wal.sync", "wal.sync:ebadf", "nope:eio",
+		"wal.sync:eio:-1", "wal.sync:eio:x", "wal.sync:eio:0:-2",
+		"wal.sync:eio:0:1:extra",
+	} {
+		if _, err := ParseDiskFault(bad); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+func TestCheckpointCrashPointsAreArmable(t *testing.T) {
+	all := map[string]bool{}
+	for _, p := range CrashPoints() {
+		all[p] = true
+	}
+	cs := NewCrashSet()
+	for _, p := range CheckpointCrashPoints() {
+		if !all[p] {
+			t.Fatalf("checkpoint point %q missing from CrashPoints()", p)
+		}
+		if err := cs.Arm(p, 0); err != nil {
+			t.Fatalf("arming %q: %v", p, err)
+		}
+	}
+}

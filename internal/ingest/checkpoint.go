@@ -1,0 +1,374 @@
+package ingest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/snapshot"
+)
+
+// Checkpointing bounds recovery: without it the WAL — and therefore
+// replay time and disk use — grows with lifetime ingest volume. A
+// checkpoint is built from primitives the engine already has:
+//
+//  1. Under the ingest lock: force a major merge (which also resolves
+//     retention), note the low-water sequence (every batch <= it is in
+//     the merged epoch), and rotate the log so all earlier segments are
+//     sealed and fully covered.
+//  2. Without the lock (ingest continues): write the merged epoch
+//     through snapshot.WriteEngine to a temp file, fsync it, and
+//     rename it into place — the snapshot exists but nothing points at
+//     it yet.
+//  3. Atomically install a MANIFEST naming the snapshot and the
+//     low-water mark (temp + rename + dir fsync). This rename is the
+//     commit point: boot trusts whichever manifest the rename left
+//     behind, old or new, never a mix.
+//  4. Under the ingest lock again: delete every sealed segment fully
+//     covered by the committed manifest, then sweep superseded
+//     checkpoint snapshots and stale temp files.
+//
+// A crash at any step leaves a recoverable directory: before step 3
+// the old manifest (or no manifest) is authoritative and the untrimmed
+// log replays everything; after step 3 the new snapshot is
+// authoritative and any not-yet-deleted covered segments are
+// recognized by sequence and skipped. The ckpt.* crash points pin each
+// boundary in the kill matrix.
+
+// checkpointPrefix names checkpoint snapshots inside the WAL dir:
+// checkpoint-<lowwater>.swdb.
+const checkpointPrefix = "checkpoint-"
+
+func checkpointName(lowWater uint64) string {
+	return fmt.Sprintf("%s%016d.swdb", checkpointPrefix, lowWater)
+}
+
+// CheckpointResult describes one completed (or skipped) checkpoint.
+type CheckpointResult struct {
+	// Skipped is true when there was nothing new to checkpoint.
+	Skipped bool `json:"skipped"`
+	// LowWater is the highest batch sequence the checkpoint covers.
+	LowWater uint64 `json:"low_water_seq"`
+	// Snapshot is the installed snapshot file name.
+	Snapshot string `json:"snapshot"`
+	// Triples is the snapshot's triple count.
+	Triples int64 `json:"triples"`
+	// Expired counts triples dropped by retention in the forced merge.
+	Expired int `json:"expired"`
+	// SegmentsRemoved / BytesRemoved describe the log truncation.
+	SegmentsRemoved int   `json:"segments_removed"`
+	BytesRemoved    int64 `json:"bytes_removed"`
+	// Duration is the end-to-end checkpoint time.
+	Duration   time.Duration `json:"-"`
+	DurationMS int64         `json:"duration_ms"`
+}
+
+// CheckpointStats aggregates checkpoint history for stats endpoints.
+type CheckpointStats struct {
+	Count           int64     `json:"count"`
+	LastUnix        int64     `json:"last_unix"`
+	LastDuration    float64   `json:"last_seconds"`
+	LastLowWater    uint64    `json:"low_water_seq"`
+	LastSnapshot    string    `json:"snapshot"`
+	LastError       string    `json:"last_error,omitempty"`
+	SegmentsRemoved int64     `json:"segments_removed_total"`
+	BytesRemoved    int64     `json:"bytes_removed_total"`
+	lastWhen        time.Time `json:"-"`
+}
+
+// CheckpointStats returns a copy of the aggregate checkpoint state
+// (nil-safe zero value before the first attempt).
+func (l *Live) CheckpointStats() CheckpointStats {
+	if s := l.ckpt.Load(); s != nil {
+		return *s
+	}
+	return CheckpointStats{}
+}
+
+// CheckpointAge returns the time since the last successful checkpoint,
+// or a negative duration if none has completed.
+func (l *Live) CheckpointAge() time.Duration {
+	s := l.ckpt.Load()
+	if s == nil || s.lastWhen.IsZero() {
+		return -1
+	}
+	return l.now().Sub(s.lastWhen)
+}
+
+// LowWater returns the batch sequence covered by the installed
+// checkpoint (0 = none).
+func (l *Live) LowWater() uint64 { return l.lowWater.Load() }
+
+// Checkpoint snapshots the current major epoch, commits a manifest,
+// and truncates covered WAL segments. Concurrent checkpoints are
+// serialized; ingest proceeds during the snapshot write (step 2/3) and
+// is only blocked for the merge (step 1) and the truncation (step 4).
+func (l *Live) Checkpoint() (CheckpointResult, error) {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	res, err := l.checkpoint()
+	l.recordCheckpoint(res, err)
+	if l.cfg.ObserveCheckpoint != nil {
+		l.cfg.ObserveCheckpoint(res, err)
+	}
+	return res, err
+}
+
+func (l *Live) checkpoint() (CheckpointResult, error) {
+	start := time.Now()
+	var res CheckpointResult
+
+	// Step 1 — merge, mark, rotate (under the ingest lock).
+	l.mu.Lock()
+	if p := l.wal.Poisoned(); p != nil {
+		l.mu.Unlock()
+		return res, fmt.Errorf("ingest: checkpoint refused: %v: %w", p, ErrWALPoisoned)
+	}
+	expiredBefore := l.expired.Load()
+	if err := l.swapLocked(); err != nil {
+		l.mu.Unlock()
+		return res, fmt.Errorf("ingest: checkpoint merge: %w", err)
+	}
+	res.Expired = int(l.expired.Load() - expiredBefore)
+	low := l.wal.nextSeq - 1
+	if low == 0 || (low == l.lowWater.Load() && res.Expired == 0) {
+		// Nothing acknowledged since the last checkpoint (or ever).
+		l.mu.Unlock()
+		res.Skipped = true
+		res.LowWater = l.lowWater.Load()
+		return res, nil
+	}
+	if err := l.wal.Rotate(); err != nil {
+		l.mu.Unlock()
+		return res, fmt.Errorf("ingest: checkpoint rotate: %w", err)
+	}
+	ep := l.cur.Load()
+	retain, rerr := l.snapshotRetainLocked()
+	walBase := l.wal.Base()
+	l.mu.Unlock()
+	if rerr != nil {
+		return res, fmt.Errorf("ingest: checkpoint retain table: %w", rerr)
+	}
+	l.cfg.Crash.Hit(faultinject.CrashCkptAfterRotate)
+
+	// Step 2 — write the snapshot beside the log, tmp + fsync + rename.
+	dir := l.wal.Dir()
+	name := checkpointName(low)
+	final := filepath.Join(dir, name)
+	tmp := final + ".tmp"
+	if err := l.cfg.Disk.Check(faultinject.DiskCkptWrite); err != nil {
+		return res, fmt.Errorf("ingest: checkpoint snapshot write: %w", err)
+	}
+	if err := snapshot.WriteEngine(tmp, ep.eng); err != nil {
+		os.Remove(tmp)
+		return res, fmt.Errorf("ingest: checkpoint snapshot: %w", err)
+	}
+	if l.cfg.Crash.Armed(faultinject.CrashCkptSnapshotTorn) {
+		// Simulate dying mid-write: shear the temp file in half before
+		// the crash point fires, so recovery sees a torn temp file.
+		if st, err := os.Stat(tmp); err == nil {
+			os.Truncate(tmp, st.Size()/2)
+		}
+		l.cfg.Crash.Hit(faultinject.CrashCkptSnapshotTorn)
+	}
+	if err := fsyncFile(tmp, l.cfg.Disk); err != nil {
+		os.Remove(tmp)
+		return res, fmt.Errorf("ingest: checkpoint snapshot fsync: %w", err)
+	}
+	l.cfg.Crash.Hit(faultinject.CrashCkptSnapshotTmp)
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return res, err
+	}
+	if err := syncDir(dir); err != nil {
+		return res, err
+	}
+	l.cfg.Crash.Hit(faultinject.CrashCkptSnapshotRename)
+
+	// Step 3 — commit the manifest.
+	m := &Manifest{
+		Version:     1,
+		Snapshot:    name,
+		LowWater:    low,
+		WALBase:     walBase,
+		Triples:     int64(ep.eng.NumTriples()),
+		CreatedUnix: l.now().Unix(),
+		Retain:      retain,
+	}
+	if err := writeManifest(dir, m, l.cfg.Crash, l.cfg.Disk); err != nil {
+		return res, fmt.Errorf("ingest: checkpoint manifest: %w", err)
+	}
+	l.lowWater.Store(low)
+	l.cfg.Crash.Hit(faultinject.CrashCkptAfterManifest)
+
+	// Step 4 — trim the log and sweep superseded checkpoint files.
+	l.mu.Lock()
+	removed, bytes, terr := l.wal.TruncateThrough(low)
+	l.mu.Unlock()
+	if terr != nil {
+		// The checkpoint is committed; a failed trim only costs disk.
+		return res, fmt.Errorf("ingest: checkpoint committed at seq %d but truncation failed: %w", low, terr)
+	}
+	sweepCheckpointFiles(dir, name)
+	l.cfg.Crash.Hit(faultinject.CrashCkptAfterTruncate)
+
+	res = CheckpointResult{
+		LowWater:        low,
+		Snapshot:        name,
+		Triples:         int64(ep.eng.NumTriples()),
+		Expired:         res.Expired,
+		SegmentsRemoved: removed,
+		BytesRemoved:    bytes,
+		Duration:        time.Since(start),
+		DurationMS:      time.Since(start).Milliseconds(),
+	}
+	return res, nil
+}
+
+// recordCheckpoint folds one attempt into the aggregate stats.
+func (l *Live) recordCheckpoint(res CheckpointResult, err error) {
+	prev := l.ckpt.Load()
+	next := CheckpointStats{}
+	if prev != nil {
+		next = *prev
+	}
+	if err != nil {
+		next.LastError = err.Error()
+	} else if !res.Skipped {
+		next.Count++
+		next.LastUnix = l.now().Unix()
+		next.lastWhen = l.now()
+		next.LastDuration = res.Duration.Seconds()
+		next.LastLowWater = res.LowWater
+		next.LastSnapshot = res.Snapshot
+		next.LastError = ""
+		next.SegmentsRemoved += int64(res.SegmentsRemoved)
+		next.BytesRemoved += res.BytesRemoved
+	}
+	l.ckpt.Store(&next)
+}
+
+// sweepCheckpointFiles removes superseded checkpoint snapshots and
+// stale temp files, keeping only the just-committed snapshot. Sweep
+// failures are ignored — they cost disk, not correctness.
+func sweepCheckpointFiles(dir, keep string) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || name == keep {
+			continue
+		}
+		stale := strings.HasSuffix(name, ".tmp") ||
+			(strings.HasPrefix(name, checkpointPrefix) && strings.HasSuffix(name, ".swdb"))
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// CheckpointerConfig tunes the background checkpoint loop.
+type CheckpointerConfig struct {
+	// Interval checkpoints on age (0 = no time trigger).
+	Interval time.Duration
+	// WALBytes checkpoints once the log exceeds this size (0 = no size
+	// trigger).
+	WALBytes int64
+	// ExpiredMerge forces a major merge (not a full checkpoint) once
+	// this many expired triples await one (default 4096; negative
+	// disables).
+	ExpiredMerge int
+	// Poll is the trigger-evaluation cadence (default 1s).
+	Poll time.Duration
+	// Logf, when non-nil, receives one line per checkpoint or failure.
+	Logf func(format string, args ...any)
+}
+
+func (c CheckpointerConfig) withDefaults() CheckpointerConfig {
+	if c.ExpiredMerge == 0 {
+		c.ExpiredMerge = 4096
+	}
+	if c.Poll <= 0 {
+		c.Poll = time.Second
+	}
+	return c
+}
+
+// Checkpointer runs checkpoints in the background on time, log-size,
+// and expired-volume triggers.
+type Checkpointer struct {
+	l       *Live
+	cfg     CheckpointerConfig
+	started time.Time
+	stop    chan struct{}
+	once    sync.Once
+	done    chan struct{}
+}
+
+// StartCheckpointer launches the background loop.
+func StartCheckpointer(l *Live, cfg CheckpointerConfig) *Checkpointer {
+	c := &Checkpointer{l: l, cfg: cfg.withDefaults(), started: time.Now(), stop: make(chan struct{}), done: make(chan struct{})}
+	go c.run()
+	return c
+}
+
+func (c *Checkpointer) run() {
+	defer close(c.done)
+	tick := time.NewTicker(c.cfg.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		if c.cfg.ExpiredMerge > 0 && c.l.ExpiredPending() >= c.cfg.ExpiredMerge {
+			if err := c.l.Swap(); err != nil && c.cfg.Logf != nil {
+				c.cfg.Logf("ingest: retention merge failed: %v", err)
+			}
+		}
+		if !c.due() {
+			continue
+		}
+		res, err := c.l.Checkpoint()
+		if c.cfg.Logf == nil {
+			continue
+		}
+		switch {
+		case err != nil:
+			c.cfg.Logf("checkpoint failed: %v", err)
+		case !res.Skipped:
+			c.cfg.Logf("checkpoint committed: low_water=%d snapshot=%s triples=%d expired=%d segments_removed=%d bytes_removed=%d in %v",
+				res.LowWater, res.Snapshot, res.Triples, res.Expired, res.SegmentsRemoved, res.BytesRemoved, res.Duration)
+		}
+	}
+}
+
+// due evaluates the age and size triggers.
+func (c *Checkpointer) due() bool {
+	if c.cfg.Interval > 0 {
+		age := c.l.CheckpointAge()
+		if age < 0 {
+			age = time.Since(c.started) // no checkpoint yet: age of the loop
+		}
+		if age >= c.cfg.Interval {
+			return true
+		}
+	}
+	if c.cfg.WALBytes > 0 && c.l.WAL().SizeBytes() >= c.cfg.WALBytes {
+		return true
+	}
+	return false
+}
+
+// Stop halts the loop and waits for a checkpoint in flight to finish.
+func (c *Checkpointer) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	<-c.done
+}

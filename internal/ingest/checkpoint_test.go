@@ -1,0 +1,812 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/rdf"
+)
+
+// fakeClock is an injectable retention clock: tests advance it instead
+// of sleeping.
+type fakeClock struct{ ns atomic.Int64 }
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{}
+	c.ns.Store(time.Unix(1_700_000_000, 0).UnixNano())
+	return c
+}
+
+func (c *fakeClock) Now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// tinyBatch builds a distinct two-triple batch per index.
+func tinyBatch(i int) []rdf.Triple {
+	s := exi(fmt.Sprintf("cpub%d", i))
+	return []rdf.Triple{
+		rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType), exi("Article")),
+		rdf.NewTriple(s, exi("title"), rdf.NewLiteral(fmt.Sprintf("Checkpoint Title %d", i))),
+	}
+}
+
+// TestCheckpointBoundsReplay is the tentpole happy path: after a
+// checkpoint at sequence S, a reboot loads the checkpoint snapshot and
+// replays only the batches above S — recovery cost tracks checkpoint
+// cadence, not lifetime ingest volume — and answers queries
+// bit-identically to a from-scratch build.
+func TestCheckpointBoundsReplay(t *testing.T) {
+	ts := datagen.DBLPTriples(datagen.DBLPConfig{Publications: 20, Seed: 1})
+	mid := len(ts) / 2
+	walDir := filepath.Join(t.TempDir(), "wal")
+
+	l, _, err := Boot(BootConfig{
+		WALDir: walDir,
+		Live:   Config{EpochMaxDelta: 1 << 20},
+		WAL:    WALOptions{SegmentBytes: 2048},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batchLen = 20
+	ingest := func(data []rdf.Triple) (batches int) {
+		for off := 0; off < len(data); off += batchLen {
+			end := off + batchLen
+			if end > len(data) {
+				end = len(data)
+			}
+			if _, _, err := l.Ingest(data[off:end]); err != nil {
+				t.Fatalf("ingest: %v", err)
+			}
+			batches++
+		}
+		return batches
+	}
+
+	n1 := ingest(ts[:mid])
+	res, err := l.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if res.Skipped || res.LowWater != uint64(n1) {
+		t.Fatalf("checkpoint low=%d skipped=%v, want low=%d", res.LowWater, res.Skipped, n1)
+	}
+	if res.SegmentsRemoved < 1 {
+		t.Fatalf("checkpoint removed %d segments, want >= 1", res.SegmentsRemoved)
+	}
+	if st := l.CheckpointStats(); st.Count != 1 || st.LastLowWater != uint64(n1) {
+		t.Fatalf("stats count=%d low=%d, want 1/%d", st.Count, st.LastLowWater, n1)
+	}
+	if age := l.CheckpointAge(); age < 0 {
+		t.Fatalf("checkpoint age %v after a successful checkpoint", age)
+	}
+	man, err := ReadManifest(walDir)
+	if err != nil || man == nil {
+		t.Fatalf("manifest after checkpoint: %v %v", man, err)
+	}
+	if man.LowWater != uint64(n1) || man.Snapshot != checkpointName(uint64(n1)) {
+		t.Fatalf("manifest low=%d snapshot=%q", man.LowWater, man.Snapshot)
+	}
+
+	n2 := ingest(ts[mid:])
+	l.Close()
+
+	l2, info, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	defer l2.Close()
+	if info.Source != BootCheckpointWAL {
+		t.Fatalf("boot source %q, want %q", info.Source, BootCheckpointWAL)
+	}
+	if info.LowWater != uint64(n1) {
+		t.Fatalf("boot low-water %d, want %d", info.LowWater, n1)
+	}
+	if info.ReplayedBatches != n2 || info.SkippedBatches != 0 {
+		t.Fatalf("replayed %d skipped %d, want exactly the %d post-checkpoint batches", info.ReplayedBatches, info.SkippedBatches, n2)
+	}
+
+	if err := l2.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := engine.New(engine.Config{})
+	fresh.AddTriples(ts)
+	fresh.Seal()
+	if l2.NumTriples() != fresh.NumTriples() {
+		t.Fatalf("recovered %d triples, fresh rebuild has %d", l2.NumTriples(), fresh.NumTriples())
+	}
+	assertQueryEquivalence(t, l2, fresh, [][]string{{"cimiano"}, {"keyword", "search"}, {"2006"}})
+}
+
+// TestCheckpointSkippedWhenQuiet: a checkpoint with nothing new to cover
+// is a no-op, not a fresh generation.
+func TestCheckpointSkippedWhenQuiet(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// Nothing ever acknowledged: skip with low-water 0, no manifest.
+	res, err := l.Checkpoint()
+	if err != nil || !res.Skipped || res.LowWater != 0 {
+		t.Fatalf("empty-store checkpoint: %+v, %v", res, err)
+	}
+	if man, _ := ReadManifest(walDir); man != nil {
+		t.Fatal("skipped checkpoint wrote a manifest")
+	}
+
+	if _, _, err := l.Ingest(tinyBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	first, err := l.Checkpoint()
+	if err != nil || first.Skipped {
+		t.Fatalf("first real checkpoint: %+v, %v", first, err)
+	}
+	// No writes since: skip, stats unchanged.
+	again, err := l.Checkpoint()
+	if err != nil || !again.Skipped || again.LowWater != first.LowWater {
+		t.Fatalf("quiet checkpoint: %+v, %v", again, err)
+	}
+	if st := l.CheckpointStats(); st.Count != 1 {
+		t.Fatalf("skipped checkpoint bumped count to %d", st.Count)
+	}
+}
+
+// TestManifestParseRejections: every structural defect is a named
+// *ManifestError, never a panic or a silently ignored field.
+func TestManifestParseRejections(t *testing.T) {
+	frame := func(body string) []byte {
+		return []byte(fmt.Sprintf("%s %08x\n%s", manifestMagic, crc32.Checksum([]byte(body), castagnoli), body))
+	}
+	goodBody := `{"version":1,"snapshot":"checkpoint-0000000000000001.swdb","low_water_seq":1,"wal_base_triples":0,"triples":2,"created_unix":1700000000}`
+	if _, err := parseManifest("m", frame(goodBody)); err != nil {
+		t.Fatalf("control manifest rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"no header line", []byte("SWDBMANIFEST1 00000000")},
+		{"bad magic", []byte("NOTAMANIFEST 00000000\n{}")},
+		{"bad checksum hex", []byte(manifestMagic + " zzzzzzzz\n{}")},
+		{"checksum mismatch", []byte(manifestMagic + " 00000000\n" + goodBody)},
+		{"torn body", frame(goodBody)[:20]},
+		{"body not json", frame("{nope")},
+		{"unknown field", frame(`{"version":1,"snapshot":"a.swdb","low_water_seq":1,"wal_base_triples":0,"triples":0,"created_unix":0,"bogus":true}`)},
+		{"wrong version", frame(`{"version":2,"snapshot":"a.swdb","low_water_seq":1,"wal_base_triples":0,"triples":0,"created_unix":0}`)},
+		{"snapshot is a path", frame(`{"version":1,"snapshot":"../a.swdb","low_water_seq":1,"wal_base_triples":0,"triples":0,"created_unix":0}`)},
+		{"zero low water", frame(`{"version":1,"snapshot":"a.swdb","low_water_seq":0,"wal_base_triples":0,"triples":0,"created_unix":0}`)},
+		{"negative triples", frame(`{"version":1,"snapshot":"a.swdb","low_water_seq":1,"wal_base_triples":0,"triples":-4,"created_unix":0}`)},
+		{"retain bad expiry", frame(`{"version":1,"snapshot":"a.swdb","low_water_seq":1,"wal_base_triples":0,"triples":0,"created_unix":0,"retain":[{"triple":"x","expiry_unixnano":0}]}`)},
+		{"retain bad triple", frame(`{"version":1,"snapshot":"a.swdb","low_water_seq":1,"wal_base_triples":0,"triples":0,"created_unix":0,"retain":[{"triple":"not ntriples","expiry_unixnano":5}]}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := parseManifest("m", tc.data)
+			if err == nil {
+				t.Fatalf("accepted: %+v", m)
+			}
+			var me *ManifestError
+			if !errors.As(err, &me) {
+				t.Fatalf("error is %T, want *ManifestError: %v", err, err)
+			}
+		})
+	}
+}
+
+// checkpointedDir boots a WAL-only store, ingests, checkpoints, closes,
+// and hands back the directory for tamper-then-reboot tests.
+func checkpointedDir(t *testing.T) string {
+	t.Helper()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, _, err := l.Ingest(tinyBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res, err := l.Checkpoint(); err != nil || res.Skipped {
+		t.Fatalf("checkpoint: %+v, %v", res, err)
+	}
+	l.Close()
+	return walDir
+}
+
+// TestBootRefusesCorruptManifest: a bit-flipped MANIFEST refuses boot
+// with a named error instead of silently replaying a truncated log.
+func TestBootRefusesCorruptManifest(t *testing.T) {
+	walDir := checkpointedDir(t)
+	path := filepath.Join(walDir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Boot(BootConfig{WALDir: walDir})
+	var me *ManifestError
+	if !errors.As(err, &me) {
+		t.Fatalf("boot error %T (%v), want *ManifestError", err, err)
+	}
+}
+
+// TestBootRefusesMissingPostCheckpointLog: a committed manifest with no
+// wal segments at all means the post-checkpoint log is gone — refuse.
+func TestBootRefusesMissingPostCheckpointLog(t *testing.T) {
+	walDir := checkpointedDir(t)
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	for _, s := range segs {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err = Boot(BootConfig{WALDir: walDir})
+	var me *ManifestError
+	if !errors.As(err, &me) {
+		t.Fatalf("boot error %T (%v), want *ManifestError", err, err)
+	}
+}
+
+// TestBootRefusesManifestTripleMismatch: the manifest's triple count is
+// cross-checked against the snapshot it names.
+func TestBootRefusesManifestTripleMismatch(t *testing.T) {
+	walDir := checkpointedDir(t)
+	man, err := ReadManifest(walDir)
+	if err != nil || man == nil {
+		t.Fatalf("manifest: %v %v", man, err)
+	}
+	man.Triples++ // lie about the snapshot's contents
+	data, err := encodeManifest(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(walDir, manifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Boot(BootConfig{WALDir: walDir})
+	var me *ManifestError
+	if !errors.As(err, &me) {
+		t.Fatalf("boot error %T (%v), want *ManifestError", err, err)
+	}
+}
+
+// TestRetentionExpiresAtMerge: TTL'd triples stay fully queryable until
+// the first major merge at or after their deadline, then vanish.
+func TestRetentionExpiresAtMerge(t *testing.T) {
+	clk := newFakeClock()
+	var lastObs SwapObservation
+	l := newFig1Live(t, Config{EpochMaxDelta: 1 << 20, Now: clk.Now,
+		ObserveSwap: func(o SwapObservation) { lastObs = o }})
+	defer l.Close()
+	base := l.NumTriples()
+
+	if _, _, err := l.IngestTTL(pub9Batch(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.RetainedTriples(); got != 4 {
+		t.Fatalf("retained %d, want 4", got)
+	}
+	// A merge before the deadline keeps the rows (fast path).
+	if err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTriples() != base+4 || l.ExpiredTotal() != 0 || lastObs.RetentionMerge {
+		t.Fatalf("pre-expiry swap dropped data: n=%d expired=%d obs=%+v", l.NumTriples(), l.ExpiredTotal(), lastObs)
+	}
+
+	clk.Advance(2 * time.Hour)
+	if got := l.ExpiredPending(); got != 4 {
+		t.Fatalf("expired pending %d, want 4", got)
+	}
+	if err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTriples() != base {
+		t.Fatalf("post-expiry triples %d, want base %d", l.NumTriples(), base)
+	}
+	if l.ExpiredTotal() != 4 || l.RetainedTriples() != 0 || l.ExpiredPending() != 0 {
+		t.Fatalf("expired=%d retained=%d pending=%d", l.ExpiredTotal(), l.RetainedTriples(), l.ExpiredPending())
+	}
+	if !lastObs.RetentionMerge || lastObs.Expired != 4 {
+		t.Fatalf("retention swap observation %+v", lastObs)
+	}
+}
+
+// TestRetentionDefaultTTL: the store-level -retention default stamps
+// batches that carry no TTL of their own.
+func TestRetentionDefaultTTL(t *testing.T) {
+	clk := newFakeClock()
+	l := newFig1Live(t, Config{EpochMaxDelta: 1 << 20, Now: clk.Now, Retention: time.Hour})
+	defer l.Close()
+	base := l.NumTriples()
+	if _, _, err := l.Ingest(pub9Batch()); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	if err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTriples() != base || l.ExpiredTotal() != 4 {
+		t.Fatalf("n=%d expired=%d, want base=%d/4", l.NumTriples(), l.ExpiredTotal(), base)
+	}
+}
+
+// TestRetentionLastWriteWins: re-ingesting a triple without a TTL
+// clears a previously armed one.
+func TestRetentionLastWriteWins(t *testing.T) {
+	clk := newFakeClock()
+	l := newFig1Live(t, Config{EpochMaxDelta: 1 << 20, Now: clk.Now})
+	defer l.Close()
+	base := l.NumTriples()
+	if _, _, err := l.IngestTTL(pub9Batch(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(pub9Batch()); err != nil { // no TTL: disarm
+		t.Fatal(err)
+	}
+	if got := l.RetainedTriples(); got != 0 {
+		t.Fatalf("retained %d after disarm, want 0", got)
+	}
+	clk.Advance(2 * time.Hour)
+	if err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if l.NumTriples() != base+4 || l.ExpiredTotal() != 0 {
+		t.Fatalf("n=%d expired=%d, want %d/0", l.NumTriples(), l.ExpiredTotal(), base+4)
+	}
+}
+
+// TestReplayDropsExpiredBatches: a TTL batch whose deadline passed
+// during downtime is not resurrected by replay.
+func TestReplayDropsExpiredBatches(t *testing.T) {
+	clk := newFakeClock()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.IngestTTL(pub9Batch(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(tinyBatch(0)); err != nil { // immortal control batch
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Reboot before the deadline: both batches live, TTL re-armed.
+	early, info, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ExpiredBatches != 0 || early.NumTriples() != 6 || early.RetainedTriples() != 4 {
+		t.Fatalf("early boot: expired=%d n=%d retained=%d", info.ExpiredBatches, early.NumTriples(), early.RetainedTriples())
+	}
+	early.Close()
+
+	// Reboot after the deadline: the TTL batch is dropped whole.
+	clk.Advance(2 * time.Hour)
+	late, info, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	if info.ExpiredBatches != 1 || late.NumTriples() != 2 {
+		t.Fatalf("late boot: expired=%d n=%d, want 1/2", info.ExpiredBatches, late.NumTriples())
+	}
+	if late.ExpiredTotal() != 4 {
+		t.Fatalf("expired total %d, want 4", late.ExpiredTotal())
+	}
+}
+
+// TestRetentionSurvivesCheckpoint: after a checkpoint the expiring
+// triples live in the snapshot, not the log — the manifest's retain
+// table is what re-arms them across a reboot.
+func TestRetentionSurvivesCheckpoint(t *testing.T) {
+	clk := newFakeClock()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(tinyBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.IngestTTL(pub9Batch(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := l.Checkpoint(); err != nil || res.Skipped {
+		t.Fatalf("checkpoint: %+v, %v", res, err)
+	}
+	man, err := ReadManifest(walDir)
+	if err != nil || man == nil || len(man.Retain) != 4 {
+		t.Fatalf("manifest retain: %+v, %v", man, err)
+	}
+	l.Close()
+
+	clk.Advance(2 * time.Hour)
+	l2, info, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if info.Source != BootCheckpointWAL || info.ReplayedBatches != 0 {
+		t.Fatalf("boot source=%q replayed=%d", info.Source, info.ReplayedBatches)
+	}
+	// The snapshot still holds the rows; the re-armed TTLs drop them at
+	// the next merge.
+	if l2.NumTriples() != 6 || l2.RetainedTriples() != 4 || l2.ExpiredPending() != 4 {
+		t.Fatalf("after reboot: n=%d retained=%d pending=%d", l2.NumTriples(), l2.RetainedTriples(), l2.ExpiredPending())
+	}
+	if err := l2.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	if l2.NumTriples() != 2 || l2.ExpiredTotal() != 4 {
+		t.Fatalf("after merge: n=%d expired=%d, want 2/4", l2.NumTriples(), l2.ExpiredTotal())
+	}
+}
+
+// TestCheckpointDropsExpired: the forced merge inside a checkpoint
+// resolves retention, so expired triples never reach the snapshot.
+func TestCheckpointDropsExpired(t *testing.T) {
+	clk := newFakeClock()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(tinyBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.IngestTTL(pub9Batch(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	res, err := l.Checkpoint()
+	if err != nil || res.Skipped {
+		t.Fatalf("checkpoint: %+v, %v", res, err)
+	}
+	if res.Expired != 4 || res.Triples != 2 {
+		t.Fatalf("checkpoint expired=%d triples=%d, want 4/2", res.Expired, res.Triples)
+	}
+	l.Close()
+
+	l2, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NumTriples() != 2 || l2.RetainedTriples() != 0 {
+		t.Fatalf("expired rows resurrected: n=%d retained=%d", l2.NumTriples(), l2.RetainedTriples())
+	}
+}
+
+// TestFsyncFailurePoisonsWAL: one failed fsync permanently poisons the
+// log (fsyncgate — the kernel may have dropped dirty pages, so no later
+// sync proves anything). Writes are refused, reads keep working, and a
+// restart replays only what disk actually acknowledged.
+func TestFsyncFailurePoisonsWAL(t *testing.T) {
+	disk := faultinject.NewDiskSet()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Disk: disk, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(tinyBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail exactly one fsync. The poison must outlive the injection.
+	if err := disk.ArmDisk(faultinject.DiskWALSync, syscall.EIO, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = l.Ingest(tinyBatch(1))
+	if !errors.Is(err, ErrWALPoisoned) {
+		t.Fatalf("ingest after failed fsync: %v, want ErrWALPoisoned", err)
+	}
+	if got := l.ReadOnlyReason(); got != ReadOnlyFsync {
+		t.Fatalf("read-only reason %q, want %q", got, ReadOnlyFsync)
+	}
+	// Still refused although the injection has disarmed itself.
+	if _, _, err := l.Ingest(tinyBatch(2)); !errors.Is(err, ErrWALPoisoned) {
+		t.Fatalf("second ingest: %v, want ErrWALPoisoned", err)
+	}
+	// Checkpoints are refused on a poisoned log too.
+	if _, err := l.Checkpoint(); !errors.Is(err, ErrWALPoisoned) {
+		t.Fatalf("checkpoint on poisoned log: %v", err)
+	}
+	// Reads are unaffected.
+	if l.NumTriples() != 2 {
+		t.Fatalf("reads degraded: %d triples", l.NumTriples())
+	}
+
+	// A restart replays what disk actually holds: at least the acked
+	// batch, and possibly the written-but-unsynced one (at-least-once —
+	// an unacked write may survive, an acked one must).
+	l2, info, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	defer l2.Close()
+	if info.ReplayedBatches < 1 || info.ReplayedBatches > 2 {
+		t.Fatalf("reboot replayed %d batches, want 1 or 2", info.ReplayedBatches)
+	}
+	if n := l2.NumTriples(); n < 2 || n != 2*info.ReplayedBatches {
+		t.Fatalf("reboot holds %d triples for %d batches", n, info.ReplayedBatches)
+	}
+	if l2.ReadOnlyReason() != "" {
+		t.Fatal("poison survived the restart")
+	}
+}
+
+// TestDiskFullBackpressureThenReadOnly: ENOSPC is backpressure first —
+// each refused append is retryable — and only DiskFullTrips consecutive
+// failures latch the store read-only.
+func TestDiskFullBackpressureThenReadOnly(t *testing.T) {
+	disk := faultinject.NewDiskSet()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Disk: disk, DiskFullTrips: 3, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := l.Ingest(tinyBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.ArmDisk(faultinject.DiskWALWrite, syscall.ENOSPC, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if _, _, err := l.Ingest(tinyBatch(i)); !errors.Is(err, ErrDiskFull) {
+			t.Fatalf("attempt %d: %v, want ErrDiskFull", i, err)
+		}
+		if l.ReadOnlyReason() != "" {
+			t.Fatalf("latched read-only after only %d failures", i)
+		}
+	}
+	if _, _, err := l.Ingest(tinyBatch(3)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("third attempt: %v", err)
+	}
+	if got := l.ReadOnlyReason(); got != ReadOnlyDiskFull {
+		t.Fatalf("read-only reason %q, want %q", got, ReadOnlyDiskFull)
+	}
+	// Latched: refused without touching the disk.
+	disk.DisarmDisk(faultinject.DiskWALWrite)
+	if _, _, err := l.Ingest(tinyBatch(4)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("latched ingest: %v", err)
+	}
+	if l.NumTriples() != 2 {
+		t.Fatalf("reads degraded: %d triples", l.NumTriples())
+	}
+}
+
+// TestDiskFullTransientRecovers: a streak shorter than DiskFullTrips
+// resets on the next success, and the rolled-back records leave the log
+// structurally clean for replay.
+func TestDiskFullTransientRecovers(t *testing.T) {
+	disk := faultinject.NewDiskSet()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Disk: disk, DiskFullTrips: 3, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(tinyBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Two transient failures, then space frees up.
+	if err := disk.ArmDisk(faultinject.DiskWALWrite, syscall.ENOSPC, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, _, err := l.Ingest(tinyBatch(1)); !errors.Is(err, ErrDiskFull) {
+			t.Fatalf("transient attempt %d: %v", i, err)
+		}
+	}
+	if _, _, err := l.Ingest(tinyBatch(1)); err != nil {
+		t.Fatalf("ingest after space freed: %v", err)
+	}
+	if l.ReadOnlyReason() != "" {
+		t.Fatalf("latched read-only despite recovery: %q", l.ReadOnlyReason())
+	}
+	l.Close()
+
+	l2, info, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatalf("reboot after rollbacks: %v", err)
+	}
+	defer l2.Close()
+	if info.ReplayedBatches != 2 || info.RepairedBytes != 0 {
+		t.Fatalf("replayed=%d repaired=%d, want 2 clean batches", info.ReplayedBatches, info.RepairedBytes)
+	}
+}
+
+// TestTornWriteRolledBack: a write that fails mid-record (first chunk
+// landed, second refused) is truncated away, so the failed record is
+// neither acknowledged nor buried mid-log.
+func TestTornWriteRolledBack(t *testing.T) {
+	disk := faultinject.NewDiskSet()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Disk: disk, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(tinyBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Pass the first chunk of the next record, fail the second.
+	if err := disk.ArmDisk(faultinject.DiskWALWrite, syscall.ENOSPC, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Ingest(tinyBatch(1)); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("torn write: %v, want ErrDiskFull", err)
+	}
+	// The retry lands at the rolled-back offset with the same sequence.
+	if _, seq, err := l.Ingest(tinyBatch(1)); err != nil || seq != 2 {
+		t.Fatalf("retry: seq=%d err=%v, want seq 2", seq, err)
+	}
+	l.Close()
+
+	l2, info, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatalf("reboot: %v (a buried torn record would corrupt the log)", err)
+	}
+	defer l2.Close()
+	if info.ReplayedBatches != 2 || info.RepairedBytes != 0 {
+		t.Fatalf("replayed=%d repaired=%d, want 2/0", info.ReplayedBatches, info.RepairedBytes)
+	}
+}
+
+// TestReplayProgressMonotonicAcrossSegments: the boot gate's percentage
+// must not jump backwards when the scan crosses a segment boundary.
+func TestReplayProgressMonotonicAcrossSegments(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}, WAL: WALOptions{SegmentBytes: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches = 24
+	for i := 0; i < batches; i++ {
+		if _, _, err := l.Ingest(tinyBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := l.WAL().Segments()
+	if segs < 3 {
+		t.Fatalf("only %d segments; the boundary case needs several", segs)
+	}
+	l.Close()
+
+	var scans, applies []ReplayProgress
+	_, info, err := Boot(BootConfig{
+		WALDir: walDir,
+		Live:   Config{EpochMaxDelta: 1 << 20},
+		Progress: func(p ReplayProgress) {
+			switch p.Phase {
+			case PhaseScan:
+				scans = append(scans, p)
+			case PhaseApply:
+				applies = append(applies, p)
+			default:
+				t.Errorf("unknown phase %q", p.Phase)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ReplayedBatches != batches {
+		t.Fatalf("replayed %d, want %d", info.ReplayedBatches, batches)
+	}
+	if len(scans) < segs {
+		t.Fatalf("%d scan reports for %d segments", len(scans), segs)
+	}
+	var prev float64 = -1
+	for i, p := range scans {
+		if p.BytesTotal <= 0 || p.BytesTotal != scans[0].BytesTotal {
+			t.Fatalf("scan %d: BytesTotal %d not constant (first %d)", i, p.BytesTotal, scans[0].BytesTotal)
+		}
+		if i > 0 && p.BytesDone < scans[i-1].BytesDone {
+			t.Fatalf("scan bytes went backwards: %d after %d", p.BytesDone, scans[i-1].BytesDone)
+		}
+		pct := p.Percent()
+		if pct < prev || pct > 100 {
+			t.Fatalf("scan percent %f after %f", pct, prev)
+		}
+		prev = pct
+	}
+	if last := scans[len(scans)-1]; last.BytesDone != last.BytesTotal {
+		t.Fatalf("scan finished at %d of %d bytes", last.BytesDone, last.BytesTotal)
+	}
+	if len(applies) != batches {
+		t.Fatalf("%d apply reports for %d batches", len(applies), batches)
+	}
+	prev = -1
+	for i, p := range applies {
+		if p.BatchesTotal != batches || p.BatchesDone != i+1 {
+			t.Fatalf("apply %d: %d/%d", i, p.BatchesDone, p.BatchesTotal)
+		}
+		if i > 0 && p.TriplesDone < applies[i-1].TriplesDone {
+			t.Fatalf("apply triples went backwards at %d", i)
+		}
+		pct := p.Percent()
+		if pct < prev || pct > 100 {
+			t.Fatalf("apply percent %f after %f", pct, prev)
+		}
+		prev = pct
+	}
+}
+
+// TestCheckpointerTriggersOnWALSize: the background loop fires once the
+// log crosses the size threshold.
+func TestCheckpointerTriggersOnWALSize(t *testing.T) {
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		if _, _, err := l.Ingest(tinyBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := StartCheckpointer(l, CheckpointerConfig{WALBytes: 1, Poll: 5 * time.Millisecond})
+	defer c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.CheckpointStats().Count == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("checkpointer never fired on the size trigger")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if man, err := ReadManifest(walDir); err != nil || man == nil {
+		t.Fatalf("manifest after background checkpoint: %v %v", man, err)
+	}
+}
+
+// TestCheckpointerForcesRetentionMerge: enough pending-expired triples
+// force a major merge even without a checkpoint trigger.
+func TestCheckpointerForcesRetentionMerge(t *testing.T) {
+	clk := newFakeClock()
+	walDir := filepath.Join(t.TempDir(), "wal")
+	l, _, err := Boot(BootConfig{WALDir: walDir, Live: Config{Now: clk.Now, EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := l.IngestTTL(pub9Batch(), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Hour)
+	c := StartCheckpointer(l, CheckpointerConfig{ExpiredMerge: 1, Poll: 5 * time.Millisecond})
+	defer c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.ExpiredTotal() < 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retention merge never forced (expired=%d pending=%d)", l.ExpiredTotal(), l.ExpiredPending())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if l.NumTriples() != 0 {
+		t.Fatalf("expired rows still visible: %d", l.NumTriples())
+	}
+}

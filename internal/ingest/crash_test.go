@@ -4,6 +4,7 @@ import (
 	"context"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/datagen"
@@ -108,6 +109,9 @@ func TestKillPointMatrix(t *testing.T) {
 		}
 
 		for _, point := range faultinject.CrashPoints() {
+			if strings.HasPrefix(point, "ckpt.") {
+				continue // driven by TestCheckpointKillMatrix below
+			}
 			t.Run(ds.name+"/"+point, func(t *testing.T) {
 				walDir := filepath.Join(t.TempDir(), "wal")
 				acked, crashed := runUntilCrash(t, ds, snapPath, walDir, point)
@@ -168,10 +172,149 @@ func TestKillPointMatrix(t *testing.T) {
 	}
 }
 
+// TestCheckpointKillMatrix arms every ckpt.* crash point in turn and
+// kills the process mid-checkpoint, after one clean checkpoint has
+// already committed, so recovery must choose between two generations.
+// At every boundary it proves the contract: no acknowledged batch is
+// lost, the newest *committed* manifest decides the authoritative
+// checkpoint (the manifest rename is the commit point), and replay is
+// bounded to batches strictly above that manifest's low-water mark.
+func TestCheckpointKillMatrix(t *testing.T) {
+	for _, ds := range crashDatasets(t) {
+		base := engine.New(engine.Config{})
+		base.AddTriples(ds.triples[:ds.baseLen])
+		base.Seal()
+		snapPath := filepath.Join(t.TempDir(), ds.name+".swdb")
+		if err := snapshot.WriteEngine(snapPath, base); err != nil {
+			t.Fatal(err)
+		}
+		rest := ds.triples[ds.baseLen:]
+		mid := len(rest) / 2
+
+		for _, point := range faultinject.CheckpointCrashPoints() {
+			t.Run(ds.name+"/"+point, func(t *testing.T) {
+				walDir := filepath.Join(t.TempDir(), "wal")
+				cs := faultinject.NewCrashSet()
+				l, _, err := Boot(BootConfig{
+					SnapshotPath: snapPath,
+					WALDir:       walDir,
+					Live:         Config{Crash: cs, EpochMaxDelta: 1 << 20},
+					WAL:          WALOptions{SegmentBytes: 4096},
+				})
+				if err != nil {
+					t.Fatalf("boot: %v", err)
+				}
+				ingest := func(data []rdf.Triple) (acked [][]rdf.Triple) {
+					for off := 0; off < len(data); off += ds.batchLen {
+						end := off + ds.batchLen
+						if end > len(data) {
+							end = len(data)
+						}
+						if _, _, err := l.Ingest(data[off:end]); err != nil {
+							t.Fatalf("ingest: %v", err)
+						}
+						acked = append(acked, data[off:end])
+					}
+					return acked
+				}
+
+				// Generation 1: ingest, then one clean checkpoint.
+				acked := ingest(rest[:mid])
+				res1, err := l.Checkpoint()
+				if err != nil {
+					t.Fatalf("first checkpoint: %v", err)
+				}
+				low1 := res1.LowWater
+				if res1.Skipped || low1 != uint64(len(acked)) {
+					t.Fatalf("first checkpoint low=%d skipped=%v, want low=%d", low1, res1.Skipped, len(acked))
+				}
+
+				// Generation 2: more acknowledged batches, then a
+				// checkpoint that dies at the armed point. The point is
+				// armed only now so generation 1 committed cleanly.
+				if err := cs.Arm(point, 0); err != nil {
+					t.Fatal(err)
+				}
+				acked = append(acked, ingest(rest[mid:])...)
+				low2 := uint64(len(acked))
+				crashed := func() (crashed bool) {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(faultinject.CrashValue); !ok {
+								panic(r)
+							}
+							crashed = true
+						}
+					}()
+					l.Checkpoint()
+					return false
+				}()
+				if !crashed {
+					t.Fatalf("crash point %s never fired", point)
+				}
+				// No Close on the crash path: a kill leaves files as-is.
+
+				// The manifest rename is the commit point: before it the
+				// first checkpoint stays authoritative, from it on the
+				// second does.
+				wantLow := low1
+				switch point {
+				case faultinject.CrashCkptAfterManifest,
+					faultinject.CrashCkptTruncatePart,
+					faultinject.CrashCkptAfterTruncate:
+					wantLow = low2
+				}
+
+				l2, info, err := Boot(BootConfig{
+					SnapshotPath: snapPath, // superseded by the manifest
+					WALDir:       walDir,
+					Live:         Config{EpochMaxDelta: 1 << 20},
+				})
+				if err != nil {
+					t.Fatalf("recovery boot: %v", err)
+				}
+				defer l2.Close()
+				if info.Source != BootCheckpointWAL {
+					t.Fatalf("boot source %q, want %q", info.Source, BootCheckpointWAL)
+				}
+				if info.LowWater != wantLow {
+					t.Fatalf("recovered low-water %d, want %d (gen1=%d gen2=%d)", info.LowWater, wantLow, low1, low2)
+				}
+				if want := filepath.Join(walDir, checkpointName(wantLow)); info.CheckpointPath != want {
+					t.Fatalf("checkpoint path %q, want %q", info.CheckpointPath, want)
+				}
+				// Bounded replay: exactly the batches above the committed
+				// low-water mark are re-applied; anything below it that an
+				// interrupted truncation left behind is skipped, never
+				// resurrected.
+				if got, want := info.ReplayedBatches, len(acked)-int(wantLow); got != want {
+					t.Fatalf("replayed %d batches, want exactly %d (low-water %d of %d acked)", got, want, wantLow, len(acked))
+				}
+
+				// Zero acknowledged-write loss, bit-identical answers:
+				// checkpoint ∪ replayed log == base ∪ every acked batch.
+				if err := l2.Swap(); err != nil {
+					t.Fatal(err)
+				}
+				fresh := engine.New(engine.Config{})
+				fresh.AddTriples(ds.triples[:ds.baseLen])
+				for _, b := range acked {
+					fresh.AddTriples(b)
+				}
+				fresh.Seal()
+				if l2.NumTriples() != fresh.NumTriples() {
+					t.Fatalf("recovered %d triples, fresh rebuild has %d", l2.NumTriples(), fresh.NumTriples())
+				}
+				assertQueryEquivalence(t, l2, fresh, ds.keywords)
+			})
+		}
+	}
+}
+
 // replayedTriples reads the acknowledged batches back out of a WAL dir.
 func replayedTriples(t *testing.T, dir string, base int64) [][]rdf.Triple {
 	t.Helper()
-	w, info, err := Open(dir, base, WALOptions{})
+	w, info, err := Open(dir, base, 0, WALOptions{})
 	if err != nil {
 		t.Fatalf("reading back wal: %v", err)
 	}

@@ -1,0 +1,114 @@
+package ingest
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// FuzzWALRecordDecode: decodeBatch must classify arbitrary bytes as
+// either a valid batch or a descriptive error — never panic, never
+// return garbage silently. Valid decodes must survive a re-encode
+// round trip (the canonical form is a fixpoint).
+func FuzzWALRecordDecode(f *testing.F) {
+	if p, err := encodeBatch(1, 0, pub9Batch()); err == nil {
+		f.Add(p)
+	}
+	if p, err := encodeBatch(7, 1_800_000_000_000_000_000, pub9Batch()); err == nil {
+		f.Add(p)
+	}
+	if p, err := encodeBatch(42, 0, nil); err == nil {
+		f.Add(p)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{recBatch})
+	f.Add([]byte{recBatchTTL, 1, 2, 3})
+	f.Add([]byte{99, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{recBatch, 1, 0, 0, 0, 0, 0, 0, 0, '<', 'x', '>', ' ', 'b', 'a', 'd'})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		b, err := decodeBatch(payload)
+		if err != nil {
+			if b.Seq != 0 || b.Triples != nil || b.Expiry != 0 {
+				t.Fatalf("error return carried a non-zero batch: %+v (%v)", b, err)
+			}
+			return
+		}
+		enc, eerr := encodeBatch(b.Seq, b.Expiry, b.Triples)
+		if eerr != nil {
+			t.Fatalf("decoded batch does not re-encode: %v", eerr)
+		}
+		b2, derr := decodeBatch(enc)
+		if derr != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", derr)
+		}
+		if b.Seq != b2.Seq || b.Expiry != b2.Expiry || !tripleSlicesEqual(b.Triples, b2.Triples) {
+			t.Fatalf("round trip diverged:\n  first  %+v\n  second %+v", b, b2)
+		}
+	})
+}
+
+func tripleSlicesEqual(a, b []rdf.Triple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzManifestParse: parseManifest must return either a fully-validated
+// manifest or a *ManifestError naming the defect — never panic, never a
+// bare error, never a partially-filled struct alongside an error.
+func FuzzManifestParse(f *testing.F) {
+	if good, err := encodeManifest(&Manifest{
+		Version: 1, Snapshot: "checkpoint-0000000000000006.swdb",
+		LowWater: 6, WALBase: 12, Triples: 40, CreatedUnix: 1_700_000_000,
+	}); err == nil {
+		f.Add(good)
+	}
+	if line, err := formatRetainTriple(pub9Batch()[0]); err == nil {
+		if withRetain, err := encodeManifest(&Manifest{
+			Version: 1, Snapshot: "checkpoint-0000000000000001.swdb",
+			LowWater: 1, Triples: 4, CreatedUnix: 1_700_000_000,
+			Retain: []RetainEntry{{Triple: line, Expiry: 1_800_000_000_000_000_000}},
+		}); err == nil {
+			f.Add(withRetain)
+		}
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte("SWDBMANIFEST1 deadbeef\n{}"))
+	f.Add([]byte("no newline at all"))
+	f.Add([]byte("SWDBMANIFEST1 00000000\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := parseManifest("fuzz", data)
+		if err != nil {
+			var me *ManifestError
+			if !errors.As(err, &me) {
+				t.Fatalf("rejection is %T, want *ManifestError: %v", err, err)
+			}
+			if m != nil {
+				t.Fatalf("error return carried a manifest: %+v", m)
+			}
+			return
+		}
+		// A validated manifest re-encodes and re-parses identically.
+		enc, eerr := encodeManifest(m)
+		if eerr != nil {
+			t.Fatalf("valid manifest does not re-encode: %v", eerr)
+		}
+		m2, perr := parseManifest("fuzz2", enc)
+		if perr != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", perr)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("round trip diverged:\n  first  %+v\n  second %+v", m, m2)
+		}
+	})
+}

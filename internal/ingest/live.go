@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,6 +59,13 @@ type SwapObservation struct {
 	Duration        time.Duration
 	SummaryRebuilt  bool // incremental fast path missed → full Build
 	KeywordsRebuilt bool
+	// Expired counts triples dropped by retention during this swap.
+	Expired int
+	// RetentionMerge marks a swap that dropped expired rows: the new
+	// engine is not a superset of the old one, so keyword-matched cache
+	// invalidation is insufficient — every cached result referencing a
+	// dropped row is stale. The serving layer flushes whole caches.
+	RetentionMerge bool
 	// ChangedKeywords are the analyzed tokens of every label the delta
 	// touched — the keys whose cached results can no longer be trusted.
 	ChangedKeywords []string
@@ -70,19 +78,38 @@ type Config struct {
 	// EpochMaxDelta swaps the delta into a fresh engine once it holds
 	// this many triples (default 50000).
 	EpochMaxDelta int
-	// Crash fires the swap.* and wal.* crash points (nil = disarmed).
+	// Retention is the default TTL stamped onto ingested triples that
+	// carry none of their own (0 = triples live forever by default).
+	Retention time.Duration
+	// DiskFullTrips latches the store read-only after this many
+	// consecutive ErrDiskFull appends (default 3; backpressure first,
+	// then degradation).
+	DiskFullTrips int
+	// Now is the retention clock (default time.Now; injectable so tests
+	// expire triples deterministically).
+	Now func() time.Time
+	// Crash fires the swap.*, wal.*, and ckpt.* crash points (nil =
+	// disarmed).
 	Crash *faultinject.CrashSet
+	// Disk injects filesystem errors into WAL and checkpoint I/O (nil =
+	// disarmed).
+	Disk *faultinject.DiskSet
 	// ObserveFsync receives WAL fsync durations.
 	ObserveFsync func(time.Duration)
 	// ObserveSwap receives every completed swap, after the new epoch is
 	// installed — the hook the serving layer uses for metrics and
 	// keyword-matched cache invalidation.
 	ObserveSwap func(SwapObservation)
+	// ObserveCheckpoint receives every checkpoint attempt's outcome.
+	ObserveCheckpoint func(CheckpointResult, error)
 }
 
 func (c Config) withDefaults() Config {
 	if c.EpochMaxDelta <= 0 {
 		c.EpochMaxDelta = 50000
+	}
+	if c.DiskFullTrips <= 0 {
+		c.DiskFullTrips = 3
 	}
 	return c
 }
@@ -106,10 +133,43 @@ type Live struct {
 	wal   *WAL
 	delta *store.Delta // accumulator; guarded by mu
 
-	cur atomic.Pointer[Epoch]
+	retain         map[rdf.Triple]int64 // armed TTLs (expiry unixnano); guarded by mu
+	diskFullStreak int                  // consecutive ErrDiskFull appends; guarded by mu
+
+	cur      atomic.Pointer[Epoch]
+	readOnly atomic.Pointer[readOnlyState] // non-nil = writes latched off
 
 	ingested atomic.Int64 // triples accepted since boot (dedup included)
 	swaps    atomic.Int64
+	expired  atomic.Int64 // triples dropped by retention
+
+	ckptMu   sync.Mutex // serializes checkpoints (never held with mu)
+	ckpt     atomic.Pointer[CheckpointStats]
+	lowWater atomic.Uint64 // highest batch seq covered by the installed checkpoint
+}
+
+// Read-only degradation reasons, doubling as the HTTP error codes the
+// serving layer returns on refused writes.
+const (
+	// ReadOnlyFsync: a WAL fsync failed; the log is poisoned until
+	// restart (fsyncgate semantics — see ErrWALPoisoned).
+	ReadOnlyFsync = "read_only_disk"
+	// ReadOnlyDiskFull: DiskFullTrips consecutive appends hit ENOSPC.
+	ReadOnlyDiskFull = "disk_full"
+)
+
+type readOnlyState struct {
+	reason string
+	err    error
+}
+
+// ReadOnlyReason returns the degradation code latched by a disk fault
+// ("" = writable). Reads are always served.
+func (l *Live) ReadOnlyReason() string {
+	if ro := l.readOnly.Load(); ro != nil {
+		return ro.reason
+	}
+	return ""
 }
 
 // NewLive wraps a sealed base engine and an opened WAL. The engine must
@@ -153,10 +213,11 @@ func (l *Live) WAL() *WAL { return l.wal }
 // EpochMaxDelta returns the swap threshold.
 func (l *Live) EpochMaxDelta() int { return l.cfg.EpochMaxDelta }
 
-// SetObservers installs (or replaces) the swap and fsync hooks after
-// construction — the serving layer is built after Boot, so it binds its
-// metrics and cache invalidation here. Serialized against Ingest/Swap.
-func (l *Live) SetObservers(onSwap func(SwapObservation), onFsync func(time.Duration)) {
+// SetObservers installs (or replaces) the swap, fsync, and checkpoint
+// hooks after construction — the serving layer is built after Boot, so
+// it binds its metrics and cache invalidation here. Serialized against
+// Ingest/Swap.
+func (l *Live) SetObservers(onSwap func(SwapObservation), onFsync func(time.Duration), onCheckpoint func(CheckpointResult, error)) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if onSwap != nil {
@@ -164,6 +225,9 @@ func (l *Live) SetObservers(onSwap func(SwapObservation), onFsync func(time.Dura
 	}
 	if onFsync != nil {
 		l.wal.SetObserveFsync(onFsync)
+	}
+	if onCheckpoint != nil {
+		l.cfg.ObserveCheckpoint = onCheckpoint
 	}
 }
 
@@ -173,20 +237,34 @@ func (l *Live) SetObservers(onSwap func(SwapObservation), onFsync func(time.Dura
 // and the WAL sequence the batch was acknowledged under. A swap is
 // triggered synchronously once the delta exceeds EpochMaxDelta.
 func (l *Live) Ingest(ts []rdf.Triple) (added int, seq uint64, err error) {
+	return l.IngestTTL(ts, 0)
+}
+
+// IngestTTL ingests a batch whose triples expire ttl from now (0 =
+// store default; the store default 0 = never). Expiry resolves at major
+// merges — see retention.go.
+func (l *Live) IngestTTL(ts []rdf.Triple, ttl time.Duration) (added int, seq uint64, err error) {
 	if len(ts) == 0 {
 		return 0, 0, nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 
+	if ro := l.readOnly.Load(); ro != nil {
+		return 0, 0, ro.err
+	}
+
 	// Durability first: the batch is acknowledged only after the WAL
 	// accepts it, so replay-on-boot covers everything a client saw
 	// succeed.
-	seq, err = l.wal.Append(ts)
+	expiry := l.expiryFor(ttl)
+	seq, err = l.wal.AppendExpiring(ts, expiry)
 	if err != nil {
+		l.degradeLocked(err)
 		return 0, 0, err
 	}
-	added = l.applyLocked(ts)
+	l.diskFullStreak = 0
+	added = l.applyLocked(ts, expiry)
 
 	if l.delta.Len() >= l.cfg.EpochMaxDelta {
 		if err := l.swapLocked(); err != nil {
@@ -196,15 +274,32 @@ func (l *Live) Ingest(ts []rdf.Triple) (added int, seq uint64, err error) {
 	return added, seq, nil
 }
 
-// applyLocked adds a batch to the delta and publishes a minor epoch.
-// Callers hold mu.
-func (l *Live) applyLocked(ts []rdf.Triple) int {
+// degradeLocked latches the store read-only when a WAL append error
+// warrants it: a poisoned log immediately, a full disk after
+// DiskFullTrips consecutive refusals (backpressure first — transient
+// ENOSPC may clear). Callers hold mu.
+func (l *Live) degradeLocked(err error) {
+	switch {
+	case errors.Is(err, ErrWALPoisoned):
+		l.readOnly.CompareAndSwap(nil, &readOnlyState{reason: ReadOnlyFsync, err: err})
+	case errors.Is(err, ErrDiskFull):
+		l.diskFullStreak++
+		if l.diskFullStreak >= l.cfg.DiskFullTrips {
+			l.readOnly.CompareAndSwap(nil, &readOnlyState{reason: ReadOnlyDiskFull, err: err})
+		}
+	}
+}
+
+// applyLocked adds a batch to the delta, arms its retention, and
+// publishes a minor epoch. Callers hold mu.
+func (l *Live) applyLocked(ts []rdf.Triple, expiry int64) int {
 	added := 0
 	for _, t := range ts {
 		if _, ok := l.delta.Add(t); ok {
 			added++
 		}
 	}
+	l.retainLocked(ts, expiry)
 	l.ingested.Add(int64(len(ts)))
 	old := l.cur.Load()
 	if added == 0 {
@@ -224,42 +319,58 @@ func (l *Live) Swap() error {
 
 // swapLocked merges the delta into a fresh sealed engine and installs
 // it as the next epoch. In-flight queries keep their pinned epochs; the
-// old engine stays valid until its last reader releases it. Callers
-// hold mu.
+// old engine stays valid until its last reader releases it. Triples
+// whose TTL has passed do not survive the merge. Callers hold mu.
 func (l *Live) swapLocked() error {
-	if l.delta.Len() == 0 {
+	due := l.dueLocked(l.now())
+	if l.delta.Len() == 0 && len(due) == 0 {
 		return nil
 	}
 	start := time.Now()
 	old := l.cur.Load()
 	snap := l.delta.Snapshot()
+	obs := SwapObservation{Triples: snap.Len()}
 
 	l.cfg.Crash.Hit(faultinject.CrashSwapBeforeMerge)
-	merged := store.MergeDelta(old.eng.Store(), snap)
-	newG := graph.Build(merged)
-	obs := SwapObservation{Triples: snap.Len()}
-	sum, ok := summary.ApplyDelta(old.eng.Summary(), newG, snap.Triples())
-	if !ok {
-		sum = summary.Build(newG)
-		obs.SummaryRebuilt = true
-	}
-	kwix, ok := keywordindex.ApplyDelta(old.eng.KeywordIndex(), newG, snap.Triples())
-	if !ok {
-		kwix = keywordindex.Build(newG, l.thesaurus())
-		obs.KeywordsRebuilt = true
+	var eng *engine.Engine
+	if len(due) == 0 {
+		// Fast path: the new engine is a superset of the old, so summary
+		// and keyword index can be maintained incrementally.
+		merged := store.MergeDelta(old.eng.Store(), snap)
+		newG := graph.Build(merged)
+		sum, ok := summary.ApplyDelta(old.eng.Summary(), newG, snap.Triples())
+		if !ok {
+			sum = summary.Build(newG)
+			obs.SummaryRebuilt = true
+		}
+		kwix, ok := keywordindex.ApplyDelta(old.eng.KeywordIndex(), newG, snap.Triples())
+		if !ok {
+			kwix = keywordindex.Build(newG, l.thesaurus())
+			obs.KeywordsRebuilt = true
+		}
+		eng = engine.NewFromParts(l.cfg.Engine, merged, newG, sum, kwix, old.eng.BuildDuration()+time.Since(start))
+		obs.ChangedKeywords = changedKeywords(eng.Graph(), snap)
+	} else {
+		// Retention slow path: rows are being dropped, which the
+		// incremental index maintenance cannot express — rebuild.
+		eng = l.rebuildWithoutLocked(snap, due)
+		obs.SummaryRebuilt, obs.KeywordsRebuilt = true, true
+		obs.Expired, obs.RetentionMerge = len(due), true
+		for t := range due {
+			delete(l.retain, t)
+		}
+		l.expired.Add(int64(len(due)))
 	}
 	l.cfg.Crash.Hit(faultinject.CrashSwapAfterMerge)
 
-	eng := engine.NewFromParts(l.cfg.Engine, merged, newG, sum, kwix, old.eng.BuildDuration()+time.Since(start))
 	next := &Epoch{eng: eng, num: old.num + 1, major: old.major + 1}
-	l.delta = store.NewDelta(merged)
+	l.delta = store.NewDelta(eng.Store())
 	l.cur.Store(next)
 	l.swaps.Add(1)
 	l.cfg.Crash.Hit(faultinject.CrashSwapAfterInstall)
 
 	obs.Epoch = next.num
 	obs.Duration = time.Since(start)
-	obs.ChangedKeywords = changedKeywords(newG, snap)
 	if l.cfg.ObserveSwap != nil {
 		l.cfg.ObserveSwap(obs)
 	}

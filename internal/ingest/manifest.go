@@ -1,0 +1,224 @@
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/faultinject"
+	"repro/internal/rdf"
+)
+
+// The MANIFEST is the commit point of a checkpoint. It lives in the WAL
+// directory and records which snapshot file holds every batch up to the
+// low-water sequence, so boot loads that snapshot and replays only the
+// records above the mark. It is installed by write-temp + rename + dir
+// fsync: a crash anywhere in a checkpoint leaves either the old or the
+// new manifest fully intact, never a mix.
+//
+// Format: one header line `SWDBMANIFEST1 <crc32c-of-body-hex>` followed
+// by a JSON body. The checksum makes a torn or bit-flipped manifest a
+// named refusal instead of a silently wrong boot.
+const (
+	manifestName  = "MANIFEST"
+	manifestMagic = "SWDBMANIFEST1"
+)
+
+// ManifestError refuses a manifest that cannot be trusted, naming the
+// file and what is wrong with it — in the style of the WAL's
+// CorruptError and the snapshot loader's section errors.
+type ManifestError struct {
+	Path   string
+	Reason string
+}
+
+func (e *ManifestError) Error() string {
+	return fmt.Sprintf("ingest: manifest %s: %s (refusing to start; the checkpoint cannot be trusted, and ignoring it could resurrect compacted writes)", e.Path, e.Reason)
+}
+
+// Manifest records one committed checkpoint.
+type Manifest struct {
+	// Version of the manifest schema.
+	Version int `json:"version"`
+	// Snapshot is the checkpoint snapshot's file name, relative to the
+	// WAL directory (never a path).
+	Snapshot string `json:"snapshot"`
+	// LowWater is the highest batch sequence folded into the snapshot;
+	// boot replays only batches above it.
+	LowWater uint64 `json:"low_water_seq"`
+	// WALBase is the base triple count the *WAL segments* were created
+	// against. It differs from the snapshot's triple count — segment
+	// headers pin the original base forever, while every checkpoint
+	// changes the snapshot.
+	WALBase int64 `json:"wal_base_triples"`
+	// Triples is the snapshot's triple count, cross-checked at boot.
+	Triples int64 `json:"triples"`
+	// CreatedUnix is the checkpoint wall-clock time (seconds).
+	CreatedUnix int64 `json:"created_unix"`
+	// Retain carries the still-armed TTL entries at checkpoint time, so
+	// retention expiry survives a reboot even though the expiring
+	// triples now live in the snapshot rather than the log.
+	Retain []RetainEntry `json:"retain,omitempty"`
+}
+
+// RetainEntry is one triple's pending expiry: the triple as a single
+// N-Triples line plus its absolute unixnano deadline.
+type RetainEntry struct {
+	Triple string `json:"triple"`
+	Expiry int64  `json:"expiry_unixnano"`
+}
+
+// encodeManifest renders the framed on-disk form.
+func encodeManifest(m *Manifest) ([]byte, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return nil, err
+	}
+	head := fmt.Sprintf("%s %08x\n", manifestMagic, crc32.Checksum(body, castagnoli))
+	return append([]byte(head), body...), nil
+}
+
+// parseManifest validates a framed manifest read from path (the name is
+// only used in errors). Every structural defect is a *ManifestError —
+// never a panic, never a silently ignored field.
+func parseManifest(path string, data []byte) (*Manifest, error) {
+	fail := func(reason string) (*Manifest, error) {
+		return nil, &ManifestError{Path: path, Reason: reason}
+	}
+	nl := -1
+	for i, c := range data {
+		if c == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return fail("missing header line")
+	}
+	head := string(data[:nl])
+	body := data[nl+1:]
+	magic, crcHex, ok := strings.Cut(head, " ")
+	if !ok || magic != manifestMagic {
+		return fail(fmt.Sprintf("bad magic %q (want %q)", magic, manifestMagic))
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(crcHex, "%08x", &want); err != nil || len(crcHex) != 8 {
+		return fail(fmt.Sprintf("unparseable checksum %q", crcHex))
+	}
+	if got := crc32.Checksum(body, castagnoli); got != want {
+		return fail(fmt.Sprintf("checksum mismatch: header says %08x, body hashes to %08x (torn or corrupted manifest)", want, got))
+	}
+	var m Manifest
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return fail(fmt.Sprintf("body unparseable: %v", err))
+	}
+	if m.Version != 1 {
+		return fail(fmt.Sprintf("unsupported version %d", m.Version))
+	}
+	if m.Snapshot == "" || m.Snapshot != filepath.Base(m.Snapshot) || m.Snapshot == "." || m.Snapshot == ".." {
+		return fail(fmt.Sprintf("snapshot %q is not a plain file name", m.Snapshot))
+	}
+	if m.LowWater == 0 {
+		return fail("low-water sequence 0 (a checkpoint always covers at least one batch)")
+	}
+	if m.WALBase < 0 || m.Triples < 0 {
+		return fail("negative triple count")
+	}
+	for i, r := range m.Retain {
+		if r.Expiry <= 0 {
+			return fail(fmt.Sprintf("retain[%d] has non-positive expiry %d", i, r.Expiry))
+		}
+		if _, err := parseRetainTriple(r.Triple); err != nil {
+			return fail(fmt.Sprintf("retain[%d] triple unparseable: %v", i, err))
+		}
+	}
+	return &m, nil
+}
+
+// parseRetainTriple decodes the single N-Triples line of a RetainEntry.
+func parseRetainTriple(line string) (rdf.Triple, error) {
+	ts, err := rdf.NewNTriplesReader(strings.NewReader(line)).ReadAll()
+	if err != nil {
+		return rdf.Triple{}, err
+	}
+	if len(ts) != 1 {
+		return rdf.Triple{}, fmt.Errorf("want exactly 1 triple, got %d", len(ts))
+	}
+	return ts[0], nil
+}
+
+// formatRetainTriple renders a triple as the single N-Triples line a
+// RetainEntry stores.
+func formatRetainTriple(t rdf.Triple) (string, error) {
+	var sb strings.Builder
+	if err := rdf.WriteNTriples(&sb, []rdf.Triple{t}); err != nil {
+		return "", err
+	}
+	return strings.TrimRight(sb.String(), "\n"), nil
+}
+
+// ReadManifest loads the WAL directory's manifest. A missing manifest
+// is (nil, nil) — the directory predates checkpointing; a damaged one
+// is a *ManifestError refusal.
+func ReadManifest(dir string) (*Manifest, error) {
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return parseManifest(path, data)
+}
+
+// writeManifest atomically installs m as dir's manifest: temp file,
+// fsync, rename over the old manifest, dir fsync. The rename is the
+// checkpoint's commit point. Crash and disk-fault hooks fire at the
+// same stations the checkpointer documents.
+func writeManifest(dir string, m *Manifest, crash *faultinject.CrashSet, disk *faultinject.DiskSet) error {
+	data, err := encodeManifest(m)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, manifestName)
+	tmp := path + ".tmp"
+	if err := disk.Check(faultinject.DiskCkptWrite); err != nil {
+		return fmt.Errorf("ingest: manifest write: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	if err := fsyncFile(tmp, disk); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	crash.Hit(faultinject.CrashCkptManifestTmp)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// fsyncFile opens and fsyncs an already-written file, consulting the
+// checkpoint disk-fault injector.
+func fsyncFile(path string, disk *faultinject.DiskSet) error {
+	if err := disk.Check(faultinject.DiskCkptSync); err != nil {
+		return fmt.Errorf("ingest: fsync %s: %w", filepath.Base(path), err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

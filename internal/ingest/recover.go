@@ -3,6 +3,8 @@ package ingest
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/engine"
@@ -20,21 +22,54 @@ const (
 	// BootWALOnly: no snapshot — the base is the empty engine and the
 	// WAL (fresh or replayed) holds the entire dataset.
 	BootWALOnly = "wal-only"
+	// BootCheckpointWAL: a MANIFEST directed boot to a checkpoint
+	// snapshot; only batches above its low-water mark were replayed.
+	BootCheckpointWAL = "checkpoint+wal"
 )
 
-// ReplayProgress is reported while acknowledged batches are re-applied
-// on boot; the serving layer surfaces it on /healthz while the process
-// is not yet servable.
+// Replay phases.
+const (
+	// PhaseScan: segments are being read and checksummed; progress is
+	// byte-based and cumulative across segments.
+	PhaseScan = "scan"
+	// PhaseApply: validated batches are being re-applied to the delta.
+	PhaseApply = "apply"
+)
+
+// ReplayProgress is reported while the log is scanned and acknowledged
+// batches are re-applied on boot; the serving layer surfaces it on
+// /healthz while the process is not yet servable. Within each phase
+// the counters — and Percent — are monotonic: byte offsets accumulate
+// across segment boundaries rather than resetting per file.
 type ReplayProgress struct {
-	BatchesDone  int `json:"batches_done"`
-	BatchesTotal int `json:"batches_total"`
-	TriplesDone  int `json:"triples_done"`
-	TriplesTotal int `json:"triples_total"`
+	Phase        string `json:"phase"`
+	BatchesDone  int    `json:"batches_done"`
+	BatchesTotal int    `json:"batches_total"`
+	TriplesDone  int    `json:"triples_done"`
+	TriplesTotal int    `json:"triples_total"`
+	// BytesDone/BytesTotal cover the scan phase: cumulative bytes
+	// validated across all segments, out of the log's total size.
+	BytesDone  int64 `json:"bytes_done"`
+	BytesTotal int64 `json:"bytes_total"`
+}
+
+// Percent maps the progress to [0,100] for the boot gate: byte-based
+// while scanning, triple-based while applying.
+func (p ReplayProgress) Percent() float64 {
+	switch {
+	case p.Phase == PhaseScan && p.BytesTotal > 0:
+		return 100 * float64(p.BytesDone) / float64(p.BytesTotal)
+	case p.TriplesTotal > 0:
+		return 100 * float64(p.TriplesDone) / float64(p.TriplesTotal)
+	}
+	return 0
 }
 
 // BootConfig describes how to bring up a live store.
 type BootConfig struct {
 	// SnapshotPath is the base snapshot ("" = boot from the WAL alone).
+	// A MANIFEST in WALDir supersedes it: checkpoints own the base from
+	// then on.
 	SnapshotPath string
 	// WALDir is the write-ahead log directory (required).
 	WALDir string
@@ -54,13 +89,23 @@ type BootInfo struct {
 	SnapshotInfo    *snapshot.Info // nil without a snapshot
 	ReplayedBatches int
 	ReplayedTriples int // triples re-applied from the log (pre-dedup)
-	RepairedBytes   int64
-	RepairedFile    string
-	BootDuration    time.Duration
+	// SkippedBatches counts log records already covered by the
+	// checkpoint (non-zero only after an interrupted truncation).
+	SkippedBatches int
+	// ExpiredBatches counts replayed batches dropped whole because
+	// their TTL passed before the reboot.
+	ExpiredBatches int
+	// LowWater is the checkpoint low-water mark (0 = no checkpoint).
+	LowWater uint64
+	// CheckpointPath is the manifest-named snapshot ("" = none).
+	CheckpointPath string
+	RepairedBytes  int64
+	RepairedFile   string
+	BootDuration   time.Duration
 }
 
-// Boot brings up a live store from any combination of base snapshot and
-// WAL — the three supported paths:
+// Boot brings up a live store from any combination of base snapshot,
+// checkpoint, and WAL — the supported paths:
 //
 //   - snapshot only: load the snapshot, create an empty WAL.
 //   - snapshot + WAL: load the snapshot, verify the log belongs to it
@@ -68,35 +113,82 @@ type BootInfo struct {
 //     tail, replay every acknowledged batch.
 //   - WAL only: start from the empty engine and replay (or create) the
 //     log; the WAL is the entire dataset.
+//   - checkpoint + WAL: a MANIFEST names the authoritative snapshot
+//     and its low-water sequence; boot loads that snapshot (the
+//     original -snapshot flag is ignored) and replays only batches
+//     above the mark, so recovery cost is bounded by checkpoint
+//     cadence instead of lifetime ingest volume.
 //
 // Replay reuses the exact ingest code path (delta interning in batch
 // order), so the recovered state answers queries bit-identically to a
 // from-scratch build over base ∪ batches — the property the kill-point
-// matrix in crash_test.go pins down.
+// matrix in crash_test.go pins down. Batches whose TTL expired during
+// the downtime are not resurrected.
 func Boot(cfg BootConfig) (*Live, *BootInfo, error) {
 	start := time.Now()
 	if cfg.WALDir == "" {
 		return nil, nil, fmt.Errorf("ingest: boot requires a wal directory")
 	}
 	cfg.WAL.Crash = cfg.Live.Crash
+	if cfg.WAL.Disk == nil {
+		cfg.WAL.Disk = cfg.Live.Disk
+	}
 	if cfg.WAL.ObserveFsync == nil {
 		cfg.WAL.ObserveFsync = cfg.Live.ObserveFsync
 	}
+	if cfg.Progress != nil && cfg.WAL.ScanProgress == nil {
+		progress := cfg.Progress
+		cfg.WAL.ScanProgress = func(done, total int64) {
+			progress(ReplayProgress{Phase: PhaseScan, BytesDone: done, BytesTotal: total})
+		}
+	}
 
 	info := &BootInfo{}
+
+	// The manifest, when present and intact, owns the base: it names the
+	// checkpoint snapshot every truncated-away batch was folded into.
+	// A corrupt manifest refuses boot rather than silently replaying a
+	// log whose prefix may already be deleted.
+	man, err := ReadManifest(cfg.WALDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	snapPath := cfg.SnapshotPath
+	var lowWater uint64
+	walBase := int64(-1)
+	if man != nil {
+		snapPath = filepath.Join(cfg.WALDir, man.Snapshot)
+		lowWater = man.LowWater
+		walBase = man.WALBase
+		info.LowWater = lowWater
+		info.CheckpointPath = snapPath
+	}
+
 	var base *engine.Engine
-	if cfg.SnapshotPath != "" {
-		eng, snapInfo, err := snapshot.LoadEngine(cfg.SnapshotPath, cfg.Live.Engine, cfg.Snapshot)
+	if snapPath != "" {
+		eng, snapInfo, err := snapshot.LoadEngine(snapPath, cfg.Live.Engine, cfg.Snapshot)
 		if err != nil {
+			if man != nil {
+				return nil, nil, fmt.Errorf("ingest: manifest %s names snapshot %s, which cannot be loaded: %w", filepath.Join(cfg.WALDir, manifestName), man.Snapshot, err)
+			}
 			return nil, nil, err
 		}
 		base = eng
 		info.SnapshotInfo = snapInfo
+		if man != nil && int64(base.NumTriples()) != man.Triples {
+			return nil, nil, &ManifestError{
+				Path:   filepath.Join(cfg.WALDir, manifestName),
+				Reason: fmt.Sprintf("snapshot %s holds %d triples but the manifest recorded %d", man.Snapshot, base.NumTriples(), man.Triples),
+			}
+		}
 	} else {
 		base = engine.New(cfg.Live.Engine)
 		base.Build()
 	}
 	base.Seal()
+	if walBase < 0 {
+		walBase = int64(base.NumTriples())
+	}
 
 	names, err := segmentFiles(cfg.WALDir)
 	if err != nil && !os.IsNotExist(err) {
@@ -107,22 +199,31 @@ func Boot(cfg BootConfig) (*Live, *BootInfo, error) {
 		batches []Batch
 	)
 	if len(names) == 0 {
-		wal, err = Create(cfg.WALDir, int64(base.NumTriples()), cfg.WAL)
+		if man != nil {
+			return nil, nil, &ManifestError{
+				Path:   filepath.Join(cfg.WALDir, manifestName),
+				Reason: fmt.Sprintf("checkpoint at seq %d is committed but no wal segments exist; the post-checkpoint log is missing", man.LowWater),
+			}
+		}
+		wal, err = Create(cfg.WALDir, walBase, cfg.WAL)
 		if err != nil {
 			return nil, nil, err
 		}
 	} else {
 		var openInfo *OpenInfo
-		wal, openInfo, err = Open(cfg.WALDir, int64(base.NumTriples()), cfg.WAL)
+		wal, openInfo, err = Open(cfg.WALDir, walBase, lowWater, cfg.WAL)
 		if err != nil {
 			return nil, nil, err
 		}
 		batches = openInfo.Batches
+		info.SkippedBatches = openInfo.SkippedBatches
 		info.RepairedBytes = openInfo.RepairedBytes
 		info.RepairedFile = openInfo.RepairedFile
 	}
 
 	switch {
+	case man != nil:
+		info.Source = BootCheckpointWAL
 	case cfg.SnapshotPath == "":
 		info.Source = BootWALOnly
 	case len(batches) > 0:
@@ -131,40 +232,84 @@ func Boot(cfg BootConfig) (*Live, *BootInfo, error) {
 		info.Source = BootSnapshotOnly
 	}
 
+	// Stale temp files (a checkpoint died mid-write) and superseded
+	// checkpoint snapshots are garbage, never authority: sweep them.
+	sweepStaleBootFiles(cfg.WALDir, man)
+
 	l := NewLive(base, wal, cfg.Live)
+	l.lowWater.Store(lowWater)
+	if man != nil {
+		if err := l.restoreRetain(man.Retain); err != nil {
+			return nil, nil, err
+		}
+	}
 	info.ReplayedBatches = len(batches)
-	info.ReplayedTriples = l.replay(batches, cfg.Progress)
+	info.ReplayedTriples, info.ExpiredBatches = l.replay(batches, cfg.Progress)
 	info.BootDuration = time.Since(start)
 	return l, info, nil
 }
 
+// sweepStaleBootFiles removes *.tmp leftovers and checkpoint snapshots
+// the manifest does not reference. Failures are ignored — stale files
+// cost disk, not correctness.
+func sweepStaleBootFiles(dir string, man *Manifest) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if man != nil && name == man.Snapshot {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") ||
+			(strings.HasPrefix(name, checkpointPrefix) && strings.HasSuffix(name, ".swdb")) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
 // replay re-applies acknowledged batches in order, publishing one epoch
 // at the end (and swapping if the recovered delta already exceeds the
-// threshold). Returns the total replayed triple count.
-func (l *Live) replay(batches []Batch, progress func(ReplayProgress)) int {
+// threshold). Batches whose expiry passed during the downtime are
+// dropped whole — replaying them would resurrect data a merge already
+// owed us to forget. Returns the replayed triple count and the count
+// of expired batches.
+func (l *Live) replay(batches []Batch, progress func(ReplayProgress)) (replayed, expiredBatches int) {
 	if len(batches) == 0 {
-		return 0
+		return 0, 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	now := l.now().UnixNano()
 	total := 0
 	for _, b := range batches {
 		total += len(b.Triples)
 	}
 	done := 0
 	for i, b := range batches {
-		for _, t := range b.Triples {
-			l.delta.Add(t)
+		if b.Expiry > 0 && b.Expiry <= now {
+			expiredBatches++
+			l.expired.Add(int64(len(b.Triples)))
+		} else {
+			for _, t := range b.Triples {
+				l.delta.Add(t)
+			}
+			l.retainLocked(b.Triples, b.Expiry)
+			l.ingested.Add(int64(len(b.Triples)))
+			done += len(b.Triples)
 		}
-		done += len(b.Triples)
 		if progress != nil {
 			progress(ReplayProgress{
+				Phase:       PhaseApply,
 				BatchesDone: i + 1, BatchesTotal: len(batches),
 				TriplesDone: done, TriplesTotal: total,
 			})
 		}
 	}
-	l.ingested.Add(int64(done))
 	if l.delta.Len() > 0 {
 		old := l.cur.Load()
 		l.cur.Store(&Epoch{eng: old.eng, delta: l.delta.Snapshot(), num: old.num + 1, major: old.major})
@@ -172,9 +317,9 @@ func (l *Live) replay(batches []Batch, progress func(ReplayProgress)) int {
 			if err := l.swapLocked(); err != nil {
 				// The swap is an in-memory optimization; the replayed
 				// minor epoch already serves every acknowledged triple.
-				return done
+				return done, expiredBatches
 			}
 		}
 	}
-	return done
+	return done, expiredBatches
 }

@@ -1,0 +1,166 @@
+package ingest
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Retention: per-triple TTLs that resolve entirely at epoch-swap
+// boundaries. An ingest batch may carry a TTL (or inherit the store's
+// default); the triple stays fully queryable until a *major* merge runs
+// at or after its absolute expiry, at which point it simply isn't
+// carried into the new sealed engine. The online path never checks a
+// clock — expiry costs nothing until a swap, exactly like the paper's
+// serving model where queries always run against a sealed snapshot.
+//
+// Durability: the expiry rides in the WAL record (recBatchTTL), so a
+// replayed boot re-arms it — and drops triples whose deadline already
+// passed. A checkpoint folds still-armed TTLs into the MANIFEST, since
+// after truncation the log no longer holds their records.
+
+// retainLocked arms (or clears) the expiry of each triple in a batch.
+// Last write wins: re-ingesting a triple without a TTL clears a
+// previously armed one. Callers hold mu.
+func (l *Live) retainLocked(ts []rdf.Triple, expiry int64) {
+	if expiry > 0 {
+		if l.retain == nil {
+			l.retain = make(map[rdf.Triple]int64)
+		}
+		for _, t := range ts {
+			l.retain[t] = expiry
+		}
+		return
+	}
+	if len(l.retain) == 0 {
+		return
+	}
+	for _, t := range ts {
+		delete(l.retain, t)
+	}
+}
+
+// dueLocked collects the retained triples whose expiry is at or before
+// now. Callers hold mu.
+func (l *Live) dueLocked(now time.Time) map[rdf.Triple]bool {
+	if len(l.retain) == 0 {
+		return nil
+	}
+	cut := now.UnixNano()
+	var due map[rdf.Triple]bool
+	for t, exp := range l.retain {
+		if exp <= cut {
+			if due == nil {
+				due = make(map[rdf.Triple]bool)
+			}
+			due[t] = true
+		}
+	}
+	return due
+}
+
+// ExpiredPending counts retained triples whose TTL has already passed
+// but which are still visible — they await the next major merge. The
+// checkpointer forces a merge once this crosses its threshold.
+func (l *Live) ExpiredPending() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.dueLocked(l.now()))
+}
+
+// RetainedTriples counts triples with an armed TTL.
+func (l *Live) RetainedTriples() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.retain)
+}
+
+// ExpiredTotal returns the number of triples dropped by retention since
+// boot.
+func (l *Live) ExpiredTotal() int64 { return l.expired.Load() }
+
+// now returns the store's clock (injectable for retention tests).
+func (l *Live) now() time.Time {
+	if l.cfg.Now != nil {
+		return l.cfg.Now()
+	}
+	return time.Now()
+}
+
+// expiryFor converts a per-batch TTL (0 = use the store default) into
+// an absolute unixnano deadline (0 = never).
+func (l *Live) expiryFor(ttl time.Duration) int64 {
+	if ttl <= 0 {
+		ttl = l.cfg.Retention
+	}
+	if ttl <= 0 {
+		return 0
+	}
+	return l.now().Add(ttl).UnixNano()
+}
+
+// rebuildWithoutLocked builds a fresh engine from the current epoch's
+// base plus the delta snapshot, leaving out the due triples. This is
+// the retention slow path: dropping rows invalidates the incremental
+// summary/keyword-index delta maintenance, so the merge pays a full
+// rebuild. Callers hold mu.
+func (l *Live) rebuildWithoutLocked(snap *store.DeltaSnap, due map[rdf.Triple]bool) *engine.Engine {
+	old := l.cur.Load()
+	eng := engine.New(l.cfg.Engine)
+	st := old.eng.Store()
+	st.ForEach(func(it store.IDTriple) {
+		if t := st.Decode(it); !due[t] {
+			eng.AddTriple(t)
+		}
+	})
+	for _, it := range snap.Triples() {
+		t := rdf.Triple{S: snap.Term(it.S), P: snap.Term(it.P), O: snap.Term(it.O)}
+		if !due[t] {
+			eng.AddTriple(t)
+		}
+	}
+	eng.Build()
+	eng.Seal()
+	return eng
+}
+
+// snapshotRetainLocked copies the live TTL table into manifest entries.
+// Callers hold mu.
+func (l *Live) snapshotRetainLocked() ([]RetainEntry, error) {
+	if len(l.retain) == 0 {
+		return nil, nil
+	}
+	out := make([]RetainEntry, 0, len(l.retain))
+	for t, exp := range l.retain {
+		line, err := formatRetainTriple(t)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RetainEntry{Triple: line, Expiry: exp})
+	}
+	return out, nil
+}
+
+// restoreRetain re-arms TTLs from a manifest. Entries already past
+// their deadline stay armed: their triples live in the checkpoint
+// snapshot, and the next major merge is what drops them.
+func (l *Live) restoreRetain(entries []RetainEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.retain == nil {
+		l.retain = make(map[rdf.Triple]int64, len(entries))
+	}
+	for _, e := range entries {
+		t, err := parseRetainTriple(e.Triple)
+		if err != nil {
+			return err
+		}
+		l.retain[t] = e.Expiry
+	}
+	return nil
+}

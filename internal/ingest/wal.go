@@ -15,6 +15,7 @@ package ingest
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -22,7 +23,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/faultinject"
 	"repro/internal/rdf"
@@ -39,11 +43,27 @@ const (
 	recHeaderSize = 8         // length + CRC
 
 	recBatch byte = 1
+	// recBatchTTL is a batch carrying an absolute expiry: [type][u64
+	// seq][i64 expiry unixnano][N-Triples]. Replay drops the triples if
+	// the expiry has already passed — retention survives restarts.
+	recBatchTTL byte = 2
 
 	// maxRecordBytes bounds a single record; a length field beyond it
 	// is corruption, not a huge batch.
 	maxRecordBytes = 256 << 20
 )
+
+// ErrWALPoisoned marks a log whose fsync failed. Once an fsync fails
+// the kernel may have dropped dirty pages without telling us which, so
+// no later sync can prove anything about earlier records: the log
+// refuses every further append until the process restarts and replays
+// what disk actually holds (fsyncgate semantics). Reads are unaffected.
+var ErrWALPoisoned = errors.New("wal poisoned by failed fsync")
+
+// ErrDiskFull marks an append refused by a full disk. The partial
+// record is rolled back so the log stays structurally clean; the write
+// itself is retryable once space frees up.
+var ErrDiskFull = errors.New("disk full")
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
@@ -99,8 +119,15 @@ type WALOptions struct {
 	// Crash, when non-nil, fires the wal.* crash points — the
 	// deterministic kill-point harness of the recovery tests.
 	Crash *faultinject.CrashSet
+	// Disk, when non-nil, injects filesystem errors (ENOSPC, EIO) into
+	// writes and fsyncs — the deterministic disk-fault harness.
+	Disk *faultinject.DiskSet
 	// ObserveFsync, when non-nil, receives the duration of every fsync.
 	ObserveFsync func(time.Duration)
+	// ScanProgress, when non-nil, receives cumulative (bytesScanned,
+	// bytesTotal) across all segments while Open validates the log, so
+	// a boot gate can report a monotonic percentage.
+	ScanProgress func(done, total int64)
 }
 
 func (o WALOptions) withDefaults() WALOptions {
@@ -132,6 +159,9 @@ func (e *CorruptError) Error() string {
 type Batch struct {
 	Seq     uint64
 	Triples []rdf.Triple
+	// Expiry is the absolute unixnano expiry of the batch's triples
+	// (0 = no TTL).
+	Expiry int64
 }
 
 // OpenInfo describes what Open found.
@@ -139,10 +169,18 @@ type OpenInfo struct {
 	// BaseTriples is the base-snapshot triple count the log was created
 	// against (every batch replays on top of exactly that base).
 	BaseTriples int64
-	// Batches are the acknowledged batches in append order.
+	// Batches are the acknowledged batches in append order, excluding
+	// those at or below the checkpoint low-water mark.
 	Batches []Batch
 	// Segments is the number of segment files.
 	Segments int
+	// SkippedBatches counts checksummed-valid batches at or below the
+	// low-water mark: already folded into the checkpoint snapshot, so
+	// not replayed. Non-zero only when a checkpoint's truncation was
+	// interrupted.
+	SkippedBatches int
+	// TotalBytes is the on-disk size of all segments scanned.
+	TotalBytes int64
 	// RepairedBytes counts bytes truncated from a torn tail (0 = clean).
 	RepairedBytes int64
 	// RepairedFile names the repaired segment ("" = clean).
@@ -151,20 +189,63 @@ type OpenInfo struct {
 
 // WAL is an append-only, checksummed, segmented write-ahead log of
 // ingest batches. One writer; Append is not safe for concurrent use
-// (the live store serializes writers).
+// (the live store serializes writers). The stat* mirrors are atomic so
+// stats endpoints can read sizes without taking the ingest lock.
 type WAL struct {
 	dir      string
 	opt      WALOptions
 	base     int64
 	f        *os.File
 	segSeq   int // current segment number
+	segFirst int // lowest live segment number (advanced by truncation)
 	size     int64
 	nextSeq  uint64 // next batch seq
+	lowWater uint64 // batches <= lowWater are covered by a checkpoint
 	lastSync time.Time
 	dirty    bool
+
+	poison       atomic.Pointer[walPoison]
+	statSegments atomic.Int64
+	statBytes    atomic.Int64 // on-disk bytes across all live segments
+	statNextSeq  atomic.Uint64
+}
+
+type walPoison struct{ err error }
+
+// classifyWriteErr folds an OS write error into the log's error
+// taxonomy: ENOSPC (directly or wrapped) becomes ErrDiskFull so callers
+// can apply backpressure; anything else passes through as a transient
+// write failure.
+func classifyWriteErr(err error) error {
+	if errors.Is(err, syscall.ENOSPC) {
+		return fmt.Errorf("ingest: wal append: %v: %w", err, ErrDiskFull)
+	}
+	return fmt.Errorf("ingest: wal append: %w", err)
+}
+
+// syncDir fsyncs a directory so a just-created, -renamed, or -removed
+// entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func segName(n int) string { return fmt.Sprintf("wal-%08d.seg", n) }
+
+// segNum parses the segment number out of a segment file name; the
+// zero-padded spelling makes lexical and numeric order agree.
+func segNum(name string) int {
+	var n int
+	fmt.Sscanf(name, "wal-%08d.seg", &n)
+	return n
+}
 
 // segmentFiles lists the segment files of dir in segment order.
 func segmentFiles(dir string) ([]string, error) {
@@ -195,16 +276,22 @@ func Create(dir string, baseTriples int64, opt WALOptions) (*WAL, error) {
 		return nil, fmt.Errorf("ingest: wal directory %s already holds %d segment(s); open it for recovery instead of creating over it", dir, len(names))
 	}
 	w := &WAL{dir: dir, opt: opt.withDefaults(), base: baseTriples, nextSeq: 1, lastSync: time.Now()}
+	w.segFirst = 1
 	if err := w.newSegment(1); err != nil {
 		return nil, err
 	}
+	w.statNextSeq.Store(w.nextSeq)
 	return w, nil
 }
 
 // Open scans every segment of an existing WAL, verifies it against the
 // base triple count, repairs a torn tail, and returns the log
 // positioned for appending plus the acknowledged batches for replay.
-func Open(dir string, baseTriples int64, opt WALOptions) (*WAL, *OpenInfo, error) {
+// lowWater is the checkpoint low-water mark (0 = no checkpoint): the
+// first surviving segment may start anywhere at or below lowWater+1,
+// and batches at or below the mark are checksum-verified but skipped —
+// they already live in the checkpoint snapshot.
+func Open(dir string, baseTriples int64, lowWater uint64, opt WALOptions) (*WAL, *OpenInfo, error) {
 	names, err := segmentFiles(dir)
 	if err != nil {
 		return nil, nil, err
@@ -213,10 +300,18 @@ func Open(dir string, baseTriples int64, opt WALOptions) (*WAL, *OpenInfo, error
 		return nil, nil, fmt.Errorf("ingest: wal directory %s holds no segments", dir)
 	}
 	info := &OpenInfo{Segments: len(names)}
-	w := &WAL{dir: dir, opt: opt.withDefaults(), base: baseTriples, nextSeq: 1}
+	for _, name := range names {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		info.TotalBytes += st.Size()
+	}
+	w := &WAL{dir: dir, opt: opt.withDefaults(), base: baseTriples, lowWater: lowWater}
+	var scanned int64
 	for i, name := range names {
-		last := i == len(names)-1
-		if err := w.scanSegment(name, last, info); err != nil {
+		first, last := i == 0, i == len(names)-1
+		if err := w.scanSegment(name, first, last, info, &scanned); err != nil {
 			return nil, nil, err
 		}
 	}
@@ -234,28 +329,59 @@ func Open(dir string, baseTriples int64, opt WALOptions) (*WAL, *OpenInfo, error
 	}
 	w.f = f
 	w.size = st.Size()
-	w.segSeq = len(names)
+	w.segSeq = segNum(lastName)
+	w.segFirst = segNum(names[0])
 	w.lastSync = time.Now()
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
 		f.Close()
 		return nil, nil, err
 	}
+	w.statSegments.Store(int64(len(names)))
+	w.statNextSeq.Store(w.nextSeq)
+	w.restatBytes(names)
 	return w, info, nil
+}
+
+// restatBytes recomputes the on-disk size mirror from the live segment
+// files (sizes may differ from the scan totals after tail repair).
+func (w *WAL) restatBytes(names []string) {
+	var total int64
+	for _, name := range names {
+		if st, err := os.Stat(filepath.Join(w.dir, name)); err == nil {
+			total += st.Size()
+		}
+	}
+	w.statBytes.Store(total)
 }
 
 // scanSegment validates one segment, appending its batches to info.
 // For the last segment a torn tail is truncated; any other damage is a
-// CorruptError.
-func (w *WAL) scanSegment(name string, last bool, info *OpenInfo) error {
+// CorruptError. scanned accumulates bytes across segments for the
+// monotonic ScanProgress callback.
+func (w *WAL) scanSegment(name string, first, last bool, info *OpenInfo, scanned *int64) error {
 	path := filepath.Join(w.dir, name)
+	segBase := *scanned
+	progress := func(off int64) {
+		if w.opt.ScanProgress != nil {
+			w.opt.ScanProgress(segBase+off, info.TotalBytes)
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	*scanned = segBase + int64(len(data))
+	defer progress(int64(len(data)))
 	if len(data) < walHeaderSize {
 		if last {
 			// A crash during segment creation can leave a short header;
 			// nothing after it can be acknowledged, so rewrite it whole.
+			if first {
+				// The torn segment is all that survives (a fresh log, or a
+				// checkpoint truncated everything before it): the next
+				// batch is the first one past the checkpoint.
+				w.nextSeq = w.lowWater + 1
+			}
 			return w.rewriteHeader(path, info, int64(len(data)))
 		}
 		return &CorruptError{File: name, Offset: 0, Reason: "segment shorter than its header"}
@@ -268,7 +394,15 @@ func (w *WAL) scanSegment(name string, last bool, info *OpenInfo) error {
 		return fmt.Errorf("ingest: wal segment %s was written against a base snapshot of %d triples, but the loaded snapshot has %d; the log and snapshot do not belong together", name, base, w.base)
 	}
 	firstSeq := binary.LittleEndian.Uint64(data[16:24])
-	if firstSeq != w.nextSeq {
+	if first {
+		// Truncation may have removed any prefix of the log; the oldest
+		// surviving segment just has to connect to (or predate) the
+		// checkpoint.
+		if firstSeq > w.lowWater+1 {
+			return &CorruptError{File: name, Offset: 16, Reason: fmt.Sprintf("segment starts at batch %d but the checkpoint covers only through %d (missing segments)", firstSeq, w.lowWater)}
+		}
+		w.nextSeq = firstSeq
+	} else if firstSeq != w.nextSeq {
 		return &CorruptError{File: name, Offset: 16, Reason: fmt.Sprintf("segment starts at batch %d, expected %d (missing or reordered segment)", firstSeq, w.nextSeq)}
 	}
 
@@ -318,9 +452,19 @@ func (w *WAL) scanSegment(name string, last bool, info *OpenInfo) error {
 		if batch.Seq != w.nextSeq {
 			return &CorruptError{File: name, Offset: off, Reason: fmt.Sprintf("batch seq %d, expected %d", batch.Seq, w.nextSeq)}
 		}
-		info.Batches = append(info.Batches, batch)
+		if batch.Seq <= w.lowWater {
+			// Valid but already folded into the checkpoint snapshot:
+			// replaying it would resurrect compacted (possibly since-
+			// expired) writes.
+			info.SkippedBatches++
+		} else {
+			info.Batches = append(info.Batches, batch)
+		}
 		w.nextSeq++
 		off += recHeaderSize + plen
+		if len(info.Batches)%64 == 0 {
+			progress(off)
+		}
 	}
 	return nil
 }
@@ -351,41 +495,138 @@ func (w *WAL) header() []byte {
 
 func (w *WAL) newSegment(seq int) error {
 	path := filepath.Join(w.dir, segName(seq))
+	if err := w.opt.Disk.Check(faultinject.DiskWALWrite); err != nil {
+		return classifyWriteErr(err)
+	}
 	f, err := os.Create(path)
 	if err != nil {
-		return err
+		return classifyWriteErr(err)
 	}
 	if _, err := f.Write(w.header()); err != nil {
 		f.Close()
-		return err
+		return classifyWriteErr(err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
 	}
 	if w.f != nil {
-		if err := w.f.Sync(); err != nil { // seal the previous segment
+		if err := w.f.Sync(); err != nil {
+			// The seal sync of the previous segment failed: records that
+			// were acknowledged under a deferred-fsync policy may be gone
+			// from the page cache. Same poison as any failed fsync.
 			f.Close()
-			return err
+			return w.poisonf(err)
 		}
 		w.f.Close()
 	}
 	w.f = f
 	w.segSeq = seq
 	w.size = walHeaderSize
+	w.statSegments.Add(1)
+	w.statBytes.Add(walHeaderSize)
 	w.opt.Crash.Hit(faultinject.CrashWALRotate)
 	return nil
 }
 
-// encodeBatch frames one batch payload: type byte, u64 seq, N-Triples
-// text. N-Triples keeps the log greppable and reuses the existing
-// parser for replay.
-func encodeBatch(seq uint64, ts []rdf.Triple) ([]byte, error) {
+// Rotate seals the active segment and starts a fresh one, so every
+// earlier segment holds only batches at or below NextSeq()-1. The
+// checkpointer rotates before snapshotting: once the snapshot commits,
+// all sealed segments are fully covered and removable. Rotating an
+// empty active segment is a no-op.
+func (w *WAL) Rotate() error {
+	if w.f == nil {
+		return fmt.Errorf("ingest: wal is closed")
+	}
+	if p := w.poison.Load(); p != nil {
+		return fmt.Errorf("ingest: wal rotate refused: %v: %w", p.err, ErrWALPoisoned)
+	}
+	if w.size <= walHeaderSize {
+		return nil
+	}
+	return w.newSegment(w.segSeq + 1)
+}
+
+// TruncateThrough removes sealed segments every batch of which is at or
+// below lowWater — they are fully covered by a committed checkpoint. A
+// segment is removable iff the *following* segment starts at or below
+// lowWater+1 (so nothing after the mark lives in it); the active
+// segment is never removed. Returns the number of segments and bytes
+// removed.
+func (w *WAL) TruncateThrough(lowWater uint64) (removed int, bytes int64, err error) {
+	names, err := segmentFiles(w.dir)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := 0; i < len(names)-1; i++ {
+		next := filepath.Join(w.dir, names[i+1])
+		nextFirst, err := readSegFirstSeq(next)
+		if err != nil {
+			return removed, bytes, err
+		}
+		if nextFirst > lowWater+1 {
+			break
+		}
+		path := filepath.Join(w.dir, names[i])
+		st, serr := os.Stat(path)
+		if err := os.Remove(path); err != nil {
+			return removed, bytes, err
+		}
+		removed++
+		if serr == nil {
+			bytes += st.Size()
+			w.statBytes.Add(-st.Size())
+		}
+		w.statSegments.Add(-1)
+		w.segFirst = segNum(names[i+1])
+		w.opt.Crash.Hit(faultinject.CrashCkptTruncatePart)
+	}
+	if removed > 0 {
+		if err := syncDir(w.dir); err != nil {
+			return removed, bytes, err
+		}
+	}
+	if lowWater > w.lowWater {
+		w.lowWater = lowWater
+	}
+	return removed, bytes, nil
+}
+
+// readSegFirstSeq reads the first-batch sequence out of a segment
+// header without scanning the records.
+func readSegFirstSeq(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var h [walHeaderSize]byte
+	if _, err := io.ReadFull(f, h[:]); err != nil {
+		return 0, fmt.Errorf("ingest: wal segment %s: short header: %v", filepath.Base(path), err)
+	}
+	if string(h[:8]) != walMagic {
+		return 0, fmt.Errorf("ingest: wal segment %s: bad magic", filepath.Base(path))
+	}
+	return binary.LittleEndian.Uint64(h[16:24]), nil
+}
+
+// encodeBatch frames one batch payload: type byte, u64 seq, optional
+// i64 expiry (recBatchTTL only), N-Triples text. N-Triples keeps the
+// log greppable and reuses the existing parser for replay.
+func encodeBatch(seq uint64, expiry int64, ts []rdf.Triple) ([]byte, error) {
 	var sb strings.Builder
-	sb.WriteByte(recBatch)
-	var seqb [8]byte
-	binary.LittleEndian.PutUint64(seqb[:], seq)
-	sb.Write(seqb[:])
+	if expiry != 0 {
+		sb.WriteByte(recBatchTTL)
+	} else {
+		sb.WriteByte(recBatch)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], seq)
+	sb.Write(b[:])
+	if expiry != 0 {
+		binary.LittleEndian.PutUint64(b[:], uint64(expiry))
+		sb.Write(b[:])
+	}
 	if err := rdf.WriteNTriples(&sb, ts); err != nil {
 		return nil, err
 	}
@@ -393,26 +634,63 @@ func encodeBatch(seq uint64, ts []rdf.Triple) ([]byte, error) {
 }
 
 func decodeBatch(payload []byte) (Batch, error) {
-	if len(payload) < 9 || payload[0] != recBatch {
+	if len(payload) == 0 {
+		return Batch{}, fmt.Errorf("empty record payload")
+	}
+	body := 1 + 8 // type + seq
+	if payload[0] == recBatchTTL {
+		body += 8 // + expiry
+	} else if payload[0] != recBatch {
 		return Batch{}, fmt.Errorf("unknown record type %d", payload[0])
 	}
+	if len(payload) < body {
+		return Batch{}, fmt.Errorf("record type %d truncated at %d bytes", payload[0], len(payload))
+	}
 	seq := binary.LittleEndian.Uint64(payload[1:9])
-	ts, err := rdf.NewNTriplesReader(strings.NewReader(string(payload[9:]))).ReadAll()
+	var expiry int64
+	if payload[0] == recBatchTTL {
+		expiry = int64(binary.LittleEndian.Uint64(payload[9:17]))
+		if expiry <= 0 {
+			return Batch{}, fmt.Errorf("batch %d carries non-positive expiry %d", seq, expiry)
+		}
+	}
+	// encodeBatch only ever writes valid UTF-8 (the N-Triples writer
+	// sanitizes), so an invalid byte here is corruption the checksum
+	// missed — reject it rather than let the parser's lenient handling
+	// resurrect a triple we never wrote.
+	if !utf8.Valid(payload[body:]) {
+		return Batch{}, fmt.Errorf("batch %d body is not valid UTF-8", seq)
+	}
+	ts, err := rdf.NewNTriplesReader(strings.NewReader(string(payload[body:]))).ReadAll()
 	if err != nil {
 		return Batch{}, fmt.Errorf("batch %d body unparseable: %v", seq, err)
 	}
-	return Batch{Seq: seq, Triples: ts}, nil
+	return Batch{Seq: seq, Triples: ts, Expiry: expiry}, nil
 }
 
 // Append durably logs one batch and returns its sequence number. The
 // batch is acknowledged — and must be replayed after any crash — once
 // Append returns under FsyncAlways; weaker policies trade the tail.
 func (w *WAL) Append(ts []rdf.Triple) (uint64, error) {
+	return w.AppendExpiring(ts, 0)
+}
+
+// AppendExpiring logs one batch whose triples expire at the absolute
+// unixnano time expiry (0 = never). Error contract: an ErrDiskFull
+// return means the partial record was rolled back and the log is still
+// appendable once space frees; an ErrWALPoisoned return (from a failed
+// fsync, or a rollback that itself failed) means the log accepts no
+// further appends until restart. Either way the batch is NOT
+// acknowledged.
+func (w *WAL) AppendExpiring(ts []rdf.Triple, expiry int64) (uint64, error) {
 	if w.f == nil {
 		return 0, fmt.Errorf("ingest: wal is closed")
 	}
+	if p := w.poison.Load(); p != nil {
+		return 0, fmt.Errorf("ingest: wal append refused: %v: %w", p.err, ErrWALPoisoned)
+	}
 	seq := w.nextSeq
-	payload, err := encodeBatch(seq, ts)
+	payload, err := encodeBatch(seq, expiry, ts)
 	if err != nil {
 		return 0, err
 	}
@@ -425,20 +703,24 @@ func (w *WAL) Append(ts []rdf.Triple) (uint64, error) {
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
 	copy(rec[recHeaderSize:], payload)
+	startOff := w.size
 
 	w.opt.Crash.Hit(faultinject.CrashWALBeforeWrite)
 	// The record is written in two halves with a crash point between
 	// them, so the kill-point matrix can prove a torn record is repaired
-	// by truncation on the next boot.
+	// by truncation on the next boot. A *failed* (rather than killed)
+	// write must not leave that torn record buried mid-log: roll the
+	// file back to the record start before surfacing the error.
 	half := len(rec) / 2
-	if _, err := w.f.Write(rec[:half]); err != nil {
-		return 0, err
+	if err := w.writeChunk(rec[:half]); err != nil {
+		return 0, w.rollback(startOff, err)
 	}
 	w.opt.Crash.Hit(faultinject.CrashWALPartialWrite)
-	if _, err := w.f.Write(rec[half:]); err != nil {
-		return 0, err
+	if err := w.writeChunk(rec[half:]); err != nil {
+		return 0, w.rollback(startOff, err)
 	}
 	w.size += int64(len(rec))
+	w.statBytes.Add(int64(len(rec)))
 	w.dirty = true
 	w.opt.Crash.Hit(faultinject.CrashWALAfterWrite)
 
@@ -456,13 +738,46 @@ func (w *WAL) Append(ts []rdf.Triple) (uint64, error) {
 	}
 	w.opt.Crash.Hit(faultinject.CrashWALAfterSync)
 	w.nextSeq = seq + 1
+	w.statNextSeq.Store(w.nextSeq)
 	return seq, nil
+}
+
+// writeChunk writes one piece of a record, consulting the disk-fault
+// injector first.
+func (w *WAL) writeChunk(p []byte) error {
+	if err := w.opt.Disk.Check(faultinject.DiskWALWrite); err != nil {
+		return err
+	}
+	_, err := w.f.Write(p)
+	return err
+}
+
+// rollback truncates a partially-written record so the log stays
+// structurally clean after a failed write. If even the truncate fails
+// the tail can no longer be trusted and the log is poisoned.
+func (w *WAL) rollback(off int64, cause error) error {
+	if terr := w.f.Truncate(off); terr != nil {
+		return w.poisonf(fmt.Errorf("write failed (%v) and rollback failed (%v)", cause, terr))
+	}
+	if _, serr := w.f.Seek(off, io.SeekStart); serr != nil {
+		return w.poisonf(fmt.Errorf("write failed (%v) and post-rollback seek failed (%v)", cause, serr))
+	}
+	return classifyWriteErr(cause)
+}
+
+// poisonf latches the log read-only and returns the poisoned error.
+func (w *WAL) poisonf(cause error) error {
+	w.poison.CompareAndSwap(nil, &walPoison{err: cause})
+	return fmt.Errorf("ingest: %v: %w", cause, ErrWALPoisoned)
 }
 
 func (w *WAL) sync() error {
 	start := time.Now()
+	if err := w.opt.Disk.Check(faultinject.DiskWALSync); err != nil {
+		return w.poisonf(fmt.Errorf("wal fsync failed: %v", err))
+	}
 	if err := w.f.Sync(); err != nil {
-		return err
+		return w.poisonf(fmt.Errorf("wal fsync failed: %v", err))
 	}
 	w.dirty = false
 	w.lastSync = time.Now()
@@ -477,14 +792,37 @@ func (w *WAL) Sync() error {
 	if w.f == nil || !w.dirty {
 		return nil
 	}
+	if p := w.poison.Load(); p != nil {
+		return fmt.Errorf("ingest: wal sync refused: %v: %w", p.err, ErrWALPoisoned)
+	}
 	return w.sync()
 }
 
-// NextSeq returns the sequence number the next Append will use.
-func (w *WAL) NextSeq() uint64 { return w.nextSeq }
+// NextSeq returns the sequence number the next Append will use. Safe
+// for concurrent use by stats readers.
+func (w *WAL) NextSeq() uint64 { return w.statNextSeq.Load() }
 
-// Segments returns the current segment count.
-func (w *WAL) Segments() int { return w.segSeq }
+// Segments returns the current live segment count. Safe for concurrent
+// use by stats readers.
+func (w *WAL) Segments() int { return int(w.statSegments.Load()) }
+
+// SizeBytes returns the on-disk size of all live segments. Safe for
+// concurrent use by stats readers.
+func (w *WAL) SizeBytes() int64 { return w.statBytes.Load() }
+
+// Base returns the base-snapshot triple count the log was created
+// against (pinned into every segment header, so it outlives later
+// checkpoints).
+func (w *WAL) Base() int64 { return w.base }
+
+// Poisoned returns the fsync failure that latched the log read-only,
+// or nil. Safe for concurrent use.
+func (w *WAL) Poisoned() error {
+	if p := w.poison.Load(); p != nil {
+		return p.err
+	}
+	return nil
+}
 
 // Dir returns the log directory.
 func (w *WAL) Dir() string { return w.dir }
@@ -497,12 +835,16 @@ func (w *WAL) Fsync() FsyncPolicy { return w.opt.Fsync }
 // Boot, when the serving layer binds its metrics.
 func (w *WAL) SetObserveFsync(fn func(time.Duration)) { w.opt.ObserveFsync = fn }
 
-// Close syncs and closes the log.
+// Close syncs and closes the log. A poisoned log is closed without a
+// final sync — it could not prove anything anyway.
 func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
 	}
-	err := w.Sync()
+	var err error
+	if w.poison.Load() == nil {
+		err = w.Sync()
+	}
 	if cerr := w.f.Close(); err == nil {
 		err = cerr
 	}

@@ -50,7 +50,7 @@ func TestWALRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w2, info, err := Open(dir, 42, WALOptions{})
+	w2, info, err := Open(dir, 42, 0, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestWALRotation(t *testing.T) {
 	}
 	w.Close()
 
-	_, info, err := Open(dir, 0, WALOptions{})
+	_, info, err := Open(dir, 0, 0, WALOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestWALBaseMismatchRefused(t *testing.T) {
 	w, _ := Create(dir, 100, WALOptions{})
 	w.Append(mkBatch(0, 2))
 	w.Close()
-	_, _, err := Open(dir, 999, WALOptions{})
+	_, _, err := Open(dir, 999, 0, WALOptions{})
 	if err == nil {
 		t.Fatal("base mismatch must refuse")
 	}
@@ -158,7 +158,7 @@ func TestWALTornTailRepaired(t *testing.T) {
 		if err := os.Truncate(seg, cut); err != nil {
 			t.Fatal(err)
 		}
-		w, info, err := Open(dir, 7, WALOptions{})
+		w, info, err := Open(dir, 7, 0, WALOptions{})
 		if err != nil {
 			t.Fatalf("cut at %d: torn tail refused: %v", cut, err)
 		}
@@ -173,7 +173,7 @@ func TestWALTornTailRepaired(t *testing.T) {
 			t.Fatalf("cut at %d: append after repair: %v", cut, err)
 		}
 		w.Close()
-		if _, info2, err := Open(dir, 7, WALOptions{}); err != nil {
+		if _, info2, err := Open(dir, 7, 0, WALOptions{}); err != nil {
 			t.Fatalf("cut at %d: second open: %v", cut, err)
 		} else if len(info2.Batches) != len(want)+1 {
 			t.Fatalf("cut at %d: %d batches after repair+append", cut, len(info2.Batches))
@@ -196,7 +196,7 @@ func TestWALMidFileCorruptionRefused(t *testing.T) {
 	data[walHeaderSize+recHeaderSize+5] ^= 0xFF // inside the first record's payload
 	os.WriteFile(seg, data, 0o644)
 
-	_, _, err := Open(dir, 7, WALOptions{})
+	_, _, err := Open(dir, 7, 0, WALOptions{})
 	var ce *CorruptError
 	if !errors.As(err, &ce) {
 		t.Fatalf("mid-file corruption: got %v, want CorruptError", err)
@@ -222,7 +222,7 @@ func TestWALEarlierSegmentDamageRefused(t *testing.T) {
 	st, _ := os.Stat(seg1)
 	os.Truncate(seg1, st.Size()-3)
 
-	_, _, err := Open(dir, 0, WALOptions{})
+	_, _, err := Open(dir, 0, 0, WALOptions{})
 	var ce *CorruptError
 	if !errors.As(err, &ce) {
 		t.Fatalf("earlier-segment damage: got %v, want CorruptError", err)
@@ -262,7 +262,7 @@ func TestWALPartialWriteCrash(t *testing.T) {
 	if acked != 3 {
 		t.Fatalf("acked %d batches before the crash, expected 3 (fires on the 4th hit)", acked)
 	}
-	_, info, err := Open(dir, 7, WALOptions{})
+	_, info, err := Open(dir, 7, 0, WALOptions{})
 	if err != nil {
 		t.Fatalf("open after crash: %v", err)
 	}

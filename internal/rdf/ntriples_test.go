@@ -125,6 +125,26 @@ func TestNTriplesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNTriplesIRIEscapeRoundTrip: IRI values holding characters the
+// IRIREF production forbids (backslash, angle brackets, space,
+// controls) must serialize as \u escapes and parse back identically —
+// a raw backslash used to be written verbatim and choke the reparse.
+func TestNTriplesIRIEscapeRoundTrip(t *testing.T) {
+	for _, iri := range []string{
+		`http://x/a\b`, "http://x/a>b", "http://x/a<b", "http://x/a b",
+		"http://x/a\"b", "http://x/a|b", "http://x/a^b", "http://x/a\nb",
+	} {
+		tr := NewTriple(NewIRI(iri), NewIRI("http://x/p"), NewTypedLiteral("1", iri))
+		back, err := ParseNTriples(tr.String())
+		if err != nil {
+			t.Fatalf("%q: reparse failed: %v\nline: %s", iri, err, tr.String())
+		}
+		if len(back) != 1 || back[0] != tr {
+			t.Fatalf("%q: round trip diverged: %+v", iri, back)
+		}
+	}
+}
+
 // TestNTriplesRoundTripProperty checks serialize→parse identity for
 // arbitrary literal contents (the hardest part of the grammar).
 func TestNTriplesRoundTripProperty(t *testing.T) {

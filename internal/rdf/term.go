@@ -155,7 +155,7 @@ func (t Term) write(b *strings.Builder) {
 	switch t.Kind {
 	case IRI:
 		b.WriteByte('<')
-		b.WriteString(t.Value)
+		escapeIRI(b, t.Value)
 		b.WriteByte('>')
 	case Blank:
 		b.WriteString("_:")
@@ -170,8 +170,24 @@ func (t Term) write(b *strings.Builder) {
 			b.WriteString(t.Lang)
 		case t.Datatype != "":
 			b.WriteString("^^<")
-			b.WriteString(t.Datatype)
+			escapeIRI(b, t.Datatype)
 			b.WriteByte('>')
+		}
+	}
+}
+
+// escapeIRI writes an IRI value with every character the IRIREF
+// production forbids (controls, space, <>"{}|^`\) as a \u escape, so
+// any parsed IRI — however exotic — re-serializes to a line the parser
+// accepts and decodes back to the same value.
+func escapeIRI(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch {
+		case r <= 0x20, r == '<', r == '>', r == '"',
+			r == '{', r == '}', r == '|', r == '^', r == '`', r == '\\':
+			fmt.Fprintf(b, `\u%04X`, r)
+		default:
+			b.WriteRune(r)
 		}
 	}
 }

@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
+	"repro/internal/ingest"
+	"repro/internal/rdf"
+)
+
+// liveWALTestServer boots a WAL-only live store (empty base) through
+// ingest.Boot so checkpoints have a real directory to commit into, and
+// mounts a server on it.
+func liveWALTestServer(t *testing.T, liveCfg ingest.Config, srvCfg Config, walOpts ingest.WALOptions) (*Server, *ingest.Live, string) {
+	t.Helper()
+	walDir := t.TempDir()
+	l, _, err := ingest.Boot(ingest.BootConfig{WALDir: walDir, Live: liveCfg, WAL: walOpts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	srvCfg.Live = l
+	return New(l, srvCfg, 2), l, walDir
+}
+
+// srvClock is the injectable retention clock for server-level TTL tests.
+type srvClock struct{ ns atomic.Int64 }
+
+func newSrvClock() *srvClock {
+	c := &srvClock{}
+	c.ns.Store(time.Unix(1_700_000_000, 0).UnixNano())
+	return c
+}
+
+func (c *srvClock) Now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *srvClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+// TestCheckpointEndpoint drives the whole loop over HTTP: ingest,
+// checkpoint, and the wal/checkpoint blocks in /stats plus the new
+// gauges in /metrics.
+func TestCheckpointEndpoint(t *testing.T) {
+	s, _, walDir := liveWALTestServer(t, ingest.Config{EpochMaxDelta: 1 << 20}, Config{}, ingest.WALOptions{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	// Nothing ingested yet: checkpoint succeeds but reports skipped.
+	status, body := post("/v1/checkpoint")
+	var res ingest.CheckpointResult
+	if err := json.Unmarshal(body, &res); err != nil || status != http.StatusOK {
+		t.Fatalf("empty checkpoint: %d %s", status, body)
+	}
+	if !res.Skipped {
+		t.Fatalf("empty checkpoint not skipped: %+v", res)
+	}
+
+	if status, body := postJSON(t, ts, "/v1/ingest", ingestRequest{Triples: pub9TripleJSON()}); status != http.StatusOK {
+		t.Fatalf("ingest: %d %s", status, body)
+	}
+	status, body = post("/v1/checkpoint")
+	if err := json.Unmarshal(body, &res); err != nil || status != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", status, body)
+	}
+	if res.Skipped || res.LowWater != 1 || res.Triples != 4 {
+		t.Fatalf("checkpoint result: %+v", res)
+	}
+	if man, err := ingest.ReadManifest(walDir); err != nil || man == nil || man.LowWater != 1 {
+		t.Fatalf("manifest after HTTP checkpoint: %+v, %v", man, err)
+	}
+
+	// /stats surfaces the wal and checkpoint blocks.
+	status, body = getBody(t, ts, "/stats")
+	var st struct {
+		Ingest struct {
+			WAL struct {
+				Segments int    `json:"segments"`
+				LowWater uint64 `json:"low_water"`
+			} `json:"wal"`
+			Checkpoint struct {
+				Count    int64  `json:"count"`
+				LowWater uint64 `json:"low_water_seq"`
+				Snapshot string `json:"snapshot"`
+			} `json:"checkpoint"`
+		} `json:"ingest"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil || status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	if st.Ingest.Checkpoint.Count != 1 || st.Ingest.Checkpoint.LowWater != 1 || st.Ingest.WAL.LowWater != 1 {
+		t.Fatalf("stats checkpoint block: %+v", st.Ingest)
+	}
+	if st.Ingest.Checkpoint.Snapshot == "" {
+		t.Fatal("stats checkpoint names no snapshot")
+	}
+
+	// /metrics carries the new robustness gauges.
+	_, metricsBody := getBody(t, ts, "/metrics")
+	for _, want := range []string{
+		"searchwebdb_wal_size_bytes",
+		"searchwebdb_wal_segments",
+		"searchwebdb_checkpoint_seconds_count 1",
+		"searchwebdb_checkpoint_age_seconds",
+		"searchwebdb_triples_expired_total 0",
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestCheckpointEndpointSealedBackend: no live store, no checkpoints.
+func TestCheckpointEndpointSealedBackend(t *testing.T) {
+	s := testServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || resp.StatusCode != http.StatusNotImplemented || er.Code != "read_only" {
+		t.Fatalf("sealed checkpoint: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestIngestTTLOverHTTP: per-batch TTL via the JSON body and the ?ttl=
+// query parameter, expiry at the next forced merge, the retention
+// stats/metrics, and the retention-merge cache flush.
+func TestIngestTTLOverHTTP(t *testing.T) {
+	clk := newSrvClock()
+	s, l, _ := liveWALTestServer(t, ingest.Config{EpochMaxDelta: 1 << 20, Now: clk.Now}, Config{}, ingest.WALOptions{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Immortal control row via ?ttl=-free N-Triples.
+	nt := fmt.Sprintf("<%spubz> <%stitle> \"Forever Row\" .\n", rdf.ExampleNS, rdf.ExampleNS)
+	resp, err := ts.Client().Post(ts.URL+"/v1/ingest", "application/n-triples", strings.NewReader(nt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("control ingest: %d", resp.StatusCode)
+	}
+
+	// TTL'd batch via the JSON body field.
+	status, body := postJSON(t, ts, "/v1/ingest", ingestRequest{Triples: pub9TripleJSON(), TTL: "1h"})
+	if status != http.StatusOK {
+		t.Fatalf("ttl ingest: %d %s", status, body)
+	}
+	if got := l.RetainedTriples(); got != 4 {
+		t.Fatalf("retained %d, want 4", got)
+	}
+
+	// And via the query parameter on the N-Triples encoding.
+	nt2 := fmt.Sprintf("<%spubq> <%stitle> \"Query Param Row\" .\n", rdf.ExampleNS, rdf.ExampleNS)
+	resp, err = ts.Client().Post(ts.URL+"/v1/ingest?ttl=30m", "application/n-triples", strings.NewReader(nt2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query-param ttl ingest: %d", resp.StatusCode)
+	}
+	if got := l.RetainedTriples(); got != 5 {
+		t.Fatalf("retained %d, want 5", got)
+	}
+
+	// A bad TTL is a 400, not a write.
+	if status, body := postJSON(t, ts, "/v1/ingest", ingestRequest{Triples: pub9TripleJSON(), TTL: "soon"}); status != http.StatusBadRequest {
+		t.Fatalf("bad ttl accepted: %d %s", status, body)
+	}
+
+	// Prime the query caches, then expire everything and checkpoint: the
+	// retention merge drops the rows and flushes the caches whole.
+	if status, _ := postJSON(t, ts, "/v1/search", searchRequest{Keywords: []string{"crashsafe"}}); status != http.StatusOK {
+		t.Fatal("prime search failed")
+	}
+	var sr searchResponse
+	status, body = postJSON(t, ts, "/v1/search", searchRequest{Keywords: []string{"crashsafe"}})
+	if json.Unmarshal(body, &sr); status != http.StatusOK || !sr.Cached {
+		t.Fatalf("search not cached before merge: %d %+v", status, sr)
+	}
+
+	clk.Advance(2 * time.Hour)
+	resp, err = ts.Client().Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cres ingest.CheckpointResult
+	if err := json.NewDecoder(resp.Body).Decode(&cres); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cres.Expired != 5 || cres.Triples != 1 {
+		t.Fatalf("checkpoint expired=%d triples=%d, want 5/1", cres.Expired, cres.Triples)
+	}
+	if l.NumTriples() != 1 {
+		t.Fatalf("expired rows visible after merge: %d", l.NumTriples())
+	}
+	status, body = postJSON(t, ts, "/v1/search", searchRequest{Keywords: []string{"crashsafe"}})
+	sr = searchResponse{}
+	if json.Unmarshal(body, &sr); status != http.StatusOK || sr.Cached {
+		t.Fatalf("stale cache survived a retention merge: %d %+v", status, sr)
+	}
+
+	// Detailed stats and metrics surface the expiry.
+	status, body = getBody(t, ts, "/stats")
+	var st struct {
+		Ingest struct {
+			Retention struct {
+				Retained     int   `json:"retained_triples"`
+				ExpiredTotal int64 `json:"expired_total"`
+			} `json:"retention"`
+		} `json:"ingest"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil || status != http.StatusOK {
+		t.Fatalf("stats: %d %s", status, body)
+	}
+	if st.Ingest.Retention.ExpiredTotal != 5 || st.Ingest.Retention.Retained != 0 {
+		t.Fatalf("stats retention block: %+v", st.Ingest.Retention)
+	}
+	_, metricsBody := getBody(t, ts, "/metrics")
+	if !strings.Contains(string(metricsBody), "searchwebdb_triples_expired_total 5") {
+		t.Error("metrics missing expired counter")
+	}
+}
+
+// TestIngestDiskFaultCodes: a poisoned WAL and a full disk each degrade
+// the server to read-only with their own 503 code, reads keep flowing,
+// and /healthz reports the degradation.
+func TestIngestDiskFaultCodes(t *testing.T) {
+	t.Run("fsync poison", func(t *testing.T) {
+		disk := faultinject.NewDiskSet()
+		s, _, _ := liveWALTestServer(t, ingest.Config{EpochMaxDelta: 1 << 20, Disk: disk}, Config{}, ingest.WALOptions{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		if status, body := postJSON(t, ts, "/v1/ingest", pub9TripleJSON()[0]); status != http.StatusOK {
+			t.Fatalf("healthy ingest: %d %s", status, body)
+		}
+		if err := disk.ArmDisk(faultinject.DiskWALSync, syscall.EIO, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		status, body := postJSON(t, ts, "/v1/ingest", pub9TripleJSON()[1])
+		var er errorResponse
+		if err := json.Unmarshal(body, &er); err != nil || status != http.StatusServiceUnavailable || er.Code != ingest.ReadOnlyFsync {
+			t.Fatalf("poisoned ingest: %d %s", status, body)
+		}
+		// Latched: the next write is refused with the same code.
+		status, body = postJSON(t, ts, "/v1/ingest", pub9TripleJSON()[2])
+		if err := json.Unmarshal(body, &er); err != nil || status != http.StatusServiceUnavailable || er.Code != ingest.ReadOnlyFsync {
+			t.Fatalf("second poisoned ingest: %d %s", status, body)
+		}
+		// Reads still served; /healthz reports the degradation.
+		if status, _ := postJSON(t, ts, "/v1/search", searchRequest{Keywords: []string{"crashsafe"}}); status != http.StatusOK {
+			t.Fatalf("reads degraded: %d", status)
+		}
+		status, body = getBody(t, ts, "/healthz")
+		var hz struct {
+			Status   string `json:"status"`
+			ReadOnly string `json:"read_only"`
+		}
+		if err := json.Unmarshal(body, &hz); err != nil || status != http.StatusOK {
+			t.Fatalf("healthz: %d %s", status, body)
+		}
+		if hz.Status != "read_only" || hz.ReadOnly != ingest.ReadOnlyFsync {
+			t.Fatalf("healthz degradation: %+v", hz)
+		}
+	})
+
+	t.Run("disk full", func(t *testing.T) {
+		disk := faultinject.NewDiskSet()
+		s, _, _ := liveWALTestServer(t, ingest.Config{EpochMaxDelta: 1 << 20, Disk: disk, DiskFullTrips: 2}, Config{}, ingest.WALOptions{})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+
+		if err := disk.ArmDisk(faultinject.DiskWALWrite, syscall.ENOSPC, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		var er errorResponse
+		// First refusal is backpressure: 503 disk_full, not yet latched.
+		status, body := postJSON(t, ts, "/v1/ingest", pub9TripleJSON()[0])
+		if err := json.Unmarshal(body, &er); err != nil || status != http.StatusServiceUnavailable || er.Code != ingest.ReadOnlyDiskFull {
+			t.Fatalf("first enospc: %d %s", status, body)
+		}
+		status, body = getBody(t, ts, "/healthz")
+		var hz struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(body, &hz); err != nil || hz.Status != "ok" {
+			t.Fatalf("latched too early: %d %s", status, body)
+		}
+		// Second consecutive refusal trips the latch.
+		status, body = postJSON(t, ts, "/v1/ingest", pub9TripleJSON()[0])
+		if err := json.Unmarshal(body, &er); err != nil || status != http.StatusServiceUnavailable || er.Code != ingest.ReadOnlyDiskFull {
+			t.Fatalf("second enospc: %d %s", status, body)
+		}
+		var hz2 struct {
+			Status   string `json:"status"`
+			ReadOnly string `json:"read_only"`
+		}
+		_, body = getBody(t, ts, "/healthz")
+		if err := json.Unmarshal(body, &hz2); err != nil || hz2.Status != "read_only" || hz2.ReadOnly != ingest.ReadOnlyDiskFull {
+			t.Fatalf("healthz after latch: %s", body)
+		}
+	})
+}
+
+// TestCheckpointIngestSearchRace is the satellite -race hammer: ingest
+// workers, a checkpoint loop, and search traffic run concurrently over
+// HTTP; afterwards the compacted store — live AND rebooted from its
+// checkpoint — must answer bit-identically to an uncompacted twin built
+// from the same triples.
+func TestCheckpointIngestSearchRace(t *testing.T) {
+	all := datagen.DBLPTriples(datagen.DBLPConfig{Publications: 30, Seed: 7})
+	s, l, walDir := liveWALTestServer(t, ingest.Config{EpochMaxDelta: 500}, Config{}, ingest.WALOptions{SegmentBytes: 4096})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const workers = 3
+	parts := make([][]rdf.Triple, workers)
+	for i, tr := range all {
+		parts[i%workers] = append(parts[i%workers], tr)
+	}
+
+	stop := make(chan struct{})
+	var bg sync.WaitGroup
+	bg.Add(1)
+	go func() { // checkpoint hammer
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := ts.Client().Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("checkpoint status %d", resp.StatusCode)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	bg.Add(1)
+	go func() { // search traffic
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			buf, _ := json.Marshal(searchRequest{Keywords: []string{"keyword", "search"}})
+			resp, err := ts.Client().Post(ts.URL+"/v1/search", "application/json", bytes.NewReader(buf))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("search status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// Each worker records the WAL sequence its batches were acked under,
+	// so the uncompacted twin can be built in true arrival order — the
+	// comparison below is then strict, not merely set-equal.
+	type ackedBatch struct {
+		seq     uint64
+		triples []rdf.Triple
+	}
+	var (
+		ackedMu sync.Mutex
+		acked   []ackedBatch
+	)
+	var ingWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ingWG.Add(1)
+		go func(part []rdf.Triple) {
+			defer ingWG.Done()
+			const batchLen = 12
+			for off := 0; off < len(part); off += batchLen {
+				end := off + batchLen
+				if end > len(part) {
+					end = len(part)
+				}
+				var sb strings.Builder
+				if err := rdf.WriteNTriples(&sb, part[off:end]); err != nil {
+					t.Error(err)
+					return
+				}
+				resp, err := ts.Client().Post(ts.URL+"/v1/ingest", "application/n-triples", strings.NewReader(sb.String()))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var ir ingestResponse
+				derr := json.NewDecoder(resp.Body).Decode(&ir)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || derr != nil {
+					t.Errorf("ingest status %d (%v)", resp.StatusCode, derr)
+					return
+				}
+				ackedMu.Lock()
+				acked = append(acked, ackedBatch{seq: ir.Seq, triples: part[off:end]})
+				ackedMu.Unlock()
+			}
+		}(parts[w])
+	}
+	ingWG.Wait()
+	close(stop)
+	bg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Final checkpoint so the rebooted store exercises checkpoint+wal.
+	resp, err := ts.Client().Post(ts.URL+"/v1/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// The uncompacted twin: every triple in acked order, one engine, no
+	// WAL, no merges.
+	sort.Slice(acked, func(i, j int) bool { return acked[i].seq < acked[j].seq })
+	fresh := engine.New(engine.Config{})
+	for _, b := range acked {
+		fresh.AddTriples(b.triples)
+	}
+	fresh.Seal()
+
+	if err := l.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	keywordSets := [][]string{{"cimiano"}, {"keyword", "search"}, {"2006"}}
+	assertLiveMatchesEngine(t, "live", l, fresh, keywordSets)
+
+	// Reboot from the checkpoint directory: same answers again.
+	l.Close()
+	l2, info, err := ingest.Boot(ingest.BootConfig{WALDir: walDir, Live: ingest.Config{EpochMaxDelta: 1 << 20}})
+	if err != nil {
+		t.Fatalf("reboot: %v", err)
+	}
+	defer l2.Close()
+	if info.Source != ingest.BootCheckpointWAL {
+		t.Fatalf("boot source %q", info.Source)
+	}
+	if err := l2.Swap(); err != nil {
+		t.Fatal(err)
+	}
+	assertLiveMatchesEngine(t, "rebooted", l2, fresh, keywordSets)
+}
+
+// assertLiveMatchesEngine compares candidates and executed rows between
+// a live store and a from-scratch engine over the same triples.
+func assertLiveMatchesEngine(t *testing.T, label string, l *ingest.Live, fresh *engine.Engine, keywordSets [][]string) {
+	t.Helper()
+	if l.NumTriples() != fresh.NumTriples() {
+		t.Fatalf("%s: %d triples, fresh rebuild has %d", label, l.NumTriples(), fresh.NumTriples())
+	}
+	ctx := context.Background()
+	for _, kws := range keywordSets {
+		gotC, _, gotErr := l.SearchKContext(ctx, kws, 0)
+		wantC, _, wantErr := fresh.SearchKContext(ctx, kws, 0)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s %v: error divergence: %v vs %v", label, kws, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			continue
+		}
+		if len(gotC) != len(wantC) {
+			t.Fatalf("%s %v: %d candidates vs %d", label, kws, len(gotC), len(wantC))
+		}
+		for i := range wantC {
+			if !reflect.DeepEqual(gotC[i].Query, wantC[i].Query) {
+				t.Fatalf("%s %v: candidate %d diverges", label, kws, i)
+			}
+			got, err := l.ExecuteLimitContext(ctx, gotC[i], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.ExecuteLimitContext(ctx, wantC[i], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) || got.Truncated != want.Truncated {
+				t.Fatalf("%s %v: candidate %d rows diverge (%d vs %d rows)", label, kws, i, got.Len(), want.Len())
+			}
+		}
+	}
+}

@@ -257,6 +257,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/execute", s.instrument("execute", s.handleExecute))
 	mux.HandleFunc("POST /v1/explain", s.instrument("explain", s.handleExplain))
 	mux.HandleFunc("POST /v1/ingest", s.instrument("ingest", s.handleIngest))
+	mux.HandleFunc("POST /v1/checkpoint", s.instrument("checkpoint", s.handleCheckpoint))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
@@ -267,7 +268,7 @@ func (s *Server) Handler() http.Handler {
 	// would otherwise route here as plain 404s.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {
-		case "/v1/search", "/v1/execute", "/v1/explain", "/v1/ingest":
+		case "/v1/search", "/v1/execute", "/v1/explain", "/v1/ingest", "/v1/checkpoint":
 			w.Header().Set("Allow", http.MethodPost)
 			writeJSON(w, http.StatusMethodNotAllowed,
 				errorResponse{Error: r.URL.Path + " requires POST", Code: "method_not_allowed"})
@@ -928,6 +929,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if ib := s.ingestStatsJSON(false); ib != nil {
 		body["ingest"] = ib
+		// A disk-degraded live backend still answers 200 — reads are
+		// healthy — but flags itself so operators and write-path load
+		// balancers can see the latch.
+		if ro := s.live.ReadOnlyReason(); ro != "" {
+			body["status"] = "read_only"
+			body["read_only"] = ro
+		}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,9 +29,12 @@ type tripleJSON struct {
 
 // ingestRequest is the JSON body shape: a batch under "triples", or a
 // single triple object at the top level (single + batch both accepted).
+// TTL ("250ms", "24h", …) arms per-batch retention; it can also ride
+// the ?ttl= query parameter for the NDJSON and N-Triples encodings.
 type ingestRequest struct {
 	tripleJSON
 	Triples []tripleJSON `json:"triples,omitempty"`
+	TTL     string       `json:"ttl,omitempty"`
 }
 
 type ingestResponse struct {
@@ -94,10 +98,16 @@ func (tj tripleJSON) toTriple(i int) (rdf.Triple, error) {
 	return rdf.Triple{S: s, P: p, O: o}, nil
 }
 
-// decodeIngestBody parses the request into one batch. Three encodings:
-// NDJSON (one triple object per line), raw N-Triples text, or a JSON
-// body (single triple or {"triples": [...]}).
-func decodeIngestBody(r *http.Request) ([]rdf.Triple, error) {
+// decodeIngestBody parses the request into one batch plus its TTL (0 =
+// none given). Three encodings: NDJSON (one triple object per line),
+// raw N-Triples text, or a JSON body (single triple or
+// {"triples": [...], "ttl": "24h"}). A ?ttl= query parameter applies to
+// every encoding; the JSON body field wins when both are present.
+func decodeIngestBody(r *http.Request) ([]rdf.Triple, time.Duration, error) {
+	ttl, err := parseTTL(r.URL.Query().Get("ttl"))
+	if err != nil {
+		return nil, 0, err
+	}
 	ct := r.Header.Get("Content-Type")
 	switch {
 	case strings.Contains(ct, "application/x-ndjson"):
@@ -106,40 +116,61 @@ func decodeIngestBody(r *http.Request) ([]rdf.Triple, error) {
 		for i := 0; ; i++ {
 			var tj tripleJSON
 			if err := dec.Decode(&tj); err == io.EOF {
-				return ts, nil
+				return ts, ttl, nil
 			} else if err != nil {
-				return nil, fmt.Errorf("ndjson line %d: %w", i+1, err)
+				return nil, 0, fmt.Errorf("ndjson line %d: %w", i+1, err)
 			}
 			t, err := tj.toTriple(i)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			ts = append(ts, t)
 		}
 	case strings.Contains(ct, "application/n-triples"):
-		return rdf.NewNTriplesReader(r.Body).ReadAll()
+		ts, err := rdf.NewNTriplesReader(r.Body).ReadAll()
+		return ts, ttl, err
 	default:
 		var req ingestRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			return nil, err
+			return nil, 0, err
+		}
+		if req.TTL != "" {
+			if ttl, err = parseTTL(req.TTL); err != nil {
+				return nil, 0, err
+			}
 		}
 		if len(req.Triples) > 0 {
 			ts := make([]rdf.Triple, len(req.Triples))
 			for i, tj := range req.Triples {
 				t, err := tj.toTriple(i)
 				if err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 				ts[i] = t
 			}
-			return ts, nil
+			return ts, ttl, nil
 		}
 		t, err := req.tripleJSON.toTriple(0)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		return []rdf.Triple{t}, nil
+		return []rdf.Triple{t}, ttl, nil
 	}
+}
+
+// parseTTL validates a ttl spelling ("" = none).
+func parseTTL(s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("ttl: %w", err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("ttl: must be positive, got %q", s)
+	}
+	return d, nil
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -149,7 +180,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			Code:  "read_only"})
 		return
 	}
-	ts, err := decodeIngestBody(r)
+	ts, ttl, err := decodeIngestBody(r)
 	if err != nil {
 		s.writeDecodeError(w, err)
 		return
@@ -161,12 +192,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	start := time.Now()
 	swapsBefore := s.live.Swaps()
-	added, seq, err := s.live.Ingest(ts)
+	added, seq, err := s.live.IngestTTL(ts, ttl)
 	if err != nil {
-		// The WAL refused (or the post-ack swap failed): nothing to serve
-		// but the truth. 500 — the client must not assume durability.
-		writeJSON(w, http.StatusInternalServerError,
-			errorResponse{Error: err.Error(), Code: "ingest_failed"})
+		s.writeIngestError(w, err)
 		return
 	}
 	s.mIngested.Add(uint64(len(ts)))
@@ -180,6 +208,44 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Triples:      s.live.NumTriples(),
 		ElapsedMS:    float64(time.Since(start).Microseconds()) / 1000,
 	})
+}
+
+// writeIngestError maps a refused write onto the disk-degradation
+// error taxonomy. Poisoned-WAL and disk-full refusals are 503s with
+// distinct codes — the store still serves reads, and (for disk_full) a
+// retry may succeed once space frees; anything else is the generic 500.
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ingest.ErrWALPoisoned):
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: err.Error(), Code: ingest.ReadOnlyFsync})
+	case errors.Is(err, ingest.ErrDiskFull):
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: err.Error(), Code: ingest.ReadOnlyDiskFull})
+	default:
+		// The WAL refused (or the post-ack swap failed): nothing to serve
+		// but the truth. 500 — the client must not assume durability.
+		writeJSON(w, http.StatusInternalServerError,
+			errorResponse{Error: err.Error(), Code: "ingest_failed"})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// POST /v1/checkpoint
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.live == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{
+			Error: "this backend is sealed read-only; boot serverd with -wal to enable checkpoints",
+			Code:  "read_only"})
+		return
+	}
+	res, err := s.live.Checkpoint()
+	if err != nil {
+		s.writeIngestError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // ---------------------------------------------------------------------------
@@ -271,18 +337,38 @@ func (s *Server) InvalidateKeywords(changed []string) int {
 	return n
 }
 
-// bindLive wires a live backend into the server: epoch/fsync/swap
-// metrics and swap-driven cache invalidation. Called once from New.
+// flushQueryCaches empties the search and candidate caches — the
+// retention-merge hammer: a merge that *dropped* rows can stale any
+// cached result, so surgical keyword matching does not apply.
+func (s *Server) flushQueryCaches() int {
+	n := s.searchCache.Invalidate(func(string, any) bool { return true })
+	s.candidates.Invalidate(func(string, any) bool { return true })
+	return n
+}
+
+// bindLive wires a live backend into the server: epoch/fsync/swap/
+// checkpoint metrics and swap-driven cache invalidation. Called once
+// from New.
 func (s *Server) bindLive(l *ingest.Live) {
 	s.live = l
 	s.mEpoch.Set(int64(l.Epoch()))
 	l.SetObservers(func(o ingest.SwapObservation) {
 		s.mEpoch.Set(int64(o.Epoch))
 		s.mSwapSeconds.Observe(o.Duration.Seconds())
-		n := s.InvalidateKeywords(o.ChangedKeywords)
+		s.mExpired.Add(uint64(o.Expired))
+		var n int
+		if o.RetentionMerge {
+			n = s.flushQueryCaches()
+		} else {
+			n = s.InvalidateKeywords(o.ChangedKeywords)
+		}
 		s.mInvalidated.Add(uint64(n))
 	}, func(d time.Duration) {
 		s.mFsync.Observe(d.Seconds())
+	}, func(res ingest.CheckpointResult, err error) {
+		if err == nil && !res.Skipped {
+			s.mCheckpointSeconds.Observe(res.Duration.Seconds())
+		}
 	})
 }
 
@@ -294,6 +380,12 @@ func (s *Server) refreshIngestGauges() {
 	}
 	s.mEpoch.Set(int64(s.live.Epoch()))
 	s.mTriples.Set(int64(s.live.NumTriples()))
+	w := s.live.WAL()
+	s.mWALSize.Set(w.SizeBytes())
+	s.mWALSegments.Set(int64(w.Segments()))
+	if age := s.live.CheckpointAge(); age >= 0 {
+		s.mCheckpointAge.Set(age.Seconds())
+	}
 }
 
 // ingestStatsJSON renders the /stats and /healthz ingest blocks.
@@ -302,24 +394,65 @@ func (s *Server) ingestStatsJSON(detailed bool) map[string]any {
 	if l == nil {
 		return nil
 	}
+	w := l.WAL()
 	out := map[string]any{
 		"epoch":                  l.Epoch(),
 		"delta_triples":          l.DeltaTriples(),
 		"swaps":                  l.Swaps(),
 		"ingested_triples_total": l.IngestedTriples(),
+		"wal": map[string]any{
+			"segments":   w.Segments(),
+			"size_bytes": w.SizeBytes(),
+			"next_seq":   w.NextSeq(),
+			"low_water":  l.LowWater(),
+		},
+		"checkpoint": s.checkpointStatsJSON(),
+	}
+	if ro := l.ReadOnlyReason(); ro != "" {
+		out["read_only"] = ro
 	}
 	if detailed {
-		w := l.WAL()
 		out["epoch_max_delta"] = l.EpochMaxDelta()
 		out["cache_invalidated_total"] = s.mInvalidated.Value()
 		out["wal"] = map[string]any{
-			"dir":      w.Dir(),
-			"segments": w.Segments(),
-			"next_seq": w.NextSeq(),
-			"fsync":    w.Fsync().String(),
+			"dir":        w.Dir(),
+			"segments":   w.Segments(),
+			"size_bytes": w.SizeBytes(),
+			"next_seq":   w.NextSeq(),
+			"low_water":  l.LowWater(),
+			"fsync":      w.Fsync().String(),
+		}
+		out["retention"] = map[string]any{
+			"retained_triples": l.RetainedTriples(),
+			"expired_total":    l.ExpiredTotal(),
+			"expired_pending":  l.ExpiredPending(),
 		}
 		out["fsync_seconds"] = histQuantiles(s.mFsync)
 		out["swap_seconds"] = histQuantiles(s.mSwapSeconds)
+	}
+	return out
+}
+
+// checkpointStatsJSON renders the checkpoint block of /stats and
+// /healthz.
+func (s *Server) checkpointStatsJSON() map[string]any {
+	cs := s.live.CheckpointStats()
+	out := map[string]any{
+		"count":         cs.Count,
+		"low_water_seq": s.live.LowWater(),
+	}
+	if cs.Count > 0 {
+		out["last_unix"] = cs.LastUnix
+		out["last_seconds"] = cs.LastDuration
+		out["snapshot"] = cs.LastSnapshot
+		out["segments_removed_total"] = cs.SegmentsRemoved
+		out["bytes_removed_total"] = cs.BytesRemoved
+		if age := s.live.CheckpointAge(); age >= 0 {
+			out["age_seconds"] = age.Seconds()
+		}
+	}
+	if cs.LastError != "" {
+		out["last_error"] = cs.LastError
 	}
 	return out
 }
@@ -377,6 +510,7 @@ func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		g.mu.Lock()
 		if g.progress != nil {
 			body["replay"] = *g.progress
+			body["percent"] = g.progress.Percent()
 		}
 		g.mu.Unlock()
 		writeJSON(w, http.StatusServiceUnavailable, body)

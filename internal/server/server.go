@@ -208,6 +208,15 @@ type Server struct {
 	mFsync       *metrics.Histogram
 	mSwapSeconds *metrics.Histogram
 	mInvalidated *metrics.Counter
+
+	// WAL/checkpoint health: log size and segment count (scrape-
+	// refreshed), checkpoint latency and age, and triples dropped by
+	// retention merges.
+	mWALSize           *metrics.Gauge
+	mWALSegments       *metrics.Gauge
+	mCheckpointSeconds *metrics.Histogram
+	mCheckpointAge     *metrics.FloatGauge
+	mExpired           *metrics.Counter
 }
 
 // clusterBackend is the optional introspection surface of a sharded
@@ -307,6 +316,16 @@ func New(eng engine.Queryer, cfg Config, procsHint int) *Server {
 		"Epoch swap latency: delta merge plus incremental (or fallback full) index maintenance.", nil)
 	s.mInvalidated = s.reg.Counter("searchwebdb_search_cache_invalidated_total",
 		"Cached searches dropped by keyword-matched invalidation at epoch swaps.")
+	s.mWALSize = s.reg.Gauge("searchwebdb_wal_size_bytes",
+		"On-disk size of all live WAL segments (0 on sealed read-only deploys).")
+	s.mWALSegments = s.reg.Gauge("searchwebdb_wal_segments",
+		"Live WAL segment files.")
+	s.mCheckpointSeconds = s.reg.Histogram("searchwebdb_checkpoint_seconds",
+		"End-to-end checkpoint latency: merge, snapshot write, manifest commit, log truncation.", nil)
+	s.mCheckpointAge = s.reg.FloatGauge("searchwebdb_checkpoint_age_seconds",
+		"Seconds since the last committed checkpoint (0 until one commits).")
+	s.mExpired = s.reg.Counter("searchwebdb_triples_expired_total",
+		"Triples dropped by TTL retention at epoch merges.")
 	if cfg.Live != nil {
 		s.bindLive(cfg.Live)
 	}
